@@ -1,0 +1,81 @@
+"""ABL2 — what makes model counters / compilers fast (Section 3).
+
+The paper's compilers inherit sharpSAT's machinery: component
+decomposition and component caching.  We count the same formulas with
+each switch off and compare decision counts (the machine-independent
+cost measure), plus the equivalence of counter and compiler answers
+(the "language of search" correspondence [38]).
+"""
+
+import random
+
+from repro.compile import DnnfCompiler
+from repro.logic import Cnf
+from repro.nnf import model_count
+from repro.sat import ModelCounter
+
+
+def _random_cnf(num_vars, num_clauses, rng):
+    clauses = []
+    for _ in range(num_clauses):
+        size = rng.randint(2, 3)
+        variables = rng.sample(range(1, num_vars + 1), size)
+        clauses.append(tuple(v if rng.random() < 0.5 else -v
+                             for v in variables))
+    return Cnf(clauses, num_vars=num_vars)
+
+
+def _chain_cnf(n):
+    """(x_i ∨ x_{i+1}) chains decompose heavily after conditioning."""
+    return Cnf([(i, i + 1) for i in range(1, n)], num_vars=n)
+
+
+def _experiment():
+    rng = random.Random(2)
+    instances = [("chain-20", _chain_cnf(20)),
+                 ("chain-40", _chain_cnf(40)),
+                 ("random-14", _random_cnf(14, 28, rng)),
+                 ("random-16", _random_cnf(16, 32, rng))]
+    rows = []
+    for name, cnf in instances:
+        decisions = {}
+        reference = None
+        for components in (True, False):
+            for cache in (True, False):
+                counter = ModelCounter(use_components=components,
+                                       use_cache=cache)
+                count = counter.count(cnf)
+                if reference is None:
+                    reference = count
+                assert count == reference
+                decisions[(components, cache)] = counter.decisions
+        compiler = DnnfCompiler()
+        circuit = compiler.compile(cnf)
+        compiled_count = model_count(circuit,
+                                     range(1, cnf.num_vars + 1))
+        assert compiled_count == reference
+        rows.append((name, reference,
+                     decisions[(True, True)], decisions[(True, False)],
+                     decisions[(False, True)], decisions[(False, False)],
+                     circuit.edge_count()))
+    return rows
+
+
+def test_abl2_compiler_features(benchmark, table):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+    table("ABL2: #SAT search decisions under optimisation switches",
+          [[name, count, full, no_cache, no_comp, neither, edges]
+           for name, count, full, no_cache, no_comp, neither, edges
+           in rows],
+          headers=["instance", "#models", "comp+cache", "comp only",
+                   "cache only", "neither", "d-DNNF edges"])
+
+    for _name, _count, full, _no_cache, _no_comp, neither, _e in rows:
+        # the full stack is never worse than plain DPLL
+        assert full <= neither
+    # the big chain shows a dramatic (exponential-to-linear) gap, and
+    # component caching is the lever that produces it
+    chain40 = rows[1]
+    assert chain40[2] * 50 < chain40[5]      # full vs neither
+    assert chain40[4] * 50 < chain40[5]      # cache-only vs neither

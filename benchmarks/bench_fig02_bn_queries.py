@@ -1,0 +1,68 @@
+"""FIG2 — the Fig 2 medical network and its four queries.
+
+Regenerates: the MPE instantiation, the per-variable/value MAR table,
+the MAP over {sex, c}, the SDP for the operate-if-Pr(c)≥0.9 decision,
+and the decision-problem/complexity-class table on the right of Fig 2.
+"""
+
+from repro.bayesnet import (map_query, mar, medical_network, mpe, sdp)
+from repro.wmc import WmcPipeline, same_decision_probability
+
+
+def _fig2_queries():
+    network = medical_network()
+    instantiation, p_mpe = mpe(network)
+    marginals = {name: {s: mar(network, {name: s}) for s in (0, 1)}
+                 for name in network.variables}
+    y_map, p_map = map_query(network, ["sex", "c"])
+    p_sdp = sdp(network, "c", 1, 0.9, ["T1", "T2"])
+    # the same four queries via the circuit route (NP/PP/NP^PP/PP^PP)
+    pipeline = WmcPipeline(network)
+    _i, circuit_mpe = pipeline.mpe()
+    circuit_mar = pipeline.mar({"c": 1})
+    _y, circuit_map = pipeline.map_query(["sex", "c"])
+    circuit_sdp = same_decision_probability(network, "c", 1, 0.9,
+                                            ["T1", "T2"])
+    circuit_answers = (circuit_mpe, circuit_mar, circuit_map,
+                       circuit_sdp)
+    return (instantiation, p_mpe, marginals, y_map, p_map, p_sdp,
+            circuit_answers)
+
+
+def test_fig2_bn_queries(benchmark, table):
+    (instantiation, p_mpe, marginals, y_map, p_map, p_sdp,
+     circuit_answers) = benchmark(_fig2_queries)
+
+    table("Fig 2 (left): MPE of the medical network",
+          [[", ".join(f"{k}={v}" for k, v in instantiation.items()),
+            f"{p_mpe:.4f}"]],
+          headers=["instantiation", "Pr"])
+    table("Fig 2 (left): MAR per variable/value",
+          [[name, f"{m[0]:.4f}", f"{m[1]:.4f}"]
+           for name, m in marginals.items()],
+          headers=["variable", "Pr(=0)", "Pr(=1)"])
+    table("Fig 2: MAP over {sex, c} and SDP",
+          [["MAP", f"{y_map}", f"{p_map:.4f}"],
+           ["SDP (T=0.9, observe T1,T2)", "", f"{p_sdp:.4f}"]],
+          headers=["query", "argmax", "value"])
+    circuit_mpe, circuit_mar, circuit_map, circuit_sdp = circuit_answers
+    table("Fig 2 (right): decision problems, classes, circuit route",
+          [["D-MPE", "NP", f"{circuit_mpe:.4f}"],
+           ["D-MAR", "PP", f"{circuit_mar:.4f}"],
+           ["D-MAP", "NP^PP", f"{circuit_map:.4f}"],
+           ["D-SDP", "PP^PP", f"{circuit_sdp:.4f}"]],
+          headers=["problem", "complete for", "via compilation"])
+
+    # shape checks: the condition is rare, MPE is the healthy profile,
+    # the SDP is informative (< 1) because strong double-positive tests
+    # push the posterior past the 0.9 threshold
+    assert marginals["c"][1] < 0.05
+    assert instantiation["c"] == 0 and instantiation["AGREE"] == 1
+    assert y_map["c"] == 0
+    assert 0.9 < p_sdp < 1.0
+    assert mar(medical_network(), {"c": 1}, {"T1": 1, "T2": 1}) > 0.9
+    # the circuit route agrees with the dedicated algorithms
+    assert abs(circuit_mpe - p_mpe) < 1e-9
+    assert abs(circuit_mar - marginals["c"][1]) < 1e-9
+    assert abs(circuit_map - p_map) < 1e-9
+    assert abs(circuit_sdp - p_sdp) < 1e-9

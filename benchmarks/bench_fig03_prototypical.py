@@ -1,0 +1,56 @@
+"""FIG3 — SAT, MAJSAT, E-MAJSAT and MAJMAJSAT on an example circuit,
+each solved by compiling into the tractable language that unlocks its
+complexity class, and cross-checked against brute force.
+"""
+
+from repro.logic import Cnf
+from repro.solvers import (count_brute, emajsat_brute, emajsat_value,
+                           majmajsat_brute, majsat_brute, sat_brute,
+                           solve_count, solve_emajsat, solve_majmajsat,
+                           solve_majsat, solve_sat, majmajsat_histogram)
+
+# an example circuit Δ over 6 inputs (CNF form), Y = {1, 2, 3}
+DELTA = Cnf([(1, 4), (-1, 5), (2, -5, 6), (3, 4, -6), (-2, -4)],
+            num_vars=6)
+Y_VARS = [1, 2, 3]
+
+
+def _solve_all():
+    results = {}
+    results["SAT"] = solve_sat(DELTA)
+    results["#SAT"] = solve_count(DELTA)
+    results["MAJSAT"] = solve_majsat(DELTA)
+    results["E-MAJSAT value"], results["witness"] = \
+        emajsat_value(DELTA, Y_VARS)
+    results["E-MAJSAT"] = solve_emajsat(DELTA, Y_VARS)
+    results["MAJMAJSAT hist"] = majmajsat_histogram(DELTA, Y_VARS)
+    results["MAJMAJSAT"] = solve_majmajsat(DELTA, Y_VARS)
+    return results
+
+
+def test_fig3_prototypical_problems(benchmark, table):
+    results = benchmark(_solve_all)
+
+    table("Fig 3: prototypical problems on the example circuit",
+          [["SAT (NP)", results["SAT"], sat_brute(DELTA)],
+           ["#SAT", results["#SAT"], count_brute(DELTA)],
+           ["MAJSAT (PP)", results["MAJSAT"], majsat_brute(DELTA)],
+           ["E-MAJSAT (NP^PP)", results["E-MAJSAT"],
+            2 * emajsat_brute(DELTA, Y_VARS)[0] > 2 ** 3],
+           ["MAJMAJSAT (PP^PP)", results["MAJMAJSAT"], "-"]],
+          headers=["problem", "via compilation", "brute force"])
+    table("E-MAJSAT detail",
+          [[f"max_y #z = {results['E-MAJSAT value']}",
+            f"witness y = {results['witness']}"]])
+    table("MAJMAJSAT histogram {z-count: #y}",
+          [[str(results["MAJMAJSAT hist"])]])
+
+    # exactness checks against the oracles
+    assert results["SAT"] == sat_brute(DELTA)
+    assert results["#SAT"] == count_brute(DELTA)
+    assert results["MAJSAT"] == majsat_brute(DELTA)
+    brute_value, _w = emajsat_brute(DELTA, Y_VARS)
+    assert results["E-MAJSAT value"] == brute_value
+    brute_hist = {c: m for c, m in majmajsat_brute(DELTA, Y_VARS).items()
+                  if c}
+    assert results["MAJMAJSAT hist"] == brute_hist

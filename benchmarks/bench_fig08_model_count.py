@@ -1,0 +1,58 @@
+"""FIG8 — linear-time model counting on d-DNNF circuits.
+
+The running circuit of Figs 5–8 (the enrollment constraint over
+K, L, A, P) must count exactly 9 satisfying inputs of 16, via both the
+Decision-DNNF compiler and the SDD compiler; smoothing must not change
+the count; and WMC with unit weights must equal #SAT (the paper's
+remark that #SAT is the W≡1 special case).
+"""
+
+from repro.logic import VarMap, parse, to_cnf
+from repro.compile import compile_cnf
+from repro.nnf import (is_smooth, model_count, smooth,
+                       weighted_model_count)
+from repro.sdd import compile_cnf_sdd, model_count as sdd_model_count
+
+CONSTRAINT = "(P | L) & (A -> P) & (K -> (A | L))"
+
+
+def _count_everything():
+    vm = VarMap()
+    cnf = to_cnf(parse(CONSTRAINT, vm))
+    full = range(1, cnf.num_vars + 1)
+
+    ddnnf = compile_cnf(cnf)
+    smoothed = smooth(ddnnf)
+    sdd, _manager = compile_cnf_sdd(cnf)
+    unit = {lit: 1.0 for v in full for lit in (v, -v)}
+    return {
+        "ddnnf_count": model_count(ddnnf, full),
+        "smooth_count": model_count(smoothed, full),
+        "smooth_is_smooth": is_smooth(smoothed),
+        "sdd_count": sdd_model_count(sdd),
+        "wmc_unit": weighted_model_count(ddnnf, unit, full),
+        "ddnnf_edges": ddnnf.edge_count(),
+        "smooth_edges": smoothed.edge_count(),
+        "sdd_size": sdd.size(),
+    }
+
+
+def test_fig8_model_count(benchmark, table):
+    results = benchmark(_count_everything)
+
+    table("Fig 8: model counts of the K/L/A/P circuit (paper: 9 of 16)",
+          [["Decision-DNNF", results["ddnnf_count"],
+            results["ddnnf_edges"]],
+           ["smoothed d-DNNF", results["smooth_count"],
+            results["smooth_edges"]],
+           ["SDD", results["sdd_count"], results["sdd_size"]],
+           ["WMC, unit weights", f"{results['wmc_unit']:.1f}", "-"]],
+          headers=["route", "count", "size"])
+
+    assert results["ddnnf_count"] == 9
+    assert results["smooth_count"] == 9
+    assert results["sdd_count"] == 9
+    assert results["wmc_unit"] == 9.0
+    assert results["smooth_is_smooth"]
+    # smoothing may only add gates
+    assert results["smooth_edges"] >= results["ddnnf_edges"]

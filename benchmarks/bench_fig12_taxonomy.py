@@ -1,0 +1,73 @@
+"""FIG12 — the (partial) taxonomy of NNF circuits.
+
+Regenerates the knowledge-compilation-map placement of the circuits our
+compilers produce: raw structural NNF, DNNF-but-not-deterministic,
+Decision-DNNF, smoothed d-DNNF, SDD exports and OBDD exports — and the
+queries each language unlocks.
+"""
+
+from repro.logic import VarMap, parse, to_cnf
+from repro.compile import compile_cnf
+from repro.nnf import (NnfManager, classify, from_formula, smooth,
+                       supported_queries)
+from repro.obdd import compile_cnf_obdd, obdd_to_nnf
+from repro.sdd import compile_cnf_sdd, sdd_to_nnf
+
+FORMULA = "(P | L) & (A -> P) & (K -> (A | L))"
+
+
+def _build_zoo():
+    vm = VarMap()
+    formula = parse(FORMULA, vm)
+    cnf = to_cnf(formula)
+    manager = NnfManager()
+
+    zoo = {}
+    zoo["structural NNF (from formula)"] = from_formula(formula, manager)
+    # a decomposable but non-deterministic circuit: an OR of disjoint-
+    # variable terms that overlap semantically
+    zoo["DNNF (hand-built)"] = manager.disjoin(
+        manager.literal(1),
+        manager.conjoin(manager.literal(2), manager.literal(3)))
+    ddnnf = compile_cnf(cnf, manager=manager)
+    zoo["Decision-DNNF (compiler)"] = ddnnf
+    zoo["smoothed d-DNNF"] = smooth(ddnnf)
+    sdd, sdd_manager = compile_cnf_sdd(cnf)
+    zoo["SDD export"] = (sdd_to_nnf(sdd, manager), sdd_manager.vtree)
+    obdd, _om = compile_cnf_obdd(cnf)
+    zoo["OBDD export"] = obdd_to_nnf(obdd, manager)
+    return zoo
+
+
+def test_fig12_taxonomy(benchmark, table):
+    zoo = benchmark(_build_zoo)
+
+    rows = []
+    classifications = {}
+    for name, entry in zoo.items():
+        if isinstance(entry, tuple):
+            circuit, vtree = entry
+            languages = classify(circuit, vtree=vtree)
+            info = supported_queries(circuit, vtree=vtree)
+        else:
+            circuit = entry
+            languages = classify(circuit)
+            info = supported_queries(circuit)
+        classifications[name] = languages
+        rows.append((name, " ⊂ ".join(languages), info["language"],
+                     info["unlocks"] or "-"))
+    table("Fig 12: taxonomy placement of compiled circuits",
+          [[name, langs, most, unlocks]
+           for name, langs, most, unlocks in rows],
+          headers=["circuit", "languages", "most specific", "unlocks"])
+
+    # shape: the hierarchy NNF ⊇ DNNF ⊇ d-DNNF holds where expected
+    assert classifications["structural NNF (from formula)"] == ["NNF"]
+    assert classifications["DNNF (hand-built)"][-1] == "DNNF"
+    assert "Decision-DNNF" in classifications["Decision-DNNF (compiler)"]
+    assert "sd-DNNF" in classifications["smoothed d-DNNF"]
+    assert "SDD" in classifications["SDD export"]
+    assert "OBDD" in classifications["OBDD export"]
+    # every language list starts at NNF and is a chain
+    for languages in classifications.values():
+        assert languages[0] == "NNF"

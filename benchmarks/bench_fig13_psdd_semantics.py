@@ -1,0 +1,65 @@
+"""FIG13/14 — PSDD semantics on the paper's running circuit.
+
+Regenerates the Fig 14 table: a probability for each of the 9
+satisfying inputs summing to exactly 1, probability 0 for each of the
+7 unsatisfying inputs, and the compositional or-gate distributions.
+"""
+
+from repro.logic import VarMap, iter_assignments, parse, to_cnf
+from repro.psdd import learn_parameters, psdd_from_sdd, support_size
+from repro.sdd import compile_cnf_sdd
+
+CONSTRAINT = "(P | L) & (A -> P) & (K -> (A | L))"
+
+
+def _build_and_tabulate():
+    vm = VarMap()
+    formula = parse(CONSTRAINT, vm)
+    cnf = to_cnf(formula)
+    sdd, _manager = compile_cnf_sdd(cnf)
+    psdd = psdd_from_sdd(sdd)
+    # quantify with the Fig 15 data so the parameters are meaningful
+    P, L, A, K = (vm.index(n) for n in "PLAK")
+    data = [({L: 1, K: 1, P: 1, A: 1}, 6), ({L: 1, K: 1, P: 1, A: 0}, 10),
+            ({L: 1, K: 0, P: 1, A: 1}, 4), ({L: 1, K: 0, P: 1, A: 0}, 54),
+            ({L: 0, K: 1, P: 1, A: 1}, 8), ({L: 0, K: 0, P: 1, A: 1}, 4),
+            ({L: 0, K: 0, P: 1, A: 0}, 114),
+            ({L: 1, K: 1, P: 0, A: 0}, 10), ({L: 1, K: 0, P: 0, A: 0}, 30)]
+    data = [({v: bool(s) for v, s in row.items()}, c) for row, c in data]
+    learn_parameters(psdd, data)
+    rows = []
+    for assignment in iter_assignments([1, 2, 3, 4]):
+        rows.append((tuple(int(assignment[v]) for v in (1, 2, 3, 4)),
+                     formula.evaluate(assignment),
+                     psdd.probability(assignment)))
+    gate_distributions = [
+        [round(theta, 4) for _p, _s, theta in node.elements]
+        for node in psdd.descendants() if node.is_decision
+        and len(node.elements) > 1]
+    return vm, psdd, rows, gate_distributions
+
+
+def test_fig13_psdd_semantics(benchmark, table):
+    vm, psdd, rows, gates = benchmark(_build_and_tabulate)
+
+    names = [vm.name(v) for v in (1, 2, 3, 4)]
+    table("Fig 14: the PSDD distribution over all 16 inputs",
+          [[" ".join(f"{n}={s}" for n, s in zip(names, state)),
+            "sat" if sat else "unsat", f"{p:.4f}"]
+           for state, sat, p in rows],
+          headers=["input", "circuit", "Pr"])
+    table("Fig 13: or-gate local distributions (each sums to 1)",
+          [[str(g), f"{sum(g):.4f}"] for g in gates],
+          headers=["thetas", "sum"])
+
+    assert support_size(psdd) == 9
+    total = sum(p for _s, _sat, p in rows)
+    assert abs(total - 1.0) < 1e-12
+    for _state, sat, p in rows:
+        if not sat:
+            assert p == 0.0
+        else:
+            assert p >= 0.0
+    for gate in gates:
+        assert abs(sum(gate) - 1.0) < 1e-9
+    assert sum(1 for _s, sat, _p in rows if sat) == 9

@@ -1,0 +1,96 @@
+"""FIG15 — learning with vs without symbolic knowledge.
+
+The paper's argument for using knowledge: it removes impossible
+states, needs less data, and yields more robust estimates.  We compare
+the constraint-aware PSDD against an unconstrained baseline (PSDD over
+the full space, i.e. no knowledge) on (a) training-set likelihood per
+parameter, (b) mass wasted on impossible combinations, and (c) test
+log-likelihood when trained on small samples.
+"""
+
+import random
+
+from repro.logic import VarMap, iter_assignments, parse, to_cnf
+from repro.psdd import (learn_parameters, log_likelihood, psdd_from_sdd,
+                        sample_dataset)
+from repro.sdd import compile_cnf_sdd
+
+CONSTRAINT = "(P | L) & (A -> P) & (K -> (A | L))"
+
+
+def _dataset(vm):
+    P, L, A, K = (vm.index(n) for n in "PLAK")
+    rows = [({L: 1, K: 1, P: 1, A: 1}, 6), ({L: 1, K: 1, P: 1, A: 0}, 10),
+            ({L: 1, K: 0, P: 1, A: 1}, 4), ({L: 1, K: 0, P: 1, A: 0}, 54),
+            ({L: 0, K: 1, P: 1, A: 1}, 8), ({L: 0, K: 0, P: 1, A: 1}, 4),
+            ({L: 0, K: 0, P: 1, A: 0}, 114),
+            ({L: 1, K: 1, P: 0, A: 0}, 10),
+            ({L: 1, K: 0, P: 0, A: 0}, 30)]
+    return [({v: bool(s) for v, s in row.items()}, c) for row, c in rows]
+
+
+def _experiment():
+    vm = VarMap()
+    formula = parse(CONSTRAINT, vm)
+    cnf = to_cnf(formula)
+    data = _dataset(vm)
+
+    constrained_sdd, manager = compile_cnf_sdd(cnf)
+    constrained = psdd_from_sdd(constrained_sdd)
+    unconstrained = psdd_from_sdd(manager.true)
+    learn_parameters(constrained, data, alpha=1.0)
+    learn_parameters(unconstrained, data, alpha=1.0)
+
+    constrained_ll = log_likelihood(constrained, data)
+    unconstrained_ll = log_likelihood(unconstrained, data)
+    wasted = sum(unconstrained.probability(a)
+                 for a in iter_assignments([1, 2, 3, 4])
+                 if not formula.evaluate(a))
+
+    # small-sample robustness: train on n samples of the "truth" (the
+    # constrained ML fit on all data), evaluate on a large test set
+    rng = random.Random(15)
+    truth = constrained
+    test = sample_dataset(truth, 2000, rng)
+    small_sample_rows = []
+    for n in (10, 25, 50, 100):
+        train = sample_dataset(truth, n, rng)
+        with_knowledge = psdd_from_sdd(constrained_sdd)
+        learn_parameters(with_knowledge, train, alpha=1.0)
+        without = psdd_from_sdd(manager.true)
+        learn_parameters(without, train, alpha=1.0)
+        small_sample_rows.append(
+            (n, log_likelihood(with_knowledge, test) / 2000,
+             log_likelihood(without, test) / 2000))
+    return {
+        "params": (constrained.parameter_count(),
+                   unconstrained.parameter_count()),
+        "train_ll": (constrained_ll, unconstrained_ll),
+        "wasted": wasted,
+        "curve": small_sample_rows,
+    }
+
+
+def test_fig15_learning_with_knowledge(benchmark, table):
+    results = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+    cp, up = results["params"]
+    cll, ull = results["train_ll"]
+    table("Fig 15: constraint-aware PSDD vs no-knowledge baseline",
+          [["free parameters", cp, up],
+           ["support size", 9, 16],
+           ["train log-likelihood", f"{cll:.2f}", f"{ull:.2f}"],
+           ["mass on impossible states", "0.0000",
+            f"{results['wasted']:.4f}"]],
+          headers=["metric", "with knowledge", "without"])
+    table("test log-likelihood per example vs training-set size",
+          [[n, f"{with_k:.4f}", f"{without:.4f}"]
+           for n, with_k, without in results["curve"]],
+          headers=["n train", "with knowledge", "without"])
+
+    # shape: knowledge wastes no mass, the baseline wastes some; with
+    # small data the constrained model generalizes at least as well
+    assert results["wasted"] > 0.01
+    assert cll >= ull  # knowledge can only help the fit
+    wins = sum(1 for _n, a, b in results["curve"] if a >= b - 1e-9)
+    assert wins >= len(results["curve"]) - 1

@@ -1,0 +1,65 @@
+"""FIG16 — encoding and learning route distributions on grid maps.
+
+Regenerates: valid-route counts per grid size, circuit sizes, the
+degree-relaxation gap (why dedicated route compilation exists), and a
+route-learning accuracy check (learned edge marginals match the
+generating distribution).
+"""
+
+import random
+
+from repro.sat import count_models
+from repro.sdd import model_count
+from repro.spaces import (RouteModel, degree_relaxation_cnf,
+                          grid_map, route_space_sdd)
+
+
+def _route_experiment():
+    rows = []
+    for rows_n, cols_n in ((2, 2), (2, 3), (3, 3), (3, 4)):
+        gm = grid_map(rows_n, cols_n)
+        source, destination = (0, 0), (rows_n - 1, cols_n - 1)
+        sdd, _manager, routes = route_space_sdd(gm, source, destination)
+        relaxation = count_models(degree_relaxation_cnf(
+            gm, source, destination))
+        rows.append((f"{rows_n}x{cols_n}", gm.num_edges, len(routes),
+                     model_count(sdd), relaxation, sdd.size()))
+
+    # learning: plant a distribution, learn from samples, compare
+    gm = grid_map(3, 3)
+    model = RouteModel(gm, (0, 0), (2, 2))
+    rng = random.Random(16)
+    weights = [3 if route[1] == (0, 1) else 1 for route in model.routes]
+    trajectories = rng.choices(model.routes, weights=weights, k=2000)
+    model.fit(trajectories, alpha=0.0)
+    total = sum(weights)
+    planted_edge = sum(w for route, w in zip(model.routes, weights)
+                       if route[1] == (0, 1)) / total
+    learned_edge = model.edge_marginal((0, 0), (0, 1))
+    empirical_edge = sum(1 for t in trajectories
+                         if t[1] == (0, 1)) / len(trajectories)
+    return rows, planted_edge, learned_edge, empirical_edge
+
+
+def test_fig16_routes(benchmark, table):
+    rows, planted, learned, empirical = benchmark.pedantic(
+        _route_experiment, rounds=1, iterations=1)
+
+    table("Fig 16: route spaces on grids (corner to corner)",
+          [[grid, edges, routes, sdd_models, relax, size]
+           for grid, edges, routes, sdd_models, relax, size in rows],
+          headers=["grid", "edges", "simple routes", "SDD models",
+                   "degree-CNF models", "SDD size"])
+    table("route learning on the 3x3 grid",
+          [["Pr(first street is (0,0)-(0,1))", f"{planted:.3f}",
+            f"{empirical:.3f}", f"{learned:.3f}"]],
+          headers=["edge marginal", "planted", "empirical", "learned"])
+
+    for _grid, _edges, routes, sdd_models, relax, _size in rows:
+        assert sdd_models == routes           # SDD == exact space
+        assert relax >= routes                # relaxation is a superset
+    assert rows[2][2] == 12                   # 3x3 corner-to-corner
+    # the 3x3 relaxation admits spurious cycle models
+    assert rows[2][4] > rows[2][2]
+    assert abs(learned - empirical) < 1e-9    # exact ML on full support
+    assert abs(learned - planted) < 0.05

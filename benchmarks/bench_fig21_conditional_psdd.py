@@ -1,0 +1,70 @@
+"""FIG21/24 — the paper's conditional PSDD and its two distributions.
+
+Regenerates the right side of Fig 21: the conditional distribution
+table for parent state a0,b0 (structured space x0 ∨ y0) and for the
+remaining parent states (space x1 ∨ y1), plus the Fig 24 selection
+behaviour.
+"""
+
+from repro.condpsdd import ConditionalPsdd
+from repro.psdd import support_size
+from repro.sdd import SddManager
+from repro.vtree import balanced_vtree
+
+A, B, X, Y = 1, 2, 3, 4
+
+
+def _build_fig21():
+    parent_manager = SddManager(balanced_vtree([A, B]))
+    child_manager = SddManager(balanced_vtree([X, Y]))
+    gate_a0b0 = parent_manager.term([-A, -B])
+    gate_rest = parent_manager.negate(gate_a0b0)
+    conditional = ConditionalPsdd(
+        [(gate_a0b0, child_manager.clause([-X, -Y])),
+         (gate_rest, child_manager.clause([X, Y]))],
+        parent_manager, child_manager)
+    data = [
+        ({A: False, B: False}, {X: False, Y: False}, 4),
+        ({A: False, B: False}, {X: False, Y: True}, 3),
+        ({A: False, B: False}, {X: True, Y: False}, 1),
+        ({A: True, B: False}, {X: True, Y: True}, 5),
+        ({A: False, B: True}, {X: True, Y: False}, 2),
+        ({A: True, B: True}, {X: False, Y: True}, 1),
+    ]
+    conditional.fit(data)
+    tables = {}
+    for label, parent in (("a0,b0", {A: False, B: False}),
+                          ("a1,b0", {A: True, B: False}),
+                          ("a0,b1", {A: False, B: True}),
+                          ("a1,b1", {A: True, B: True})):
+        rows = []
+        for x in (False, True):
+            for y in (False, True):
+                rows.append((int(x), int(y),
+                             conditional.probability({X: x, Y: y},
+                                                     parent)))
+        tables[label] = rows
+    return conditional, tables
+
+
+def test_fig21_conditional_psdd(benchmark, table):
+    conditional, tables = benchmark(_build_fig21)
+
+    for label, rows in tables.items():
+        table(f"Fig 21/24: Pr(X, Y | {label})",
+              [[x, y, f"{p:.4f}"] for x, y, p in rows],
+              headers=["x", "y", "Pr"])
+
+    # Fig 24: a0,b0 selects one distribution; all other states share
+    # the other — so the three non-a0b0 tables must be identical
+    assert tables["a1,b0"] == tables["a0,b1"] == tables["a1,b1"]
+    assert tables["a0,b0"] != tables["a1,b0"]
+    # structured spaces: x1,y1 impossible under a0,b0; x0,y0 impossible
+    # elsewhere
+    assert tables["a0,b0"][3][2] == 0.0
+    assert tables["a1,b1"][0][2] == 0.0
+    # each conditional distribution is normalized
+    for rows in tables.values():
+        assert abs(sum(p for _x, _y, p in rows) - 1.0) < 1e-9
+    # both context spaces have 3 of the 4 assignments
+    assert all(support_size(p) == 3 for p in conditional.psdds)

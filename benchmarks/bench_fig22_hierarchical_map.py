@@ -1,0 +1,97 @@
+"""FIG22 (with Figs 18–20) — hierarchical vs flat map compilation.
+
+The paper's point: hierarchical maps scale route compilation (San
+Francisco's 10,500 edges became an 8.9M-edge PSDD).  At our synthetic
+scale we regenerate the *shape*: as maps grow, the hierarchical
+representation's size grows more slowly than the flat PSDD over the
+same (hierarchical) route space, while representing the identical
+distribution.
+"""
+
+import random
+
+from repro.condpsdd import HierarchicalMap, NestedHierarchicalMap
+from repro.psdd import psdd_from_sdd
+from repro.sdd import SddManager, compile_terms_sdd
+from repro.spaces import grid_map
+from repro.vtree import balanced_vtree
+
+
+def _compare(rows_n, cols_n):
+    gm = grid_map(rows_n, cols_n)
+    split = cols_n // 2
+    regions = {"west": [(r, c) for r in range(rows_n)
+                        for c in range(split)],
+               "east": [(r, c) for r in range(rows_n)
+                        for c in range(split, cols_n)]}
+    source, destination = (0, 0), (rows_n - 1, cols_n - 1)
+    hm = HierarchicalMap(gm, regions, source, destination)
+    # flat model over the SAME route space, for a fair size comparison
+    terms = []
+    for route in hm.routes:
+        assignment = gm.route_assignment(route)
+        terms.append([v if value else -v
+                      for v, value in sorted(assignment.items())])
+    manager = SddManager(balanced_vtree(gm.variables()))
+    flat_sdd = compile_terms_sdd(terms, manager)
+    flat = psdd_from_sdd(flat_sdd)
+    return gm, hm, flat
+
+
+def _experiment():
+    size_rows = []
+    for dims in ((2, 4), (3, 4), (3, 6)):
+        gm, hm, flat = _compare(*dims)
+        size_rows.append((f"{dims[0]}x{dims[1]}", gm.num_edges,
+                          len(hm.routes), flat.size(), hm.size()))
+    # agreement of the two representations on a learned distribution
+    gm, hm, flat = _compare(3, 4)
+    rng = random.Random(22)
+    trajectories = [hm.routes[rng.randrange(len(hm.routes))]
+                    for _ in range(400)]
+    hm.fit(trajectories, alpha=0.1)
+    total_mass = sum(hm.route_probability(route) for route in hm.routes)
+
+    # the Fig 18 three-level structure on the largest map
+    gm3 = grid_map(3, 6)
+    nested = NestedHierarchicalMap(gm3, {
+        "west": {
+            "northwest": [(r, c) for r in range(2) for c in range(3)],
+            "southwest": [(2, c) for c in range(3)],
+        },
+        "east": [(r, c) for r in range(3) for c in range(3, 6)],
+    }, (0, 0), (2, 5))
+    nested_trajs = [nested.routes[rng.randrange(len(nested.routes))]
+                    for _ in range(300)]
+    nested.fit(nested_trajs, alpha=0.05)
+    nested_mass = sum(nested.route_probability(r)
+                      for r in nested.routes)
+    nested_stats = (len(nested.routes), nested.size(), nested_mass)
+    return size_rows, total_mass, nested_stats
+
+
+def test_fig22_hierarchical_map(benchmark, table):
+    size_rows, total_mass, nested_stats = benchmark.pedantic(
+        _experiment, rounds=1, iterations=1)
+
+    table("Figs 18-22: hierarchical vs flat compilation",
+          [[grid, edges, routes, flat, hier,
+            f"{flat / hier:.2f}x"]
+           for grid, edges, routes, flat, hier in size_rows],
+          headers=["grid", "edges", "routes", "flat PSDD size",
+                   "hierarchical size", "flat/hier"])
+    print(f"\n  hierarchical distribution total mass over its route "
+          f"space: {total_mass:.6f}")
+    nested_routes, nested_size, nested_mass = nested_stats
+    table("Fig 18: three-level nesting (west = {northwest, southwest})",
+          [["3x6 grid", nested_routes, nested_size,
+            f"{nested_mass:.6f}"]],
+          headers=["map", "routes", "circuit size", "total mass"])
+
+    # shape: the hierarchical representation wins on the larger maps and
+    # the advantage grows with map size
+    ratios = [flat / hier for _g, _e, _r, flat, hier in size_rows]
+    assert ratios[-1] > 1.0
+    assert ratios[-1] >= ratios[0]
+    assert abs(total_mass - 1.0) < 1e-9
+    assert abs(nested_mass - 1.0) < 1e-9

@@ -1,0 +1,63 @@
+"""FIG26 — prime implicants and sufficient reasons of a Boolean function.
+
+Regenerates the figure exactly: the prime implicants of
+f = (A + ¬C)(B + C)(A + B) and of its complement, the sufficient
+reasons of the positive instance A,B,¬C (AB and B¬C) and of the
+negative instance ¬A,B,C (the single reason ¬A∧C).
+"""
+
+from repro.explain import all_sufficient_reasons, reason_circuit, \
+    reason_prime_implicants
+from repro.logic import (Not, VarMap, parse,
+                         prime_implicants_of_formula)
+from repro.obdd import ObddManager, compile_formula
+
+FUNCTION = "(A | ~C) & (B | C) & (A | B)"
+
+
+def _analyse():
+    vm = VarMap()
+    f = parse(FUNCTION, vm)
+    a, c, b = vm.index("A"), vm.index("C"), vm.index("B")
+    manager = ObddManager([a, b, c])
+    node = compile_formula(f, manager)
+
+    pis = prime_implicants_of_formula(f)
+    neg_pis = prime_implicants_of_formula(Not(f), sorted(f.variables()))
+    positive_instance = {a: True, b: True, c: False}
+    negative_instance = {a: False, b: True, c: True}
+    pos_reasons = all_sufficient_reasons(node, positive_instance)
+    neg_reasons = all_sufficient_reasons(node, negative_instance)
+    pos_circuit_pis = reason_prime_implicants(
+        reason_circuit(node, positive_instance))
+    return (vm, pis, neg_pis, pos_reasons, neg_reasons,
+            pos_circuit_pis, (a, b, c))
+
+
+def test_fig26_prime_implicants(benchmark, table):
+    (vm, pis, neg_pis, pos_reasons, neg_reasons, pos_circuit_pis,
+     (a, b, c)) = benchmark(_analyse)
+
+    def pretty(term):
+        return "".join(("" if l > 0 else "~") + vm.name(abs(l))
+                       for l in sorted(term, key=abs))
+
+    table("Fig 26: f = (A + ~C)(B + C)(A + B)",
+          [["prime implicants of f", ", ".join(map(pretty, pis))],
+           ["prime implicants of ~f", ", ".join(map(pretty, neg_pis))]])
+    table("instance A,B,~C (decision 1)",
+          [["sufficient reasons", ", ".join(map(pretty, pos_reasons))],
+           ["via reason circuit", ", ".join(map(pretty,
+                                                pos_circuit_pis))]])
+    table("instance ~A,B,C (decision 0)",
+          [["sufficient reasons", ", ".join(map(pretty, neg_reasons))]])
+
+    assert set(pis) == {frozenset({a, b}), frozenset({a, c}),
+                        frozenset({b, -c})}
+    assert set(neg_pis) == {frozenset({-a, -b}), frozenset({-b, -c}),
+                            frozenset({-a, c})}
+    # paper: reasons AB and B~C for the positive instance
+    assert set(pos_reasons) == {frozenset({a, b}), frozenset({b, -c})}
+    # paper: exactly one reason, ~A C, for the negative instance
+    assert neg_reasons == [frozenset({-a, c})]
+    assert set(pos_circuit_pis) == set(pos_reasons)

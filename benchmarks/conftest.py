@@ -1,0 +1,28 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark prints the rows/series of the paper artifact it
+regenerates (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them) and asserts the qualitative shape the paper reports.
+"""
+
+import pytest
+
+
+def print_table(title, rows, headers=None):
+    """Render a small aligned table to stdout."""
+    print(f"\n## {title}")
+    if headers:
+        rows = [headers] + [["-" * len(h) for h in headers]] + \
+            [list(map(str, row)) for row in rows]
+    else:
+        rows = [list(map(str, row)) for row in rows]
+    widths = [max(len(str(row[i])) for row in rows)
+              for i in range(len(rows[0]))]
+    for row in rows:
+        print("  " + "  ".join(str(cell).ljust(w)
+                               for cell, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table():
+    return print_table

@@ -1,0 +1,66 @@
+"""Climbing the complexity ladder with one compiled circuit family.
+
+Section 2 of the paper organises probabilistic reasoning around four
+complexity classes.  This example solves one representative of each on
+the same Boolean formula — SAT (NP), #SAT/MAJSAT (PP), E-MAJSAT
+(NP^PP) and MAJMAJSAT (PP^PP) — entirely by knowledge compilation,
+then shows the probabilistic counterparts on a Bayesian network
+(MPE / MAR / MAP through the same machinery).
+
+Run:  python examples/complexity_ladder.py
+"""
+
+from repro.bayesnet import medical_network
+from repro.logic import Cnf
+from repro.solvers import (emajsat_value, majmajsat_histogram,
+                           solve_count, solve_emajsat, solve_majmajsat,
+                           solve_majsat, solve_sat)
+from repro.wmc import WmcPipeline, same_decision_probability
+
+# a small "planning under uncertainty" toy: y-variables are choices,
+# z-variables are chance; Δ(y, z) says the plan works out
+DELTA = Cnf([(1, 4), (-1, 5), (2, -5, 6), (3, 4, -6), (-2, -4),
+             (1, 2, 3)], num_vars=6)
+CHOICES = [1, 2, 3]
+
+
+def boolean_side():
+    print("=== the Boolean ladder (one formula, four classes) ===")
+    print(f"Δ has {len(DELTA)} clauses over {DELTA.num_vars} variables; "
+          f"choices Y = {CHOICES}, chance Z = [4, 5, 6]\n")
+    print(f"NP     SAT: is Δ satisfiable at all?        "
+          f"{solve_sat(DELTA)}")
+    count = solve_count(DELTA)
+    print(f"PP     #SAT / MAJSAT: {count} of 64 inputs satisfy "
+          f"-> majority? {solve_majsat(DELTA)}")
+    value, witness = emajsat_value(DELTA, CHOICES)
+    pretty = {f"y{v}": s for v, s in sorted(witness.items())}
+    print(f"NP^PP  E-MAJSAT: best choice {pretty} makes {value} of 8 "
+          f"chance outcomes work -> majority? "
+          f"{solve_emajsat(DELTA, CHOICES)}")
+    histogram = majmajsat_histogram(DELTA, CHOICES)
+    print(f"PP^PP  MAJMAJSAT: choices by #working outcomes: "
+          f"{dict(sorted(histogram.items()))} -> majority of choices "
+          f"see a majority? {solve_majmajsat(DELTA, CHOICES)}")
+
+
+def probabilistic_side():
+    print("\n=== the probabilistic ladder (same machinery) ===")
+    network = medical_network()
+    pipeline = WmcPipeline(network, exploit_determinism=True)
+    print(f"network compiled once: {pipeline.circuit_size()} circuit "
+          "edges (0/1-aware encoding)\n")
+    instantiation, p = pipeline.mpe()
+    print(f"NP     MPE: {instantiation}  Pr = {p:.4f}")
+    print(f"PP     MAR: Pr(c=1 | T1=1, T2=1) = "
+          f"{pipeline.mar({'c': 1}, {'T1': 1, 'T2': 1}):.4f}")
+    y, py = pipeline.map_query(["sex", "c"])
+    print(f"NP^PP  MAP: argmax over (sex, c) = {y}, Pr = {py:.4f}")
+    s = same_decision_probability(network, "c", 1, 0.9, ["T1", "T2"])
+    print(f"PP^PP  SDP: Pr the operate-decision sticks after the tests "
+          f"= {s:.4f}")
+
+
+if __name__ == "__main__":
+    boolean_side()
+    probabilistic_side()

@@ -1,0 +1,56 @@
+"""The Fig 2 medical network: MPE, MAR, MAP and SDP — twice.
+
+Once with the classical dedicated algorithms (variable elimination +
+enumeration), and once through the modern route the paper advocates:
+encode the network as a weighted CNF, compile it once into a tractable
+circuit, and answer queries by circuit evaluations.
+
+Run:  python examples/medical_diagnosis.py
+"""
+
+from repro.bayesnet import map_query, mar, medical_network, mpe, sdp
+from repro.wmc import WmcPipeline
+
+
+def main():
+    network = medical_network()
+    print("Fig 2 medical network:", ", ".join(network.variables))
+    print(f"({network.parameter_count()} CPT parameters)\n")
+
+    # -- dedicated algorithms --------------------------------------------
+    print("--- dedicated algorithms (variable elimination) ---")
+    instantiation, p = mpe(network)
+    pretty = ", ".join(f"{k}={v}" for k, v in instantiation.items())
+    print(f"MPE  (NP):    {pretty}  with Pr = {p:.4f}")
+    for name in network.variables:
+        print(f"MAR  (PP):    Pr({name}=1) = {mar(network, {name: 1}):.4f}")
+    y, py = map_query(network, ["sex", "c"])
+    print(f"MAP  (NP^PP): argmax over (sex, c) = {y}, Pr = {py:.4f}")
+    s = sdp(network, "c", 1, 0.9, ["T1", "T2"])
+    print(f"SDP  (PP^PP): Pr the decision [Pr(c) >= 0.9] sticks after "
+          f"seeing T1, T2 = {s:.4f}\n")
+
+    # -- the reduction route ------------------------------------------------
+    print("--- compile once, query many (BN -> CNF -> d-DNNF) ---")
+    pipeline = WmcPipeline(network, encoding="multistate")
+    print(f"encoding: {len(pipeline.encoding.cnf)} clauses over "
+          f"{pipeline.encoding.cnf.num_vars} variables; compiled circuit "
+          f"has {pipeline.circuit_size()} edges")
+    inst2, p2 = pipeline.mpe()
+    print(f"MPE via circuit:  Pr = {p2:.4f} "
+          f"({'agrees' if abs(p2 - p) < 1e-9 else 'DISAGREES'})")
+    marginals = pipeline.marginals()
+    print("all marginals from ONE differential pass:")
+    for name in network.variables:
+        ve = mar(network, {name: 1})
+        circuit = marginals[name][1]
+        flag = "ok" if abs(ve - circuit) < 1e-9 else "MISMATCH"
+        print(f"  Pr({name}=1) = {circuit:.4f}   [{flag}]")
+    print("\nposterior after a positive first test:")
+    print(f"  Pr(c=1 | T1=1) = {pipeline.mar({'c': 1}, {'T1': 1}):.4f}")
+    print(f"  Pr(c=1 | T1=1, T2=1) = "
+          f"{pipeline.mar({'c': 1}, {'T1': 1, 'T2': 1}):.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Discrete Bayesian networks, variable elimination, the Fig 2 queries."""
+
+from .factor import Factor
+from .network import BayesianNetwork, Cpt
+from .elimination import eliminate, marginal, min_fill_order, posterior
+from .queries import (d_map, d_mar, d_mpe, d_sdp, map_query, mar, mpe, sdp)
+from .examples import chain_network, medical_network, random_network
+from .sampling import (forward_sample, gibbs_sampling,
+                       likelihood_weighting, sample_dataset)
+
+__all__ = ["Factor", "BayesianNetwork", "Cpt", "eliminate", "marginal",
+           "min_fill_order", "posterior", "d_map", "d_mar", "d_mpe",
+           "d_sdp", "map_query", "mar", "mpe", "sdp", "chain_network",
+           "medical_network", "random_network", "forward_sample",
+           "likelihood_weighting", "sample_dataset", "gibbs_sampling"]

@@ -1,0 +1,102 @@
+"""Example networks from the paper.
+
+* :func:`medical_network` — the Fig 2 network (sex, c, T1, T2, AGREE).
+  The paper does not print its CPTs, so we quantify it with plausible
+  numbers (documented below); the *queries and their complexity story*
+  are what the figure demonstrates, not particular values.
+* :func:`chain_network` — the Fig 4 network A → B, A → C, parameterised
+  by the ten θ values.
+* :func:`random_network` — random binary networks for benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+import numpy as np
+
+from .network import BayesianNetwork
+
+__all__ = ["medical_network", "chain_network", "random_network"]
+
+
+def medical_network() -> BayesianNetwork:
+    """The Fig 2 medical network.
+
+    States: every variable is binary with state 1 = "true"/"positive"/
+    "male" and state 0 the complement.  Quantification (not given in the
+    paper; chosen so the condition is rare, the tests are good but
+    imperfect, and AGREE is the deterministic indicator T1 == T2):
+
+    * Pr(sex = male) = 0.55
+    * Pr(c | male) = 0.05,  Pr(c | female) = 0.01
+    * Pr(T1 = +ve | c) = 0.95, Pr(T1 = +ve | ¬c) = 0.02
+    * Pr(T2 = +ve | c) = 0.90, Pr(T2 = +ve | ¬c) = 0.05
+    * AGREE = 1 iff T1 == T2 (0/1 CPT)
+
+    The test accuracies are strong enough that observing both tests
+    positive pushes Pr(c | T1, T2) above 0.9 — so the Fig 2 SDP story
+    ("operate if Pr(c) > 90%"; how likely is that decision to stick
+    after seeing the tests?) is non-trivial on this quantification.
+    """
+    network = BayesianNetwork()
+    network.add_variable("sex", (), [0.45, 0.55])
+    network.add_variable("c", ("sex",), [[0.99, 0.01], [0.95, 0.05]])
+    network.add_variable("T1", ("c",), [[0.98, 0.02], [0.05, 0.95]])
+    network.add_variable("T2", ("c",), [[0.95, 0.05], [0.10, 0.90]])
+    agree = np.zeros((2, 2, 2))
+    for t1 in (0, 1):
+        for t2 in (0, 1):
+            agree[t1, t2, int(t1 == t2)] = 1.0
+    network.add_variable("AGREE", ("T1", "T2"), agree)
+    return network
+
+
+def chain_network(theta_a: float = 0.6,
+                  theta_b_given_a: Sequence[float] = (0.2, 0.9),
+                  theta_c_given_a: Sequence[float] = (0.7, 0.3)
+                  ) -> BayesianNetwork:
+    """The Fig 4 network over binary A, B, C with A → B and A → C.
+
+    ``theta_b_given_a[i]`` is Pr(B=1 | A=i); likewise for C.  The
+    network has ten parameters, as the paper notes.
+    """
+    network = BayesianNetwork()
+    network.add_variable("A", (), [1 - theta_a, theta_a])
+    network.add_variable("B", ("A",), [
+        [1 - theta_b_given_a[0], theta_b_given_a[0]],
+        [1 - theta_b_given_a[1], theta_b_given_a[1]]])
+    network.add_variable("C", ("A",), [
+        [1 - theta_c_given_a[0], theta_c_given_a[0]],
+        [1 - theta_c_given_a[1], theta_c_given_a[1]]])
+    return network
+
+
+def random_network(num_vars: int, max_parents: int = 2,
+                   rng: random.Random | None = None,
+                   zero_fraction: float = 0.0) -> BayesianNetwork:
+    """A random binary Bayesian network.
+
+    ``zero_fraction`` forces that fraction of CPT rows to be
+    deterministic (0/1 rows) — the regime in which the paper notes
+    reduction-based approaches shine (determinism and context-specific
+    independence, Section 2).
+    """
+    rng = rng or random.Random()
+    network = BayesianNetwork()
+    names = [f"X{i}" for i in range(num_vars)]
+    for i, name in enumerate(names):
+        pool = names[:i]
+        count = min(len(pool), rng.randint(0, max_parents))
+        parents = rng.sample(pool, count) if count else []
+        shape = (2,) * len(parents)
+        rows = np.empty(shape + (2,))
+        for index in np.ndindex(*shape) if parents else [()]:
+            if rng.random() < zero_fraction:
+                p = float(rng.random() < 0.5)
+            else:
+                p = rng.uniform(0.05, 0.95)
+            rows[index] = [1 - p, p]
+        network.add_variable(name, parents, rows)
+    return network

@@ -1,0 +1,141 @@
+"""Discrete factors (potentials) over named variables, on numpy.
+
+A :class:`Factor` maps joint states of its variables to non-negative
+reals.  Factors are the working objects of variable elimination:
+multiply, sum out, max out, reduce by evidence, normalize.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Factor"]
+
+
+class Factor:
+    """An immutable factor.
+
+    Parameters
+    ----------
+    variables:
+        Ordered variable names; one array axis per variable.
+    cardinalities:
+        Mapping of each variable to its number of states.
+    values:
+        Array of shape ``tuple(cardinalities[v] for v in variables)``.
+    """
+
+    __slots__ = ("variables", "cardinalities", "values")
+
+    def __init__(self, variables: Sequence[str],
+                 cardinalities: Mapping[str, int],
+                 values: np.ndarray):
+        variables = tuple(variables)
+        if len(set(variables)) != len(variables):
+            raise ValueError("duplicate variables in factor")
+        shape = tuple(cardinalities[v] for v in variables)
+        values = np.asarray(values, dtype=float)
+        if values.shape != shape:
+            raise ValueError(f"values shape {values.shape} != {shape}")
+        object.__setattr__(self, "variables", variables)
+        object.__setattr__(self, "cardinalities",
+                           {v: cardinalities[v] for v in variables})
+        object.__setattr__(self, "values", values)
+
+    def __setattr__(self, *args):
+        raise AttributeError("Factor objects are immutable")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def unit(cls) -> "Factor":
+        """The empty factor with value 1 (multiplicative identity)."""
+        return cls((), {}, np.array(1.0))
+
+    @classmethod
+    def from_dict(cls, variables: Sequence[str],
+                  cardinalities: Mapping[str, int],
+                  table: Mapping[Tuple[int, ...], float]) -> "Factor":
+        """Build from a dict of state-tuples (missing entries are 0)."""
+        shape = tuple(cardinalities[v] for v in variables)
+        values = np.zeros(shape)
+        for state, value in table.items():
+            values[state] = value
+        return cls(variables, cardinalities, values)
+
+    # -- views ---------------------------------------------------------------
+    def __call__(self, assignment: Mapping[str, int]) -> float:
+        """Value at a (super)assignment of the factor's variables."""
+        index = tuple(assignment[v] for v in self.variables)
+        return float(self.values[index])
+
+    def __repr__(self) -> str:
+        return f"Factor({', '.join(self.variables)})"
+
+    def total(self) -> float:
+        return float(self.values.sum())
+
+    # -- algebra ---------------------------------------------------------------
+    def multiply(self, other: "Factor") -> "Factor":
+        """Pointwise product, aligning shared variables."""
+        variables = list(self.variables)
+        variables += [v for v in other.variables if v not in variables]
+        cards = {**self.cardinalities, **other.cardinalities}
+        for v in set(self.variables) & set(other.variables):
+            if self.cardinalities[v] != other.cardinalities[v]:
+                raise ValueError(f"cardinality mismatch on {v}")
+        lhs = self._broadcast(variables, cards)
+        rhs = other._broadcast(variables, cards)
+        return Factor(variables, cards, lhs * rhs)
+
+    def _broadcast(self, variables: List[str],
+                   cards: Mapping[str, int]) -> np.ndarray:
+        axes = [variables.index(v) for v in self.variables]
+        expanded = np.moveaxis(
+            self.values.reshape(self.values.shape + (1,) * (
+                len(variables) - len(self.variables))),
+            range(len(self.variables)), axes)
+        shape = tuple(cards[v] for v in variables)
+        return np.broadcast_to(expanded, shape)
+
+    def sum_out(self, variables: Iterable[str]) -> "Factor":
+        """Marginalize the given variables away by summation."""
+        return self._reduce_axes(variables, np.sum)
+
+    def max_out(self, variables: Iterable[str]) -> "Factor":
+        """Marginalize the given variables away by maximisation."""
+        return self._reduce_axes(variables, np.max)
+
+    def _reduce_axes(self, variables: Iterable[str], op) -> "Factor":
+        drop = [v for v in variables if v in self.variables]
+        if not drop:
+            return self
+        axes = tuple(self.variables.index(v) for v in drop)
+        remaining = [v for v in self.variables if v not in drop]
+        values = op(self.values, axis=axes)
+        return Factor(remaining, self.cardinalities, values)
+
+    def reduce(self, evidence: Mapping[str, int]) -> "Factor":
+        """Fix evidence variables to given states (drops those axes)."""
+        relevant = {v: s for v, s in evidence.items()
+                    if v in self.variables}
+        if not relevant:
+            return self
+        index = tuple(relevant.get(v, slice(None)) for v in self.variables)
+        remaining = [v for v in self.variables if v not in relevant]
+        return Factor(remaining, self.cardinalities, self.values[index])
+
+    def normalize(self) -> "Factor":
+        """Scale to total mass 1 (raises on the zero factor)."""
+        total = self.values.sum()
+        if total == 0:
+            raise ZeroDivisionError("cannot normalize a zero factor")
+        return Factor(self.variables, self.cardinalities,
+                      self.values / total)
+
+    def argmax(self) -> Dict[str, int]:
+        """The state of maximal value (ties broken lexicographically)."""
+        flat = int(np.argmax(self.values))
+        state = np.unravel_index(flat, self.values.shape)
+        return dict(zip(self.variables, map(int, state)))

@@ -1,0 +1,142 @@
+"""Discrete Bayesian networks.
+
+A network is a DAG of named variables; each variable carries a CPT
+conditioned on its parents (Fig 2, Fig 4).  The induced distribution is
+the product of CPT entries compatible with each joint instantiation —
+exactly the table the paper shows in Fig 4.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .factor import Factor
+
+__all__ = ["BayesianNetwork", "Cpt"]
+
+
+class Cpt:
+    """A conditional probability table.
+
+    ``values`` has shape ``(*parent cards, own card)``; each slice over
+    the last axis must sum to 1.
+    """
+
+    __slots__ = ("variable", "parents", "values")
+
+    def __init__(self, variable: str, parents: Sequence[str],
+                 values: np.ndarray):
+        values = np.asarray(values, dtype=float)
+        if np.any(values < 0):
+            raise ValueError(f"negative probability in CPT of {variable}")
+        sums = values.sum(axis=-1)
+        if not np.allclose(sums, 1.0):
+            raise ValueError(
+                f"CPT rows of {variable} must sum to 1 (got {sums})")
+        self.variable = variable
+        self.parents = tuple(parents)
+        self.values = values
+
+    @property
+    def cardinality(self) -> int:
+        return self.values.shape[-1]
+
+    def __repr__(self) -> str:
+        if self.parents:
+            return f"Cpt({self.variable} | {', '.join(self.parents)})"
+        return f"Cpt({self.variable})"
+
+
+class BayesianNetwork:
+    """A Bayesian network over named discrete variables."""
+
+    def __init__(self):
+        self._cpts: Dict[str, Cpt] = {}
+        self._order: List[str] = []
+
+    # -- construction -----------------------------------------------------------
+    def add_variable(self, name: str, parents: Sequence[str],
+                     values) -> "BayesianNetwork":
+        """Add a variable with its CPT.  Parents must already exist.
+
+        Returns self so calls can be chained.
+        """
+        if name in self._cpts:
+            raise ValueError(f"variable {name!r} already present")
+        for parent in parents:
+            if parent not in self._cpts:
+                raise ValueError(f"unknown parent {parent!r} of {name!r}")
+        cpt = Cpt(name, parents, np.asarray(values, dtype=float))
+        expected = tuple(self.cardinality(p) for p in parents) + \
+            (cpt.cardinality,)
+        if cpt.values.shape != expected:
+            raise ValueError(
+                f"CPT of {name!r} has shape {cpt.values.shape}, "
+                f"expected {expected}")
+        self._cpts[name] = cpt
+        self._order.append(name)
+        return self
+
+    # -- structure ---------------------------------------------------------------
+    @property
+    def variables(self) -> List[str]:
+        """Variables in insertion (hence topological) order."""
+        return list(self._order)
+
+    def cpt(self, name: str) -> Cpt:
+        return self._cpts[name]
+
+    def parents(self, name: str) -> Tuple[str, ...]:
+        return self._cpts[name].parents
+
+    def cardinality(self, name: str) -> int:
+        return self._cpts[name].cardinality
+
+    def cardinalities(self) -> Dict[str, int]:
+        return {v: self.cardinality(v) for v in self._order}
+
+    def parameter_count(self) -> int:
+        """Total number of CPT entries (Fig 4's network has ten)."""
+        return sum(cpt.values.size for cpt in self._cpts.values())
+
+    def factors(self) -> List[Factor]:
+        """One factor per CPT (the VE starting point)."""
+        cards = self.cardinalities()
+        result = []
+        for name in self._order:
+            cpt = self._cpts[name]
+            variables = cpt.parents + (name,)
+            result.append(Factor(variables, cards, cpt.values))
+        return result
+
+    # -- joint distribution --------------------------------------------------------
+    def states(self) -> Iterator[Dict[str, int]]:
+        """All joint instantiations, in lexicographic state order."""
+        names = self._order
+        ranges = [range(self.cardinality(v)) for v in names]
+        for state in itertools.product(*ranges):
+            yield dict(zip(names, state))
+
+    def probability(self, instantiation: Mapping[str, int]) -> float:
+        """Probability of a complete instantiation: the product of
+        compatible CPT entries (the Fig 4 semantics)."""
+        value = 1.0
+        for name in self._order:
+            cpt = self._cpts[name]
+            index = tuple(instantiation[p] for p in cpt.parents) + \
+                (instantiation[name],)
+            value *= float(cpt.values[index])
+        return value
+
+    def joint_factor(self) -> Factor:
+        """The full joint as a single factor (small networks only)."""
+        result = Factor.unit()
+        for factor in self.factors():
+            result = result.multiply(factor)
+        return result
+
+    def __repr__(self) -> str:
+        return f"BayesianNetwork({len(self._order)} variables)"

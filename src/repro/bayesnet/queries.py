@@ -1,0 +1,184 @@
+"""The four queries of Fig 2: MPE, MAR, MAP, SDP — and their decision
+versions D-MPE, D-MAR, D-MAP, D-SDP that are complete for NP, PP,
+NP^PP and PP^PP respectively.
+
+These implementations are *dedicated* algorithms (VE plus enumeration
+over the query variables), the classical route the paper contrasts with
+reduction to weighted model counting; the WMC route lives in
+:mod:`repro.wmc`.  Exactness is the goal here, not scale: MAP and SDP
+enumerate the instantiations of their query/observable sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from .elimination import marginal, min_fill_order
+from .factor import Factor
+from .network import BayesianNetwork
+
+__all__ = ["mar", "mpe", "map_query", "sdp",
+           "d_mar", "d_mpe", "d_map", "d_sdp"]
+
+
+def mar(network: BayesianNetwork, query: Mapping[str, int],
+        evidence: Mapping[str, int] | None = None) -> float:
+    """MAR: the (posterior) marginal probability Pr(query | evidence).
+
+    ``query`` is a partial instantiation; with empty evidence this is
+    the paper's Pr(x).  D-MAR (PP-complete) asks whether it exceeds k.
+    """
+    evidence = dict(evidence or {})
+    query = dict(query)
+    # query variables already fixed by evidence resolve immediately
+    for name in list(query):
+        if name in evidence:
+            if evidence[name] != query.pop(name):
+                return 0.0
+    if not query:
+        return 1.0
+    factor = marginal(network, list(query), evidence)
+    numerator = factor(query)
+    denominator = factor.total()
+    if denominator == 0:
+        raise ZeroDivisionError("evidence has probability zero")
+    return numerator / denominator
+
+
+def mpe(network: BayesianNetwork,
+        evidence: Mapping[str, int] | None = None
+        ) -> Tuple[Dict[str, int], float]:
+    """MPE: a most probable *complete* instantiation extending the
+    evidence, with its joint probability Pr(x) (not conditioned).
+
+    Computed by max-product elimination, with the maximiser recovered by
+    sequential conditioning (n·k max-eliminations).
+    """
+    evidence = dict(evidence or {})
+    target = _max_value(network, evidence)
+    assignment = dict(evidence)
+    for name in network.variables:
+        if name in assignment:
+            continue
+        for state in range(network.cardinality(name)):
+            trial = {**assignment, name: state}
+            if _max_value(network, trial) >= target - 1e-12:
+                assignment[name] = state
+                break
+        else:  # numerical fallback: take the best state
+            best = max(range(network.cardinality(name)),
+                       key=lambda s: _max_value(network,
+                                                {**assignment, name: s}))
+            assignment[name] = best
+    return assignment, network.probability(assignment)
+
+
+def _max_value(network: BayesianNetwork,
+               evidence: Mapping[str, int]) -> float:
+    factors = [f.reduce(evidence) for f in network.factors()]
+    order = [v for v in min_fill_order(network, keep=evidence)
+             if v not in evidence]
+    for variable in order:
+        involved = [f for f in factors if variable in f.variables]
+        if not involved:
+            continue
+        product = involved[0]
+        for factor in involved[1:]:
+            product = product.multiply(factor)
+        factors = [f for f in factors if variable not in f.variables]
+        factors.append(product.max_out([variable]))
+    result = Factor.unit()
+    for factor in factors:
+        result = result.multiply(factor)
+    return float(result.values.max())
+
+
+def map_query(network: BayesianNetwork, map_vars: Sequence[str],
+              evidence: Mapping[str, int] | None = None
+              ) -> Tuple[Dict[str, int], float]:
+    """MAP: the most probable instantiation of ``map_vars`` (all other
+    variables summed out), with Pr(y, e).
+
+    D-MAP is NP^PP-complete; here we enumerate the (usually small) MAP
+    variable set and sum the rest out by VE.
+    """
+    evidence = dict(evidence or {})
+    best_y: Optional[Dict[str, int]] = None
+    best_p = -1.0
+    ranges = [range(network.cardinality(v)) for v in map_vars]
+    for states in itertools.product(*ranges):
+        y = dict(zip(map_vars, states))
+        if any(evidence.get(v, s) != s for v, s in y.items()):
+            continue
+        factor = marginal(network, [], {**evidence, **y})
+        p = factor.total()
+        if p > best_p:
+            best_p, best_y = p, y
+    assert best_y is not None
+    return best_y, best_p
+
+
+def sdp(network: BayesianNetwork, decision_var: str, decision_state: int,
+        threshold: float, observables: Sequence[str],
+        evidence: Mapping[str, int] | None = None) -> float:
+    """SDP: the same-decision probability [18, 31].
+
+    The current decision is ``Pr(decision_var = decision_state |
+    evidence) >= threshold``.  The SDP is the probability, over the
+    joint states y of the ``observables``, that the decision computed
+    with the extra observation y is the same:
+
+        SDP = Σ_y Pr(y | e) · [ (Pr(x | e, y) >= T) == (Pr(x | e) >= T) ]
+
+    D-SDP (is the SDP > k?) is PP^PP-complete.
+    """
+    evidence = dict(evidence or {})
+    current = mar(network, {decision_var: decision_state}, evidence)
+    current_decision = current >= threshold
+    total = 0.0
+    ranges = [range(network.cardinality(v)) for v in observables]
+    for states in itertools.product(*ranges):
+        y = dict(zip(observables, states))
+        try:
+            p_y = mar(network, y, evidence)
+        except ZeroDivisionError:
+            continue
+        if p_y == 0.0:
+            continue
+        p_x = mar(network, {decision_var: decision_state},
+                  {**evidence, **y})
+        if (p_x >= threshold) == current_decision:
+            total += p_y
+    return total
+
+
+# -- decision versions (the Fig 2 table) ----------------------------------------
+
+def d_mpe(network: BayesianNetwork, k: float,
+          evidence: Mapping[str, int] | None = None) -> bool:
+    """D-MPE (NP-complete): is there an instantiation with Pr > k?"""
+    _assignment, p = mpe(network, evidence)
+    return p > k
+
+
+def d_mar(network: BayesianNetwork, query: Mapping[str, int], k: float,
+          evidence: Mapping[str, int] | None = None) -> bool:
+    """D-MAR (PP-complete): is Pr(x | e) > k?"""
+    return mar(network, query, evidence) > k
+
+
+def d_map(network: BayesianNetwork, map_vars: Sequence[str], k: float,
+          evidence: Mapping[str, int] | None = None) -> bool:
+    """D-MAP (NP^PP-complete): is there y with Pr(y, e) > k?"""
+    _y, p = map_query(network, map_vars, evidence)
+    return p > k
+
+
+def d_sdp(network: BayesianNetwork, decision_var: str,
+          decision_state: int, threshold: float,
+          observables: Sequence[str], k: float,
+          evidence: Mapping[str, int] | None = None) -> bool:
+    """D-SDP (PP^PP-complete): is the same-decision probability > k?"""
+    return sdp(network, decision_var, decision_state, threshold,
+               observables, evidence) > k

@@ -1,0 +1,146 @@
+"""Sampling-based inference for Bayesian networks.
+
+Forward (ancestral) sampling and likelihood weighting — the standard
+approximate substrate, useful as an independent cross-check of the
+exact engines (VE and the WMC pipeline) and for generating synthetic
+datasets from networks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from .network import BayesianNetwork
+
+__all__ = ["forward_sample", "sample_dataset", "likelihood_weighting",
+           "gibbs_sampling"]
+
+
+def forward_sample(network: BayesianNetwork,
+                   rng: random.Random | None = None) -> Dict[str, int]:
+    """One ancestral sample from the joint distribution."""
+    rng = rng or random.Random()
+    sample: Dict[str, int] = {}
+    for name in network.variables:
+        cpt = network.cpt(name)
+        index = tuple(sample[p] for p in cpt.parents)
+        distribution = cpt.values[index]
+        sample[name] = _draw(distribution, rng)
+    return sample
+
+
+def _draw(distribution: np.ndarray, rng: random.Random) -> int:
+    pick = rng.random()
+    cumulative = 0.0
+    for state, p in enumerate(distribution):
+        cumulative += float(p)
+        if pick < cumulative:
+            return state
+    return len(distribution) - 1
+
+
+def sample_dataset(network: BayesianNetwork, n: int,
+                   rng: random.Random | None = None
+                   ) -> List[Dict[str, int]]:
+    """``n`` independent joint samples."""
+    rng = rng or random.Random()
+    return [forward_sample(network, rng) for _ in range(n)]
+
+
+def likelihood_weighting(network: BayesianNetwork,
+                         query: Mapping[str, int],
+                         evidence: Mapping[str, int] | None = None,
+                         samples: int = 10000,
+                         rng: random.Random | None = None) -> float:
+    """Estimate Pr(query | evidence) by likelihood weighting.
+
+    Evidence variables are clamped and contribute their CPT entry to
+    the sample weight; the estimate is the weighted fraction of samples
+    consistent with the query.
+    """
+    rng = rng or random.Random()
+    evidence = dict(evidence or {})
+    numerator = 0.0
+    denominator = 0.0
+    for _ in range(samples):
+        weight = 1.0
+        sample: Dict[str, int] = {}
+        for name in network.variables:
+            cpt = network.cpt(name)
+            index = tuple(sample[p] for p in cpt.parents)
+            distribution = cpt.values[index]
+            if name in evidence:
+                state = evidence[name]
+                weight *= float(distribution[state])
+                sample[name] = state
+            else:
+                sample[name] = _draw(distribution, rng)
+        denominator += weight
+        if all(sample[v] == s for v, s in query.items()):
+            numerator += weight
+    if denominator == 0.0:
+        raise ZeroDivisionError("all samples had zero weight")
+    return numerator / denominator
+
+
+def gibbs_sampling(network: BayesianNetwork,
+                   query: Mapping[str, int],
+                   evidence: Mapping[str, int] | None = None,
+                   samples: int = 10000, burn_in: int = 500,
+                   rng: random.Random | None = None) -> float:
+    """Estimate Pr(query | evidence) by Gibbs sampling.
+
+    Each step resamples one non-evidence variable from its Markov-
+    blanket conditional.  Requires an ergodic chain: networks with
+    deterministic (0/1) CPT rows can trap the sampler — prefer
+    :func:`likelihood_weighting` or the exact engines there.
+    """
+    rng = rng or random.Random()
+    evidence = dict(evidence or {})
+    state = forward_sample(network, rng)
+    state.update(evidence)
+    free = [name for name in network.variables if name not in evidence]
+    if not free:
+        return 1.0 if all(state[v] == s for v, s in query.items()) \
+            else 0.0
+    children: Dict[str, List[str]] = {name: [] for name in
+                                      network.variables}
+    for name in network.variables:
+        for parent in network.parents(name):
+            children[parent].append(name)
+
+    def blanket_distribution(name: str) -> List[float]:
+        cpt = network.cpt(name)
+        scores = []
+        for value in range(cpt.cardinality):
+            state[name] = value
+            score = float(cpt.values[
+                tuple(state[p] for p in cpt.parents) + (value,)])
+            for child in children[name]:
+                child_cpt = network.cpt(child)
+                score *= float(child_cpt.values[
+                    tuple(state[p] for p in child_cpt.parents)
+                    + (state[child],)])
+            scores.append(score)
+        total = sum(scores)
+        if total == 0.0:
+            # deterministic dead-end: keep the current value
+            scores = [1.0 if v == state[name] else 0.0
+                      for v in range(cpt.cardinality)]
+            total = 1.0
+        return [s / total for s in scores]
+
+    hits = 0
+    kept = 0
+    for step in range(burn_in + samples):
+        name = free[step % len(free)]
+        distribution = blanket_distribution(name)
+        state[name] = _draw(np.asarray(distribution), rng)
+        if step >= burn_in:
+            kept += 1
+            if all(state[v] == s for v, s in query.items()):
+                hits += 1
+    return hits / kept

@@ -1,0 +1,24 @@
+"""Classifiers (naive Bayes, BN, trees, forests, binarized nets) and
+their compilation into tractable circuits (Section 5)."""
+
+from .naive_bayes import NaiveBayesClassifier
+from .compile_nb import compile_naive_bayes
+from .bn_classifier import BnClassifier, compile_decision_function
+from .decision_tree import DecisionTree
+from .forest import RandomForest, compile_forest
+from .bnn import BinarizedNeuralNetwork, compile_bnn
+from .threshold import threshold_obdd, threshold_of_functions
+from .examples import (ADMISSIONS_FEATURES, PREGNANCY_FEATURES,
+                       admissions_classifier, pregnancy_classifier)
+from .datasets import (digit_dataset, digit_template,
+                       generate_digit_images, image_variables,
+                       render_image)
+
+__all__ = ["ADMISSIONS_FEATURES", "PREGNANCY_FEATURES",
+           "admissions_classifier", "pregnancy_classifier",
+           "NaiveBayesClassifier", "compile_naive_bayes", "BnClassifier",
+           "compile_decision_function", "DecisionTree", "RandomForest",
+           "compile_forest", "BinarizedNeuralNetwork", "compile_bnn",
+           "threshold_obdd", "threshold_of_functions", "digit_dataset",
+           "digit_template", "generate_digit_images", "image_variables",
+           "render_image"]

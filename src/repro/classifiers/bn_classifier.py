@@ -1,0 +1,90 @@
+"""Bayesian network classifiers and their compilation to decision
+graphs ([82, 83]; Fig 23's middle box).
+
+A BN classifier is a Bayesian network with a designated class variable
+and feature variables; an instance is classified positive when
+Pr(class | features) passes a threshold.  For networks of figure scale
+we compile the induced decision function into an OBDD by tabulating it
+(the general-network algorithm of [83] exists to avoid exactly this
+exponential tabulation; the input-output behaviour is identical).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from ..bayesnet.network import BayesianNetwork
+from ..bayesnet.queries import mar
+from ..obdd.manager import ObddManager, ObddNode
+
+__all__ = ["BnClassifier", "compile_decision_function"]
+
+
+class BnClassifier:
+    """A Bayesian network classifier with binary features.
+
+    All feature variables and the class variable must be binary.
+    """
+
+    def __init__(self, network: BayesianNetwork, class_var: str,
+                 feature_vars: Sequence[str], threshold: float = 0.5):
+        for name in [class_var, *feature_vars]:
+            if network.cardinality(name) != 2:
+                raise ValueError(f"{name!r} must be binary")
+        self.network = network
+        self.class_var = class_var
+        self.feature_vars = list(feature_vars)
+        self.threshold = threshold
+        # integer variable per feature, in order, for the circuit view
+        self.feature_index: Dict[str, int] = {
+            name: i + 1 for i, name in enumerate(self.feature_vars)}
+
+    def posterior(self, instance: Mapping[str, int]) -> float:
+        evidence = {name: instance[name] for name in self.feature_vars}
+        return mar(self.network, {self.class_var: 1}, evidence)
+
+    def decide(self, instance: Mapping[str, int]) -> bool:
+        return self.posterior(instance) >= self.threshold
+
+    def decision_function(self) -> Callable[[Mapping[int, bool]], bool]:
+        """The induced Boolean function over integer feature variables."""
+        def func(assignment: Mapping[int, bool]) -> bool:
+            instance = {name: int(assignment[self.feature_index[name]])
+                        for name in self.feature_vars}
+            return self.decide(instance)
+        return func
+
+    def compile(self, manager: ObddManager | None = None) -> ObddNode:
+        """The OBDD with the classifier's input-output behaviour."""
+        variables = [self.feature_index[name]
+                     for name in self.feature_vars]
+        if manager is None:
+            manager = ObddManager(variables)
+        return compile_decision_function(self.decision_function(),
+                                         variables, manager)
+
+
+def compile_decision_function(func: Callable[[Mapping[int, bool]], bool],
+                              variables: Sequence[int],
+                              manager: ObddManager) -> ObddNode:
+    """Tabulate a Boolean function and build its (canonical) OBDD.
+
+    Exponential in ``len(variables)`` — meant for oracle functions of
+    modest arity; threshold-structured classifiers have dedicated
+    compilers in this package.
+    """
+    variables = sorted(variables, key=manager.level)
+    n = len(variables)
+    if n > 22:
+        raise ValueError("refusing to tabulate more than 22 variables")
+    # decisions indexed by the bits of the assignment, msb = variables[0]
+    table: List[ObddNode] = []
+    for bits in itertools.product((False, True), repeat=n):
+        assignment = dict(zip(variables, bits))
+        table.append(manager.terminal(bool(func(assignment))))
+    for level in range(n - 1, -1, -1):
+        table = [manager.make(variables[level], table[2 * i],
+                              table[2 * i + 1])
+                 for i in range(len(table) // 2)]
+    return table[0]

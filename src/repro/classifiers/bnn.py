@@ -1,0 +1,161 @@
+"""Binarized neural networks and their compilation to circuits
+([15, 80, 84]; Figs 28–29).
+
+A :class:`BinarizedNeuralNetwork` has ±1 integer weights, integer
+thresholds and step activations: a neuron fires when its weighted sum
+of 0/1 inputs reaches its threshold.  Each neuron is a linear threshold
+function, so the whole network compiles *exactly* into an OBDD, layer
+by layer: first-layer neurons via :func:`threshold_obdd`, deeper ones
+via :func:`threshold_of_functions` over the previous layer's OBDDs.
+
+Training uses greedy bit-flip hill climbing on accuracy — crude but
+deterministic and dependency-free; the paper's claims we reproduce are
+about *analysing* trained networks, not about training them well.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Mapping, Sequence, Tuple
+
+from ..obdd.manager import ObddManager, ObddNode
+from .threshold import threshold_obdd, threshold_of_functions
+
+__all__ = ["BinarizedNeuralNetwork", "compile_bnn"]
+
+
+class BinarizedNeuralNetwork:
+    """Layers of ±1-weight threshold neurons over 0/1 inputs."""
+
+    def __init__(self, weights: Sequence[Sequence[Sequence[int]]],
+                 thresholds: Sequence[Sequence[float]],
+                 input_vars: Sequence[int]):
+        if len(weights) != len(thresholds):
+            raise ValueError("one threshold row per layer")
+        self.weights = [[list(row) for row in layer] for layer in weights]
+        self.thresholds = [list(layer) for layer in thresholds]
+        self.input_vars = list(input_vars)
+        width = len(self.input_vars)
+        for layer, (w, t) in enumerate(zip(self.weights,
+                                           self.thresholds)):
+            if len(w) != len(t):
+                raise ValueError(f"layer {layer}: weights/thresholds "
+                                 "mismatch")
+            for row in w:
+                if len(row) != width:
+                    raise ValueError(f"layer {layer}: bad fan-in")
+                if any(entry not in (-1, 1) for entry in row):
+                    raise ValueError("weights must be ±1")
+            width = len(w)
+        if width != 1:
+            raise ValueError("the output layer must have one neuron")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.weights)
+
+    # -- inference ---------------------------------------------------------------
+    def forward(self, instance: Mapping[int, bool]) -> bool:
+        activations = [1.0 if instance[v] else 0.0
+                       for v in self.input_vars]
+        for layer_weights, layer_thresholds in zip(self.weights,
+                                                   self.thresholds):
+            activations = [
+                1.0 if sum(w * a for w, a in zip(row, activations)) >=
+                threshold else 0.0
+                for row, threshold in zip(layer_weights,
+                                          layer_thresholds)]
+        return activations[0] >= 0.5
+
+    decide = forward
+
+    def accuracy(self, instances: Sequence[Mapping[int, bool]],
+                 labels: Sequence[bool]) -> float:
+        hits = sum(1 for x, y in zip(instances, labels)
+                   if self.forward(x) == y)
+        return hits / len(labels)
+
+    # -- training ----------------------------------------------------------------
+    @classmethod
+    def train(cls, instances: Sequence[Mapping[int, bool]],
+              labels: Sequence[bool], hidden: Sequence[int] = (4,),
+              seed: int = 0, passes: int = 3
+              ) -> "BinarizedNeuralNetwork":
+        """Greedy bit-flip training with the given hidden layer sizes.
+
+        ``seed`` controls the initialisation — training the same data
+        with two seeds is how the Fig 29 robustness comparison sets up
+        its two networks.
+        """
+        rng = random.Random(seed)
+        input_vars = sorted(instances[0])
+        sizes = [len(input_vars), *hidden, 1]
+        weights = [[[rng.choice((-1, 1)) for _ in range(sizes[i])]
+                    for _ in range(sizes[i + 1])]
+                   for i in range(len(sizes) - 1)]
+        thresholds = [[rng.randint(0, max(1, sizes[i] // 2)) - 0.5
+                       for _ in range(sizes[i + 1])]
+                      for i in range(len(sizes) - 1)]
+        network = cls(weights, thresholds, input_vars)
+
+        def score() -> int:
+            return sum(1 for x, y in zip(instances, labels)
+                       if network.forward(x) == y)
+
+        best = score()
+        for _ in range(passes):
+            improved = False
+            for layer in range(network.num_layers):
+                for i, row in enumerate(network.weights[layer]):
+                    for j in range(len(row)):
+                        row[j] = -row[j]
+                        trial = score()
+                        if trial > best:
+                            best = trial
+                            improved = True
+                        else:
+                            row[j] = -row[j]
+                    for delta in (1.0, -1.0):
+                        network.thresholds[layer][i] += delta
+                        trial = score()
+                        if trial > best:
+                            best = trial
+                            improved = True
+                        else:
+                            network.thresholds[layer][i] -= delta
+            if not improved:
+                break
+        return network
+
+    def __repr__(self) -> str:
+        shape = [len(self.input_vars)] + [len(w) for w in self.weights]
+        return f"BinarizedNeuralNetwork({'-'.join(map(str, shape))})"
+
+
+def compile_bnn(network: BinarizedNeuralNetwork,
+                manager: ObddManager | None = None
+                ) -> Tuple[ObddNode, List[List[ObddNode]]]:
+    """Compile the network into an OBDD, layer by layer.
+
+    Returns ``(output, per_layer_neuron_obdds)`` — the per-neuron
+    circuits support the paper's neuron-level interpretation queries
+    ("of all inputs that make this neuron fire, what fraction set X?").
+    """
+    if manager is None:
+        manager = ObddManager(network.input_vars)
+    layers: List[List[ObddNode]] = []
+    previous: List[ObddNode] | None = None
+    for layer_index, (layer_weights, layer_thresholds) in enumerate(
+            zip(network.weights, network.thresholds)):
+        current: List[ObddNode] = []
+        for row, threshold in zip(layer_weights, layer_thresholds):
+            if previous is None:
+                node = threshold_obdd(manager, network.input_vars,
+                                      [float(w) for w in row], threshold)
+            else:
+                node = threshold_of_functions(
+                    manager, previous, [float(w) for w in row], threshold)
+            current.append(node)
+        layers.append(current)
+        previous = current
+    return layers[-1][0], layers

@@ -1,0 +1,68 @@
+"""Compiling naive Bayes classifiers into decision graphs (Fig 25, [9]).
+
+The decision of a naive Bayes classifier is a linear threshold test on
+the per-feature log likelihood-ratios, so the compilation reduces to
+:func:`repro.classifiers.threshold.threshold_obdd` — producing an OBDD
+with the *same input-output behaviour* as the probabilistic classifier.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..obdd.manager import ObddManager, ObddNode
+from .naive_bayes import NaiveBayesClassifier
+from .threshold import threshold_obdd
+
+__all__ = ["compile_naive_bayes"]
+
+
+def compile_naive_bayes(classifier: NaiveBayesClassifier,
+                        manager: ObddManager | None = None,
+                        order: Sequence[int] | None = None) -> ObddNode:
+    """An OBDD agreeing with ``classifier.decide`` on every instance.
+
+    ``order`` fixes the feature testing order (default: ascending
+    variable index); infinities from 0/1 likelihoods are handled by
+    clamping to a magnitude exceeding every finite total.
+    """
+    from .naive_bayes import _log_ratio
+
+    if order is None:
+        order = classifier.features
+    if manager is None:
+        manager = ObddManager(order)
+    variables = list(order)
+    # per-feature log likelihood-ratio contributions (may be ±inf for
+    # 0/1 likelihoods); clamp each to ±big BEFORE summing so that a
+    # deterministic feature dominates every finite total, exactly as the
+    # true ±inf contribution would
+    contributions = {}
+    finite_magnitudes = []
+    for var in variables:
+        p1, p0 = classifier.likelihoods[var]
+        on = _log_ratio(p1, p0)
+        off = _log_ratio(1.0 - p1, 1.0 - p0)
+        contributions[var] = (on, off)
+        for value in (on, off):
+            if math.isfinite(value):
+                finite_magnitudes.append(abs(value))
+    prior_logodds = math.log(classifier.prior / (1.0 - classifier.prior))
+    target_logodds = math.log(classifier.threshold /
+                              (1.0 - classifier.threshold))
+    finite_magnitudes.extend([abs(prior_logodds), abs(target_logodds)])
+    big = 4.0 * (sum(finite_magnitudes) + 1.0) * (len(variables) + 1)
+
+    def clamp(value: float) -> float:
+        return max(-big, min(big, value))
+
+    base = prior_logodds
+    weights = []
+    for var in variables:
+        on, off = contributions[var]
+        on, off = clamp(on), clamp(off)
+        base += off
+        weights.append(on - off)
+    return threshold_obdd(manager, variables, weights,
+                          target_logodds - base)

@@ -1,0 +1,97 @@
+"""Synthetic datasets for the Role-3 experiments.
+
+The paper's Figs 28–29 use 16×16 digit images and CNNs; pure-Python
+circuit manipulation cannot hold 256-input networks, so we generate
+binary digit-blob images at configurable (default smaller) resolution
+and train binarized networks on them — the identical pipeline at
+laptop scale (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Tuple
+
+__all__ = ["digit_template", "generate_digit_images", "digit_dataset",
+           "image_variables", "render_image"]
+
+# 5x5 reference templates; scaled by nearest neighbour to other sizes
+_TEMPLATES = {
+    0: ["#####",
+        "#...#",
+        "#...#",
+        "#...#",
+        "#####"],
+    1: ["..#..",
+        ".##..",
+        "..#..",
+        "..#..",
+        ".###."],
+    2: ["####.",
+        "...#.",
+        ".##..",
+        "#....",
+        "####."],
+}
+
+
+def image_variables(size: int) -> List[int]:
+    """Pixel variables 1..size² (row-major)."""
+    return list(range(1, size * size + 1))
+
+
+def digit_template(digit: int, size: int) -> Dict[int, bool]:
+    """The noiseless binary image of ``digit`` at size×size."""
+    if digit not in _TEMPLATES:
+        raise ValueError(f"no template for digit {digit}")
+    base = _TEMPLATES[digit]
+    image: Dict[int, bool] = {}
+    for row in range(size):
+        for col in range(size):
+            source_row = min(row * 5 // size, 4)
+            source_col = min(col * 5 // size, 4)
+            var = row * size + col + 1
+            image[var] = base[source_row][source_col] == "#"
+    return image
+
+
+def generate_digit_images(digit: int, count: int, size: int,
+                          noise: float = 0.08,
+                          rng: random.Random | None = None
+                          ) -> List[Dict[int, bool]]:
+    """Noisy copies of the digit template (pixel flips w.p. ``noise``)."""
+    rng = rng or random.Random()
+    template = digit_template(digit, size)
+    images = []
+    for _ in range(count):
+        images.append({var: (not value if rng.random() < noise else value)
+                       for var, value in template.items()})
+    return images
+
+
+def digit_dataset(positive_digit: int, negative_digit: int,
+                  count_per_class: int, size: int, noise: float = 0.08,
+                  rng: random.Random | None = None
+                  ) -> Tuple[List[Dict[int, bool]], List[bool]]:
+    """A labelled two-digit classification dataset (Fig 28/29 style)."""
+    rng = rng or random.Random()
+    positives = generate_digit_images(positive_digit, count_per_class,
+                                      size, noise, rng)
+    negatives = generate_digit_images(negative_digit, count_per_class,
+                                      size, noise, rng)
+    instances = positives + negatives
+    labels = [True] * count_per_class + [False] * count_per_class
+    order = list(range(len(instances)))
+    rng.shuffle(order)
+    return [instances[i] for i in order], [labels[i] for i in order]
+
+
+def render_image(image: Mapping[int, bool], size: int,
+                 on: str = "#", off: str = ".") -> str:
+    """ASCII rendering (used by the Fig 28 benchmark output)."""
+    rows = []
+    for row in range(size):
+        rows.append("".join(
+            on if image[row * size + col + 1] else off
+            for col in range(size)))
+    return "\n".join(rows)

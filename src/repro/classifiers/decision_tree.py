@@ -1,0 +1,146 @@
+"""Binary decision trees (CART-style) over Boolean features.
+
+Decision trees are the base learners of random forests (Section 5: "we
+first encode each decision tree into a Boolean formula, which is
+straightforward").  :meth:`DecisionTree.to_formula` is that encoding.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+from ..logic.formula import And, FALSE, Formula, Lit, Or, TRUE
+
+__all__ = ["DecisionTree"]
+
+
+@dataclass
+class _Node:
+    feature: Optional[int] = None
+    low: Optional["_Node"] = None
+    high: Optional["_Node"] = None
+    label: Optional[bool] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.label is not None
+
+
+class DecisionTree:
+    """A learned binary decision tree.
+
+    Use :meth:`fit` to grow one by information gain.
+    """
+
+    def __init__(self, root: _Node, features: Sequence[int]):
+        self._root = root
+        self.features = list(features)
+
+    # -- learning ----------------------------------------------------------------
+    @classmethod
+    def fit(cls, instances: Sequence[Mapping[int, bool]],
+            labels: Sequence[bool], max_depth: int = 8,
+            min_samples: int = 1,
+            feature_pool: Sequence[int] | None = None) -> "DecisionTree":
+        """Grow a tree greedily by information gain."""
+        if len(instances) != len(labels) or not instances:
+            raise ValueError("need equally many instances and labels")
+        features = sorted(feature_pool if feature_pool is not None
+                          else instances[0])
+        root = cls._grow(list(zip(instances, labels)), features,
+                         max_depth, min_samples)
+        return cls(root, features)
+
+    @staticmethod
+    def _grow(data, features, depth, min_samples) -> _Node:
+        labels = [y for _x, y in data]
+        positives = sum(labels)
+        if positives == 0:
+            return _Node(label=False)
+        if positives == len(labels):
+            return _Node(label=True)
+        majority = positives * 2 >= len(labels)
+        if depth == 0 or len(data) < 2 * min_samples:
+            return _Node(label=majority)
+        best_feature, best_gain = None, 1e-12
+        for feature in features:
+            gain = DecisionTree._gain(data, feature)
+            if gain > best_gain:
+                best_feature, best_gain = feature, gain
+        if best_feature is None:
+            return _Node(label=majority)
+        low_data = [(x, y) for x, y in data if not x[best_feature]]
+        high_data = [(x, y) for x, y in data if x[best_feature]]
+        if not low_data or not high_data:
+            return _Node(label=majority)
+        return _Node(
+            feature=best_feature,
+            low=DecisionTree._grow(low_data, features, depth - 1,
+                                   min_samples),
+            high=DecisionTree._grow(high_data, features, depth - 1,
+                                    min_samples))
+
+    @staticmethod
+    def _entropy(labels: Sequence[bool]) -> float:
+        if not labels:
+            return 0.0
+        p = sum(labels) / len(labels)
+        result = 0.0
+        for q in (p, 1 - p):
+            if q > 0:
+                result -= q * math.log2(q)
+        return result
+
+    @staticmethod
+    def _gain(data, feature) -> float:
+        labels = [y for _x, y in data]
+        low = [y for x, y in data if not x[feature]]
+        high = [y for x, y in data if x[feature]]
+        before = DecisionTree._entropy(labels)
+        after = (len(low) * DecisionTree._entropy(low) +
+                 len(high) * DecisionTree._entropy(high)) / len(labels)
+        return before - after
+
+    # -- inference ---------------------------------------------------------------
+    def decide(self, instance: Mapping[int, bool]) -> bool:
+        node = self._root
+        while not node.is_leaf:
+            node = node.high if instance[node.feature] else node.low
+        return node.label
+
+    def depth(self) -> int:
+        def rec(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(rec(node.low), rec(node.high))
+        return rec(self._root)
+
+    def leaf_count(self) -> int:
+        def rec(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return rec(node.low) + rec(node.high)
+        return rec(self._root)
+
+    # -- the Boolean encoding -----------------------------------------------------
+    def to_formula(self) -> Formula:
+        """Disjunction of the path terms of positive leaves."""
+        terms: List[Formula] = []
+
+        def walk(node: _Node, path: List[int]) -> None:
+            if node.is_leaf:
+                if node.label:
+                    terms.append(And(*(Lit(lit) for lit in path))
+                                 if path else TRUE)
+                return
+            walk(node.low, path + [-node.feature])
+            walk(node.high, path + [node.feature])
+
+        walk(self._root, [])
+        if not terms:
+            return FALSE
+        if len(terms) == 1:
+            return terms[0]
+        return Or(*terms)

@@ -1,0 +1,69 @@
+"""The paper's running Role-3 examples, quantified.
+
+The paper gives structure but not numbers for Fig 25 and Fig 27; the
+quantifications here are chosen so the *published explanation
+structure* is reproduced exactly:
+
+* Fig 25 (pregnancy): Susan (+,+,+) is classified pregnant with
+  sufficient reasons {S=+ve} and {B=+ve, U=+ve} — the two reasons the
+  paper discusses in Section 5.1.
+* Fig 27 (admissions): Robin's admission is unbiased but witnesses
+  classifier bias; Scott's admission is biased (flipping only the
+  protected feature R reverses it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..obdd.manager import ObddManager, ObddNode
+from .naive_bayes import NaiveBayesClassifier
+
+__all__ = ["pregnancy_classifier", "PREGNANCY_FEATURES",
+           "admissions_classifier", "ADMISSIONS_FEATURES"]
+
+#: feature variables of the Fig 25 classifier
+PREGNANCY_FEATURES: Dict[str, int] = {"B": 1, "U": 2, "S": 3}
+
+
+def pregnancy_classifier(threshold: float = 0.9) -> NaiveBayesClassifier:
+    """The Fig 25 naive Bayes classifier (class P; tests B, U, S).
+
+    With the default threshold, the decision on Susan (+,+,+) has
+    exactly the two sufficient reasons of the paper: S=+ve alone, and
+    B=+ve ∧ U=+ve.
+    """
+    return NaiveBayesClassifier(
+        prior=0.8,
+        likelihoods={
+            PREGNANCY_FEATURES["B"]: (0.70, 0.05),
+            PREGNANCY_FEATURES["U"]: (0.80, 0.10),
+            PREGNANCY_FEATURES["S"]: (0.95, 0.01),
+        },
+        threshold=threshold)
+
+
+#: feature variables of the Fig 27 classifier (R is protected)
+ADMISSIONS_FEATURES: Dict[str, int] = {
+    "E": 1,  # passed the entrance exam
+    "F": 2,  # first-time applicant
+    "G": 3,  # good GPA
+    "W": 4,  # work experience
+    "R": 5,  # comes from a rich hometown (protected)
+}
+
+
+def admissions_classifier() -> Tuple[ObddManager, ObddNode]:
+    """A Fig 27-style admissions OBDD over the five features.
+
+    Admit iff  (E ∧ (G ∨ W)) ∨ (R ∧ (E ∨ G)): merit admissions need the
+    entrance exam plus GPA or experience; a rich hometown lowers the
+    bar to exam-or-GPA.
+    """
+    manager = ObddManager([1, 2, 3, 4, 5])
+    e = manager.literal(ADMISSIONS_FEATURES["E"])
+    g = manager.literal(ADMISSIONS_FEATURES["G"])
+    w = manager.literal(ADMISSIONS_FEATURES["W"])
+    r = manager.literal(ADMISSIONS_FEATURES["R"])
+    node = (e & (g | w)) | (r & (e | g))
+    return manager, node

@@ -1,0 +1,81 @@
+"""Random forests with majority voting and their circuit compilation.
+
+Section 5: "random forests represent less of a challenge … we first
+encode each decision tree into a Boolean formula … then combine these
+formulas using a majority circuit.  The remaining challenge is purely
+computational": compiling the combination into a tractable circuit —
+done here with OBDD apply plus the threshold-of-functions gate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Mapping, Sequence
+
+from ..obdd.manager import ObddManager, ObddNode
+from ..obdd.ops import compile_formula
+from .decision_tree import DecisionTree
+from .threshold import threshold_of_functions
+
+__all__ = ["RandomForest", "compile_forest"]
+
+
+class RandomForest:
+    """Bagged decision trees with (strict) majority voting."""
+
+    def __init__(self, trees: Sequence[DecisionTree]):
+        if not trees:
+            raise ValueError("a forest needs at least one tree")
+        self.trees = list(trees)
+
+    @classmethod
+    def fit(cls, instances: Sequence[Mapping[int, bool]],
+            labels: Sequence[bool], num_trees: int = 5,
+            max_depth: int = 6, feature_fraction: float = 0.8,
+            rng: random.Random | None = None) -> "RandomForest":
+        """Bagging + random feature subsets."""
+        rng = rng or random.Random()
+        features = sorted(instances[0])
+        trees: List[DecisionTree] = []
+        n = len(instances)
+        k = max(1, round(feature_fraction * len(features)))
+        for _ in range(num_trees):
+            indices = [rng.randrange(n) for _ in range(n)]
+            pool = sorted(rng.sample(features, k))
+            trees.append(DecisionTree.fit(
+                [instances[i] for i in indices],
+                [labels[i] for i in indices],
+                max_depth=max_depth, feature_pool=pool))
+        return cls(trees)
+
+    def votes(self, instance: Mapping[int, bool]) -> int:
+        return sum(1 for tree in self.trees if tree.decide(instance))
+
+    def decide(self, instance: Mapping[int, bool]) -> bool:
+        """Strict majority of trees (ties vote negative)."""
+        return 2 * self.votes(instance) > len(self.trees)
+
+    def accuracy(self, instances: Sequence[Mapping[int, bool]],
+                 labels: Sequence[bool]) -> float:
+        hits = sum(1 for x, y in zip(instances, labels)
+                   if self.decide(x) == y)
+        return hits / len(labels)
+
+
+def compile_forest(forest: RandomForest,
+                   manager: ObddManager | None = None) -> ObddNode:
+    """An OBDD with the forest's exact input-output behaviour.
+
+    Each tree compiles via its Boolean formula; the majority gate is a
+    threshold over the tree OBDDs.
+    """
+    if manager is None:
+        variables = sorted({f for tree in forest.trees
+                            for f in tree.features})
+        manager = ObddManager(variables)
+    tree_nodes = [compile_formula(tree.to_formula(), manager)
+                  for tree in forest.trees]
+    count = len(tree_nodes)
+    # strict majority: votes ≥ floor(count/2) + 1
+    return threshold_of_functions(manager, tree_nodes,
+                                  [1.0] * count, count // 2 + 1)

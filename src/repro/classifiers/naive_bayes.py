@@ -1,0 +1,119 @@
+"""Naive Bayes classifiers over binary features (Fig 25).
+
+The classifier computes Pr(class | features) and declares positive when
+the posterior passes a threshold T.  While numeric, its decision
+function is Boolean — the observation behind compiling it into an ODD
+[9] (see :mod:`repro.classifiers.compile_nb`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+__all__ = ["NaiveBayesClassifier"]
+
+
+class NaiveBayesClassifier:
+    """A binary-class, binary-feature naive Bayes model.
+
+    Parameters
+    ----------
+    prior:
+        Pr(class = 1).
+    likelihoods:
+        For each feature variable v: (Pr(v=1 | class=1),
+        Pr(v=1 | class=0)).
+    threshold:
+        Declare positive when Pr(class=1 | features) ≥ threshold.
+    """
+
+    def __init__(self, prior: float,
+                 likelihoods: Mapping[int, Tuple[float, float]],
+                 threshold: float = 0.5):
+        if not 0 < prior < 1:
+            raise ValueError("prior must be strictly between 0 and 1")
+        if not 0 < threshold < 1:
+            raise ValueError("threshold must be strictly between 0 and 1")
+        for var, (p1, p0) in likelihoods.items():
+            for p in (p1, p0):
+                if not 0 <= p <= 1:
+                    raise ValueError(f"bad likelihood for feature {var}")
+        self.prior = prior
+        self.likelihoods = dict(likelihoods)
+        self.threshold = threshold
+
+    @property
+    def features(self) -> List[int]:
+        return sorted(self.likelihoods)
+
+    # -- inference ---------------------------------------------------------------
+    def posterior(self, instance: Mapping[int, bool]) -> float:
+        """Pr(class = 1 | instance) by Bayes with the naive assumption."""
+        joint1 = self.prior
+        joint0 = 1.0 - self.prior
+        for var, (p1, p0) in self.likelihoods.items():
+            value = instance[var]
+            joint1 *= p1 if value else 1.0 - p1
+            joint0 *= p0 if value else 1.0 - p0
+        if joint1 + joint0 == 0.0:
+            raise ZeroDivisionError("instance has probability zero")
+        return joint1 / (joint1 + joint0)
+
+    def decide(self, instance: Mapping[int, bool]) -> bool:
+        """The induced Boolean decision function."""
+        return self.posterior(instance) >= self.threshold
+
+    # -- learning ----------------------------------------------------------------
+    @classmethod
+    def fit(cls, instances: Sequence[Mapping[int, bool]],
+            labels: Sequence[bool], threshold: float = 0.5,
+            alpha: float = 1.0) -> "NaiveBayesClassifier":
+        """Maximum likelihood with Laplace smoothing ``alpha``."""
+        if len(instances) != len(labels) or not instances:
+            raise ValueError("need equally many instances and labels")
+        features = sorted(instances[0])
+        positives = sum(labels)
+        prior = (positives + alpha) / (len(labels) + 2 * alpha)
+        likelihoods: Dict[int, Tuple[float, float]] = {}
+        for var in features:
+            on1 = sum(1 for inst, y in zip(instances, labels)
+                      if y and inst[var])
+            on0 = sum(1 for inst, y in zip(instances, labels)
+                      if not y and inst[var])
+            p1 = (on1 + alpha) / (positives + 2 * alpha)
+            p0 = (on0 + alpha) / (len(labels) - positives + 2 * alpha)
+            likelihoods[var] = (p1, p0)
+        return cls(prior, likelihoods, threshold)
+
+    # -- the weight-of-evidence view (used by the ODD compiler) -----------------
+    def evidence_weights(self) -> Tuple[Dict[int, float], float]:
+        """Rewrite the decision as Σᵢ wᵢ·xᵢ ≥ t over 0/1 features.
+
+        log-odds(posterior) = log-odds(prior) + Σᵢ log LRᵢ(xᵢ); the
+        per-feature log likelihood-ratio contributions are split into a
+        base (feature absent) plus a delta (feature present).
+        """
+        target = math.log(self.threshold / (1.0 - self.threshold))
+        base = math.log(self.prior / (1.0 - self.prior))
+        weights: Dict[int, float] = {}
+        for var, (p1, p0) in self.likelihoods.items():
+            on = _log_ratio(p1, p0)
+            off = _log_ratio(1.0 - p1, 1.0 - p0)
+            base += off
+            weights[var] = on - off
+        return weights, target - base
+
+    def __repr__(self) -> str:
+        return f"NaiveBayesClassifier({len(self.likelihoods)} features, " \
+               f"threshold={self.threshold})"
+
+
+def _log_ratio(a: float, b: float) -> float:
+    if a == 0.0 and b == 0.0:
+        return 0.0
+    if b == 0.0:
+        return math.inf
+    if a == 0.0:
+        return -math.inf
+    return math.log(a / b)

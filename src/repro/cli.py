@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the classic knowledge-compiler workflow (C2D/DSHARP-style):
+
+* ``count FILE.cnf`` — exact model count (d-DNNF based);
+* ``sat FILE.cnf`` — satisfiability;
+* ``compile FILE.cnf [-o out.nnf]`` — Decision-DNNF in c2d format;
+* ``sdd FILE.cnf [--vtree balanced|right-linear|left-linear]`` —
+  compile to an SDD and report size statistics;
+* ``enumerate FILE.cnf [--limit N]`` — print models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .compile.dnnf_compiler import DnnfCompiler
+from .logic.cnf import Cnf
+from .nnf.io import to_nnf_format
+from .nnf.queries import model_count
+from .sat.dpll import is_satisfiable
+from .sdd.compiler import compile_cnf_sdd
+from .sdd.queries import model_count as sdd_model_count
+from .vtree.construct import vtree_from_order
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> Cnf:
+    with open(path) as handle:
+        return Cnf.from_dimacs(handle.read())
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    cnf = _load(args.file)
+    compiler = DnnfCompiler(use_components=not args.no_components,
+                            use_cache=not args.no_cache)
+    circuit = compiler.compile(cnf)
+    count = model_count(circuit, range(1, cnf.num_vars + 1))
+    print(f"s mc {count}")
+    if args.verbose:
+        print(f"c decisions {compiler.decisions}")
+        print(f"c cache-hits {compiler.cache_hits}")
+        print(f"c circuit-edges {circuit.edge_count()}")
+    return 0
+
+
+def _cmd_sat(args: argparse.Namespace) -> int:
+    cnf = _load(args.file)
+    satisfiable = is_satisfiable(cnf)
+    print("s SATISFIABLE" if satisfiable else "s UNSATISFIABLE")
+    return 0 if satisfiable else 1
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    cnf = _load(args.file)
+    circuit = DnnfCompiler().compile(cnf)
+    text = to_nnf_format(circuit)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"c wrote {args.output} "
+              f"({circuit.node_count()} nodes, "
+              f"{circuit.edge_count()} edges)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_sdd(args: argparse.Namespace) -> int:
+    cnf = _load(args.file)
+    if cnf.num_vars == 0:
+        print("c empty formula")
+        return 0
+    vtree = vtree_from_order(range(1, cnf.num_vars + 1), args.vtree)
+    root, manager = compile_cnf_sdd(cnf, vtree=vtree)
+    print(f"c vtree {args.vtree}")
+    print(f"c sdd-size {root.size()}")
+    print(f"c sdd-nodes {root.node_count()}")
+    print(f"s mc {sdd_model_count(root)}")
+    return 0
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    cnf = _load(args.file)
+    from .sat.dpll import enumerate_models
+    printed = 0
+    for model in enumerate_models(cnf):
+        literals = " ".join(str(v if model[v] else -v)
+                            for v in sorted(model))
+        print(f"v {literals} 0")
+        printed += 1
+        if args.limit and printed >= args.limit:
+            break
+    print(f"c {printed} models printed")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tractable-circuit toolkit (SAT, #SAT, compilation)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    count = commands.add_parser("count", help="exact model count")
+    count.add_argument("file")
+    count.add_argument("--no-components", action="store_true",
+                       help="disable component decomposition")
+    count.add_argument("--no-cache", action="store_true",
+                       help="disable component caching")
+    count.add_argument("-v", "--verbose", action="store_true")
+    count.set_defaults(func=_cmd_count)
+
+    sat = commands.add_parser("sat", help="decide satisfiability")
+    sat.add_argument("file")
+    sat.set_defaults(func=_cmd_sat)
+
+    compile_cmd = commands.add_parser(
+        "compile", help="compile to Decision-DNNF (c2d .nnf format)")
+    compile_cmd.add_argument("file")
+    compile_cmd.add_argument("-o", "--output")
+    compile_cmd.set_defaults(func=_cmd_compile)
+
+    sdd = commands.add_parser("sdd", help="compile to an SDD")
+    sdd.add_argument("file")
+    sdd.add_argument("--vtree", default="balanced",
+                     choices=["balanced", "right-linear", "left-linear"])
+    sdd.set_defaults(func=_cmd_sdd)
+
+    enumerate_cmd = commands.add_parser("enumerate",
+                                        help="list models (DIMACS v lines)")
+    enumerate_cmd.add_argument("file")
+    enumerate_cmd.add_argument("--limit", type=int, default=0)
+    enumerate_cmd.set_defaults(func=_cmd_enumerate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

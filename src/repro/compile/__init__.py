@@ -1,0 +1,5 @@
+"""Knowledge compilers: CNF to Decision-DNNF."""
+
+from .dnnf_compiler import DnnfCompiler, compile_cnf
+
+__all__ = ["DnnfCompiler", "compile_cnf"]

@@ -1,0 +1,180 @@
+"""Compiling CNF into Decision-DNNF by exhaustive DPLL.
+
+This is the "language of search" construction [38]: running a
+sharpSAT-style exhaustive DPLL search (unit propagation, component
+decomposition, component caching) and keeping its *trace* yields a
+Decision-DNNF circuit — decomposable, deterministic, with every or-gate
+a decision gate.  DSHARP [56] is exactly this construction on top of
+sharpSAT; ours sits on top of :mod:`repro.sat`.
+
+The compiler optionally takes a *priority* variable ordering: priority
+variables are decided before all others.  Compiling with the E-MAJSAT
+``Y`` variables as priorities produces a *constrained* Decision-DNNF on
+which E-MAJSAT and MAJMAJSAT become circuit evaluations (Section 3,
+[61, 67]); see :mod:`repro.solvers`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..logic.cnf import Cnf
+from ..nnf.node import NnfManager, NnfNode
+from ..sat.components import split_components
+
+__all__ = ["DnnfCompiler", "compile_cnf"]
+
+Clause = Tuple[int, ...]
+
+
+class DnnfCompiler:
+    """CNF → Decision-DNNF knowledge compiler.
+
+    Parameters
+    ----------
+    manager:
+        The :class:`NnfManager` to build nodes in (fresh one by default).
+    use_components:
+        Split residual CNFs into independent components (and-nodes).
+    use_cache:
+        Memoise compiled components.
+    priority:
+        Variables to branch on first, in order.  While any priority
+        variable occurs in the residual CNF, component decomposition is
+        still applied, but branching picks priority variables — this
+        yields circuits in which every path decides all (relevant)
+        priority variables before any other variable.
+    """
+
+    def __init__(self, manager: NnfManager | None = None,
+                 use_components: bool = True, use_cache: bool = True,
+                 priority: Sequence[int] | None = None):
+        self.manager = manager or NnfManager()
+        self.use_components = use_components
+        self.use_cache = use_cache
+        self.priority = {v: i for i, v in enumerate(priority or ())}
+        self.cache: Dict[FrozenSet[Clause], NnfNode] = {}
+        self.cache_hits = 0
+        self.decisions = 0
+
+    def compile(self, cnf: Cnf) -> NnfNode:
+        """Compile; the circuit mentions only constrained variables.
+
+        Variables of ``cnf`` that appear in no clause are unconstrained:
+        count with ``model_count(root, variables=range(1, n+1))`` to
+        account for them.
+        """
+        self.cache.clear()
+        self.cache_hits = 0
+        self.decisions = 0
+        if any(len(c) == 0 for c in cnf.clauses):
+            return self.manager.false()
+        return self._compile(list(cnf.clauses))
+
+    # -- search --------------------------------------------------------------
+    def _compile(self, clauses: List[Clause]) -> NnfNode:
+        implied, residual = self._unit_propagate(clauses)
+        if residual is None:
+            return self.manager.false()
+        guards = [self.manager.literal(lit) for lit in sorted(
+            implied, key=abs)]
+        if not residual:
+            return self.manager.conjoin(*guards)
+        if self.use_components:
+            parts = split_components(residual)
+        else:
+            parts = [residual]
+        compiled = [self._compile_component(part) for part in parts]
+        return self.manager.conjoin(*(guards + compiled))
+
+    def _compile_component(self, clauses: List[Clause]) -> NnfNode:
+        key: Optional[FrozenSet[Clause]] = None
+        if self.use_cache:
+            key = frozenset(clauses)
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.cache_hits += 1
+                return hit
+        var = self._pick_variable(clauses)
+        self.decisions += 1
+        branches = []
+        for value in (True, False):
+            literal = var if value else -var
+            conditioned = self._condition(clauses, var, value)
+            if conditioned is None:
+                sub = self.manager.false()
+            else:
+                sub = self._compile(conditioned)
+            branches.append(self.manager.conjoin(
+                self.manager.literal(literal), sub))
+        node = self.manager.disjoin(*branches)
+        if key is not None:
+            self.cache[key] = node
+        return node
+
+    # -- helpers ---------------------------------------------------------------
+    @staticmethod
+    def _unit_propagate(clauses: List[Clause]
+                        ) -> Tuple[List[int], Optional[List[Clause]]]:
+        """Returns (implied literals, residual clauses) or (_, None) on
+        conflict.  The residual mentions no implied variable."""
+        implied: Dict[int, bool] = {}
+        current = clauses
+        while True:
+            units = [c[0] for c in current if len(c) == 1]
+            if not units:
+                return ([v if val else -v for v, val in implied.items()],
+                        current)
+            for lit in units:
+                var, value = abs(lit), lit > 0
+                if implied.get(var, value) != value:
+                    return ([], None)
+                implied[var] = value
+            reduced: List[Clause] = []
+            for clause in current:
+                satisfied = False
+                kept: List[int] = []
+                for lit in clause:
+                    var = abs(lit)
+                    if var in implied:
+                        if implied[var] == (lit > 0):
+                            satisfied = True
+                            break
+                    else:
+                        kept.append(lit)
+                if satisfied:
+                    continue
+                if not kept:
+                    return ([], None)
+                reduced.append(tuple(kept))
+            current = reduced
+
+    def _pick_variable(self, clauses: List[Clause]) -> int:
+        counts: Dict[int, int] = {}
+        for clause in clauses:
+            for lit in clause:
+                counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+        prioritized = [v for v in counts if v in self.priority]
+        if prioritized:
+            return min(prioritized, key=lambda v: self.priority[v])
+        return max(counts, key=lambda v: (counts[v], -v))
+
+    @staticmethod
+    def _condition(clauses: List[Clause], var: int, value: bool
+                   ) -> Optional[List[Clause]]:
+        result: List[Clause] = []
+        for clause in clauses:
+            if any(abs(lit) == var and (lit > 0) == value for lit in clause):
+                continue
+            reduced = tuple(lit for lit in clause if abs(lit) != var)
+            if not reduced:
+                return None
+            result.append(reduced)
+        return result
+
+
+def compile_cnf(cnf: Cnf, manager: NnfManager | None = None,
+                priority: Sequence[int] | None = None) -> NnfNode:
+    """One-shot CNF → Decision-DNNF compilation."""
+    compiler = DnnfCompiler(manager=manager, priority=priority)
+    return compiler.compile(cnf)

@@ -1,0 +1,8 @@
+"""Conditional PSDDs, cluster DAGs, structured BNs, hierarchical maps."""
+
+from .conditional import ConditionalPsdd
+from .cluster_dag import ClusterDag, StructuredBayesianNetwork
+from .hierarchical import HierarchicalMap, NestedHierarchicalMap
+
+__all__ = ["ConditionalPsdd", "ClusterDag", "StructuredBayesianNetwork",
+           "HierarchicalMap", "NestedHierarchicalMap"]

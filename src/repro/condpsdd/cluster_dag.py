@@ -1,0 +1,160 @@
+"""Cluster DAGs and structured Bayesian networks [78] (Fig 19).
+
+A *cluster DAG* is a DAG whose nodes are disjoint sets of Boolean
+variables; it asserts that a cluster is independent of its
+non-descendants given its parents (the hierarchical-map independences of
+Section 4.2).  Quantifying every cluster with a conditional PSDD yields
+a *structured Bayesian network* (SBN) whose joint is the product of the
+conditional distributions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Sequence, \
+    Tuple
+
+from ..psdd.psdd import PsddNode
+from ..psdd.learn import learn_parameters
+from ..psdd.queries import marginal as psdd_marginal
+from ..psdd.sample import sample as psdd_sample
+from .conditional import ConditionalPsdd
+
+__all__ = ["ClusterDag", "StructuredBayesianNetwork"]
+
+
+class ClusterDag:
+    """A DAG over named clusters of Boolean variables."""
+
+    def __init__(self):
+        self._vars: Dict[str, Tuple[int, ...]] = {}
+        self._parents: Dict[str, Tuple[str, ...]] = {}
+        self._order: List[str] = []
+
+    def add_cluster(self, name: str, variables: Sequence[int],
+                    parents: Sequence[str] = ()) -> "ClusterDag":
+        """Add a cluster; parents must already exist; variable sets must
+        be disjoint across clusters."""
+        if name in self._vars:
+            raise ValueError(f"cluster {name!r} already present")
+        new_vars = tuple(variables)
+        for other, vars_ in self._vars.items():
+            if set(vars_) & set(new_vars):
+                raise ValueError(
+                    f"cluster {name!r} shares variables with {other!r}")
+        for parent in parents:
+            if parent not in self._vars:
+                raise ValueError(f"unknown parent cluster {parent!r}")
+        self._vars[name] = new_vars
+        self._parents[name] = tuple(parents)
+        self._order.append(name)
+        return self
+
+    @property
+    def clusters(self) -> List[str]:
+        return list(self._order)
+
+    def variables(self, name: str) -> Tuple[int, ...]:
+        return self._vars[name]
+
+    def parents(self, name: str) -> Tuple[str, ...]:
+        return self._parents[name]
+
+    def parent_variables(self, name: str) -> Tuple[int, ...]:
+        result: List[int] = []
+        for parent in self._parents[name]:
+            result.extend(self._vars[parent])
+        return tuple(result)
+
+    def all_variables(self) -> List[int]:
+        return [v for name in self._order for v in self._vars[name]]
+
+
+class StructuredBayesianNetwork:
+    """A cluster DAG quantified with conditional PSDDs.
+
+    Root clusters (no parents) carry a plain PSDD; the rest carry a
+    :class:`ConditionalPsdd` over their parents' variables.
+    """
+
+    def __init__(self, dag: ClusterDag):
+        self.dag = dag
+        self._roots: Dict[str, PsddNode] = {}
+        self._conditionals: Dict[str, ConditionalPsdd] = {}
+
+    def set_root_distribution(self, name: str,
+                              psdd: PsddNode) -> "StructuredBayesianNetwork":
+        if self.dag.parents(name):
+            raise ValueError(f"cluster {name!r} has parents; use "
+                             "set_conditional")
+        self._roots[name] = psdd
+        return self
+
+    def set_conditional(self, name: str, conditional: ConditionalPsdd
+                        ) -> "StructuredBayesianNetwork":
+        if not self.dag.parents(name):
+            raise ValueError(f"cluster {name!r} is a root; use "
+                             "set_root_distribution")
+        self._conditionals[name] = conditional
+        return self
+
+    def _check_quantified(self) -> None:
+        for name in self.dag.clusters:
+            if self.dag.parents(name):
+                if name not in self._conditionals:
+                    raise ValueError(f"cluster {name!r} not quantified")
+            elif name not in self._roots:
+                raise ValueError(f"cluster {name!r} not quantified")
+
+    # -- semantics ----------------------------------------------------------------
+    def probability(self, assignment: Mapping[int, bool]) -> float:
+        """Joint probability of a complete assignment: the product of
+        per-cluster conditional probabilities."""
+        self._check_quantified()
+        value = 1.0
+        for name in self.dag.clusters:
+            if self.dag.parents(name):
+                value *= self._conditionals[name].probability(
+                    assignment, assignment)
+            else:
+                value *= self._roots[name].probability(assignment)
+            if value == 0.0:
+                return 0.0
+        return value
+
+    def sample(self, rng: random.Random | None = None) -> Dict[int, bool]:
+        """Ancestral sampling in cluster order."""
+        self._check_quantified()
+        rng = rng or random.Random()
+        assignment: Dict[int, bool] = {}
+        for name in self.dag.clusters:
+            if self.dag.parents(name):
+                drawn = self._conditionals[name].sample(assignment, rng)
+            else:
+                drawn = psdd_sample(self._roots[name], rng)
+            assignment.update(drawn)
+        return assignment
+
+    def fit(self, data: Sequence[Tuple[Mapping[int, bool], float]],
+            alpha: float = 0.0) -> "StructuredBayesianNetwork":
+        """Learn every cluster's parameters from complete assignments."""
+        self._check_quantified()
+        for name in self.dag.clusters:
+            if self.dag.parents(name):
+                triples = [(a, a, c) for a, c in data]
+                self._conditionals[name].fit(triples, alpha=alpha)
+            else:
+                learn_parameters(self._roots[name], list(data),
+                                 alpha=alpha)
+        return self
+
+    def size(self) -> int:
+        """Total circuit size over all clusters."""
+        self._check_quantified()
+        total = sum(p.size() for p in self._roots.values())
+        total += sum(c.size() for c in self._conditionals.values())
+        return total
+
+    def __repr__(self) -> str:
+        return f"StructuredBayesianNetwork({len(self.dag.clusters)} " \
+               "clusters)"

@@ -1,0 +1,116 @@
+"""Conditional PSDDs [78] — distributions over conditional spaces
+(Figs 20, 21, 24).
+
+A conditional PSDD represents Pr(Y | X) where the *structured space*
+of Y depends on the state of X.  The paper draws it as an SDD gate over
+X (yellow) selecting among the roots of a multi-rooted PSDD over Y
+(green): evaluating the gate at x selects the distribution for x.
+
+Here the gate is represented as a partition of the X-space into
+*contexts* — each context an SDD over X — with one PSDD root per
+context.  This is semantically exactly the paper's object (Fig 24
+"selecting conditional distributions"); the multi-rooted sharing of the
+green layer corresponds to contexts mapping to shared PSDD nodes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..psdd.learn import learn_parameters
+from ..psdd.psdd import PsddNode, psdd_from_sdd
+from ..psdd.sample import sample as psdd_sample
+from ..sdd.manager import SddManager
+from ..sdd.node import SddNode
+
+__all__ = ["ConditionalPsdd"]
+
+
+class ConditionalPsdd:
+    """Pr(Y | X) with per-context structured spaces.
+
+    Parameters
+    ----------
+    contexts:
+        Sequence of ``(gate, space)`` pairs: ``gate`` an SDD over the
+        parent variables and ``space`` an SDD over the child variables.
+        Gates must be pairwise disjoint and jointly exhaustive over the
+        parent space.
+    parent_manager / child_manager:
+        The SDD managers of gates and spaces respectively (distinct
+        variable namespaces are allowed and typical).
+    """
+
+    def __init__(self, contexts: Sequence[Tuple[SddNode, SddNode]],
+                 parent_manager: SddManager,
+                 child_manager: SddManager):
+        if not contexts:
+            raise ValueError("need at least one context")
+        self.parent_manager = parent_manager
+        self.child_manager = child_manager
+        self._gates: List[SddNode] = []
+        self.psdds: List[PsddNode] = []
+        union = parent_manager.false
+        for gate, space in contexts:
+            if parent_manager.conjoin(union, gate) is not \
+                    parent_manager.false:
+                raise ValueError("context gates overlap")
+            union = parent_manager.disjoin(union, gate)
+            self._gates.append(gate)
+            self.psdds.append(psdd_from_sdd(space))
+        if not union.is_true:
+            raise ValueError("context gates do not cover the parent space")
+
+    @property
+    def num_contexts(self) -> int:
+        return len(self._gates)
+
+    def gate(self, index: int) -> SddNode:
+        return self._gates[index]
+
+    def context_index(self, parent_assignment: Mapping[int, bool]) -> int:
+        """Which context a parent state selects (Fig 24's evaluation)."""
+        for i, gate in enumerate(self._gates):
+            if gate.evaluate(parent_assignment):
+                return i
+        raise AssertionError("gates must be exhaustive")
+
+    def select(self, parent_assignment: Mapping[int, bool]) -> PsddNode:
+        """The conditional distribution Pr(Y | x)."""
+        return self.psdds[self.context_index(parent_assignment)]
+
+    # -- semantics --------------------------------------------------------------
+    def probability(self, child_assignment: Mapping[int, bool],
+                    parent_assignment: Mapping[int, bool]) -> float:
+        """Pr(y | x)."""
+        return self.select(parent_assignment).probability(
+            child_assignment)
+
+    def sample(self, parent_assignment: Mapping[int, bool],
+               rng: random.Random | None = None) -> Dict[int, bool]:
+        return psdd_sample(self.select(parent_assignment), rng)
+
+    # -- learning ----------------------------------------------------------------
+    def fit(self, data: Sequence[Tuple[Mapping[int, bool],
+                                       Mapping[int, bool], float]],
+            alpha: float = 0.0) -> "ConditionalPsdd":
+        """Learn all context distributions from (x, y, count) triples."""
+        buckets: List[List[Tuple[Mapping[int, bool], float]]] = \
+            [[] for _ in self._gates]
+        for parent_assignment, child_assignment, count in data:
+            index = self.context_index(parent_assignment)
+            buckets[index].append((child_assignment, count))
+        for psdd, bucket in zip(self.psdds, buckets):
+            if bucket:
+                learn_parameters(psdd, bucket, alpha=alpha)
+        return self
+
+    def size(self) -> int:
+        """Gate sizes plus distinct PSDD sizes (shared nodes counted
+        once per root here; the multi-rooted encoding would share)."""
+        return sum(g.size() for g in self._gates) + \
+            sum(p.size() for p in self.psdds)
+
+    def __repr__(self) -> str:
+        return f"ConditionalPsdd({self.num_contexts} contexts)"

@@ -1,0 +1,460 @@
+"""Hierarchical maps (Figs 18–22): scaling route compilation by region
+decomposition.
+
+Nodes of a map are partitioned into named regions.  Edges *between*
+regions ("crossings", the paper's e₁…e₆) form the root cluster of a
+cluster DAG; each region's *inner* edges (c₁…c₆ for Culver City) form a
+child cluster whose structured space is conditioned on the incident
+crossings — exactly the Fig 20 story: the valid routes inside Culver
+City are a function of the Westside crossings used to enter/exit it.
+
+The construction needs the hierarchical independence that motivates
+the paper's hierarchical maps: given the crossing pattern, the inner
+segments of different regions combine freely.  That is only true when
+every region is traversed as one contiguous segment — otherwise the
+*pairing* of crossing endpoints inside one region couples with the
+pairings of its neighbours.  The model therefore restricts the route
+space to *hierarchical routes*: the source/destination regions use
+exactly one crossing and every other region uses zero or two (the same
+enter-once/exit-once reading the paper gives for Fig 18).  With that
+restriction the product decomposition is exact; the tests verify the
+distribution sums to one over the space.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, \
+    Tuple
+
+import networkx as nx
+
+from ..psdd.psdd import psdd_from_sdd
+from ..sdd.compiler import compile_terms_sdd
+from ..sdd.manager import SddManager
+from ..vtree.construct import balanced_vtree
+from ..spaces.gridmap import Node, RoadMap
+from ..spaces.routes import enumerate_routes
+from .cluster_dag import ClusterDag, StructuredBayesianNetwork
+from .conditional import ConditionalPsdd
+
+__all__ = ["HierarchicalMap", "NestedHierarchicalMap"]
+
+
+class HierarchicalMap:
+    """A two-level hierarchical route model over a partitioned map."""
+
+    def __init__(self, road_map: RoadMap, regions: Mapping[str,
+                                                           Sequence[Node]],
+                 source: Node, destination: Node,
+                 max_length: Optional[int] = None):
+        self.road_map = road_map
+        self.source = source
+        self.destination = destination
+        self.regions: Dict[str, FrozenSet[Node]] = {
+            name: frozenset(nodes) for name, nodes in regions.items()}
+        self._validate_partition()
+        if self._region_of(source) == self._region_of(destination):
+            raise ValueError("source and destination must lie in "
+                             "different regions of a hierarchical map")
+        self._split_edges()
+        self.all_routes = enumerate_routes(road_map, source, destination,
+                                           max_length)
+        self.routes = [route for route in self.all_routes
+                       if self.is_hierarchical_route(route)]
+        if not self.routes:
+            raise ValueError("no hierarchical route between the "
+                             "given endpoints")
+        self._build_network()
+
+    # -- structure ---------------------------------------------------------------
+    def _validate_partition(self) -> None:
+        seen: set = set()
+        for name, nodes in self.regions.items():
+            if seen & nodes:
+                raise ValueError(f"region {name!r} overlaps another")
+            seen |= nodes
+        missing = set(self.road_map.nodes) - seen
+        if missing:
+            raise ValueError(f"nodes not covered by regions: {missing}")
+
+    def _region_of(self, node: Node) -> str:
+        for name, nodes in self.regions.items():
+            if node in nodes:
+                return name
+        raise KeyError(node)
+
+    def _split_edges(self) -> None:
+        self.crossing_vars: List[int] = []
+        self.inner_vars: Dict[str, List[int]] = {
+            name: [] for name in self.regions}
+        for edge in self.road_map.edges:
+            a, b = edge
+            var = self.road_map.edge_variable(a, b)
+            ra, rb = self._region_of(a), self._region_of(b)
+            if ra == rb:
+                self.inner_vars[ra].append(var)
+            else:
+                self.crossing_vars.append(var)
+
+    # -- construction -------------------------------------------------------------
+    def _build_network(self) -> None:
+        dag = ClusterDag()
+        dag.add_cluster("crossings", self.crossing_vars)
+        region_names = [name for name in self.regions
+                        if self.inner_vars[name]]
+        for name in region_names:
+            dag.add_cluster(name, self.inner_vars[name],
+                            parents=["crossings"])
+        self.network = StructuredBayesianNetwork(dag)
+
+        # root: the space of realized crossing patterns
+        root_manager = SddManager(balanced_vtree(self.crossing_vars))
+        patterns = set()
+        route_assignments = [self.road_map.route_assignment(route)
+                             for route in self.routes]
+        for assignment in route_assignments:
+            patterns.add(tuple(v if assignment[v] else -v
+                               for v in self.crossing_vars))
+        root_sdd = compile_terms_sdd(sorted(patterns), root_manager)
+        self.network.set_root_distribution(
+            "crossings", psdd_from_sdd(root_sdd))
+
+        # regions: conditional spaces keyed by incident crossings
+        for name in region_names:
+            conditional = self._build_region_conditional(
+                name, root_manager, route_assignments)
+            self.network.set_conditional(name, conditional)
+
+    def _incident_crossings(self, name: str) -> List[int]:
+        result = []
+        for var in self.crossing_vars:
+            a, b = self.road_map.edge_of_variable(var)
+            if a in self.regions[name] or b in self.regions[name]:
+                result.append(var)
+        return result
+
+    def _build_region_conditional(self, name: str,
+                                  root_manager: SddManager,
+                                  route_assignments) -> ConditionalPsdd:
+        inner = self.inner_vars[name]
+        incident = self._incident_crossings(name)
+        child_manager = SddManager(balanced_vtree(inner))
+        spaces: Dict[Tuple[int, ...], set] = {}
+        for assignment in route_assignments:
+            context = tuple(v if assignment[v] else -v for v in incident)
+            term = tuple(v if assignment[v] else -v for v in inner)
+            spaces.setdefault(context, set()).add(term)
+        contexts = []
+        covered = root_manager.false
+        for context, terms in sorted(spaces.items()):
+            gate = root_manager.term(context)
+            covered = root_manager.disjoin(covered, gate)
+            space = compile_terms_sdd(sorted(terms), child_manager)
+            contexts.append((gate, space))
+        remainder = root_manager.negate(covered)
+        if not remainder.is_false:
+            # unrealized crossing patterns: the region is not traversed
+            empty = child_manager.term([-v for v in inner])
+            contexts.append((remainder, empty))
+        return ConditionalPsdd(contexts, root_manager, child_manager)
+
+    def is_hierarchical_route(self, path: Sequence[Node]) -> bool:
+        """Does the route traverse each region as a single segment?
+
+        Source/destination regions must use exactly one crossing; every
+        other region zero or two.
+        """
+        assignment = self.road_map.route_assignment(path)
+        used: Dict[str, int] = {name: 0 for name in self.regions}
+        for var in self.crossing_vars:
+            if assignment[var]:
+                a, b = self.road_map.edge_of_variable(var)
+                used[self._region_of(a)] += 1
+                used[self._region_of(b)] += 1
+        terminal = {self._region_of(self.source),
+                    self._region_of(self.destination)}
+        for name, count in used.items():
+            if name in terminal:
+                if count != 1:
+                    return False
+            elif count not in (0, 2):
+                return False
+        return True
+
+    # -- use ---------------------------------------------------------------------
+    def fit(self, trajectories: Sequence[Sequence[Node]],
+            alpha: float = 0.0) -> "HierarchicalMap":
+        counts: Dict[Tuple[Tuple[int, bool], ...], int] = {}
+        for path in trajectories:
+            assignment = self.road_map.route_assignment(path)
+            key = tuple(sorted(assignment.items()))
+            counts[key] = counts.get(key, 0) + 1
+        data = [(dict(key), count) for key, count in counts.items()]
+        self.network.fit(data, alpha=alpha)
+        return self
+
+    def route_probability(self, path: Sequence[Node]) -> float:
+        return self.network.probability(
+            self.road_map.route_assignment(path))
+
+    def sample_route_assignment(self, rng: random.Random | None = None
+                                ) -> Dict[int, bool]:
+        return self.network.sample(rng)
+
+    def size(self) -> int:
+        """Total circuit size of the hierarchical representation."""
+        return self.network.size()
+
+
+class NestedHierarchicalMap:
+    """An arbitrary-depth hierarchical route model (Fig 18's shape).
+
+    ``regions`` is a *tree*: values are either node sequences (leaf
+    regions) or nested mappings (regions with sub-regions), e.g. the
+    paper's Westside::
+
+        {"santa_monica": [...], "venice": [...], "culver_city": [...],
+         "westwood": {"ucla": [...], "village": [...]}}
+
+    Edges between the children of a region form that region's crossing
+    cluster; a cluster's distribution is conditioned on *all* ancestor
+    crossing clusters (its boundary edges live there).  The route space
+    is restricted to routes traversing every region — at every level —
+    as a single segment, which makes the product decomposition exact.
+    """
+
+    ROOT = ""
+
+    def __init__(self, road_map: RoadMap, regions: Mapping,
+                 source: Node, destination: Node,
+                 max_length: Optional[int] = None):
+        self.road_map = road_map
+        self.source = source
+        self.destination = destination
+        self._parse_tree(regions)
+        if self._leaf_of(source) == self._leaf_of(destination):
+            raise ValueError("source and destination must lie in "
+                             "different leaf regions")
+        self._split_edges()
+        self.all_routes = enumerate_routes(road_map, source, destination,
+                                           max_length)
+        self.routes = [route for route in self.all_routes
+                       if self.is_hierarchical_route(route)]
+        if not self.routes:
+            raise ValueError("no hierarchical route between the "
+                             "given endpoints")
+        self._build_network()
+
+    # -- region tree -----------------------------------------------------------
+    def _parse_tree(self, regions: Mapping) -> None:
+        self.children: Dict[str, List[str]] = {self.ROOT: []}
+        self.leaf_nodes: Dict[str, FrozenSet[Node]] = {}
+        self.parent: Dict[str, str] = {}
+
+        def walk(prefix: str, spec: Mapping) -> None:
+            for name, value in spec.items():
+                path = f"{prefix}/{name}" if prefix else name
+                self.children.setdefault(prefix or self.ROOT,
+                                         []).append(path)
+                self.parent[path] = prefix or self.ROOT
+                if isinstance(value, Mapping):
+                    self.children[path] = []
+                    walk(path, value)
+                else:
+                    self.leaf_nodes[path] = frozenset(value)
+
+        walk("", regions)
+        seen: set = set()
+        for path, nodes in self.leaf_nodes.items():
+            if seen & nodes:
+                raise ValueError(f"region {path!r} overlaps another")
+            seen |= nodes
+        missing = set(self.road_map.nodes) - seen
+        if missing:
+            raise ValueError(f"nodes not covered by regions: {missing}")
+        self._leaf_by_node: Dict[Node, str] = {}
+        for path, nodes in self.leaf_nodes.items():
+            for node in nodes:
+                self._leaf_by_node[node] = path
+
+    def _leaf_of(self, node: Node) -> str:
+        return self._leaf_by_node[node]
+
+    def _ancestry(self, path: str) -> List[str]:
+        """The chain root .. path (inclusive)."""
+        chain = [path]
+        while chain[-1] != self.ROOT:
+            chain.append(self.parent[chain[-1]])
+        return list(reversed(chain))
+
+    def _regions_containing(self, node: Node) -> List[str]:
+        return self._ancestry(self._leaf_of(node))
+
+    # -- edges ---------------------------------------------------------------
+    def _split_edges(self) -> None:
+        #: crossing vars per internal region (keyed by region path)
+        self.crossing_vars: Dict[str, List[int]] = {
+            path: [] for path in self.children}
+        #: inner edge vars per leaf region
+        self.inner_vars: Dict[str, List[int]] = {
+            path: [] for path in self.leaf_nodes}
+        for a, b in self.road_map.edges:
+            var = self.road_map.edge_variable(a, b)
+            chain_a = self._regions_containing(a)
+            chain_b = self._regions_containing(b)
+            common = self.ROOT
+            for ra, rb in zip(chain_a, chain_b):
+                if ra != rb:
+                    break
+                common = ra
+            if chain_a[-1] == chain_b[-1]:
+                self.inner_vars[chain_a[-1]].append(var)
+            else:
+                self.crossing_vars[common].append(var)
+
+    def _boundary_vars(self, path: str) -> List[int]:
+        """Crossing variables with exactly one endpoint inside ``path``."""
+        members = self._members(path)
+        result = []
+        for ancestor in self._ancestry(path)[:-1]:
+            for var in self.crossing_vars.get(ancestor, []):
+                a, b = self.road_map.edge_of_variable(var)
+                if (a in members) != (b in members):
+                    result.append(var)
+        return sorted(result)
+
+    def _members(self, path: str) -> FrozenSet[Node]:
+        if path in self.leaf_nodes:
+            return self.leaf_nodes[path]
+        members: FrozenSet[Node] = frozenset()
+        for child in self.children[path]:
+            members |= self._members(child)
+        return members
+
+    # -- the route space restriction ----------------------------------------------
+    def is_hierarchical_route(self, path_nodes: Sequence[Node]) -> bool:
+        """Single-segment traversal at every region of the tree."""
+        assignment = self.road_map.route_assignment(path_nodes)
+        for path in list(self.children) + list(self.leaf_nodes):
+            if path == self.ROOT:
+                continue
+            members = self._members(path)
+            used = sum(1 for var in self._boundary_vars(path)
+                       if assignment[var])
+            terminal = (self.source in members) != \
+                (self.destination in members)
+            both_inside = self.source in members and \
+                self.destination in members
+            if terminal:
+                if used != 1:
+                    return False
+            elif both_inside:
+                if used != 0:
+                    return False
+            elif used not in (0, 2):
+                return False
+        return True
+
+    # -- construction ---------------------------------------------------------------
+    def _build_network(self) -> None:
+        dag = ClusterDag()
+        route_assignments = [self.road_map.route_assignment(route)
+                             for route in self.routes]
+        # clusters in breadth order: crossings of internal regions,
+        # then leaf inner clusters
+        ordered_internals = [path for path in self.children
+                             if self.crossing_vars[path]]
+        ordered_internals.sort(key=lambda p: len(self._ancestry(p)))
+        self._cluster_of: Dict[str, str] = {}
+        for path in ordered_internals:
+            cluster = f"crossings:{path or 'root'}"
+            parents = [self._cluster_of[a]
+                       for a in self._ancestry(path)[:-1]
+                       if a in self._cluster_of]
+            dag.add_cluster(cluster, self.crossing_vars[path],
+                            parents=parents)
+            self._cluster_of[path] = cluster
+        leaf_clusters = [path for path in self.leaf_nodes
+                         if self.inner_vars[path]]
+        for path in leaf_clusters:
+            cluster = f"inner:{path}"
+            parents = [self._cluster_of[a]
+                       for a in self._ancestry(path)[:-1]
+                       if a in self._cluster_of]
+            dag.add_cluster(cluster, self.inner_vars[path],
+                            parents=parents)
+        self.network = StructuredBayesianNetwork(dag)
+
+        for path in ordered_internals:
+            cluster = self._cluster_of[path]
+            if not dag.parents(cluster):
+                manager = SddManager(
+                    balanced_vtree(self.crossing_vars[path]))
+                patterns = {tuple(v if a[v] else -v
+                                  for v in self.crossing_vars[path])
+                            for a in route_assignments}
+                sdd = compile_terms_sdd(sorted(patterns), manager)
+                self.network.set_root_distribution(
+                    cluster, psdd_from_sdd(sdd))
+            else:
+                self.network.set_conditional(
+                    cluster, self._conditional_for(
+                        path, self.crossing_vars[path],
+                        dag.parent_variables(cluster),
+                        route_assignments))
+        for path in leaf_clusters:
+            cluster = f"inner:{path}"
+            self.network.set_conditional(
+                cluster, self._conditional_for(
+                    path, self.inner_vars[path],
+                    dag.parent_variables(cluster), route_assignments))
+
+    def _conditional_for(self, path: str, own_vars: Sequence[int],
+                         parent_vars: Sequence[int],
+                         route_assignments) -> ConditionalPsdd:
+        incident = [v for v in self._boundary_vars(path)
+                    if v in set(parent_vars)]
+        parent_manager = SddManager(balanced_vtree(parent_vars))
+        child_manager = SddManager(balanced_vtree(own_vars))
+        spaces: Dict[Tuple[int, ...], set] = {}
+        for assignment in route_assignments:
+            context = tuple(v if assignment[v] else -v for v in incident)
+            term = tuple(v if assignment[v] else -v for v in own_vars)
+            spaces.setdefault(context, set()).add(term)
+        contexts = []
+        covered = parent_manager.false
+        for context, terms in sorted(spaces.items()):
+            gate = parent_manager.term(context)
+            covered = parent_manager.disjoin(covered, gate)
+            contexts.append((gate,
+                             compile_terms_sdd(sorted(terms),
+                                               child_manager)))
+        remainder = parent_manager.negate(covered)
+        if not remainder.is_false:
+            empty = child_manager.term([-v for v in own_vars])
+            contexts.append((remainder, empty))
+        return ConditionalPsdd(contexts, parent_manager, child_manager)
+
+    # -- use ---------------------------------------------------------------------
+    def fit(self, trajectories: Sequence[Sequence[Node]],
+            alpha: float = 0.0) -> "NestedHierarchicalMap":
+        counts: Dict[Tuple[Tuple[int, bool], ...], int] = {}
+        for path_nodes in trajectories:
+            assignment = self.road_map.route_assignment(path_nodes)
+            key = tuple(sorted(assignment.items()))
+            counts[key] = counts.get(key, 0) + 1
+        data = [(dict(key), count) for key, count in counts.items()]
+        self.network.fit(data, alpha=alpha)
+        return self
+
+    def route_probability(self, path_nodes: Sequence[Node]) -> float:
+        return self.network.probability(
+            self.road_map.route_assignment(path_nodes))
+
+    def sample_route_assignment(self, rng: random.Random | None = None
+                                ) -> Dict[int, bool]:
+        return self.network.sample(rng)
+
+    def size(self) -> int:
+        return self.network.size()

@@ -1,0 +1,22 @@
+"""Explaining decisions: sufficient reasons, reason circuits, bias,
+counterfactuals (Section 5.1)."""
+
+from .sufficient import (all_sufficient_reasons, decision_and_function,
+                         is_sufficient_reason, minimal_sufficient_reason,
+                         smallest_sufficient_reason)
+from .reason_circuit import (reason_circuit, reason_circuit_ddnnf,
+                             reason_implies, reason_prime_implicants)
+from .bias import bias_from_reasons, classifier_is_biased, \
+    decision_is_biased
+from .counterfactual import decision_sticks, verify_even_if_because
+from .necessary import is_necessary, necessary_characteristics
+
+__all__ = ["all_sufficient_reasons", "decision_and_function",
+           "is_sufficient_reason", "minimal_sufficient_reason",
+           "smallest_sufficient_reason", "reason_circuit",
+           "reason_circuit_ddnnf", "reason_implies",
+           "reason_prime_implicants",
+           "bias_from_reasons", "classifier_is_biased",
+           "decision_is_biased", "decision_sticks",
+           "verify_even_if_because", "is_necessary",
+           "necessary_characteristics"]

@@ -1,0 +1,75 @@
+"""Decision and classifier bias w.r.t. protected features ([33], Fig 27).
+
+Definitions (Section 5.1):
+
+* a decision is *biased* iff it would differ had we only changed
+  protected features of the instance;
+* a classifier is *biased* iff it makes at least one biased decision —
+  equivalently, iff its decision function depends on some protected
+  feature.
+
+The sufficient-reason characterisations (every reason touches a
+protected feature ⇒ biased decision; some reason touches one ⇒ biased
+classifier) are implemented too and tested for agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from ..obdd.manager import ObddNode
+from ..obdd.ops import restrict
+from .sufficient import all_sufficient_reasons
+
+__all__ = ["decision_is_biased", "classifier_is_biased",
+           "bias_from_reasons"]
+
+
+def decision_is_biased(node: ObddNode, instance: Mapping[int, bool],
+                       protected: Sequence[int]) -> bool:
+    """Would changing only protected features flip this decision?
+
+    Checked directly: fix the unprotected features to their instance
+    values; the decision is biased iff the residual function over the
+    protected features is not constant.
+    """
+    protected = set(protected)
+    fixed = {var: value for var, value in instance.items()
+             if var not in protected}
+    residual = restrict(node, fixed)
+    return not residual.is_terminal
+
+
+def classifier_is_biased(node: ObddNode,
+                         protected: Sequence[int]) -> bool:
+    """Does the classifier make *some* biased decision?  True iff the
+    function depends on a protected feature."""
+    for var in protected:
+        if restrict(node, {var: True}) is not restrict(node, {var: False}):
+            return True
+    return False
+
+
+def bias_from_reasons(node: ObddNode, instance: Mapping[int, bool],
+                      protected: Sequence[int]) -> Dict[str, bool]:
+    """The sufficient-reason bias analysis of Fig 27.
+
+    Returns flags:
+
+    * ``decision_biased`` — every sufficient reason contains a
+      protected feature;
+    * ``classifier_biased_witness`` — some sufficient reason contains a
+      protected feature (if the decision itself is unbiased, this
+      certifies that the *classifier* is biased on some other
+      instance).
+    """
+    protected = set(protected)
+    reasons = all_sufficient_reasons(node, instance)
+    touching = [any(abs(lit) in protected for lit in reason)
+                for reason in reasons]
+    return {
+        "decision_biased": bool(touching) and all(touching),
+        "classifier_biased_witness": any(touching),
+        "num_reasons": len(reasons),
+        "num_protected_reasons": sum(touching),
+    }

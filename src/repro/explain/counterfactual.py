@@ -1,0 +1,56 @@
+"""Counterfactual statements about decisions ([33]; Section 5.1).
+
+The paper's example: "The decision on April would stick *even if* she
+were not to have work experience *because* she passed the entrance
+exam."  Such a statement has two parts:
+
+* *even if*: flipping the named features leaves the decision unchanged;
+* *because*: the named reason is a term of instance literals, disjoint
+  from the flipped features, that is sufficient for the decision — so
+  it explains why the flip cannot matter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from ..obdd.manager import ObddNode
+from .sufficient import decision_and_function, _term_triggers
+
+__all__ = ["decision_sticks", "verify_even_if_because"]
+
+
+def decision_sticks(node: ObddNode, instance: Mapping[int, bool],
+                    flipped: Sequence[int]) -> bool:
+    """Does the decision survive flipping the given features?"""
+    modified = dict(instance)
+    for var in flipped:
+        modified[var] = not modified[var]
+    return node.evaluate(modified) == node.evaluate(instance)
+
+
+def verify_even_if_because(node: ObddNode,
+                           instance: Mapping[int, bool],
+                           flipped: Sequence[int],
+                           because: Sequence[int]) -> Dict[str, bool]:
+    """Check an "even if … because …" statement.
+
+    ``because`` is a term of literals.  The statement is *valid* when
+    the term consists of instance literals, avoids the flipped
+    features, and is sufficient for the decision — which entails the
+    decision sticks under *any* change to the flipped features (not
+    just the single flip).
+    """
+    flipped_set = set(flipped)
+    term_ok = all(instance[abs(lit)] == (lit > 0) for lit in because)
+    disjoint = all(abs(lit) not in flipped_set for lit in because)
+    _decision, trigger = decision_and_function(node, instance)
+    sufficient = _term_triggers(trigger, list(because))
+    valid = term_ok and disjoint and sufficient
+    return {
+        "sticks": decision_sticks(node, instance, flipped),
+        "because_is_instance_term": term_ok,
+        "because_avoids_flipped": disjoint,
+        "because_is_sufficient": sufficient,
+        "valid": valid,
+    }

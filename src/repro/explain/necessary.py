@@ -1,0 +1,56 @@
+"""Necessary characteristics of a decision ([33]).
+
+A characteristic (instance literal) is *necessary* when it appears in
+every sufficient reason: no subset of the instance that avoids it can
+trigger the decision.  The set of necessary characteristics is the
+intersection of all sufficient reasons; by monotonicity of the reason
+circuit it is computable with one circuit evaluation per literal — no
+sufficient-reason enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from ..obdd.manager import ObddNode
+from .reason_circuit import reason_circuit, reason_implies
+from .sufficient import decision_and_function, _instance_term
+
+__all__ = ["necessary_characteristics", "is_necessary"]
+
+
+def is_necessary(node: ObddNode, instance: Mapping[int, bool],
+                 literal: int) -> bool:
+    """Is the instance literal part of every sufficient reason?
+
+    Equivalent check on the monotone reason circuit: the *full*
+    instance term with the literal removed must fail to trigger the
+    decision (monotonicity makes the full term the easiest trigger).
+    """
+    if instance[abs(literal)] != (literal > 0):
+        raise ValueError("literal is not part of the instance")
+    circuit = reason_circuit(node, instance)
+    _decision, trigger = decision_and_function(node, instance)
+    term = [lit for lit in _instance_term(instance,
+                                          sorted(trigger.variables()))
+            if lit != literal]
+    return not reason_implies(circuit, term)
+
+
+def necessary_characteristics(node: ObddNode,
+                              instance: Mapping[int, bool]
+                              ) -> List[int]:
+    """All necessary characteristics (sorted by variable).
+
+    Computed with one reason circuit and one monotone evaluation per
+    instance literal — no sufficient-reason enumeration.
+    """
+    circuit = reason_circuit(node, instance)
+    _decision, trigger = decision_and_function(node, instance)
+    term = _instance_term(instance, sorted(trigger.variables()))
+    necessary = []
+    for literal in term:
+        remaining = [lit for lit in term if lit != literal]
+        if not reason_implies(circuit, remaining):
+            necessary.append(literal)
+    return sorted(necessary, key=abs)

@@ -1,0 +1,192 @@
+"""The complete reason behind a decision, as a tractable circuit
+(Darwiche & Hirth [33]; Fig 27).
+
+The *complete reason* is the disjunction of all sufficient reasons —
+the "most general abstraction of the instance that triggers the
+decision".  On a decision graph (OBDD) it is extracted in linear time:
+every decision node on variable X rewrites to
+
+    consistent_child ∧ (consistent_literal ∨ other_child)
+
+where "consistent" is relative to the instance.  The result is a
+*monotone* NNF circuit over the instance's literals, which is what
+makes it tractable to reason with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Sequence
+
+from ..nnf.node import NnfManager, NnfNode
+from ..obdd.manager import ObddNode
+from .sufficient import decision_and_function
+
+__all__ = ["reason_circuit", "reason_circuit_ddnnf", "reason_implies",
+           "reason_prime_implicants"]
+
+
+def reason_circuit(node: ObddNode, instance: Mapping[int, bool],
+                   manager: NnfManager | None = None) -> NnfNode:
+    """The complete-reason circuit for the decision on ``instance``.
+
+    Works for positive and negative decisions alike (the negative case
+    transforms the complement, per Fig 26).
+    """
+    if manager is None:
+        manager = NnfManager()
+    _decision, trigger = decision_and_function(node, instance)
+    obdd_manager = trigger.manager
+    cache: Dict[int, NnfNode] = {}
+
+    def build(current: ObddNode) -> NnfNode:
+        hit = cache.get(current.id)
+        if hit is not None:
+            return hit
+        if current.is_terminal:
+            result = manager.true() if current.terminal_value \
+                else manager.false()
+        else:
+            var = current.var
+            value = instance[var]
+            literal = manager.literal(var if value else -var)
+            consistent = build(current.high if value else current.low)
+            other = build(current.low if value else current.high)
+            result = manager.conjoin(consistent,
+                                     manager.disjoin(literal, other))
+        cache[current.id] = result
+        return result
+
+    return build(trigger)
+
+
+def reason_circuit_ddnnf(trigger: NnfNode, instance: Mapping[int, bool],
+                         manager: NnfManager | None = None) -> NnfNode:
+    """The complete-reason circuit from a Decision-DNNF directly.
+
+    [33]'s construction applies to any decision graph, and compiler
+    output (Decision-DNNF) is one: decision gates transform like OBDD
+    nodes (consistent-branch ∧ (consistent-literal ∨ other-branch));
+    and-gates, whose children are over disjoint variables, transform
+    child-wise (f|S is valid iff every factor's restriction is).
+
+    ``trigger`` must be the function the decision *triggers* — the
+    classifier itself for a positive decision, a Decision-DNNF of its
+    complement for a negative one (note that
+    :func:`repro.nnf.transform.negate_decision` does not preserve the
+    decision-gate shape; compile the complement instead, or use the
+    OBDD-based :func:`reason_circuit`).  The instance must satisfy the
+    trigger.
+    """
+    from ..nnf.properties import is_decision_node
+    if manager is None:
+        manager = trigger.manager
+    if not trigger.evaluate({**{v: False for v in trigger.variables()},
+                             **dict(instance)}):
+        raise ValueError("the instance does not satisfy the trigger; "
+                         "pass the complement circuit for negative "
+                         "decisions")
+    cache: Dict[int, NnfNode] = {}
+
+    def build(node: NnfNode) -> NnfNode:
+        hit = cache.get(node.id)
+        if hit is not None:
+            return hit
+        if node.is_true:
+            result = manager.true()
+        elif node.is_false:
+            result = manager.false()
+        elif node.is_literal:
+            consistent = instance[abs(node.literal)] == \
+                (node.literal > 0)
+            result = node if consistent else manager.false()
+        elif node.is_and:
+            result = manager.conjoin(*(build(c) for c in node.children))
+        else:
+            var = is_decision_node(node)
+            if var is None:
+                raise ValueError("reason circuits need a Decision-DNNF")
+            value = instance[var]
+            literal = manager.literal(var if value else -var)
+            consistent_child, other_child = None, None
+            for child in node.children:
+                guard = child.literal if child.is_literal else \
+                    child.children[0].literal
+                rest = manager.true() if child.is_literal else \
+                    manager.conjoin(*child.children[1:])
+                if (guard > 0) == value:
+                    consistent_child = rest
+                else:
+                    other_child = rest
+            consistent_part = build(consistent_child) \
+                if consistent_child is not None else manager.false()
+            other_part = build(other_child) \
+                if other_child is not None else manager.false()
+            result = manager.conjoin(
+                consistent_part, manager.disjoin(literal, other_part))
+        cache[node.id] = result
+        return result
+
+    return build(trigger)
+
+
+def reason_implies(circuit: NnfNode, term: Sequence[int]) -> bool:
+    """Does the term (a subset of the instance's literals) trigger the
+    decision — i.e. imply the complete reason?
+
+    The circuit is monotone in the instance literals, so it suffices to
+    evaluate it with exactly the term's literals asserted.
+    """
+    term_set = set(term)
+    values: Dict[int, bool] = {}
+    for node in circuit.topological():
+        if node.is_literal:
+            values[node.id] = node.literal in term_set
+        elif node.is_true:
+            values[node.id] = True
+        elif node.is_false:
+            values[node.id] = False
+        elif node.is_and:
+            values[node.id] = all(values[c.id] for c in node.children)
+        else:
+            values[node.id] = any(values[c.id] for c in node.children)
+    return values[circuit.id]
+
+
+def reason_prime_implicants(circuit: NnfNode) -> List[FrozenSet[int]]:
+    """The prime implicants of a (monotone) reason circuit — these are
+    exactly the sufficient reasons of the decision.
+
+    Monotonicity allows a bottom-up computation manipulating antichains
+    of literal sets (each node's set of minimal triggering terms).
+    """
+    cache: Dict[int, List[FrozenSet[int]]] = {}
+    for node in circuit.topological():
+        if node.is_literal:
+            cache[node.id] = [frozenset((node.literal,))]
+        elif node.is_true:
+            cache[node.id] = [frozenset()]
+        elif node.is_false:
+            cache[node.id] = []
+        elif node.is_or:
+            union: List[FrozenSet[int]] = []
+            for child in node.children:
+                union.extend(cache[child.id])
+            cache[node.id] = _minimize(union)
+        else:  # and: pairwise unions across children
+            combined: List[FrozenSet[int]] = [frozenset()]
+            for child in node.children:
+                combined = [a | b for a in combined
+                            for b in cache[child.id]]
+                combined = _minimize(combined)
+            cache[node.id] = combined
+    return sorted(cache[circuit.id],
+                  key=lambda t: (len(t), sorted(t, key=abs)))
+
+
+def _minimize(terms: List[FrozenSet[int]]) -> List[FrozenSet[int]]:
+    """Keep only subset-minimal terms."""
+    minimal: List[FrozenSet[int]] = []
+    for term in sorted(set(terms), key=len):
+        if not any(existing <= term for existing in minimal):
+            minimal.append(term)
+    return minimal

@@ -1,0 +1,141 @@
+"""Sufficient reasons (PI-explanations) of classifier decisions
+([82, 33]; Section 5.1, Figs 26–28).
+
+A *sufficient reason* for the decision on instance x is a minimal
+subset of x's literals that triggers the decision regardless of the
+other features — equivalently, a prime implicant of the decision
+function (of its complement, for negative decisions) compatible with x.
+
+All routines work on the OBDD of the decision function; sufficiency of
+a term is a restrict-then-constant check, which canonicity makes exact.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, List, Mapping, Optional, Sequence, \
+    Tuple
+
+from ..obdd.manager import ObddNode
+from ..obdd.ops import restrict
+
+__all__ = ["decision_and_function", "is_sufficient_reason",
+           "minimal_sufficient_reason", "smallest_sufficient_reason",
+           "all_sufficient_reasons"]
+
+Term = FrozenSet[int]
+
+
+def decision_and_function(node: ObddNode,
+                          instance: Mapping[int, bool]
+                          ) -> Tuple[bool, ObddNode]:
+    """The decision on ``instance`` and the function that *triggers* it
+    (the classifier itself for positive decisions, its complement for
+    negative ones — Fig 26's use of f̄)."""
+    decision = node.evaluate(instance)
+    trigger = node if decision else node.manager.negate(node)
+    return decision, trigger
+
+
+def _instance_term(instance: Mapping[int, bool],
+                   variables: Sequence[int]) -> List[int]:
+    return [v if instance[v] else -v for v in variables]
+
+
+def is_sufficient_reason(node: ObddNode, instance: Mapping[int, bool],
+                         term: Sequence[int],
+                         check_minimal: bool = True) -> bool:
+    """Is ``term`` (literals of the instance) a sufficient reason for
+    the decision on the instance?"""
+    _decision, trigger = decision_and_function(node, instance)
+    term = list(term)
+    for lit in term:
+        if instance[abs(lit)] != (lit > 0):
+            return False  # not an instance literal
+    if not _term_triggers(trigger, term):
+        return False
+    if check_minimal:
+        for lit in term:
+            remaining = [other for other in term if other != lit]
+            if _term_triggers(trigger, remaining):
+                return False
+    return True
+
+
+def _term_triggers(trigger: ObddNode, term: Sequence[int]) -> bool:
+    """Does fixing the term make the trigger function valid?"""
+    fixed = {abs(lit): lit > 0 for lit in term}
+    return restrict(trigger, fixed) is trigger.manager.one
+
+
+def minimal_sufficient_reason(node: ObddNode,
+                              instance: Mapping[int, bool],
+                              prefer_order: Sequence[int] | None = None
+                              ) -> List[int]:
+    """One (subset-)minimal sufficient reason, by greedy shrinking.
+
+    Linear in the number of features times OBDD size — this is the
+    scalable routine used on the digit networks of Fig 28.
+    ``prefer_order``: variables to try dropping first.
+    """
+    _decision, trigger = decision_and_function(node, instance)
+    relevant = sorted(trigger.variables())
+    term = _instance_term(instance, relevant)
+    order = list(prefer_order) if prefer_order is not None else \
+        [abs(lit) for lit in term]
+    for var in order:
+        lit = var if instance[var] else -var
+        if lit not in term:
+            continue
+        candidate = [other for other in term if other != lit]
+        if _term_triggers(trigger, candidate):
+            term = candidate
+    return sorted(term, key=abs)
+
+
+def smallest_sufficient_reason(node: ObddNode,
+                               instance: Mapping[int, bool],
+                               max_size: int | None = None
+                               ) -> Optional[List[int]]:
+    """A minimum-cardinality sufficient reason, by iterative deepening
+    over candidate sizes (exact; exponential in the answer size only).
+
+    Returns None if no reason within ``max_size`` exists.
+    """
+    _decision, trigger = decision_and_function(node, instance)
+    relevant = sorted(trigger.variables())
+    full_term = _instance_term(instance, relevant)
+    upper = len(minimal_sufficient_reason(node, instance))
+    limit = upper if max_size is None else min(max_size, upper)
+    for size in range(limit + 1):
+        for combo in itertools.combinations(full_term, size):
+            if _term_triggers(trigger, combo):
+                return sorted(combo, key=abs)
+    return None
+
+
+def all_sufficient_reasons(node: ObddNode,
+                           instance: Mapping[int, bool],
+                           max_variables: int = 20) -> List[Term]:
+    """All sufficient reasons, by branch-and-prune over instance
+    literals.  Exponential in the worst case — intended for the
+    figure-scale analyses (Figs 26–27)."""
+    _decision, trigger = decision_and_function(node, instance)
+    relevant = sorted(trigger.variables())
+    if len(relevant) > max_variables:
+        raise ValueError(
+            f"{len(relevant)} variables is beyond the exact enumeration "
+            "limit; use minimal/smallest_sufficient_reason instead")
+    literals = _instance_term(instance, relevant)
+    reasons: List[Term] = []
+    # sweep candidate terms by increasing size: a term that triggers and
+    # contains no previously-found reason is minimal, hence a reason
+    for size in range(len(literals) + 1):
+        for combo in itertools.combinations(literals, size):
+            candidate = frozenset(combo)
+            if any(existing <= candidate for existing in reasons):
+                continue
+            if _term_triggers(trigger, combo):
+                reasons.append(candidate)
+    return sorted(reasons,
+                  key=lambda t: (len(t), sorted(t, key=abs)))

@@ -1,0 +1,30 @@
+"""Propositional logic: formulas, CNF, parsing, prime implicants."""
+
+from .formula import (And, Constant, FALSE, Formula, Iff, Implies, Lit, Not,
+                      Or, TRUE, iter_assignments, term_formula,
+                      clause_formula, assignment_to_term)
+from .cnf import Cnf, at_least_one, at_most_one, exactly_one
+from .parser import ParseError, VarMap, parse
+from .primes import (prime_implicants, prime_implicants_of_formula,
+                     prime_implicates_of_formula, is_implicant,
+                     term_subsumes)
+from .tseitin import to_cnf, tseitin
+from .generators import (pair_biconditionals, parity_chain, pigeonhole,
+                         random_kcnf)
+from .truthtable import (assignment_from_bits, functions_equal, truth_table,
+                         table_of_formula)
+
+__all__ = ["pair_biconditionals", "parity_chain", "pigeonhole",
+           "random_kcnf",
+    
+    "And", "Constant", "FALSE", "Formula", "Iff", "Implies", "Lit", "Not",
+    "Or", "TRUE", "iter_assignments", "term_formula", "clause_formula",
+    "assignment_to_term",
+    "Cnf", "at_least_one", "at_most_one", "exactly_one",
+    "ParseError", "VarMap", "parse",
+    "prime_implicants", "prime_implicants_of_formula",
+    "prime_implicates_of_formula", "is_implicant", "term_subsumes",
+    "to_cnf", "tseitin",
+    "assignment_from_bits", "functions_equal", "truth_table",
+    "table_of_formula",
+]

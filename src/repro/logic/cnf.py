@@ -1,0 +1,197 @@
+"""Conjunctive normal form with DIMACS-style integer literals.
+
+A :class:`Cnf` is a conjunction of clauses; each clause is a tuple of
+non-zero integer literals.  This is the exchange format between the
+modelling layer (:mod:`repro.logic.formula`), the SAT/counting engines
+(:mod:`repro.sat`) and the knowledge compilers (:mod:`repro.compile`,
+:mod:`repro.sdd`).
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from .formula import Formula, clause_formula, And, TRUE, iter_assignments
+
+__all__ = ["Cnf", "exactly_one", "at_most_one", "at_least_one"]
+
+Clause = Tuple[int, ...]
+
+
+class Cnf:
+    """An immutable CNF formula.
+
+    Parameters
+    ----------
+    clauses:
+        Iterable of clauses; each clause an iterable of non-zero ints.
+    num_vars:
+        Highest variable index.  Defaults to the largest variable that
+        occurs in the clauses; pass explicitly when trailing variables
+        do not occur (they then act as unconstrained don't-cares).
+    """
+
+    __slots__ = ("clauses", "num_vars")
+
+    def __init__(self, clauses: Iterable[Iterable[int]],
+                 num_vars: int | None = None):
+        normalized: List[Clause] = []
+        max_var = 0
+        for clause in clauses:
+            clause = tuple(clause)
+            for lit in clause:
+                if not isinstance(lit, int) or lit == 0:
+                    raise ValueError(f"bad literal {lit!r}")
+                max_var = max(max_var, abs(lit))
+            normalized.append(clause)
+        if num_vars is None:
+            num_vars = max_var
+        elif num_vars < max_var:
+            raise ValueError("num_vars smaller than largest variable used")
+        object.__setattr__(self, "clauses", tuple(normalized))
+        object.__setattr__(self, "num_vars", num_vars)
+
+    def __setattr__(self, *args):
+        raise AttributeError("Cnf objects are immutable")
+
+    # -- basic views ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Cnf) and self.clauses == other.clauses
+                and self.num_vars == other.num_vars)
+
+    def __hash__(self) -> int:
+        return hash((self.clauses, self.num_vars))
+
+    def __repr__(self) -> str:
+        return f"Cnf({len(self.clauses)} clauses, {self.num_vars} vars)"
+
+    def variables(self) -> frozenset[int]:
+        """Variables that actually occur in some clause."""
+        return frozenset(abs(lit) for clause in self.clauses
+                         for lit in clause)
+
+    # -- semantics -----------------------------------------------------------
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """True iff every clause has a satisfied literal."""
+        for clause in self.clauses:
+            if not any(self._lit_value(lit, assignment) for lit in clause):
+                return False
+        return True
+
+    @staticmethod
+    def _lit_value(lit: int, assignment: Dict[int, bool]) -> bool:
+        value = assignment[abs(lit)]
+        return value if lit > 0 else not value
+
+    def models(self) -> Iterator[Dict[int, bool]]:
+        """Enumerate satisfying assignments over vars 1..num_vars."""
+        for assignment in iter_assignments(range(1, self.num_vars + 1)):
+            if self.evaluate(assignment):
+                yield assignment
+
+    def model_count(self) -> int:
+        """Count models by brute-force enumeration (tests / small inputs)."""
+        return sum(1 for _ in self.models())
+
+    # -- operations ----------------------------------------------------------
+    def condition(self, assignment: Dict[int, bool]) -> "Cnf":
+        """Assert variable values: drop satisfied clauses, shrink others.
+
+        Raises no error on an empty clause; the result simply contains
+        the empty clause (i.e. is unsatisfiable).
+        """
+        new_clauses: List[Clause] = []
+        for clause in self.clauses:
+            satisfied = False
+            kept: List[int] = []
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if self._lit_value(lit, assignment):
+                        satisfied = True
+                        break
+                else:
+                    kept.append(lit)
+            if not satisfied:
+                new_clauses.append(tuple(kept))
+        return Cnf(new_clauses, num_vars=self.num_vars)
+
+    def extend(self, clauses: Iterable[Iterable[int]],
+               num_vars: int | None = None) -> "Cnf":
+        """A new CNF with extra clauses appended."""
+        extra = [tuple(clause) for clause in clauses]
+        max_var = max((abs(lit) for clause in extra for lit in clause),
+                      default=0)
+        if num_vars is None:
+            num_vars = self.num_vars
+        return Cnf(itertools.chain(self.clauses, extra),
+                   num_vars=max(num_vars, self.num_vars, max_var))
+
+    def to_formula(self) -> Formula:
+        """Convert to a :class:`Formula` AST."""
+        if not self.clauses:
+            return TRUE
+        return And(*(clause_formula(clause) for clause in self.clauses))
+
+    # -- DIMACS i/o ------------------------------------------------------------
+    def to_dimacs(self) -> str:
+        """Serialise in DIMACS cnf format."""
+        out = io.StringIO()
+        out.write(f"p cnf {self.num_vars} {len(self.clauses)}\n")
+        for clause in self.clauses:
+            out.write(" ".join(map(str, clause)) + " 0\n")
+        return out.getvalue()
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "Cnf":
+        """Parse DIMACS cnf format (comments and blank lines allowed)."""
+        num_vars = None
+        clauses: List[Clause] = []
+        current: List[int] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"bad problem line: {line!r}")
+                num_vars = int(parts[2])
+                continue
+            for token in line.split():
+                lit = int(token)
+                if lit == 0:
+                    clauses.append(tuple(current))
+                    current = []
+                else:
+                    current.append(lit)
+        if current:
+            clauses.append(tuple(current))
+        if num_vars is None:
+            raise ValueError("missing DIMACS problem line")
+        return cls(clauses, num_vars=num_vars)
+
+
+# -- cardinality helpers (pairwise encodings; fine at library scale) ----------
+
+def at_least_one(variables: Sequence[int]) -> List[Clause]:
+    """Clause set asserting at least one of ``variables`` is true."""
+    return [tuple(variables)]
+
+
+def at_most_one(variables: Sequence[int]) -> List[Clause]:
+    """Pairwise at-most-one encoding."""
+    return [(-a, -b) for a, b in itertools.combinations(variables, 2)]
+
+
+def exactly_one(variables: Sequence[int]) -> List[Clause]:
+    """Exactly-one-of encoding (at-least-one plus pairwise at-most-one)."""
+    return at_least_one(variables) + at_most_one(variables)

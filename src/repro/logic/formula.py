@@ -1,0 +1,439 @@
+"""Propositional formula AST.
+
+Variables are positive integers (DIMACS convention).  A *literal* is a
+non-zero integer: ``v`` denotes the positive literal of variable ``v`` and
+``-v`` its negation.  Formulas are immutable trees built from literals,
+constants and the connectives AND, OR, NOT, IMPLIES and IFF.
+
+The AST is deliberately small: higher layers (CNF, circuits, compilers)
+use more specialised representations and only use :class:`Formula` as the
+human-facing modelling language.
+
+Example
+-------
+>>> from repro.logic.formula import Lit, And, Or
+>>> f = And(Or(Lit(1), Lit(2)), Lit(-3))
+>>> f.evaluate({1: True, 2: False, 3: False})
+True
+>>> sorted(f.variables())
+[1, 2, 3]
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterator, Sequence, Tuple
+
+__all__ = [
+    "Formula",
+    "Constant",
+    "Lit",
+    "And",
+    "Or",
+    "Not",
+    "Implies",
+    "Iff",
+    "TRUE",
+    "FALSE",
+    "iter_assignments",
+]
+
+
+class Formula:
+    """Base class for propositional formulas.
+
+    Subclasses are immutable and hashable.  Operators are overloaded so
+    formulas compose naturally: ``&`` (and), ``|`` (or), ``~`` (not),
+    ``>>`` (implies).
+    """
+
+    __slots__ = ()
+
+    # -- construction sugar ------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+    def iff(self, other: "Formula") -> "Formula":
+        return Iff(self, other)
+
+    # -- semantics ---------------------------------------------------------
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """Evaluate under a complete (for this formula) assignment."""
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[int]:
+        """The set of variables mentioned by the formula."""
+        raise NotImplementedError
+
+    def condition(self, assignment: Dict[int, bool]) -> "Formula":
+        """Substitute the given variable values and simplify constants."""
+        raise NotImplementedError
+
+    # -- derived queries (exponential; for tests and small inputs) ---------
+    def models(self, variables: Sequence[int] | None = None
+               ) -> Iterator[Dict[int, bool]]:
+        """Yield all satisfying complete assignments over ``variables``.
+
+        ``variables`` defaults to :meth:`variables`; it may be a superset,
+        in which case don't-care variables range over both values.
+        """
+        if variables is None:
+            variables = sorted(self.variables())
+        for assignment in iter_assignments(variables):
+            if self.evaluate(assignment):
+                yield assignment
+
+    def model_count(self, variables: Sequence[int] | None = None) -> int:
+        """Count satisfying assignments by enumeration (small inputs only)."""
+        return sum(1 for _ in self.models(variables))
+
+    def is_satisfiable(self) -> bool:
+        return next(self.models(), None) is not None
+
+    def is_valid(self) -> bool:
+        variables = sorted(self.variables())
+        return self.model_count(variables) == 2 ** len(variables)
+
+    def equivalent(self, other: "Formula") -> bool:
+        """Truth-table equivalence (small inputs only)."""
+        variables = sorted(self.variables() | other.variables())
+        return all(self.evaluate(a) == other.evaluate(a)
+                   for a in iter_assignments(variables))
+
+    # -- normal forms -------------------------------------------------------
+    def to_nnf(self) -> "Formula":
+        """Push negations to literals and expand IMPLIES/IFF."""
+        return self._nnf(False)
+
+    def _nnf(self, negate: bool) -> "Formula":
+        raise NotImplementedError
+
+
+def iter_assignments(variables: Sequence[int]
+                     ) -> Iterator[Dict[int, bool]]:
+    """Yield every complete assignment over ``variables`` (2^n of them)."""
+    variables = list(variables)
+    for values in itertools.product((False, True), repeat=len(variables)):
+        yield dict(zip(variables, values))
+
+
+class Constant(Formula):
+    """Boolean constant; use the module-level ``TRUE`` / ``FALSE``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        object.__setattr__(self, "value", bool(value))
+
+    def __setattr__(self, *args):  # immutability
+        raise AttributeError("Formula objects are immutable")
+
+    def evaluate(self, assignment):
+        return self.value
+
+    def variables(self):
+        return frozenset()
+
+    def condition(self, assignment):
+        return self
+
+    def _nnf(self, negate):
+        return FALSE if (self.value == negate and negate) or \
+            (not self.value and not negate) else TRUE
+
+    def __eq__(self, other):
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("const", self.value))
+
+    def __repr__(self):
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = Constant(True)
+FALSE = Constant(False)
+
+
+class Lit(Formula):
+    """A literal: ``Lit(v)`` is variable ``v``; ``Lit(-v)`` its negation."""
+
+    __slots__ = ("literal",)
+
+    def __init__(self, literal: int):
+        if not isinstance(literal, int) or literal == 0:
+            raise ValueError("literal must be a non-zero integer")
+        object.__setattr__(self, "literal", literal)
+
+    def __setattr__(self, *args):
+        raise AttributeError("Formula objects are immutable")
+
+    @property
+    def variable(self) -> int:
+        return abs(self.literal)
+
+    @property
+    def positive(self) -> bool:
+        return self.literal > 0
+
+    def evaluate(self, assignment):
+        value = assignment[self.variable]
+        return value if self.positive else not value
+
+    def variables(self):
+        return frozenset((self.variable,))
+
+    def condition(self, assignment):
+        if self.variable not in assignment:
+            return self
+        return TRUE if self.evaluate(assignment) else FALSE
+
+    def _nnf(self, negate):
+        return Lit(-self.literal) if negate else self
+
+    def __eq__(self, other):
+        return isinstance(other, Lit) and self.literal == other.literal
+
+    def __hash__(self):
+        return hash(("lit", self.literal))
+
+    def __repr__(self):
+        return f"Lit({self.literal})"
+
+
+class _NaryOp(Formula):
+    """Shared machinery for AND/OR."""
+
+    __slots__ = ("children",)
+    _symbol = "?"
+
+    def __init__(self, *children: Formula):
+        flat: list[Formula] = []
+        for child in children:
+            if not isinstance(child, Formula):
+                raise TypeError(f"expected Formula, got {type(child)!r}")
+            if isinstance(child, type(self)):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        object.__setattr__(self, "children", tuple(flat))
+
+    def __setattr__(self, *args):
+        raise AttributeError("Formula objects are immutable")
+
+    def variables(self):
+        result: frozenset[int] = frozenset()
+        for child in self.children:
+            result |= child.variables()
+        return result
+
+    def __eq__(self, other):
+        return type(other) is type(self) and self.children == other.children
+
+    def __hash__(self):
+        return hash((self._symbol, self.children))
+
+    def __repr__(self):
+        inner = f" {self._symbol} ".join(map(repr, self.children))
+        return f"({inner})"
+
+
+class And(_NaryOp):
+    """Conjunction of zero or more formulas (empty = TRUE)."""
+
+    __slots__ = ()
+    _symbol = "&"
+
+    def evaluate(self, assignment):
+        return all(child.evaluate(assignment) for child in self.children)
+
+    def condition(self, assignment):
+        kept = []
+        for child in self.children:
+            child = child.condition(assignment)
+            if child == FALSE:
+                return FALSE
+            if child != TRUE:
+                kept.append(child)
+        if not kept:
+            return TRUE
+        if len(kept) == 1:
+            return kept[0]
+        return And(*kept)
+
+    def _nnf(self, negate):
+        parts = tuple(child._nnf(negate) for child in self.children)
+        return Or(*parts) if negate else And(*parts)
+
+
+class Or(_NaryOp):
+    """Disjunction of zero or more formulas (empty = FALSE)."""
+
+    __slots__ = ()
+    _symbol = "|"
+
+    def evaluate(self, assignment):
+        return any(child.evaluate(assignment) for child in self.children)
+
+    def condition(self, assignment):
+        kept = []
+        for child in self.children:
+            child = child.condition(assignment)
+            if child == TRUE:
+                return TRUE
+            if child != FALSE:
+                kept.append(child)
+        if not kept:
+            return FALSE
+        if len(kept) == 1:
+            return kept[0]
+        return Or(*kept)
+
+    def _nnf(self, negate):
+        parts = tuple(child._nnf(negate) for child in self.children)
+        return And(*parts) if negate else Or(*parts)
+
+
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Formula):
+        if not isinstance(child, Formula):
+            raise TypeError(f"expected Formula, got {type(child)!r}")
+        object.__setattr__(self, "child", child)
+
+    def __setattr__(self, *args):
+        raise AttributeError("Formula objects are immutable")
+
+    def evaluate(self, assignment):
+        return not self.child.evaluate(assignment)
+
+    def variables(self):
+        return self.child.variables()
+
+    def condition(self, assignment):
+        child = self.child.condition(assignment)
+        if child == TRUE:
+            return FALSE
+        if child == FALSE:
+            return TRUE
+        return Not(child)
+
+    def _nnf(self, negate):
+        return self.child._nnf(not negate)
+
+    def __eq__(self, other):
+        return isinstance(other, Not) and self.child == other.child
+
+    def __hash__(self):
+        return hash(("not", self.child))
+
+    def __repr__(self):
+        return f"~{self.child!r}"
+
+
+class Implies(Formula):
+    """Material implication ``antecedent -> consequent``."""
+
+    __slots__ = ("antecedent", "consequent")
+
+    def __init__(self, antecedent: Formula, consequent: Formula):
+        object.__setattr__(self, "antecedent", antecedent)
+        object.__setattr__(self, "consequent", consequent)
+
+    def __setattr__(self, *args):
+        raise AttributeError("Formula objects are immutable")
+
+    def evaluate(self, assignment):
+        return (not self.antecedent.evaluate(assignment)
+                or self.consequent.evaluate(assignment))
+
+    def variables(self):
+        return self.antecedent.variables() | self.consequent.variables()
+
+    def condition(self, assignment):
+        return Or(Not(self.antecedent), self.consequent).condition(assignment)
+
+    def _nnf(self, negate):
+        return Or(Not(self.antecedent), self.consequent)._nnf(negate)
+
+    def __eq__(self, other):
+        return (isinstance(other, Implies)
+                and self.antecedent == other.antecedent
+                and self.consequent == other.consequent)
+
+    def __hash__(self):
+        return hash(("->", self.antecedent, self.consequent))
+
+    def __repr__(self):
+        return f"({self.antecedent!r} -> {self.consequent!r})"
+
+
+class Iff(Formula):
+    """Biconditional ``left <-> right``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, *args):
+        raise AttributeError("Formula objects are immutable")
+
+    def evaluate(self, assignment):
+        return self.left.evaluate(assignment) == self.right.evaluate(assignment)
+
+    def variables(self):
+        return self.left.variables() | self.right.variables()
+
+    def _expanded(self) -> Formula:
+        return Or(And(self.left, self.right),
+                  And(Not(self.left), Not(self.right)))
+
+    def condition(self, assignment):
+        return self._expanded().condition(assignment)
+
+    def _nnf(self, negate):
+        return self._expanded()._nnf(negate)
+
+    def __eq__(self, other):
+        return (isinstance(other, Iff) and self.left == other.left
+                and self.right == other.right)
+
+    def __hash__(self):
+        return hash(("<->", self.left, self.right))
+
+    def __repr__(self):
+        return f"({self.left!r} <-> {self.right!r})"
+
+
+def term_formula(literals: Sequence[int]) -> Formula:
+    """Conjunction of literals (a *term*); empty sequence gives TRUE."""
+    if not literals:
+        return TRUE
+    return And(*(Lit(lit) for lit in literals))
+
+
+def clause_formula(literals: Sequence[int]) -> Formula:
+    """Disjunction of literals (a *clause*); empty sequence gives FALSE."""
+    if not literals:
+        return FALSE
+    return Or(*(Lit(lit) for lit in literals))
+
+
+def assignment_to_term(assignment: Dict[int, bool]) -> Tuple[int, ...]:
+    """Convert an assignment dict into a sorted tuple of literals."""
+    return tuple(v if value else -v
+                 for v, value in sorted(assignment.items()))

@@ -1,0 +1,90 @@
+"""CNF generators for tests and benchmarks.
+
+Classic families with known structure: random k-CNF, pigeonhole
+formulas (hard UNSAT), parity/XOR chains (easy with the right circuit
+structure, hard with the wrong one) and variable-pair biconditionals
+(the vtree-sensitivity family of ABL1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from .cnf import Cnf
+
+__all__ = ["random_kcnf", "pigeonhole", "parity_chain",
+           "pair_biconditionals"]
+
+
+def random_kcnf(num_vars: int, num_clauses: int, k: int = 3,
+                rng: random.Random | None = None) -> Cnf:
+    """Uniform random k-CNF (clauses over distinct variables)."""
+    rng = rng or random.Random()
+    if k > num_vars:
+        raise ValueError("clause width exceeds variable count")
+    clauses: List[Tuple[int, ...]] = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), k)
+        clauses.append(tuple(v if rng.random() < 0.5 else -v
+                             for v in variables))
+    return Cnf(clauses, num_vars=num_vars)
+
+
+def pigeonhole(holes: int) -> Cnf:
+    """PHP(holes+1, holes): pigeons into fewer holes — UNSAT.
+
+    Variable p_{i,j} = pigeon i sits in hole j, numbered
+    i·holes + j + 1 for i in 0..holes, j in 0..holes-1.
+    """
+    if holes < 1:
+        raise ValueError("need at least one hole")
+    pigeons = holes + 1
+
+    def var(i: int, j: int) -> int:
+        return i * holes + j + 1
+
+    clauses: List[Tuple[int, ...]] = []
+    for i in range(pigeons):  # every pigeon sits somewhere
+        clauses.append(tuple(var(i, j) for j in range(holes)))
+    for j in range(holes):    # no two pigeons share a hole
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                clauses.append((-var(i1, j), -var(i2, j)))
+    return Cnf(clauses, num_vars=pigeons * holes)
+
+
+def parity_chain(n: int) -> Cnf:
+    """x₁ ⊕ x₂ ⊕ … ⊕ xₙ = 1 via chained aux variables.
+
+    Aux variable a_i (numbered n+i) carries the prefix parity; the
+    formula has exactly 2^(n-1) models projected onto x (each model
+    extends uniquely, so the total count is also 2^(n-1)).
+    """
+    if n < 1:
+        raise ValueError("need at least one variable")
+    if n == 1:
+        return Cnf([(1,)], num_vars=1)
+
+    def xor_clauses(a: int, b: int, c: int) -> List[Tuple[int, ...]]:
+        """c ↔ a ⊕ b."""
+        return [(-a, -b, -c), (a, b, -c), (-a, b, c), (a, -b, c)]
+
+    clauses: List[Tuple[int, ...]] = []
+    prev = 1
+    aux = n
+    for i in range(2, n + 1):
+        aux += 1
+        clauses.extend(xor_clauses(prev, i, aux))
+        prev = aux
+    clauses.append((prev,))
+    return Cnf(clauses, num_vars=aux)
+
+
+def pair_biconditionals(pairs: int) -> Cnf:
+    """⋀ᵢ (x_i ↔ y_i) with x_i = 2i−1, y_i = 2i (the ABL1 family)."""
+    clauses: List[Tuple[int, ...]] = []
+    for i in range(1, pairs + 1):
+        x, y = 2 * i - 1, 2 * i
+        clauses.extend([(-x, y), (x, -y)])
+    return Cnf(clauses, num_vars=2 * pairs)

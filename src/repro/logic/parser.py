@@ -1,0 +1,190 @@
+"""Infix parser for propositional formulas.
+
+Grammar (precedence from loosest to tightest)::
+
+    iff     := implies ( '<->' implies )*
+    implies := or ( '->' or )*          (right associative)
+    or      := and ( ('|' | 'or') and )*
+    and     := unary ( ('&' | 'and') unary )*
+    unary   := ('~' | '!' | 'not') unary | atom
+    atom    := identifier | 'true' | 'false' | '(' iff ')'
+
+Identifiers are mapped to integer variables through a :class:`VarMap`,
+so several formulas parsed against the same map share a namespace.
+
+Example
+-------
+>>> from repro.logic.parser import parse, VarMap
+>>> vm = VarMap()
+>>> f = parse("(P | L) & (A -> P) & (K -> (A | L))", vm)
+>>> sorted(vm.names())
+['A', 'K', 'L', 'P']
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List
+
+from .formula import (And, FALSE, Formula, Iff, Implies, Lit, Not, Or, TRUE)
+
+__all__ = ["VarMap", "parse", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed formula text."""
+
+
+class VarMap:
+    """A bidirectional mapping between variable names and integers.
+
+    Integers are assigned sequentially from 1 in first-seen order.
+    """
+
+    def __init__(self):
+        self._by_name: Dict[str, int] = {}
+        self._by_index: Dict[int, str] = {}
+
+    def index(self, name: str) -> int:
+        """The integer for ``name``, allocating one if new."""
+        if name not in self._by_name:
+            index = len(self._by_name) + 1
+            self._by_name[name] = index
+            self._by_index[index] = name
+        return self._by_name[name]
+
+    def name(self, index: int) -> str:
+        """The name for variable ``index`` (KeyError if unknown)."""
+        return self._by_index[index]
+
+    def names(self) -> List[str]:
+        return list(self._by_name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def literal(self, name: str, positive: bool = True) -> Lit:
+        """The literal for ``name`` (negative literal if not positive)."""
+        index = self.index(name)
+        return Lit(index if positive else -index)
+
+    def assignment(self, **values: bool) -> Dict[int, bool]:
+        """Build an integer-keyed assignment from name keywords."""
+        return {self.index(name): bool(v) for name, v in values.items()}
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<lparen>\()|(?P<rparen>\))|(?P<iff><->)|(?P<implies>->)"
+    r"|(?P<and>&|\band\b|∧)|(?P<or>\||\bor\b|∨)|(?P<not>~|!|\bnot\b|¬)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_]*))")
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remaining = text[pos:].strip()
+            if not remaining:
+                return
+            raise ParseError(f"unexpected input at: {remaining[:20]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind is None:
+            return
+        yield kind, match.group(kind)
+    return
+
+
+class _Parser:
+    def __init__(self, text: str, varmap: VarMap):
+        self.tokens = list(_tokenize(text))
+        self.pos = 0
+        self.varmap = varmap
+
+    def peek(self) -> tuple[str, str] | None:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> None:
+        token = self.next()
+        if token[0] != kind:
+            raise ParseError(f"expected {kind}, got {token[1]!r}")
+
+    def parse(self) -> Formula:
+        formula = self.iff()
+        if self.peek() is not None:
+            raise ParseError(f"trailing input: {self.peek()[1]!r}")
+        return formula
+
+    def iff(self) -> Formula:
+        left = self.implies()
+        while self.peek() is not None and self.peek()[0] == "iff":
+            self.next()
+            left = Iff(left, self.implies())
+        return left
+
+    def implies(self) -> Formula:
+        left = self.disjunction()
+        if self.peek() is not None and self.peek()[0] == "implies":
+            self.next()
+            return Implies(left, self.implies())
+        return left
+
+    def disjunction(self) -> Formula:
+        parts = [self.conjunction()]
+        while self.peek() is not None and self.peek()[0] == "or":
+            self.next()
+            parts.append(self.conjunction())
+        return parts[0] if len(parts) == 1 else Or(*parts)
+
+    def conjunction(self) -> Formula:
+        parts = [self.unary()]
+        while self.peek() is not None and self.peek()[0] == "and":
+            self.next()
+            parts.append(self.unary())
+        return parts[0] if len(parts) == 1 else And(*parts)
+
+    def unary(self) -> Formula:
+        token = self.peek()
+        if token is not None and token[0] == "not":
+            self.next()
+            return Not(self.unary())
+        return self.atom()
+
+    def atom(self) -> Formula:
+        kind, value = self.next()
+        if kind == "lparen":
+            inner = self.iff()
+            self.expect("rparen")
+            return inner
+        if kind == "name":
+            lowered = value.lower()
+            if lowered == "true":
+                return TRUE
+            if lowered == "false":
+                return FALSE
+            return Lit(self.varmap.index(value))
+        raise ParseError(f"unexpected token {value!r}")
+
+
+def parse(text: str, varmap: VarMap | None = None) -> Formula:
+    """Parse ``text`` into a :class:`Formula`.
+
+    A fresh :class:`VarMap` is created when none is supplied (pass one in
+    to control or share the variable numbering).
+    """
+    if varmap is None:
+        varmap = VarMap()
+    return _Parser(text, varmap).parse()

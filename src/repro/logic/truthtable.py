@@ -1,0 +1,39 @@
+"""Truth-table utilities shared by tests and brute-force oracles."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .formula import Formula, iter_assignments
+
+__all__ = ["truth_table", "functions_equal", "table_of_formula",
+           "assignment_from_bits"]
+
+BoolFunc = Callable[[Dict[int, bool]], bool]
+
+
+def assignment_from_bits(variables: Sequence[int],
+                         bits: int) -> Dict[int, bool]:
+    """Assignment where variable ``variables[i]`` gets bit ``i`` of ``bits``."""
+    return {v: bool((bits >> i) & 1) for i, v in enumerate(variables)}
+
+
+def truth_table(func: BoolFunc, variables: Sequence[int]
+                ) -> List[Tuple[Dict[int, bool], bool]]:
+    """Full (assignment, value) table in lexicographic assignment order."""
+    return [(assignment, func(assignment))
+            for assignment in iter_assignments(variables)]
+
+
+def table_of_formula(formula: Formula,
+                     variables: Sequence[int] | None = None
+                     ) -> List[Tuple[Dict[int, bool], bool]]:
+    if variables is None:
+        variables = sorted(formula.variables())
+    return truth_table(formula.evaluate, variables)
+
+
+def functions_equal(f: BoolFunc, g: BoolFunc,
+                    variables: Sequence[int]) -> bool:
+    """Exhaustive equality check of two Boolean functions."""
+    return all(f(a) == g(a) for a in iter_assignments(variables))

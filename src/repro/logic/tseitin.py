@@ -1,0 +1,146 @@
+"""Conversions from formulas to CNF.
+
+Two routes are provided:
+
+* :func:`to_cnf` — equivalence-preserving conversion by NNF + distribution.
+  Exponential in the worst case; intended for modelling-scale formulas.
+* :func:`tseitin` — the classical Tseitin transformation.  Linear size,
+  equisatisfiable, and *model-count preserving over the original
+  variables* because each auxiliary variable is functionally determined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .cnf import Cnf
+from .formula import (And, Constant, Formula, Lit, Or)
+
+__all__ = ["to_cnf", "tseitin"]
+
+
+def to_cnf(formula: Formula, num_vars: int | None = None) -> Cnf:
+    """Equivalence-preserving CNF by NNF conversion and distribution.
+
+    The result mentions exactly the variables of ``formula`` (pass
+    ``num_vars`` to widen the variable range for counting purposes).
+    """
+    nnf = formula.to_nnf()
+    clauses = _distribute(nnf)
+    simplified = _simplify_clauses(clauses)
+    if simplified is None:  # formula is valid
+        clause_list: List[Tuple[int, ...]] = []
+    else:
+        clause_list = simplified
+    if num_vars is None:
+        num_vars = max((v for v in formula.variables()), default=0)
+    if simplified is not None and any(len(c) == 0 for c in simplified):
+        return Cnf([()], num_vars=num_vars)
+    return Cnf(clause_list, num_vars=num_vars)
+
+
+def _distribute(nnf: Formula) -> List[frozenset[int]]:
+    """Clause sets for an NNF formula (may contain tautologies)."""
+    if isinstance(nnf, Constant):
+        return [] if nnf.value else [frozenset()]
+    if isinstance(nnf, Lit):
+        return [frozenset((nnf.literal,))]
+    if isinstance(nnf, And):
+        clauses: List[frozenset[int]] = []
+        for child in nnf.children:
+            clauses.extend(_distribute(child))
+        return clauses
+    if isinstance(nnf, Or):
+        result: List[frozenset[int]] = [frozenset()]
+        for child in nnf.children:
+            child_clauses = _distribute(child)
+            result = [acc | clause
+                      for acc in result for clause in child_clauses]
+        return result
+    raise TypeError(f"not in NNF: {nnf!r}")
+
+
+def _simplify_clauses(clauses: List[frozenset[int]]
+                      ) -> List[Tuple[int, ...]] | None:
+    """Drop tautologies and subsumed clauses.  None when no clauses remain."""
+    kept: List[frozenset[int]] = []
+    for clause in clauses:
+        if any(-lit in clause for lit in clause):
+            continue  # tautology
+        kept.append(clause)
+    # subsumption (quadratic; fine at this scale)
+    minimal: List[frozenset[int]] = []
+    for clause in kept:
+        if any(other < clause for other in kept):
+            continue
+        if clause in minimal:
+            continue
+        minimal.append(clause)
+    if not minimal and not any(len(c) == 0 for c in kept):
+        if not kept:
+            return None
+        return None
+    return [tuple(sorted(clause, key=abs)) for clause in minimal]
+
+
+def tseitin(formula: Formula, num_vars: int | None = None
+            ) -> Tuple[Cnf, int]:
+    """Tseitin transformation.
+
+    Returns ``(cnf, root_literal)`` where ``cnf`` defines every auxiliary
+    variable by biconditional clauses and asserts the root.  The CNF's
+    models restricted to the original variables are exactly the models of
+    ``formula``, and each original model extends to exactly one CNF model
+    (auxiliaries are functionally determined), so model counts over the
+    full CNF equal model counts of ``formula`` over its variables.
+
+    ``num_vars`` (default: the largest variable in ``formula``) reserves
+    the range of original variables; auxiliaries are numbered above it.
+    """
+    if num_vars is None:
+        num_vars = max(formula.variables(), default=0)
+    state = _TseitinState(num_vars)
+    root = state.encode(formula.to_nnf())
+    clauses = state.clauses + [(root,)]
+    return Cnf(clauses, num_vars=state.next_var - 1), root
+
+
+class _TseitinState:
+    def __init__(self, num_vars: int):
+        self.next_var = num_vars + 1
+        self.clauses: List[Tuple[int, ...]] = []
+        self.cache: Dict[Formula, int] = {}
+
+    def fresh(self) -> int:
+        var = self.next_var
+        self.next_var += 1
+        return var
+
+    def encode(self, nnf: Formula) -> int:
+        """Return a literal equivalent to ``nnf`` under the side clauses."""
+        if isinstance(nnf, Lit):
+            return nnf.literal
+        if isinstance(nnf, Constant):
+            # encode constants with a fresh, pinned variable
+            var = self.fresh()
+            self.clauses.append((var,) if nnf.value else (-var,))
+            return var if nnf.value else var  # literal "var" pinned to value
+        if nnf in self.cache:
+            return self.cache[nnf]
+        if isinstance(nnf, And):
+            lits = [self.encode(child) for child in nnf.children]
+            gate = self.fresh()
+            for lit in lits:  # gate -> lit
+                self.clauses.append((-gate, lit))
+            self.clauses.append(tuple([gate] + [-lit for lit in lits]))
+            self.cache[nnf] = gate
+            return gate
+        if isinstance(nnf, Or):
+            lits = [self.encode(child) for child in nnf.children]
+            gate = self.fresh()
+            for lit in lits:  # lit -> gate
+                self.clauses.append((-lit, gate))
+            self.clauses.append(tuple([-gate] + lits))
+            self.cache[nnf] = gate
+            return gate
+        raise TypeError(f"not in NNF: {nnf!r}")

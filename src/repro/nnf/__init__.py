@@ -1,0 +1,29 @@
+"""NNF circuits: representation, properties, queries, transformations."""
+
+from .node import NnfManager, NnfNode
+from .properties import (check_properties, is_decision_dnnf,
+                         is_decision_node, is_decomposable,
+                         is_deterministic, is_flat, is_smooth,
+                         is_structured)
+from .queries import (condition_evaluate, enumerate_models,
+                      is_satisfiable_dnnf, marginal_counts, model_count,
+                      mpe, sat_model_dnnf, weighted_model_count)
+from .transform import (condition, from_formula, negate_decision, smooth,
+                        to_formula)
+from .sample import sample_model, sample_models
+from .io import from_nnf_format, to_nnf_format
+from .taxonomy import LANGUAGE_QUERIES, classify, supported_queries
+
+__all__ = ["sample_model", "sample_models", "from_nnf_format",
+           "to_nnf_format",
+    
+    "NnfManager", "NnfNode",
+    "check_properties", "is_decision_dnnf", "is_decision_node",
+    "is_decomposable", "is_deterministic", "is_flat", "is_smooth",
+    "is_structured",
+    "condition_evaluate", "enumerate_models", "is_satisfiable_dnnf",
+    "marginal_counts", "model_count", "mpe", "sat_model_dnnf",
+    "weighted_model_count",
+    "condition", "from_formula", "negate_decision", "smooth", "to_formula",
+    "LANGUAGE_QUERIES", "classify", "supported_queries",
+]

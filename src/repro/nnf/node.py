@@ -1,0 +1,216 @@
+"""Negation Normal Form circuit nodes and their manager.
+
+An NNF circuit (Fig 5 of the paper) is a DAG whose internal nodes are
+and-gates / or-gates and whose leaves are literals or the constants
+⊤ / ⊥.  Inverters appear only at the inputs — i.e. only inside literals.
+
+Nodes are created through an :class:`NnfManager`, which hash-conses them
+so that structurally identical nodes are shared.  Node identity is the
+``id`` integer assigned by the manager; equal ids mean equal functions
+*syntactically* (same gate structure), which is what the linear-time
+query algorithms rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+__all__ = ["NnfNode", "NnfManager", "LIT", "AND", "OR", "TRUE_KIND",
+           "FALSE_KIND"]
+
+LIT = "lit"
+AND = "and"
+OR = "or"
+TRUE_KIND = "true"
+FALSE_KIND = "false"
+
+
+class NnfNode:
+    """A node in an NNF circuit.  Create via :class:`NnfManager`."""
+
+    __slots__ = ("kind", "literal", "children", "id", "manager", "_vars")
+
+    def __init__(self, kind: str, literal: int,
+                 children: Tuple["NnfNode", ...],
+                 node_id: int, manager: "NnfManager"):
+        self.kind = kind
+        self.literal = literal
+        self.children = children
+        self.id = node_id
+        self.manager = manager
+        self._vars: FrozenSet[int] | None = None
+
+    # -- structure ----------------------------------------------------------
+    @property
+    def is_literal(self) -> bool:
+        return self.kind == LIT
+
+    @property
+    def is_true(self) -> bool:
+        return self.kind == TRUE_KIND
+
+    @property
+    def is_false(self) -> bool:
+        return self.kind == FALSE_KIND
+
+    @property
+    def is_and(self) -> bool:
+        return self.kind == AND
+
+    @property
+    def is_or(self) -> bool:
+        return self.kind == OR
+
+    @property
+    def variable(self) -> int:
+        if not self.is_literal:
+            raise ValueError("variable only defined for literal nodes")
+        return abs(self.literal)
+
+    def variables(self) -> FrozenSet[int]:
+        """Variables in the subcircuit (cached, computed once per node)."""
+        if self._vars is None:
+            if self.is_literal:
+                self._vars = frozenset((abs(self.literal),))
+            elif self.kind in (TRUE_KIND, FALSE_KIND):
+                self._vars = frozenset()
+            else:
+                acc: FrozenSet[int] = frozenset()
+                for child in self.children:
+                    acc |= child.variables()
+                self._vars = acc
+        return self._vars
+
+    # -- traversal ----------------------------------------------------------
+    def topological(self) -> List["NnfNode"]:
+        """Nodes of the subcircuit, children before parents (iterative)."""
+        order: List[NnfNode] = []
+        seen = set()
+        stack: List[Tuple[NnfNode, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if node.id in seen:
+                continue
+            seen.add(node.id)
+            stack.append((node, True))
+            for child in node.children:
+                if child.id not in seen:
+                    stack.append((child, False))
+        return order
+
+    def node_count(self) -> int:
+        return len(self.topological())
+
+    def edge_count(self) -> int:
+        """Number of wires; the paper's standard circuit-size measure."""
+        return sum(len(node.children) for node in self.topological())
+
+    # -- semantics ----------------------------------------------------------
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """Circuit output under a complete assignment (iterative)."""
+        values: Dict[int, bool] = {}
+        for node in self.topological():
+            if node.is_literal:
+                value = assignment[abs(node.literal)]
+                values[node.id] = value if node.literal > 0 else not value
+            elif node.is_true:
+                values[node.id] = True
+            elif node.is_false:
+                values[node.id] = False
+            elif node.is_and:
+                values[node.id] = all(values[c.id] for c in node.children)
+            else:
+                values[node.id] = any(values[c.id] for c in node.children)
+        return values[self.id]
+
+    def __repr__(self) -> str:
+        if self.is_literal:
+            return f"NnfNode(lit {self.literal})"
+        if self.kind in (TRUE_KIND, FALSE_KIND):
+            return f"NnfNode({self.kind})"
+        return f"NnfNode({self.kind}, {len(self.children)} children)"
+
+
+class NnfManager:
+    """Factory and unique table for NNF nodes.
+
+    ``conjoin``/``disjoin`` apply only constant simplifications and
+    flattening of nested same-kind gates when ``flatten=True``; they never
+    restructure the circuit, so figures from the paper can be built
+    verbatim.
+    """
+
+    def __init__(self):
+        self._unique: Dict[tuple, NnfNode] = {}
+        self._next_id = 0
+        self._true = self._make(TRUE_KIND, 0, ())
+        self._false = self._make(FALSE_KIND, 0, ())
+
+    def _make(self, kind: str, literal: int,
+              children: Tuple[NnfNode, ...]) -> NnfNode:
+        key = (kind, literal, tuple(c.id for c in children))
+        node = self._unique.get(key)
+        if node is None:
+            node = NnfNode(kind, literal, children, self._next_id, self)
+            self._next_id += 1
+            self._unique[key] = node
+        return node
+
+    def __len__(self) -> int:
+        return len(self._unique)
+
+    # -- leaves --------------------------------------------------------------
+    def true(self) -> NnfNode:
+        return self._true
+
+    def false(self) -> NnfNode:
+        return self._false
+
+    def literal(self, literal: int) -> NnfNode:
+        if literal == 0:
+            raise ValueError("literal must be non-zero")
+        return self._make(LIT, literal, ())
+
+    # -- gates ---------------------------------------------------------------
+    def conjoin(self, *children: NnfNode, flatten: bool = False) -> NnfNode:
+        kept: List[NnfNode] = []
+        for child in children:
+            if child.is_false:
+                return self._false
+            if child.is_true:
+                continue
+            if flatten and child.is_and:
+                kept.extend(child.children)
+            else:
+                kept.append(child)
+        if not kept:
+            return self._true
+        if len(kept) == 1:
+            return kept[0]
+        return self._make(AND, 0, tuple(kept))
+
+    def disjoin(self, *children: NnfNode, flatten: bool = False) -> NnfNode:
+        kept: List[NnfNode] = []
+        for child in children:
+            if child.is_true:
+                return self._true
+            if child.is_false:
+                continue
+            if flatten and child.is_or:
+                kept.extend(child.children)
+            else:
+                kept.append(child)
+        if not kept:
+            return self._false
+        if len(kept) == 1:
+            return kept[0]
+        return self._make(OR, 0, tuple(kept))
+
+    def conjoin_all(self, children: Iterable[NnfNode]) -> NnfNode:
+        return self.conjoin(*children)
+
+    def disjoin_all(self, children: Iterable[NnfNode]) -> NnfNode:
+        return self.disjoin(*children)

@@ -1,0 +1,183 @@
+"""Property checks for NNF circuits.
+
+The paper's Section 3 tractability story: each syntactic property
+unlocks a class of polytime queries —
+
+* decomposability (DNNF) → satisfiability, hence NP;
+* + determinism (d-DNNF) → (weighted) model counting, hence PP;
+* + smoothness → counting by a single bottom-up pass (Fig 8);
+* structured decomposability (w.r.t. a vtree) → polytime conjoin;
+* the sentential decision property (SDD) → polytime apply + canonicity.
+
+``is_deterministic`` is a *semantic* property, so the exact check here
+enumerates assignments — exponential, meant for tests and figure-sized
+circuits.  Circuits produced by our compilers are deterministic by
+construction.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Optional
+
+from .node import NnfNode
+from ..vtree.vtree import Vtree
+
+__all__ = ["is_decomposable", "is_deterministic", "is_smooth",
+           "is_structured", "is_decision_node", "is_decision_dnnf",
+           "is_flat", "check_properties"]
+
+
+def is_decomposable(root: NnfNode) -> bool:
+    """Children of every and-gate mention disjoint variables (Fig 6)."""
+    for node in root.topological():
+        if node.is_and:
+            seen: set[int] = set()
+            for child in node.children:
+                child_vars = child.variables()
+                if seen & child_vars:
+                    return False
+                seen |= child_vars
+    return True
+
+
+def is_deterministic(root: NnfNode, max_vars: int = 22) -> bool:
+    """At most one input of every or-gate is high under any circuit input
+    (Fig 7).  Exact check by enumeration; refuses huge circuits."""
+    variables = sorted(root.variables())
+    if len(variables) > max_vars:
+        raise ValueError(
+            f"exact determinism check over {len(variables)} variables "
+            "would enumerate too many assignments")
+    order = root.topological()
+    or_nodes = [n for n in order if n.is_or]
+    if not or_nodes:
+        return True
+    for bits in product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        values: Dict[int, bool] = {}
+        for node in order:
+            if node.is_literal:
+                value = assignment[abs(node.literal)]
+                values[node.id] = value if node.literal > 0 else not value
+            elif node.is_true:
+                values[node.id] = True
+            elif node.is_false:
+                values[node.id] = False
+            elif node.is_and:
+                values[node.id] = all(values[c.id] for c in node.children)
+            else:
+                high = sum(values[c.id] for c in node.children)
+                if high > 1:
+                    return False
+                values[node.id] = high == 1
+    return True
+
+
+def is_smooth(root: NnfNode) -> bool:
+    """Children of every or-gate mention the same variables."""
+    for node in root.topological():
+        if node.is_or and node.children:
+            first = node.children[0].variables()
+            for child in node.children[1:]:
+                if child.variables() != first:
+                    return False
+    return True
+
+
+def is_structured(root: NnfNode, vtree: Vtree) -> bool:
+    """Structured decomposability w.r.t. ``vtree``.
+
+    Every and-gate must be binary, with a vtree node ``v`` such that the
+    first child's variables fall under ``v.left`` and the second child's
+    under ``v.right`` (order-insensitive: the swapped matching also
+    counts, since the figure circuits draw primes/subs in either order).
+    """
+    for node in root.topological():
+        if not node.is_and:
+            continue
+        if len(node.children) != 2:
+            return False
+        left_vars = node.children[0].variables()
+        right_vars = node.children[1].variables()
+        if not _respects_some_vtree_node(vtree, left_vars, right_vars):
+            return False
+    return True
+
+
+def _respects_some_vtree_node(vtree: Vtree, left_vars, right_vars) -> bool:
+    for v in vtree.nodes():
+        if v.is_leaf():
+            continue
+        lv, rv = v.left.variables, v.right.variables
+        if left_vars <= lv and right_vars <= rv:
+            return True
+        if left_vars <= rv and right_vars <= lv:
+            return True
+    return False
+
+
+def is_decision_node(node: NnfNode) -> Optional[int]:
+    """If ``node`` is a decision gate ``(X ∧ α) ∨ (¬X ∧ β)``, return X.
+
+    Terminal constants and literals count as decision-like leaves and
+    return None (they are allowed in Decision-DNNF).
+    """
+    if not node.is_or or len(node.children) != 2:
+        return None
+    variables = []
+    for child in node.children:
+        if child.is_literal:
+            variables.append((child.literal, None))
+        elif child.is_and and child.children and \
+                child.children[0].is_literal:
+            variables.append((child.children[0].literal, child))
+        else:
+            return None
+    (lit_a, _), (lit_b, _) = variables
+    if lit_a == -lit_b:
+        return abs(lit_a)
+    return None
+
+
+def is_decision_dnnf(root: NnfNode) -> bool:
+    """Every or-gate is a decision gate (the d-DNNF subset produced by
+    exhaustive-DPLL compilers [38])."""
+    if not is_decomposable(root):
+        return False
+    for node in root.topological():
+        if node.is_or and is_decision_node(node) is None:
+            return False
+    return True
+
+
+def is_flat(root: NnfNode) -> bool:
+    """Height at most two (CNF/DNF shape) — the pre-[34] compilation
+    targets mentioned in Section 3."""
+    if root.is_literal or root.is_true or root.is_false:
+        return True
+    for child in root.children:
+        for grandchild in child.children:
+            if grandchild.children:
+                return False
+    return True
+
+
+def check_properties(root: NnfNode,
+                     vtree: Vtree | None = None,
+                     determinism_max_vars: int = 22) -> Dict[str, bool]:
+    """All property flags at once (used by the Fig 12 taxonomy)."""
+    result = {
+        "decomposable": is_decomposable(root),
+        "smooth": is_smooth(root),
+        "flat": is_flat(root),
+    }
+    try:
+        result["deterministic"] = is_deterministic(
+            root, max_vars=determinism_max_vars)
+    except ValueError:
+        result["deterministic"] = False
+    result["decision"] = is_decision_dnnf(root)
+    if vtree is not None:
+        result["structured"] = is_structured(root, vtree)
+    return result

@@ -1,0 +1,108 @@
+"""Uniform and weighted sampling from d-DNNF circuits.
+
+Knowledge compilation meets uniform sampling [75]: once a formula is
+compiled into a d-DNNF, exact samples from the uniform (or any literal-
+weighted) distribution over its models come from one top-down pass
+guided by (weighted) model counts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Sequence
+
+from .node import NnfNode
+
+__all__ = ["sample_models", "sample_model"]
+
+
+def sample_model(root: NnfNode, variables: Sequence[int],
+                 rng: random.Random | None = None,
+                 weights: Mapping[int, float] | None = None
+                 ) -> Dict[int, bool]:
+    """Draw one model of a d-DNNF circuit.
+
+    With no ``weights`` the distribution is uniform over models; with
+    weights, a model's probability is proportional to the product of
+    its literal weights.  Raises ValueError on unsatisfiable circuits.
+    """
+    rng = rng or random.Random()
+    variables = list(variables)
+    if weights is None:
+        weights = {lit: 1.0 for v in variables for lit in (v, -v)}
+
+    def var_weight(var: int) -> float:
+        return weights[var] + weights[-var]
+
+    values: Dict[int, float] = {}
+    for node in root.topological():
+        if node.is_literal:
+            values[node.id] = weights[node.literal]
+        elif node.is_true:
+            values[node.id] = 1.0
+        elif node.is_false:
+            values[node.id] = 0.0
+        elif node.is_and:
+            value = 1.0
+            for child in node.children:
+                value *= values[child.id]
+            values[node.id] = value
+        else:
+            node_vars = node.variables()
+            total = 0.0
+            for child in node.children:
+                scaled = values[child.id]
+                for var in node_vars - child.variables():
+                    scaled *= var_weight(var)
+                total += scaled
+            values[node.id] = total
+    if values[root.id] <= 0.0:
+        raise ValueError("cannot sample from an unsatisfiable circuit")
+
+    assignment: Dict[int, bool] = {}
+
+    def sample_free(var: int) -> None:
+        p = weights[var] / var_weight(var)
+        assignment[var] = rng.random() < p
+
+    stack: List[NnfNode] = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_literal:
+            assignment[abs(node.literal)] = node.literal > 0
+        elif node.is_and:
+            stack.extend(node.children)
+        elif node.is_or:
+            node_vars = node.variables()
+            scaled: List[float] = []
+            for child in node.children:
+                value = values[child.id]
+                for var in node_vars - child.variables():
+                    value *= var_weight(var)
+                scaled.append(value)
+            total = sum(scaled)
+            pick = rng.random() * total
+            cumulative = 0.0
+            chosen = node.children[-1]
+            for child, value in zip(node.children, scaled):
+                cumulative += value
+                if pick < cumulative:
+                    chosen = child
+                    break
+            for var in node_vars - chosen.variables():
+                sample_free(var)
+            stack.append(chosen)
+    for var in variables:
+        if var not in assignment:
+            sample_free(var)
+    return assignment
+
+
+def sample_models(root: NnfNode, variables: Sequence[int], n: int,
+                  rng: random.Random | None = None,
+                  weights: Mapping[int, float] | None = None
+                  ) -> List[Dict[int, bool]]:
+    """Draw ``n`` independent models."""
+    rng = rng or random.Random()
+    return [sample_model(root, variables, rng, weights)
+            for _ in range(n)]

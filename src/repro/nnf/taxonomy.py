@@ -1,0 +1,95 @@
+"""The knowledge compilation map, in miniature (Fig 12, [34]).
+
+:func:`classify` places a circuit inside the paper's partial taxonomy of
+NNF languages, and :func:`supported_queries` reports which polytime
+queries the detected language unlocks, together with the complexity
+class that compilation into it "unlocks" (Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .node import NnfNode
+from .properties import (check_properties, is_decision_dnnf,
+                         is_decision_node)
+from ..vtree.vtree import Vtree
+
+__all__ = ["classify", "supported_queries", "LANGUAGE_QUERIES"]
+
+#: queries unlocked by each language, with the unlocked complexity class
+LANGUAGE_QUERIES: Dict[str, Dict[str, object]] = {
+    "NNF": {"queries": [], "unlocks": None},
+    "DNNF": {"queries": ["SAT", "model enumeration", "conditioning"],
+             "unlocks": "NP"},
+    "d-DNNF": {"queries": ["SAT", "#SAT", "WMC", "MPE"], "unlocks": "PP"},
+    "sd-DNNF": {"queries": ["SAT", "#SAT", "WMC", "MPE",
+                            "all marginals (one pass)"], "unlocks": "PP"},
+    "Decision-DNNF": {"queries": ["SAT", "#SAT", "WMC", "negation",
+                                  "E-MAJSAT (constrained order)"],
+                      "unlocks": "NP^PP"},
+    "SDD": {"queries": ["SAT", "#SAT", "WMC", "apply (∧, ∨, ¬)",
+                        "E-MAJSAT/MAJMAJSAT (constrained vtree)"],
+            "unlocks": "PP^PP"},
+    "OBDD": {"queries": ["SAT", "#SAT", "WMC", "apply", "compose",
+                         "quantification"], "unlocks": "PP^PP"},
+}
+
+
+def classify(root: NnfNode, vtree: Vtree | None = None,
+             determinism_max_vars: int = 22) -> List[str]:
+    """Languages (from most general to most specific) the circuit is in.
+
+    OBDD/SDD membership is only asserted when a vtree is supplied
+    (structuredness is relative to a vtree).
+    """
+    props = check_properties(root, vtree=vtree,
+                             determinism_max_vars=determinism_max_vars)
+    languages = ["NNF"]
+    if props["decomposable"]:
+        languages.append("DNNF")
+        if props["deterministic"]:
+            languages.append("d-DNNF")
+            if props["smooth"]:
+                languages.append("sd-DNNF")
+        if is_decision_dnnf(root):
+            languages.append("Decision-DNNF")
+            if _is_obdd_shaped(root):
+                languages.append("OBDD")
+    if vtree is not None and props.get("structured") and \
+            "d-DNNF" in languages:
+        languages.append("SDD")
+    return languages
+
+
+def _is_obdd_shaped(root: NnfNode) -> bool:
+    """Decision-DNNF whose decisions are nested along a single variable
+    order with no and-decomposition besides the guard conjunctions."""
+    order: List[int] = []
+
+    def visit(node: NnfNode, depth_vars: Set[int]) -> bool:
+        if node.is_literal or node.is_true or node.is_false:
+            return True
+        if node.is_or:
+            var = is_decision_node(node)
+            if var is None or var in depth_vars:
+                return False
+            return all(visit(child, depth_vars | {var})
+                       for child in node.children)
+        # and-gates allowed only as guard ∧ rest (binary, literal first)
+        if len(node.children) != 2 or not node.children[0].is_literal:
+            return False
+        return visit(node.children[1], depth_vars)
+
+    return visit(root, set())
+
+
+def supported_queries(root: NnfNode,
+                      vtree: Vtree | None = None) -> Dict[str, object]:
+    """The most specific language of the circuit and what it supports."""
+    languages = classify(root, vtree=vtree)
+    most_specific = languages[-1]
+    info = dict(LANGUAGE_QUERIES[most_specific])
+    info["language"] = most_specific
+    info["all_languages"] = languages
+    return info

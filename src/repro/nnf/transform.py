@@ -1,0 +1,179 @@
+"""Transformations of NNF circuits: smoothing, conditioning, conversion."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..logic.formula import (And as FAnd, Constant, FALSE, Formula, Lit,
+                             Or as FOr, TRUE)
+from .node import NnfManager, NnfNode
+
+__all__ = ["smooth", "condition", "from_formula", "to_formula",
+           "negate_decision"]
+
+
+def smooth(root: NnfNode) -> NnfNode:
+    """Smooth a circuit: make all or-children mention the same variables.
+
+    For each or-gate child missing variable ``v``, conjoin the tautology
+    gate ``(v ∨ ¬v)`` (the paper's Fig 7 shows the introduced trivial
+    gates).  Preserves decomposability and determinism; at most a
+    quadratic size increase [25].
+    """
+    manager = root.manager
+    smoothing_gates: Dict[int, NnfNode] = {}
+
+    def gate(var: int) -> NnfNode:
+        if var not in smoothing_gates:
+            smoothing_gates[var] = manager.disjoin(
+                manager.literal(var), manager.literal(-var))
+        return smoothing_gates[var]
+
+    rebuilt: Dict[int, NnfNode] = {}
+    for node in root.topological():
+        if node.is_literal or node.is_true or node.is_false:
+            rebuilt[node.id] = node
+        elif node.is_and:
+            rebuilt[node.id] = manager.conjoin(
+                *(rebuilt[c.id] for c in node.children))
+        else:
+            node_vars = node.variables()
+            children = []
+            for child in node.children:
+                new_child = rebuilt[child.id]
+                missing = node_vars - child.variables()
+                if missing:
+                    new_child = manager.conjoin(
+                        new_child, *(gate(v) for v in sorted(missing)))
+                children.append(new_child)
+            rebuilt[node.id] = manager.disjoin(*children)
+    return rebuilt[root.id]
+
+
+def condition(root: NnfNode, evidence: Mapping[int, bool]) -> NnfNode:
+    """Replace literals of evidence variables by constants and simplify.
+
+    Conditioning preserves decomposability, determinism and smoothness-
+    modulo-simplification; it is the basic operation behind Pr(e) style
+    queries on compiled circuits.
+    """
+    manager = root.manager
+    rebuilt: Dict[int, NnfNode] = {}
+    for node in root.topological():
+        if node.is_literal:
+            var = abs(node.literal)
+            if var in evidence:
+                consistent = evidence[var] == (node.literal > 0)
+                rebuilt[node.id] = manager.true() if consistent \
+                    else manager.false()
+            else:
+                rebuilt[node.id] = node
+        elif node.is_true or node.is_false:
+            rebuilt[node.id] = node
+        elif node.is_and:
+            rebuilt[node.id] = manager.conjoin(
+                *(rebuilt[c.id] for c in node.children))
+        else:
+            rebuilt[node.id] = manager.disjoin(
+                *(rebuilt[c.id] for c in node.children))
+    return rebuilt[root.id]
+
+
+def from_formula(formula: Formula, manager: NnfManager) -> NnfNode:
+    """Structural conversion of a formula into an NNF circuit.
+
+    Negations are pushed to the literals first; the circuit mirrors the
+    formula tree (no decomposability/determinism is established — use a
+    compiler from :mod:`repro.compile` or :mod:`repro.sdd` for that).
+    """
+    nnf = formula.to_nnf()
+
+    def build(f: Formula) -> NnfNode:
+        if isinstance(f, Constant):
+            return manager.true() if f.value else manager.false()
+        if isinstance(f, Lit):
+            return manager.literal(f.literal)
+        if isinstance(f, FAnd):
+            return manager.conjoin(*(build(c) for c in f.children))
+        if isinstance(f, FOr):
+            return manager.disjoin(*(build(c) for c in f.children))
+        raise TypeError(f"unexpected formula node {f!r}")
+
+    return build(nnf)
+
+
+def to_formula(root: NnfNode) -> Formula:
+    """Convert a circuit back into a formula AST (shared nodes expand)."""
+    memo: Dict[int, Formula] = {}
+    for node in root.topological():
+        if node.is_literal:
+            memo[node.id] = Lit(node.literal)
+        elif node.is_true:
+            memo[node.id] = TRUE
+        elif node.is_false:
+            memo[node.id] = FALSE
+        elif node.is_and:
+            memo[node.id] = FAnd(*(memo[c.id] for c in node.children))
+        else:
+            memo[node.id] = FOr(*(memo[c.id] for c in node.children))
+    return memo[root.id]
+
+
+def negate_decision(root: NnfNode) -> NnfNode:
+    """Negate a Decision-DNNF circuit.
+
+    Decision nodes ``(x ∧ α) ∨ (¬x ∧ β)`` negate to
+    ``(x ∧ ¬α) ∨ (¬x ∧ ¬β)``; and-gates of decision circuits decompose
+    over disjoint variables but negation distributes only over or-gates,
+    so conjunctions are negated by De Morgan into *disjunctions over
+    disjoint variables* which stay deterministic after smoothing-style
+    complements.  Here we implement the simple sound route: negation of
+    decision nodes recursively, with ``¬(α ∧ β) = (¬α) ∨ (α ∧ ¬β)``,
+    which preserves determinism and decomposability.
+    """
+    manager = root.manager
+    memo: Dict[int, NnfNode] = {}
+
+    def _neg_or(node: NnfNode) -> NnfNode:
+        # decision or-gate: (x ∧ α) ∨ (¬x ∧ β); bare literal child x
+        # stands for (x ∧ ⊤) and its negated branch (x ∧ ⊥) vanishes
+        negated = []
+        for child in node.children:
+            if child.is_and and child.children and \
+                    child.children[0].is_literal:
+                lit = child.children[0]
+                rest = manager.conjoin(*child.children[1:])
+                negated.append(manager.conjoin(lit, neg(rest)))
+            elif child.is_literal:
+                pass  # (x ∧ ⊥) contributes nothing
+            else:
+                raise ValueError("negate_decision needs a Decision-DNNF")
+        return manager.disjoin(*negated)
+
+    def _neg_and(node: NnfNode) -> NnfNode:
+        # ¬(α1 ∧ ... ∧ αk) = ¬α1 ∨ (α1 ∧ ¬α2) ∨ (α1∧α2∧¬α3) ∨ ...
+        # terms are mutually exclusive (determinism) and each term's
+        # factors are over disjoint variables (decomposability)
+        terms = []
+        for i, child in enumerate(node.children):
+            parts = list(node.children[:i]) + [neg(child)]
+            terms.append(manager.conjoin(*parts))
+        return manager.disjoin(*terms)
+
+    def neg(node: NnfNode) -> NnfNode:
+        if node.id in memo:
+            return memo[node.id]
+        if node.is_true:
+            result = manager.false()
+        elif node.is_false:
+            result = manager.true()
+        elif node.is_literal:
+            result = manager.literal(-node.literal)
+        elif node.is_or:
+            result = _neg_or(node)
+        else:
+            result = _neg_and(node)
+        memo[node.id] = result
+        return result
+
+    return neg(root)

@@ -1,0 +1,16 @@
+"""Reduced ordered binary decision diagrams."""
+
+from .manager import ObddManager, ObddNode
+from .ops import (compile_cnf_obdd, compile_formula, compile_nnf_obdd, compose,
+                  enumerate_models, exists, flip_variable, forall,
+                  minimum_cardinality, model_count, restrict,
+                  weighted_model_count)
+from .io import obdd_to_nnf, to_dot
+from .reorder import minimize_order, obdd_size_for_order
+
+__all__ = ["ObddManager", "ObddNode", "compile_cnf_obdd", "compile_formula",
+           "compile_nnf_obdd",
+           "compose", "enumerate_models", "exists", "flip_variable",
+           "forall", "minimum_cardinality", "model_count", "restrict",
+           "weighted_model_count", "obdd_to_nnf", "to_dot", "minimize_order",
+           "obdd_size_for_order"]

@@ -1,0 +1,67 @@
+"""OBDD export: to NNF circuits (Fig 11) and to Graphviz dot."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..nnf.node import NnfManager, NnfNode
+from .manager import ObddNode
+
+__all__ = ["obdd_to_nnf", "to_dot"]
+
+
+def obdd_to_nnf(node: ObddNode, manager: NnfManager | None = None
+                ) -> NnfNode:
+    """Convert an OBDD into the equivalent NNF circuit.
+
+    Each decision node becomes the multiplexer fragment of Fig 11:
+    ``(¬X ∧ low) ∨ (X ∧ high)`` — a Decision-DNNF (and in fact an SDD
+    for the right-linear vtree over the variable order).
+    """
+    if manager is None:
+        manager = NnfManager()
+    cache: Dict[int, NnfNode] = {}
+    obdd_manager = node.manager
+    for n in _bottom_up(node):
+        if n.is_terminal:
+            cache[n.id] = manager.true() if n is obdd_manager.one \
+                else manager.false()
+        else:
+            low = manager.conjoin(manager.literal(-n.var), cache[n.low.id])
+            high = manager.conjoin(manager.literal(n.var), cache[n.high.id])
+            cache[n.id] = manager.disjoin(low, high)
+    return cache[node.id]
+
+
+def _bottom_up(node: ObddNode) -> List[ObddNode]:
+    order: List[ObddNode] = []
+    seen = set()
+    stack = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if expanded:
+            order.append(current)
+            continue
+        if current.id in seen:
+            continue
+        seen.add(current.id)
+        stack.append((current, True))
+        if not current.is_terminal:
+            stack.append((current.low, False))
+            stack.append((current.high, False))
+    return order
+
+
+def to_dot(node: ObddNode, name: Callable[[int], str] = str) -> str:
+    """Graphviz dot source; dashed edges are low (0) branches."""
+    lines = ["digraph obdd {", "  rankdir=TB;"]
+    for n in _bottom_up(node):
+        if n.is_terminal:
+            label = "1" if n.terminal_value else "0"
+            lines.append(f'  n{n.id} [shape=box, label="{label}"];')
+        else:
+            lines.append(f'  n{n.id} [shape=circle, label="{name(n.var)}"];')
+            lines.append(f"  n{n.id} -> n{n.low.id} [style=dashed];")
+            lines.append(f"  n{n.id} -> n{n.high.id};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""Reduced Ordered Binary Decision Diagrams (OBDDs).
+
+The classic Bryant construction [7]: a fixed variable order, a unique
+table guaranteeing canonicity (reduction: no node with equal children,
+no duplicate nodes) and an apply cache.  OBDDs are the decision-graph
+representation used throughout Section 5 of the paper (classifier
+compilation, explanations, robustness) and are the special case of SDDs
+with a right-linear vtree (Fig 10c, Fig 11).
+
+All operations go through an :class:`ObddManager`; nodes from different
+managers must not be mixed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, \
+    Sequence, Tuple
+
+__all__ = ["ObddManager", "ObddNode"]
+
+
+class ObddNode:
+    """An OBDD node.  Terminals have ``var is None``."""
+
+    __slots__ = ("manager", "id", "var", "low", "high")
+
+    def __init__(self, manager: "ObddManager", node_id: int,
+                 var: Optional[int], low: Optional["ObddNode"],
+                 high: Optional["ObddNode"]):
+        self.manager = manager
+        self.id = node_id
+        self.var = var
+        self.low = low
+        self.high = high
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.var is None
+
+    @property
+    def terminal_value(self) -> bool:
+        if not self.is_terminal:
+            raise ValueError("not a terminal")
+        return self is self.manager.one
+
+    # -- operator sugar (delegates to the manager) -------------------------
+    def __and__(self, other: "ObddNode") -> "ObddNode":
+        return self.manager.apply_and(self, other)
+
+    def __or__(self, other: "ObddNode") -> "ObddNode":
+        return self.manager.apply_or(self, other)
+
+    def __xor__(self, other: "ObddNode") -> "ObddNode":
+        return self.manager.apply_xor(self, other)
+
+    def __invert__(self) -> "ObddNode":
+        return self.manager.negate(self)
+
+    def evaluate(self, assignment: Mapping[int, bool]) -> bool:
+        """Follow the decision path for ``assignment``."""
+        node = self
+        while not node.is_terminal:
+            node = node.high if assignment[node.var] else node.low
+        return node.terminal_value
+
+    def nodes(self) -> List["ObddNode"]:
+        """All distinct nodes reachable from here (including terminals)."""
+        seen: Dict[int, ObddNode] = {}
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.id in seen:
+                continue
+            seen[node.id] = node
+            if not node.is_terminal:
+                stack.append(node.low)
+                stack.append(node.high)
+        return list(seen.values())
+
+    def size(self) -> int:
+        """Number of decision (non-terminal) nodes."""
+        return sum(1 for n in self.nodes() if not n.is_terminal)
+
+    def variables(self) -> frozenset[int]:
+        """Variables actually tested somewhere in the diagram."""
+        return frozenset(n.var for n in self.nodes() if not n.is_terminal)
+
+    def __repr__(self) -> str:
+        if self.is_terminal:
+            return f"ObddNode({'1' if self.terminal_value else '0'})"
+        return f"ObddNode(var={self.var}, size={self.size()})"
+
+
+class ObddManager:
+    """Factory and cache for OBDD nodes over a fixed variable order."""
+
+    def __init__(self, var_order: Sequence[int]):
+        order = list(var_order)
+        if len(set(order)) != len(order):
+            raise ValueError("duplicate variables in order")
+        if any(v <= 0 for v in order):
+            raise ValueError("variables are positive integers")
+        self.var_order = order
+        self._level: Dict[int, int] = {v: i for i, v in enumerate(order)}
+        self._next_id = 0
+        self.zero = self._fresh(None, None, None)
+        self.one = self._fresh(None, None, None)
+        self._unique: Dict[Tuple[int, int, int], ObddNode] = {}
+        self._apply_cache: Dict[Tuple, ObddNode] = {}
+
+    def _fresh(self, var, low, high) -> ObddNode:
+        node = ObddNode(self, self._next_id, var, low, high)
+        self._next_id += 1
+        return node
+
+    def level(self, var: int) -> int:
+        return self._level[var]
+
+    def node_count(self) -> int:
+        return len(self._unique) + 2
+
+    # -- construction --------------------------------------------------------
+    def make(self, var: int, low: ObddNode, high: ObddNode) -> ObddNode:
+        """The reduced node testing ``var`` (unique-table lookup)."""
+        if low is high:
+            return low
+        key = (self._level[var], low.id, high.id)
+        node = self._unique.get(key)
+        if node is None:
+            node = self._fresh(var, low, high)
+            self._unique[key] = node
+        return node
+
+    def terminal(self, value: bool) -> ObddNode:
+        return self.one if value else self.zero
+
+    def literal(self, literal: int) -> ObddNode:
+        var = abs(literal)
+        if literal > 0:
+            return self.make(var, self.zero, self.one)
+        return self.make(var, self.one, self.zero)
+
+    def cube(self, literals: Sequence[int]) -> ObddNode:
+        """Conjunction of literals (built directly, no apply needed)."""
+        result = self.one
+        for lit in sorted(literals, key=lambda l: -self._level[abs(l)]):
+            var = abs(lit)
+            if lit > 0:
+                result = self.make(var, self.zero, result)
+            else:
+                result = self.make(var, result, self.zero)
+        return result
+
+    # -- apply ---------------------------------------------------------------
+    def _apply(self, op: str, table: Callable[[bool, bool], bool],
+               f: ObddNode, g: ObddNode) -> ObddNode:
+        if f.is_terminal and g.is_terminal:
+            return self.terminal(table(f.terminal_value, g.terminal_value))
+        # short circuits
+        if op == "and":
+            if f is self.zero or g is self.zero:
+                return self.zero
+            if f is self.one:
+                return g
+            if g is self.one:
+                return f
+            if f is g:
+                return f
+        elif op == "or":
+            if f is self.one or g is self.one:
+                return self.one
+            if f is self.zero:
+                return g
+            if g is self.zero:
+                return f
+            if f is g:
+                return f
+        elif op == "xor":
+            if f is g:
+                return self.zero
+            if f is self.zero:
+                return g
+            if g is self.zero:
+                return f
+        key = (op, *sorted((f.id, g.id)))
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        f_level = self._level[f.var] if not f.is_terminal else float("inf")
+        g_level = self._level[g.var] if not g.is_terminal else float("inf")
+        top = min(f_level, g_level)
+        var = f.var if f_level == top else g.var
+        if f_level == top:
+            f_low, f_high = f.low, f.high
+        else:
+            f_low, f_high = f, f
+        if g_level == top:
+            g_low, g_high = g.low, g.high
+        else:
+            g_low, g_high = g, g
+        low = self._apply(op, table, f_low, g_low)
+        high = self._apply(op, table, f_high, g_high)
+        result = self.make(var, low, high)
+        self._apply_cache[key] = result
+        return result
+
+    def apply_and(self, f: ObddNode, g: ObddNode) -> ObddNode:
+        return self._apply("and", lambda a, b: a and b, f, g)
+
+    def apply_or(self, f: ObddNode, g: ObddNode) -> ObddNode:
+        return self._apply("or", lambda a, b: a or b, f, g)
+
+    def apply_xor(self, f: ObddNode, g: ObddNode) -> ObddNode:
+        return self._apply("xor", lambda a, b: a != b, f, g)
+
+    def negate(self, f: ObddNode) -> ObddNode:
+        return self._apply("xor", lambda a, b: a != b, f, self.one)
+
+    def ite(self, f: ObddNode, g: ObddNode, h: ObddNode) -> ObddNode:
+        """if-then-else: (f ∧ g) ∨ (¬f ∧ h)."""
+        return self.apply_or(self.apply_and(f, g),
+                             self.apply_and(self.negate(f), h))
+
+    def conjoin_all(self, nodes: Sequence[ObddNode]) -> ObddNode:
+        result = self.one
+        for node in nodes:
+            result = self.apply_and(result, node)
+            if result is self.zero:
+                break
+        return result
+
+    def disjoin_all(self, nodes: Sequence[ObddNode]) -> ObddNode:
+        result = self.zero
+        for node in nodes:
+            result = self.apply_or(result, node)
+            if result is self.one:
+                break
+        return result

@@ -1,0 +1,290 @@
+"""OBDD operations beyond apply: restriction, quantification, counting,
+enumeration, variable flips and compilation from formulas/CNF."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from ..logic.cnf import Cnf
+from ..logic.formula import (And as FAnd, Constant, Formula, Lit,
+                             Or as FOr)
+from .manager import ObddManager, ObddNode
+
+__all__ = ["restrict", "exists", "forall", "compose", "flip_variable",
+           "model_count", "weighted_model_count", "enumerate_models",
+           "compile_formula", "compile_cnf_obdd", "compile_nnf_obdd",
+           "minimum_cardinality"]
+
+
+def restrict(node: ObddNode, evidence: Mapping[int, bool]) -> ObddNode:
+    """Condition the function on fixed variable values."""
+    manager = node.manager
+    cache: Dict[int, ObddNode] = {}
+
+    def rec(n: ObddNode) -> ObddNode:
+        if n.is_terminal:
+            return n
+        hit = cache.get(n.id)
+        if hit is not None:
+            return hit
+        if n.var in evidence:
+            result = rec(n.high if evidence[n.var] else n.low)
+        else:
+            result = manager.make(n.var, rec(n.low), rec(n.high))
+        cache[n.id] = result
+        return result
+
+    return rec(node)
+
+
+def exists(node: ObddNode, variables: Sequence[int]) -> ObddNode:
+    """Existentially quantify ``variables``: ∃v. f = f|v ∨ f|¬v."""
+    manager = node.manager
+    result = node
+    for var in variables:
+        result = manager.apply_or(restrict(result, {var: True}),
+                                  restrict(result, {var: False}))
+    return result
+
+
+def forall(node: ObddNode, variables: Sequence[int]) -> ObddNode:
+    """Universally quantify ``variables``: ∀v. f = f|v ∧ f|¬v."""
+    manager = node.manager
+    result = node
+    for var in variables:
+        result = manager.apply_and(restrict(result, {var: True}),
+                                   restrict(result, {var: False}))
+    return result
+
+
+def compose(node: ObddNode, var: int, replacement: ObddNode) -> ObddNode:
+    """Substitute function ``replacement`` for variable ``var``:
+    f[var := g] = (g ∧ f|var) ∨ (¬g ∧ f|¬var)."""
+    manager = node.manager
+    return manager.ite(replacement, restrict(node, {var: True}),
+                       restrict(node, {var: False}))
+
+
+def flip_variable(node: ObddNode, var: int) -> ObddNode:
+    """The function with the sense of ``var`` inverted:
+    g(x) = f(x with bit `var` flipped).  Used by the Hamming-dilation
+    robustness computation (Section 5.2)."""
+    manager = node.manager
+    cache: Dict[int, ObddNode] = {}
+
+    def rec(n: ObddNode) -> ObddNode:
+        if n.is_terminal:
+            return n
+        hit = cache.get(n.id)
+        if hit is not None:
+            return hit
+        if n.var == var:
+            result = manager.make(n.var, rec(n.high), rec(n.low))
+        else:
+            result = manager.make(n.var, rec(n.low), rec(n.high))
+        cache[n.id] = result
+        return result
+
+    return rec(node)
+
+
+def model_count(node: ObddNode,
+                variables: Sequence[int] | None = None) -> int:
+    """Exact model count over ``variables`` (default: the manager's
+    full variable order)."""
+    manager = node.manager
+    if variables is None:
+        variables = manager.var_order
+    variables = list(variables)
+    positions = {v: i for i, v in enumerate(variables)}
+    missing = node.variables() - set(variables)
+    if missing:
+        raise ValueError(f"count variables missing {sorted(missing)}")
+    n = len(variables)
+    cache: Dict[Tuple[int, int], int] = {}
+
+    def rec(n_node: ObddNode, depth: int) -> int:
+        """Models over variables[depth:]."""
+        if n_node.is_terminal:
+            return (1 << (n - depth)) if n_node.terminal_value else 0
+        key = (n_node.id, depth)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        level = positions[n_node.var]
+        gap = level - depth
+        value = (rec(n_node.low, level + 1) +
+                 rec(n_node.high, level + 1)) << gap
+        cache[key] = value
+        return value
+
+    return rec(node, 0)
+
+
+def weighted_model_count(node: ObddNode, weights: Mapping[int, float],
+                         variables: Sequence[int] | None = None) -> float:
+    """WMC with literal weights (±v keys), skipped variables contribute
+    W(v) + W(-v)."""
+    manager = node.manager
+    if variables is None:
+        variables = manager.var_order
+    variables = list(variables)
+    positions = {v: i for i, v in enumerate(variables)}
+    n = len(variables)
+
+    def span_weight(lo: int, hi: int) -> float:
+        value = 1.0
+        for i in range(lo, hi):
+            var = variables[i]
+            value *= weights[var] + weights[-var]
+        return value
+
+    cache: Dict[Tuple[int, int], float] = {}
+
+    def rec(n_node: ObddNode, depth: int) -> float:
+        if n_node.is_terminal:
+            return span_weight(depth, n) if n_node.terminal_value else 0.0
+        key = (n_node.id, depth)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        level = positions[n_node.var]
+        var = n_node.var
+        value = span_weight(depth, level) * (
+            weights[-var] * rec(n_node.low, level + 1)
+            + weights[var] * rec(n_node.high, level + 1))
+        cache[key] = value
+        return value
+
+    return rec(node, 0)
+
+
+def enumerate_models(node: ObddNode,
+                     variables: Sequence[int] | None = None
+                     ) -> Iterator[Dict[int, bool]]:
+    """Yield all complete models over ``variables``."""
+    manager = node.manager
+    if variables is None:
+        variables = manager.var_order
+    variables = list(variables)
+    positions = {v: i for i, v in enumerate(variables)}
+
+    def rec(n_node: ObddNode, depth: int,
+            partial: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+        if n_node.is_terminal:
+            if n_node.terminal_value:
+                yield from _expand(partial, variables[depth:])
+            return
+        level = positions[n_node.var]
+        for free_assignment in _expand({}, variables[depth:level]):
+            base = {**partial, **free_assignment}
+            for value, child in ((False, n_node.low), (True, n_node.high)):
+                base[n_node.var] = value
+                yield from rec(child, level + 1, dict(base))
+
+    yield from rec(node, 0, {})
+
+
+def _expand(partial: Dict[int, bool], free: List[int]
+            ) -> Iterator[Dict[int, bool]]:
+    if not free:
+        yield dict(partial)
+        return
+    var, rest = free[0], free[1:]
+    for value in (False, True):
+        partial[var] = value
+        yield from _expand(partial, rest)
+    del partial[var]
+
+
+def minimum_cardinality(node: ObddNode, costs: Mapping[int, float]
+                        ) -> float:
+    """Minimum, over models, of the sum of per-literal costs.
+
+    ``costs`` maps literals to non-negative costs.  Returns ``inf`` for
+    the zero function.  Linear in the OBDD size; this is the primitive
+    behind decision robustness (cost 1 on flipped literals).
+    """
+    manager = node.manager
+    variables = manager.var_order
+    positions = {v: i for i, v in enumerate(variables)}
+    n = len(variables)
+
+    def span_cost(lo: int, hi: int) -> float:
+        return sum(min(costs[variables[i]], costs[-variables[i]])
+                   for i in range(lo, hi))
+
+    cache: Dict[Tuple[int, int], float] = {}
+
+    def rec(n_node: ObddNode, depth: int) -> float:
+        if n_node.is_terminal:
+            return span_cost(depth, n) if n_node.terminal_value \
+                else float("inf")
+        key = (n_node.id, depth)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        level = positions[n_node.var]
+        var = n_node.var
+        value = span_cost(depth, level) + min(
+            costs[-var] + rec(n_node.low, level + 1),
+            costs[var] + rec(n_node.high, level + 1))
+        cache[key] = value
+        return value
+
+    return rec(node, 0)
+
+
+def compile_formula(formula: Formula, manager: ObddManager) -> ObddNode:
+    """Bottom-up compilation of a formula by apply operations."""
+    nnf = formula.to_nnf()
+
+    def build(f: Formula) -> ObddNode:
+        if isinstance(f, Constant):
+            return manager.terminal(f.value)
+        if isinstance(f, Lit):
+            return manager.literal(f.literal)
+        if isinstance(f, FAnd):
+            return manager.conjoin_all([build(c) for c in f.children])
+        if isinstance(f, FOr):
+            return manager.disjoin_all([build(c) for c in f.children])
+        raise TypeError(f"unexpected formula node {f!r}")
+
+    return build(nnf)
+
+
+def compile_cnf_obdd(cnf: Cnf, manager: ObddManager | None = None
+                     ) -> Tuple[ObddNode, ObddManager]:
+    """Compile a CNF bottom-up (clause by clause, widest clauses first
+    conjoined last).  Returns (root, manager)."""
+    if manager is None:
+        manager = ObddManager(range(1, cnf.num_vars + 1))
+    clause_nodes = [manager.disjoin_all([manager.literal(lit)
+                                         for lit in clause])
+                    for clause in cnf.clauses]
+    clause_nodes.sort(key=lambda node: node.size())
+    return manager.conjoin_all(clause_nodes), manager
+
+
+def compile_nnf_obdd(root, manager: ObddManager) -> ObddNode:
+    """Compile any NNF circuit into an OBDD by bottom-up apply.
+
+    Bridges compiler output (e.g. Decision-DNNF) into the OBDD engine so
+    the explanation/robustness machinery applies to it; worst-case
+    exponential like any OBDD construction.
+    """
+    cache: Dict[int, ObddNode] = {}
+    for node in root.topological():
+        if node.is_literal:
+            cache[node.id] = manager.literal(node.literal)
+        elif node.is_true:
+            cache[node.id] = manager.one
+        elif node.is_false:
+            cache[node.id] = manager.zero
+        elif node.is_and:
+            cache[node.id] = manager.conjoin_all(
+                [cache[c.id] for c in node.children])
+        else:
+            cache[node.id] = manager.disjoin_all(
+                [cache[c.id] for c in node.children])
+    return cache[root.id]

@@ -1,0 +1,7 @@
+"""Probabilistic circuits: the AC / SPN / PSDD family (Section 4)."""
+
+from .circuit import ProbCircuit, ProbNode
+from .convert import psdd_to_circuit
+from .learnspn import learn_spn
+
+__all__ = ["ProbCircuit", "ProbNode", "psdd_to_circuit", "learn_spn"]

@@ -1,0 +1,291 @@
+"""Probabilistic circuits: the AC / SPN / PSDD family (Section 4).
+
+The paper situates PSDDs among probabilistic circuits: ACs (Arithmetic
+Circuits [25]) rest on decomposability + determinism, SPNs (Sum-Product
+Networks [68]) on decomposability only, PSDDs on the stronger SDD
+properties; [13, 76] study their relative tractability/succinctness.
+
+This module provides the common representation: sum nodes (weighted),
+product nodes and Bernoulli leaves over binary variables.  Queries
+document which structural property they need:
+
+* EVI / MAR — decomposability + smoothness (enforced here);
+* exact MPE — additionally *determinism*; on a non-deterministic SPN
+  the max-product pass maximises over induced trees, yielding a lower
+  bound and possibly suboptimal assignments (the ABL3 benchmark
+  demonstrates the gap).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, \
+    Tuple
+
+__all__ = ["ProbNode", "ProbCircuit"]
+
+
+class ProbNode:
+    """A node of a probabilistic circuit; create via the factory
+    methods on :class:`ProbCircuit`."""
+
+    LEAF = "leaf"
+    SUM = "sum"
+    PRODUCT = "product"
+
+    __slots__ = ("id", "kind", "var", "theta", "children", "weights",
+                 "scope")
+
+    def __init__(self, node_id: int, kind: str, var: int = 0,
+                 theta: float = 0.5,
+                 children: Optional[List["ProbNode"]] = None,
+                 weights: Optional[List[float]] = None):
+        self.id = node_id
+        self.kind = kind
+        self.var = var
+        self.theta = theta
+        self.children = children or []
+        self.weights = weights or []
+        if kind == ProbNode.LEAF:
+            self.scope: FrozenSet[int] = frozenset((var,))
+        else:
+            scope: FrozenSet[int] = frozenset()
+            for child in self.children:
+                scope |= child.scope
+            self.scope = scope
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.kind == ProbNode.LEAF
+
+    @property
+    def is_sum(self) -> bool:
+        return self.kind == ProbNode.SUM
+
+    @property
+    def is_product(self) -> bool:
+        return self.kind == ProbNode.PRODUCT
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return f"ProbNode(X{self.var} ~ Bern({self.theta:.3f}))"
+        return f"ProbNode({self.kind}, {len(self.children)} children)"
+
+
+class ProbCircuit:
+    """A probabilistic circuit with a designated root.
+
+    Structural invariants enforced at construction: sum children share
+    the root scope fragment (smoothness) and have normalized weights;
+    product children have disjoint scopes (decomposability).
+    Determinism is *not* enforced — it is the distinguishing property
+    (check with :meth:`is_deterministic`).
+    """
+
+    def __init__(self):
+        self._next_id = 0
+        self.root: Optional[ProbNode] = None
+
+    def _fresh(self, **kwargs) -> ProbNode:
+        node = ProbNode(self._next_id, **kwargs)
+        self._next_id += 1
+        return node
+
+    # -- factories ----------------------------------------------------------
+    def leaf(self, var: int, theta: float) -> ProbNode:
+        if not 0.0 <= theta <= 1.0:
+            raise ValueError("theta must be a probability")
+        return self._fresh(kind=ProbNode.LEAF, var=var, theta=theta)
+
+    def product(self, children: Sequence[ProbNode]) -> ProbNode:
+        seen: FrozenSet[int] = frozenset()
+        for child in children:
+            if seen & child.scope:
+                raise ValueError("product children must have disjoint "
+                                 "scopes (decomposability)")
+            seen |= child.scope
+        return self._fresh(kind=ProbNode.PRODUCT, children=list(children))
+
+    def sum(self, children: Sequence[ProbNode],
+            weights: Sequence[float]) -> ProbNode:
+        if len(children) != len(weights):
+            raise ValueError("one weight per child")
+        if not children:
+            raise ValueError("sum needs children")
+        scope = children[0].scope
+        for child in children[1:]:
+            if child.scope != scope:
+                raise ValueError("sum children must share their scope "
+                                 "(smoothness)")
+        total = sum(weights)
+        if total <= 0:
+            raise ValueError("weights must have positive mass")
+        return self._fresh(kind=ProbNode.SUM, children=list(children),
+                           weights=[w / total for w in weights])
+
+    def set_root(self, node: ProbNode) -> "ProbCircuit":
+        self.root = node
+        return self
+
+    # -- structure ------------------------------------------------------------
+    def nodes(self) -> List[ProbNode]:
+        assert self.root is not None
+        order: List[ProbNode] = []
+        seen: set[int] = set()
+        stack: List[Tuple[ProbNode, bool]] = [(self.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if node.id in seen:
+                continue
+            seen.add(node.id)
+            stack.append((node, True))
+            for child in node.children:
+                if child.id not in seen:
+                    stack.append((child, False))
+        return order
+
+    def size(self) -> int:
+        return sum(len(n.children) for n in self.nodes())
+
+    def variables(self) -> List[int]:
+        assert self.root is not None
+        return sorted(self.root.scope)
+
+    # -- queries --------------------------------------------------------------
+    def probability(self, assignment: Mapping[int, bool]) -> float:
+        """EVI: the probability of a complete assignment."""
+        return self._evaluate(assignment, marginalize_missing=False)
+
+    def marginal(self, evidence: Mapping[int, bool]) -> float:
+        """MAR: Pr(evidence); missing variables are summed out."""
+        return self._evaluate(evidence, marginalize_missing=True)
+
+    def _evaluate(self, evidence: Mapping[int, bool],
+                  marginalize_missing: bool) -> float:
+        values: Dict[int, float] = {}
+        for node in self.nodes():
+            if node.is_leaf:
+                if node.var in evidence:
+                    values[node.id] = node.theta if evidence[node.var] \
+                        else 1.0 - node.theta
+                elif marginalize_missing:
+                    values[node.id] = 1.0
+                else:
+                    raise KeyError(f"variable {node.var} unassigned")
+            elif node.is_product:
+                value = 1.0
+                for child in node.children:
+                    value *= values[child.id]
+                values[node.id] = value
+            else:
+                values[node.id] = sum(
+                    w * values[c.id]
+                    for w, c in zip(node.weights, node.children))
+        assert self.root is not None
+        return values[self.root.id]
+
+    def max_product(self, evidence: Mapping[int, bool] | None = None
+                    ) -> Tuple[float, Dict[int, bool]]:
+        """The max-product (MPE) pass with traceback.
+
+        Exact MPE when the circuit is deterministic.  On a
+        non-deterministic SPN the pass maximises over single induced
+        trees, so the returned value only *lower-bounds* the true
+        maximum probability and the decoded assignment can be
+        suboptimal — the [13] tractability gap the ABL3 benchmark
+        measures (MPE is NP-hard for SPNs, linear for ACs/PSDDs).
+        """
+        evidence = dict(evidence or {})
+        values: Dict[int, float] = {}
+        best_child: Dict[int, int] = {}
+        for node in self.nodes():
+            if node.is_leaf:
+                if node.var in evidence:
+                    values[node.id] = node.theta if evidence[node.var] \
+                        else 1.0 - node.theta
+                else:
+                    values[node.id] = max(node.theta, 1.0 - node.theta)
+            elif node.is_product:
+                value = 1.0
+                for child in node.children:
+                    value *= values[child.id]
+                values[node.id] = value
+            else:
+                scored = [w * values[c.id]
+                          for w, c in zip(node.weights, node.children)]
+                index = max(range(len(scored)), key=lambda i: scored[i])
+                best_child[node.id] = index
+                values[node.id] = scored[index]
+        assignment: Dict[int, bool] = dict(evidence)
+        assert self.root is not None
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                if node.var not in assignment:
+                    assignment[node.var] = node.theta >= 0.5
+            elif node.is_product:
+                stack.extend(node.children)
+            else:
+                stack.append(node.children[best_child[node.id]])
+        return values[self.root.id], assignment
+
+    def sample(self, rng: random.Random | None = None
+               ) -> Dict[int, bool]:
+        rng = rng or random.Random()
+        assignment: Dict[int, bool] = {}
+        assert self.root is not None
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assignment[node.var] = rng.random() < node.theta
+            elif node.is_product:
+                stack.extend(node.children)
+            else:
+                pick = rng.random()
+                cumulative = 0.0
+                chosen = node.children[-1]
+                for child, weight in zip(node.children, node.weights):
+                    cumulative += weight
+                    if pick < cumulative:
+                        chosen = child
+                        break
+                stack.append(chosen)
+        return assignment
+
+    # -- properties ---------------------------------------------------------------
+    def is_deterministic(self, max_vars: int = 20) -> bool:
+        """Semantic determinism: under every complete assignment, at
+        most one child of each sum node is non-zero.  Exponential exact
+        check for verification purposes."""
+        variables = self.variables()
+        if len(variables) > max_vars:
+            raise ValueError("too many variables for the exact check")
+        order = self.nodes()
+        for bits in itertools.product((False, True),
+                                      repeat=len(variables)):
+            assignment = dict(zip(variables, bits))
+            values: Dict[int, float] = {}
+            for node in order:
+                if node.is_leaf:
+                    values[node.id] = node.theta if \
+                        assignment[node.var] else 1.0 - node.theta
+                elif node.is_product:
+                    value = 1.0
+                    for child in node.children:
+                        value *= values[child.id]
+                    values[node.id] = value
+                else:
+                    live = sum(1 for c in node.children
+                               if values[c.id] > 1e-12)
+                    if live > 1:
+                        return False
+                    values[node.id] = sum(
+                        w * values[c.id]
+                        for w, c in zip(node.weights, node.children))
+        return True

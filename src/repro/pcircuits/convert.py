@@ -1,0 +1,44 @@
+"""Converting PSDDs into the generic probabilistic-circuit form.
+
+A PSDD is the special case of a probabilistic circuit whose sums are
+deterministic (and structured): literals become indicator leaves,
+Bernoullis become deterministic sums over the two indicators, and
+decision elements become weighted products.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..psdd.psdd import PsddNode
+from .circuit import ProbCircuit, ProbNode
+
+__all__ = ["psdd_to_circuit"]
+
+
+def psdd_to_circuit(root: PsddNode) -> ProbCircuit:
+    """An equivalent :class:`ProbCircuit` (same distribution)."""
+    circuit = ProbCircuit()
+    cache: Dict[int, ProbNode] = {}
+    for node in root.descendants():
+        if node.is_literal:
+            theta = 1.0 if node.literal > 0 else 0.0
+            cache[node.id] = circuit.leaf(abs(node.literal), theta)
+        elif node.is_bernoulli:
+            var = abs(node.literal)
+            positive = circuit.leaf(var, 1.0)
+            negative = circuit.leaf(var, 0.0)
+            cache[node.id] = circuit.sum(
+                [positive, negative], [node.theta, 1.0 - node.theta])
+        else:
+            children = []
+            weights = []
+            for prime, sub, theta in node.elements:
+                children.append(circuit.product(
+                    [cache[prime.id], cache[sub.id]]))
+                weights.append(theta)
+            live = [(c, w) for c, w in zip(children, weights)]
+            cache[node.id] = circuit.sum([c for c, _w in live],
+                                         [w for _c, w in live])
+    circuit.set_root(cache[root.id])
+    return circuit

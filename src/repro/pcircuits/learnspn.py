@@ -1,0 +1,141 @@
+"""LearnSPN-style structure learning for sum-product networks [68].
+
+The classic recursive recipe on binary data:
+
+* one variable left → a Bernoulli leaf (Laplace-smoothed);
+* variables split into (approximately) independent groups → a product
+  node over the groups;
+* otherwise → cluster the rows into two groups and emit a sum node
+  weighted by the cluster sizes.
+
+Independence is tested with pairwise mutual information; clustering is
+a deterministic two-means on Hamming distance.  The result is a
+decomposable, smooth — but generally *non-deterministic* — circuit,
+exactly the SPN class the paper contrasts with ACs and PSDDs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from .circuit import ProbCircuit, ProbNode
+
+__all__ = ["learn_spn"]
+
+Row = Mapping[int, bool]
+
+
+def learn_spn(instances: Sequence[Row], variables: Sequence[int],
+              min_rows: int = 8, mi_threshold: float = 0.02,
+              alpha: float = 1.0, rng: random.Random | None = None,
+              max_depth: int = 20) -> ProbCircuit:
+    """Learn an SPN from complete binary data."""
+    if not instances:
+        raise ValueError("need data")
+    rng = rng or random.Random(0)
+    circuit = ProbCircuit()
+
+    def leaf(var: int, rows: Sequence[Row]) -> ProbNode:
+        positives = sum(1 for row in rows if row[var])
+        theta = (positives + alpha) / (len(rows) + 2 * alpha)
+        return circuit.leaf(var, theta)
+
+    def build(rows: Sequence[Row], scope: List[int],
+              depth: int) -> ProbNode:
+        if len(scope) == 1:
+            return leaf(scope[0], rows)
+        if len(rows) < min_rows or depth >= max_depth:
+            # factorize fully (naive product of leaves)
+            return circuit.product([leaf(v, rows) for v in scope])
+        groups = _independent_groups(rows, scope, mi_threshold)
+        if len(groups) > 1:
+            return circuit.product(
+                [build(rows, group, depth + 1) for group in groups])
+        left, right = _two_means(rows, scope, rng)
+        if not left or not right:
+            return circuit.product([leaf(v, rows) for v in scope])
+        children = [build(left, scope, depth + 1),
+                    build(right, scope, depth + 1)]
+        return circuit.sum(children, [len(left), len(right)])
+
+    root = build(list(instances), sorted(variables), 0)
+    return circuit.set_root(root)
+
+
+def _mutual_information(rows: Sequence[Row], a: int, b: int) -> float:
+    n = len(rows)
+    joint: Dict[Tuple[bool, bool], int] = {}
+    for row in rows:
+        key = (row[a], row[b])
+        joint[key] = joint.get(key, 0) + 1
+    pa = sum(1 for row in rows if row[a]) / n
+    pb = sum(1 for row in rows if row[b]) / n
+    mi = 0.0
+    for (va, vb), count in joint.items():
+        pab = count / n
+        marginal = (pa if va else 1 - pa) * (pb if vb else 1 - pb)
+        if pab > 0 and marginal > 0:
+            mi += pab * math.log(pab / marginal)
+    return mi
+
+
+def _independent_groups(rows: Sequence[Row], scope: List[int],
+                        threshold: float) -> List[List[int]]:
+    """Connected components of the |MI| > threshold dependency graph."""
+    parent = {v: v for v in scope}
+
+    def find(v: int) -> int:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    for i, a in enumerate(scope):
+        for b in scope[i + 1:]:
+            if _mutual_information(rows, a, b) > threshold:
+                ra, rb = find(a), find(b)
+                if ra != rb:
+                    parent[max(ra, rb)] = min(ra, rb)
+    groups: Dict[int, List[int]] = {}
+    for v in scope:
+        groups.setdefault(find(v), []).append(v)
+    return [sorted(group) for group in
+            sorted(groups.values(), key=lambda g: g[0])]
+
+
+def _two_means(rows: Sequence[Row], scope: List[int],
+               rng: random.Random
+               ) -> Tuple[List[Row], List[Row]]:
+    """Deterministic-ish 2-means on Hamming distance over the scope."""
+    if len(rows) < 2:
+        return list(rows), []
+    # seed with the two most distant rows (first row vs its farthest)
+    first = rows[0]
+    farthest = max(rows, key=lambda row: sum(
+        1 for v in scope if row[v] != first[v]))
+    if all(farthest[v] == first[v] for v in scope):
+        return list(rows), []  # no variation on this scope
+    centres = [dict(first), dict(farthest)]
+    assignment = [0] * len(rows)
+    for _ in range(10):
+        changed = False
+        buckets: List[List[Row]] = [[], []]
+        for index, row in enumerate(rows):
+            distances = [sum(1 for v in scope if row[v] != centre[v])
+                         for centre in centres]
+            choice = 0 if distances[0] <= distances[1] else 1
+            if choice != assignment[index]:
+                changed = True
+                assignment[index] = choice
+            buckets[choice].append(row)
+        for side in (0, 1):
+            if buckets[side]:
+                centres[side] = {
+                    v: (sum(1 for row in buckets[side] if row[v])
+                        * 2 > len(buckets[side]))
+                    for v in scope}
+        if not changed:
+            break
+    return buckets[0], buckets[1]

@@ -1,0 +1,152 @@
+"""EM parameter learning for PSDDs from *incomplete* data ([17]).
+
+With missing values, ML parameters have no closed form; EM alternates:
+
+* E-step — for each partial example, compute the expected number of
+  times each element / Bernoulli value fires, by an upward (marginal)
+  pass followed by a downward flow pass on the PSDD;
+* M-step — normalise the expected counts, exactly as in the complete-
+  data learner.
+
+The flow computation is the standard probabilistic-circuits recipe:
+``flow(root) = 1``; an or-element (p, s, θ) receives
+``flow(node) · θ·val(p)·val(s) / val(node)``, which it passes to both
+its prime and its sub.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from .psdd import PsddNode
+
+__all__ = ["em_learn", "incomplete_log_likelihood"]
+
+PartialData = Sequence[Tuple[Mapping[int, bool], float]]
+
+
+def incomplete_log_likelihood(root: PsddNode, data: PartialData) -> float:
+    """Σ count · log Pr(partial example) (marginal likelihood)."""
+    from .queries import marginal
+    total = 0.0
+    for evidence, count in data:
+        p = marginal(root, evidence)
+        if p == 0.0:
+            return float("-inf")
+        total += count * math.log(p)
+    return total
+
+
+def em_learn(root: PsddNode, data: PartialData, iterations: int = 30,
+             alpha: float = 0.01, tolerance: float = 1e-7) -> List[float]:
+    """Run EM in place; returns the log-likelihood trace.
+
+    ``alpha`` is a Laplace pseudo-count applied at every M-step (it also
+    keeps parameters off the boundary, which EM cannot leave).  Stops
+    early when the likelihood improves by less than ``tolerance``.
+    """
+    trace: List[float] = []
+    for _ in range(iterations):
+        element_counts: Dict[int, List[float]] = {}
+        bernoulli_counts: Dict[int, List[float]] = {}
+        for node in root.descendants():
+            if node.is_decision:
+                element_counts[node.id] = [0.0] * len(node.elements)
+            elif node.is_bernoulli:
+                bernoulli_counts[node.id] = [0.0, 0.0]
+        log_likelihood = 0.0
+        for evidence, count in data:
+            p = _accumulate_flows(root, evidence, count,
+                                  element_counts, bernoulli_counts)
+            if p == 0.0:
+                raise ValueError(
+                    f"evidence {dict(evidence)} has probability zero "
+                    "under the current parameters")
+            log_likelihood += count * math.log(p)
+        trace.append(log_likelihood)
+        _m_step(root, element_counts, bernoulli_counts, alpha)
+        if len(trace) >= 2 and trace[-1] - trace[-2] < tolerance:
+            break
+    return trace
+
+
+def _evidence_value(node: PsddNode, evidence: Mapping[int, bool],
+                    cache: Dict[int, float]) -> float:
+    hit = cache.get(node.id)
+    if hit is not None:
+        return hit
+    if node.is_literal:
+        var = abs(node.literal)
+        if var in evidence:
+            value = 1.0 if evidence[var] == (node.literal > 0) else 0.0
+        else:
+            value = 1.0
+    elif node.is_bernoulli:
+        var = abs(node.literal)
+        if var in evidence:
+            value = node.theta if evidence[var] else 1.0 - node.theta
+        else:
+            value = 1.0
+    else:
+        value = sum(theta
+                    * _evidence_value(prime, evidence, cache)
+                    * _evidence_value(sub, evidence, cache)
+                    for prime, sub, theta in node.elements)
+    cache[node.id] = value
+    return value
+
+
+def _accumulate_flows(root: PsddNode, evidence: Mapping[int, bool],
+                      count: float,
+                      element_counts: Dict[int, List[float]],
+                      bernoulli_counts: Dict[int, List[float]]) -> float:
+    """One E-step example: returns Pr(evidence), adds expected counts."""
+    values: Dict[int, float] = {}
+    p_evidence = _evidence_value(root, evidence, values)
+    if p_evidence == 0.0:
+        return 0.0
+    flows: Dict[int, float] = {root.id: count}
+    order = root.descendants()  # children first; traverse reversed
+    for node in reversed(order):
+        flow = flows.get(node.id, 0.0)
+        if flow == 0.0:
+            continue
+        if node.is_bernoulli:
+            var = abs(node.literal)
+            if var in evidence:
+                bernoulli_counts[node.id][1 if evidence[var] else 0] += \
+                    flow
+            else:
+                bernoulli_counts[node.id][1] += flow * node.theta
+                bernoulli_counts[node.id][0] += flow * (1.0 - node.theta)
+        elif node.is_decision:
+            total = values[node.id]
+            if total == 0.0:
+                continue
+            for i, (prime, sub, theta) in enumerate(node.elements):
+                contribution = theta * values[prime.id] * values[sub.id]
+                if contribution == 0.0:
+                    continue
+                share = flow * contribution / total
+                element_counts[node.id][i] += share
+                flows[prime.id] = flows.get(prime.id, 0.0) + share
+                flows[sub.id] = flows.get(sub.id, 0.0) + share
+    return p_evidence
+
+
+def _m_step(root: PsddNode, element_counts: Dict[int, List[float]],
+            bernoulli_counts: Dict[int, List[float]],
+            alpha: float) -> None:
+    for node in root.descendants():
+        if node.is_decision:
+            counts = element_counts[node.id]
+            total = sum(counts) + alpha * len(counts)
+            if total > 0:
+                for i, element in enumerate(node.elements):
+                    element[2] = (counts[i] + alpha) / total
+        elif node.is_bernoulli:
+            neg, pos = bernoulli_counts[node.id]
+            total = neg + pos + 2 * alpha
+            if total > 0:
+                node.theta = (pos + alpha) / total

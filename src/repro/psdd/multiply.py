@@ -1,0 +1,122 @@
+"""Multiplying PSDDs ([76]; used to turn an SBN into a classical PSDD).
+
+Given PSDDs p and q over the same vtree, their product is the
+(unnormalised) function p(x)·q(x).  The algorithm of Shen, Choi &
+Darwiche computes a PSDD for the *normalised* product together with the
+normalisation constant Z = Σ_x p(x)q(x), recursively: products of
+decision nodes pair up their elements (primes intersect, subs
+multiply), products of leaves are closed-form.
+
+The resulting PSDD may be *uncompressed* (distinct elements can share a
+sub), which PSDDs allow even though canonical SDDs do not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sdd.manager import SddManager
+from .psdd import PsddNode
+
+__all__ = ["multiply"]
+
+
+class _Multiplier:
+    def __init__(self, manager: SddManager):
+        self.manager = manager
+        self.cache: Dict[Tuple[int, int],
+                         Tuple[Optional[PsddNode], float]] = {}
+        self.next_id = 0
+
+    def fresh(self, **kwargs) -> PsddNode:
+        node = PsddNode(self.next_id, **kwargs)
+        self.next_id += 1
+        return node
+
+    def multiply(self, p: PsddNode, q: PsddNode
+                 ) -> Tuple[Optional[PsddNode], float]:
+        """Returns (normalised product node, constant); (None, 0) when
+        the supports are disjoint."""
+        key = (p.id, q.id) if p.id <= q.id else (q.id, p.id)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        result = self._multiply(p, q)
+        self.cache[key] = result
+        return result
+
+    def _multiply(self, p: PsddNode, q: PsddNode
+                  ) -> Tuple[Optional[PsddNode], float]:
+        if p.vtree is not q.vtree:
+            raise ValueError("PSDDs must be normalized for the same vtree")
+        if p.is_literal and q.is_literal:
+            if p.literal == q.literal:
+                return p, 1.0
+            return None, 0.0
+        if p.is_literal and q.is_bernoulli:
+            weight = q.theta if p.literal > 0 else 1.0 - q.theta
+            return (p, weight) if weight > 0 else (None, 0.0)
+        if p.is_bernoulli and q.is_literal:
+            return self._multiply(q, p)
+        if p.is_bernoulli and q.is_bernoulli:
+            on = p.theta * q.theta
+            off = (1.0 - p.theta) * (1.0 - q.theta)
+            constant = on + off
+            if constant == 0.0:
+                return None, 0.0
+            node = self.fresh(kind=PsddNode.BERNOULLI, vtree=p.vtree,
+                              literal=p.literal, theta=on / constant,
+                              support=self.manager.true)
+            return node, constant
+        if p.is_decision and q.is_decision:
+            elements: List[List] = []
+            constant = 0.0
+            support = self.manager.false
+            for p_prime, p_sub, p_theta in p.elements:
+                if p_theta == 0.0:
+                    continue
+                for q_prime, q_sub, q_theta in q.elements:
+                    if q_theta == 0.0:
+                        continue
+                    prime, prime_c = self.multiply(p_prime, q_prime)
+                    if prime is None or prime_c == 0.0:
+                        continue
+                    sub, sub_c = self.multiply(p_sub, q_sub)
+                    if sub is None or sub_c == 0.0:
+                        continue
+                    weight = p_theta * q_theta * prime_c * sub_c
+                    elements.append([prime, sub, weight])
+                    constant += weight
+                    support = self.manager.disjoin(
+                        support,
+                        self.manager.conjoin(prime.support, sub.support))
+            if not elements:
+                return None, 0.0
+            for element in elements:
+                element[2] /= constant
+            node = self.fresh(kind=PsddNode.DECISION, vtree=p.vtree,
+                              elements=elements, support=support)
+            return node, constant
+        raise ValueError(
+            f"incompatible PSDD node kinds {p.kind!r} and {q.kind!r} "
+            "at the same vtree node")
+
+
+def multiply(p: PsddNode, q: PsddNode
+             ) -> Tuple[Optional[PsddNode], float]:
+    """The normalised product of two same-vtree PSDDs and its constant.
+
+    ``product.probability(x) * constant == p.probability(x) *
+    q.probability(x)`` for every complete x; returns ``(None, 0.0)``
+    when the supports are disjoint.
+
+    Both PSDDs must have been built against the same
+    :class:`~repro.sdd.manager.SddManager` (their supports are combined
+    with its apply).
+    """
+    if p.support is None or q.support is None:
+        raise ValueError("PSDD nodes must carry their supports")
+    manager = p.support.manager
+    if q.support.manager is not manager:
+        raise ValueError("PSDDs must share an SDD manager")
+    return _Multiplier(manager).multiply(p, q)

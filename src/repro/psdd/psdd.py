@@ -1,0 +1,238 @@
+"""Probabilistic Sentential Decision Diagrams (PSDDs) [44] — Figs 13–14.
+
+A PSDD assigns a local distribution to every or-gate of an SDD (and a
+Bernoulli to every ⊤ leaf): each element of a decision node gets a
+probability θ, with the θs of a node summing to one.  The result is a
+normalized distribution over the *satisfying inputs* of the SDD — the
+paper's "distribution over a structured space".
+
+Construction here *normalizes* a (trimmed) SDD for its full vtree while
+building the PSDD, so every variable of the vtree is covered by some
+node: a ⊤ over a leaf becomes a Bernoulli, a sub-function lifted over an
+internal vtree node becomes a one-element decision.  Sharing is kept —
+a PSDD node always denotes one distribution over the variables of its
+vtree node, wherever it is referenced.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..sdd.manager import SddManager
+from ..sdd.node import SddNode
+from ..vtree.vtree import Vtree
+
+__all__ = ["PsddNode", "psdd_from_sdd"]
+
+#: global id source — PSDD DAGs may mix nodes from different builders
+#: (e.g. multiply reuses input nodes), so ids must be globally unique
+_NODE_IDS = itertools.count()
+
+
+class PsddNode:
+    """A PSDD node; build with :func:`psdd_from_sdd`.
+
+    Kinds:
+
+    * ``literal`` — mass 1 on the literal's value, over one variable;
+    * ``bernoulli`` — Pr(var = 1) = theta, over one variable;
+    * ``decision`` — elements ``(prime, sub, theta)`` over an internal
+      vtree node; primes partition the node's support on the left vars.
+
+    Ids are globally unique across all PSDD nodes in the process.
+    """
+
+    LITERAL = "literal"
+    BERNOULLI = "bernoulli"
+    DECISION = "decision"
+
+    __slots__ = ("id", "kind", "vtree", "literal", "theta", "elements",
+                 "support")
+
+    def __init__(self, node_id: Optional[int] = None, kind: str = "",
+                 vtree: Optional[Vtree] = None,
+                 literal: int = 0, theta: float = 0.5,
+                 elements: Optional[List[List]] = None,
+                 support: Optional[SddNode] = None):
+        # node_id is accepted for backwards compatibility but ignored:
+        # every node draws a fresh globally-unique id
+        self.id = next(_NODE_IDS)
+        self.kind = kind
+        self.vtree = vtree
+        self.literal = literal
+        self.theta = theta
+        # each element is a mutable [prime, sub, theta] triple
+        self.elements: List[List] = elements or []
+        self.support = support
+
+    @property
+    def is_literal(self) -> bool:
+        return self.kind == PsddNode.LITERAL
+
+    @property
+    def is_bernoulli(self) -> bool:
+        return self.kind == PsddNode.BERNOULLI
+
+    @property
+    def is_decision(self) -> bool:
+        return self.kind == PsddNode.DECISION
+
+    def variables(self) -> frozenset[int]:
+        return self.vtree.variables
+
+    # -- traversal ----------------------------------------------------------
+    def descendants(self) -> List["PsddNode"]:
+        """All reachable PSDD nodes, children before parents."""
+        order: List[PsddNode] = []
+        seen: set[int] = set()
+        stack: List[Tuple[PsddNode, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if node.id in seen:
+                continue
+            seen.add(node.id)
+            stack.append((node, True))
+            for prime, sub, _theta in node.elements:
+                if prime.id not in seen:
+                    stack.append((prime, False))
+                if sub.id not in seen:
+                    stack.append((sub, False))
+        return order
+
+    def size(self) -> int:
+        """Total number of elements (the paper's PSDD size measure)."""
+        return sum(len(node.elements) for node in self.descendants())
+
+    def parameter_count(self) -> int:
+        """Free parameters: (elements - 1) per decision + 1 per Bernoulli."""
+        total = 0
+        for node in self.descendants():
+            if node.is_decision:
+                total += len(node.elements) - 1
+            elif node.is_bernoulli:
+                total += 1
+        return total
+
+    # -- semantics ----------------------------------------------------------
+    def probability(self, assignment: Mapping[int, bool]) -> float:
+        """Pr(x) for a complete assignment over this node's variables."""
+        if self.is_literal:
+            value = assignment[abs(self.literal)]
+            return 1.0 if value == (self.literal > 0) else 0.0
+        if self.is_bernoulli:
+            var = abs(self.literal)
+            return self.theta if assignment[var] else 1.0 - self.theta
+        for prime, sub, theta in self.elements:
+            if prime.contains(assignment):
+                return theta * prime.probability(assignment) * \
+                    sub.probability(assignment)
+        return 0.0
+
+    def contains(self, assignment: Mapping[int, bool]) -> bool:
+        """Is the assignment in this node's support?"""
+        return self.support.evaluate(assignment)
+
+    def clone(self) -> "PsddNode":
+        """A deep copy with independent parameters (same vtree objects).
+
+        Clones share no mutable state with the original, so they can be
+        trained on different data and compared with
+        :func:`repro.psdd.queries.kl_divergence`.
+        """
+        copies: Dict[int, PsddNode] = {}
+        for node in self.descendants():
+            copy = PsddNode(node.id, node.kind, node.vtree,
+                            literal=node.literal, theta=node.theta,
+                            elements=[[copies[p.id], copies[s.id], t]
+                                      for p, s, t in node.elements],
+                            support=node.support)
+            copies[node.id] = copy
+        return copies[self.id]
+
+    def __repr__(self) -> str:
+        if self.is_literal:
+            return f"PsddNode(lit {self.literal})"
+        if self.is_bernoulli:
+            return f"PsddNode(var {abs(self.literal)} ~ " \
+                   f"Bernoulli({self.theta:.3f}))"
+        return f"PsddNode(decision, {len(self.elements)} elements)"
+
+
+class _PsddBuilder:
+    def __init__(self, manager: SddManager):
+        self.manager = manager
+        self.memo: Dict[Tuple[int, int], PsddNode] = {}
+        self.next_id = 0
+
+    def fresh(self, **kwargs) -> PsddNode:
+        node = PsddNode(self.next_id, **kwargs)
+        self.next_id += 1
+        return node
+
+    def build(self, sdd: SddNode, vtree: Vtree) -> PsddNode:
+        key = (sdd.id, vtree.position)
+        hit = self.memo.get(key)
+        if hit is not None:
+            return hit
+        node = self._build(sdd, vtree)
+        self.memo[key] = node
+        return node
+
+    def _build(self, sdd: SddNode, vtree: Vtree) -> PsddNode:
+        manager = self.manager
+        if sdd.is_false:
+            raise ValueError("cannot build a PSDD over an empty space")
+        if vtree.is_leaf():
+            if sdd.is_true:
+                return self.fresh(kind=PsddNode.BERNOULLI, vtree=vtree,
+                                  literal=vtree.var, theta=0.5,
+                                  support=manager.true)
+            if sdd.is_literal and abs(sdd.literal) == vtree.var:
+                return self.fresh(kind=PsddNode.LITERAL, vtree=vtree,
+                                  literal=sdd.literal, support=sdd)
+            raise ValueError("SDD node does not fit the vtree leaf")
+        # internal vtree node
+        if sdd.is_true:
+            elements = [[self.build(manager.true, vtree.left),
+                         self.build(manager.true, vtree.right), 1.0]]
+            return self.fresh(kind=PsddNode.DECISION, vtree=vtree,
+                              elements=elements, support=manager.true)
+        if sdd.is_decision and sdd.vtree is vtree:
+            elements = []
+            live = [(p, s) for p, s in sdd.elements if not s.is_false]
+            uniform = 1.0 / len(live) if live else 0.0
+            for prime, sub in live:
+                elements.append([self.build(prime, vtree.left),
+                                 self.build(sub, vtree.right), uniform])
+            return self.fresh(kind=PsddNode.DECISION, vtree=vtree,
+                              elements=elements, support=sdd)
+        # the SDD lives deeper: lift it
+        if vtree.left.is_ancestor_of(sdd.vtree):
+            elements = [[self.build(sdd, vtree.left),
+                         self.build(manager.true, vtree.right), 1.0]]
+        elif vtree.right.is_ancestor_of(sdd.vtree):
+            elements = [[self.build(manager.true, vtree.left),
+                         self.build(sdd, vtree.right), 1.0]]
+        else:
+            raise ValueError("SDD node does not sit under the vtree node")
+        return self.fresh(kind=PsddNode.DECISION, vtree=vtree,
+                          elements=elements, support=sdd)
+
+
+def psdd_from_sdd(sdd: SddNode, vtree: Vtree | None = None) -> PsddNode:
+    """Build a PSDD (uniform initial parameters) over the support of
+    ``sdd``, normalized for ``vtree`` (default: the manager's root).
+
+    Learning (:mod:`repro.psdd.learn`) then sets the parameters from
+    data; until then every decision node is uniform over its elements,
+    which is *not* the uniform distribution over the support.
+    """
+    manager: SddManager = sdd.manager
+    if vtree is None:
+        vtree = manager.vtree
+    builder = _PsddBuilder(manager)
+    return builder.build(sdd, vtree)

@@ -1,0 +1,50 @@
+"""Sampling from PSDD distributions (used to generate synthetic route /
+ranking datasets, and by the uniform-sampling application of [75])."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from .psdd import PsddNode
+
+__all__ = ["sample", "sample_dataset"]
+
+
+def sample(root: PsddNode, rng: random.Random | None = None
+           ) -> Dict[int, bool]:
+    """Draw one complete assignment from the PSDD distribution."""
+    rng = rng or random.Random()
+    assignment: Dict[int, bool] = {}
+    stack: List[PsddNode] = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_literal:
+            assignment[abs(node.literal)] = node.literal > 0
+        elif node.is_bernoulli:
+            assignment[abs(node.literal)] = rng.random() < node.theta
+        else:
+            pick = rng.random()
+            cumulative = 0.0
+            chosen = node.elements[-1]
+            for element in node.elements:
+                cumulative += element[2]
+                if pick < cumulative:
+                    chosen = element
+                    break
+            stack.append(chosen[0])
+            stack.append(chosen[1])
+    return assignment
+
+
+def sample_dataset(root: PsddNode, n: int,
+                   rng: random.Random | None = None
+                   ) -> List[Tuple[Dict[int, bool], int]]:
+    """Draw ``n`` samples, aggregated into (assignment, count) pairs."""
+    rng = rng or random.Random()
+    counts: Dict[Tuple[Tuple[int, bool], ...], int] = {}
+    for _ in range(n):
+        assignment = sample(root, rng)
+        key = tuple(sorted(assignment.items()))
+        counts[key] = counts.get(key, 0) + 1
+    return [(dict(key), count) for key, count in counts.items()]

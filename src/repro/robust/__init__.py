@@ -1,0 +1,10 @@
+"""Robustness and formal verification of compiled classifiers."""
+
+from .decision import decision_robustness
+from .model import (model_robustness, robust_region,
+                    robustness_histogram, robustness_summary)
+from .monotone import depends_on, is_monotone_in, monotone_report
+
+__all__ = ["decision_robustness", "model_robustness",
+           "robust_region", "robustness_histogram", "robustness_summary", "depends_on",
+           "is_monotone_in", "monotone_report"]

@@ -1,0 +1,116 @@
+"""Model robustness and robustness histograms ([80]; Fig 29).
+
+Model robustness is the *average* decision robustness over all 2^n
+instances.  Computing it for every instance at once is exactly what
+tractable circuits buy (the paper: "Figure 29 reports the robustness of
+2^256 instances for each CNN"): repeatedly *dilate* each decision
+region by one Hamming step and count how many instances each wave
+reaches.
+
+dilate(S) = S ∪ ⋃_v flip_v(S); an instance classified d has robustness
+k iff it first enters the dilation of the opposite region at step k.
+Each dilation is n OBDD flips and disjunctions — a sequence of polytime
+operations whose total cost is not guaranteed polytime [80], matching
+the paper's complexity remark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..obdd.manager import ObddNode
+from ..obdd.ops import flip_variable, model_count
+
+__all__ = ["robustness_histogram", "model_robustness",
+           "robustness_summary", "robust_region"]
+
+
+def _dilate(node: ObddNode) -> ObddNode:
+    manager = node.manager
+    result = node
+    for var in manager.var_order:
+        result = manager.apply_or(result, flip_variable(node, var))
+    return result
+
+
+def robust_region(node: ObddNode, k: int) -> ObddNode:
+    """The set of instances whose decision survives *any* ≤ k flips.
+
+    Returned as an OBDD (the paper's "capture all 2^n instances at
+    once" trick): an instance is k-robust iff the k-fold dilation of
+    the opposite decision region does not reach it.  ``robust_region(f,
+    0)`` is the constant-⊤ function.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    manager = node.manager
+    if node.is_terminal:
+        return manager.one
+    positive, negative = node, manager.negate(node)
+    reach_negative, reach_positive = negative, positive
+    for _ in range(k):
+        reach_negative = _dilate(reach_negative)
+        reach_positive = _dilate(reach_positive)
+    safe_positive = manager.apply_and(positive,
+                                      manager.negate(reach_negative))
+    safe_negative = manager.apply_and(negative,
+                                      manager.negate(reach_positive))
+    return manager.apply_or(safe_positive, safe_negative)
+
+
+def robustness_histogram(node: ObddNode) -> Dict[int, int]:
+    """{robustness level k: number of instances with robustness k} over
+    all 2^n instances (both classes).
+
+    A constant function has no finite robustness anywhere; an empty
+    histogram is returned in that case.
+    """
+    manager = node.manager
+    if node.is_terminal:
+        return {}
+    histogram: Dict[int, int] = {}
+    for region, opposite in ((node, manager.negate(node)),
+                             (manager.negate(node), node)):
+        # instances in `region` get robustness = first dilation step of
+        # `opposite` that reaches them
+        reached = opposite
+        level = 0
+        remaining = model_count(region)
+        while remaining > 0:
+            level += 1
+            previous = reached
+            reached = _dilate(reached)
+            newly = manager.apply_and(
+                region, manager.apply_and(reached,
+                                          manager.negate(previous)))
+            count = model_count(newly)
+            if count:
+                histogram[level] = histogram.get(level, 0) + count
+                remaining -= count
+    return histogram
+
+
+def model_robustness(node: ObddNode) -> float:
+    """Average decision robustness over all instances [80]."""
+    histogram = robustness_histogram(node)
+    total = sum(histogram.values())
+    if total == 0:
+        raise ValueError("model robustness undefined for constant "
+                         "functions")
+    return sum(level * count for level, count in histogram.items()) / \
+        total
+
+
+def robustness_summary(node: ObddNode) -> Dict[str, float]:
+    """The Fig 29 statistics: average and maximum robustness, plus the
+    full (level → instance share) curve."""
+    histogram = robustness_histogram(node)
+    total = sum(histogram.values())
+    curve = {level: count / total
+             for level, count in sorted(histogram.items())}
+    return {
+        "model_robustness": model_robustness(node),
+        "max_robustness": max(histogram),
+        "histogram": dict(sorted(histogram.items())),
+        "proportions": curve,
+    }

@@ -1,0 +1,62 @@
+"""Formal property verification of compiled classifiers (Section 5.2).
+
+The paper's example: "can we guarantee that a loan applicant will be
+approved when the only difference they have with another approved
+applicant is their higher income?" — i.e. monotonicity in a feature.
+On an OBDD these are constant-time-per-node checks via apply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..obdd.manager import ObddNode
+from ..obdd.ops import restrict
+
+__all__ = ["is_monotone_in", "monotone_report", "depends_on"]
+
+
+def is_monotone_in(node: ObddNode, var: int,
+                   increasing: bool = True) -> bool:
+    """Is the function monotone (non-decreasing by default) in ``var``?
+
+    Non-decreasing: f|¬v ⇒ f|v, i.e. turning the feature on can never
+    turn the decision off.
+    """
+    manager = node.manager
+    high = restrict(node, {var: True})
+    low = restrict(node, {var: False})
+    if increasing:
+        weaker, stronger = low, high
+    else:
+        weaker, stronger = high, low
+    # weaker ⇒ stronger  iff  weaker ∧ ¬stronger is unsatisfiable
+    return manager.apply_and(weaker,
+                             manager.negate(stronger)) is manager.zero
+
+
+def depends_on(node: ObddNode, var: int) -> bool:
+    """Does the function depend on ``var`` at all?"""
+    return restrict(node, {var: True}) is not restrict(node, {var: False})
+
+
+def monotone_report(node: ObddNode,
+                    variables: Sequence[int] | None = None
+                    ) -> Dict[int, str]:
+    """Per-variable monotonicity classification:
+    'increasing' / 'decreasing' / 'both' (irrelevant) / 'none'."""
+    if variables is None:
+        variables = node.manager.var_order
+    report: Dict[int, str] = {}
+    for var in variables:
+        up = is_monotone_in(node, var, increasing=True)
+        down = is_monotone_in(node, var, increasing=False)
+        if up and down:
+            report[var] = "both"   # the function ignores the variable
+        elif up:
+            report[var] = "increasing"
+        elif down:
+            report[var] = "decreasing"
+        else:
+            report[var] = "none"
+    return report

@@ -1,0 +1,8 @@
+"""SAT solving and exact model counting."""
+
+from .dpll import enumerate_models, is_satisfiable, solve, unit_propagate
+from .components import split_components
+from .counter import ModelCounter, count_models
+
+__all__ = ["enumerate_models", "is_satisfiable", "solve", "unit_propagate",
+           "split_components", "ModelCounter", "count_models"]

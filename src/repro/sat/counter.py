@@ -1,0 +1,139 @@
+"""Exact model counting (#SAT) with component decomposition and caching.
+
+This is the sharpSAT recipe [88] in miniature: DPLL search with unit
+propagation, decomposition of the residual CNF into independent
+components, and memoisation of component counts.  ``ModelCounter``
+exposes switches for both optimisations so the ABL2 benchmark can
+measure their effect.
+
+The count is always over variables ``1..num_vars`` of the input CNF:
+variables that never occur in a clause contribute a factor of two each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..logic.cnf import Cnf
+from .components import split_components
+from .dpll import unit_propagate
+
+__all__ = ["ModelCounter", "count_models"]
+
+Clause = Tuple[int, ...]
+
+
+class ModelCounter:
+    """Exact #SAT solver.
+
+    Parameters
+    ----------
+    use_components:
+        Decompose residual formulas into connected components and
+        multiply their counts.
+    use_cache:
+        Memoise counts of residual components (keyed by their clause
+        sets).  Requires deterministic residuals, which unit propagation
+        provides.
+    """
+
+    def __init__(self, use_components: bool = True, use_cache: bool = True):
+        self.use_components = use_components
+        self.use_cache = use_cache
+        self.cache: Dict[FrozenSet[Clause], int] = {}
+        self.cache_hits = 0
+        self.decisions = 0
+
+    def count(self, cnf: Cnf) -> int:
+        """Number of models of ``cnf`` over variables 1..num_vars."""
+        self.cache.clear()
+        self.cache_hits = 0
+        self.decisions = 0
+        clauses = list(cnf.clauses)
+        if any(len(c) == 0 for c in clauses):
+            return 0
+        mentioned = {abs(lit) for c in clauses for lit in c}
+        inner = self._count(clauses)
+        free = cnf.num_vars - len(mentioned)
+        return inner << free if inner else 0
+
+    # The recursive count is over exactly the variables mentioned by the
+    # clause list it is given; callers account for free variables.
+    def _count(self, clauses: List[Clause]) -> int:
+        assignment: Dict[int, bool] = {}
+        before = {abs(lit) for c in clauses for lit in c}
+        reduced = unit_propagate(clauses, assignment)
+        if reduced is None:
+            return 0
+        after = {abs(lit) for c in reduced for lit in c}
+        # variables silenced by propagation but not fixed are free
+        free = len(before) - len(after) - len(assignment)
+        base = 1 << free
+        if not reduced:
+            return base
+        if self.use_components:
+            parts = split_components(reduced)
+        else:
+            parts = [reduced]
+        total = base
+        for part in parts:
+            total *= self._count_component(part)
+            if total == 0:
+                return 0
+        return total
+
+    def _count_component(self, clauses: List[Clause]) -> int:
+        key: Optional[FrozenSet[Clause]] = None
+        if self.use_cache:
+            key = frozenset(clauses)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        var = self._pick_variable(clauses)
+        self.decisions += 1
+        total = 0
+        for value in (False, True):
+            branch = self._condition(clauses, var, value)
+            if branch is None:
+                continue
+            count = self._count(branch)
+            # _count is over variables mentioned by `branch`; variables of
+            # this component eliminated by the conditioning (beyond `var`
+            # itself) are free in this branch
+            component_vars = {abs(lit) for c in clauses for lit in c}
+            branch_vars = {abs(lit) for c in branch for lit in c}
+            free = len(component_vars) - 1 - len(branch_vars)
+            total += count << free if count else 0
+        if key is not None:
+            self.cache[key] = total
+        return total
+
+    @staticmethod
+    def _pick_variable(clauses: List[Clause]) -> int:
+        counts: Dict[int, int] = {}
+        for clause in clauses:
+            for lit in clause:
+                counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+        return max(counts, key=lambda v: (counts[v], -v))
+
+    @staticmethod
+    def _condition(clauses: List[Clause], var: int, value: bool
+                   ) -> Optional[List[Clause]]:
+        result: List[Clause] = []
+        for clause in clauses:
+            if any(abs(lit) == var and (lit > 0) == value for lit in clause):
+                continue
+            reduced = tuple(lit for lit in clause if abs(lit) != var)
+            if not reduced:
+                return None
+            result.append(reduced)
+        return result
+
+
+def count_models(cnf: Cnf, use_components: bool = True,
+                 use_cache: bool = True) -> int:
+    """Convenience wrapper around :class:`ModelCounter`."""
+    counter = ModelCounter(use_components=use_components,
+                           use_cache=use_cache)
+    return counter.count(cnf)

@@ -1,0 +1,13 @@
+"""Sentential Decision Diagrams: canonical tractable circuits with apply."""
+
+from .node import SddNode
+from .manager import SddManager
+from .queries import (enumerate_models, model_count, sdd_to_nnf,
+                      to_dot, weighted_model_count)
+from .compiler import compile_cnf_sdd, compile_formula_sdd, compile_terms_sdd
+from .transform import condition, exists, forall, rename_literals
+
+__all__ = ["SddNode", "SddManager", "enumerate_models", "model_count",
+           "sdd_to_nnf", "to_dot", "weighted_model_count", "compile_cnf_sdd",
+           "compile_formula_sdd", "compile_terms_sdd", "condition", "exists",
+           "forall", "rename_literals"]

@@ -1,0 +1,70 @@
+"""Bottom-up compilation into SDDs.
+
+CNFs compile clause-by-clause with apply; formulas compile recursively.
+This mirrors how the SDD library is used as a knowledge compiler [12]:
+the polytime apply of SDDs is what makes bottom-up compilation feasible
+(plain DNNFs cannot be conjoined in polytime, Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from ..logic.cnf import Cnf
+from ..logic.formula import (And as FAnd, Constant, Formula, Lit,
+                             Or as FOr)
+from ..vtree.construct import balanced_vtree
+from ..vtree.vtree import Vtree
+from .manager import SddManager
+from .node import SddNode
+
+__all__ = ["compile_cnf_sdd", "compile_formula_sdd", "compile_terms_sdd"]
+
+
+def compile_cnf_sdd(cnf: Cnf, manager: SddManager | None = None,
+                    vtree: Vtree | None = None
+                    ) -> Tuple[SddNode, SddManager]:
+    """Compile a CNF into an SDD.  Returns (root, manager).
+
+    When no manager/vtree is given, a balanced vtree over
+    ``1..num_vars`` is used.
+    """
+    if manager is None:
+        if vtree is None:
+            if cnf.num_vars == 0:
+                raise ValueError("cannot build a vtree with no variables")
+            vtree = balanced_vtree(range(1, cnf.num_vars + 1))
+        manager = SddManager(vtree)
+    clause_nodes = [manager.clause(clause) for clause in cnf.clauses]
+    clause_nodes.sort(key=lambda node: node.size())
+    return manager.conjoin_all(clause_nodes), manager
+
+
+def compile_formula_sdd(formula: Formula, manager: SddManager) -> SddNode:
+    """Compile a formula into an SDD by structural apply."""
+    nnf = formula.to_nnf()
+    cache: Dict[Formula, SddNode] = {}
+
+    def build(f: Formula) -> SddNode:
+        if f in cache:
+            return cache[f]
+        if isinstance(f, Constant):
+            result = manager.constant(f.value)
+        elif isinstance(f, Lit):
+            result = manager.literal(f.literal)
+        elif isinstance(f, FAnd):
+            result = manager.conjoin_all(build(c) for c in f.children)
+        elif isinstance(f, FOr):
+            result = manager.disjoin_all(build(c) for c in f.children)
+        else:
+            raise TypeError(f"unexpected formula node {f!r}")
+        cache[f] = result
+        return result
+
+    return build(nnf)
+
+
+def compile_terms_sdd(terms: Iterable[Sequence[int]],
+                      manager: SddManager) -> SddNode:
+    """Disjoin a set of terms (e.g. one term per valid route, Fig 16)."""
+    return manager.disjoin_all(manager.term(term) for term in terms)

@@ -1,0 +1,225 @@
+"""The SDD manager: unique tables, apply, negation (Darwiche 2011 [28]).
+
+The manager owns a vtree and guarantees canonicity: two SDDs built in
+the same manager represent the same Boolean function iff they are the
+same object.  ``apply`` (conjoin/disjoin) is the polytime O(s·t)
+bottom-up operation the paper highlights as what makes SDDs a *basis
+for computation*: compile once, then combine and query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..vtree.vtree import Vtree
+from .node import SddNode
+
+__all__ = ["SddManager"]
+
+AND = "and"
+OR = "or"
+
+Element = Tuple[SddNode, SddNode]
+
+
+class SddManager:
+    """Factory for canonical SDDs over a fixed vtree."""
+
+    def __init__(self, vtree: Vtree):
+        self.vtree = vtree
+        self._next_id = 0
+        self.true = self._fresh(SddNode.TRUE, None, 0, ())
+        self.false = self._fresh(SddNode.FALSE, None, 0, ())
+        self.true.negation = self.false
+        self.false.negation = self.true
+        self._literals: Dict[int, SddNode] = {}
+        self._unique: Dict[Tuple[int, Tuple[Tuple[int, int], ...]],
+                           SddNode] = {}
+        self._apply_cache: Dict[Tuple[str, int, int], SddNode] = {}
+
+    def _fresh(self, kind: str, vtree: Optional[Vtree], literal: int,
+               elements: Tuple[Element, ...]) -> SddNode:
+        node = SddNode(self, self._next_id, kind, vtree, literal, elements)
+        self._next_id += 1
+        return node
+
+    # -- terminals -------------------------------------------------------------
+    def literal(self, literal: int) -> SddNode:
+        """The SDD for a literal (±var); the variable must be in the
+        manager's vtree."""
+        node = self._literals.get(literal)
+        if node is None:
+            leaf = self.vtree.find_leaf(abs(literal))
+            node = self._fresh(SddNode.LITERAL, leaf, literal, ())
+            self._literals[literal] = node
+        return node
+
+    def constant(self, value: bool) -> SddNode:
+        return self.true if value else self.false
+
+    # -- canonical decision-node constructor -------------------------------------
+    def _decision(self, vtree: Vtree, elements: Sequence[Element]
+                  ) -> SddNode:
+        """Build a compressed, trimmed, unique decision node.
+
+        ``elements`` must have non-false, mutually exclusive, exhaustive
+        primes (the apply algorithm guarantees this).
+        """
+        # compression: merge elements that share a sub
+        by_sub: Dict[int, List[SddNode]] = {}
+        subs: Dict[int, SddNode] = {}
+        for prime, sub in elements:
+            by_sub.setdefault(sub.id, []).append(prime)
+            subs[sub.id] = sub
+        compressed: List[Element] = []
+        for sub_id, primes in by_sub.items():
+            prime = primes[0]
+            for other in primes[1:]:
+                prime = self.apply(prime, other, OR)
+            compressed.append((prime, subs[sub_id]))
+        # trimming
+        if len(compressed) == 1:
+            prime, sub = compressed[0]
+            # exhaustive single prime is valid, hence the TRUE node
+            assert prime.is_true, "single prime must be ⊤ (canonicity)"
+            return sub
+        if len(compressed) == 2:
+            (p1, s1), (p2, s2) = compressed
+            if s1.is_true and s2.is_false:
+                return p1
+            if s1.is_false and s2.is_true:
+                return p2
+        key = (vtree.position,
+               tuple(sorted((p.id, s.id) for p, s in compressed)))
+        node = self._unique.get(key)
+        if node is None:
+            ordered = tuple(sorted(compressed, key=lambda e: e[0].id))
+            node = self._fresh(SddNode.DECISION, vtree, 0, ordered)
+            self._unique[key] = node
+        return node
+
+    # -- negation ----------------------------------------------------------------
+    def negate(self, node: SddNode) -> SddNode:
+        """¬node in time linear in the SDD size (memoised per node)."""
+        if node.negation is not None:
+            return node.negation
+        if node.is_literal:
+            result = self.literal(-node.literal)
+        else:
+            result = self._decision(
+                node.vtree,
+                [(prime, self.negate(sub))
+                 for prime, sub in node.elements])
+        node.negation = result
+        result.negation = node
+        return result
+
+    # -- apply ----------------------------------------------------------------
+    def apply(self, a: SddNode, b: SddNode, op: str) -> SddNode:
+        """Conjoin (op='and') or disjoin (op='or') two SDDs."""
+        if op == AND:
+            if a.is_false or b.is_false:
+                return self.false
+            if a.is_true:
+                return b
+            if b.is_true:
+                return a
+            if a is b:
+                return a
+            if a.negation is b:
+                return self.false
+        elif op == OR:
+            if a.is_true or b.is_true:
+                return self.true
+            if a.is_false:
+                return b
+            if b.is_false:
+                return a
+            if a is b:
+                return a
+            if a.negation is b:
+                return self.true
+        else:
+            raise ValueError(f"unknown op {op!r}")
+        key = (op, *sorted((a.id, b.id)))
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._apply_inner(a, b, op)
+        self._apply_cache[key] = result
+        return result
+
+    def _apply_inner(self, a: SddNode, b: SddNode, op: str) -> SddNode:
+        va, vb = a.vtree, b.vtree
+        if va is vb and va.is_leaf():
+            # distinct literals on the same variable are complementary
+            return self.false if op == AND else self.true
+        if va is vb:
+            lca = va
+        else:
+            lca = va.lca(vb)
+        a_elements = self._normalized_elements(a, lca)
+        b_elements = self._normalized_elements(b, lca)
+        product: List[Element] = []
+        for pa, sa in a_elements:
+            for pb, sb in b_elements:
+                prime = self.apply(pa, pb, AND)
+                if prime.is_false:
+                    continue
+                product.append((prime, self.apply(sa, sb, op)))
+        return self._decision(lca, product)
+
+    def _normalized_elements(self, node: SddNode, vtree: Vtree
+                             ) -> List[Element]:
+        """Element list of ``node`` viewed as a decision node at
+        ``vtree`` (an ancestor-or-self of node.vtree)."""
+        if node.vtree is vtree:
+            if node.is_decision:
+                return list(node.elements)
+            # literal at a leaf lca cannot occur (handled by caller)
+            raise AssertionError("unexpected literal at internal lca")
+        if vtree.left.is_ancestor_of(node.vtree):
+            return [(node, self.true), (self.negate(node), self.false)]
+        if vtree.right.is_ancestor_of(node.vtree):
+            return [(self.true, node)]
+        raise AssertionError("node does not sit under the lca")
+
+    # -- convenience --------------------------------------------------------------
+    def conjoin(self, a: SddNode, b: SddNode) -> SddNode:
+        return self.apply(a, b, AND)
+
+    def disjoin(self, a: SddNode, b: SddNode) -> SddNode:
+        return self.apply(a, b, OR)
+
+    def conjoin_all(self, nodes: Iterable[SddNode]) -> SddNode:
+        result = self.true
+        for node in nodes:
+            result = self.apply(result, node, AND)
+            if result.is_false:
+                break
+        return result
+
+    def disjoin_all(self, nodes: Iterable[SddNode]) -> SddNode:
+        result = self.false
+        for node in nodes:
+            result = self.apply(result, node, OR)
+            if result.is_true:
+                break
+        return result
+
+    def term(self, literals: Sequence[int]) -> SddNode:
+        """Conjunction of literals."""
+        return self.conjoin_all(self.literal(lit) for lit in literals)
+
+    def clause(self, literals: Sequence[int]) -> SddNode:
+        """Disjunction of literals."""
+        return self.disjoin_all(self.literal(lit) for lit in literals)
+
+    def exactly(self, assignment: Dict[int, bool]) -> SddNode:
+        """The term fixing every variable in ``assignment``."""
+        return self.term([v if value else -v
+                          for v, value in assignment.items()])
+
+    def live_node_count(self) -> int:
+        """Number of decision nodes interned so far (manager pressure)."""
+        return len(self._unique)

@@ -1,0 +1,137 @@
+"""SDD nodes (Sentential Decision Diagrams, [28]).
+
+An SDD node is either a constant (⊤/⊥), a literal attached to the leaf
+vtree node of its variable, or a *decision* node attached to an internal
+vtree node ``v``: a set of elements ``(p₁,s₁),…,(pₖ,sₖ)`` — the
+multiplexer fragment of Fig 9.  Primes ``pᵢ`` are SDDs over variables
+inside ``v.left``; subs ``sᵢ`` are SDDs over variables inside
+``v.right`` (or constants).  Primes are exhaustive, mutually exclusive
+and non-false — the *strong determinism* the paper describes: under any
+input exactly one prime is high, and the node passes its sub's value.
+
+Nodes are *compressed* (distinct subs) and *trimmed* (no ``{(⊤,s)}`` or
+``{(p,⊤),(¬p,⊥)}`` nodes), which makes them canonical for their vtree
+[28, 89]: equal Boolean functions are pointer-equal nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..vtree.vtree import Vtree
+
+__all__ = ["SddNode"]
+
+
+class SddNode:
+    """Create via :class:`repro.sdd.manager.SddManager` only."""
+
+    __slots__ = ("manager", "id", "vtree", "kind", "literal", "elements",
+                 "negation")
+
+    TRUE = "true"
+    FALSE = "false"
+    LITERAL = "literal"
+    DECISION = "decision"
+
+    def __init__(self, manager, node_id: int, kind: str,
+                 vtree: Optional[Vtree], literal: int,
+                 elements: Tuple[Tuple["SddNode", "SddNode"], ...]):
+        self.manager = manager
+        self.id = node_id
+        self.kind = kind
+        self.vtree = vtree
+        self.literal = literal
+        self.elements = elements
+        self.negation: Optional[SddNode] = None  # memoised by manager
+
+    # -- structure ----------------------------------------------------------
+    @property
+    def is_true(self) -> bool:
+        return self.kind == SddNode.TRUE
+
+    @property
+    def is_false(self) -> bool:
+        return self.kind == SddNode.FALSE
+
+    @property
+    def is_constant(self) -> bool:
+        return self.kind in (SddNode.TRUE, SddNode.FALSE)
+
+    @property
+    def is_literal(self) -> bool:
+        return self.kind == SddNode.LITERAL
+
+    @property
+    def is_decision(self) -> bool:
+        return self.kind == SddNode.DECISION
+
+    def variables(self) -> frozenset[int]:
+        """Variables of the vtree node the SDD is normalized for.
+
+        The function may not *depend* on all of them, but trimmed SDDs
+        never attach above the variables they mention.
+        """
+        if self.is_constant:
+            return frozenset()
+        return self.vtree.variables
+
+    # -- traversal ----------------------------------------------------------
+    def descendants(self) -> List["SddNode"]:
+        """All reachable nodes (this one included), children first."""
+        order: List[SddNode] = []
+        seen: set[int] = set()
+        stack: List[Tuple[SddNode, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if node.id in seen:
+                continue
+            seen.add(node.id)
+            stack.append((node, True))
+            for prime, sub in node.elements:
+                if prime.id not in seen:
+                    stack.append((prime, False))
+                if sub.id not in seen:
+                    stack.append((sub, False))
+        return order
+
+    def size(self) -> int:
+        """SDD size: total number of elements over all decision nodes —
+        the measure the paper reports (e.g. the 8.9M-edge PSDD)."""
+        return sum(len(node.elements) for node in self.descendants()
+                   if node.is_decision)
+
+    def node_count(self) -> int:
+        return len(self.descendants())
+
+    # -- semantics ----------------------------------------------------------
+    def evaluate(self, assignment: Mapping[int, bool]) -> bool:
+        """Circuit output under a complete assignment."""
+        values: Dict[int, bool] = {}
+        for node in self.descendants():
+            if node.is_true:
+                values[node.id] = True
+            elif node.is_false:
+                values[node.id] = False
+            elif node.is_literal:
+                value = assignment[abs(node.literal)]
+                values[node.id] = value if node.literal > 0 else not value
+            else:
+                result = False
+                for prime, sub in node.elements:
+                    if values[prime.id]:
+                        result = values[sub.id]
+                        break
+                values[node.id] = result
+        return values[self.id]
+
+    def __repr__(self) -> str:
+        if self.is_constant:
+            return f"SddNode({self.kind})"
+        if self.is_literal:
+            return f"SddNode(lit {self.literal})"
+        return f"SddNode(decision, {len(self.elements)} elements, " \
+               f"size {self.size()})"

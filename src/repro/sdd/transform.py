@@ -1,0 +1,103 @@
+"""SDD transformations: conditioning, quantification, renaming.
+
+Conditioning substitutes constants for literals and re-canonicalises
+bottom-up through apply, so results stay canonical SDDs in the same
+manager.  Quantification is the classic ∃v f = f|v ∨ f|¬v.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from .manager import SddManager
+from .node import SddNode
+
+__all__ = ["condition", "exists", "forall", "rename_literals"]
+
+
+def condition(node: SddNode, evidence: Mapping[int, bool]) -> SddNode:
+    """The SDD of the function with ``evidence`` variables fixed.
+
+    The result no longer depends on the evidence variables (it remains
+    a function over the manager's full variable set).
+    """
+    manager: SddManager = node.manager
+    cache: Dict[int, SddNode] = {}
+
+    def rec(n: SddNode) -> SddNode:
+        if n.is_constant:
+            return n
+        hit = cache.get(n.id)
+        if hit is not None:
+            return hit
+        if n.is_literal:
+            var = abs(n.literal)
+            if var in evidence:
+                consistent = evidence[var] == (n.literal > 0)
+                result = manager.true if consistent else manager.false
+            else:
+                result = n
+        else:
+            result = manager.false
+            for prime, sub in n.elements:
+                result = manager.disjoin(
+                    result, manager.conjoin(rec(prime), rec(sub)))
+        cache[n.id] = result
+        return result
+
+    return rec(node)
+
+
+def exists(node: SddNode, variables: Iterable[int]) -> SddNode:
+    """Existential quantification: ∃v. f = f|v ∨ f|¬v."""
+    manager: SddManager = node.manager
+    result = node
+    for var in variables:
+        result = manager.disjoin(condition(result, {var: True}),
+                                 condition(result, {var: False}))
+    return result
+
+
+def forall(node: SddNode, variables: Iterable[int]) -> SddNode:
+    """Universal quantification: ∀v. f = f|v ∧ f|¬v."""
+    manager: SddManager = node.manager
+    result = node
+    for var in variables:
+        result = manager.conjoin(condition(result, {var: True}),
+                                 condition(result, {var: False}))
+    return result
+
+
+def rename_literals(node: SddNode, target: SddManager,
+                    mapping: Mapping[int, int] | None = None) -> SddNode:
+    """Rebuild an SDD in another manager, optionally renaming variables.
+
+    ``mapping`` sends source variables to target variables (identity by
+    default).  The target vtree may be completely different; the
+    function is reconstructed bottom-up with apply.
+    """
+    mapping = dict(mapping or {})
+    cache: Dict[int, SddNode] = {}
+
+    def rec(n: SddNode) -> SddNode:
+        if n.is_true:
+            return target.true
+        if n.is_false:
+            return target.false
+        hit = cache.get(n.id)
+        if hit is not None:
+            return hit
+        if n.is_literal:
+            var = abs(n.literal)
+            new_var = mapping.get(var, var)
+            result = target.literal(new_var if n.literal > 0
+                                    else -new_var)
+        else:
+            result = target.false
+            for prime, sub in n.elements:
+                result = target.disjoin(
+                    result, target.conjoin(rec(prime), rec(sub)))
+        cache[n.id] = result
+        return result
+
+    return rec(node)

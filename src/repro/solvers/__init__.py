@@ -1,0 +1,18 @@
+"""Prototypical-problem solvers via knowledge compilation."""
+
+from .prototypical import (emajsat_value, majmajsat_histogram,
+                           solve_count, solve_emajsat, solve_majmajsat,
+                           solve_majsat, solve_sat, solve_wmc)
+from .sdd_solvers import (compile_constrained_sdd, emajsat_sdd,
+                          majmajsat_histogram_sdd)
+from .weighted import max_sum_evaluate, weighted_emajsat
+from .brute import (count_brute, emajsat_brute, majmajsat_brute,
+                    majsat_brute, sat_brute, wmc_brute)
+
+__all__ = ["compile_constrained_sdd", "emajsat_sdd",
+           "majmajsat_histogram_sdd", "max_sum_evaluate",
+           "weighted_emajsat",
+           "emajsat_value", "majmajsat_histogram", "solve_count",
+           "solve_emajsat", "solve_majmajsat", "solve_majsat",
+           "solve_sat", "solve_wmc", "count_brute", "emajsat_brute",
+           "majmajsat_brute", "majsat_brute", "sat_brute", "wmc_brute"]

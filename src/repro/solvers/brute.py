@@ -1,0 +1,69 @@
+"""Brute-force oracles for the prototypical problems (testing only)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..logic.cnf import Cnf
+from ..logic.formula import iter_assignments
+
+__all__ = ["sat_brute", "count_brute", "majsat_brute", "wmc_brute",
+           "emajsat_brute", "majmajsat_brute"]
+
+
+def sat_brute(cnf: Cnf) -> bool:
+    return any(True for _ in cnf.models())
+
+
+def count_brute(cnf: Cnf) -> int:
+    return cnf.model_count()
+
+
+def majsat_brute(cnf: Cnf) -> bool:
+    """Strictly more than half of the inputs satisfy the formula."""
+    return 2 * count_brute(cnf) > 2 ** cnf.num_vars
+
+
+def wmc_brute(cnf: Cnf, weights: Mapping[int, float]) -> float:
+    total = 0.0
+    for model in cnf.models():
+        weight = 1.0
+        for var, value in model.items():
+            weight *= weights[var if value else -var]
+        total += weight
+    return total
+
+
+def _split_vars(cnf: Cnf, y_vars: Sequence[int]
+                ) -> Tuple[List[int], List[int]]:
+    y = sorted(set(y_vars))
+    z = [v for v in range(1, cnf.num_vars + 1) if v not in set(y)]
+    return y, z
+
+
+def emajsat_brute(cnf: Cnf, y_vars: Sequence[int]
+                  ) -> Tuple[int, Dict[int, bool]]:
+    """(max over y of #z satisfying, a maximising y)."""
+    y, z = _split_vars(cnf, y_vars)
+    best_count, best_y = -1, {}
+    for y_assignment in iter_assignments(y):
+        count = 0
+        for z_assignment in iter_assignments(z):
+            if cnf.evaluate({**y_assignment, **z_assignment}):
+                count += 1
+        if count > best_count:
+            best_count, best_y = count, dict(y_assignment)
+    return best_count, best_y
+
+
+def majmajsat_brute(cnf: Cnf, y_vars: Sequence[int]) -> Dict[int, int]:
+    """Histogram {z-count: number of y assignments with that count}."""
+    y, z = _split_vars(cnf, y_vars)
+    histogram: Dict[int, int] = {}
+    for y_assignment in iter_assignments(y):
+        count = 0
+        for z_assignment in iter_assignments(z):
+            if cnf.evaluate({**y_assignment, **z_assignment}):
+                count += 1
+        histogram[count] = histogram.get(count, 0) + 1
+    return histogram

@@ -1,0 +1,235 @@
+"""Solving the prototypical problems of NP, PP, NP^PP and PP^PP by
+knowledge compilation (Sections 2.1 and 3).
+
+* SAT      — compile to DNNF (any Decision-DNNF is one); linear check.
+* MAJSAT / #SAT / WMC — compile to d-DNNF; linear count.
+* E-MAJSAT — compile to a *constrained* Decision-DNNF (Y variables
+  decided above Z variables, via the compiler's priority option); then a
+  single max/sum evaluation pass [61, 67].
+* MAJMAJSAT — same constrained circuit; propagate exact histograms
+  {z-count ↦ #y} through the circuit, which stays exact because
+  decisions on Y partition the y-space and and-gates combine
+  independent components.
+
+Majority is *strict*: "majority of inputs" means more than half.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
+
+from ..logic.cnf import Cnf
+from ..compile.dnnf_compiler import DnnfCompiler
+from ..nnf.node import NnfNode
+from ..nnf.queries import (is_satisfiable_dnnf, model_count,
+                           weighted_model_count)
+
+__all__ = ["solve_sat", "solve_count", "solve_majsat", "solve_wmc",
+           "solve_emajsat", "solve_majmajsat", "emajsat_value",
+           "majmajsat_histogram"]
+
+
+def solve_sat(cnf: Cnf) -> bool:
+    """SAT (NP) by DNNF compilation + linear satisfiability check."""
+    root = DnnfCompiler().compile(cnf)
+    return is_satisfiable_dnnf(root)
+
+
+def solve_count(cnf: Cnf) -> int:
+    """#SAT (the functional version of MAJSAT) by d-DNNF compilation."""
+    root = DnnfCompiler().compile(cnf)
+    return model_count(root, range(1, cnf.num_vars + 1))
+
+
+def solve_majsat(cnf: Cnf) -> bool:
+    """MAJSAT (PP): do more than half of the inputs satisfy Δ?"""
+    return 2 * solve_count(cnf) > 2 ** cnf.num_vars
+
+
+def solve_wmc(cnf: Cnf, weights: Mapping[int, float]) -> float:
+    """Weighted model counting — the reduction target of Section 2.2."""
+    root = DnnfCompiler().compile(cnf)
+    return weighted_model_count(root, weights,
+                                range(1, cnf.num_vars + 1))
+
+
+# -- E-MAJSAT ---------------------------------------------------------------------
+
+def emajsat_value(cnf: Cnf, y_vars: Sequence[int]
+                  ) -> Tuple[int, Dict[int, bool]]:
+    """max over y of the number of z with Δ(y, z) = 1, plus a witness y.
+
+    Compiles with Y as branching priority, then evaluates the circuit
+    with max at Y-decisions and sums at Z-decisions.
+    """
+    y_set = frozenset(y_vars)
+    z_total = [v for v in range(1, cnf.num_vars + 1) if v not in y_set]
+    compiler = DnnfCompiler(priority=sorted(y_set))
+    root = compiler.compile(cnf)
+
+    values: Dict[int, int] = {}
+    choices: Dict[int, NnfNode] = {}
+    order = root.topological()
+    for node in order:
+        if node.is_true:
+            values[node.id] = 1
+        elif node.is_false:
+            values[node.id] = 0
+        elif node.is_literal:
+            values[node.id] = 1
+        elif node.is_and:
+            value = 1
+            for child in node.children:
+                value *= values[child.id]
+            values[node.id] = value
+        else:  # or-node: a decision; scale z-gaps, never y-gaps
+            node_z = _z_vars(node, y_set)
+            best, best_child, total = -1, None, 0
+            decision_var = _decision_variable(node)
+            for child in node.children:
+                scaled = values[child.id] << len(node_z -
+                                                 _z_vars(child, y_set))
+                total += scaled
+                if scaled > best:
+                    best, best_child = scaled, child
+            if decision_var in y_set:
+                values[node.id] = best
+                choices[node.id] = best_child
+            else:
+                if node.variables() & y_set:
+                    raise ValueError(
+                        "z-decision above undecided y variables; "
+                        "the compiler priority must list all y vars")
+                values[node.id] = total
+    result = values[root.id]
+    # free z variables double the count; free y variables do not change it
+    free_z = len(set(z_total) - _z_vars(root, y_set))
+    result <<= free_z
+    witness = _traceback_y(root, choices, y_set)
+    return result, witness
+
+
+def _z_vars(node: NnfNode, y_set: FrozenSet[int]) -> FrozenSet[int]:
+    return node.variables() - y_set
+
+
+def _decision_variable(node: NnfNode) -> int:
+    """The variable a decision or-gate branches on."""
+    child = node.children[0]
+    if child.is_literal:
+        return abs(child.literal)
+    if child.is_and and child.children and child.children[0].is_literal:
+        return abs(child.children[0].literal)
+    raise ValueError("or-gate is not a decision gate; compile with the "
+                     "DnnfCompiler to use the E-MAJSAT evaluation")
+
+
+def _traceback_y(root: NnfNode, choices: Dict[int, NnfNode],
+                 y_set: FrozenSet[int]) -> Dict[int, bool]:
+    witness: Dict[int, bool] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_literal:
+            if abs(node.literal) in y_set:
+                witness[abs(node.literal)] = node.literal > 0
+        elif node.is_and:
+            stack.extend(node.children)
+        elif node.is_or:
+            chosen = choices.get(node.id)
+            if chosen is not None:
+                stack.append(chosen)
+            else:  # z-decision: all children agree on remaining y (none)
+                stack.extend(node.children)
+    return witness
+
+
+def solve_emajsat(cnf: Cnf, y_vars: Sequence[int]) -> bool:
+    """E-MAJSAT (NP^PP): is there y making the majority of z satisfy?"""
+    count, _witness = emajsat_value(cnf, y_vars)
+    num_z = cnf.num_vars - len(set(y_vars))
+    return 2 * count > 2 ** num_z
+
+
+# -- MAJMAJSAT ---------------------------------------------------------------------
+
+def majmajsat_histogram(cnf: Cnf, y_vars: Sequence[int]
+                        ) -> Dict[int, int]:
+    """The exact histogram {z-count ↦ #y} by circuit propagation.
+
+    Y-assignments with z-count 0 may be omitted from the result (their
+    multiplicity is 2^|Y| minus the recorded mass).
+    """
+    y_set = frozenset(y_vars)
+    compiler = DnnfCompiler(priority=sorted(y_set))
+    root = compiler.compile(cnf)
+
+    hists: Dict[int, Dict[int, int]] = {}
+    for node in root.topological():
+        if node.is_true:
+            hists[node.id] = {1: 1}
+        elif node.is_false:
+            hists[node.id] = {}
+        elif node.is_literal:
+            hists[node.id] = {1: 1}
+        elif node.is_and:
+            hist = {1: 1}
+            for child in node.children:
+                hist = _hist_product(hist, hists[child.id])
+            hists[node.id] = hist
+        else:
+            node_y = node.variables() & y_set
+            node_z = node.variables() - y_set
+            decision_var = _decision_variable(node)
+            lifted = []
+            for child in node.children:
+                child_y = child.variables() & y_set
+                child_z = child.variables() - y_set
+                z_gap = len(node_z - child_z)
+                y_gap = len(node_y - child_y)
+                lifted.append({c << z_gap: m << y_gap
+                               for c, m in hists[child.id].items()})
+            if decision_var in y_set:
+                merged: Dict[int, int] = {}
+                for hist in lifted:
+                    for c, m in hist.items():
+                        merged[c] = merged.get(c, 0) + m
+                hists[node.id] = merged
+            else:
+                if node_y:
+                    raise ValueError(
+                        "z-decision above undecided y variables; "
+                        "the compiler priority must list all y vars")
+                combined: Dict[int, int] = {}
+                counts = [sum(c * m for c, m in hist.items())
+                          for hist in lifted]
+                total = sum(counts)
+                if total:
+                    combined[total] = 1
+                hists[node.id] = combined
+    # scale to the full variable ranges
+    root_hist = hists[root.id]
+    root_y = root.variables() & y_set
+    root_z = root.variables() - y_set
+    all_z = set(range(1, cnf.num_vars + 1)) - y_set
+    z_gap = len(all_z) - len(root_z)
+    y_gap = len(y_set) - len(root_y)
+    return {c << z_gap: m << y_gap for c, m in root_hist.items() if c}
+
+
+def _hist_product(a: Dict[int, int], b: Dict[int, int]) -> Dict[int, int]:
+    result: Dict[int, int] = {}
+    for ca, ma in a.items():
+        for cb, mb in b.items():
+            key = ca * cb
+            result[key] = result.get(key, 0) + ma * mb
+    return result
+
+
+def solve_majmajsat(cnf: Cnf, y_vars: Sequence[int]) -> bool:
+    """MAJMAJSAT (PP^PP): does the majority of y see a majority of z?"""
+    histogram = majmajsat_histogram(cnf, y_vars)
+    num_z = cnf.num_vars - len(set(y_vars))
+    half_z = 2 ** num_z
+    winners = sum(m for c, m in histogram.items() if 2 * c > half_z)
+    return 2 * winners > 2 ** len(set(y_vars))

@@ -1,0 +1,180 @@
+"""E-MAJSAT and MAJMAJSAT on SDDs with *constrained vtrees* [61].
+
+The paper (Section 3): if the vtree is constrained according to the
+Y/Z split of the variables, E-MAJSAT and MAJMAJSAT can be solved in
+time linear in the SDD.  With the Y variables on the vtree spine
+(:func:`repro.vtree.construct.constrained_vtree`), every decision
+node's primes are either purely over Y (spine) or purely over Z
+(block), so a single pass with max/merge at Y-decisions and sum at
+Z-decisions is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Sequence, Tuple
+
+from ..logic.cnf import Cnf
+from ..sdd.compiler import compile_cnf_sdd
+from ..sdd.manager import SddManager
+from ..sdd.node import SddNode
+from ..vtree.construct import constrained_vtree
+from ..vtree.vtree import Vtree
+
+__all__ = ["compile_constrained_sdd", "emajsat_sdd",
+           "majmajsat_histogram_sdd"]
+
+
+def compile_constrained_sdd(cnf: Cnf, y_vars: Sequence[int]
+                            ) -> Tuple[SddNode, SddManager]:
+    """Compile a CNF into an SDD over a Y|Z-constrained vtree."""
+    y_sorted = sorted(set(y_vars))
+    z_sorted = [v for v in range(1, cnf.num_vars + 1)
+                if v not in set(y_sorted)]
+    if not z_sorted:
+        raise ValueError("the Z block needs at least one variable")
+    vtree = constrained_vtree(spine_vars=y_sorted, block_vars=z_sorted)
+    manager = SddManager(vtree)
+    return compile_cnf_sdd(cnf, manager=manager)
+
+
+def emajsat_sdd(node: SddNode, y_vars: Sequence[int],
+                num_vars: int | None = None) -> int:
+    """max over y of #{z : node(y, z) = 1} on a constrained SDD.
+
+    The node's manager vtree must be constrained with the Y variables
+    on the spine (use :func:`compile_constrained_sdd`).
+    """
+    manager: SddManager = node.manager
+    y_set = frozenset(y_vars)
+    if num_vars is None:
+        num_vars = max(manager.vtree.variables)
+    all_z = frozenset(range(1, num_vars + 1)) - y_set
+
+    def z_count(scope_vars: FrozenSet[int]) -> int:
+        return len(scope_vars & all_z)
+
+    cache: Dict[Tuple[int, int], int] = {}
+
+    def value(n: SddNode, scope: Vtree) -> int:
+        if n.is_false:
+            return 0
+        if n.is_true:
+            return 1 << z_count(scope.variables)
+        key = (n.id, scope.position)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        if n.is_literal:
+            var = abs(n.literal)
+            gap = scope.variables - {var}
+            result = 1 << z_count(gap)
+        else:
+            v = n.vtree
+            left_vars = v.left.variables
+            if left_vars <= y_set:
+                # spine decision: maximise over the prime (Y) choices;
+                # a prime is over Y, so its contribution is just
+                # satisfiability (our SDDs never hold a false prime)
+                best = 0
+                for prime, sub in n.elements:
+                    if prime.is_false:
+                        continue
+                    best = max(best, value(sub, v.right))
+                result = best
+            elif left_vars & y_set:
+                raise ValueError(
+                    "vtree is not constrained for this Y/Z split")
+            else:
+                total = 0
+                for prime, sub in n.elements:
+                    total += value(prime, v.left) * value(sub, v.right)
+                result = total
+            result <<= z_count(scope.variables - v.variables)
+        cache[key] = result
+        return result
+
+    if node.is_constant:
+        return value(node, manager.vtree)
+    if not manager.vtree.is_ancestor_of(node.vtree):
+        raise ValueError("node does not belong to the manager vtree")
+    return value(node, manager.vtree)
+
+
+def majmajsat_histogram_sdd(node: SddNode, y_vars: Sequence[int],
+                            num_vars: int | None = None
+                            ) -> Dict[int, int]:
+    """The {z-count ↦ #y} histogram on a constrained SDD.
+
+    Y-assignments of count 0 are omitted (their mass is 2^|Y| minus the
+    recorded total).
+    """
+    manager: SddManager = node.manager
+    y_set = frozenset(y_vars)
+    if num_vars is None:
+        num_vars = max(manager.vtree.variables)
+    all_vars = frozenset(range(1, num_vars + 1))
+    all_z = all_vars - y_set
+
+    cache: Dict[Tuple[int, int], Dict[int, int]] = {}
+
+    def scale(hist: Dict[int, int], gap_vars: FrozenSet[int]
+              ) -> Dict[int, int]:
+        z_gap = len(gap_vars & all_z)
+        y_gap = len(gap_vars & y_set)
+        return {c << z_gap: m << y_gap for c, m in hist.items()}
+
+    def hist(n: SddNode, scope: Vtree) -> Dict[int, int]:
+        if n.is_false:
+            return {}
+        if n.is_true:
+            inner = {1 << len(scope.variables & all_z):
+                     1 << len(scope.variables & y_set)}
+            return inner
+        key = (n.id, scope.position)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        if n.is_literal:
+            var = abs(n.literal)
+            gap = scope.variables - {var}
+            result = scale({1: 1}, gap)
+        else:
+            v = n.vtree
+            left_vars = v.left.variables
+            if left_vars <= y_set:
+                merged: Dict[int, int] = {}
+                for prime, sub in n.elements:
+                    # each prime carves out a set of y values over
+                    # vars(v.left); all of them share the sub histogram
+                    y_multiplicity = _y_space(prime, v.left)
+                    if y_multiplicity == 0:
+                        continue
+                    for c, m in hist(sub, v.right).items():
+                        merged[c] = merged.get(c, 0) + m * y_multiplicity
+                result = merged
+            elif left_vars & y_set:
+                raise ValueError(
+                    "vtree is not constrained for this Y/Z split")
+            else:
+                total = 0
+                for prime, sub in n.elements:
+                    left = hist(prime, v.left)
+                    right = hist(sub, v.right)
+                    left_count = sum(c * m for c, m in left.items())
+                    right_count = sum(c * m for c, m in right.items())
+                    total += left_count * right_count
+                result = {total: 1} if total else {}
+            result = scale(result, scope.variables - v.variables)
+        cache[key] = result
+        return result
+
+    def _y_space(prime: SddNode, scope: Vtree) -> int:
+        """Number of y assignments over vars(scope) satisfying prime."""
+        from ..sdd.queries import model_count
+        return model_count(prime, scope)
+
+    if not node.is_constant and \
+            not manager.vtree.is_ancestor_of(node.vtree):
+        raise ValueError("node does not belong to the manager vtree")
+    result = hist(node, manager.vtree)
+    return {c: m for c, m in result.items() if c}

@@ -1,0 +1,111 @@
+"""Weighted E-MAJSAT: max over Y of the weighted model count over Z.
+
+The functional problem behind D-MAP (Section 2): on a Bayesian-network
+encoding, maximising over the indicator variables of the MAP set while
+summing the rest computes max_y Pr(y, e).  Solved by compiling with Y
+as branching priority and evaluating with max at Y-decisions and sums
+at Z-decisions — the weighted analogue of
+:func:`repro.solvers.prototypical.emajsat_value`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
+
+from ..logic.cnf import Cnf
+from ..compile.dnnf_compiler import DnnfCompiler
+from ..nnf.node import NnfNode
+from .prototypical import _decision_variable
+
+__all__ = ["weighted_emajsat", "max_sum_evaluate"]
+
+
+def weighted_emajsat(cnf: Cnf, weights: Mapping[int, float],
+                     y_vars: Sequence[int]
+                     ) -> Tuple[float, Dict[int, bool]]:
+    """(max over y of Σ_z W(y, z)·Δ(y, z), a maximising y)."""
+    y_set = frozenset(y_vars)
+    compiler = DnnfCompiler(priority=sorted(y_set))
+    root = compiler.compile(cnf)
+    value, witness = max_sum_evaluate(root, weights, y_set)
+    # account for variables the circuit never mentions
+    mentioned = root.variables()
+    for var in range(1, cnf.num_vars + 1):
+        if var in mentioned:
+            continue
+        if var in y_set:
+            best = var if weights[var] >= weights[-var] else -var
+            witness[abs(best)] = best > 0
+            value *= max(weights[var], weights[-var])
+        else:
+            value *= weights[var] + weights[-var]
+    witness = {v: val for v, val in witness.items() if v in y_set}
+    return value, witness
+
+
+def max_sum_evaluate(root: NnfNode, weights: Mapping[int, float],
+                     y_set: FrozenSet[int]
+                     ) -> Tuple[float, Dict[int, bool]]:
+    """Evaluate a Y-constrained Decision-DNNF with max over Y and sums
+    over the rest.  Returns the value and a maximising partial Y
+    assignment (over the Y variables the circuit mentions)."""
+    def gap_factor(var: int) -> float:
+        if var in y_set:
+            return max(weights[var], weights[-var])
+        return weights[var] + weights[-var]
+
+    values: Dict[int, float] = {}
+    choices: Dict[int, NnfNode] = {}
+    for node in root.topological():
+        if node.is_true:
+            values[node.id] = 1.0
+        elif node.is_false:
+            values[node.id] = 0.0
+        elif node.is_literal:
+            values[node.id] = weights[node.literal]
+        elif node.is_and:
+            value = 1.0
+            for child in node.children:
+                value *= values[child.id]
+            values[node.id] = value
+        else:
+            node_vars = node.variables()
+            decision_var = _decision_variable(node)
+            scaled = []
+            for child in node.children:
+                value = values[child.id]
+                for var in node_vars - child.variables():
+                    value *= gap_factor(var)
+                scaled.append(value)
+            if decision_var in y_set:
+                best_index = max(range(len(scaled)),
+                                 key=lambda i: scaled[i])
+                values[node.id] = scaled[best_index]
+                choices[node.id] = node.children[best_index]
+            else:
+                if node_vars & y_set:
+                    raise ValueError(
+                        "z-decision above undecided y variables; "
+                        "compile with the y variables as priority")
+                values[node.id] = sum(scaled)
+
+    witness: Dict[int, bool] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_literal:
+            if abs(node.literal) in y_set:
+                witness[abs(node.literal)] = node.literal > 0
+        elif node.is_and:
+            stack.extend(node.children)
+        elif node.is_or:
+            chosen = choices.get(node.id)
+            if chosen is not None:
+                # free y vars skipped by this choice take their best value
+                for var in (node.variables() -
+                            chosen.variables()) & y_set:
+                    witness[var] = weights[var] >= weights[-var]
+                stack.append(chosen)
+            else:
+                stack.extend(node.children)
+    return values[root.id], witness

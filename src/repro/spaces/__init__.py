@@ -1,0 +1,13 @@
+"""Structured/combinatorial probability spaces: routes and rankings."""
+
+from .gridmap import RoadMap, grid_map
+from .routes import (RouteModel, degree_relaxation_cnf, enumerate_routes,
+                     route_space_sdd)
+from .rankings import RankingSpace
+from .subsets import SubsetSpace, exactly_k_sdd
+from .mallows import MallowsModel, borda_ranking, fit_mallows, kendall_tau
+
+__all__ = ["SubsetSpace", "exactly_k_sdd",
+           "RoadMap", "grid_map", "RouteModel", "degree_relaxation_cnf",
+           "enumerate_routes", "route_space_sdd", "RankingSpace",
+           "MallowsModel", "borda_ranking", "fit_mallows", "kendall_tau"]

@@ -1,0 +1,101 @@
+"""Road maps as graphs with Boolean edge variables (Fig 16).
+
+A :class:`RoadMap` wraps an undirected graph and assigns each edge a
+Boolean variable; a *route* is then the variable assignment setting
+exactly its edges to true.  Grid maps (the paper's running example) are
+built with :func:`grid_map`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, \
+    Sequence, Tuple
+
+import networkx as nx
+
+__all__ = ["RoadMap", "grid_map"]
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class RoadMap:
+    """An undirected graph whose edges carry Boolean variables 1..m."""
+
+    def __init__(self, graph: nx.Graph):
+        self.graph = graph
+        self.edges: List[Edge] = [tuple(sorted(edge, key=repr))
+                                  for edge in graph.edges()]
+        self.edges.sort(key=repr)
+        self._edge_var: Dict[Edge, int] = {
+            edge: i + 1 for i, edge in enumerate(self.edges)}
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def nodes(self) -> List[Node]:
+        return sorted(self.graph.nodes(), key=repr)
+
+    def edge_variable(self, a: Node, b: Node) -> int:
+        """The Boolean variable of edge {a, b}."""
+        return self._edge_var[tuple(sorted((a, b), key=repr))]
+
+    def variables(self) -> List[int]:
+        return list(range(1, self.num_edges + 1))
+
+    def edge_of_variable(self, var: int) -> Edge:
+        return self.edges[var - 1]
+
+    def incident_variables(self, node: Node) -> List[int]:
+        return sorted(self.edge_variable(node, other)
+                      for other in self.graph.neighbors(node))
+
+    def route_assignment(self, node_path: Sequence[Node]
+                         ) -> Dict[int, bool]:
+        """The complete edge-variable assignment of a node path —
+        the paper's red assignment on the left of Fig 16."""
+        used = set()
+        for a, b in zip(node_path, node_path[1:]):
+            if not self.graph.has_edge(a, b):
+                raise ValueError(f"no edge between {a!r} and {b!r}")
+            used.add(self.edge_variable(a, b))
+        return {var: var in used for var in self.variables()}
+
+    def assignment_route_edges(self, assignment: Mapping[int, bool]
+                               ) -> List[Edge]:
+        """Edges set to true in an assignment."""
+        return [self.edge_of_variable(v) for v in self.variables()
+                if assignment[v]]
+
+    def is_route(self, assignment: Mapping[int, bool], source: Node,
+                 destination: Node) -> bool:
+        """Does the assignment encode a valid simple source→destination
+        route (connected, no cycles — unlike the orange assignment on
+        the right of Fig 16)?"""
+        edges = self.assignment_route_edges(assignment)
+        if not edges:
+            return False
+        sub = nx.Graph(edges)
+        if source not in sub or destination not in sub:
+            return False
+        # a simple path: connected, endpoints degree 1, inner degree 2
+        if not nx.is_connected(sub):
+            return False
+        degrees = dict(sub.degree())
+        if source == destination:
+            return False
+        for node, degree in degrees.items():
+            expected = 1 if node in (source, destination) else 2
+            if degree != expected:
+                return False
+        return True
+
+
+def grid_map(rows: int, cols: int) -> RoadMap:
+    """A rows × cols grid of intersections (Fig 16 uses a grid 'for
+    simplicity')."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    return RoadMap(nx.grid_2d_graph(rows, cols))

@@ -1,0 +1,101 @@
+"""Ranking (total order) spaces over n items (Fig 17).
+
+A ranking of n items is encoded with n² Boolean variables A_ij — true
+iff item i sits at position j.  The valid assignments are exactly the
+permutation matrices: each item in exactly one position and each
+position holding exactly one item.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..logic.cnf import Cnf, exactly_one
+from ..sdd.compiler import compile_cnf_sdd
+from ..sdd.manager import SddManager
+from ..sdd.node import SddNode
+from ..vtree.construct import balanced_vtree
+
+__all__ = ["RankingSpace"]
+
+
+class RankingSpace:
+    """The combinatorial space of rankings of ``n`` items.
+
+    Items and positions are 0-based; ``variable(i, j)`` is the Boolean
+    variable for "item i is at position j" (the paper's A_ij, Fig 17).
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("need at least one item")
+        self.n = n
+
+    def variable(self, item: int, position: int) -> int:
+        if not (0 <= item < self.n and 0 <= position < self.n):
+            raise ValueError("item/position out of range")
+        return item * self.n + position + 1
+
+    def variables(self) -> List[int]:
+        return list(range(1, self.n * self.n + 1))
+
+    def constraint_cnf(self) -> Cnf:
+        """Permutation-matrix constraints: exactly one position per item
+        and exactly one item per position."""
+        clauses: List[Tuple[int, ...]] = []
+        for item in range(self.n):
+            clauses.extend(exactly_one(
+                [self.variable(item, j) for j in range(self.n)]))
+        for position in range(self.n):
+            clauses.extend(exactly_one(
+                [self.variable(i, position) for i in range(self.n)]))
+        return Cnf(clauses, num_vars=self.n * self.n)
+
+    def compile(self, manager: SddManager | None = None
+                ) -> Tuple[SddNode, SddManager]:
+        """Compile the space into an SDD (model count = n!)."""
+        cnf = self.constraint_cnf()
+        if manager is None:
+            manager = SddManager(balanced_vtree(self.variables()))
+        return compile_cnf_sdd(cnf, manager=manager)
+
+    # -- encoding / decoding -----------------------------------------------------
+    def ranking_assignment(self, ranking: Sequence[int]
+                           ) -> Dict[int, bool]:
+        """The complete assignment of a ranking.
+
+        ``ranking[j]`` is the item at position j (a permutation of
+        0..n-1) — the red assignment on the left of Fig 17.
+        """
+        if sorted(ranking) != list(range(self.n)):
+            raise ValueError(f"{ranking!r} is not a permutation")
+        positive = {self.variable(item, position)
+                    for position, item in enumerate(ranking)}
+        return {v: v in positive for v in self.variables()}
+
+    def assignment_ranking(self, assignment: Mapping[int, bool]
+                           ) -> List[int]:
+        """Decode an in-space assignment back to its ranking."""
+        ranking = [-1] * self.n
+        placed: set[int] = set()
+        for item in range(self.n):
+            for position in range(self.n):
+                if assignment[self.variable(item, position)]:
+                    if ranking[position] != -1:
+                        raise ValueError("two items share a position")
+                    if item in placed:
+                        raise ValueError("item appears in two positions")
+                    ranking[position] = item
+                    placed.add(item)
+        if -1 in ranking:
+            raise ValueError("assignment is not a valid ranking")
+        return ranking
+
+    def is_valid(self, assignment: Mapping[int, bool]) -> bool:
+        """Validity test (the orange assignment on the right of Fig 17,
+        with item 2 in two positions, fails it)."""
+        try:
+            self.assignment_ranking(assignment)
+        except ValueError:
+            return False
+        return True

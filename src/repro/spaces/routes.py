@@ -1,0 +1,151 @@
+"""Route spaces: compiling "all valid routes" into tractable circuits
+and learning route distributions from trajectory data (Figs 16, 22).
+
+The exact space (simple source→destination paths) is compiled by
+enumerating paths and disjoining their terms into an SDD.  A degree-
+constraint CNF *relaxation* is also provided: it is linear to build and
+captures the local "0-or-2 incident edges" conditions, but admits
+spurious models containing disjoint cycles — the reason the paper's
+references develop dedicated compilation [16, 60].  A test/bench
+contrasts the two.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, \
+    Sequence, Tuple
+
+import networkx as nx
+
+from ..logic.cnf import Cnf, exactly_one
+from ..sdd.compiler import compile_terms_sdd
+from ..sdd.manager import SddManager
+from ..sdd.node import SddNode
+from ..psdd.psdd import PsddNode, psdd_from_sdd
+from ..psdd.learn import learn_parameters
+from ..psdd.queries import marginal
+from ..vtree.construct import balanced_vtree
+from .gridmap import Node, RoadMap
+
+__all__ = ["enumerate_routes", "route_space_sdd", "degree_relaxation_cnf",
+           "RouteModel"]
+
+
+def enumerate_routes(road_map: RoadMap, source: Node, destination: Node,
+                     max_length: Optional[int] = None
+                     ) -> List[List[Node]]:
+    """All simple paths source → destination as node sequences."""
+    cutoff = max_length if max_length is not None else None
+    return [list(path) for path in nx.all_simple_paths(
+        road_map.graph, source, destination, cutoff=cutoff)]
+
+
+def route_space_sdd(road_map: RoadMap, source: Node, destination: Node,
+                    manager: SddManager | None = None,
+                    max_length: Optional[int] = None
+                    ) -> Tuple[SddNode, SddManager, List[List[Node]]]:
+    """Compile the space of valid routes into an SDD.
+
+    Returns (sdd, manager, routes).  Satisfying inputs of the SDD are
+    exactly the edge assignments of the enumerated routes.
+    """
+    routes = enumerate_routes(road_map, source, destination, max_length)
+    if not routes:
+        raise ValueError("no route between the given endpoints")
+    if manager is None:
+        manager = SddManager(balanced_vtree(road_map.variables()))
+    terms = []
+    for route in routes:
+        assignment = road_map.route_assignment(route)
+        terms.append([v if value else -v
+                      for v, value in sorted(assignment.items())])
+    return compile_terms_sdd(terms, manager), manager, routes
+
+
+def degree_relaxation_cnf(road_map: RoadMap, source: Node,
+                          destination: Node) -> Cnf:
+    """The local-degree CNF relaxation of the route space.
+
+    Constraints: the source and destination have exactly one incident
+    selected edge; every other node has zero or two.  Every valid simple
+    route satisfies this, but so do route-plus-disjoint-cycle artifacts
+    (the connectivity side conditions of [16, 60] are what remove them).
+    """
+    clauses: List[Tuple[int, ...]] = []
+    for node in road_map.nodes:
+        incident = road_map.incident_variables(node)
+        if node in (source, destination):
+            clauses.extend(exactly_one(incident))
+        else:
+            # zero or two: for every selected edge there is another
+            # selected companion, and never three selected
+            for i, var in enumerate(incident):
+                others = [w for w in incident if w != var]
+                clauses.append(tuple([-var] + others))
+            for i, a in enumerate(incident):
+                for j, b in enumerate(incident[i + 1:], i + 1):
+                    for c in incident[j + 1:]:
+                        clauses.append((-a, -b, -c))
+    return Cnf(clauses, num_vars=road_map.num_edges)
+
+
+class RouteModel:
+    """A learned distribution over routes (the paper's GPS use case).
+
+    Compile the route space once; learn PSDD parameters from observed
+    trajectories; then query edge marginals ("how likely is this street
+    on a trip?"), route probabilities and most-probable completions.
+    """
+
+    def __init__(self, road_map: RoadMap, source: Node,
+                 destination: Node, max_length: Optional[int] = None):
+        self.road_map = road_map
+        self.source = source
+        self.destination = destination
+        self.sdd, self.manager, self.routes = route_space_sdd(
+            road_map, source, destination, max_length=max_length)
+        self.psdd: PsddNode = psdd_from_sdd(self.sdd)
+
+    def fit(self, trajectories: Sequence[Sequence[Node]],
+            alpha: float = 0.0) -> "RouteModel":
+        """Learn parameters from node-path trajectories."""
+        counts: Dict[Tuple[Tuple[int, bool], ...], int] = {}
+        for path in trajectories:
+            assignment = self.road_map.route_assignment(path)
+            key = tuple(sorted(assignment.items()))
+            counts[key] = counts.get(key, 0) + 1
+        data = [(dict(key), count) for key, count in counts.items()]
+        learn_parameters(self.psdd, data, alpha=alpha)
+        return self
+
+    def route_probability(self, path: Sequence[Node]) -> float:
+        return self.psdd.probability(self.road_map.route_assignment(path))
+
+    def edge_marginal(self, a: Node, b: Node) -> float:
+        """Pr(edge {a,b} is on the route)."""
+        return marginal(self.psdd, {self.road_map.edge_variable(a, b):
+                                    True})
+
+    def most_probable_route(self) -> Tuple[List[Node], float]:
+        from ..psdd.queries import mpe
+        assignment, p = mpe(self.psdd)
+        edges = self.road_map.assignment_route_edges(assignment)
+        path = self._edges_to_path(edges)
+        return path, p
+
+    def _edges_to_path(self, edges: List[Tuple[Node, Node]]
+                       ) -> List[Node]:
+        sub = nx.Graph(edges)
+        return nx.shortest_path(sub, self.source, self.destination)
+
+    def sample_routes(self, n: int, rng: random.Random | None = None
+                      ) -> List[List[Node]]:
+        from ..psdd.sample import sample
+        rng = rng or random.Random()
+        result = []
+        for _ in range(n):
+            assignment = sample(self.psdd, rng)
+            edges = self.road_map.assignment_route_edges(assignment)
+            result.append(self._edges_to_path(edges))
+        return result

@@ -1,0 +1,92 @@
+"""k-subset spaces: tractable models for subset selection ([77]).
+
+The structured space of "choose exactly k of n items" compiles into an
+SDD of size O(n·k) by the standard dynamic program; PSDDs over it model
+distributions over fixed-size subsets (course schedules, committees,
+baskets) with all the usual linear-time queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+from ..sdd.manager import SddManager
+from ..sdd.node import SddNode
+from ..vtree.construct import right_linear_vtree
+
+__all__ = ["SubsetSpace", "exactly_k_sdd"]
+
+
+def exactly_k_sdd(manager: SddManager, variables: Sequence[int],
+                  k: int) -> SddNode:
+    """The SDD of "exactly k of ``variables`` are true".
+
+    Built by the choose DP  e(i, j) = (xᵢ ∧ e(i+1, j−1)) ∨
+    (¬xᵢ ∧ e(i+1, j)); with apply-based construction the result is the
+    canonical SDD for the manager's vtree regardless of the DP order.
+    """
+    variables = list(variables)
+    n = len(variables)
+    if not 0 <= k <= n:
+        raise ValueError("k out of range")
+    cache: Dict[Tuple[int, int], SddNode] = {}
+
+    def build(i: int, j: int) -> SddNode:
+        if j < 0 or j > n - i:
+            return manager.false
+        if i == n:
+            return manager.true if j == 0 else manager.false
+        key = (i, j)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        var = variables[i]
+        node = manager.disjoin(
+            manager.conjoin(manager.literal(var), build(i + 1, j - 1)),
+            manager.conjoin(manager.literal(-var), build(i + 1, j)))
+        cache[key] = node
+        return node
+
+    return build(0, k)
+
+
+class SubsetSpace:
+    """The space of k-element subsets of items 1..n."""
+
+    def __init__(self, n: int, k: int,
+                 manager: SddManager | None = None):
+        if n < 1:
+            raise ValueError("need at least one item")
+        if not 0 <= k <= n:
+            raise ValueError("k out of range")
+        self.n = n
+        self.k = k
+        if manager is None:
+            manager = SddManager(right_linear_vtree(range(1, n + 1)))
+        self.manager = manager
+        self.sdd = exactly_k_sdd(manager, range(1, n + 1), k)
+
+    def variables(self) -> List[int]:
+        return list(range(1, self.n + 1))
+
+    def subset_assignment(self, subset: Sequence[int]
+                          ) -> Dict[int, bool]:
+        """The complete assignment selecting exactly ``subset``."""
+        chosen: Set[int] = set(subset)
+        if len(chosen) != self.k:
+            raise ValueError(f"subset must have exactly {self.k} items")
+        if not chosen <= set(self.variables()):
+            raise ValueError("subset contains unknown items")
+        return {v: v in chosen for v in self.variables()}
+
+    def assignment_subset(self, assignment: Mapping[int, bool]
+                          ) -> List[int]:
+        subset = [v for v in self.variables() if assignment[v]]
+        if len(subset) != self.k:
+            raise ValueError("assignment does not select k items")
+        return subset
+
+    def psdd(self):
+        """A fresh (uniform-parameter) PSDD over the subset space."""
+        from ..psdd.psdd import psdd_from_sdd
+        return psdd_from_sdd(self.sdd)

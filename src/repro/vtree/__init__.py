@@ -1,0 +1,11 @@
+"""Vtrees for structured decomposability."""
+
+from .vtree import Vtree
+from .search import minimize_vtree, sdd_size_for_vtree
+from .construct import (balanced_vtree, constrained_vtree,
+                        left_linear_vtree, random_vtree,
+                        right_linear_vtree, vtree_from_order)
+
+__all__ = ["Vtree", "minimize_vtree", "sdd_size_for_vtree", "balanced_vtree", "constrained_vtree",
+           "left_linear_vtree", "random_vtree", "right_linear_vtree",
+           "vtree_from_order"]

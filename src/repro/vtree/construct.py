@@ -1,0 +1,106 @@
+"""Vtree constructors: balanced, linear, random and constrained (Fig 10)."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from .vtree import Vtree
+
+__all__ = ["balanced_vtree", "right_linear_vtree", "left_linear_vtree",
+           "random_vtree", "constrained_vtree", "vtree_from_order"]
+
+
+def _leaves(variables: Sequence[int]) -> List[Vtree]:
+    variables = list(variables)
+    if not variables:
+        raise ValueError("a vtree needs at least one variable")
+    if len(set(variables)) != len(variables):
+        raise ValueError("duplicate variables")
+    return [Vtree.leaf(v) for v in variables]
+
+
+def balanced_vtree(variables: Sequence[int]) -> Vtree:
+    """Balanced vtree over ``variables`` in the given left-to-right order
+    (Fig 10a)."""
+    nodes = _leaves(variables)
+
+    def build(lo: int, hi: int) -> Vtree:
+        if hi - lo == 1:
+            return nodes[lo]
+        mid = (lo + hi + 1) // 2
+        return Vtree.internal(build(lo, mid), build(mid, hi))
+
+    return build(0, len(nodes))
+
+
+def right_linear_vtree(variables: Sequence[int]) -> Vtree:
+    """Right-linear vtree (Fig 10c) — SDDs structured by it are OBDDs."""
+    nodes = _leaves(variables)
+    root = nodes[-1]
+    for leaf in reversed(nodes[:-1]):
+        root = Vtree.internal(leaf, root)
+    return root
+
+
+def left_linear_vtree(variables: Sequence[int]) -> Vtree:
+    """Left-linear vtree (the mirror image of right-linear)."""
+    nodes = _leaves(variables)
+    root = nodes[0]
+    for leaf in nodes[1:]:
+        root = Vtree.internal(root, leaf)
+    return root
+
+
+def random_vtree(variables: Sequence[int],
+                 rng: random.Random | None = None) -> Vtree:
+    """Uniformly random binary tree shape over a shuffled variable order."""
+    rng = rng or random.Random()
+    variables = list(variables)
+    rng.shuffle(variables)
+    nodes = _leaves(variables)
+
+    def build(lo: int, hi: int) -> Vtree:
+        if hi - lo == 1:
+            return nodes[lo]
+        mid = rng.randint(lo + 1, hi - 1)
+        return Vtree.internal(build(lo, mid), build(mid, hi))
+
+    return build(0, len(nodes))
+
+
+def constrained_vtree(spine_vars: Sequence[int],
+                      block_vars: Sequence[int],
+                      block_shape: str = "balanced") -> Vtree:
+    """Constrained vtree for ``block_vars | spine_vars`` (Fig 10b).
+
+    The result contains a node ``u`` reachable from the root by following
+    right children only whose variables are exactly ``block_vars``; the
+    ``spine_vars`` hang as left leaves along the spine above ``u``.
+    Constrained SDDs/Decision-DNNFs let E-MAJSAT and MAJMAJSAT be solved
+    by circuit evaluation [61].
+    """
+    if not spine_vars:
+        raise ValueError("need at least one spine variable")
+    if block_shape == "balanced":
+        block = balanced_vtree(block_vars)
+    elif block_shape == "right-linear":
+        block = right_linear_vtree(block_vars)
+    else:
+        raise ValueError(f"unknown block shape {block_shape!r}")
+    root = block
+    for var in reversed(list(spine_vars)):
+        root = Vtree.internal(Vtree.leaf(var), root)
+    return root
+
+
+def vtree_from_order(variables: Sequence[int], shape: str) -> Vtree:
+    """Dispatch helper: shape in {balanced, right-linear, left-linear}."""
+    builders = {
+        "balanced": balanced_vtree,
+        "right-linear": right_linear_vtree,
+        "left-linear": left_linear_vtree,
+    }
+    if shape not in builders:
+        raise ValueError(f"unknown vtree shape {shape!r}")
+    return builders[shape](variables)

@@ -1,0 +1,92 @@
+"""Vtree search: minimizing SDD size over vtrees ([12]).
+
+The paper stresses that SDD size is very sensitive to the vtree.  The
+dynamic-minimization literature searches vtree space with rotations and
+swaps inside the SDD manager; here we implement the search *over*
+vtrees (compile-and-measure), which is simpler and exact at library
+scale: a portfolio of standard shapes, random restarts and stochastic
+local moves on the variable order / tree shape.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence, Tuple
+
+from ..logic.cnf import Cnf
+from .construct import (balanced_vtree, left_linear_vtree, random_vtree,
+                        right_linear_vtree)
+from .vtree import Vtree
+
+__all__ = ["minimize_vtree", "sdd_size_for_vtree"]
+
+
+def sdd_size_for_vtree(cnf: Cnf, vtree: Vtree) -> int:
+    """Compile ``cnf`` under ``vtree`` and report the SDD size."""
+    from ..sdd.compiler import compile_cnf_sdd
+    root, _manager = compile_cnf_sdd(cnf, vtree=vtree)
+    return root.size()
+
+
+def _rebuild(order: Sequence[int], shape_bits: random.Random) -> Vtree:
+    """A random tree shape over a fixed variable order."""
+    leaves = [Vtree.leaf(v) for v in order]
+
+    def build(lo: int, hi: int) -> Vtree:
+        if hi - lo == 1:
+            return leaves[lo]
+        mid = shape_bits.randint(lo + 1, hi - 1)
+        return Vtree.internal(build(lo, mid), build(mid, hi))
+
+    return build(0, len(leaves))
+
+
+def minimize_vtree(cnf: Cnf, iterations: int = 30,
+                   rng: random.Random | None = None,
+                   size_of: Callable[[Cnf, Vtree], int] | None = None
+                   ) -> Tuple[Vtree, int]:
+    """Search for a small-SDD vtree for ``cnf``.
+
+    Strategy: seed with the standard shapes (balanced, right-/left-
+    linear over the identity order), then run ``iterations`` rounds of
+    stochastic moves (swap two variables in the order, or resample the
+    tree shape), keeping the best.  Returns (vtree, its SDD size).
+
+    ``size_of`` defaults to compiling and measuring; inject a cheaper
+    proxy for experimentation.
+    """
+    rng = rng or random.Random()
+    size_of = size_of or sdd_size_for_vtree
+    variables = list(range(1, cnf.num_vars + 1))
+    if not variables:
+        raise ValueError("cnf has no variables")
+
+    candidates: List[Vtree] = [balanced_vtree(variables)]
+    if len(variables) > 1:
+        candidates.append(right_linear_vtree(variables))
+        candidates.append(left_linear_vtree(variables))
+    best_vtree, best_size = None, None
+    for vtree in candidates:
+        size = size_of(cnf, vtree)
+        if best_size is None or size < best_size:
+            best_vtree, best_size = vtree, size
+
+    order = list(variables)
+    for _ in range(iterations):
+        move = rng.random()
+        new_order = list(order)
+        if move < 0.5 and len(new_order) > 1:
+            i, j = rng.sample(range(len(new_order)), 2)
+            new_order[i], new_order[j] = new_order[j], new_order[i]
+            vtree = balanced_vtree(new_order)
+        elif move < 0.8:
+            vtree = _rebuild(order, rng)
+        else:
+            vtree = random_vtree(variables, rng=rng)
+            new_order = vtree.variable_order()
+        size = size_of(cnf, vtree)
+        if size < best_size:
+            best_vtree, best_size = vtree, size
+            order = new_order
+    assert best_vtree is not None
+    return best_vtree, best_size

@@ -1,0 +1,186 @@
+"""Vtrees: variable trees that structure decomposability (Fig 10).
+
+A vtree is a full binary tree whose leaves are in one-to-one
+correspondence with a set of variables.  SDDs are *structured* by a
+vtree: every decomposition node of an SDD is associated with an internal
+vtree node ``v``; its primes mention only variables of ``v.left`` and
+its subs only variables of ``v.right``.
+
+Vtrees here are immutable once constructed.  Each node carries its
+variable set, parent pointer, depth and an in-order position so that
+lowest-common-ancestor queries (needed by the SDD apply) run in
+O(depth).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterator, List, Optional
+
+__all__ = ["Vtree"]
+
+
+class Vtree:
+    """A vtree node; the root object doubles as "the vtree".
+
+    Build leaves with :meth:`leaf` and internal nodes with
+    :meth:`internal`; or use the constructors in
+    :mod:`repro.vtree.construct`.
+    """
+
+    __slots__ = ("var", "left", "right", "variables", "parent", "depth",
+                 "position", "_nodes")
+
+    def __init__(self, var: Optional[int], left: Optional["Vtree"],
+                 right: Optional["Vtree"]):
+        self.var = var
+        self.left = left
+        self.right = right
+        self.parent: Optional[Vtree] = None
+        if var is not None:
+            self.variables: FrozenSet[int] = frozenset((var,))
+        else:
+            assert left is not None and right is not None
+            if left.variables & right.variables:
+                raise ValueError("vtree children share variables")
+            if left.parent is not None or right.parent is not None:
+                raise ValueError("vtree nodes cannot be shared/reused")
+            self.variables = left.variables | right.variables
+            left.parent = self
+            right.parent = self
+        self.depth = 0
+        self.position = 0
+        self._nodes: Optional[List[Vtree]] = None
+        self._annotate()
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def leaf(cls, var: int) -> "Vtree":
+        """A leaf vtree for variable ``var`` (positive integer)."""
+        if var <= 0:
+            raise ValueError("vtree variables are positive integers")
+        return cls(var, None, None)
+
+    @classmethod
+    def internal(cls, left: "Vtree", right: "Vtree") -> "Vtree":
+        """An internal vtree node over two disjoint subtrees."""
+        return cls(None, left, right)
+
+    # -- bookkeeping ------------------------------------------------------------
+    def _annotate(self) -> None:
+        """(Re)compute depth and in-order positions below this node.
+
+        Construction is bottom-up, so the annotation done when the final
+        root is created is the one that sticks; intermediate annotations
+        are cheap and harmless.
+        """
+        for position, node in enumerate(self._inorder()):
+            node.position = position
+        self.depth = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            for child in (node.left, node.right):
+                if child is not None:
+                    child.depth = node.depth + 1
+                    stack.append(child)
+
+    def _inorder(self) -> Iterator["Vtree"]:
+        if self.is_leaf():
+            yield self
+            return
+        yield from self.left._inorder()
+        yield self
+        yield from self.right._inorder()
+
+    # -- structure ---------------------------------------------------------------
+    def is_leaf(self) -> bool:
+        return self.var is not None
+
+    def nodes(self) -> List["Vtree"]:
+        """All nodes below (and including) this one, in-order (cached)."""
+        if self._nodes is None:
+            self._nodes = list(self._inorder())
+        return self._nodes
+
+    def leaves(self) -> List["Vtree"]:
+        return [n for n in self.nodes() if n.is_leaf()]
+
+    def variable_order(self) -> List[int]:
+        """Left-to-right leaf variables (the induced total order)."""
+        return [leaf.var for leaf in self.leaves()]
+
+    def node_count(self) -> int:
+        return len(self.nodes())
+
+    def find_leaf(self, var: int) -> "Vtree":
+        """The leaf for ``var`` (KeyError if absent)."""
+        for leaf in self.leaves():
+            if leaf.var == var:
+                return leaf
+        raise KeyError(f"variable {var} not in vtree")
+
+    def is_ancestor_of(self, other: "Vtree") -> bool:
+        """True when ``other`` lies in the subtree rooted here (or is it)."""
+        return other.variables <= self.variables and \
+            self._contains(other)
+
+    def _contains(self, other: "Vtree") -> bool:
+        node: Optional[Vtree] = other
+        while node is not None:
+            if node is self:
+                return True
+            node = node.parent
+        return False
+
+    def lca(self, other: "Vtree") -> "Vtree":
+        """Lowest common ancestor (both nodes must be in the same tree)."""
+        a: Optional[Vtree] = self
+        b: Optional[Vtree] = other
+        while a is not b:
+            if a is None or b is None:
+                raise ValueError("nodes are not in the same vtree")
+            if a.depth >= (b.depth if b is not None else -1):
+                a = a.parent
+            else:
+                b = b.parent
+        assert a is not None
+        return a
+
+    def smallest_containing(self, variables: FrozenSet[int]) -> "Vtree":
+        """Deepest node whose variable set contains ``variables``."""
+        if not variables <= self.variables:
+            raise ValueError("variables not all in this vtree")
+        node = self
+        while not node.is_leaf():
+            if variables <= node.left.variables:
+                node = node.left
+            elif variables <= node.right.variables:
+                node = node.right
+            else:
+                break
+        return node
+
+    def is_right_linear(self) -> bool:
+        """Left child of every internal node is a leaf (Fig 10c: OBDD)."""
+        return all(n.is_leaf() or n.left.is_leaf() for n in self.nodes())
+
+    # -- rendering ------------------------------------------------------------
+    def __repr__(self) -> str:
+        if self.is_leaf():
+            return f"Vtree({self.var})"
+        return f"Vtree({len(self.variables)} vars)"
+
+    def pretty(self, names: Callable[[int], str] = str) -> str:
+        """Indented multi-line rendering."""
+        lines: List[str] = []
+
+        def rec(node: "Vtree", indent: int) -> None:
+            pad = "  " * indent
+            if node.is_leaf():
+                lines.append(f"{pad}{names(node.var)}")
+            else:
+                lines.append(f"{pad}*")
+                rec(node.left, indent + 1)
+                rec(node.right, indent + 1)
+        rec(self, 0)
+        return "\n".join(lines)

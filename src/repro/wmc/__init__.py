@@ -1,0 +1,9 @@
+"""BN-to-CNF encodings, weighted model counting, arithmetic circuits."""
+
+from .encoding import BnEncoding, encode_binary, encode_multistate
+from .arithmetic_circuit import ArithmeticCircuit
+from .pipeline import WmcPipeline
+from .sdp import same_decision_probability
+
+__all__ = ["BnEncoding", "encode_binary", "encode_multistate",
+           "ArithmeticCircuit", "WmcPipeline", "same_decision_probability"]

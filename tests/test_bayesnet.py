@@ -1,0 +1,236 @@
+"""Tests for factors, Bayesian networks, VE and the Fig 2 queries."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import (BayesianNetwork, Factor, chain_network,
+                            d_map, d_mar, d_mpe, d_sdp, map_query, mar,
+                            marginal, medical_network, min_fill_order,
+                            mpe, posterior, random_network, sdp)
+
+
+# -- Factor ---------------------------------------------------------------------
+
+def test_factor_construction_and_call():
+    f = Factor(("A", "B"), {"A": 2, "B": 3}, np.arange(6).reshape(2, 3))
+    assert f({"A": 1, "B": 2}) == 5.0
+    with pytest.raises(ValueError):
+        Factor(("A",), {"A": 2}, np.zeros(3))
+    with pytest.raises(ValueError):
+        Factor(("A", "A"), {"A": 2}, np.zeros((2, 2)))
+
+
+def test_factor_multiply_aligns_axes():
+    f = Factor(("A",), {"A": 2}, [0.4, 0.6])
+    g = Factor(("B", "A"), {"A": 2, "B": 2},
+               [[0.1, 0.2], [0.3, 0.4]])
+    product = f.multiply(g)
+    for a in (0, 1):
+        for b in (0, 1):
+            assert product({"A": a, "B": b}) == pytest.approx(
+                f({"A": a}) * g({"A": a, "B": b}))
+
+
+def test_factor_multiply_unit():
+    f = Factor(("A",), {"A": 2}, [0.4, 0.6])
+    assert Factor.unit().multiply(f)({"A": 1}) == pytest.approx(0.6)
+
+
+def test_factor_sum_and_max_out():
+    f = Factor(("A", "B"), {"A": 2, "B": 2}, [[1, 2], [3, 4]])
+    s = f.sum_out(["B"])
+    assert s({"A": 0}) == 3 and s({"A": 1}) == 7
+    m = f.max_out(["A"])
+    assert m({"B": 0}) == 3 and m({"B": 1}) == 4
+    assert f.sum_out(["Z"]) is f  # unknown vars ignored
+
+
+def test_factor_reduce_normalize_argmax():
+    f = Factor(("A", "B"), {"A": 2, "B": 2}, [[1, 2], [3, 4]])
+    r = f.reduce({"A": 1})
+    assert r.variables == ("B",)
+    assert r({"B": 1}) == 4
+    n = f.normalize()
+    assert n.total() == pytest.approx(1.0)
+    assert f.argmax() == {"A": 1, "B": 1}
+    with pytest.raises(ZeroDivisionError):
+        Factor(("A",), {"A": 2}, [0, 0]).normalize()
+
+
+def test_factor_cardinality_mismatch():
+    f = Factor(("A",), {"A": 2}, [1, 1])
+    g = Factor(("A",), {"A": 3}, [1, 1, 1])
+    with pytest.raises(ValueError):
+        f.multiply(g)
+
+
+# -- network construction ----------------------------------------------------------
+
+def test_network_construction_errors():
+    net = BayesianNetwork()
+    net.add_variable("A", (), [0.5, 0.5])
+    with pytest.raises(ValueError):
+        net.add_variable("A", (), [0.5, 0.5])  # duplicate
+    with pytest.raises(ValueError):
+        net.add_variable("B", ("Z",), [[0.5, 0.5]])  # unknown parent
+    with pytest.raises(ValueError):
+        net.add_variable("B", ("A",), [0.5, 0.5])  # bad shape
+    with pytest.raises(ValueError):
+        net.add_variable("B", (), [0.5, 0.6])  # not normalized
+
+
+def test_fig4_distribution_is_product_of_parameters():
+    """The Fig 4 semantics: Pr(a,b,c) = θ_a · θ_b|a · θ_c|a."""
+    net = chain_network(theta_a=0.6, theta_b_given_a=(0.2, 0.9),
+                        theta_c_given_a=(0.7, 0.3))
+    assert net.probability({"A": 1, "B": 1, "C": 0}) == \
+        pytest.approx(0.6 * 0.9 * 0.7)
+    assert net.probability({"A": 0, "B": 0, "C": 1}) == \
+        pytest.approx(0.4 * 0.8 * 0.7)
+    total = sum(net.probability(s) for s in net.states())
+    assert total == pytest.approx(1.0)
+    assert net.parameter_count() == 10  # as the paper notes
+
+
+def test_joint_factor_matches_probability():
+    net = medical_network()
+    joint = net.joint_factor()
+    for state in itertools.islice(net.states(), 8):
+        assert joint(state) == pytest.approx(net.probability(state))
+    assert joint.total() == pytest.approx(1.0)
+
+
+# -- variable elimination ------------------------------------------------------------
+
+def test_marginal_matches_bruteforce():
+    net = medical_network()
+    joint = net.joint_factor()
+    for name in net.variables:
+        ve = marginal(net, [name])
+        brute = joint.sum_out([v for v in net.variables if v != name])
+        for state in range(net.cardinality(name)):
+            assert ve({name: state}) == pytest.approx(
+                brute({name: state}))
+
+
+def test_posterior_with_evidence():
+    net = medical_network()
+    post = posterior(net, ["c"], {"T1": 1})
+    joint = net.joint_factor().reduce({"T1": 1})
+    expected = joint.sum_out(["sex", "T2", "AGREE"]).normalize()
+    for state in (0, 1):
+        assert post({"c": state}) == pytest.approx(expected({"c": state}))
+
+
+def test_min_fill_order_covers_all():
+    net = medical_network()
+    order = min_fill_order(net)
+    assert sorted(order) == sorted(net.variables)
+    order_keep = min_fill_order(net, keep=["c"])
+    assert "c" not in order_keep
+
+
+# -- the Fig 2 queries ------------------------------------------------------------
+
+def test_mar_equals_bruteforce():
+    net = medical_network()
+    joint = net.joint_factor()
+    p = mar(net, {"c": 1})
+    brute = joint.sum_out(["sex", "T1", "T2", "AGREE"])({"c": 1})
+    assert p == pytest.approx(brute)
+
+
+def test_mar_with_evidence():
+    net = medical_network()
+    p = mar(net, {"c": 1}, {"T1": 1, "T2": 1})
+    # Bayes by hand over the joint
+    joint = net.joint_factor().reduce({"T1": 1, "T2": 1})
+    reduced = joint.sum_out(["sex", "AGREE"])
+    brute = reduced({"c": 1}) / (reduced({"c": 0}) + reduced({"c": 1}))
+    assert p == pytest.approx(brute)
+
+
+def test_mpe_matches_enumeration():
+    net = medical_network()
+    instantiation, p = mpe(net)
+    best = max(net.states(), key=net.probability)
+    assert p == pytest.approx(net.probability(best))
+    assert net.probability(instantiation) == pytest.approx(p)
+
+
+def test_mpe_with_evidence():
+    net = medical_network()
+    instantiation, p = mpe(net, {"T1": 1})
+    assert instantiation["T1"] == 1
+    best = max((s for s in net.states() if s["T1"] == 1),
+               key=net.probability)
+    assert p == pytest.approx(net.probability(best))
+
+
+def test_map_matches_enumeration():
+    net = medical_network()
+    y, p = map_query(net, ["sex", "c"])
+    joint = net.joint_factor().sum_out(["T1", "T2", "AGREE"])
+    best = max(((a, b) for a in (0, 1) for b in (0, 1)),
+               key=lambda ab: joint({"sex": ab[0], "c": ab[1]}))
+    assert (y["sex"], y["c"]) == best
+    assert p == pytest.approx(joint({"sex": best[0], "c": best[1]}))
+
+
+def test_map_is_not_mpe_projection_in_general():
+    """The classic MAP ≠ projected MPE pitfall — our implementations
+    must treat them differently (they may coincide on some networks)."""
+    net = chain_network(theta_a=0.5, theta_b_given_a=(0.45, 0.55),
+                        theta_c_given_a=(0.1, 0.9))
+    y_map, _ = map_query(net, ["B"])
+    inst_mpe, _ = mpe(net)
+    # MAP over B maximizes Pr(B); both are legal answers, just check both
+    assert y_map["B"] in (0, 1) and inst_mpe["B"] in (0, 1)
+    assert mar(net, {"B": y_map["B"]}) >= mar(net, {"B": 1 - y_map["B"]})
+
+
+def test_sdp_bruteforce_agreement():
+    net = medical_network()
+    threshold = 0.9
+    current = mar(net, {"c": 1}) >= threshold
+    brute = 0.0
+    for t1 in (0, 1):
+        for t2 in (0, 1):
+            p_y = mar(net, {"T1": t1, "T2": t2})
+            p_x = mar(net, {"c": 1}, {"T1": t1, "T2": t2})
+            if (p_x >= threshold) == current:
+                brute += p_y
+    assert sdp(net, "c", 1, threshold, ["T1", "T2"]) == \
+        pytest.approx(brute)
+    assert 0.9 < brute < 1.0  # informative on our quantification
+
+
+def test_sdp_trivial_when_observation_is_irrelevant():
+    net = chain_network()
+    # observing C cannot change a decision on C itself... use B:
+    # decision on A with threshold 0 sticks always
+    assert sdp(net, "A", 1, 0.0, ["B"]) == pytest.approx(1.0)
+
+
+def test_decision_versions():
+    net = medical_network()
+    _inst, p = mpe(net)
+    assert d_mpe(net, p - 0.01)
+    assert not d_mpe(net, p + 0.01)
+    assert d_mar(net, {"c": 0}, 0.5)
+    assert not d_mar(net, {"c": 1}, 0.5)
+    _y, pm = map_query(net, ["sex", "c"])
+    assert d_map(net, ["sex", "c"], pm - 0.01)
+    assert not d_map(net, ["sex", "c"], pm + 0.01)
+    s = sdp(net, "c", 1, 0.9, ["T1", "T2"])
+    assert d_sdp(net, "c", 1, 0.9, ["T1", "T2"], s - 0.01)
+    assert not d_sdp(net, "c", 1, 0.9, ["T1", "T2"], s + 0.01)
+
+
+def test_random_network_valid():
+    import random
+    net = random_network(6, rng=random.Random(0), zero_fraction=0.3)
+    total = sum(net.probability(s) for s in net.states())
+    assert total == pytest.approx(1.0)

@@ -1,0 +1,315 @@
+"""Tests for classifiers and their compilation into circuits."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bayesnet import BayesianNetwork, medical_network
+from repro.classifiers import (BinarizedNeuralNetwork, BnClassifier,
+                               DecisionTree, NaiveBayesClassifier,
+                               RandomForest, compile_bnn,
+                               compile_decision_function, compile_forest,
+                               compile_naive_bayes, digit_dataset,
+                               digit_template, generate_digit_images,
+                               image_variables, render_image,
+                               threshold_obdd, threshold_of_functions)
+from repro.logic import iter_assignments
+from repro.obdd import ObddManager, model_count
+
+
+# -- threshold compilation ------------------------------------------------------
+
+def test_threshold_obdd_exhaustive():
+    manager = ObddManager([1, 2, 3, 4])
+    weights = [2.0, -1.0, 3.0, 0.5]
+    for threshold in (-1.0, 0.0, 1.5, 2.0, 4.0, 6.0):
+        node = threshold_obdd(manager, [1, 2, 3, 4], weights, threshold)
+        for a in iter_assignments([1, 2, 3, 4]):
+            total = sum(w for v, w in zip([1, 2, 3, 4], weights) if a[v])
+            assert node.evaluate(a) == (total >= threshold)
+
+
+def test_threshold_constant_cases():
+    manager = ObddManager([1, 2])
+    assert threshold_obdd(manager, [1, 2], [1.0, 1.0], -1.0) is manager.one
+    assert threshold_obdd(manager, [1, 2], [1.0, 1.0], 5.0) is manager.zero
+
+
+def test_threshold_weight_mismatch():
+    manager = ObddManager([1, 2])
+    with pytest.raises(ValueError):
+        threshold_obdd(manager, [1, 2], [1.0], 0.0)
+
+
+def test_threshold_of_functions():
+    manager = ObddManager([1, 2, 3])
+    g1 = manager.literal(1) & manager.literal(2)
+    g2 = manager.literal(3)
+    node = threshold_of_functions(manager, [g1, g2], [1.0, 1.0], 2.0)
+    for a in iter_assignments([1, 2, 3]):
+        expected = (a[1] and a[2]) and a[3]
+        assert node.evaluate(a) == expected
+
+
+# -- naive Bayes ---------------------------------------------------------------
+
+def pregnancy_classifier(threshold=0.9):
+    """A Fig 25-style classifier: class P, tests B=1, U=2, S=3."""
+    return NaiveBayesClassifier(
+        prior=0.87,
+        likelihoods={1: (0.64, 0.09), 2: (0.72, 0.21), 3: (0.89, 0.27)},
+        threshold=threshold)
+
+
+def test_nb_posterior_sanity():
+    nb = pregnancy_classifier()
+    all_pos = nb.posterior({1: True, 2: True, 3: True})
+    all_neg = nb.posterior({1: False, 2: False, 3: False})
+    assert all_pos > 0.9 > all_neg
+
+
+def test_nb_validation():
+    with pytest.raises(ValueError):
+        NaiveBayesClassifier(0.0, {1: (0.5, 0.5)})
+    with pytest.raises(ValueError):
+        NaiveBayesClassifier(0.5, {1: (0.5, 0.5)}, threshold=1.0)
+    with pytest.raises(ValueError):
+        NaiveBayesClassifier(0.5, {1: (1.5, 0.5)})
+
+
+def test_nb_fit_learns_frequencies():
+    rng = random.Random(0)
+    truth = pregnancy_classifier(threshold=0.5)
+    instances, labels = [], []
+    for _ in range(4000):
+        label = rng.random() < truth.prior
+        inst = {}
+        for var, (p1, p0) in truth.likelihoods.items():
+            inst[var] = rng.random() < (p1 if label else p0)
+        instances.append(inst)
+        labels.append(label)
+    learned = NaiveBayesClassifier.fit(instances, labels)
+    assert abs(learned.prior - truth.prior) < 0.05
+    for var in truth.likelihoods:
+        assert abs(learned.likelihoods[var][0] -
+                   truth.likelihoods[var][0]) < 0.07
+
+
+@pytest.mark.parametrize("threshold", [0.2, 0.5, 0.75, 0.9, 0.99])
+def test_nb_compilation_agrees_everywhere(threshold):
+    """Fig 25: the decision graph has the same input-output behaviour."""
+    nb = pregnancy_classifier(threshold)
+    node = compile_naive_bayes(nb)
+    for a in iter_assignments([1, 2, 3]):
+        assert node.evaluate(a) == nb.decide(a)
+
+
+def test_nb_compilation_with_extreme_likelihoods():
+    nb = NaiveBayesClassifier(
+        prior=0.5, likelihoods={1: (1.0, 0.0), 2: (0.6, 0.4)},
+        threshold=0.5)
+    node = compile_naive_bayes(nb)
+    for a in iter_assignments([1, 2]):
+        try:
+            expected = nb.decide(a)
+        except ZeroDivisionError:
+            continue
+        assert node.evaluate(a) == expected
+
+
+def test_nb_compilation_larger_random():
+    rng = random.Random(3)
+    for trial in range(5):
+        likelihoods = {v: (rng.uniform(0.05, 0.95),
+                           rng.uniform(0.05, 0.95))
+                       for v in range(1, 9)}
+        nb = NaiveBayesClassifier(rng.uniform(0.2, 0.8), likelihoods,
+                                  threshold=rng.uniform(0.2, 0.8))
+        node = compile_naive_bayes(nb)
+        for a in iter_assignments(range(1, 9)):
+            assert node.evaluate(a) == nb.decide(a)
+
+
+# -- BN classifier ---------------------------------------------------------------
+
+def test_bn_classifier_compilation():
+    net = medical_network()
+    clf = BnClassifier(net, "c", ["sex", "T1", "T2"], threshold=0.3)
+    node = clf.compile()
+    func = clf.decision_function()
+    for a in iter_assignments([1, 2, 3]):
+        assert node.evaluate(a) == func(a)
+
+
+def test_bn_classifier_rejects_multistate():
+    net = BayesianNetwork()
+    net.add_variable("X", (), [0.2, 0.3, 0.5])
+    net.add_variable("C", (), [0.5, 0.5])
+    with pytest.raises(ValueError):
+        BnClassifier(net, "C", ["X"])
+
+
+def test_compile_decision_function_refuses_huge():
+    manager = ObddManager(list(range(1, 30)))
+    with pytest.raises(ValueError):
+        compile_decision_function(lambda a: True, list(range(1, 30)),
+                                  manager)
+
+
+def test_compile_decision_function_parity():
+    variables = [1, 2, 3, 4]
+    manager = ObddManager(variables)
+
+    def parity(a):
+        return sum(a[v] for v in variables) % 2 == 1
+
+    node = compile_decision_function(parity, variables, manager)
+    for a in iter_assignments(variables):
+        assert node.evaluate(a) == parity(a)
+    assert node.size() == 7  # parity OBDD is 2 nodes per middle level
+
+
+# -- decision trees and forests ----------------------------------------------------
+
+def toy_data():
+    instances = [dict(zip([1, 2, 3], bits))
+                 for bits in itertools.product((False, True), repeat=3)]
+    labels = [inst[1] and (inst[2] or inst[3]) for inst in instances]
+    return instances, labels
+
+
+def test_decision_tree_fits_exactly():
+    instances, labels = toy_data()
+    tree = DecisionTree.fit(instances, labels, max_depth=5)
+    for inst, label in zip(instances, labels):
+        assert tree.decide(inst) == label
+    assert tree.depth() <= 3
+
+
+def test_decision_tree_formula_matches():
+    instances, labels = toy_data()
+    tree = DecisionTree.fit(instances, labels)
+    formula = tree.to_formula()
+    for inst in instances:
+        assert formula.evaluate(inst) == tree.decide(inst)
+
+
+def test_decision_tree_constant_labels():
+    instances, _ = toy_data()
+    tree = DecisionTree.fit(instances, [True] * len(instances))
+    assert all(tree.decide(inst) for inst in instances)
+    from repro.logic import TRUE
+    assert tree.to_formula() == TRUE
+
+
+def test_forest_majority_and_compilation():
+    rng = random.Random(1)
+    instances, labels = digit_dataset(1, 2, 30, size=3, noise=0.1,
+                                      rng=rng)
+    forest = RandomForest.fit(instances, labels, num_trees=5,
+                              max_depth=4, rng=rng)
+    node = compile_forest(forest)
+    # exact agreement on the whole input space (9 pixels)
+    for a in iter_assignments(range(1, 10)):
+        assert node.evaluate(a) == forest.decide(a)
+    assert forest.accuracy(instances, labels) > 0.8
+
+
+def test_forest_needs_trees():
+    with pytest.raises(ValueError):
+        RandomForest([])
+
+
+def test_forest_tie_votes_negative():
+    instances, labels = toy_data()
+    t1 = DecisionTree.fit(instances, [True] * 8)
+    t2 = DecisionTree.fit(instances, [False] * 8)
+    forest = RandomForest([t1, t2])
+    assert not forest.decide(instances[0])  # 1 of 2 votes: tie -> False
+
+
+# -- binarized networks ---------------------------------------------------------------
+
+def test_bnn_validation():
+    with pytest.raises(ValueError):  # output layer must be width 1
+        BinarizedNeuralNetwork([[[1, 1], [1, -1]]], [[0.5, 0.5]], [1, 2])
+    with pytest.raises(ValueError):  # weights must be ±1
+        BinarizedNeuralNetwork([[[2, 1]]], [[0.5]], [1, 2])
+    with pytest.raises(ValueError):  # fan-in mismatch
+        BinarizedNeuralNetwork([[[1]]], [[0.5]], [1, 2])
+
+
+def test_bnn_forward_manual():
+    # single neuron: x1 + x2 >= 1.5 == AND
+    net = BinarizedNeuralNetwork([[[1, 1]]], [[1.5]], [1, 2])
+    assert net.forward({1: True, 2: True})
+    assert not net.forward({1: True, 2: False})
+
+
+def test_bnn_compilation_agrees_everywhere():
+    rng = random.Random(5)
+    instances, labels = digit_dataset(0, 1, 30, size=3, noise=0.1,
+                                      rng=rng)
+    net = BinarizedNeuralNetwork.train(instances, labels, hidden=(3,),
+                                       seed=2)
+    node, layers = compile_bnn(net)
+    for a in iter_assignments(range(1, 10)):
+        assert node.evaluate(a) == net.forward(a)
+    assert len(layers) == 2
+    assert len(layers[0]) == 3 and len(layers[1]) == 1
+
+
+def test_bnn_training_improves_over_random():
+    rng = random.Random(7)
+    instances, labels = digit_dataset(1, 2, 50, size=4, noise=0.08,
+                                      rng=rng)
+    net = BinarizedNeuralNetwork.train(instances, labels, hidden=(4,),
+                                       seed=3)
+    assert net.accuracy(instances, labels) > 0.85
+
+
+def test_bnn_neuron_circuits_match_neurons():
+    """Per-neuron interpretation (Section 5.2): each first-layer neuron
+    circuit agrees with the neuron's threshold test."""
+    net = BinarizedNeuralNetwork([[[1, -1], [-1, 1]], [[1, 1]]],
+                                 [[0.5, 0.5], [1.5]], [1, 2])
+    node, layers = compile_bnn(net)
+    for a in iter_assignments([1, 2]):
+        x = [1.0 if a[v] else 0.0 for v in [1, 2]]
+        fire0 = x[0] - x[1] >= 0.5
+        fire1 = -x[0] + x[1] >= 0.5
+        assert layers[0][0].evaluate(a) == fire0
+        assert layers[0][1].evaluate(a) == fire1
+
+
+# -- datasets --------------------------------------------------------------------
+
+def test_digit_templates_distinct():
+    for size in (3, 4, 5, 8):
+        t0 = digit_template(0, size)
+        t1 = digit_template(1, size)
+        t2 = digit_template(2, size)
+        assert t0 != t1 and t1 != t2 and t0 != t2
+        assert set(t0) == set(image_variables(size))
+
+
+def test_digit_template_unknown():
+    with pytest.raises(ValueError):
+        digit_template(7, 4)
+
+
+def test_generate_digit_images_noise():
+    rng = random.Random(0)
+    images = generate_digit_images(0, 50, size=4, noise=0.2, rng=rng)
+    template = digit_template(0, 4)
+    flips = sum(sum(1 for v in img if img[v] != template[v])
+                for img in images)
+    rate = flips / (50 * 16)
+    assert 0.1 < rate < 0.3
+
+
+def test_render_image():
+    text = render_image(digit_template(1, 5), 5)
+    assert len(text.splitlines()) == 5
+    assert "#" in text and "." in text

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.logic import Cnf
+from repro.nnf import from_nnf_format, model_count
+
+
+@pytest.fixture
+def cnf_file(tmp_path):
+    path = tmp_path / "example.cnf"
+    path.write_text("p cnf 4 3\n1 2 0\n-2 3 0\n3 -4 0\n")
+    return str(path)
+
+
+@pytest.fixture
+def unsat_file(tmp_path):
+    path = tmp_path / "unsat.cnf"
+    path.write_text("p cnf 1 2\n1 0\n-1 0\n")
+    return str(path)
+
+
+def test_count_command(cnf_file, capsys):
+    assert main(["count", cnf_file]) == 0
+    out = capsys.readouterr().out
+    assert "s mc 7" in out
+
+
+def test_count_verbose_and_switches(cnf_file, capsys):
+    assert main(["count", cnf_file, "-v", "--no-cache",
+                 "--no-components"]) == 0
+    out = capsys.readouterr().out
+    assert "s mc 7" in out
+    assert "c decisions" in out
+
+
+def test_sat_command(cnf_file, unsat_file, capsys):
+    assert main(["sat", cnf_file]) == 0
+    assert "SATISFIABLE" in capsys.readouterr().out
+    assert main(["sat", unsat_file]) == 1
+    assert "UNSATISFIABLE" in capsys.readouterr().out
+
+
+def test_compile_roundtrip(cnf_file, tmp_path, capsys):
+    output = str(tmp_path / "out.nnf")
+    assert main(["compile", cnf_file, "-o", output]) == 0
+    circuit = from_nnf_format(open(output).read())
+    assert model_count(circuit, range(1, 5)) == 7
+
+
+def test_compile_to_stdout(cnf_file, capsys):
+    assert main(["compile", cnf_file]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("nnf ")
+
+
+def test_sdd_command(cnf_file, capsys):
+    for vtree in ("balanced", "right-linear", "left-linear"):
+        assert main(["sdd", cnf_file, "--vtree", vtree]) == 0
+        out = capsys.readouterr().out
+        assert "s mc 7" in out
+        assert "c sdd-size" in out
+
+
+def test_enumerate_command(cnf_file, capsys):
+    assert main(["enumerate", cnf_file]) == 0
+    out = capsys.readouterr().out
+    assert out.count("\nc ") + out.startswith("c ") >= 0
+    assert "c 7 models printed" in out
+    # every printed model satisfies the formula
+    cnf = Cnf.from_dimacs(open(cnf_file).read())
+    for line in out.splitlines():
+        if line.startswith("v "):
+            literals = [int(t) for t in line.split()[1:-1]]
+            assignment = {abs(l): l > 0 for l in literals}
+            assert cnf.evaluate(assignment)
+
+
+def test_enumerate_limit(cnf_file, capsys):
+    assert main(["enumerate", cnf_file, "--limit", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "c 2 models printed" in out
+
+
+def test_missing_file(capsys):
+    assert main(["count", "/nonexistent/x.cnf"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_bad_dimacs(tmp_path, capsys):
+    path = tmp_path / "bad.cnf"
+    path.write_text("1 2 0\n")  # no header
+    assert main(["count", str(path)]) == 2
+    assert "error" in capsys.readouterr().err

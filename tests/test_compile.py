@@ -1,0 +1,132 @@
+"""Tests for the Decision-DNNF compiler (exhaustive DPLL trace)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import Cnf, iter_assignments, parse, to_cnf, VarMap
+from repro.compile import DnnfCompiler, compile_cnf
+from repro.nnf import (is_decision_dnnf, is_decomposable, is_deterministic,
+                       model_count, weighted_model_count)
+
+
+def cnfs(max_var=5, max_clauses=7):
+    literal = st.integers(1, max_var).flatmap(
+        lambda v: st.sampled_from([v, -v]))
+    clause = st.lists(literal, min_size=1, max_size=3).map(tuple)
+    return st.lists(clause, min_size=0, max_size=max_clauses).map(
+        lambda cs: Cnf(cs, num_vars=max_var))
+
+
+def test_compile_empty_cnf():
+    root = compile_cnf(Cnf([], num_vars=3))
+    assert root.is_true
+    assert model_count(root, [1, 2, 3]) == 8
+
+
+def test_compile_unsat():
+    root = compile_cnf(Cnf([(1,), (-1,)]))
+    assert root.is_false
+
+
+def test_compile_empty_clause():
+    root = compile_cnf(Cnf([()], num_vars=2))
+    assert root.is_false
+
+
+def test_compile_unit_clauses():
+    root = compile_cnf(Cnf([(1,), (-2,)], num_vars=2))
+    assert model_count(root, [1, 2]) == 1
+    assert root.evaluate({1: True, 2: False})
+
+
+def test_fig8_nine_of_sixteen():
+    """The paper's running example: 9 satisfying inputs out of 16."""
+    vm = VarMap()
+    f = parse("(P | L) & (A -> P) & (K -> (A | L))", vm)
+    root = compile_cnf(to_cnf(f))
+    assert model_count(root, range(1, 5)) == 9
+
+
+@settings(max_examples=120, deadline=None)
+@given(cnfs())
+def test_compiled_circuit_is_equivalent(cnf):
+    root = compile_cnf(cnf)
+    for assignment in iter_assignments(range(1, cnf.num_vars + 1)):
+        assert root.evaluate(assignment) == cnf.evaluate(assignment) \
+            if root.variables() else True
+    # counting agreement
+    assert model_count(root, range(1, cnf.num_vars + 1)) == \
+        cnf.model_count()
+
+
+@settings(max_examples=80, deadline=None)
+@given(cnfs())
+def test_compiled_circuit_properties(cnf):
+    root = compile_cnf(cnf)
+    assert is_decomposable(root)
+    assert is_decision_dnnf(root)
+    if len(root.variables()) <= 10:
+        assert is_deterministic(root)
+
+
+@settings(max_examples=50, deadline=None)
+@given(cnfs())
+def test_optimisation_switches_preserve_semantics(cnf):
+    reference = cnf.model_count()
+    full = range(1, cnf.num_vars + 1)
+    for use_components in (True, False):
+        for use_cache in (True, False):
+            compiler = DnnfCompiler(use_components=use_components,
+                                    use_cache=use_cache)
+            root = compiler.compile(cnf)
+            assert model_count(root, full) == reference
+
+
+@settings(max_examples=50, deadline=None)
+@given(cnfs(max_var=5))
+def test_priority_ordering_respected(cnf):
+    """With priority=[1,2], no decision on other vars happens above an
+    undecided priority var on any path of the circuit."""
+    priority = [1, 2]
+    compiler = DnnfCompiler(priority=priority)
+    root = compiler.compile(cnf)
+    full = range(1, cnf.num_vars + 1)
+    assert model_count(root, full) == cnf.model_count()
+    _assert_priority_paths(root, set(priority))
+
+
+def _assert_priority_paths(root, priority_vars):
+    """On every root-to-leaf path, once a non-priority decision is made,
+    no decision on a *remaining relevant* priority variable may follow.
+    Sufficient check: in any or-decision on a non-priority variable, the
+    subcircuit must not contain or-decisions on priority variables."""
+    from repro.nnf.properties import is_decision_node
+
+    def or_decision_vars(node):
+        return {is_decision_node(n) for n in node.topological()
+                if n.is_or and is_decision_node(n) is not None}
+
+    for node in root.topological():
+        if node.is_or:
+            var = is_decision_node(node)
+            if var is not None and var not in priority_vars:
+                below = or_decision_vars(node) - {None}
+                assert not (below & priority_vars)
+
+
+def test_compiler_statistics():
+    cnf = Cnf([(i, i + 1) for i in range(1, 10)], num_vars=10)
+    compiler = DnnfCompiler()
+    compiler.compile(cnf)
+    assert compiler.decisions > 0
+    # repeated chain components should hit the cache
+    assert compiler.cache_hits >= 0
+
+
+def test_wmc_on_compiled_circuit():
+    cnf = Cnf([(1, 2)], num_vars=2)
+    root = compile_cnf(cnf)
+    weights = {1: 0.6, -1: 0.4, 2: 0.3, -2: 0.7}
+    # P(x1 or x2) = 1 - 0.4*0.7
+    assert weighted_model_count(root, weights, [1, 2]) == \
+        pytest.approx(1 - 0.28)

@@ -1,0 +1,252 @@
+"""Tests for conditional PSDDs, SBNs and hierarchical maps."""
+
+import random
+
+import pytest
+
+from repro.condpsdd import (ClusterDag, ConditionalPsdd, HierarchicalMap,
+                            StructuredBayesianNetwork)
+from repro.logic import iter_assignments
+from repro.psdd import psdd_from_sdd, support_size
+from repro.sdd import SddManager
+from repro.spaces import grid_map
+from repro.vtree import balanced_vtree
+
+A, B, X, Y = 1, 2, 3, 4  # variable numbering of the Fig 21 example
+
+
+def fig21_conditional():
+    """The paper's Fig 21: structured space over X,Y conditioned on A,B.
+
+    Context a0,b0 has space x0 ∨ y0; every other parent state has space
+    x1 ∨ y1 (state 0 = False, 1 = True).
+    """
+    parent_manager = SddManager(balanced_vtree([A, B]))
+    child_manager = SddManager(balanced_vtree([X, Y]))
+    gate_a0b0 = parent_manager.term([-A, -B])
+    gate_rest = parent_manager.negate(gate_a0b0)
+    space_a0b0 = child_manager.clause([-X, -Y])  # x0 ∨ y0
+    space_rest = child_manager.clause([X, Y])    # x1 ∨ y1
+    conditional = ConditionalPsdd(
+        [(gate_a0b0, space_a0b0), (gate_rest, space_rest)],
+        parent_manager, child_manager)
+    return conditional, parent_manager, child_manager
+
+
+def test_fig21_contexts_and_selection():
+    conditional, _pm, _cm = fig21_conditional()
+    assert conditional.num_contexts == 2
+    # Fig 24: state a0,b0 selects the first distribution, others the second
+    assert conditional.context_index({A: False, B: False}) == 0
+    for a, b in ((True, False), (False, True), (True, True)):
+        assert conditional.context_index({A: a, B: b}) == 1
+
+
+def test_fig21_conditional_spaces():
+    conditional, _pm, _cm = fig21_conditional()
+    psdd_a0b0 = conditional.select({A: False, B: False})
+    psdd_rest = conditional.select({A: True, B: False})
+    assert support_size(psdd_a0b0) == 3  # x0∨y0 has 3 models
+    assert support_size(psdd_rest) == 3
+    # x1,y1 is outside the a0,b0 space
+    assert conditional.probability({X: True, Y: True},
+                                   {A: False, B: False}) == 0.0
+    assert conditional.probability({X: False, Y: False},
+                                   {A: True, B: True}) == 0.0
+
+
+def test_conditional_distributions_normalize():
+    conditional, _pm, _cm = fig21_conditional()
+    for a, b in ((False, False), (True, False)):
+        total = sum(conditional.probability({X: x, Y: y}, {A: a, B: b})
+                    for x in (False, True) for y in (False, True))
+        assert total == pytest.approx(1.0)
+
+
+def test_conditional_fit():
+    conditional, _pm, _cm = fig21_conditional()
+    data = [
+        ({A: False, B: False}, {X: False, Y: False}, 6),
+        ({A: False, B: False}, {X: False, Y: True}, 2),
+        ({A: True, B: True}, {X: True, Y: True}, 4),
+        ({A: True, B: False}, {X: True, Y: False}, 4),
+    ]
+    conditional.fit(data, alpha=0.0)
+    # within context a0b0: x0y0 seen 6 of 8
+    assert conditional.probability({X: False, Y: False},
+                                   {A: False, B: False}) == \
+        pytest.approx(6 / 8)
+    # within the other context: x1y1 and x1y0 each 4 of 8
+    assert conditional.probability({X: True, Y: True},
+                                   {A: True, B: True}) == \
+        pytest.approx(4 / 8)
+
+
+def test_conditional_gate_validation():
+    parent_manager = SddManager(balanced_vtree([A, B]))
+    child_manager = SddManager(balanced_vtree([X]))
+    space = child_manager.true
+    overlapping = [(parent_manager.literal(A), space),
+                   (parent_manager.true, space)]
+    with pytest.raises(ValueError):
+        ConditionalPsdd(overlapping, parent_manager, child_manager)
+    not_exhaustive = [(parent_manager.literal(A), space)]
+    with pytest.raises(ValueError):
+        ConditionalPsdd(not_exhaustive, parent_manager, child_manager)
+    with pytest.raises(ValueError):
+        ConditionalPsdd([], parent_manager, child_manager)
+
+
+def test_conditional_sampling():
+    conditional, _pm, _cm = fig21_conditional()
+    rng = random.Random(2)
+    for _ in range(50):
+        sample = conditional.sample({A: False, B: False}, rng)
+        assert not (sample[X] and sample[Y])  # inside x0 ∨ y0
+
+
+# -- cluster DAGs / SBNs -------------------------------------------------------------
+
+def test_cluster_dag_validation():
+    dag = ClusterDag()
+    dag.add_cluster("p", [1, 2])
+    with pytest.raises(ValueError):
+        dag.add_cluster("p", [3])
+    with pytest.raises(ValueError):
+        dag.add_cluster("q", [2, 3])  # overlap
+    with pytest.raises(ValueError):
+        dag.add_cluster("q", [3], parents=["nope"])
+    dag.add_cluster("q", [3, 4], parents=["p"])
+    assert dag.parent_variables("q") == (1, 2)
+    assert dag.all_variables() == [1, 2, 3, 4]
+
+
+def test_sbn_joint_is_normalized():
+    """A two-cluster SBN built from the Fig 21 conditional: the joint
+    sums to one over all 16 assignments."""
+    conditional, parent_manager, _cm = fig21_conditional()
+    dag = ClusterDag()
+    dag.add_cluster("parents", [A, B])
+    dag.add_cluster("children", [X, Y], parents=["parents"])
+    sbn = StructuredBayesianNetwork(dag)
+    sbn.set_root_distribution("parents",
+                              psdd_from_sdd(parent_manager.true))
+    sbn.set_conditional("children", conditional)
+    total = sum(sbn.probability(a) for a in iter_assignments([1, 2, 3, 4]))
+    assert total == pytest.approx(1.0)
+
+
+def test_sbn_quantification_errors():
+    conditional, parent_manager, _cm = fig21_conditional()
+    dag = ClusterDag()
+    dag.add_cluster("parents", [A, B])
+    dag.add_cluster("children", [X, Y], parents=["parents"])
+    sbn = StructuredBayesianNetwork(dag)
+    with pytest.raises(ValueError):
+        sbn.probability({A: False, B: False, X: False, Y: False})
+    with pytest.raises(ValueError):
+        sbn.set_conditional("parents", conditional)
+    with pytest.raises(ValueError):
+        sbn.set_root_distribution("children",
+                                  psdd_from_sdd(parent_manager.true))
+
+
+def test_sbn_fit_and_sample():
+    conditional, parent_manager, _cm = fig21_conditional()
+    dag = ClusterDag()
+    dag.add_cluster("parents", [A, B])
+    dag.add_cluster("children", [X, Y], parents=["parents"])
+    sbn = StructuredBayesianNetwork(dag)
+    sbn.set_root_distribution("parents",
+                              psdd_from_sdd(parent_manager.true))
+    sbn.set_conditional("children", conditional)
+    data = [
+        ({A: False, B: False, X: False, Y: False}, 10),
+        ({A: True, B: True, X: True, Y: True}, 10),
+    ]
+    sbn.fit(data, alpha=0.1)
+    rng = random.Random(4)
+    for _ in range(30):
+        sample = sbn.sample(rng)
+        assert set(sample) == {A, B, X, Y}
+        assert sbn.probability(sample) > 0
+
+
+# -- hierarchical maps ---------------------------------------------------------------
+
+def westside():
+    gm = grid_map(3, 4)
+    regions = {"west": [(r, c) for r in range(3) for c in range(2)],
+               "east": [(r, c) for r in range(3) for c in range(2, 4)]}
+    return gm, regions
+
+
+def test_hierarchical_route_filter():
+    gm, regions = westside()
+    hm = HierarchicalMap(gm, regions, (0, 0), (2, 3))
+    assert len(hm.routes) < len(hm.all_routes)
+    for route in hm.routes:
+        assert hm.is_hierarchical_route(route)
+
+
+def test_hierarchical_distribution_sums_to_one():
+    gm, regions = westside()
+    hm = HierarchicalMap(gm, regions, (0, 0), (2, 3))
+    rng = random.Random(1)
+    trajectories = [hm.routes[rng.randrange(len(hm.routes))]
+                    for _ in range(200)]
+    hm.fit(trajectories, alpha=0.05)
+    total = sum(hm.route_probability(route) for route in hm.routes)
+    assert total == pytest.approx(1.0)
+
+
+def test_hierarchical_samples_are_valid_routes():
+    gm, regions = westside()
+    hm = HierarchicalMap(gm, regions, (0, 0), (2, 3))
+    rng = random.Random(3)
+    trajectories = [hm.routes[rng.randrange(len(hm.routes))]
+                    for _ in range(100)]
+    hm.fit(trajectories, alpha=0.05)
+    for _ in range(100):
+        assignment = hm.sample_route_assignment(rng)
+        assert gm.is_route(assignment, (0, 0), (2, 3))
+        # and hierarchical: every sampled route is in the model's space
+        edges = gm.assignment_route_edges(assignment)
+        import networkx as nx
+        path = nx.shortest_path(nx.Graph(edges), (0, 0), (2, 3))
+        assert hm.is_hierarchical_route(path)
+
+
+def test_hierarchical_learns_frequencies():
+    gm, regions = westside()
+    hm = HierarchicalMap(gm, regions, (0, 0), (2, 3))
+    favourite = hm.routes[0]
+    other = hm.routes[1]
+    hm.fit([favourite] * 9 + [other] * 1)
+    assert hm.route_probability(favourite) > hm.route_probability(other)
+
+
+def test_hierarchical_validation():
+    gm, regions = westside()
+    with pytest.raises(ValueError):  # same region endpoints
+        HierarchicalMap(gm, regions, (0, 0), (2, 1))
+    with pytest.raises(ValueError):  # nodes not covered
+        HierarchicalMap(gm, {"west": [(0, 0)]}, (0, 0), (2, 3))
+    overlapping = {"west": [(r, c) for r in range(3) for c in range(2)],
+                   "east": [(r, c) for r in range(3) for c in range(1, 4)]}
+    with pytest.raises(ValueError):
+        HierarchicalMap(gm, overlapping, (0, 0), (2, 3))
+
+
+def test_three_region_hierarchy():
+    gm = grid_map(3, 4)
+    regions = {"a": [(r, c) for r in range(3) for c in range(2)],
+               "b": [(r, 2) for r in range(3)],
+               "c": [(r, 3) for r in range(3)]}
+    hm = HierarchicalMap(gm, regions, (0, 0), (2, 3))
+    rng = random.Random(9)
+    trajectories = [hm.routes[rng.randrange(len(hm.routes))]
+                    for _ in range(200)]
+    hm.fit(trajectories, alpha=0.05)
+    total = sum(hm.route_probability(route) for route in hm.routes)
+    assert total == pytest.approx(1.0)

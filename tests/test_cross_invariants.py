@@ -1,0 +1,157 @@
+"""Cross-module property tests: invariants that tie the engines
+together (hypothesis-driven)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compile import compile_cnf
+from repro.logic import Cnf, iter_assignments
+from repro.nnf import (marginal_counts, model_count, sample_model,
+                       smooth)
+from repro.obdd import compile_cnf_obdd, model_count as obdd_count
+from repro.psdd import (learn_parameters, marginal, multiply,
+                        psdd_from_sdd, variable_marginals)
+from repro.sdd import (SddManager, compile_cnf_sdd, condition,
+                       enumerate_models as sdd_models,
+                       model_count as sdd_count)
+from repro.vtree import balanced_vtree
+
+
+def cnfs(max_var=5, max_clauses=7):
+    literal = st.integers(1, max_var).flatmap(
+        lambda v: st.sampled_from([v, -v]))
+    clause = st.lists(literal, min_size=1, max_size=3).map(tuple)
+    return st.lists(clause, min_size=0, max_size=max_clauses).map(
+        lambda cs: Cnf(cs, num_vars=max_var))
+
+
+@settings(max_examples=60, deadline=None)
+@given(cnfs())
+def test_three_compilers_one_count(cnf):
+    """d-DNNF, SDD and OBDD compilation agree with brute force."""
+    brute = cnf.model_count()
+    full = range(1, cnf.num_vars + 1)
+    assert model_count(compile_cnf(cnf), full) == brute
+    sdd, _sm = compile_cnf_sdd(cnf)
+    assert sdd_count(sdd) == brute
+    obdd, _om = compile_cnf_obdd(cnf)
+    assert obdd_count(obdd) == brute
+
+
+@settings(max_examples=50, deadline=None)
+@given(cnfs())
+def test_marginal_counts_partition_the_models(cnf):
+    """count(ℓ) + count(¬ℓ) == total for every variable."""
+    root = smooth(compile_cnf(cnf))
+    variables = sorted(root.variables())
+    if not variables:
+        return
+    total = model_count(root)
+    counts = marginal_counts(root)
+    for var in variables:
+        assert counts[var] + counts[-var] == total
+
+
+@settings(max_examples=40, deadline=None)
+@given(cnfs(max_var=4), st.integers(1, 4), st.booleans(),
+       st.integers(1, 4), st.booleans())
+def test_sdd_condition_composes(cnf, v1, b1, v2, b2):
+    """condition(condition(f, e1), e2) == condition(f, e1 ∪ e2)."""
+    if v1 == v2 and b1 != b2:
+        return
+    root, _manager = compile_cnf_sdd(cnf)
+    stepwise = condition(condition(root, {v1: b1}), {v2: b2})
+    joint = condition(root, {v1: b1, v2: b2})
+    assert stepwise is joint  # canonicity turns equality into identity
+
+
+@settings(max_examples=30, deadline=None)
+@given(cnfs(max_var=4))
+def test_sdd_model_enumeration_matches_count(cnf):
+    root, _manager = compile_cnf_sdd(cnf)
+    models = list(sdd_models(root))
+    assert len(models) == sdd_count(root)
+    keys = {tuple(sorted(m.items())) for m in models}
+    assert len(keys) == len(models)  # no duplicates
+    for m in models:
+        assert cnf.evaluate(m)
+
+
+def _learned_psdd(manager, cnf, rng):
+    root, _m = compile_cnf_sdd(cnf, manager=manager)
+    if root.is_false:
+        return None
+    psdd = psdd_from_sdd(root)
+    data = [(m, rng.randint(1, 4)) for m in sdd_models(root)]
+    learn_parameters(psdd, data, alpha=0.2)
+    return psdd
+
+
+def test_psdd_multiply_is_commutative():
+    rng = random.Random(31)
+    manager = SddManager(balanced_vtree([1, 2, 3, 4]))
+    p = _learned_psdd(manager, Cnf([(1, 2)], num_vars=4), rng)
+    q = _learned_psdd(manager, Cnf([(-2, 3), (1, 4)], num_vars=4), rng)
+    pq, z_pq = multiply(p, q)
+    qp, z_qp = multiply(q, p)
+    assert z_pq == pytest.approx(z_qp)
+    for a in iter_assignments([1, 2, 3, 4]):
+        assert pq.probability(a) == pytest.approx(qp.probability(a))
+
+
+def test_psdd_multiply_is_associative_in_distribution():
+    rng = random.Random(32)
+    manager = SddManager(balanced_vtree([1, 2, 3]))
+    p = _learned_psdd(manager, Cnf([(1, 2)], num_vars=3), rng)
+    q = _learned_psdd(manager, Cnf([(2, 3)], num_vars=3), rng)
+    r = _learned_psdd(manager, Cnf([(-1, 3)], num_vars=3), rng)
+    pq, z1 = multiply(p, q)
+    pq_r, z2 = multiply(pq, r)
+    qr, z3 = multiply(q, r)
+    p_qr, z4 = multiply(p, qr)
+    assert z1 * z2 == pytest.approx(z3 * z4)
+    for a in iter_assignments([1, 2, 3]):
+        assert pq_r.probability(a) == pytest.approx(p_qr.probability(a))
+
+
+@settings(max_examples=20, deadline=None)
+@given(cnfs(max_var=4, max_clauses=4))
+def test_psdd_marginals_are_consistent(cnf):
+    rng = random.Random(33)
+    manager = SddManager(balanced_vtree([1, 2, 3, 4]))
+    psdd = _learned_psdd(manager, cnf, rng)
+    if psdd is None:
+        return
+    marginals = variable_marginals(psdd)
+    for var, p_true in marginals.items():
+        p_false = marginal(psdd, {var: False})
+        assert p_true + p_false == pytest.approx(1.0)
+        # chain rule on a pair
+        other = 1 if var != 1 else 2
+        joint = marginal(psdd, {var: True, other: True}) + \
+            marginal(psdd, {var: True, other: False})
+        assert joint == pytest.approx(p_true)
+
+
+def test_weighted_sampling_matches_conditionals():
+    """Samples from a weighted d-DNNF follow the induced distribution."""
+    cnf = Cnf([(1, 2), (-1, 3)], num_vars=3)
+    root = compile_cnf(cnf)
+    weights = {1: 0.8, -1: 0.2, 2: 0.4, -2: 0.6, 3: 0.7, -3: 0.3}
+    # exact conditional Pr(x1=1 | model)
+    def w(a):
+        value = 1.0
+        for v, val in a.items():
+            value *= weights[v if val else -v]
+        return value
+    total = sum(w(a) for a in iter_assignments([1, 2, 3])
+                if cnf.evaluate(a))
+    p1 = sum(w(a) for a in iter_assignments([1, 2, 3])
+             if cnf.evaluate(a) and a[1]) / total
+    rng = random.Random(3)
+    n = 5000
+    hits = sum(1 for _ in range(n)
+               if sample_model(root, [1, 2, 3], rng, weights)[1])
+    assert abs(hits / n - p1) < 0.03

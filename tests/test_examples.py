@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs to completion and prints the
+landmarks it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["9 models out of 16", "sufficient reasons"],
+    "medical_diagnosis.py": ["compile once", "agrees"],
+    "enrollment_psdd.py": ["sums to 1.0000", "probability exactly 0"],
+    "route_learning.py": ["hierarchical", "valid route: True"],
+    "explain_admissions.py": ["classifier biased w.r.t. R: True",
+                              "verified: True"],
+    "verify_network.py": ["sufficient reason", "model robustness"],
+    "complexity_ladder.py": ["NP^PP", "PP^PP"],
+    "preference_learning.py": ["most probable ranking",
+                               "most probable flight"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    for landmark in CASES[script]:
+        assert landmark in result.stdout, (
+            f"{script} output missing {landmark!r}:\n{result.stdout}")
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES), (
+        "examples/ and the smoke-test table drifted apart")

@@ -1,0 +1,254 @@
+"""Tests for explanations: sufficient reasons, reason circuits, bias,
+counterfactuals (Figs 26–27)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import Cnf, iter_assignments
+from repro.obdd import ObddManager, compile_cnf_obdd
+from repro.explain import (all_sufficient_reasons, bias_from_reasons,
+                           classifier_is_biased, decision_and_function,
+                           decision_is_biased, decision_sticks,
+                           is_sufficient_reason,
+                           minimal_sufficient_reason, reason_circuit,
+                           reason_implies, reason_prime_implicants,
+                           smallest_sufficient_reason,
+                           verify_even_if_because)
+
+
+def fig26_function():
+    """f = (A + ¬C)(B + C)(A + B) with A=1, B=2, C=3."""
+    manager = ObddManager([1, 2, 3])
+    f = (manager.literal(1) | manager.literal(-3)) & \
+        (manager.literal(2) | manager.literal(3)) & \
+        (manager.literal(1) | manager.literal(2))
+    return manager, f
+
+
+def admissions_classifier():
+    """A Fig 27-style admissions OBDD over five features.
+
+    Features: 1=passed entrance exam (E), 2=first-time applicant (F),
+    3=good GPA (G), 4=work experience (W), 5=rich hometown (R,
+    protected).  Admit iff  (E ∧ (G ∨ W)) ∨ (R ∧ (E ∨ G)).
+    """
+    m = ObddManager([1, 2, 3, 4, 5])
+    e, g, w, r = m.literal(1), m.literal(3), m.literal(4), m.literal(5)
+    f = (e & (g | w)) | (r & (e | g))
+    return m, f
+
+
+# -- sufficient reasons (Fig 26) ------------------------------------------------
+
+def test_fig26_positive_instance_reasons():
+    _m, f = fig26_function()
+    instance = {1: True, 2: True, 3: False}  # A, B, ¬C -> decision 1
+    assert f.evaluate(instance)
+    reasons = all_sufficient_reasons(f, instance)
+    assert set(reasons) == {frozenset({1, 2}), frozenset({2, -3})}
+
+
+def test_fig26_negative_instance_single_reason():
+    _m, f = fig26_function()
+    instance = {1: False, 2: True, 3: True}  # ¬A, B, C -> decision 0
+    assert not f.evaluate(instance)
+    reasons = all_sufficient_reasons(f, instance)
+    assert reasons == [frozenset({-1, 3})]
+
+
+def test_decision_and_function():
+    m, f = fig26_function()
+    _d, trigger = decision_and_function(f, {1: True, 2: True, 3: False})
+    assert trigger is f
+    _d, trigger = decision_and_function(f, {1: False, 2: True, 3: True})
+    assert trigger is m.negate(f)
+
+
+def test_is_sufficient_reason():
+    _m, f = fig26_function()
+    instance = {1: True, 2: True, 3: False}
+    assert is_sufficient_reason(f, instance, [1, 2])
+    assert is_sufficient_reason(f, instance, [2, -3])
+    assert not is_sufficient_reason(f, instance, [2])  # not sufficient
+    assert not is_sufficient_reason(f, instance, [1, 2, -3])  # not minimal
+    assert is_sufficient_reason(f, instance, [1, 2, -3],
+                                check_minimal=False)
+    assert not is_sufficient_reason(f, instance, [-1, 2])  # not in inst
+
+
+def test_minimal_reason_is_minimal_and_sufficient():
+    _m, f = fig26_function()
+    instance = {1: True, 2: True, 3: False}
+    reason = minimal_sufficient_reason(f, instance)
+    assert is_sufficient_reason(f, instance, reason)
+
+
+def test_smallest_reason():
+    _m, f = fig26_function()
+    instance = {1: True, 2: True, 3: False}
+    smallest = smallest_sufficient_reason(f, instance)
+    assert len(smallest) == 2
+    assert is_sufficient_reason(f, instance, smallest)
+
+
+def test_smallest_reason_max_size():
+    _m, f = fig26_function()
+    instance = {1: True, 2: True, 3: False}
+    assert smallest_sufficient_reason(f, instance, max_size=1) is None
+
+
+def test_all_reasons_refuses_huge():
+    manager = ObddManager(list(range(1, 31)))
+    cube = manager.cube(list(range(1, 31)))
+    instance = {v: True for v in range(1, 31)}
+    with pytest.raises(ValueError):
+        all_sufficient_reasons(cube, instance)
+
+
+# -- reason circuits --------------------------------------------------------------
+
+def test_reason_circuit_prime_implicants_are_reasons():
+    _m, f = fig26_function()
+    for instance in ({1: True, 2: True, 3: False},
+                     {1: False, 2: True, 3: True},
+                     {1: True, 2: False, 3: False}):
+        circuit = reason_circuit(f, instance)
+        assert set(reason_prime_implicants(circuit)) == \
+            set(all_sufficient_reasons(f, instance))
+
+
+def test_reason_circuit_semantics():
+    """A term implies the reason circuit iff it contains a sufficient
+    reason (the complete reason = disjunction of sufficient reasons)."""
+    _m, f = fig26_function()
+    instance = {1: True, 2: True, 3: False}
+    circuit = reason_circuit(f, instance)
+    reasons = all_sufficient_reasons(f, instance)
+    literals = [1, 2, -3]
+    for r in range(len(literals) + 1):
+        for combo in itertools.combinations(literals, r):
+            expected = any(t <= set(combo) for t in reasons)
+            assert reason_implies(circuit, combo) == expected
+
+
+def test_reason_circuit_is_monotone():
+    """Adding literals to a term can only turn the reason on."""
+    _m, f = fig26_function()
+    instance = {1: True, 2: True, 3: False}
+    circuit = reason_circuit(f, instance)
+    literals = [1, 2, -3]
+    for r in range(len(literals)):
+        for combo in itertools.combinations(literals, r):
+            if reason_implies(circuit, combo):
+                for lit in literals:
+                    assert reason_implies(circuit, list(combo) + [lit])
+
+
+def cnfs(max_var=4, max_clauses=6):
+    literal = st.integers(1, max_var).flatmap(
+        lambda v: st.sampled_from([v, -v]))
+    clause = st.lists(literal, min_size=1, max_size=3).map(tuple)
+    return st.lists(clause, min_size=1, max_size=max_clauses).map(
+        lambda cs: Cnf(cs, num_vars=max_var))
+
+
+@settings(max_examples=60, deadline=None)
+@given(cnfs(), st.integers(0, 15))
+def test_reason_circuit_matches_enumeration(cnf, bits):
+    node, manager = compile_cnf_obdd(cnf)
+    instance = {v: bool((bits >> (v - 1)) & 1)
+                for v in range(1, cnf.num_vars + 1)}
+    if node.is_terminal:
+        return
+    circuit = reason_circuit(node, instance)
+    assert set(reason_prime_implicants(circuit)) == \
+        set(all_sufficient_reasons(node, instance))
+
+
+# -- bias (Fig 27) ---------------------------------------------------------------
+
+def test_admissions_biased_decision():
+    """A Scott-style instance: admitted only thanks to the protected
+    feature."""
+    _m, f = admissions_classifier()
+    scott = {1: False, 2: True, 3: True, 4: False, 5: True}
+    assert f.evaluate(scott)  # admitted via (R ∧ G)
+    assert decision_is_biased(f, scott, protected=[5])
+    analysis = bias_from_reasons(f, scott, protected=[5])
+    assert analysis["decision_biased"]
+    assert analysis["classifier_biased_witness"]
+
+
+def test_admissions_unbiased_decision_biased_classifier():
+    """A Robin-style instance: admitted on merit, but the classifier is
+    still biased (some reasons mention the protected feature)."""
+    _m, f = admissions_classifier()
+    robin = {1: True, 2: True, 3: True, 4: True, 5: True}
+    assert f.evaluate(robin)
+    assert not decision_is_biased(f, robin, protected=[5])
+    analysis = bias_from_reasons(f, robin, protected=[5])
+    assert not analysis["decision_biased"]
+    assert analysis["classifier_biased_witness"]
+    assert classifier_is_biased(f, protected=[5])
+
+
+def test_unbiased_classifier():
+    m, f = fig26_function()
+    # variable 3 with f not depending on it after restriction? f depends
+    # on all three, so protect a fresh variable the function ignores
+    assert not classifier_is_biased(f, protected=[])
+    g = m.literal(1) & m.literal(2)
+    assert not classifier_is_biased(g, protected=[3])
+    instance = {1: True, 2: True, 3: True}
+    assert not decision_is_biased(g, instance, protected=[3])
+
+
+@settings(max_examples=60, deadline=None)
+@given(cnfs(), st.integers(0, 15), st.integers(1, 4))
+def test_bias_characterisations_agree(cnf, bits, protected_var):
+    """The direct definition and the sufficient-reason characterisation
+    of decision bias coincide (the [33] theorem)."""
+    node, manager = compile_cnf_obdd(cnf)
+    if node.is_terminal:
+        return
+    instance = {v: bool((bits >> (v - 1)) & 1)
+                for v in range(1, cnf.num_vars + 1)}
+    direct = decision_is_biased(node, instance, [protected_var])
+    reasons = bias_from_reasons(node, instance, [protected_var])
+    assert reasons["decision_biased"] == direct
+
+
+# -- counterfactuals ---------------------------------------------------------------
+
+def test_decision_sticks():
+    _m, f = admissions_classifier()
+    robin = {1: True, 2: True, 3: True, 4: True, 5: True}
+    # flipping work experience does not affect Robin (E ∧ G holds)
+    assert decision_sticks(f, robin, flipped=[4])
+
+
+def test_even_if_because_valid():
+    """April's statement: sticks even without work experience because
+    she passed the entrance exam (and has a good GPA)."""
+    _m, f = admissions_classifier()
+    april = {1: True, 2: False, 3: True, 4: True, 5: False}
+    result = verify_even_if_because(f, april, flipped=[4],
+                                    because=[1, 3])
+    assert result["valid"] and result["sticks"]
+
+
+def test_even_if_because_invalid_reason():
+    _m, f = admissions_classifier()
+    april = {1: True, 2: False, 3: True, 4: True, 5: False}
+    # work experience cannot be the reason the decision survives
+    # flipping work experience
+    result = verify_even_if_because(f, april, flipped=[4],
+                                    because=[1, 4])
+    assert not result["valid"]
+    assert not result["because_avoids_flipped"]
+    # a non-sufficient term is not a valid 'because'
+    result = verify_even_if_because(f, april, flipped=[4], because=[1])
+    assert not result["because_is_sufficient"]
+    assert not result["valid"]

@@ -1,0 +1,263 @@
+"""Tests for the optional/extension features: d-DNNF sampling [75],
+c2d .nnf i/o, constrained-SDD solvers [61], weighted E-MAJSAT / circuit
+MAP, and PSDD multiplication [76]."""
+
+import collections
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bayesnet import map_query, medical_network, random_network
+from repro.compile import compile_cnf
+from repro.logic import Cnf, iter_assignments
+from repro.nnf import (NnfManager, from_nnf_format, model_count,
+                       sample_model, sample_models, to_nnf_format)
+from repro.psdd import learn_parameters, multiply, psdd_from_sdd
+from repro.sdd import SddManager, compile_cnf_sdd, enumerate_models
+from repro.solvers import (compile_constrained_sdd, emajsat_brute,
+                           emajsat_sdd, majmajsat_brute,
+                           majmajsat_histogram_sdd, weighted_emajsat)
+from repro.vtree import balanced_vtree
+from repro.wmc import WmcPipeline
+
+
+def cnfs(max_var=5, max_clauses=7):
+    literal = st.integers(1, max_var).flatmap(
+        lambda v: st.sampled_from([v, -v]))
+    clause = st.lists(literal, min_size=1, max_size=3).map(tuple)
+    return st.lists(clause, min_size=0, max_size=max_clauses).map(
+        lambda cs: Cnf(cs, num_vars=max_var))
+
+
+# -- sampling from d-DNNF -----------------------------------------------------------
+
+def test_sample_model_is_always_a_model():
+    cnf = Cnf([(1, 2), (-2, 3), (1, -4)], num_vars=4)
+    root = compile_cnf(cnf)
+    rng = random.Random(0)
+    for _ in range(100):
+        model = sample_model(root, range(1, 5), rng)
+        assert cnf.evaluate(model)
+        assert set(model) == {1, 2, 3, 4}
+
+
+def test_sampling_is_uniform():
+    cnf = Cnf([(1, 2)], num_vars=3)  # 6 models
+    root = compile_cnf(cnf)
+    rng = random.Random(1)
+    counts = collections.Counter()
+    n = 6000
+    for model in sample_models(root, [1, 2, 3], n, rng):
+        counts[tuple(sorted(model.items()))] += 1
+    assert len(counts) == 6
+    for count in counts.values():
+        assert abs(count / n - 1 / 6) < 0.03
+
+
+def test_weighted_sampling():
+    cnf = Cnf([(1,)], num_vars=2)
+    root = compile_cnf(cnf)
+    weights = {1: 1.0, -1: 0.0, 2: 0.9, -2: 0.1}
+    rng = random.Random(2)
+    models = sample_models(root, [1, 2], 2000, rng, weights)
+    share = sum(1 for m in models if m[2]) / len(models)
+    assert abs(share - 0.9) < 0.03
+
+
+def test_sample_unsat_raises():
+    root = compile_cnf(Cnf([(1,), (-1,)]))
+    with pytest.raises(ValueError):
+        sample_model(root, [1], random.Random(0))
+
+
+# -- .nnf i/o ------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(cnfs())
+def test_nnf_format_roundtrip_preserves_semantics(cnf):
+    root = compile_cnf(cnf)
+    text = to_nnf_format(root)
+    back = from_nnf_format(text)
+    for assignment in iter_assignments(range(1, cnf.num_vars + 1)):
+        assert back.evaluate(assignment) == cnf.evaluate(assignment) or \
+            not root.variables()
+    if root.variables():
+        full = range(1, cnf.num_vars + 1)
+        assert model_count(back, full) == model_count(root, full)
+
+
+def test_nnf_format_shape():
+    manager = NnfManager()
+    f = manager.disjoin(
+        manager.conjoin(manager.literal(1), manager.literal(2)),
+        manager.conjoin(manager.literal(-1), manager.literal(3)))
+    text = to_nnf_format(f)
+    lines = text.splitlines()
+    assert lines[0].startswith("nnf 7 6 3")
+    assert sum(1 for ln in lines if ln.startswith("L")) == 4
+
+
+def test_nnf_format_errors():
+    with pytest.raises(ValueError):
+        from_nnf_format("garbage")
+    with pytest.raises(ValueError):
+        from_nnf_format("nnf 2 0 1\nL 1\n")  # count mismatch
+    with pytest.raises(ValueError):
+        from_nnf_format("nnf 1 0 1\nX 1\n")
+
+
+def test_nnf_format_constants():
+    manager = NnfManager()
+    assert from_nnf_format(to_nnf_format(manager.true())).is_true
+    assert from_nnf_format(to_nnf_format(manager.false())).is_false
+
+
+# -- constrained-SDD solvers -----------------------------------------------------------
+
+def y_splits(max_var=5):
+    return st.sets(st.integers(1, max_var), min_size=1,
+                   max_size=max_var - 1).map(sorted)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cnfs(), y_splits())
+def test_emajsat_sdd_vs_brute(cnf, y_vars):
+    node, _manager = compile_constrained_sdd(cnf, y_vars)
+    value = emajsat_sdd(node, y_vars, num_vars=cnf.num_vars)
+    brute, _witness = emajsat_brute(cnf, y_vars)
+    assert value == brute
+
+
+@settings(max_examples=60, deadline=None)
+@given(cnfs(), y_splits())
+def test_majmajsat_sdd_vs_brute(cnf, y_vars):
+    node, _manager = compile_constrained_sdd(cnf, y_vars)
+    hist = majmajsat_histogram_sdd(node, y_vars, num_vars=cnf.num_vars)
+    brute = {c: m for c, m in majmajsat_brute(cnf, y_vars).items() if c}
+    assert hist == brute
+
+
+def test_constrained_sdd_requires_z_block():
+    cnf = Cnf([(1, 2)], num_vars=2)
+    with pytest.raises(ValueError):
+        compile_constrained_sdd(cnf, [1, 2])
+
+
+# -- weighted E-MAJSAT and circuit MAP -----------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(cnfs(max_var=4), y_splits(max_var=4))
+def test_weighted_emajsat_vs_brute(cnf, y_vars):
+    weights = {}
+    for v in range(1, cnf.num_vars + 1):
+        weights[v] = 0.2 + 0.15 * v
+        weights[-v] = 1.2 - weights[v]
+    value, witness = weighted_emajsat(cnf, weights, y_vars)
+    # brute force
+    y_sorted = sorted(set(y_vars))
+    z_vars = [v for v in range(1, cnf.num_vars + 1)
+              if v not in set(y_sorted)]
+    best = 0.0
+    for y in iter_assignments(y_sorted):
+        total = 0.0
+        for z in iter_assignments(z_vars):
+            assignment = {**y, **z}
+            if cnf.evaluate(assignment):
+                w = 1.0
+                for var, val in assignment.items():
+                    w *= weights[var if val else -var]
+                total += w
+        best = max(best, total)
+    assert value == pytest.approx(best)
+    # the witness achieves the value
+    achieved = 0.0
+    full_witness = {v: witness.get(v, weights[v] >= weights[-v])
+                    for v in y_sorted}
+    for z in iter_assignments(z_vars):
+        assignment = {**full_witness, **z}
+        if cnf.evaluate(assignment):
+            w = 1.0
+            for var, val in assignment.items():
+                w *= weights[var if val else -var]
+            achieved += w
+    assert achieved == pytest.approx(value)
+
+
+@pytest.mark.parametrize("encoding", ["binary", "multistate"])
+def test_pipeline_map_matches_ve(encoding):
+    network = medical_network()
+    pipeline = WmcPipeline(network, encoding=encoding)
+    y, p = pipeline.map_query(["sex", "c"])
+    vy, vp = map_query(network, ["sex", "c"])
+    assert y == vy
+    assert p == pytest.approx(vp)
+
+
+def test_pipeline_map_with_evidence_on_random_networks():
+    rng = random.Random(12)
+    for _ in range(4):
+        network = random_network(5, rng=rng)
+        pipeline = WmcPipeline(network)
+        map_vars = rng.sample(network.variables, 2)
+        evidence_var = next(v for v in network.variables
+                            if v not in map_vars)
+        _y, p = pipeline.map_query(map_vars, {evidence_var: 1})
+        _vy, vp = map_query(network, map_vars, {evidence_var: 1})
+        assert p == pytest.approx(vp)
+
+
+# -- PSDD multiply -----------------------------------------------------------------------
+
+def _random_psdd(manager, cnf, rng):
+    root, _m = compile_cnf_sdd(cnf, manager=manager)
+    if root.is_false:
+        return None
+    psdd = psdd_from_sdd(root)
+    data = [(m, rng.randint(1, 5)) for m in enumerate_models(root)]
+    learn_parameters(psdd, data, alpha=0.3)
+    return psdd
+
+
+def test_multiply_matches_pointwise_product():
+    rng = random.Random(7)
+    manager = SddManager(balanced_vtree([1, 2, 3, 4]))
+    p = _random_psdd(manager, Cnf([(1, 2), (-3, 4)], num_vars=4), rng)
+    q = _random_psdd(manager, Cnf([(2, 3)], num_vars=4), rng)
+    product, constant = multiply(p, q)
+    brute = sum(p.probability(x) * q.probability(x)
+                for x in iter_assignments([1, 2, 3, 4]))
+    assert constant == pytest.approx(brute)
+    for x in iter_assignments([1, 2, 3, 4]):
+        assert product.probability(x) * constant == pytest.approx(
+            p.probability(x) * q.probability(x))
+
+
+def test_multiply_disjoint_supports():
+    rng = random.Random(8)
+    manager = SddManager(balanced_vtree([1, 2]))
+    p = _random_psdd(manager, Cnf([(1,), (2,)], num_vars=2), rng)
+    q = _random_psdd(manager, Cnf([(-1,)], num_vars=2), rng)
+    product, constant = multiply(p, q)
+    assert product is None
+    assert constant == 0.0
+
+
+def test_multiply_with_self_is_normalized_square():
+    rng = random.Random(9)
+    manager = SddManager(balanced_vtree([1, 2, 3]))
+    p = _random_psdd(manager, Cnf([(1, 2, 3)], num_vars=3), rng)
+    product, constant = multiply(p, p)
+    brute = sum(p.probability(x) ** 2
+                for x in iter_assignments([1, 2, 3]))
+    assert constant == pytest.approx(brute)
+
+
+def test_multiply_requires_shared_manager():
+    rng = random.Random(10)
+    m1 = SddManager(balanced_vtree([1, 2]))
+    m2 = SddManager(balanced_vtree([1, 2]))
+    p = _random_psdd(m1, Cnf([(1,)], num_vars=2), rng)
+    q = _random_psdd(m2, Cnf([(1,)], num_vars=2), rng)
+    with pytest.raises(ValueError):
+        multiply(p, q)

@@ -1,0 +1,113 @@
+"""Unit tests for CNF, DIMACS i/o and cardinality helpers."""
+
+import pytest
+
+from repro.logic import (Cnf, at_least_one, at_most_one, exactly_one,
+                         iter_assignments)
+
+
+def test_basic_construction():
+    cnf = Cnf([(1, -2), (2, 3)])
+    assert cnf.num_vars == 3
+    assert len(cnf) == 2
+    assert cnf.variables() == frozenset({1, 2, 3})
+
+
+def test_explicit_num_vars():
+    cnf = Cnf([(1,)], num_vars=4)
+    assert cnf.num_vars == 4
+    assert cnf.model_count() == 8  # 2^3 free variables
+
+
+def test_num_vars_too_small_rejected():
+    with pytest.raises(ValueError):
+        Cnf([(5,)], num_vars=2)
+
+
+def test_bad_literal_rejected():
+    with pytest.raises(ValueError):
+        Cnf([(0,)])
+
+
+def test_evaluate():
+    cnf = Cnf([(1, 2), (-1, 2)])
+    assert cnf.evaluate({1: True, 2: True})
+    assert cnf.evaluate({1: False, 2: True})
+    assert not cnf.evaluate({1: True, 2: False})
+
+
+def test_empty_cnf_is_valid():
+    cnf = Cnf([], num_vars=2)
+    assert all(cnf.evaluate(a) for a in iter_assignments([1, 2]))
+    assert cnf.model_count() == 4
+
+
+def test_empty_clause_is_unsat():
+    cnf = Cnf([()], num_vars=2)
+    assert cnf.model_count() == 0
+
+
+def test_condition():
+    cnf = Cnf([(1, 2), (-2, 3)])
+    conditioned = cnf.condition({2: True})
+    # first clause satisfied; second reduces to (3)
+    assert conditioned.clauses == ((3,),)
+    conditioned = cnf.condition({1: False, 2: False})
+    assert conditioned.clauses == ((),)  # empty clause: unsat
+
+
+def test_extend():
+    cnf = Cnf([(1,)])
+    bigger = cnf.extend([(2, 3)])
+    assert len(bigger) == 2
+    assert bigger.num_vars == 3
+
+
+def test_to_formula_equivalence():
+    cnf = Cnf([(1, -2), (2, 3), (-1, -3)])
+    formula = cnf.to_formula()
+    for assignment in iter_assignments([1, 2, 3]):
+        assert cnf.evaluate(assignment) == formula.evaluate(assignment)
+
+
+def test_dimacs_roundtrip():
+    cnf = Cnf([(1, -2), (2, 3)], num_vars=4)
+    text = cnf.to_dimacs()
+    back = Cnf.from_dimacs(text)
+    assert back == cnf
+
+
+def test_dimacs_parse_with_comments():
+    text = "c a comment\np cnf 3 2\n1 -2 0\nc another\n2 3 0\n"
+    cnf = Cnf.from_dimacs(text)
+    assert cnf.clauses == ((1, -2), (2, 3))
+    assert cnf.num_vars == 3
+
+
+def test_dimacs_missing_header_rejected():
+    with pytest.raises(ValueError):
+        Cnf.from_dimacs("1 2 0\n")
+
+
+def test_cardinality_exactly_one():
+    cnf = Cnf(exactly_one([1, 2, 3]), num_vars=3)
+    models = list(cnf.models())
+    assert len(models) == 3
+    for model in models:
+        assert sum(model.values()) == 1
+
+
+def test_cardinality_at_most_one():
+    cnf = Cnf(at_most_one([1, 2, 3]), num_vars=3)
+    assert cnf.model_count() == 4  # none or exactly one
+
+
+def test_cardinality_at_least_one():
+    cnf = Cnf(at_least_one([1, 2]), num_vars=2)
+    assert cnf.model_count() == 3
+
+
+def test_immutability():
+    cnf = Cnf([(1,)])
+    with pytest.raises(AttributeError):
+        cnf.clauses = ()

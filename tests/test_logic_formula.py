@@ -1,0 +1,164 @@
+"""Unit tests for the formula AST."""
+
+import pytest
+
+from repro.logic import (And, FALSE, Iff, Implies, Lit, Not, Or, TRUE,
+                         clause_formula, iter_assignments, term_formula,
+                         assignment_to_term)
+
+
+def test_literal_basics():
+    a = Lit(1)
+    assert a.variable == 1
+    assert a.positive
+    assert a.evaluate({1: True})
+    assert not a.evaluate({1: False})
+    na = Lit(-1)
+    assert na.variable == 1
+    assert not na.positive
+    assert na.evaluate({1: False})
+
+
+def test_literal_rejects_zero_and_nonint():
+    with pytest.raises(ValueError):
+        Lit(0)
+    with pytest.raises(ValueError):
+        Lit("x")
+
+
+def test_constants():
+    assert TRUE.evaluate({})
+    assert not FALSE.evaluate({})
+    assert TRUE.variables() == frozenset()
+    assert repr(TRUE) == "TRUE"
+
+
+def test_operator_sugar():
+    f = (Lit(1) & Lit(2)) | ~Lit(3)
+    assert f.evaluate({1: True, 2: True, 3: True})
+    assert f.evaluate({1: False, 2: False, 3: False})
+    assert not f.evaluate({1: True, 2: False, 3: True})
+
+
+def test_implication_and_iff():
+    imp = Lit(1) >> Lit(2)
+    assert imp.evaluate({1: False, 2: False})
+    assert not imp.evaluate({1: True, 2: False})
+    iff = Lit(1).iff(Lit(2))
+    assert iff.evaluate({1: True, 2: True})
+    assert iff.evaluate({1: False, 2: False})
+    assert not iff.evaluate({1: True, 2: False})
+
+
+def test_and_or_flattening():
+    f = And(And(Lit(1), Lit(2)), Lit(3))
+    assert len(f.children) == 3
+    g = Or(Or(Lit(1), Lit(2)), Or(Lit(3), Lit(4)))
+    assert len(g.children) == 4
+
+
+def test_empty_connectives():
+    assert And().evaluate({})
+    assert not Or().evaluate({})
+
+
+def test_variables_collection():
+    f = (Lit(1) & Lit(-5)) | Lit(3)
+    assert f.variables() == frozenset({1, 3, 5})
+
+
+def test_condition_simplifies():
+    f = (Lit(1) | Lit(2)) & Lit(3)
+    assert f.condition({3: False}) == FALSE
+    assert f.condition({1: True, 3: True}) == TRUE
+    g = f.condition({1: False})
+    assert g.evaluate({2: True, 3: True})
+    assert not g.evaluate({2: False, 3: True})
+
+
+def test_condition_implies_iff():
+    f = Lit(1) >> Lit(2)
+    assert f.condition({1: False}) == TRUE
+    h = Iff(Lit(1), Lit(2))
+    assert h.condition({1: True, 2: True}) == TRUE
+    assert h.condition({1: True, 2: False}) == FALSE
+
+
+def test_nnf_pushes_negations():
+    f = Not(And(Lit(1), Or(Lit(2), Not(Lit(3)))))
+    nnf = f.to_nnf()
+    assert f.equivalent(nnf)
+    assert _is_nnf(nnf)
+
+
+def test_nnf_of_iff_and_implies():
+    for f in (Iff(Lit(1), Lit(2)), Implies(Lit(1), Lit(2)),
+              Not(Iff(Lit(1), Not(Lit(2))))):
+        nnf = f.to_nnf()
+        assert f.equivalent(nnf)
+        assert _is_nnf(nnf)
+
+
+def _is_nnf(f) -> bool:
+    from repro.logic.formula import Constant
+    if isinstance(f, (Lit, Constant)):
+        return True
+    if isinstance(f, (And, Or)):
+        return all(_is_nnf(c) for c in f.children)
+    return False
+
+
+def test_models_and_count():
+    f = Lit(1) | Lit(2)
+    assert f.model_count() == 3
+    assert f.model_count([1, 2, 3]) == 6
+
+
+def test_validity_and_satisfiability():
+    assert (Lit(1) | Lit(-1)).is_valid()
+    assert not (Lit(1) & Lit(-1)).is_satisfiable()
+    assert (Lit(1) & Lit(2)).is_satisfiable()
+
+
+def test_equivalence():
+    demorgan_lhs = Not(And(Lit(1), Lit(2)))
+    demorgan_rhs = Or(Not(Lit(1)), Not(Lit(2)))
+    assert demorgan_lhs.equivalent(demorgan_rhs)
+    assert not demorgan_lhs.equivalent(And(Lit(1), Lit(2)))
+
+
+def test_hash_and_equality():
+    assert Lit(1) == Lit(1)
+    assert hash(Lit(1)) == hash(Lit(1))
+    assert And(Lit(1), Lit(2)) == And(Lit(1), Lit(2))
+    assert And(Lit(1), Lit(2)) != And(Lit(2), Lit(1))  # ordered children
+    assert Or(Lit(1)) != And(Lit(1))
+
+
+def test_immutability():
+    with pytest.raises(AttributeError):
+        Lit(1).literal = 2
+    with pytest.raises(AttributeError):
+        And(Lit(1)).children = ()
+
+
+def test_iter_assignments_order_and_size():
+    assignments = list(iter_assignments([1, 2]))
+    assert len(assignments) == 4
+    assert assignments[0] == {1: False, 2: False}
+    assert assignments[-1] == {1: True, 2: True}
+
+
+def test_term_and_clause_helpers():
+    t = term_formula([1, -2])
+    assert t.evaluate({1: True, 2: False})
+    assert not t.evaluate({1: True, 2: True})
+    c = clause_formula([1, -2])
+    assert c.evaluate({1: False, 2: False})
+    assert not c.evaluate({1: False, 2: True})
+    assert term_formula([]) == TRUE
+    assert clause_formula([]) == FALSE
+
+
+def test_assignment_to_term():
+    assert assignment_to_term({2: False, 1: True}) == (1, -2)

@@ -1,0 +1,92 @@
+"""Unit tests for the infix formula parser."""
+
+import pytest
+
+from repro.logic import FALSE, ParseError, TRUE, VarMap, parse
+
+
+def test_single_variable():
+    vm = VarMap()
+    f = parse("X", vm)
+    assert f.evaluate(vm.assignment(X=True))
+    assert not f.evaluate(vm.assignment(X=False))
+
+
+def test_shared_varmap_namespace():
+    vm = VarMap()
+    parse("A & B", vm)
+    parse("B | C", vm)
+    assert vm.names() == ["A", "B", "C"]
+    assert vm.index("B") == 2
+
+
+def test_varmap_roundtrip():
+    vm = VarMap()
+    idx = vm.index("Foo")
+    assert vm.name(idx) == "Foo"
+    assert "Foo" in vm
+    assert len(vm) == 1
+
+
+def test_precedence_and_over_or():
+    vm = VarMap()
+    f = parse("A | B & C", vm)
+    # must parse as A | (B & C)
+    assert f.evaluate(vm.assignment(A=True, B=False, C=False))
+    assert not f.evaluate(vm.assignment(A=False, B=True, C=False))
+
+
+def test_not_binds_tightest():
+    vm = VarMap()
+    f = parse("~A & B", vm)
+    assert f.evaluate(vm.assignment(A=False, B=True))
+    assert not f.evaluate(vm.assignment(A=True, B=True))
+
+
+def test_implication_right_associative():
+    vm = VarMap()
+    f = parse("A -> B -> C", vm)  # A -> (B -> C)
+    assert f.evaluate(vm.assignment(A=True, B=False, C=False))
+    assert not f.evaluate(vm.assignment(A=True, B=True, C=False))
+
+
+def test_iff():
+    vm = VarMap()
+    f = parse("A <-> B", vm)
+    assert f.evaluate(vm.assignment(A=True, B=True))
+    assert not f.evaluate(vm.assignment(A=True, B=False))
+
+
+def test_parentheses():
+    vm = VarMap()
+    f = parse("(A | B) & C", vm)
+    assert not f.evaluate(vm.assignment(A=True, B=False, C=False))
+    assert f.evaluate(vm.assignment(A=True, B=False, C=True))
+
+
+def test_word_operators_and_unicode():
+    vm = VarMap()
+    f = parse("A and not B or C", vm)
+    g = parse("A ∧ ¬B ∨ C", vm)
+    for assignment in [vm.assignment(A=a, B=b, C=c)
+                       for a in (0, 1) for b in (0, 1) for c in (0, 1)]:
+        assert f.evaluate(assignment) == g.evaluate(assignment)
+
+
+def test_constants():
+    assert parse("true") == TRUE
+    assert parse("False") == FALSE
+
+
+def test_paper_enrollment_constraint():
+    """The Fig 15 constraint parses and has the right number of models."""
+    vm = VarMap()
+    f = parse("(P | L) & (A -> P) & (K -> (A | L))", vm)
+    assert f.model_count(sorted(vm.assignment(P=1, L=1, A=1, K=1))) == 9
+
+
+@pytest.mark.parametrize("bad", ["", "A &", "(A", "A B", "& A", "A ) B",
+                                 "A -> ", "A @ B"])
+def test_parse_errors(bad):
+    with pytest.raises(ParseError):
+        parse(bad)

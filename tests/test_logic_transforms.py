@@ -1,0 +1,139 @@
+"""Tests for CNF conversion, Tseitin, prime implicants (incl. hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import (Cnf, FALSE, Lit, TRUE, VarMap, functions_equal,
+                         is_implicant, parse, prime_implicants_of_formula,
+                         prime_implicates_of_formula, term_subsumes,
+                         to_cnf, tseitin, iter_assignments)
+from repro.logic.formula import And, Not, Or
+
+
+# -- strategy: random formulas over a small variable pool ---------------------
+
+def formulas(max_var=4, max_depth=4):
+    literals = st.integers(1, max_var).flatmap(
+        lambda v: st.sampled_from([Lit(v), Lit(-v)]))
+    base = st.one_of(literals, st.just(TRUE), st.just(FALSE))
+
+    def extend(children):
+        return st.one_of(
+            st.lists(children, min_size=1, max_size=3).map(lambda cs: And(*cs)),
+            st.lists(children, min_size=1, max_size=3).map(lambda cs: Or(*cs)),
+            children.map(Not),
+        )
+    return st.recursive(base, extend, max_leaves=2 ** max_depth)
+
+
+@settings(max_examples=150, deadline=None)
+@given(formulas())
+def test_to_cnf_preserves_equivalence(formula):
+    cnf = to_cnf(formula)
+    variables = sorted(formula.variables())
+    for assignment in iter_assignments(variables):
+        assert cnf.evaluate(assignment) == formula.evaluate(assignment)
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas())
+def test_tseitin_preserves_model_count(formula):
+    cnf, _root = tseitin(formula)
+    # count over the full 1..max_var range on both sides so that gap
+    # variables (unused indices below the maximum) weigh in equally
+    max_var = max(formula.variables(), default=0)
+    assert cnf.model_count() == formula.model_count(range(1, max_var + 1))
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas())
+def test_tseitin_projection_equals_formula(formula):
+    """Models of the Tseitin CNF projected on original vars = formula models."""
+    variables = sorted(formula.variables())
+    cnf, _root = tseitin(formula)
+    projected = {tuple(m[v] for v in variables) for m in cnf.models()}
+    direct = {tuple(m[v] for v in variables)
+              for m in formula.models(variables)}
+    assert projected == direct
+
+
+def test_to_cnf_of_valid_formula_is_empty():
+    f = Lit(1) | Lit(-1)
+    cnf = to_cnf(f)
+    assert len(cnf) == 0
+
+
+def test_to_cnf_of_unsat_formula_has_empty_clause():
+    f = Lit(1) & Lit(-1)
+    cnf = to_cnf(f)
+    assert cnf.model_count() == 0
+
+
+def test_paper_fig26_prime_implicants():
+    """Fig 26: f=(A+~C)(B+C)(A+B) has PIs AB, AC, B~C; complement has
+    ~A~B, ~A~C... (checked via implicates duality)."""
+    vm = VarMap()
+    f = parse("(A | ~C) & (B | C) & (A | B)", vm)
+    a, c, b = vm.index("A"), vm.index("C"), vm.index("B")
+    pis = prime_implicants_of_formula(f)
+    expected = {frozenset({a, b}), frozenset({a, c}), frozenset({b, -c})}
+    assert set(pis) == expected
+    # complement's prime implicants: ~A~B, ~B~C, ~AC (hand-verified from
+    # the truth table; consistent with the paper's negative instance ~A,B,C
+    # having exactly one sufficient reason ~AC)
+    neg = Not(f)
+    neg_pis = prime_implicants_of_formula(neg, sorted(f.variables()))
+    expected_neg = {frozenset({-a, -b}), frozenset({-b, -c}),
+                    frozenset({-a, c})}
+    assert set(neg_pis) == expected_neg
+    # the decision on instance ~A,B,C is 0 with single sufficient reason ~AC
+    instance = {a: False, b: True, c: True}
+    assert not f.evaluate(instance)
+    compatible = [t for t in neg_pis
+                  if all(instance[abs(l)] == (l > 0) for l in t)]
+    assert compatible == [frozenset({-a, c})]
+
+
+@settings(max_examples=60, deadline=None)
+@given(formulas(max_var=4))
+def test_prime_implicants_are_prime_and_cover(formula):
+    variables = sorted(formula.variables())
+    if not variables:
+        return
+    pis = prime_implicants_of_formula(formula, variables)
+    # every PI is an implicant, and removing any literal breaks it
+    for term in pis:
+        assert is_implicant(term, formula.evaluate, variables)
+        for lit in term:
+            assert not is_implicant(term - {lit}, formula.evaluate,
+                                    variables)
+    # disjunction of PIs equals the formula
+
+    def cover(assignment):
+        return any(all((assignment[abs(l)] == (l > 0)) for l in term)
+                   for term in pis)
+    assert functions_equal(cover, formula.evaluate, variables)
+
+
+def test_prime_implicates_duality():
+    vm = VarMap()
+    f = parse("A & (B | C)", vm)
+    implicates = prime_implicates_of_formula(f)
+    # implicates of A & (B|C) are {A} and {B,C}
+    a, b, c = vm.index("A"), vm.index("B"), vm.index("C")
+    assert set(implicates) == {frozenset({a}), frozenset({b, c})}
+
+
+def test_term_subsumes():
+    assert term_subsumes(frozenset({1}), frozenset({1, 2}))
+    assert not term_subsumes(frozenset({1, 3}), frozenset({1, 2}))
+
+
+def test_always_true_has_empty_prime_implicant():
+    pis = prime_implicants_of_formula(TRUE, [1, 2])
+    assert pis == [frozenset()]
+
+
+def test_always_false_has_no_prime_implicants():
+    pis = prime_implicants_of_formula(FALSE, [1, 2])
+    assert pis == []

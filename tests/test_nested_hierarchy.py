@@ -1,0 +1,110 @@
+"""Tests for arbitrary-depth hierarchical maps (the Fig 18 shape)."""
+
+import random
+
+import pytest
+
+from repro.condpsdd import NestedHierarchicalMap
+from repro.spaces import grid_map
+
+
+def westside_map():
+    """A 3-level toy Westside: west = {northwest, southwest}, east."""
+    gm = grid_map(3, 6)
+    regions = {
+        "west": {
+            "northwest": [(r, c) for r in range(2) for c in range(3)],
+            "southwest": [(2, c) for c in range(3)],
+        },
+        "east": [(r, c) for r in range(3) for c in range(3, 6)],
+    }
+    return gm, regions
+
+
+def test_nested_construction_and_clusters():
+    gm, regions = westside_map()
+    hm = NestedHierarchicalMap(gm, regions, (0, 0), (2, 5))
+    clusters = hm.network.dag.clusters
+    assert "crossings:root" in clusters
+    assert "crossings:west" in clusters
+    assert any(name.startswith("inner:") for name in clusters)
+    # nested crossings are conditioned on the root crossings
+    assert "crossings:root" in hm.network.dag.parents("crossings:west")
+    # leaf clusters inside west see both crossing levels
+    leaf = next(c for c in clusters if c.startswith("inner:west/"))
+    parents = hm.network.dag.parents(leaf)
+    assert "crossings:root" in parents and "crossings:west" in parents
+
+
+def test_nested_route_filter_is_stricter():
+    gm, regions = westside_map()
+    hm = NestedHierarchicalMap(gm, regions, (0, 0), (2, 5))
+    assert 0 < len(hm.routes) < len(hm.all_routes)
+    for route in hm.routes:
+        assert hm.is_hierarchical_route(route)
+
+
+def test_nested_distribution_is_exact():
+    gm, regions = westside_map()
+    hm = NestedHierarchicalMap(gm, regions, (0, 0), (2, 5))
+    rng = random.Random(7)
+    trajectories = [hm.routes[rng.randrange(len(hm.routes))]
+                    for _ in range(300)]
+    hm.fit(trajectories, alpha=0.05)
+    total = sum(hm.route_probability(route) for route in hm.routes)
+    assert total == pytest.approx(1.0)
+
+
+def test_nested_samples_are_valid_routes():
+    gm, regions = westside_map()
+    hm = NestedHierarchicalMap(gm, regions, (0, 0), (2, 5))
+    rng = random.Random(8)
+    trajectories = [hm.routes[rng.randrange(len(hm.routes))]
+                    for _ in range(150)]
+    hm.fit(trajectories, alpha=0.05)
+    for _ in range(100):
+        assignment = hm.sample_route_assignment(rng)
+        assert gm.is_route(assignment, (0, 0), (2, 5))
+
+
+def test_nested_learns_frequencies():
+    gm, regions = westside_map()
+    hm = NestedHierarchicalMap(gm, regions, (0, 0), (2, 5))
+    favourite, other = hm.routes[0], hm.routes[1]
+    hm.fit([favourite] * 9 + [other])
+    assert hm.route_probability(favourite) > hm.route_probability(other)
+
+
+def test_nested_flat_spec_matches_two_level():
+    """A nesting-free spec behaves like the two-level model."""
+    from repro.condpsdd import HierarchicalMap
+    gm = grid_map(3, 4)
+    flat_regions = {"west": [(r, c) for r in range(3) for c in range(2)],
+                    "east": [(r, c) for r in range(3)
+                             for c in range(2, 4)]}
+    nested = NestedHierarchicalMap(gm, flat_regions, (0, 0), (2, 3))
+    two_level = HierarchicalMap(gm, flat_regions, (0, 0), (2, 3))
+    assert sorted(map(tuple, nested.routes)) == \
+        sorted(map(tuple, two_level.routes))
+    rng = random.Random(3)
+    trajectories = [nested.routes[rng.randrange(len(nested.routes))]
+                    for _ in range(200)]
+    nested.fit(trajectories, alpha=0.1)
+    two_level.fit(trajectories, alpha=0.1)
+    for route in nested.routes[:10]:
+        assert nested.route_probability(route) == pytest.approx(
+            two_level.route_probability(route))
+
+
+def test_nested_validation():
+    gm, regions = westside_map()
+    with pytest.raises(ValueError):  # same leaf region endpoints
+        NestedHierarchicalMap(gm, regions, (0, 0), (1, 2))
+    with pytest.raises(ValueError):  # missing nodes
+        NestedHierarchicalMap(gm, {"west": [(0, 0)]}, (0, 0), (2, 5))
+    overlapping = {
+        "west": {"a": [(r, c) for r in range(3) for c in range(3)],
+                 "b": [(0, 0)]},
+        "east": [(r, c) for r in range(3) for c in range(3, 6)]}
+    with pytest.raises(ValueError):
+        NestedHierarchicalMap(gm, overlapping, (0, 0), (2, 5))

@@ -1,0 +1,170 @@
+"""Tests for CNF generators, subset spaces and PSDD EM."""
+
+import math
+import random
+
+import pytest
+
+from repro.logic import (Cnf, iter_assignments, pair_biconditionals,
+                         parity_chain, pigeonhole, random_kcnf)
+from repro.psdd import (em_learn, incomplete_log_likelihood,
+                        learn_parameters, log_likelihood, marginal,
+                        psdd_from_sdd)
+from repro.sat import count_models, is_satisfiable
+from repro.sdd import compile_cnf_sdd, model_count
+from repro.spaces import SubsetSpace, exactly_k_sdd
+from repro.sdd import SddManager
+from repro.vtree import balanced_vtree
+
+
+# -- generators -------------------------------------------------------------------
+
+def test_random_kcnf_shape():
+    rng = random.Random(0)
+    cnf = random_kcnf(10, 20, k=3, rng=rng)
+    assert cnf.num_vars == 10
+    assert len(cnf) == 20
+    for clause in cnf:
+        assert len(clause) == 3
+        assert len({abs(l) for l in clause}) == 3
+    with pytest.raises(ValueError):
+        random_kcnf(2, 5, k=3)
+
+
+def test_pigeonhole_unsat():
+    for holes in (1, 2, 3):
+        assert not is_satisfiable(pigeonhole(holes))
+    with pytest.raises(ValueError):
+        pigeonhole(0)
+
+
+def test_parity_chain_counts():
+    for n in (1, 2, 3, 5):
+        cnf = parity_chain(n)
+        # aux variables are determined, so the count is 2^(n-1)
+        assert count_models(cnf) == 2 ** (n - 1)
+        # and models restricted to x have odd parity
+        for model in cnf.models():
+            parity = sum(model[v] for v in range(1, n + 1)) % 2
+            assert parity == 1
+
+
+def test_pair_biconditionals_counts():
+    for pairs in (1, 2, 4):
+        cnf = pair_biconditionals(pairs)
+        assert count_models(cnf) == 2 ** pairs
+
+
+# -- subset spaces ------------------------------------------------------------------
+
+def test_exactly_k_counts():
+    manager = SddManager(balanced_vtree(range(1, 7)))
+    for k in range(0, 7):
+        node = exactly_k_sdd(manager, range(1, 7), k)
+        assert model_count(node) == math.comb(6, k)
+    with pytest.raises(ValueError):
+        exactly_k_sdd(manager, range(1, 7), 9)
+
+
+def test_exactly_k_sdd_size_is_linear():
+    """The DP gives O(n·k) circuits on the right-linear vtree that
+    matches its order — the [77] tractability claim."""
+    from repro.vtree import right_linear_vtree
+    sizes = []
+    for n in (8, 12, 16):
+        manager = SddManager(right_linear_vtree(range(1, n + 1)))
+        node = exactly_k_sdd(manager, range(1, n + 1), 3)
+        sizes.append(node.size())
+    # arithmetic (linear) growth: equal increments for equal n steps
+    assert sizes[1] - sizes[0] == sizes[2] - sizes[1]
+    assert sizes[2] <= 8 * 16  # well within O(n·k)
+
+
+def test_subset_space_roundtrip():
+    space = SubsetSpace(6, 2)
+    assignment = space.subset_assignment([2, 5])
+    assert space.assignment_subset(assignment) == [2, 5]
+    assert space.sdd.evaluate(assignment)
+    with pytest.raises(ValueError):
+        space.subset_assignment([1])
+    with pytest.raises(ValueError):
+        space.subset_assignment([1, 9])
+    bad = {v: v <= 3 for v in space.variables()}  # 3 items, not 2
+    assert not space.sdd.evaluate(bad)
+    with pytest.raises(ValueError):
+        space.assignment_subset(bad)
+
+
+def test_subset_space_learning():
+    space = SubsetSpace(5, 2)
+    psdd = space.psdd()
+    data = [(space.subset_assignment([1, 2]), 6),
+            (space.subset_assignment([1, 3]), 3),
+            (space.subset_assignment([4, 5]), 1)]
+    learn_parameters(psdd, data)
+    total = sum(psdd.probability(a)
+                for a in iter_assignments(space.variables())
+                if space.sdd.evaluate(a))
+    assert total == pytest.approx(1.0)
+    # item 1 appears in 9 of 10 observed subsets
+    assert marginal(psdd, {1: True}) == pytest.approx(0.9)
+
+
+# -- EM for incomplete data ------------------------------------------------------------
+
+def _enrollment_psdd():
+    from repro.logic import VarMap, parse, to_cnf
+    vm = VarMap()
+    f = parse("(P | L) & (A -> P) & (K -> (A | L))", vm)
+    root, _m = compile_cnf_sdd(to_cnf(f))
+    return psdd_from_sdd(root)
+
+
+def test_em_matches_closed_form_on_complete_data():
+    data = [({1: True, 2: True, 3: True, 4: True}, 6),
+            ({1: True, 2: True, 3: False, 4: False}, 54),
+            ({1: True, 2: False, 3: True, 4: False}, 10),
+            ({1: False, 2: True, 3: False, 4: False}, 30)]
+    closed = _enrollment_psdd()
+    learn_parameters(closed, data)
+    em = _enrollment_psdd()
+    trace = em_learn(em, data, iterations=50, alpha=0.0)
+    assert trace[-1] == pytest.approx(log_likelihood(closed, data))
+
+
+def test_em_is_monotone_on_incomplete_data():
+    psdd = _enrollment_psdd()
+    data = [({1: True, 2: True}, 20), ({3: False}, 10),
+            ({1: False, 4: False}, 8), ({2: True, 4: True}, 5)]
+    trace = em_learn(psdd, data, iterations=40, alpha=0.01)
+    for before, after in zip(trace, trace[1:]):
+        assert after >= before - 1e-9
+    # trace entries are computed before each M-step, so the final
+    # parameters can only be at least as good as the last entry
+    assert incomplete_log_likelihood(psdd, data) >= trace[-1] - 1e-9
+
+
+def test_em_improves_over_uniform_start():
+    psdd = _enrollment_psdd()
+    data = [({1: True, 2: True}, 15), ({1: True, 3: False}, 10)]
+    before = incomplete_log_likelihood(psdd, data)
+    em_learn(psdd, data, iterations=25, alpha=0.01)
+    after = incomplete_log_likelihood(psdd, data)
+    assert after > before
+
+
+def test_em_rejects_impossible_evidence():
+    psdd = _enrollment_psdd()
+    # P=0, L=0 violates (P | L): marginal 0
+    with pytest.raises(ValueError):
+        em_learn(psdd, [({1: False, 2: False}, 1)], iterations=2)
+
+
+def test_em_with_fully_observed_and_missing_mixture():
+    psdd = _enrollment_psdd()
+    data = [({1: True, 2: True, 3: True, 4: True}, 5),
+            ({1: True}, 10), ({2: True, 3: False}, 3)]
+    trace = em_learn(psdd, data, iterations=30, alpha=0.05)
+    assert trace[-1] >= trace[0]
+    total = sum(psdd.probability(a) for a in iter_assignments([1, 2, 3, 4]))
+    assert total == pytest.approx(1.0)

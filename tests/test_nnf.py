@@ -1,0 +1,306 @@
+"""Tests for NNF circuits: nodes, properties, queries, transforms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import (Cnf, Lit, VarMap, iter_assignments, parse, to_cnf)
+from repro.logic.formula import And, FALSE, Not, Or, TRUE
+from repro.compile import compile_cnf
+from repro.nnf import (NnfManager, check_properties, classify,
+                       condition, condition_evaluate, enumerate_models,
+                       from_formula, is_decision_dnnf, is_decomposable,
+                       is_deterministic, is_satisfiable_dnnf, is_smooth,
+                       marginal_counts, model_count, mpe, negate_decision,
+                       sat_model_dnnf, smooth, supported_queries,
+                       to_formula, weighted_model_count)
+from repro.vtree import balanced_vtree
+from repro.nnf.properties import is_structured
+
+
+@pytest.fixture
+def manager():
+    return NnfManager()
+
+
+def decision_circuit(manager):
+    """f = (x1 ∧ x2) ∨ (¬x1 ∧ x3): a small decision-DNNF."""
+    return manager.disjoin(
+        manager.conjoin(manager.literal(1), manager.literal(2)),
+        manager.conjoin(manager.literal(-1), manager.literal(3)))
+
+
+# -- node / manager -------------------------------------------------------------
+
+def test_hash_consing(manager):
+    a = manager.conjoin(manager.literal(1), manager.literal(2))
+    b = manager.conjoin(manager.literal(1), manager.literal(2))
+    assert a is b
+
+
+def test_constant_simplification(manager):
+    lit = manager.literal(1)
+    assert manager.conjoin(lit, manager.true()) is lit
+    assert manager.conjoin(lit, manager.false()).is_false
+    assert manager.disjoin(lit, manager.false()) is lit
+    assert manager.disjoin(lit, manager.true()).is_true
+    assert manager.conjoin().is_true
+    assert manager.disjoin().is_false
+
+
+def test_literal_zero_rejected(manager):
+    with pytest.raises(ValueError):
+        manager.literal(0)
+
+
+def test_variables_and_counts(manager):
+    f = decision_circuit(manager)
+    assert f.variables() == frozenset({1, 2, 3})
+    assert f.node_count() == 7  # 4 literals + 2 ands + 1 or
+    assert f.edge_count() == 6
+
+
+def test_evaluate(manager):
+    f = decision_circuit(manager)
+    assert f.evaluate({1: True, 2: True, 3: False})
+    assert f.evaluate({1: False, 2: False, 3: True})
+    assert not f.evaluate({1: True, 2: False, 3: True})
+
+
+def test_topological_children_first(manager):
+    f = decision_circuit(manager)
+    order = f.topological()
+    position = {n.id: i for i, n in enumerate(order)}
+    for node in order:
+        for child in node.children:
+            assert position[child.id] < position[node.id]
+
+
+# -- properties -----------------------------------------------------------------
+
+def test_decomposability(manager):
+    good = decision_circuit(manager)
+    assert is_decomposable(good)
+    bad = manager.conjoin(manager.literal(1),
+                          manager.disjoin(manager.literal(1),
+                                          manager.literal(2)))
+    assert not is_decomposable(bad)
+
+
+def test_determinism(manager):
+    det = decision_circuit(manager)
+    assert is_deterministic(det)
+    nondet = manager.disjoin(manager.literal(1), manager.literal(2))
+    assert not is_deterministic(nondet)
+
+
+def test_determinism_refuses_huge(manager):
+    f = manager.disjoin(*(manager.literal(v) for v in range(1, 30)))
+    with pytest.raises(ValueError):
+        is_deterministic(f)
+
+
+def test_smoothness(manager):
+    f = decision_circuit(manager)
+    assert not is_smooth(f)  # children mention {1,2} vs {1,3}
+    sf = smooth(f)
+    assert is_smooth(sf)
+    # smoothing preserves the function
+    for assignment in iter_assignments([1, 2, 3]):
+        assert f.evaluate(assignment) == sf.evaluate(assignment)
+    # and preserves decomposability/determinism
+    assert is_decomposable(sf)
+    assert is_deterministic(sf)
+
+
+def test_structuredness(manager):
+    vtree = balanced_vtree([1, 2])
+    f = manager.disjoin(
+        manager.conjoin(manager.literal(1), manager.literal(2)),
+        manager.conjoin(manager.literal(-1), manager.literal(-2)))
+    assert is_structured(f, vtree)
+    g = manager.conjoin(manager.literal(1), manager.literal(2),
+                        manager.literal(3))
+    assert not is_structured(g, balanced_vtree([1, 2, 3]))
+
+
+def test_decision_dnnf_detection(manager):
+    assert is_decision_dnnf(decision_circuit(manager))
+    nondecision = manager.disjoin(
+        manager.conjoin(manager.literal(1), manager.literal(2)),
+        manager.conjoin(manager.literal(3), manager.literal(4)))
+    assert not is_decision_dnnf(nondecision)
+
+
+def test_check_properties_bundle(manager):
+    props = check_properties(decision_circuit(manager))
+    assert props["decomposable"] and props["deterministic"]
+    assert props["decision"]
+    assert not props["smooth"]
+
+
+# -- queries ---------------------------------------------------------------------
+
+def test_sat_queries(manager):
+    f = decision_circuit(manager)
+    assert is_satisfiable_dnnf(f)
+    model = sat_model_dnnf(f)
+    assert f.evaluate({**{v: False for v in (1, 2, 3)}, **model})
+    assert not is_satisfiable_dnnf(manager.false())
+    assert sat_model_dnnf(manager.false()) is None
+
+
+def test_model_count_gap_scaling(manager):
+    f = decision_circuit(manager)
+    # models over {1,2,3}: 1,2,* (2 models) + 0,*,3... -> (x1&x2): x3 free -> 2; (~x1&x3): x2 free -> 2
+    assert model_count(f) == 4
+    assert model_count(f, [1, 2, 3, 4]) == 8
+
+
+def test_model_count_requires_cover(manager):
+    f = decision_circuit(manager)
+    with pytest.raises(ValueError):
+        model_count(f, [1, 2])
+
+
+def test_weighted_model_count(manager):
+    f = decision_circuit(manager)
+    weights = {1: 0.3, -1: 0.7, 2: 0.5, -2: 0.5, 3: 0.9, -3: 0.1}
+    expected = 0.3 * 0.5 + 0.7 * 0.9  # P(x1,x2) + P(~x1,x3)
+    assert weighted_model_count(f, weights) == pytest.approx(expected)
+
+
+def test_wmc_on_unit_weights_equals_count(manager):
+    f = decision_circuit(manager)
+    weights = {l: 1.0 for v in (1, 2, 3) for l in (v, -v)}
+    assert weighted_model_count(f, weights) == pytest.approx(
+        model_count(f))
+
+
+def test_enumerate_models(manager):
+    f = decision_circuit(manager)
+    models = list(enumerate_models(f))
+    assert len(models) == 4
+    for m in models:
+        assert f.evaluate(m)
+
+
+def test_mpe(manager):
+    f = decision_circuit(manager)
+    weights = {1: 0.3, -1: 0.7, 2: 0.5, -2: 0.5, 3: 0.9, -3: 0.1}
+    value, assignment = mpe(f, weights)
+    assert f.evaluate(assignment)
+    # brute force check
+    best = max(
+        (weights[1 if a[1] else -1] * weights[2 if a[2] else -2]
+         * weights[3 if a[3] else -3])
+        for a in iter_assignments([1, 2, 3]) if f.evaluate(a))
+    assert value == pytest.approx(best)
+
+
+def test_marginal_counts(manager):
+    f = smooth(decision_circuit(manager))
+    counts = marginal_counts(f)
+    # brute force marginals
+    for lit, count in counts.items():
+        brute = sum(1 for a in iter_assignments([1, 2, 3])
+                    if f.evaluate(a) and a[abs(lit)] == (lit > 0))
+        assert count == brute
+
+
+def test_marginal_counts_requires_smooth(manager):
+    with pytest.raises(ValueError):
+        marginal_counts(decision_circuit(manager))
+
+
+def test_condition_evaluate(manager):
+    f = decision_circuit(manager)
+    weights = {l: 1.0 for v in (1, 2, 3) for l in (v, -v)}
+    # models with x1=True: (1,2,3),(1,2,~3) -> 2
+    assert condition_evaluate(f, {1: True}, weights) == pytest.approx(2.0)
+
+
+# -- transforms -------------------------------------------------------------------
+
+def test_condition_transform(manager):
+    f = decision_circuit(manager)
+    g = condition(f, {1: True})
+    for assignment in iter_assignments([1, 2, 3]):
+        if assignment[1]:
+            assert g.evaluate(assignment) == f.evaluate(assignment)
+    assert 1 not in g.variables()
+
+
+def test_formula_roundtrip(manager):
+    vm = VarMap()
+    formula = parse("(A | ~C) & (B | C) & (A | B)", vm)
+    circuit = from_formula(formula, manager)
+    for assignment in iter_assignments([1, 2, 3]):
+        assert circuit.evaluate(assignment) == formula.evaluate(assignment)
+    back = to_formula(circuit)
+    assert back.equivalent(formula)
+
+
+def test_negate_decision(manager):
+    cnf = Cnf([(1, 2), (-1, 3), (2, -3)])
+    root = compile_cnf(cnf, manager=manager)
+    neg = negate_decision(root)
+    assert is_decomposable(neg)
+    assert is_deterministic(neg)
+    for assignment in iter_assignments([1, 2, 3]):
+        assert neg.evaluate(assignment) == (not root.evaluate(assignment))
+
+
+# -- taxonomy ---------------------------------------------------------------------
+
+def test_classify_decision_circuit(manager):
+    cnf = Cnf([(1, 2), (-1, 3)])
+    root = compile_cnf(cnf, manager=manager)
+    languages = classify(root)
+    assert "DNNF" in languages and "d-DNNF" in languages
+    assert "Decision-DNNF" in languages
+
+
+def test_classify_plain_nnf(manager):
+    f = manager.disjoin(manager.literal(1), manager.literal(2))
+    assert classify(f) == ["NNF", "DNNF"]
+
+
+def test_supported_queries(manager):
+    f = decision_circuit(manager)
+    info = supported_queries(f)
+    assert "#SAT" in info["queries"]
+    # the tiny decision circuit is OBDD-shaped, the most specific language
+    assert info["language"] == "OBDD"
+    assert info["unlocks"] in ("PP", "NP^PP", "PP^PP")
+
+
+# -- property-based: compiled circuits are correct --------------------------------
+
+def cnfs(max_var=5, max_clauses=7):
+    literal = st.integers(1, max_var).flatmap(
+        lambda v: st.sampled_from([v, -v]))
+    clause = st.lists(literal, min_size=1, max_size=3).map(tuple)
+    return st.lists(clause, min_size=0, max_size=max_clauses).map(
+        lambda cs: Cnf(cs, num_vars=max_var))
+
+
+@settings(max_examples=80, deadline=None)
+@given(cnfs())
+def test_smoothing_preserves_counts(cnf):
+    root = compile_cnf(cnf)
+    smoothed = smooth(root)
+    assert is_smooth(smoothed)
+    full = range(1, cnf.num_vars + 1)
+    assert model_count(root, full) == model_count(smoothed, full)
+
+
+@settings(max_examples=80, deadline=None)
+@given(cnfs())
+def test_negation_complements_count(cnf):
+    root = compile_cnf(cnf)
+    mentioned = sorted(root.variables())
+    if not mentioned:
+        return
+    neg = negate_decision(root)
+    assert model_count(root, mentioned) + model_count(neg, mentioned) == \
+        2 ** len(mentioned)

@@ -1,0 +1,210 @@
+"""Tests for the OBDD package."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import Cnf, VarMap, iter_assignments, parse, to_cnf
+from repro.nnf import is_decision_dnnf, model_count as nnf_model_count
+from repro.obdd import (ObddManager, compile_cnf_obdd, compile_formula,
+                        compose, enumerate_models, exists, flip_variable,
+                        forall, minimum_cardinality, model_count,
+                        obdd_to_nnf, restrict, to_dot,
+                        weighted_model_count)
+
+
+@pytest.fixture
+def manager():
+    return ObddManager([1, 2, 3, 4])
+
+
+def test_terminals(manager):
+    assert manager.one.is_terminal and manager.one.terminal_value
+    assert manager.zero.is_terminal and not manager.zero.terminal_value
+    assert manager.terminal(True) is manager.one
+
+
+def test_literal(manager):
+    x = manager.literal(1)
+    assert x.evaluate({1: True})
+    assert not x.evaluate({1: False})
+    nx = manager.literal(-1)
+    assert nx.evaluate({1: False})
+
+
+def test_reduction_no_redundant_nodes(manager):
+    # make with equal children returns the child
+    x = manager.literal(2)
+    assert manager.make(1, x, x) is x
+
+
+def test_canonicity(manager):
+    f = manager.literal(1) & manager.literal(2)
+    g = manager.literal(2) & manager.literal(1)
+    assert f is g  # canonical representation
+
+
+def test_apply_correctness_exhaustive(manager):
+    a, b = manager.literal(1), manager.literal(3)
+    cases = {
+        "and": (a & b, lambda x, y: x and y),
+        "or": (a | b, lambda x, y: x or y),
+        "xor": (a ^ b, lambda x, y: x != y),
+    }
+    for node, oracle in cases.values():
+        for assignment in iter_assignments([1, 3]):
+            assignment.update({2: False, 4: False})
+            assert node.evaluate(assignment) == \
+                oracle(assignment[1], assignment[3])
+
+
+def test_negation(manager):
+    f = manager.literal(1) & manager.literal(2)
+    g = ~f
+    for assignment in iter_assignments([1, 2, 3, 4]):
+        assert g.evaluate(assignment) == (not f.evaluate(assignment))
+    assert ~manager.one is manager.zero
+
+
+def test_ite(manager):
+    f = manager.ite(manager.literal(1), manager.literal(2),
+                    manager.literal(3))
+    for assignment in iter_assignments([1, 2, 3]):
+        assignment[4] = False
+        expected = assignment[2] if assignment[1] else assignment[3]
+        assert f.evaluate(assignment) == expected
+
+
+def test_cube(manager):
+    c = manager.cube([1, -3])
+    for assignment in iter_assignments([1, 2, 3, 4]):
+        assert c.evaluate(assignment) == \
+            (assignment[1] and not assignment[3])
+    # cube equals the apply-built conjunction (canonicity)
+    assert c is (manager.literal(1) & manager.literal(-3))
+
+
+def test_restrict(manager):
+    f = manager.literal(1) & manager.literal(2)
+    g = restrict(f, {1: True})
+    assert g is manager.literal(2)
+    assert restrict(f, {1: False}) is manager.zero
+
+
+def test_quantification(manager):
+    f = manager.literal(1) & manager.literal(2)
+    assert exists(f, [1]) is manager.literal(2)
+    assert forall(f, [1]) is manager.zero
+    g = manager.literal(1) | manager.literal(2)
+    assert forall(g, [1]) is manager.literal(2)
+
+
+def test_compose(manager):
+    # f = x1 & x2; substitute x1 := x3 | x4
+    f = manager.literal(1) & manager.literal(2)
+    replacement = manager.literal(3) | manager.literal(4)
+    g = compose(f, 1, replacement)
+    for assignment in iter_assignments([1, 2, 3, 4]):
+        expected = (assignment[3] or assignment[4]) and assignment[2]
+        assert g.evaluate(assignment) == expected
+
+
+def test_flip_variable(manager):
+    f = manager.literal(1) & manager.literal(2)
+    g = flip_variable(f, 1)
+    for assignment in iter_assignments([1, 2]):
+        flipped = dict(assignment)
+        flipped[1] = not flipped[1]
+        flipped.update({3: False, 4: False})
+        assignment.update({3: False, 4: False})
+        assert g.evaluate(assignment) == f.evaluate(flipped)
+
+
+def test_model_count(manager):
+    f = manager.literal(1) | manager.literal(2)
+    assert model_count(f) == 12  # 3 over {1,2} times 4 over {3,4}
+    assert model_count(f, [1, 2]) == 3
+    with pytest.raises(ValueError):
+        model_count(f, [1])
+
+
+def test_weighted_model_count(manager):
+    f = manager.literal(1) & manager.literal(2)
+    weights = {1: 0.25, -1: 0.75, 2: 0.5, -2: 0.5, 3: 1.0, -3: 0.0,
+               4: 1.0, -4: 0.0}
+    assert weighted_model_count(f, weights, [1, 2]) == pytest.approx(0.125)
+
+
+def test_enumerate_models(manager):
+    f = manager.literal(1) & manager.literal(-4)
+    models = list(enumerate_models(f))
+    assert len(models) == 4
+    for m in models:
+        assert f.evaluate(m)
+        assert set(m) == {1, 2, 3, 4}
+
+
+def test_minimum_cardinality(manager):
+    f = (manager.literal(1) & manager.literal(2)) | manager.literal(3)
+    costs = {l: (1.0 if l > 0 else 0.0) for v in (1, 2, 3, 4)
+             for l in (v, -v)}
+    assert minimum_cardinality(f, costs) == 1.0  # the x3-only model
+    assert minimum_cardinality(manager.zero, costs) == float("inf")
+
+
+def test_compile_formula_and_cnf_agree():
+    vm = VarMap()
+    f = parse("(A | ~C) & (B | C) & (A | B)", vm)
+    manager = ObddManager([1, 2, 3])
+    direct = compile_formula(f, manager)
+    via_cnf, cnf_manager = compile_cnf_obdd(to_cnf(f))
+    assert model_count(direct) == model_count(via_cnf) == 4
+
+
+def test_obdd_to_nnf(manager):
+    f = (manager.literal(1) & manager.literal(2)) | manager.literal(3)
+    circuit = obdd_to_nnf(f)
+    assert is_decision_dnnf(circuit)
+    assert nnf_model_count(circuit, [1, 2, 3, 4]) == model_count(f)
+
+
+def test_to_dot(manager):
+    f = manager.literal(1) & manager.literal(2)
+    dot = to_dot(f)
+    assert dot.startswith("digraph") and "style=dashed" in dot
+
+
+def test_bad_orders_rejected():
+    with pytest.raises(ValueError):
+        ObddManager([1, 1])
+    with pytest.raises(ValueError):
+        ObddManager([0, 1])
+
+
+# -- property-based --------------------------------------------------------------
+
+def cnfs(max_var=5, max_clauses=7):
+    literal = st.integers(1, max_var).flatmap(
+        lambda v: st.sampled_from([v, -v]))
+    clause = st.lists(literal, min_size=1, max_size=3).map(tuple)
+    return st.lists(clause, min_size=0, max_size=max_clauses).map(
+        lambda cs: Cnf(cs, num_vars=max_var))
+
+
+@settings(max_examples=100, deadline=None)
+@given(cnfs())
+def test_compiled_obdd_matches_bruteforce(cnf):
+    node, manager = compile_cnf_obdd(cnf)
+    for assignment in iter_assignments(range(1, cnf.num_vars + 1)):
+        assert node.evaluate(assignment) == cnf.evaluate(assignment)
+    assert model_count(node) == cnf.model_count()
+
+
+@settings(max_examples=60, deadline=None)
+@given(cnfs(max_var=4), st.integers(1, 4))
+def test_shannon_expansion_identity(cnf, var):
+    """f = (x ∧ f|x) ∨ (¬x ∧ f|¬x) — the OBDD decision semantics."""
+    node, manager = compile_cnf_obdd(cnf)
+    x = manager.literal(var)
+    expansion = (x & restrict(node, {var: True})) | \
+        (~x & restrict(node, {var: False}))
+    assert expansion is node  # canonicity makes this pointer equality

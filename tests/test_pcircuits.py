@@ -1,0 +1,164 @@
+"""Tests for probabilistic circuits (AC/SPN/PSDD family) and LearnSPN."""
+
+import math
+import random
+
+import pytest
+
+from repro.logic import VarMap, iter_assignments, parse, to_cnf
+from repro.pcircuits import ProbCircuit, learn_spn, psdd_to_circuit
+from repro.psdd import learn_parameters, psdd_from_sdd
+from repro.sdd import compile_cnf_sdd
+
+
+def small_circuit():
+    """Pr(A, B) = 0.6·Bern(A;0.9)·Bern(B;0.2) + 0.4·Bern(A;0.1)·Bern(B;0.7)"""
+    circuit = ProbCircuit()
+    left = circuit.product([circuit.leaf(1, 0.9), circuit.leaf(2, 0.2)])
+    right = circuit.product([circuit.leaf(1, 0.1), circuit.leaf(2, 0.7)])
+    return circuit.set_root(circuit.sum([left, right], [0.6, 0.4]))
+
+
+def test_construction_invariants():
+    circuit = ProbCircuit()
+    a, b = circuit.leaf(1, 0.5), circuit.leaf(1, 0.3)
+    with pytest.raises(ValueError):
+        circuit.product([a, b])  # shared scope
+    c = circuit.leaf(2, 0.5)
+    with pytest.raises(ValueError):
+        circuit.sum([a, c], [0.5, 0.5])  # different scopes
+    with pytest.raises(ValueError):
+        circuit.sum([a, b], [0.5])  # weight count
+    with pytest.raises(ValueError):
+        circuit.leaf(1, 1.5)
+
+
+def test_sum_weights_normalized():
+    circuit = ProbCircuit()
+    a, b = circuit.leaf(1, 0.5), circuit.leaf(1, 0.3)
+    node = circuit.sum([a, b], [2.0, 6.0])
+    assert node.weights == [0.25, 0.75]
+
+
+def test_evi_and_normalization():
+    circuit = small_circuit()
+    total = sum(circuit.probability(a) for a in iter_assignments([1, 2]))
+    assert total == pytest.approx(1.0)
+    p = circuit.probability({1: True, 2: False})
+    assert p == pytest.approx(0.6 * 0.9 * 0.8 + 0.4 * 0.1 * 0.3)
+
+
+def test_marginal_sums_out_missing():
+    circuit = small_circuit()
+    assert circuit.marginal({1: True}) == pytest.approx(
+        circuit.probability({1: True, 2: True})
+        + circuit.probability({1: True, 2: False}))
+    assert circuit.marginal({}) == pytest.approx(1.0)
+
+
+def test_evi_requires_complete_assignment():
+    circuit = small_circuit()
+    with pytest.raises(KeyError):
+        circuit.probability({1: True})
+
+
+def test_sampling_statistics():
+    circuit = small_circuit()
+    rng = random.Random(3)
+    n = 4000
+    count = sum(1 for _ in range(n)
+                if circuit.sample(rng)[1])
+    expected = circuit.marginal({1: True})
+    assert abs(count / n - expected) < 0.03
+
+
+def test_mixture_is_not_deterministic():
+    assert not small_circuit().is_deterministic()
+
+
+def test_psdd_to_circuit_equivalence():
+    vm = VarMap()
+    formula = parse("(P | L) & (A -> P) & (K -> (A | L))", vm)
+    sdd, _m = compile_cnf_sdd(to_cnf(formula))
+    psdd = psdd_from_sdd(sdd)
+    learn_parameters(psdd, [
+        ({1: True, 2: True, 3: True, 4: True}, 3),
+        ({1: True, 2: False, 3: True, 4: False}, 5),
+        ({1: False, 2: True, 3: False, 4: False}, 2)], alpha=0.5)
+    circuit = psdd_to_circuit(psdd)
+    for a in iter_assignments([1, 2, 3, 4]):
+        assert circuit.probability(a) == pytest.approx(
+            psdd.probability(a))
+    # PSDD-derived circuits are deterministic — exact max-product MPE
+    assert circuit.is_deterministic()
+    value, assignment = circuit.max_product()
+    brute = max(circuit.probability(a)
+                for a in iter_assignments([1, 2, 3, 4]))
+    assert value == pytest.approx(brute)
+    assert circuit.probability(assignment) == pytest.approx(brute)
+
+
+def _correlated_rows(n, rng):
+    rows = []
+    for _ in range(n):
+        a = rng.random() < 0.7
+        b = a if rng.random() < 0.9 else not a
+        c = rng.random() < 0.3
+        d = c if rng.random() < 0.8 else not c
+        rows.append({1: a, 2: b, 3: c, 4: d})
+    return rows
+
+
+def test_learn_spn_structure_and_normalization():
+    rng = random.Random(0)
+    rows = _correlated_rows(500, rng)
+    spn = learn_spn(rows, [1, 2, 3, 4], rng=random.Random(1))
+    total = sum(spn.probability(a) for a in iter_assignments([1, 2, 3, 4]))
+    assert total == pytest.approx(1.0)
+    kinds = {n.kind for n in spn.nodes()}
+    assert "sum" in kinds and "product" in kinds
+    # the independent pairs {1,2} and {3,4} should be split by a product
+    assert spn.root.is_product
+
+
+def test_learn_spn_beats_naive_on_correlated_data():
+    rng = random.Random(0)
+    train = _correlated_rows(600, rng)
+    test = _correlated_rows(300, rng)
+    spn = learn_spn(train, [1, 2, 3, 4], rng=random.Random(1))
+    # naive fully-factorized baseline
+    marginals = {v: sum(1 for r in train if r[v]) / len(train)
+                 for v in (1, 2, 3, 4)}
+
+    def naive(row):
+        p = 1.0
+        for v in (1, 2, 3, 4):
+            p *= marginals[v] if row[v] else 1.0 - marginals[v]
+        return p
+
+    spn_ll = sum(math.log(spn.probability(r)) for r in test)
+    naive_ll = sum(math.log(naive(r)) for r in test)
+    assert spn_ll > naive_ll
+
+
+def test_learn_spn_max_product_is_lower_bound():
+    rng = random.Random(2)
+    rows = _correlated_rows(400, rng)
+    spn = learn_spn(rows, [1, 2, 3, 4], rng=random.Random(4))
+    value, assignment = spn.max_product()
+    true_max = max(spn.probability(a)
+                   for a in iter_assignments([1, 2, 3, 4]))
+    assert value <= true_max + 1e-12
+    # the decoded assignment's actual probability is at least the bound
+    assert spn.probability(assignment) >= value - 1e-12
+
+
+def test_learn_spn_needs_data():
+    with pytest.raises(ValueError):
+        learn_spn([], [1])
+
+
+def test_learn_spn_single_variable():
+    rows = [{1: True}] * 7 + [{1: False}] * 3
+    spn = learn_spn(rows, [1], alpha=0.0)
+    assert spn.probability({1: True}) == pytest.approx(0.7)

@@ -1,0 +1,144 @@
+"""Tests for decision/model robustness and monotonicity (Fig 29)."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import Cnf, iter_assignments
+from repro.obdd import ObddManager, compile_cnf_obdd, model_count
+from repro.robust import (decision_robustness, depends_on,
+                          is_monotone_in, model_robustness,
+                          monotone_report, robustness_histogram,
+                          robustness_summary)
+
+
+def brute_robustness(node, instance, variables):
+    decision = node.evaluate(instance)
+    best = float("inf")
+    for a in iter_assignments(variables):
+        if node.evaluate(a) != decision:
+            flips = sum(1 for v in variables if a[v] != instance[v])
+            best = min(best, flips)
+    return best
+
+
+def test_decision_robustness_simple():
+    m = ObddManager([1, 2, 3])
+    f = m.literal(1) & m.literal(2)
+    assert decision_robustness(f, {1: True, 2: True, 3: False}) == 1
+    assert decision_robustness(f, {1: False, 2: False, 3: False}) == 2
+    assert decision_robustness(f, {1: True, 2: False, 3: True}) == 1
+
+
+def test_decision_robustness_constant():
+    m = ObddManager([1, 2])
+    assert decision_robustness(m.one, {1: True, 2: True}) == float("inf")
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.lists(st.integers(1, 4).flatmap(
+    lambda v: st.sampled_from([v, -v])), min_size=1, max_size=3
+).map(tuple), min_size=1, max_size=6), st.integers(0, 15))
+def test_decision_robustness_matches_bruteforce(clauses, bits):
+    cnf = Cnf(clauses, num_vars=4)
+    node, manager = compile_cnf_obdd(cnf)
+    instance = {v: bool((bits >> (v - 1)) & 1) for v in range(1, 5)}
+    assert decision_robustness(node, instance) == \
+        brute_robustness(node, instance, [1, 2, 3, 4])
+
+
+def test_robustness_histogram_bruteforce():
+    m = ObddManager([1, 2, 3])
+    f = (m.literal(1) & m.literal(2)) | m.literal(3)
+    histogram = robustness_histogram(f)
+    brute = collections.Counter(
+        brute_robustness(f, a, [1, 2, 3])
+        for a in iter_assignments([1, 2, 3]))
+    assert histogram == dict(brute)
+    assert sum(histogram.values()) == 8
+
+
+def test_robustness_histogram_constant():
+    m = ObddManager([1, 2])
+    assert robustness_histogram(m.one) == {}
+    with pytest.raises(ValueError):
+        model_robustness(m.one)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.lists(st.integers(1, 4).flatmap(
+    lambda v: st.sampled_from([v, -v])), min_size=1, max_size=3
+).map(tuple), min_size=1, max_size=6))
+def test_histogram_matches_bruteforce(clauses):
+    cnf = Cnf(clauses, num_vars=4)
+    node, manager = compile_cnf_obdd(cnf)
+    if node.is_terminal:
+        return
+    histogram = robustness_histogram(node)
+    brute = collections.Counter(
+        brute_robustness(node, a, [1, 2, 3, 4])
+        for a in iter_assignments([1, 2, 3, 4]))
+    assert histogram == dict(brute)
+
+
+def test_model_robustness_average():
+    m = ObddManager([1, 2, 3])
+    f = (m.literal(1) & m.literal(2)) | m.literal(3)
+    values = [brute_robustness(f, a, [1, 2, 3])
+              for a in iter_assignments([1, 2, 3])]
+    assert model_robustness(f) == pytest.approx(sum(values) / len(values))
+
+
+def test_robustness_summary_fields():
+    m = ObddManager([1, 2, 3])
+    f = m.literal(1) & m.literal(2)
+    summary = robustness_summary(f)
+    assert summary["max_robustness"] == 2
+    assert sum(summary["proportions"].values()) == pytest.approx(1.0)
+    assert summary["model_robustness"] > 0
+
+
+# -- monotonicity ------------------------------------------------------------------
+
+def test_monotone_increasing():
+    m = ObddManager([1, 2])
+    f = m.literal(1) | m.literal(2)
+    assert is_monotone_in(f, 1)
+    assert is_monotone_in(f, 2)
+    assert not is_monotone_in(f, 1, increasing=False)
+
+
+def test_monotone_decreasing():
+    m = ObddManager([1, 2])
+    f = m.literal(-1) & m.literal(2)
+    assert is_monotone_in(f, 1, increasing=False)
+    assert not is_monotone_in(f, 1, increasing=True)
+
+
+def test_monotone_none():
+    m = ObddManager([1, 2])
+    f = m.literal(1) ^ m.literal(2)
+    assert not is_monotone_in(f, 1)
+    assert not is_monotone_in(f, 1, increasing=False)
+
+
+def test_monotone_report_and_depends():
+    m = ObddManager([1, 2, 3])
+    f = (m.literal(1) & m.literal(-2)) | (m.literal(1) & m.literal(2))
+    # simplifies to literal 1: ignores 2 and 3
+    report = monotone_report(f)
+    assert report[1] == "increasing"
+    assert report[2] == "both"
+    assert report[3] == "both"
+    assert depends_on(f, 1)
+    assert not depends_on(f, 2)
+
+
+def test_monotone_loan_example():
+    """The Section 5 loan property: higher income can never hurt."""
+    m = ObddManager([1, 2, 3])  # 1=income high, 2=collateral, 3=debt
+    approve = (m.literal(1) | m.literal(2)) & m.literal(-3)
+    assert is_monotone_in(approve, 1)
+    assert is_monotone_in(approve, 2)
+    assert is_monotone_in(approve, 3, increasing=False)

@@ -1,0 +1,73 @@
+"""Moderate-scale stress tests: the engines on classic formula families
+beyond toy size (still seconds, not minutes)."""
+
+import math
+import random
+
+import pytest
+
+from repro.compile import DnnfCompiler
+from repro.logic import (pair_biconditionals, parity_chain, pigeonhole,
+                         random_kcnf)
+from repro.nnf import is_satisfiable_dnnf, model_count
+from repro.sat import count_models, is_satisfiable
+from repro.sdd import compile_cnf_sdd, model_count as sdd_count
+from repro.spaces import SubsetSpace
+from repro.vtree import Vtree
+from repro.classifiers import threshold_obdd
+from repro.obdd import ObddManager, model_count as obdd_count
+
+
+def test_big_parity_chain():
+    cnf = parity_chain(40)  # 79 variables with the auxiliaries
+    root = DnnfCompiler().compile(cnf)
+    assert model_count(root, range(1, cnf.num_vars + 1)) == 2 ** 39
+
+
+def test_pigeonhole_compiles_to_false():
+    cnf = pigeonhole(5)  # 6 pigeons, 5 holes, 30 variables
+    root = DnnfCompiler().compile(cnf)
+    assert root.is_false
+    assert not is_satisfiable(cnf)
+
+
+def test_long_biconditional_chain_paired_vtree():
+    n = 24
+    cnf = pair_biconditionals(n)
+    pairs = [Vtree.internal(Vtree.leaf(2 * i - 1), Vtree.leaf(2 * i))
+             for i in range(1, n + 1)]
+
+    def build(lo, hi):
+        if hi - lo == 1:
+            return pairs[lo]
+        mid = (lo + hi + 1) // 2
+        return Vtree.internal(build(lo, mid), build(mid, hi))
+
+    root, _manager = compile_cnf_sdd(cnf, vtree=build(0, n))
+    assert sdd_count(root) == 2 ** n
+    assert root.size() <= 8 * n  # linear in n with the right structure
+
+
+def test_random_3cnf_counting_20_vars():
+    rng = random.Random(99)
+    cnf = random_kcnf(20, 40, k=3, rng=rng)
+    count = count_models(cnf)
+    root = DnnfCompiler().compile(cnf)
+    assert model_count(root, range(1, 21)) == count
+    assert is_satisfiable_dnnf(root) == (count > 0)
+
+
+def test_large_threshold_function():
+    n = 40
+    manager = ObddManager(range(1, n + 1))
+    node = threshold_obdd(manager, range(1, n + 1), [1.0] * n, 20.0)
+    expected = sum(math.comb(n, k) for k in range(20, n + 1))
+    assert obdd_count(node) == expected
+    # majority over n variables has a quadratic-size OBDD
+    assert node.size() <= n * n
+
+
+def test_large_subset_space():
+    space = SubsetSpace(30, 4)
+    assert sdd_count(space.sdd) == math.comb(30, 4)
+    assert space.sdd.size() <= 12 * 30 * 5  # O(n·k)

@@ -1,0 +1,223 @@
+"""Tests for the SDD package: apply, canonicity, counting, export."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import Cnf, VarMap, iter_assignments, parse, to_cnf
+from repro.nnf import (is_decomposable, is_deterministic,
+                       model_count as nnf_model_count)
+from repro.nnf.properties import is_structured
+from repro.sdd import (SddManager, compile_cnf_sdd, compile_formula_sdd,
+                       compile_terms_sdd, enumerate_models, model_count,
+                       sdd_to_nnf, weighted_model_count)
+from repro.vtree import (balanced_vtree, random_vtree, right_linear_vtree)
+
+
+@pytest.fixture
+def manager():
+    return SddManager(balanced_vtree([1, 2, 3, 4]))
+
+
+def test_constants(manager):
+    assert manager.true.is_true
+    assert manager.false.is_false
+    assert manager.constant(True) is manager.true
+    assert manager.true.negation is manager.false
+
+
+def test_literals(manager):
+    x = manager.literal(1)
+    assert x.is_literal and x.literal == 1
+    assert manager.literal(1) is x  # interned
+    assert x.evaluate({1: True})
+    assert not x.evaluate({1: False})
+    with pytest.raises(KeyError):
+        manager.literal(9)
+
+
+def test_apply_truth_tables(manager):
+    a, b = manager.literal(1), manager.literal(3)
+    conj = manager.conjoin(a, b)
+    disj = manager.disjoin(a, b)
+    for assignment in iter_assignments([1, 2, 3, 4]):
+        assert conj.evaluate(assignment) == \
+            (assignment[1] and assignment[3])
+        assert disj.evaluate(assignment) == \
+            (assignment[1] or assignment[3])
+
+
+def test_apply_same_variable(manager):
+    x, nx = manager.literal(1), manager.literal(-1)
+    assert manager.conjoin(x, nx) is manager.false
+    assert manager.disjoin(x, nx) is manager.true
+    assert manager.conjoin(x, x) is x
+
+
+def test_negation_is_involution(manager):
+    f = manager.disjoin(manager.conjoin(manager.literal(1),
+                                        manager.literal(2)),
+                        manager.literal(-3))
+    g = manager.negate(f)
+    for assignment in iter_assignments([1, 2, 3, 4]):
+        assert g.evaluate(assignment) == (not f.evaluate(assignment))
+    assert manager.negate(g) is f
+
+
+def test_canonicity_same_function_same_node(manager):
+    # (1 & 2) | (2 & 1) built differently must intern to the same node
+    f = manager.conjoin(manager.literal(1), manager.literal(2))
+    g = manager.conjoin(manager.literal(2), manager.literal(1))
+    assert f is g
+    # de Morgan: ~(1 & 2) == ~1 | ~2
+    lhs = manager.negate(f)
+    rhs = manager.disjoin(manager.literal(-1), manager.literal(-2))
+    assert lhs is rhs
+
+
+def test_term_and_clause(manager):
+    t = manager.term([1, -2])
+    c = manager.clause([1, -2])
+    for assignment in iter_assignments([1, 2, 3, 4]):
+        assert t.evaluate(assignment) == \
+            (assignment[1] and not assignment[2])
+        assert c.evaluate(assignment) == \
+            (assignment[1] or not assignment[2])
+
+
+def test_exactly(manager):
+    node = manager.exactly({1: True, 2: False, 3: True, 4: False})
+    assert model_count(node) == 1
+    assert node.evaluate({1: True, 2: False, 3: True, 4: False})
+
+
+def test_model_count_scaling(manager):
+    x = manager.literal(1)
+    assert model_count(x) == 8  # 2^3 free variables
+    f = manager.conjoin(manager.literal(1), manager.literal(2))
+    assert model_count(f) == 4
+
+
+def test_model_count_scope_error(manager):
+    f = manager.literal(4)
+    with pytest.raises(ValueError):
+        model_count(f, scope=manager.vtree.left)
+
+
+def test_weighted_model_count(manager):
+    f = manager.disjoin(manager.literal(1), manager.literal(2))
+    weights = {1: 0.6, -1: 0.4, 2: 0.3, -2: 0.7,
+               3: 1.0, -3: 0.0, 4: 1.0, -4: 0.0}
+    assert weighted_model_count(f, weights) == pytest.approx(1 - 0.4 * 0.7)
+
+
+def test_enumerate_models(manager):
+    f = manager.conjoin(manager.literal(1), manager.literal(-3))
+    models = list(enumerate_models(f))
+    assert len(models) == 4
+    keys = {tuple(sorted(m.items())) for m in models}
+    assert len(keys) == 4
+    for m in models:
+        assert f.evaluate(m)
+
+
+def test_paper_fig13_circuit():
+    """Fig 13's SDD (the enrollment constraint) has 9 satisfying inputs."""
+    vm = VarMap()
+    f = parse("(P | L) & (A -> P) & (K -> (A | L))", vm)
+    root, manager = compile_cnf_sdd(to_cnf(f))
+    assert model_count(root) == 9
+
+
+def test_sdd_to_nnf_is_structured_ddnnf():
+    vm = VarMap()
+    f = parse("(A | ~C) & (B | C) & (A | B)", vm)
+    root, manager = compile_cnf_sdd(to_cnf(f))
+    circuit = sdd_to_nnf(root)
+    assert is_decomposable(circuit)
+    assert is_deterministic(circuit)
+    assert is_structured(circuit, manager.vtree)
+    assert nnf_model_count(circuit, [1, 2, 3]) == model_count(root)
+
+
+def test_compile_terms(manager):
+    terms = [(1, 2, -3, -4), (-1, -2, 3, 4)]
+    node = compile_terms_sdd(terms, manager)
+    assert model_count(node) == 2
+
+
+def test_size_reported(manager):
+    f = manager.conjoin(manager.literal(1), manager.literal(2))
+    assert f.size() > 0
+    assert manager.literal(1).size() == 0
+
+
+def test_apply_invalid_op(manager):
+    with pytest.raises(ValueError):
+        manager.apply(manager.literal(1), manager.literal(2), "xor")
+
+
+# -- property-based -------------------------------------------------------------
+
+def cnfs(max_var=5, max_clauses=7):
+    literal = st.integers(1, max_var).flatmap(
+        lambda v: st.sampled_from([v, -v]))
+    clause = st.lists(literal, min_size=1, max_size=3).map(tuple)
+    return st.lists(clause, min_size=0, max_size=max_clauses).map(
+        lambda cs: Cnf(cs, num_vars=max_var))
+
+
+@settings(max_examples=80, deadline=None)
+@given(cnfs())
+def test_sdd_compilation_equivalence(cnf):
+    root, manager = compile_cnf_sdd(cnf)
+    for assignment in iter_assignments(range(1, cnf.num_vars + 1)):
+        assert root.evaluate(assignment) == cnf.evaluate(assignment)
+    assert model_count(root) == cnf.model_count()
+
+
+@settings(max_examples=40, deadline=None)
+@given(cnfs(max_var=4), st.randoms(use_true_random=False))
+def test_sdd_count_invariant_to_vtree(cnf, rng):
+    """Model counts agree across vtrees (sizes may differ wildly)."""
+    reference = cnf.model_count()
+    for vtree in (balanced_vtree([1, 2, 3, 4]),
+                  right_linear_vtree([4, 2, 3, 1]),
+                  random_vtree([1, 2, 3, 4], rng=rng)):
+        root, manager = compile_cnf_sdd(cnf, vtree=vtree)
+        assert model_count(root) == reference
+
+
+@settings(max_examples=50, deadline=None)
+@given(cnfs(max_var=4))
+def test_sdd_negation_partitions_space(cnf):
+    root, manager = compile_cnf_sdd(cnf)
+    neg = manager.negate(root)
+    assert model_count(root) + model_count(neg) == 2 ** cnf.num_vars
+    assert manager.conjoin(root, neg) is manager.false
+    assert manager.disjoin(root, neg) is manager.true
+
+
+@settings(max_examples=40, deadline=None)
+@given(cnfs(max_var=4), cnfs(max_var=4))
+def test_sdd_apply_distributes(cnf_a, cnf_b):
+    """apply agrees with the semantic conjunction/disjunction."""
+    vtree = balanced_vtree([1, 2, 3, 4])
+    manager = SddManager(vtree)
+    a, _ = compile_cnf_sdd(cnf_a, manager=manager)
+    b, _ = compile_cnf_sdd(cnf_b, manager=manager)
+    conj = manager.conjoin(a, b)
+    disj = manager.disjoin(a, b)
+    for assignment in iter_assignments([1, 2, 3, 4]):
+        assert conj.evaluate(assignment) == \
+            (cnf_a.evaluate(assignment) and cnf_b.evaluate(assignment))
+        assert disj.evaluate(assignment) == \
+            (cnf_a.evaluate(assignment) or cnf_b.evaluate(assignment))
+
+
+@settings(max_examples=40, deadline=None)
+@given(cnfs(max_var=4))
+def test_sdd_canonicity_across_compilation_orders(cnf):
+    root, manager = compile_cnf_sdd(cnf)
+    again = manager.conjoin_all(manager.clause(c)
+                                for c in reversed(cnf.clauses))
+    assert root is again

@@ -1,0 +1,73 @@
+"""Tests for same-decision probability via constrained circuits."""
+
+import random
+
+import pytest
+
+from repro.bayesnet import medical_network, random_network, sdp
+from repro.wmc import same_decision_probability
+
+
+def test_matches_dedicated_on_medical():
+    network = medical_network()
+    for encoding in ("binary", "multistate"):
+        got = same_decision_probability(network, "c", 1, 0.9,
+                                        ["T1", "T2"], encoding=encoding)
+        assert got == pytest.approx(sdp(network, "c", 1, 0.9,
+                                        ["T1", "T2"]))
+
+
+def test_matches_with_evidence():
+    network = medical_network()
+    got = same_decision_probability(network, "c", 1, 0.5, ["T2"],
+                                    {"T1": 1})
+    assert got == pytest.approx(sdp(network, "c", 1, 0.5, ["T2"],
+                                    {"T1": 1}))
+
+
+def test_matches_on_random_networks():
+    rng = random.Random(21)
+    checked = 0
+    for trial in range(8):
+        network = random_network(5, rng=rng,
+                                 zero_fraction=0.3 if trial % 2 else 0.0)
+        names = network.variables
+        decision_var = names[-1]
+        observables = rng.sample(names[:-1], 2)
+        threshold = rng.uniform(0.2, 0.8)
+        try:
+            want = sdp(network, decision_var, 1, threshold, observables)
+        except ZeroDivisionError:
+            continue
+        got = same_decision_probability(
+            network, decision_var, 1, threshold, observables,
+            exploit_determinism=bool(trial % 2))
+        assert got == pytest.approx(want)
+        checked += 1
+    assert checked >= 4
+
+
+def test_single_observable():
+    network = medical_network()
+    got = same_decision_probability(network, "c", 1, 0.9, ["T1"])
+    assert got == pytest.approx(sdp(network, "c", 1, 0.9, ["T1"]))
+
+
+def test_trivial_threshold_gives_sdp_one():
+    network = medical_network()
+    # threshold 0 makes the decision always positive: nothing can flip it
+    got = same_decision_probability(network, "c", 1, 1e-12,
+                                    ["T1", "T2"])
+    assert got == pytest.approx(1.0)
+
+
+def test_validation():
+    network = medical_network()
+    with pytest.raises(ValueError):
+        same_decision_probability(network, "c", 1, 0.9, ["c", "T1"])
+    with pytest.raises(ValueError):
+        same_decision_probability(network, "c", 1, 0.9, ["T1"],
+                                  {"T1": 1})
+    with pytest.raises(ValueError):
+        same_decision_probability(network, "c", 1, 0.9, ["T1"],
+                                  encoding="weird")

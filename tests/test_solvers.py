@@ -1,0 +1,129 @@
+"""Tests for the prototypical-problem solvers (Fig 3 / Section 2.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import Cnf, iter_assignments
+from repro.solvers import (count_brute, emajsat_brute, emajsat_value,
+                           majmajsat_brute, majmajsat_histogram,
+                           majsat_brute, sat_brute, solve_count,
+                           solve_emajsat, solve_majmajsat, solve_majsat,
+                           solve_sat, solve_wmc, wmc_brute)
+
+
+def cnfs(max_var=5, max_clauses=7):
+    literal = st.integers(1, max_var).flatmap(
+        lambda v: st.sampled_from([v, -v]))
+    clause = st.lists(literal, min_size=1, max_size=3).map(tuple)
+    return st.lists(clause, min_size=0, max_size=max_clauses).map(
+        lambda cs: Cnf(cs, num_vars=max_var))
+
+
+def y_splits(max_var=5):
+    return st.sets(st.integers(1, max_var), min_size=1,
+                   max_size=max_var - 1).map(sorted)
+
+
+def test_simple_sat_and_majsat():
+    cnf = Cnf([(1, 2)], num_vars=2)
+    assert solve_sat(cnf)
+    assert solve_count(cnf) == 3
+    assert solve_majsat(cnf)  # 3 of 4
+    assert not solve_majsat(Cnf([(1,), (2,)], num_vars=2))  # 1 of 4
+    # exactly half is not a (strict) majority
+    assert not solve_majsat(Cnf([(1,)], num_vars=1))
+
+
+def test_unsat_everything():
+    cnf = Cnf([(1,), (-1,)], num_vars=2)
+    assert not solve_sat(cnf)
+    assert solve_count(cnf) == 0
+    assert not solve_majsat(cnf)
+    count, _w = emajsat_value(cnf, [1])
+    assert count == 0
+    assert majmajsat_histogram(cnf, [1]) == {}
+
+
+def test_emajsat_basic():
+    # Δ = y <-> z: for any y, exactly 1 of 2 z values works
+    cnf = Cnf([(-1, 2), (1, -2)], num_vars=2)
+    count, witness = emajsat_value(cnf, [1])
+    assert count == 1
+    assert not solve_emajsat(cnf, [1])  # 1 of 2 is not a strict majority
+    # Δ = y | z: choosing y=1 makes all z work
+    cnf2 = Cnf([(1, 2)], num_vars=2)
+    count2, witness2 = emajsat_value(cnf2, [1])
+    assert count2 == 2
+    assert witness2.get(1, False) is True
+    assert solve_emajsat(cnf2, [1])
+
+
+def test_majmajsat_basic():
+    # Δ = y | z over y={1}, z={2}: y=1 -> 2 z's; y=0 -> 1 z
+    cnf = Cnf([(1, 2)], num_vars=2)
+    hist = majmajsat_histogram(cnf, [1])
+    assert hist == {2: 1, 1: 1}
+    # y=1 has z-majority (2>1), y=0 does not (1 = half) -> 1 of 2 y's,
+    # not a strict majority
+    assert not solve_majmajsat(cnf, [1])
+
+
+def test_majmajsat_true_formula():
+    cnf = Cnf([], num_vars=3)
+    hist = majmajsat_histogram(cnf, [1])
+    assert hist == {4: 2}
+    assert solve_majmajsat(cnf, [1])
+
+
+@settings(max_examples=100, deadline=None)
+@given(cnfs())
+def test_sat_count_majsat_vs_brute(cnf):
+    assert solve_sat(cnf) == sat_brute(cnf)
+    assert solve_count(cnf) == count_brute(cnf)
+    assert solve_majsat(cnf) == majsat_brute(cnf)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cnfs())
+def test_wmc_vs_brute(cnf):
+    weights = {}
+    for v in range(1, cnf.num_vars + 1):
+        weights[v] = 0.1 + 0.13 * v
+        weights[-v] = 1.0 - weights[v]
+    assert solve_wmc(cnf, weights) == pytest.approx(
+        wmc_brute(cnf, weights))
+
+
+@settings(max_examples=80, deadline=None)
+@given(cnfs(), y_splits())
+def test_emajsat_vs_brute(cnf, y_vars):
+    value, witness = emajsat_value(cnf, y_vars)
+    brute_value, _brute_witness = emajsat_brute(cnf, y_vars)
+    assert value == brute_value
+    # witness must achieve the claimed count
+    z_vars = [v for v in range(1, cnf.num_vars + 1)
+              if v not in set(y_vars)]
+    full_witness = {**{v: False for v in y_vars}, **witness}
+    achieved = sum(
+        1 for z in iter_assignments(z_vars)
+        if cnf.evaluate({**full_witness, **z}))
+    assert achieved == value
+    assert solve_emajsat(cnf, y_vars) == (2 * brute_value > 2 ** len(z_vars))
+
+
+@settings(max_examples=80, deadline=None)
+@given(cnfs(), y_splits())
+def test_majmajsat_vs_brute(cnf, y_vars):
+    hist = majmajsat_histogram(cnf, y_vars)
+    brute = {c: m for c, m in majmajsat_brute(cnf, y_vars).items() if c}
+    assert hist == brute
+    z_count = cnf.num_vars - len(set(y_vars))
+    winners = sum(m for c, m in brute.items() if 2 * c > 2 ** z_count)
+    assert solve_majmajsat(cnf, y_vars) == \
+        (2 * winners > 2 ** len(set(y_vars)))
+
+
+def test_histogram_total_mass_bounded():
+    cnf = Cnf([(1, 2), (-2, 3)], num_vars=4)
+    hist = majmajsat_histogram(cnf, [1, 2])
+    assert sum(hist.values()) <= 2 ** 2

@@ -1,0 +1,132 @@
+"""Tests for vtrees and their constructors."""
+
+import random
+
+import pytest
+
+from repro.vtree import (Vtree, balanced_vtree, constrained_vtree,
+                         left_linear_vtree, random_vtree,
+                         right_linear_vtree, vtree_from_order)
+
+
+def test_leaf():
+    leaf = Vtree.leaf(3)
+    assert leaf.is_leaf()
+    assert leaf.variables == frozenset({3})
+    with pytest.raises(ValueError):
+        Vtree.leaf(0)
+
+
+def test_internal_disjointness():
+    a, b = Vtree.leaf(1), Vtree.leaf(2)
+    v = Vtree.internal(a, b)
+    assert v.variables == frozenset({1, 2})
+    with pytest.raises(ValueError):
+        Vtree.internal(Vtree.leaf(1), Vtree.leaf(1))
+
+
+def test_no_node_reuse():
+    a = Vtree.leaf(1)
+    Vtree.internal(a, Vtree.leaf(2))
+    with pytest.raises(ValueError):
+        Vtree.internal(a, Vtree.leaf(3))
+
+
+def test_balanced_structure():
+    v = balanced_vtree([1, 2, 3, 4])
+    assert v.variable_order() == [1, 2, 3, 4]
+    assert v.node_count() == 7
+    assert max(n.depth for n in v.nodes()) == 2
+
+
+def test_right_linear():
+    v = right_linear_vtree([1, 2, 3, 4])
+    assert v.is_right_linear()
+    assert v.variable_order() == [1, 2, 3, 4]
+    assert not balanced_vtree([1, 2, 3, 4]).is_right_linear()
+
+
+def test_left_linear():
+    v = left_linear_vtree([1, 2, 3])
+    assert v.variable_order() == [1, 2, 3]
+    assert not v.is_right_linear()
+
+
+def test_random_vtree_deterministic_with_seed():
+    v1 = random_vtree([1, 2, 3, 4, 5], rng=random.Random(7))
+    v2 = random_vtree([1, 2, 3, 4, 5], rng=random.Random(7))
+    assert v1.variable_order() == v2.variable_order()
+
+
+def test_constrained_vtree_shape():
+    """Fig 10b: node u reachable by right children only, vars(u) = block."""
+    v = constrained_vtree(spine_vars=[5, 6], block_vars=[1, 2, 3, 4])
+    node = v
+    while not node.is_leaf():
+        if node.variables == frozenset({1, 2, 3, 4}):
+            break
+        node = node.right
+    assert node.variables == frozenset({1, 2, 3, 4})
+    # spine vars are left leaves along the way
+    assert v.left.is_leaf() and v.left.var == 5
+    assert v.right.left.is_leaf() and v.right.left.var == 6
+
+
+def test_constrained_needs_spine():
+    with pytest.raises(ValueError):
+        constrained_vtree([], [1, 2])
+
+
+def test_lca_and_ancestor():
+    v = balanced_vtree([1, 2, 3, 4])
+    l1 = v.find_leaf(1)
+    l2 = v.find_leaf(2)
+    l4 = v.find_leaf(4)
+    assert l1.lca(l2) is v.left
+    assert l1.lca(l4) is v
+    assert v.is_ancestor_of(l1)
+    assert not l1.is_ancestor_of(v)
+    assert v.is_ancestor_of(v)
+
+
+def test_positions_are_inorder():
+    v = balanced_vtree([1, 2, 3, 4])
+    positions = [n.position for n in v.nodes()]
+    assert positions == sorted(positions)
+    # leaves alternate with internals in a full binary tree in-order
+    leaf_positions = [n.position for n in v.leaves()]
+    assert leaf_positions == [0, 2, 4, 6]
+
+
+def test_smallest_containing():
+    v = balanced_vtree([1, 2, 3, 4])
+    assert v.smallest_containing(frozenset({1})).var == 1
+    assert v.smallest_containing(frozenset({1, 2})) is v.left
+    assert v.smallest_containing(frozenset({2, 3})) is v
+    with pytest.raises(ValueError):
+        v.smallest_containing(frozenset({9}))
+
+
+def test_find_leaf_missing():
+    v = balanced_vtree([1, 2])
+    with pytest.raises(KeyError):
+        v.find_leaf(5)
+
+
+def test_vtree_from_order_dispatch():
+    assert vtree_from_order([1, 2, 3], "right-linear").is_right_linear()
+    assert vtree_from_order([1, 2, 3], "balanced").variable_order() == \
+        [1, 2, 3]
+    with pytest.raises(ValueError):
+        vtree_from_order([1], "spiral")
+
+
+def test_duplicate_variables_rejected():
+    with pytest.raises(ValueError):
+        balanced_vtree([1, 1, 2])
+
+
+def test_pretty_rendering():
+    v = balanced_vtree([1, 2])
+    text = v.pretty(lambda i: f"X{i}")
+    assert "X1" in text and "X2" in text and "*" in text
