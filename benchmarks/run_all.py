@@ -1,0 +1,290 @@
+"""Benchmark driver: figures, engine speed scenarios, regression gate.
+
+Runs every ``bench_*.py`` figure reproduction (each as a pytest
+subprocess, timed), then the three engine speed scenarios that the
+hot-path layer optimises, each measured *paired* in one process against
+its legacy configuration:
+
+* ``sharp_sat`` — exact #SAT on a random 3-CNF: trail-based
+  watched-literal counter vs the seed clause-list recursion
+  (``ModelCounter(propagator="legacy", cache_mode="exact")``);
+* ``dnnf_compile`` — CNF→Decision-DNNF compilation: trail-based
+  compiler vs the seed recursion;
+* ``repeated_wmc`` — many weighted model counts on one compiled
+  circuit: dense-array kernel (:mod:`repro.nnf.kernel`) vs the seed
+  recursive queries (:mod:`repro.nnf.queries_legacy`).
+
+Each scenario records wall times, the speedup, the operation counters
+of the optimised engine, and an agreement check between both engines'
+results.  Everything is serialised to ``BENCH_<timestamp>.json``; if an
+earlier ``BENCH_*.json`` exists, the run is compared against the most
+recent one and slowdowns beyond the noise threshold are flagged as
+regressions (exit status stays 0 — the gate is advisory, timings on
+shared machines are noisy).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--quick]
+        [--skip-figures] [--output-dir DIR]
+
+``--quick`` shrinks the scenario instances (and is what the
+``tier2_bench``-marked smoke test runs); the committed baseline should
+come from a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import platform
+import random
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.compile.dnnf_compiler import DnnfCompiler  # noqa: E402
+from repro.logic.cnf import Cnf  # noqa: E402
+from repro.nnf import queries, queries_legacy  # noqa: E402
+from repro.sat.counter import ModelCounter  # noqa: E402
+
+SCHEMA = "repro-bench/1"
+# wall-time ratio above which a comparison counts as a regression
+NOISE_THRESHOLD = 1.25
+
+
+def random_3cnf(n: int, m: int, seed: int) -> Cnf:
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(m):
+        vs = rng.sample(range(1, n + 1), 3)
+        clauses.append(tuple(v * rng.choice([1, -1]) for v in vs))
+    return Cnf(clauses, num_vars=n)
+
+
+# -- figure benchmarks ---------------------------------------------------------
+def run_figures(quick: bool):
+    """Run every bench_*.py as its own pytest process, timed."""
+    results = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    files = sorted(glob.glob(os.path.join(BENCH_DIR, "bench_*.py")))
+    for path in files:
+        name = os.path.basename(path)
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", path, "-q", "--no-header"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+        elapsed = time.perf_counter() - start
+        results.append({
+            "file": name,
+            "seconds": round(elapsed, 3),
+            "passed": proc.returncode == 0,
+        })
+        status = "ok" if proc.returncode == 0 else "FAIL"
+        print(f"  figure {name:45s} {elapsed:7.2f}s  {status}")
+        if proc.returncode != 0:
+            print(proc.stdout[-2000:])
+    return results
+
+
+# -- engine speed scenarios ----------------------------------------------------
+def scenario_sharp_sat(quick: bool):
+    """#SAT on a random 3-CNF (n>=60 in the full run)."""
+    n, m, seed = (50, 130, 42) if quick else (60, 150, 42)
+    cnf = random_3cnf(n, m, seed)
+    optimized = ModelCounter()
+    legacy = ModelCounter(propagator="legacy", cache_mode="exact")
+    start = time.perf_counter()
+    new_count = optimized.count(cnf)
+    mid = time.perf_counter()
+    old_count = legacy.count(cnf)
+    end = time.perf_counter()
+    return {
+        "instance": {"n": n, "m": m, "seed": seed, "count": new_count},
+        "optimized_s": round(mid - start, 4),
+        "legacy_s": round(end - mid, 4),
+        "speedup": round((end - mid) / (mid - start), 3),
+        "agree": new_count == old_count,
+        "counters": {
+            "optimized": optimized.stats.as_dict(),
+            "legacy": legacy.stats.as_dict(),
+        },
+    }
+
+
+def scenario_dnnf_compile(quick: bool):
+    """CNF -> Decision-DNNF compilation."""
+    n, m, seed = (40, 95, 11) if quick else (50, 120, 11)
+    cnf = random_3cnf(n, m, seed)
+    optimized = DnnfCompiler()
+    legacy = DnnfCompiler(propagator="legacy", cache_mode="exact")
+    full = range(1, n + 1)
+    start = time.perf_counter()
+    new_root = optimized.compile(cnf)
+    mid = time.perf_counter()
+    old_root = legacy.compile(cnf)
+    end = time.perf_counter()
+    return {
+        "instance": {"n": n, "m": m, "seed": seed},
+        "optimized_s": round(mid - start, 4),
+        "legacy_s": round(end - mid, 4),
+        "speedup": round((end - mid) / (mid - start), 3),
+        "agree": queries.model_count(new_root, full)
+        == queries.model_count(old_root, full),
+        "circuit_nodes": {"optimized": new_root.node_count(),
+                          "legacy": old_root.node_count()},
+        "counters": {
+            "optimized": optimized.stats.as_dict(),
+            "legacy": legacy.stats.as_dict(),
+        },
+    }
+
+
+def scenario_repeated_wmc(quick: bool):
+    """K weighted model counts on one compiled circuit."""
+    n, m, seed = (45, 110, 9)
+    vectors = 40 if quick else 200
+    cnf = random_3cnf(n, m, seed)
+    root = DnnfCompiler().compile(cnf)
+    rng = random.Random(1)
+    weight_vectors = []
+    for _ in range(vectors):
+        weights = {}
+        for v in range(1, n + 1):
+            p = rng.random()
+            weights[v], weights[-v] = p, 1.0 - p
+        weight_vectors.append(weights)
+    from repro.perf import Counter
+    stats = Counter()
+    start = time.perf_counter()
+    new_values = [queries.weighted_model_count(root, w, stats=stats)
+                  for w in weight_vectors]
+    mid = time.perf_counter()
+    old_values = [queries_legacy.weighted_model_count(root, w)
+                  for w in weight_vectors]
+    end = time.perf_counter()
+    agree = all(abs(a - b) <= 1e-9 * max(1.0, abs(b))
+                for a, b in zip(new_values, old_values))
+    return {
+        "instance": {"n": n, "m": m, "seed": seed, "vectors": vectors,
+                     "circuit_nodes": root.node_count()},
+        "optimized_s": round(mid - start, 4),
+        "legacy_s": round(end - mid, 4),
+        "speedup": round((end - mid) / (mid - start), 3),
+        "agree": agree,
+        "counters": {"optimized": stats.as_dict()},
+    }
+
+
+SCENARIOS = {
+    "sharp_sat": scenario_sharp_sat,
+    "dnnf_compile": scenario_dnnf_compile,
+    "repeated_wmc": scenario_repeated_wmc,
+}
+
+
+# -- comparison against the previous baseline ----------------------------------
+def previous_baseline(output_dir: str, current: str):
+    paths = [p for p in sorted(glob.glob(os.path.join(output_dir,
+                                                      "BENCH_*.json")))
+             if os.path.abspath(p) != os.path.abspath(current)]
+    if not paths:
+        return None, None
+    path = paths[-1]
+    try:
+        with open(path) as handle:
+            return os.path.basename(path), json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None, None
+
+
+def compare(report, baseline):
+    """Flag wall-time regressions vs the previous BENCH_*.json."""
+    regressions = []
+    if baseline.get("quick") != report["quick"]:
+        return {"baseline_quick": baseline.get("quick"),
+                "comparable": False, "regressions": []}
+    old_figures = {f["file"]: f for f in baseline.get("figures", [])}
+    for fig in report["figures"]:
+        old = old_figures.get(fig["file"])
+        if old and old["seconds"] > 0:
+            ratio = fig["seconds"] / old["seconds"]
+            if ratio > NOISE_THRESHOLD:
+                regressions.append({"what": fig["file"],
+                                    "ratio": round(ratio, 2)})
+    for name, result in report["scenarios"].items():
+        old = baseline.get("scenarios", {}).get(name)
+        if old and old.get("optimized_s", 0) > 0:
+            ratio = result["optimized_s"] / old["optimized_s"]
+            if ratio > NOISE_THRESHOLD:
+                regressions.append({"what": f"scenario:{name}",
+                                    "ratio": round(ratio, 2)})
+    return {"comparable": True, "regressions": regressions}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small scenario instances (smoke test)")
+    parser.add_argument("--skip-figures", action="store_true",
+                        help="run only the engine speed scenarios")
+    parser.add_argument("--output-dir", default=REPO_ROOT,
+                        help="where BENCH_<timestamp>.json is written")
+    args = parser.parse_args(argv)
+
+    report = {
+        "schema": SCHEMA,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "figures": [],
+        "scenarios": {},
+    }
+    if not args.skip_figures:
+        print("== figure benchmarks ==")
+        report["figures"] = run_figures(args.quick)
+    print("== engine speed scenarios ==")
+    for name, scenario in SCENARIOS.items():
+        result = scenario(args.quick)
+        report["scenarios"][name] = result
+        print(f"  {name:15s} optimized {result['optimized_s']:8.3f}s"
+              f"  legacy {result['legacy_s']:8.3f}s"
+              f"  speedup {result['speedup']:5.2f}x"
+              f"  agree={result['agree']}")
+
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    out_path = os.path.join(args.output_dir, f"BENCH_{stamp}.json")
+    base_name, baseline = previous_baseline(args.output_dir, out_path)
+    if baseline is not None:
+        report["comparison"] = {"against": base_name,
+                                **compare(report, baseline)}
+        flagged = report["comparison"]["regressions"]
+        if flagged:
+            print(f"!! {len(flagged)} regression(s) vs {base_name}:")
+            for item in flagged:
+                print(f"   {item['what']}: {item['ratio']}x slower")
+        elif report["comparison"]["comparable"]:
+            print(f"no regressions vs {base_name}")
+        else:
+            print(f"previous baseline {base_name} not comparable "
+                  "(quick/full mismatch)")
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+    failed = [f["file"] for f in report["figures"] if not f["passed"]]
+    disagree = [n for n, r in report["scenarios"].items() if not r["agree"]]
+    if failed or disagree:
+        print(f"FAILURES: figures={failed} disagreements={disagree}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

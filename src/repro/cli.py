@@ -20,6 +20,7 @@ from .compile.dnnf_compiler import DnnfCompiler
 from .logic.cnf import Cnf
 from .nnf.io import to_nnf_format
 from .nnf.queries import model_count
+from .perf import format_stats
 from .sat.dpll import is_satisfiable
 from .sdd.compiler import compile_cnf_sdd
 from .sdd.queries import model_count as sdd_model_count
@@ -44,6 +45,8 @@ def _cmd_count(args: argparse.Namespace) -> int:
         print(f"c decisions {compiler.decisions}")
         print(f"c cache-hits {compiler.cache_hits}")
         print(f"c circuit-edges {circuit.edge_count()}")
+    if args.stats:
+        print(format_stats(compiler.stats))
     return 0
 
 
@@ -56,7 +59,8 @@ def _cmd_sat(args: argparse.Namespace) -> int:
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     cnf = _load(args.file)
-    circuit = DnnfCompiler().compile(cnf)
+    compiler = DnnfCompiler()
+    circuit = compiler.compile(cnf)
     text = to_nnf_format(circuit)
     if args.output:
         with open(args.output, "w") as handle:
@@ -66,6 +70,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
               f"{circuit.edge_count()} edges)")
     else:
         sys.stdout.write(text)
+    if args.stats:
+        print(format_stats(compiler.stats))
     return 0
 
 
@@ -80,6 +86,8 @@ def _cmd_sdd(args: argparse.Namespace) -> int:
     print(f"c sdd-size {root.size()}")
     print(f"c sdd-nodes {root.node_count()}")
     print(f"s mc {sdd_model_count(root)}")
+    if args.stats:
+        print(format_stats(manager.stats))
     return 0
 
 
@@ -111,6 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--no-cache", action="store_true",
                        help="disable component caching")
     count.add_argument("-v", "--verbose", action="store_true")
+    count.add_argument("--stats", action="store_true",
+                       help="print perf counters (propagations, cache "
+                            "hits, ...) as DIMACS comments")
     count.set_defaults(func=_cmd_count)
 
     sat = commands.add_parser("sat", help="decide satisfiability")
@@ -121,12 +132,16 @@ def build_parser() -> argparse.ArgumentParser:
         "compile", help="compile to Decision-DNNF (c2d .nnf format)")
     compile_cmd.add_argument("file")
     compile_cmd.add_argument("-o", "--output")
+    compile_cmd.add_argument("--stats", action="store_true",
+                             help="print compiler perf counters")
     compile_cmd.set_defaults(func=_cmd_compile)
 
     sdd = commands.add_parser("sdd", help="compile to an SDD")
     sdd.add_argument("file")
     sdd.add_argument("--vtree", default="balanced",
                      choices=["balanced", "right-linear", "left-linear"])
+    sdd.add_argument("--stats", action="store_true",
+                     help="print apply-cache perf counters")
     sdd.set_defaults(func=_cmd_sdd)
 
     enumerate_cmd = commands.add_parser("enumerate",

@@ -12,15 +12,30 @@ variables are decided before all others.  Compiling with the E-MAJSAT
 ``Y`` variables as priorities produces a *constrained* Decision-DNNF on
 which E-MAJSAT and MAJMAJSAT become circuit evaluations (Section 3,
 [61, 67]); see :mod:`repro.solvers`.
+
+Hot-path configuration (see ``docs/performance.md``): by default the
+search runs on a persistent two-watched-literal trail engine over
+clause indices — conditioning is an enqueue plus propagation,
+unconditioning a trail rewind, and no residual clause list is ever
+materialised (``propagator="legacy"`` restores the seed's recursion
+with per-node clause-list rebuilding and rescan propagation as a
+benchmark baseline).  ``cache_mode`` picks the component cache keys:
+cheap canonical hashes by default, ``"exact"`` collision-free
+materialised keys.  ``stats`` is a
+:class:`repro.perf.instrument.Counter` accumulating propagations,
+clause visits, decisions and cache hits per ``compile`` call.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..logic.cnf import Cnf
 from ..nnf.node import NnfManager, NnfNode
-from ..sat.components import split_components
+from ..perf.instrument import Counter
+from ..sat.components import split_components, trail_components
+from ..sat.counter import component_key
+from ..sat.propagation import TrailPropagator
 
 __all__ = ["DnnfCompiler", "compile_cnf"]
 
@@ -44,16 +59,33 @@ class DnnfCompiler:
         still applied, but branching picks priority variables — this
         yields circuits in which every path decides all (relevant)
         priority variables before any other variable.
+    cache_mode:
+        ``"hash"`` (default) keys the component cache by a cheap
+        canonical hash; ``"exact"`` by the frozenset of clauses — the
+        collision-free correctness fallback.
+    propagator:
+        ``"watched"`` (default) runs the trail-based search on the
+        two-watched-literal engine; ``"legacy"`` the seed's clause-list
+        recursion with rescan propagation, kept as a measurable
+        baseline.
     """
 
     def __init__(self, manager: NnfManager | None = None,
                  use_components: bool = True, use_cache: bool = True,
-                 priority: Sequence[int] | None = None):
+                 priority: Sequence[int] | None = None,
+                 cache_mode: str = "hash", propagator: str = "watched"):
+        if cache_mode not in ("hash", "exact"):
+            raise ValueError(f"unknown cache_mode {cache_mode!r}")
+        if propagator not in ("watched", "legacy"):
+            raise ValueError(f"unknown propagator {propagator!r}")
         self.manager = manager or NnfManager()
         self.use_components = use_components
         self.use_cache = use_cache
+        self.cache_mode = cache_mode
+        self.propagator = propagator
         self.priority = {v: i for i, v in enumerate(priority or ())}
-        self.cache: Dict[FrozenSet[Clause], NnfNode] = {}
+        self.cache: Dict[Hashable, NnfNode] = {}
+        self.stats = Counter()
         self.cache_hits = 0
         self.decisions = 0
 
@@ -65,13 +97,95 @@ class DnnfCompiler:
         account for them.
         """
         self.cache.clear()
+        self.stats.clear()
         self.cache_hits = 0
         self.decisions = 0
         if any(len(c) == 0 for c in cnf.clauses):
             return self.manager.false()
+        if self.propagator == "watched":
+            return self._compile_trail(list(cnf.clauses))
         return self._compile(list(cnf.clauses))
 
-    # -- search --------------------------------------------------------------
+    # -- trail-based search (the default, sharpSAT-style) ---------------------
+    # The same architecture as ModelCounter's trail path: one persistent
+    # watched-literal engine per compile, conditioning by trail
+    # enqueue/rewind, and clause *indices* instead of materialised
+    # residual clause lists.  The trail delta of a branch (decision plus
+    # propagated literals) becomes the branch's literal conjuncts, so
+    # the produced circuit is a Decision-DNNF exactly like the legacy
+    # recursion's — shapes can differ marginally because the index-based
+    # cache distinguishes clause multiplicity where frozensets do not.
+    def _compile_trail(self, clauses: List[Clause]) -> NnfNode:
+        engine = TrailPropagator(clauses, max(
+            (abs(lit) for c in clauses for lit in c), default=0), self.stats)
+        if not engine.assert_root():
+            return self.manager.false()
+        guards = [self.manager.literal(lit)
+                  for lit in sorted(engine.trail, key=abs)]
+        parts = self._ct_parts(range(len(clauses)), engine, clauses)
+        return self.manager.conjoin(*(guards + parts))
+
+    def _ct_parts(self, indices, engine: TrailPropagator,
+                  clauses: List[Clause]) -> List[NnfNode]:
+        components, occ = trail_components(clauses, indices, engine.values,
+                                           self.use_components)
+        if self.use_components and components:
+            self.stats.incr("component_splits")
+            self.stats.incr("components_found", len(components))
+        return [self._ct_component(comp_indices, comp_vars, occ,
+                                   engine, clauses)
+                for comp_indices, comp_vars in components]
+
+    def _ct_component(self, comp_indices: List[int], comp_vars: List[int],
+                      occ, engine: TrailPropagator,
+                      clauses: List[Clause]) -> NnfNode:
+        key: Optional[Hashable] = None
+        if self.use_cache:
+            # (clause ids, free vars) fully determines the residual: all
+            # assigned literals of an unsatisfied clause are false
+            ids = tuple(comp_indices)
+            vrs = tuple(sorted(comp_vars))
+            key = ((hash(ids), hash(vrs))
+                   if self.cache_mode == "hash" else (ids, vrs))
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.cache_hits += 1
+                self.stats.incr("cache_hits")
+                return hit
+        var = self._pick_trail(comp_vars, occ)
+        self.decisions += 1
+        self.stats.incr("decisions")
+        branches = []
+        for value in (True, False):
+            literal = var if value else -var
+            mark = len(engine.trail)
+            if engine.condition(literal):
+                # the decision literal (trail[mark]) must stay the first
+                # conjunct: or-gates are decision gates (X∧α)∨(¬X∧β)
+                implied = sorted(engine.trail[mark + 1:], key=abs)
+                guards = [self.manager.literal(lit)
+                          for lit in [literal] + implied]
+                parts = self._ct_parts(comp_indices, engine, clauses)
+                branches.append(self.manager.conjoin(*(guards + parts)))
+            else:
+                branches.append(self.manager.conjoin(
+                    self.manager.literal(literal), self.manager.false()))
+            engine.undo_to(mark)
+        node = self.manager.disjoin(*branches)
+        if key is not None:
+            self.cache[key] = node
+        return node
+
+    def _pick_trail(self, comp_vars: List[int], occ) -> int:
+        if self.priority:
+            prioritized = [v for v in comp_vars if v in self.priority]
+            if prioritized:
+                return min(prioritized, key=lambda v: self.priority[v])
+        # all occurrences of a component variable lie inside the
+        # component, so the shared occurrence lists are its scores
+        return max(comp_vars, key=lambda v: (len(occ[v]), -v))
+
+    # -- clause-list search (the measurable legacy baseline) -------------------
     def _compile(self, clauses: List[Clause]) -> NnfNode:
         implied, residual = self._unit_propagate(clauses)
         if residual is None:
@@ -81,22 +195,24 @@ class DnnfCompiler:
         if not residual:
             return self.manager.conjoin(*guards)
         if self.use_components:
-            parts = split_components(residual)
+            parts = split_components(residual, self.stats)
         else:
             parts = [residual]
         compiled = [self._compile_component(part) for part in parts]
         return self.manager.conjoin(*(guards + compiled))
 
     def _compile_component(self, clauses: List[Clause]) -> NnfNode:
-        key: Optional[FrozenSet[Clause]] = None
+        key: Optional[Hashable] = None
         if self.use_cache:
-            key = frozenset(clauses)
+            key = component_key(clauses, self.cache_mode)
             hit = self.cache.get(key)
             if hit is not None:
                 self.cache_hits += 1
+                self.stats.incr("cache_hits")
                 return hit
         var = self._pick_variable(clauses)
         self.decisions += 1
+        self.stats.incr("decisions")
         branches = []
         for value in (True, False):
             literal = var if value else -var
@@ -113,14 +229,23 @@ class DnnfCompiler:
         return node
 
     # -- helpers ---------------------------------------------------------------
-    @staticmethod
-    def _unit_propagate(clauses: List[Clause]
+    def _unit_propagate(self, clauses: List[Clause]
                         ) -> Tuple[List[int], Optional[List[Clause]]]:
         """Returns (implied literals, residual clauses) or (_, None) on
         conflict.  The residual mentions no implied variable."""
+        return self._unit_propagate_legacy(clauses, self.stats)
+
+    @staticmethod
+    def _unit_propagate_legacy(clauses: List[Clause],
+                               stats: Counter | None = None
+                               ) -> Tuple[List[int],
+                                          Optional[List[Clause]]]:
+        """The seed propagator: re-scans every clause per round."""
         implied: Dict[int, bool] = {}
         current = clauses
         while True:
+            if stats is not None:
+                stats.incr("clause_visits", len(current))
             units = [c[0] for c in current if len(c) == 1]
             if not units:
                 return ([v if val else -v for v, val in implied.items()],
@@ -130,6 +255,8 @@ class DnnfCompiler:
                 if implied.get(var, value) != value:
                     return ([], None)
                 implied[var] = value
+                if stats is not None:
+                    stats.incr("propagations")
             reduced: List[Clause] = []
             for clause in current:
                 satisfied = False
@@ -154,22 +281,31 @@ class DnnfCompiler:
         for clause in clauses:
             for lit in clause:
                 counts[abs(lit)] = counts.get(abs(lit), 0) + 1
-        prioritized = [v for v in counts if v in self.priority]
-        if prioritized:
-            return min(prioritized, key=lambda v: self.priority[v])
+        if self.priority:
+            prioritized = [v for v in counts if v in self.priority]
+            if prioritized:
+                return min(prioritized, key=lambda v: self.priority[v])
         return max(counts, key=lambda v: (counts[v], -v))
 
     @staticmethod
     def _condition(clauses: List[Clause], var: int, value: bool
                    ) -> Optional[List[Clause]]:
+        # satisfied clauses are dropped first, so the remaining
+        # occurrences of `var` are exactly the false literal — tuple
+        # containment scans at C level
+        true_lit = var if value else -var
+        false_lit = -true_lit
         result: List[Clause] = []
         for clause in clauses:
-            if any(abs(lit) == var and (lit > 0) == value for lit in clause):
+            if true_lit in clause:
                 continue
-            reduced = tuple(lit for lit in clause if abs(lit) != var)
-            if not reduced:
-                return None
-            result.append(reduced)
+            if false_lit in clause:
+                reduced = tuple(lit for lit in clause if lit != false_lit)
+                if not reduced:
+                    return None
+                result.append(reduced)
+            else:
+                result.append(clause)
         return result
 
 

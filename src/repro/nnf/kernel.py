@@ -1,0 +1,406 @@
+"""Iterative circuit kernels over dense node arrays.
+
+The query functions in :mod:`repro.nnf.queries` originally rebuilt a
+``dict`` keyed by node id on every call and re-derived or-gate gap
+variables (``node.variables() - child.variables()``) each time.  For
+repeated queries on one circuit — the WMC-per-evidence loop of the
+paper's Section 2.1 reductions — that repeated set algebra dominates
+the run time.
+
+A :class:`CircuitKernel` is built once per circuit root and then reused
+across queries.  Building it runs one iterative topological pass that
+
+* assigns every node a dense index ``0..n-1`` (children before
+  parents) and records its kind as a small int code,
+* resolves every child pointer to a dense index (tuples of ints —
+  no per-query id hashing),
+* computes all variable sets bottom-up (also caching them into
+  ``NnfNode._vars`` so legacy code benefits), and
+* precomputes, for every or-gate edge, the *gap* — the variables of
+  the gate missing from that child — both as a bit-shift count and as
+  a variable tuple.
+
+Queries are then single passes over preallocated scratch arrays with
+no recursion (deep circuits cannot hit the interpreter recursion
+limit) and no set operations.  Pure results (model count, sat flags,
+marginal derivatives) are memoised on the kernel.
+
+Use :func:`get_kernel` to obtain the kernel for a root; kernels are
+cached on the root's :class:`~repro.nnf.node.NnfManager`, so repeated
+queries through :mod:`repro.nnf.queries` pay the build cost once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..perf.instrument import Counter
+from .node import NnfNode
+
+__all__ = ["CircuitKernel", "get_kernel", "KIND_LIT", "KIND_TRUE",
+           "KIND_FALSE", "KIND_AND", "KIND_OR"]
+
+Weights = Mapping[int, float]
+
+KIND_LIT = 0
+KIND_TRUE = 1
+KIND_FALSE = 2
+KIND_AND = 3
+KIND_OR = 4
+
+_KIND_CODE = {"lit": KIND_LIT, "true": KIND_TRUE, "false": KIND_FALSE,
+              "and": KIND_AND, "or": KIND_OR}
+
+
+class CircuitKernel:
+    """Dense-array evaluation engine for one NNF circuit."""
+
+    __slots__ = ("root", "n", "nodes", "kinds", "lits", "children",
+                 "varsets", "or_gap_bits", "or_gap_vars", "_scratch",
+                 "_model_count", "_sat", "_derivatives")
+
+    def __init__(self, root: NnfNode):
+        self.root = root
+        order = root.topological()
+        self.n = n = len(order)
+        self.nodes: List[NnfNode] = order
+        index: Dict[int, int] = {node.id: i for i, node in enumerate(order)}
+        self.kinds: List[int] = [_KIND_CODE[node.kind] for node in order]
+        self.lits: List[int] = [node.literal for node in order]
+        self.children: List[Tuple[int, ...]] = [
+            tuple(index[c.id] for c in node.children) for node in order]
+        # bottom-up variable sets; cache into the nodes as a side effect
+        varsets: List[frozenset] = [frozenset()] * n
+        for i, node in enumerate(order):
+            kind = self.kinds[i]
+            if kind == KIND_LIT:
+                vs = frozenset((abs(node.literal),))
+            elif kind >= KIND_AND:
+                kids = self.children[i]
+                if kids:
+                    vs = frozenset().union(*(varsets[c] for c in kids))
+                else:
+                    vs = frozenset()
+            else:
+                vs = frozenset()
+            varsets[i] = vs
+            if node._vars is None:
+                node._vars = vs
+        self.varsets = varsets
+        # per-or-gate gap data, aligned with self.children[i]
+        self.or_gap_bits: List[Optional[Tuple[int, ...]]] = [None] * n
+        self.or_gap_vars: List[Optional[Tuple[Tuple[int, ...], ...]]] = \
+            [None] * n
+        for i in range(n):
+            if self.kinds[i] != KIND_OR:
+                continue
+            node_vars = varsets[i]
+            gaps = []
+            gap_vars = []
+            for c in self.children[i]:
+                missing = node_vars - varsets[c]
+                gaps.append(len(missing))
+                gap_vars.append(tuple(sorted(missing)))
+            self.or_gap_bits[i] = tuple(gaps)
+            self.or_gap_vars[i] = tuple(gap_vars)
+        self._scratch: List = [None] * n
+        self._model_count: Optional[int] = None
+        self._sat: Optional[List[bool]] = None
+        self._derivatives: Optional[List[int]] = None
+
+    # -- satisfiability ------------------------------------------------------
+    def sat_flags(self, stats: Counter | None = None) -> List[bool]:
+        """Per-node satisfiability of a DNNF (memoised)."""
+        if self._sat is None:
+            if stats is not None:
+                stats.incr("nodes_visited", self.n)
+            flags: List[bool] = [False] * self.n
+            kinds = self.kinds
+            children = self.children
+            for i in range(self.n):
+                kind = kinds[i]
+                if kind == KIND_AND:
+                    flags[i] = all(flags[c] for c in children[i])
+                elif kind == KIND_OR:
+                    flags[i] = any(flags[c] for c in children[i])
+                else:
+                    flags[i] = kind != KIND_FALSE
+            self._sat = flags
+        return self._sat
+
+    def sat(self, stats: Counter | None = None) -> bool:
+        return self.sat_flags(stats)[self.n - 1] if self.n else False
+
+    def sat_model(self, stats: Counter | None = None
+                  ) -> Optional[Dict[int, bool]]:
+        """A partial satisfying assignment of a DNNF, or None."""
+        flags = self.sat_flags(stats)
+        if not flags[self.n - 1]:
+            return None
+        model: Dict[int, bool] = {}
+        stack = [self.n - 1]
+        kinds = self.kinds
+        while stack:
+            i = stack.pop()
+            kind = kinds[i]
+            if kind == KIND_LIT:
+                lit = self.lits[i]
+                model[abs(lit)] = lit > 0
+            elif kind == KIND_AND:
+                stack.extend(self.children[i])
+            elif kind == KIND_OR:
+                for c in self.children[i]:
+                    if flags[c]:
+                        stack.append(c)
+                        break
+        return model
+
+    # -- counting ------------------------------------------------------------
+    def model_count(self, stats: Counter | None = None) -> int:
+        """#SAT of a d-DNNF over the circuit's own variables (memoised)."""
+        if self._model_count is None:
+            self._model_count = self._count_pass(stats)
+        elif stats is not None:
+            stats.incr("kernel_memo_hits")
+        return self._model_count
+
+    def _count_pass(self, stats: Counter | None = None) -> int:
+        if stats is not None:
+            stats.incr("nodes_visited", self.n)
+        counts = self._scratch
+        kinds = self.kinds
+        children = self.children
+        gap_bits = self.or_gap_bits
+        for i in range(self.n):
+            kind = kinds[i]
+            if kind == KIND_AND:
+                value = 1
+                for c in children[i]:
+                    value *= counts[c]
+                counts[i] = value
+            elif kind == KIND_OR:
+                total = 0
+                gaps = gap_bits[i]
+                kids = children[i]
+                for k in range(len(kids)):
+                    total += counts[kids[k]] << gaps[k]
+                counts[i] = total
+            else:
+                counts[i] = 0 if kind == KIND_FALSE else 1
+        return counts[self.n - 1] if self.n else 0
+
+    def wmc(self, weights: Weights, stats: Counter | None = None) -> float:
+        """Weighted model count of a d-DNNF over the circuit variables.
+
+        Or-gate gap variables contribute ``W(v) + W(-v)``; the caller
+        widens to extra variables the same way.
+        """
+        if stats is not None:
+            stats.incr("nodes_visited", self.n)
+        values = self._scratch
+        kinds = self.kinds
+        children = self.children
+        gap_vars = self.or_gap_vars
+        lits = self.lits
+        for i in range(self.n):
+            kind = kinds[i]
+            if kind == KIND_LIT:
+                values[i] = weights[lits[i]]
+            elif kind == KIND_AND:
+                value = 1.0
+                for c in children[i]:
+                    value *= values[c]
+                values[i] = value
+            elif kind == KIND_OR:
+                total = 0.0
+                gaps = gap_vars[i]
+                kids = children[i]
+                for k in range(len(kids)):
+                    factor = values[kids[k]]
+                    for var in gaps[k]:
+                        factor *= weights[var] + weights[-var]
+                    total += factor
+                values[i] = total
+            else:
+                values[i] = 0.0 if kind == KIND_FALSE else 1.0
+        return values[self.n - 1] if self.n else 0.0
+
+    # -- optimisation --------------------------------------------------------
+    def mpe(self, weights: Weights, stats: Counter | None = None
+            ) -> Tuple[float, Dict[int, bool]]:
+        """Max-product upward pass plus traceback on a d-DNNF."""
+        if stats is not None:
+            stats.incr("nodes_visited", self.n)
+
+        def best_literal(var: int) -> int:
+            return var if weights[var] >= weights[-var] else -var
+
+        values: List[float] = [0.0] * self.n
+        kinds = self.kinds
+        children = self.children
+        gap_vars = self.or_gap_vars
+        neg_inf = float("-inf")
+        for i in range(self.n):
+            kind = kinds[i]
+            if kind == KIND_LIT:
+                values[i] = weights[self.lits[i]]
+            elif kind == KIND_AND:
+                value = 1.0
+                for c in children[i]:
+                    value *= values[c]
+                values[i] = value
+            elif kind == KIND_OR:
+                best = neg_inf
+                gaps = gap_vars[i]
+                kids = children[i]
+                for k in range(len(kids)):
+                    value = values[kids[k]]
+                    for var in gaps[k]:
+                        value *= weights[best_literal(var)]
+                    if value > best:
+                        best = value
+                values[i] = best
+            else:
+                values[i] = neg_inf if kind == KIND_FALSE else 1.0
+        assignment: Dict[int, bool] = {}
+        if not self.n:
+            return 0.0, assignment
+        stack = [self.n - 1]
+        while stack:
+            i = stack.pop()
+            kind = kinds[i]
+            if kind == KIND_LIT:
+                lit = self.lits[i]
+                assignment[abs(lit)] = lit > 0
+            elif kind == KIND_AND:
+                stack.extend(children[i])
+            elif kind == KIND_OR:
+                gaps = gap_vars[i]
+                kids = children[i]
+                best_k, best_value = -1, neg_inf
+                for k in range(len(kids)):
+                    value = values[kids[k]]
+                    for var in gaps[k]:
+                        value *= weights[best_literal(var)]
+                    if value > best_value:
+                        best_k, best_value = k, value
+                if best_k >= 0:
+                    for var in gaps[best_k]:
+                        lit = best_literal(var)
+                        assignment[abs(lit)] = lit > 0
+                    stack.append(kids[best_k])
+        return values[self.n - 1], assignment
+
+    # -- marginals -----------------------------------------------------------
+    def smooth_or_gates(self) -> bool:
+        """True when every or-gate's children share one variable set."""
+        for i in range(self.n):
+            if self.kinds[i] == KIND_OR and self.children[i]:
+                gaps = self.or_gap_bits[i]
+                if any(gaps):
+                    return False
+                first = self.varsets[self.children[i][0]]
+                for c in self.children[i][1:]:
+                    if self.varsets[c] != first:
+                        return False
+        return True
+
+    def derivatives(self, stats: Counter | None = None) -> List[int]:
+        """d(root count)/d(node) for every node of a smooth d-DNNF
+        (memoised): the downward differential pass of the marginals
+        algorithm."""
+        if self._derivatives is not None:
+            if stats is not None:
+                stats.incr("kernel_memo_hits")
+            return self._derivatives
+        if stats is not None:
+            stats.incr("nodes_visited", 2 * self.n)
+        counts: List[int] = [0] * self.n
+        kinds = self.kinds
+        children = self.children
+        for i in range(self.n):
+            kind = kinds[i]
+            if kind == KIND_AND:
+                value = 1
+                for c in children[i]:
+                    value *= counts[c]
+                counts[i] = value
+            elif kind == KIND_OR:
+                if self.children[i] and \
+                        len({self.varsets[c] for c in children[i]}) != 1:
+                    raise ValueError(
+                        "marginal_counts requires a smooth circuit")
+                counts[i] = sum(counts[c] for c in children[i])
+            else:
+                counts[i] = 0 if kind == KIND_FALSE else 1
+        derivative: List[int] = [0] * self.n
+        if self.n:
+            derivative[self.n - 1] = 1
+        for i in range(self.n - 1, -1, -1):
+            d = derivative[i]
+            kind = kinds[i]
+            if d == 0 or kind < KIND_AND:
+                continue
+            kids = children[i]
+            if kind == KIND_OR:
+                for c in kids:
+                    derivative[c] += d
+            else:
+                for c in kids:
+                    partial = d
+                    for s in kids:
+                        if s != c:
+                            partial *= counts[s]
+                    derivative[c] += partial
+        self._derivatives = derivative
+        return derivative
+
+    def marginals(self, stats: Counter | None = None) -> Dict[int, int]:
+        """Literal → number of root models containing it (smooth
+        d-DNNF); unmentioned variables are the caller's concern."""
+        derivative = self.derivatives(stats)
+        result: Dict[int, int] = {}
+        for i in range(self.n):
+            if self.kinds[i] == KIND_LIT:
+                lit = self.lits[i]
+                result[lit] = result.get(lit, 0) + derivative[i]
+        return result
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate(self, assignment: Mapping[int, bool],
+                 stats: Counter | None = None) -> bool:
+        if stats is not None:
+            stats.incr("nodes_visited", self.n)
+        values = self._scratch
+        kinds = self.kinds
+        children = self.children
+        for i in range(self.n):
+            kind = kinds[i]
+            if kind == KIND_LIT:
+                lit = self.lits[i]
+                value = assignment[abs(lit)]
+                values[i] = value if lit > 0 else not value
+            elif kind == KIND_AND:
+                values[i] = all(values[c] for c in children[i])
+            elif kind == KIND_OR:
+                values[i] = any(values[c] for c in children[i])
+            else:
+                values[i] = kind == KIND_TRUE
+        return bool(values[self.n - 1]) if self.n else False
+
+
+def get_kernel(root: NnfNode) -> CircuitKernel:
+    """The (cached) kernel for ``root``.
+
+    Kernels are memoised on the root's manager keyed by node id; nodes
+    are immutable and hash-consed, so a cached kernel never goes stale
+    even as the manager keeps growing.
+    """
+    manager = root.manager
+    cache = getattr(manager, "_kernel_cache", None)
+    if cache is None:
+        cache = manager._kernel_cache = {}
+    kernel = cache.get(root.id)
+    if kernel is None:
+        kernel = cache[root.id] = CircuitKernel(root)
+    return kernel

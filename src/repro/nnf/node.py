@@ -28,7 +28,8 @@ FALSE_KIND = "false"
 class NnfNode:
     """A node in an NNF circuit.  Create via :class:`NnfManager`."""
 
-    __slots__ = ("kind", "literal", "children", "id", "manager", "_vars")
+    __slots__ = ("kind", "literal", "children", "id", "manager", "_vars",
+                 "_size")
 
     def __init__(self, kind: str, literal: int,
                  children: Tuple["NnfNode", ...],
@@ -39,6 +40,7 @@ class NnfNode:
         self.id = node_id
         self.manager = manager
         self._vars: FrozenSet[int] | None = None
+        self._size: Tuple[int, int] | None = None  # (nodes, edges)
 
     # -- structure ----------------------------------------------------------
     @property
@@ -68,17 +70,23 @@ class NnfNode:
         return abs(self.literal)
 
     def variables(self) -> FrozenSet[int]:
-        """Variables in the subcircuit (cached, computed once per node)."""
+        """Variables in the subcircuit (cached, computed once per node).
+
+        Computed by one iterative bottom-up pass that fills the cache
+        for every node in the subcircuit — no recursion, so circuits
+        deeper than the interpreter recursion limit are fine.
+        """
         if self._vars is None:
-            if self.is_literal:
-                self._vars = frozenset((abs(self.literal),))
-            elif self.kind in (TRUE_KIND, FALSE_KIND):
-                self._vars = frozenset()
-            else:
-                acc: FrozenSet[int] = frozenset()
-                for child in self.children:
-                    acc |= child.variables()
-                self._vars = acc
+            for node in self.topological():
+                if node._vars is not None:
+                    continue
+                if node.kind == LIT:
+                    node._vars = frozenset((abs(node.literal),))
+                elif not node.children:
+                    node._vars = frozenset()
+                else:
+                    node._vars = frozenset().union(
+                        *(c._vars for c in node.children))
         return self._vars
 
     # -- traversal ----------------------------------------------------------
@@ -101,12 +109,25 @@ class NnfNode:
                     stack.append((child, False))
         return order
 
+    def _measure(self) -> Tuple[int, int]:
+        if self._size is None:
+            order = self.topological()
+            self._size = (len(order),
+                          sum(len(node.children) for node in order))
+        return self._size
+
     def node_count(self) -> int:
-        return len(self.topological())
+        """Distinct nodes in the subcircuit (cached after one pass)."""
+        return self._measure()[0]
 
     def edge_count(self) -> int:
-        """Number of wires; the paper's standard circuit-size measure."""
-        return sum(len(node.children) for node in self.topological())
+        """Number of wires; the paper's standard circuit-size measure.
+        Cached after one traversal of the DAG."""
+        return self._measure()[1]
+
+    def size(self) -> int:
+        """Circuit size |Δ| as the paper uses it: the edge count."""
+        return self._measure()[1]
 
     # -- semantics ----------------------------------------------------------
     def evaluate(self, assignment: Dict[int, bool]) -> bool:

@@ -8,12 +8,23 @@ literal weights), so explicit smoothing is not required — but see
 
 The caller is responsible for the circuit actually having the stated
 property; :mod:`repro.nnf.properties` provides checkers.
+
+All single-pass queries run on the dense-array engine of
+:mod:`repro.nnf.kernel`: the kernel is built once per circuit (cached
+on its manager) and repeated queries reuse its precomputed topological
+order and or-gate gap data.  The seed's dict-per-call implementations
+survive in :mod:`repro.nnf.queries_legacy` as the benchmark baseline
+and cross-check reference.  Each query takes an optional ``stats``
+:class:`~repro.perf.instrument.Counter` that accumulates a
+``nodes_visited`` count.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from ..perf.instrument import Counter
+from .kernel import get_kernel
 from .node import NnfNode
 
 __all__ = ["is_satisfiable_dnnf", "sat_model_dnnf", "model_count",
@@ -23,125 +34,50 @@ __all__ = ["is_satisfiable_dnnf", "sat_model_dnnf", "model_count",
 Weights = Mapping[int, float]
 
 
-def is_satisfiable_dnnf(root: NnfNode) -> bool:
+def is_satisfiable_dnnf(root: NnfNode,
+                        stats: Counter | None = None) -> bool:
     """SAT on a DNNF circuit — linear time [22]; unlocks NP."""
-    sat: Dict[int, bool] = {}
-    for node in root.topological():
-        if node.is_literal or node.is_true:
-            sat[node.id] = True
-        elif node.is_false:
-            sat[node.id] = False
-        elif node.is_and:
-            sat[node.id] = all(sat[c.id] for c in node.children)
-        else:
-            sat[node.id] = any(sat[c.id] for c in node.children)
-    return sat[root.id]
+    return get_kernel(root).sat(stats)
 
 
-def sat_model_dnnf(root: NnfNode) -> Optional[Dict[int, bool]]:
+def sat_model_dnnf(root: NnfNode, stats: Counter | None = None
+                   ) -> Optional[Dict[int, bool]]:
     """A satisfying assignment of a DNNF circuit (partial: only the
     variables that matter are set), or None if unsatisfiable."""
-    sat: Dict[int, bool] = {}
-    order = root.topological()
-    for node in order:
-        if node.is_literal or node.is_true:
-            sat[node.id] = True
-        elif node.is_false:
-            sat[node.id] = False
-        elif node.is_and:
-            sat[node.id] = all(sat[c.id] for c in node.children)
-        else:
-            sat[node.id] = any(sat[c.id] for c in node.children)
-    if not sat[root.id]:
-        return None
-    model: Dict[int, bool] = {}
-    stack = [root]
-    while stack:
-        node = stack.pop()
-        if node.is_literal:
-            model[abs(node.literal)] = node.literal > 0
-        elif node.is_and:
-            stack.extend(node.children)
-        elif node.is_or:
-            for child in node.children:
-                if sat[child.id]:
-                    stack.append(child)
-                    break
-    return model
+    return get_kernel(root).sat_model(stats)
 
 
 def model_count(root: NnfNode,
-                variables: Sequence[int] | None = None) -> int:
+                variables: Sequence[int] | None = None,
+                stats: Counter | None = None) -> int:
     """#SAT on a d-DNNF circuit (Fig 8) — requires decomposability and
     determinism.  ``variables`` widens the count to a superset of the
     circuit variables (each absent variable doubles the count)."""
-    counts: Dict[int, int] = {}
-    for node in root.topological():
-        if node.is_literal:
-            counts[node.id] = 1
-        elif node.is_true:
-            counts[node.id] = 1
-        elif node.is_false:
-            counts[node.id] = 0
-        elif node.is_and:
-            value = 1
-            for child in node.children:
-                value *= counts[child.id]
-            counts[node.id] = value
-        else:  # or: children may mention fewer variables -> scale the gap
-            node_vars = node.variables()
-            total = 0
-            for child in node.children:
-                gap = len(node_vars) - len(child.variables())
-                total += counts[child.id] << gap
-            counts[node.id] = total
-    result = counts[root.id]
+    kernel = get_kernel(root)
+    result = kernel.model_count(stats)
     if variables is not None:
-        extra = set(variables) - set(root.variables())
-        if set(root.variables()) - set(variables):
+        mentioned = root.variables()
+        extra = set(variables) - mentioned
+        if mentioned - set(variables):
             raise ValueError("variables must cover the circuit variables")
         result <<= len(extra)
     return result
 
 
 def weighted_model_count(root: NnfNode, weights: Weights,
-                         variables: Sequence[int] | None = None) -> float:
+                         variables: Sequence[int] | None = None,
+                         stats: Counter | None = None) -> float:
     """WMC on a d-DNNF circuit — the workhorse reduction target (§2.1).
 
     ``weights`` maps literals (±v) to weights.  Missing variables of an
     or-gate's child contribute a factor W(v) + W(-v); likewise variables
     in ``variables`` that are absent from the whole circuit.
     """
-    def var_weight(var: int) -> float:
-        return weights[var] + weights[-var]
-
-    values: Dict[int, float] = {}
-    for node in root.topological():
-        if node.is_literal:
-            values[node.id] = weights[node.literal]
-        elif node.is_true:
-            values[node.id] = 1.0
-        elif node.is_false:
-            values[node.id] = 0.0
-        elif node.is_and:
-            value = 1.0
-            for child in node.children:
-                value *= values[child.id]
-            values[node.id] = value
-        else:
-            node_vars = node.variables()
-            total = 0.0
-            for child in node.children:
-                gap = node_vars - child.variables()
-                factor = values[child.id]
-                for var in gap:
-                    factor *= var_weight(var)
-                total += factor
-            values[node.id] = total
-    result = values[root.id]
+    kernel = get_kernel(root)
+    result = kernel.wmc(weights, stats)
     if variables is not None:
-        for var in set(variables) - set(root.variables()):
-            result *= var_weight(var)
+        for var in set(variables) - root.variables():
+            result *= weights[var] + weights[-var]
     return result
 
 
@@ -152,6 +88,8 @@ def enumerate_models(root: NnfNode,
 
     Works on any DNNF (determinism not required: duplicates are removed
     per node), yielding complete assignments over ``variables``.
+    Output-exponential by nature, so it stays on the node-object
+    traversal rather than the kernel.
     """
     if variables is None:
         variables = sorted(root.variables())
@@ -198,73 +136,25 @@ def _completions(term: Tuple[int, ...], free: List[int]
 
 
 def mpe(root: NnfNode, weights: Weights,
-        variables: Sequence[int] | None = None
+        variables: Sequence[int] | None = None,
+        stats: Counter | None = None
         ) -> Tuple[float, Dict[int, bool]]:
     """Most probable explanation on a d-DNNF: max-product upward pass
     plus traceback.  Returns (max weight, maximising assignment)."""
     if variables is None:
         variables = sorted(root.variables())
-
-    def best_literal(var: int) -> int:
-        return var if weights[var] >= weights[-var] else -var
-
-    values: Dict[int, float] = {}
-    for node in root.topological():
-        if node.is_literal:
-            values[node.id] = weights[node.literal]
-        elif node.is_true:
-            values[node.id] = 1.0
-        elif node.is_false:
-            values[node.id] = float("-inf")
-        elif node.is_and:
-            value = 1.0
-            for child in node.children:
-                value *= values[child.id]
-            values[node.id] = value
-        else:
-            node_vars = node.variables()
-            best = float("-inf")
-            for child in node.children:
-                value = values[child.id]
-                for var in node_vars - child.variables():
-                    value *= weights[best_literal(var)]
-                best = max(best, value)
-            values[node.id] = best
-    # traceback
-    assignment: Dict[int, bool] = {}
-    stack = [root]
-    while stack:
-        node = stack.pop()
-        if node.is_literal:
-            assignment[abs(node.literal)] = node.literal > 0
-        elif node.is_and:
-            stack.extend(node.children)
-        elif node.is_or:
-            node_vars = node.variables()
-            best_child, best_value = None, float("-inf")
-            for child in node.children:
-                value = values[child.id]
-                for var in node_vars - child.variables():
-                    value *= weights[best_literal(var)]
-                if value > best_value:
-                    best_child, best_value = child, value
-            if best_child is not None:
-                for var in node_vars - best_child.variables():
-                    lit = best_literal(var)
-                    assignment[abs(lit)] = lit > 0
-                stack.append(best_child)
-    value = values[root.id]
+    value, assignment = get_kernel(root).mpe(weights, stats)
     for var in variables:
         if var not in assignment:
-            lit = best_literal(var)
+            lit = var if weights[var] >= weights[-var] else -var
             assignment[abs(lit)] = lit > 0
             value *= weights[lit]
     return value, assignment
 
 
 def marginal_counts(root: NnfNode,
-                    variables: Sequence[int] | None = None
-                    ) -> Dict[int, int]:
+                    variables: Sequence[int] | None = None,
+                    stats: Counter | None = None) -> Dict[int, int]:
     """For each literal ℓ, the number of models containing ℓ.
 
     Requires a *smooth* d-DNNF (see :func:`repro.nnf.transform.smooth`);
@@ -273,46 +163,9 @@ def marginal_counts(root: NnfNode,
     """
     if variables is None:
         variables = sorted(root.variables())
-    order = root.topological()
-    counts: Dict[int, int] = {}
-    for node in order:
-        if node.is_literal or node.is_true:
-            counts[node.id] = 1
-        elif node.is_false:
-            counts[node.id] = 0
-        elif node.is_and:
-            value = 1
-            for child in node.children:
-                value *= counts[child.id]
-            counts[node.id] = value
-        else:
-            if node.children and len({c.variables()
-                                       for c in node.children}) != 1:
-                raise ValueError("marginal_counts requires a smooth circuit")
-            counts[node.id] = sum(counts[c.id] for c in node.children)
-    # downward pass: derivative of root count w.r.t. each node value
-    derivative: Dict[int, int] = {node.id: 0 for node in order}
-    derivative[root.id] = 1
-    for node in reversed(order):
-        d = derivative[node.id]
-        if d == 0 or node.is_literal or node.is_true or node.is_false:
-            continue
-        if node.is_or:
-            for child in node.children:
-                derivative[child.id] += d
-        else:  # and: product rule
-            for child in node.children:
-                partial = d
-                for sibling in node.children:
-                    if sibling.id != child.id:
-                        partial *= counts[sibling.id]
-                derivative[child.id] += partial
-    result: Dict[int, int] = {}
-    for node in order:
-        if node.is_literal:
-            result[node.literal] = result.get(node.literal, 0) + \
-                derivative[node.id]
-    total = counts[root.id]
+    kernel = get_kernel(root)
+    result = kernel.marginals(stats)
+    total = kernel.model_count(stats)
     mentioned = root.variables()
     for var in variables:
         if var in mentioned:
@@ -327,7 +180,8 @@ def marginal_counts(root: NnfNode,
 
 
 def condition_evaluate(root: NnfNode, evidence: Mapping[int, bool],
-                       weights: Weights) -> float:
+                       weights: Weights,
+                       stats: Counter | None = None) -> float:
     """WMC of the circuit conditioned on ``evidence`` without rebuilding:
     literals inconsistent with evidence weigh 0, consistent ones keep
     their weight.  Requires smooth d-DNNF for exactness on gaps covered
@@ -336,4 +190,4 @@ def condition_evaluate(root: NnfNode, evidence: Mapping[int, bool],
     for var, value in evidence.items():
         adjusted[var] = weights[var] if value else 0.0
         adjusted[-var] = 0.0 if value else weights[-var]
-    return weighted_model_count(root, adjusted)
+    return weighted_model_count(root, adjusted, stats=stats)

@@ -77,6 +77,31 @@ class ObddNode:
                 stack.append(node.high)
         return list(seen.values())
 
+    def topological(self) -> List["ObddNode"]:
+        """Reachable nodes, children before parents (iterative).
+
+        The order the single-pass counting/transform kernels in
+        :mod:`repro.obdd.ops` consume.
+        """
+        order: List[ObddNode] = []
+        seen: set[int] = set()
+        stack: List[Tuple[ObddNode, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if node.id in seen:
+                continue
+            seen.add(node.id)
+            stack.append((node, True))
+            if not node.is_terminal:
+                if node.low.id not in seen:
+                    stack.append((node.low, False))
+                if node.high.id not in seen:
+                    stack.append((node.high, False))
+        return order
+
     def size(self) -> int:
         """Number of decision (non-terminal) nodes."""
         return sum(1 for n in self.nodes() if not n.is_terminal)

@@ -17,24 +17,23 @@ __all__ = ["restrict", "exists", "forall", "compose", "flip_variable",
 
 
 def restrict(node: ObddNode, evidence: Mapping[int, bool]) -> ObddNode:
-    """Condition the function on fixed variable values."""
+    """Condition the function on fixed variable values.
+
+    One iterative children-first pass; diagrams deeper than the
+    interpreter recursion limit are fine.
+    """
     manager = node.manager
-    cache: Dict[int, ObddNode] = {}
-
-    def rec(n: ObddNode) -> ObddNode:
+    rebuilt: Dict[int, ObddNode] = {}
+    for n in node.topological():
         if n.is_terminal:
-            return n
-        hit = cache.get(n.id)
-        if hit is not None:
-            return hit
-        if n.var in evidence:
-            result = rec(n.high if evidence[n.var] else n.low)
+            rebuilt[n.id] = n
+        elif n.var in evidence:
+            rebuilt[n.id] = rebuilt[(n.high if evidence[n.var]
+                                     else n.low).id]
         else:
-            result = manager.make(n.var, rec(n.low), rec(n.high))
-        cache[n.id] = result
-        return result
-
-    return rec(node)
+            rebuilt[n.id] = manager.make(n.var, rebuilt[n.low.id],
+                                         rebuilt[n.high.id])
+    return rebuilt[node.id]
 
 
 def exists(node: ObddNode, variables: Sequence[int]) -> ObddNode:
@@ -68,24 +67,19 @@ def compose(node: ObddNode, var: int, replacement: ObddNode) -> ObddNode:
 def flip_variable(node: ObddNode, var: int) -> ObddNode:
     """The function with the sense of ``var`` inverted:
     g(x) = f(x with bit `var` flipped).  Used by the Hamming-dilation
-    robustness computation (Section 5.2)."""
+    robustness computation (Section 5.2).  Iterative bottom-up pass."""
     manager = node.manager
-    cache: Dict[int, ObddNode] = {}
-
-    def rec(n: ObddNode) -> ObddNode:
+    rebuilt: Dict[int, ObddNode] = {}
+    for n in node.topological():
         if n.is_terminal:
-            return n
-        hit = cache.get(n.id)
-        if hit is not None:
-            return hit
-        if n.var == var:
-            result = manager.make(n.var, rec(n.high), rec(n.low))
+            rebuilt[n.id] = n
+        elif n.var == var:
+            rebuilt[n.id] = manager.make(n.var, rebuilt[n.high.id],
+                                         rebuilt[n.low.id])
         else:
-            result = manager.make(n.var, rec(n.low), rec(n.high))
-        cache[n.id] = result
-        return result
-
-    return rec(node)
+            rebuilt[n.id] = manager.make(n.var, rebuilt[n.low.id],
+                                         rebuilt[n.high.id])
+    return rebuilt[node.id]
 
 
 def model_count(node: ObddNode,
@@ -101,24 +95,26 @@ def model_count(node: ObddNode,
     if missing:
         raise ValueError(f"count variables missing {sorted(missing)}")
     n = len(variables)
-    cache: Dict[Tuple[int, int], int] = {}
+    # One iterative pass, one value per node: counts[id] is the model
+    # count normalized to variables[pos(node.var):] (terminals to the
+    # empty tail), so no (node, depth) product keys are needed — a
+    # child reached from different parents is scaled into each parent's
+    # scope by shifting with the level gap.
+    counts: Dict[int, int] = {}
 
-    def rec(n_node: ObddNode, depth: int) -> int:
-        """Models over variables[depth:]."""
-        if n_node.is_terminal:
-            return (1 << (n - depth)) if n_node.terminal_value else 0
-        key = (n_node.id, depth)
-        hit = cache.get(key)
-        if hit is not None:
-            return hit
-        level = positions[n_node.var]
-        gap = level - depth
-        value = (rec(n_node.low, level + 1) +
-                 rec(n_node.high, level + 1)) << gap
-        cache[key] = value
-        return value
+    def pos(m: ObddNode) -> int:
+        return n if m.is_terminal else positions[m.var]
 
-    return rec(node, 0)
+    for m in node.topological():
+        if m.is_terminal:
+            counts[m.id] = 1 if m.terminal_value else 0
+        else:
+            level = positions[m.var]
+            low, high = m.low, m.high
+            counts[m.id] = \
+                (counts[low.id] << (pos(low) - level - 1)) + \
+                (counts[high.id] << (pos(high) - level - 1))
+    return counts[node.id] << pos(node)
 
 
 def weighted_model_count(node: ObddNode, weights: Mapping[int, float],
@@ -139,24 +135,27 @@ def weighted_model_count(node: ObddNode, weights: Mapping[int, float],
             value *= weights[var] + weights[-var]
         return value
 
-    cache: Dict[Tuple[int, int], float] = {}
+    # values[id]: WMC normalized to variables[pos(node.var):] — the
+    # same single-value-per-node scheme as model_count, with gap
+    # variables contributing W(v) + W(-v) factors.
+    values: Dict[int, float] = {}
 
-    def rec(n_node: ObddNode, depth: int) -> float:
-        if n_node.is_terminal:
-            return span_weight(depth, n) if n_node.terminal_value else 0.0
-        key = (n_node.id, depth)
-        hit = cache.get(key)
-        if hit is not None:
-            return hit
-        level = positions[n_node.var]
-        var = n_node.var
-        value = span_weight(depth, level) * (
-            weights[-var] * rec(n_node.low, level + 1)
-            + weights[var] * rec(n_node.high, level + 1))
-        cache[key] = value
-        return value
+    def pos(m: ObddNode) -> int:
+        return n if m.is_terminal else positions[m.var]
 
-    return rec(node, 0)
+    for m in node.topological():
+        if m.is_terminal:
+            values[m.id] = 1.0 if m.terminal_value else 0.0
+        else:
+            level = positions[m.var]
+            var = m.var
+            low, high = m.low, m.high
+            values[m.id] = (
+                weights[-var] * span_weight(level + 1, pos(low))
+                * values[low.id]
+                + weights[var] * span_weight(level + 1, pos(high))
+                * values[high.id])
+    return span_weight(0, pos(node)) * values[node.id]
 
 
 def enumerate_models(node: ObddNode,
@@ -214,25 +213,26 @@ def minimum_cardinality(node: ObddNode, costs: Mapping[int, float]
         return sum(min(costs[variables[i]], costs[-variables[i]])
                    for i in range(lo, hi))
 
-    cache: Dict[Tuple[int, int], float] = {}
+    # best[id]: minimum cost normalized to variables[pos(node.var):];
+    # gap variables cost their cheaper literal.  Same iterative
+    # per-node-normalization scheme as model_count.
+    best: Dict[int, float] = {}
 
-    def rec(n_node: ObddNode, depth: int) -> float:
-        if n_node.is_terminal:
-            return span_cost(depth, n) if n_node.terminal_value \
-                else float("inf")
-        key = (n_node.id, depth)
-        hit = cache.get(key)
-        if hit is not None:
-            return hit
-        level = positions[n_node.var]
-        var = n_node.var
-        value = span_cost(depth, level) + min(
-            costs[-var] + rec(n_node.low, level + 1),
-            costs[var] + rec(n_node.high, level + 1))
-        cache[key] = value
-        return value
+    def pos(m: ObddNode) -> int:
+        return n if m.is_terminal else positions[m.var]
 
-    return rec(node, 0)
+    for m in node.topological():
+        if m.is_terminal:
+            best[m.id] = 0.0 if m.terminal_value else float("inf")
+        else:
+            level = positions[m.var]
+            var = m.var
+            low, high = m.low, m.high
+            best[m.id] = min(
+                costs[-var] + span_cost(level + 1, pos(low)) + best[low.id],
+                costs[var] + span_cost(level + 1, pos(high))
+                + best[high.id])
+    return span_cost(0, pos(node)) + best[node.id]
 
 
 def compile_formula(formula: Formula, manager: ObddManager) -> ObddNode:

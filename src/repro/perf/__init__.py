@@ -1,0 +1,18 @@
+"""Performance observability: timers, operation counters, benchmarks.
+
+The perf layer has two halves:
+
+* :mod:`repro.perf.instrument` — :class:`Counter` / :class:`Timer`
+  primitives that the engines update on their hot paths (propagations,
+  decisions, cache hits, nodes visited);
+* ``benchmarks/run_all.py`` — the driver that runs every figure
+  benchmark plus the engine speed scenarios and emits a machine
+  readable ``BENCH_<timestamp>.json``, comparing against the previous
+  baseline to flag regressions.
+
+See ``docs/performance.md`` for the full story.
+"""
+
+from .instrument import Counter, Timer, format_stats
+
+__all__ = ["Counter", "Timer", "format_stats"]

@@ -1,0 +1,105 @@
+"""Lightweight instrumentation primitives for the hot paths.
+
+The engines (SAT counter, Decision-DNNF compiler, SDD apply, circuit
+kernels) expose *operation counters* — propagations, decisions, cache
+hits, nodes visited — next to wall time, because wall time alone cannot
+tell an algorithmic win from interpreter noise.  The primitives here
+are deliberately tiny: a :class:`Counter` is a thin wrapper over a
+plain dict with ``incr``, and a :class:`Timer` is a ``perf_counter``
+context manager.  Hot loops touch them only at coarse boundaries
+(per propagation call, per decision), never per literal.
+
+``benchmarks/run_all.py`` serialises both into ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["Counter", "Timer", "format_stats"]
+
+
+class Counter:
+    """A named bundle of integer operation counters.
+
+    >>> stats = Counter()
+    >>> stats.incr("propagations")
+    >>> stats.incr("propagations", 3)
+    >>> stats["propagations"]
+    4
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, **initial: int):
+        self._counts: Dict[str, int] = dict(initial)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        counts = self._counts
+        counts[name] = counts.get(name, 0) + amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self)
+        return f"Counter({inner})"
+
+    def as_dict(self) -> Dict[str, int]:
+        """A plain-dict snapshot (sorted keys, JSON-friendly)."""
+        return dict(sorted(self._counts.items()))
+
+    def merge(self, other: "Counter") -> None:
+        """Add every count of ``other`` into this bundle."""
+        for name, value in other:
+            self.incr(name, value)
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+
+class Timer:
+    """Wall-clock context manager built on ``time.perf_counter``.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+
+    A timer can be re-entered; ``elapsed`` accumulates across uses, so
+    one timer can meter a hot call site inside a loop.
+    """
+
+    __slots__ = ("elapsed", "_started")
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._started is not None:
+            self.elapsed += time.perf_counter() - self._started
+            self._started = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started = None
+
+
+def format_stats(stats: Counter, prefix: str = "c ") -> str:
+    """Render counters as DIMACS-style comment lines (CLI output)."""
+    return "\n".join(f"{prefix}{name} {value}" for name, value in stats)

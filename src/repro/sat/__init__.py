@@ -1,8 +1,14 @@
 """SAT solving and exact model counting."""
 
-from .dpll import enumerate_models, is_satisfiable, solve, unit_propagate
-from .components import split_components
-from .counter import ModelCounter, count_models
+from .dpll import (enumerate_models, is_satisfiable, solve, solve_legacy,
+                   unit_propagate, unit_propagate_legacy)
+from .propagation import WatchedSolver, propagate_implied, propagate_watched
+from .components import occurrence_index, split_components
+from .counter import (CountContext, ModelCounter, component_key,
+                      count_models)
 
-__all__ = ["enumerate_models", "is_satisfiable", "solve", "unit_propagate",
-           "split_components", "ModelCounter", "count_models"]
+__all__ = ["enumerate_models", "is_satisfiable", "solve", "solve_legacy",
+           "unit_propagate", "unit_propagate_legacy", "WatchedSolver",
+           "propagate_implied", "propagate_watched", "occurrence_index",
+           "split_components", "CountContext", "ModelCounter",
+           "component_key", "count_models"]

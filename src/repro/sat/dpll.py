@@ -1,11 +1,15 @@
 """A DPLL satisfiability solver.
 
 The solver works on :class:`repro.logic.Cnf` and supports assumptions,
-model extraction and model enumeration.  It is deliberately simple
-(recursive, copy-on-condition) — the library's scale is circuits of
-thousands of nodes, not industrial SAT — but it implements the standard
-ingredients: unit propagation, pure-literal elimination and a
-most-frequent-variable branching heuristic.
+model extraction and model enumeration.  Satisfiability runs on the
+iterative two-watched-literal engine of :mod:`repro.sat.propagation`
+(:class:`~repro.sat.propagation.WatchedSolver`); ``unit_propagate``
+keeps its original contract but is likewise watched-literal based.  The
+seed's recursive copy-on-condition solver and its clause-rescan
+propagator survive as ``solve_legacy`` / ``unit_propagate_legacy`` —
+they are the reference implementations the property-based cross-check
+suite compares against, and the baselines the perf benchmarks measure
+speedups over.
 """
 
 from __future__ import annotations
@@ -13,23 +17,42 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..logic.cnf import Cnf
+from ..perf.instrument import Counter
+from .propagation import WatchedSolver, propagate_watched
 
-__all__ = ["solve", "is_satisfiable", "enumerate_models", "unit_propagate"]
+__all__ = ["solve", "solve_legacy", "is_satisfiable", "enumerate_models",
+           "unit_propagate", "unit_propagate_legacy"]
 
 Clause = Tuple[int, ...]
 Assignment = Dict[int, bool]
 
 
-def unit_propagate(clauses: List[Clause], assignment: Assignment
+def unit_propagate(clauses: List[Clause], assignment: Assignment,
+                   stats: Counter | None = None
                    ) -> Optional[List[Clause]]:
-    """Exhaustively propagate unit clauses.
+    """Exhaustively propagate unit clauses (watched-literal engine).
 
     Mutates ``assignment`` with implied literals.  Returns the reduced
     clause list, or None on conflict (an empty clause was derived).
+    The residual is identical — clause for clause — to the one the
+    legacy propagator produces.
+    """
+    return propagate_watched(clauses, assignment, stats)
+
+
+def unit_propagate_legacy(clauses: List[Clause], assignment: Assignment,
+                          stats: Counter | None = None
+                          ) -> Optional[List[Clause]]:
+    """The seed propagator: re-scans every clause per round.
+
+    Kept as the reference implementation for the cross-check suite and
+    as the benchmark baseline.  Same contract as ``unit_propagate``.
     """
     changed = True
     while changed:
         changed = False
+        if stats is not None:
+            stats.incr("clause_visits", len(clauses))
         reduced: List[Clause] = []
         for clause in clauses:
             satisfied = False
@@ -50,6 +73,8 @@ def unit_propagate(clauses: List[Clause], assignment: Assignment
                 lit = remaining[0]
                 assignment[abs(lit)] = lit > 0
                 changed = True
+                if stats is not None:
+                    stats.incr("propagations")
             else:
                 reduced.append(tuple(remaining))
         clauses = reduced
@@ -77,7 +102,7 @@ def _choose_branch_variable(clauses: Sequence[Clause]) -> int:
 
 def _dpll(clauses: List[Clause], assignment: Assignment
           ) -> Optional[Assignment]:
-    clauses = unit_propagate(clauses, assignment)
+    clauses = unit_propagate_legacy(clauses, assignment)
     if clauses is None:
         return None
     if not clauses:
@@ -100,14 +125,34 @@ def _dpll(clauses: List[Clause], assignment: Assignment
     return None
 
 
-def solve(cnf: Cnf, assumptions: Iterable[int] = ()
-          ) -> Optional[Assignment]:
+def solve(cnf: Cnf, assumptions: Iterable[int] = (),
+          stats: Counter | None = None) -> Optional[Assignment]:
     """Find a satisfying assignment, or None.
 
     The returned assignment is *complete* over variables 1..num_vars
     (unconstrained variables default to False).  ``assumptions`` is an
-    iterable of literals to assert.
+    iterable of literals to assert.  Runs on the iterative
+    two-watched-literal solver; see :func:`solve_legacy` for the seed
+    recursive implementation.
     """
+    assumption_list = list(assumptions)
+    for lit in assumption_list:
+        if -lit in assumption_list:
+            return None
+    solver = WatchedSolver(cnf.clauses, cnf.num_vars, stats=stats)
+    result = solver.solve(assumption_list)
+    if result is None:
+        return None
+    for var in range(1, cnf.num_vars + 1):
+        result.setdefault(var, False)
+    return result
+
+
+def solve_legacy(cnf: Cnf, assumptions: Iterable[int] = ()
+                 ) -> Optional[Assignment]:
+    """The seed solver: recursive DPLL with copy-on-condition clause
+    lists and pure-literal elimination.  Reference implementation for
+    the cross-check suite and the benchmark baseline."""
     assignment: Assignment = {}
     for lit in assumptions:
         var = abs(lit)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..perf.instrument import Counter
 from ..vtree.vtree import Vtree
 from .node import SddNode
 
@@ -27,6 +28,9 @@ class SddManager:
 
     def __init__(self, vtree: Vtree):
         self.vtree = vtree
+        #: perf counters: apply_calls / apply_cache_hits accumulate
+        #: over the manager's lifetime (see ``repro.perf``)
+        self.stats = Counter()
         self._next_id = 0
         self.true = self._fresh(SddNode.TRUE, None, 0, ())
         self.false = self._fresh(SddNode.FALSE, None, 0, ())
@@ -142,8 +146,10 @@ class SddManager:
         else:
             raise ValueError(f"unknown op {op!r}")
         key = (op, *sorted((a.id, b.id)))
+        self.stats.incr("apply_calls")
         cached = self._apply_cache.get(key)
         if cached is not None:
+            self.stats.incr("apply_cache_hits")
             return cached
         result = self._apply_inner(a, b, op)
         self._apply_cache[key] = result

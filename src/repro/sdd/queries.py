@@ -1,13 +1,22 @@
 """Queries on SDDs: counting, WMC, enumeration, NNF export.
 
-Counting uses scope-aware recursion (a node normalized for vtree ``v``
-is counted over ``vars(v)`` and scaled by 2^gap into larger scopes), so
-explicit smoothing is never materialised.
+Counting normalizes every node to its *own* vtree (a node is counted
+over ``vars(vtree(node))`` and scaled by 2^gap into larger scopes), so
+explicit smoothing is never materialised.  The normalization makes a
+node's count scope-independent, which buys two things over the seed's
+``(node, scope)``-keyed recursion:
+
+* one value per node — computed by a single iterative children-first
+  pass, no recursion depth limit, and memoised on the manager, so
+  repeated ``model_count`` calls on the same node are O(1);
+* a reusable *plan* (topological order plus per-element gap-variable
+  tuples), also cached on the manager, so repeated WMC calls with
+  different weight vectors skip all vtree set algebra.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..nnf.node import NnfManager, NnfNode
 from ..vtree.vtree import Vtree
@@ -17,36 +26,76 @@ from .node import SddNode
 __all__ = ["model_count", "weighted_model_count", "enumerate_models",
            "sdd_to_nnf", "to_dot"]
 
+# plan entry: (node id, kind code, payload).  Kinds: 0 false, 1 true,
+# 2 literal (payload: the literal), 3 decision (payload: a tuple of
+# (prime id, prime gap vars, sub id, sub gap vars) — the gap variables
+# complete the prime/sub into the element's half-scope).
+_FALSE, _TRUE, _LITERAL, _DECISION = range(4)
+_PlanEntry = Tuple[int, int, object]
+
+
+def _vtree_vars(n: SddNode) -> frozenset:
+    return n.vtree.variables if n.vtree is not None else frozenset()
+
+
+def _plan(node: SddNode) -> List[_PlanEntry]:
+    """The (cached) evaluation plan for ``node``'s sub-SDD."""
+    manager: SddManager = node.manager
+    cache = getattr(manager, "_plan_cache", None)
+    if cache is None:
+        cache = manager._plan_cache = {}
+    plan = cache.get(node.id)
+    if plan is not None:
+        return plan
+    plan = []
+    for n in node.descendants():
+        if n.is_constant:
+            plan.append((n.id, _TRUE if n.is_true else _FALSE, None))
+        elif n.is_literal:
+            plan.append((n.id, _LITERAL, n.literal))
+        else:
+            v = n.vtree
+            left_vars, right_vars = v.left.variables, v.right.variables
+            elements = tuple(
+                (p.id, tuple(sorted(left_vars - _vtree_vars(p))),
+                 s.id, tuple(sorted(right_vars - _vtree_vars(s))))
+                for p, s in n.elements)
+            plan.append((n.id, _DECISION, elements))
+    cache[node.id] = plan
+    return plan
+
 
 def model_count(node: SddNode, scope: Vtree | None = None) -> int:
     """#SAT over the variables of ``scope`` (default: the whole vtree)."""
     manager: SddManager = node.manager
     if scope is None:
         scope = manager.vtree
-    cache: Dict[Tuple[int, int], int] = {}
-
-    def mc(n: SddNode, s: Vtree) -> int:
-        if n.is_false:
-            return 0
-        if n.is_true:
-            return 1 << len(s.variables)
-        key = (n.id, s.position)
-        hit = cache.get(key)
-        if hit is not None:
-            return hit
-        if n.is_literal:
-            value = 1 << (len(s.variables) - 1)
-        else:
-            v = n.vtree
-            inner = sum(mc(p, v.left) * mc(sub, v.right)
-                        for p, sub in n.elements)
-            value = inner << (len(s.variables) - len(v.variables))
-        cache[key] = value
-        return value
-
     if not node.is_constant and not scope.is_ancestor_of(node.vtree):
         raise ValueError("scope does not cover the node's vtree")
-    return mc(node, scope)
+    if node.is_false:
+        return 0
+    if node.is_true:
+        return 1 << len(scope.variables)
+    mc_cache = getattr(manager, "_mc_cache", None)
+    if mc_cache is None:
+        mc_cache = manager._mc_cache = {}
+    inner = mc_cache.get(node.id)
+    if inner is None:
+        counts: Dict[int, int] = {}
+        for nid, kind, payload in _plan(node):
+            if kind == _DECISION:
+                counts[nid] = sum(
+                    (counts[pid] << len(p_gap))
+                    * (counts[sid] << len(s_gap))
+                    for pid, p_gap, sid, s_gap in payload)
+                mc_cache[nid] = counts[nid]
+            else:
+                # constants count 1/0 over no variables; a literal 1
+                # over its own variable
+                counts[nid] = 0 if kind == _FALSE else 1
+        inner = counts[node.id]
+        mc_cache[node.id] = inner
+    return inner << (len(scope.variables) - len(_vtree_vars(node)))
 
 
 def weighted_model_count(node: SddNode, weights: Mapping[int, float],
@@ -56,39 +105,32 @@ def weighted_model_count(node: SddNode, weights: Mapping[int, float],
     manager: SddManager = node.manager
     if scope is None:
         scope = manager.vtree
-    gap_cache: Dict[Tuple[int, int], float] = {}
+    if not node.is_constant and not scope.is_ancestor_of(node.vtree):
+        raise ValueError("scope does not cover the node's vtree")
 
-    def gap_weight(outer: Vtree, inner_vars: frozenset[int]) -> float:
+    def gap_factor(gap_vars) -> float:
         value = 1.0
-        for var in outer.variables - inner_vars:
+        for var in gap_vars:
             value *= weights[var] + weights[-var]
         return value
 
-    cache: Dict[Tuple[int, int], float] = {}
-
-    def wmc(n: SddNode, s: Vtree) -> float:
-        if n.is_false:
-            return 0.0
-        if n.is_true:
-            return gap_weight(s, frozenset())
-        key = (n.id, s.position)
-        hit = cache.get(key)
-        if hit is not None:
-            return hit
-        if n.is_literal:
-            value = weights[n.literal] * gap_weight(
-                s, frozenset((abs(n.literal),)))
+    if node.is_false:
+        return 0.0
+    if node.is_true:
+        return gap_factor(sorted(scope.variables))
+    values: Dict[int, float] = {}
+    for nid, kind, payload in _plan(node):
+        if kind == _DECISION:
+            values[nid] = sum(
+                values[pid] * gap_factor(p_gap)
+                * values[sid] * gap_factor(s_gap)
+                for pid, p_gap, sid, s_gap in payload)
+        elif kind == _LITERAL:
+            values[nid] = weights[payload]
         else:
-            v = n.vtree
-            inner = sum(wmc(p, v.left) * wmc(sub, v.right)
-                        for p, sub in n.elements)
-            value = inner * gap_weight(s, v.variables)
-        cache[key] = value
-        return value
-
-    if not node.is_constant and not scope.is_ancestor_of(node.vtree):
-        raise ValueError("scope does not cover the node's vtree")
-    return wmc(node, scope)
+            values[nid] = 0.0 if kind == _FALSE else 1.0
+    outer = sorted(scope.variables - _vtree_vars(node))
+    return values[node.id] * gap_factor(outer)
 
 
 def enumerate_models(node: SddNode, scope: Vtree | None = None

@@ -1,0 +1,118 @@
+"""Tests for the perf layer: instrumentation primitives, engine stats
+wiring, and a smoke run of the benchmark driver."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.compile.dnnf_compiler import DnnfCompiler
+from repro.logic.cnf import Cnf
+from repro.perf import Counter, Timer, format_stats
+from repro.sat.counter import ModelCounter
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestCounter:
+    def test_incr_and_lookup(self):
+        stats = Counter()
+        stats.incr("propagations")
+        stats.incr("propagations", 3)
+        assert stats["propagations"] == 4
+        assert stats["missing"] == 0
+        assert "propagations" in stats
+        assert "missing" not in stats
+
+    def test_iteration_sorted(self):
+        stats = Counter(b=2, a=1)
+        assert list(stats) == [("a", 1), ("b", 2)]
+        assert stats.as_dict() == {"a": 1, "b": 2}
+
+    def test_merge_and_clear(self):
+        a = Counter(x=1)
+        b = Counter(x=2, y=5)
+        a.merge(b)
+        assert a["x"] == 3 and a["y"] == 5
+        a.clear()
+        assert not a
+
+    def test_format_stats(self):
+        stats = Counter(decisions=7)
+        assert format_stats(stats) == "c decisions 7"
+
+
+class TestTimer:
+    def test_accumulates_across_uses(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            pass
+        assert timer.elapsed >= first >= 0.0
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+
+class TestEngineWiring:
+    """The engines must actually feed the counters on their hot paths."""
+
+    CNF = Cnf([(1, 2, 3), (-1, 2), (-2, 3), (1, -3), (2, 4), (-4, 1)],
+              num_vars=4)
+
+    def test_model_counter_stats(self):
+        counter = ModelCounter()
+        counter.count(self.CNF)
+        assert counter.stats["propagations"] > 0
+        assert counter.stats["decisions"] > 0
+        assert counter.decisions == counter.stats["decisions"]
+
+    def test_compiler_stats(self):
+        compiler = DnnfCompiler()
+        compiler.compile(self.CNF)
+        assert compiler.stats["decisions"] > 0
+        assert compiler.decisions == compiler.stats["decisions"]
+
+    def test_sdd_apply_stats(self):
+        from repro.sdd.compiler import compile_cnf_sdd
+        from repro.vtree.construct import vtree_from_order
+        vtree = vtree_from_order(range(1, 5), "balanced")
+        _, manager = compile_cnf_sdd(self.CNF, vtree=vtree)
+        assert manager.stats["apply_calls"] > 0
+
+    def test_kernel_memoises_repeated_queries(self):
+        from repro.nnf.queries import model_count
+        root = DnnfCompiler().compile(self.CNF)
+        stats = Counter()
+        model_count(root, stats=stats)
+        assert stats["kernel_memo_hits"] == 0
+        model_count(root, stats=stats)
+        assert stats["kernel_memo_hits"] == 1
+
+
+@pytest.mark.tier2_bench
+def test_run_all_quick_smoke(tmp_path):
+    """`run_all.py --quick --skip-figures` runs, emits a valid BENCH
+    json, and both engines of every scenario agree."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "benchmarks",
+                                      "run_all.py"),
+         "--quick", "--skip-figures", "--output-dir", str(tmp_path)],
+        env=env, capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    written = list(tmp_path.glob("BENCH_*.json"))
+    assert len(written) == 1
+    report = json.loads(written[0].read_text())
+    assert report["schema"] == "repro-bench/1"
+    assert report["quick"] is True
+    assert set(report["scenarios"]) == {"sharp_sat", "dnnf_compile",
+                                        "repeated_wmc"}
+    for scenario in report["scenarios"].values():
+        assert scenario["agree"] is True
+        assert scenario["optimized_s"] > 0
+        assert scenario["counters"]["optimized"]
