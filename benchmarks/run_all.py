@@ -12,20 +12,31 @@ its legacy configuration:
   compiler vs the seed recursion;
 * ``repeated_wmc`` — many weighted model counts on one compiled
   circuit: dense-array kernel (:mod:`repro.nnf.kernel`) vs the seed
-  recursive queries (:mod:`repro.nnf.queries_legacy`).
+  recursive queries (:mod:`repro.nnf.queries_legacy`);
+* ``batched_wmc`` — the same many-query load answered by **one**
+  batched numpy pass (``weighted_model_count_batch``) vs the scalar
+  kernel loop;
+* ``batched_marginals`` — per-evidence posterior marginals through
+  ``WmcPipeline.marginals_batch`` vs the scalar ``marginals`` loop;
+* ``psdd_marginals`` — all-variable PSDD marginals by the single
+  upward+downward pass vs the legacy per-variable evaluation loop;
+* ``classifier_scoring`` — scoring a dataset through the batched
+  classifier paths (binarized net + random forest) vs the per-instance
+  Python loops.
 
 Each scenario records wall times, the speedup, the operation counters
 of the optimised engine, and an agreement check between both engines'
 results.  Everything is serialised to ``BENCH_<timestamp>.json``; if an
 earlier ``BENCH_*.json`` exists, the run is compared against the most
 recent one and slowdowns beyond the noise threshold are flagged as
-regressions (exit status stays 0 — the gate is advisory, timings on
-shared machines are noisy).
+regressions.  Regressions make the driver exit non-zero (status 2), so
+the gate is scriptable; ``--advisory`` restores the warn-only
+behaviour for noisy shared machines.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py [--quick]
-        [--skip-figures] [--output-dir DIR]
+        [--skip-figures] [--output-dir DIR] [--advisory]
 
 ``--quick`` shrinks the scenario instances (and is what the
 ``tier2_bench``-marked smoke test runs); the committed baseline should
@@ -182,10 +193,156 @@ def scenario_repeated_wmc(quick: bool):
     }
 
 
+def scenario_batched_wmc(quick: bool):
+    """K weighted model counts: one numpy batch vs the scalar kernel loop."""
+    import numpy as np
+    n, m, seed = (45, 110, 9)
+    vectors = 40 if quick else 200
+    cnf = random_3cnf(n, m, seed)
+    root = DnnfCompiler().compile(cnf)
+    rng = random.Random(1)
+    weight_vectors = []
+    for _ in range(vectors):
+        weights = {}
+        for v in range(1, n + 1):
+            p = rng.random()
+            weights[v], weights[-v] = p, 1.0 - p
+        weight_vectors.append(weights)
+    from repro.perf import Counter
+    stats = Counter()
+    queries.weighted_model_count(root, weight_vectors[0])  # build kernel
+    start = time.perf_counter()
+    batched = queries.weighted_model_count_batch(root, weight_vectors,
+                                                 stats=stats)
+    mid = time.perf_counter()
+    scalar = [queries.weighted_model_count(root, w)
+              for w in weight_vectors]
+    end = time.perf_counter()
+    agree = bool(np.allclose(batched, scalar, rtol=1e-9))
+    return {
+        "instance": {"n": n, "m": m, "seed": seed, "vectors": vectors,
+                     "circuit_nodes": root.node_count()},
+        "optimized_s": round(mid - start, 4),
+        "legacy_s": round(end - mid, 4),
+        "speedup": round((end - mid) / (mid - start), 3),
+        "agree": agree,
+        "counters": {"optimized": stats.as_dict()},
+    }
+
+
+def scenario_batched_marginals(quick: bool):
+    """Per-evidence posterior marginals: marginals_batch vs scalar loop."""
+    from repro.bayesnet.examples import random_network
+    from repro.wmc.pipeline import WmcPipeline
+    num_vars = 10 if quick else 12
+    vectors = 20 if quick else 200
+    network = random_network(num_vars, rng=random.Random(12))
+    pipeline = WmcPipeline(network)
+    rng = random.Random(3)
+    names = network.variables
+    evidence = []
+    for _ in range(vectors):
+        chosen = rng.sample(names, rng.randint(1, 3))
+        evidence.append({name: rng.randint(0, 1) for name in chosen})
+    pipeline.marginals(evidence[0])  # build the AC + kernel untimed
+    start = time.perf_counter()
+    batched = pipeline.marginals_batch(evidence)
+    mid = time.perf_counter()
+    scalar = [pipeline.marginals(e) for e in evidence]
+    end = time.perf_counter()
+    agree = all(
+        abs(batched[j][name][state] - scalar[j][name][state]) <= 1e-9
+        for j in range(vectors)
+        for name in scalar[j]
+        for state in scalar[j][name])
+    return {
+        "instance": {"num_vars": num_vars, "vectors": vectors,
+                     "circuit_nodes": pipeline.circuit.node_count()},
+        "optimized_s": round(mid - start, 4),
+        "legacy_s": round(end - mid, 4),
+        "speedup": round((end - mid) / (mid - start), 3),
+        "agree": agree,
+        "counters": {},
+    }
+
+
+def scenario_psdd_marginals(quick: bool):
+    """All-variable PSDD marginals: one derivative pass vs |vars| evals."""
+    from repro.psdd import psdd_from_sdd
+    from repro.psdd.queries import (variable_marginals,
+                                    variable_marginals_legacy)
+    from repro.sdd import compile_cnf_sdd
+    n, m, seed = (12, 22, 4) if quick else (16, 30, 4)
+    repeats = 5 if quick else 20
+    cnf = random_3cnf(n, m, seed)
+    sdd, _manager = compile_cnf_sdd(cnf)
+    psdd = psdd_from_sdd(sdd)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        new = variable_marginals(psdd)
+    mid = time.perf_counter()
+    for _ in range(repeats):
+        old = variable_marginals_legacy(psdd)
+    end = time.perf_counter()
+    agree = set(new) == set(old) and \
+        all(abs(new[v] - old[v]) <= 1e-9 for v in new)
+    return {
+        "instance": {"n": n, "m": m, "seed": seed, "repeats": repeats,
+                     "psdd_size": psdd.size()},
+        "optimized_s": round(mid - start, 4),
+        "legacy_s": round(end - mid, 4),
+        "speedup": round((end - mid) / (mid - start), 3),
+        "agree": agree,
+        "counters": {},
+    }
+
+
+def scenario_classifier_scoring(quick: bool):
+    """Dataset scoring: batched classifier passes vs per-instance loops."""
+    import numpy as np
+    from repro.classifiers import BinarizedNeuralNetwork, RandomForest
+    count = 400 if quick else 2000
+    rng = random.Random(7)
+    num_features = 25
+    features = list(range(1, num_features + 1))
+    instances = [{v: rng.random() < 0.5 for v in features}
+                 for _ in range(count)]
+    labels = [sum(x.values()) >= num_features // 2 for x in instances]
+    net = BinarizedNeuralNetwork(
+        [[[rng.choice((-1, 1)) for _ in features] for _ in range(8)],
+         [[rng.choice((-1, 1)) for _ in range(8)]]],
+        [[rng.randint(0, 12) - 0.5 for _ in range(8)],
+         [rng.randint(0, 4) - 0.5]], features)
+    forest = RandomForest.fit(instances[:200], labels[:200],
+                              num_trees=7, rng=random.Random(5))
+    start = time.perf_counter()
+    net_batch = net.forward_batch(instances)
+    forest_batch = forest.decide_batch(instances)
+    mid = time.perf_counter()
+    net_loop = [net.forward(x) for x in instances]
+    forest_loop = [forest.decide(x) for x in instances]
+    end = time.perf_counter()
+    agree = list(net_batch) == net_loop and \
+        list(forest_batch) == forest_loop
+    return {
+        "instance": {"instances": count, "features": num_features,
+                     "forest_trees": len(forest.trees)},
+        "optimized_s": round(mid - start, 4),
+        "legacy_s": round(end - mid, 4),
+        "speedup": round((end - mid) / (mid - start), 3),
+        "agree": agree,
+        "counters": {},
+    }
+
+
 SCENARIOS = {
     "sharp_sat": scenario_sharp_sat,
     "dnnf_compile": scenario_dnnf_compile,
     "repeated_wmc": scenario_repeated_wmc,
+    "batched_wmc": scenario_batched_wmc,
+    "batched_marginals": scenario_batched_marginals,
+    "psdd_marginals": scenario_psdd_marginals,
+    "classifier_scoring": scenario_classifier_scoring,
 }
 
 
@@ -236,6 +393,9 @@ def main(argv=None) -> int:
                         help="run only the engine speed scenarios")
     parser.add_argument("--output-dir", default=REPO_ROOT,
                         help="where BENCH_<timestamp>.json is written")
+    parser.add_argument("--advisory", action="store_true",
+                        help="warn on regressions instead of exiting "
+                             "non-zero (for noisy machines)")
     args = parser.parse_args(argv)
 
     report = {
@@ -259,8 +419,10 @@ def main(argv=None) -> int:
               f"  agree={result['agree']}")
 
     stamp = time.strftime("%Y%m%d-%H%M%S")
+    os.makedirs(args.output_dir, exist_ok=True)
     out_path = os.path.join(args.output_dir, f"BENCH_{stamp}.json")
     base_name, baseline = previous_baseline(args.output_dir, out_path)
+    flagged = []
     if baseline is not None:
         report["comparison"] = {"against": base_name,
                                 **compare(report, baseline)}
@@ -283,6 +445,10 @@ def main(argv=None) -> int:
     if failed or disagree:
         print(f"FAILURES: figures={failed} disagreements={disagree}")
         return 1
+    if flagged and not args.advisory:
+        # scriptable gate: timing regressions past NOISE_THRESHOLD fail
+        # the run (use --advisory on noisy shared machines)
+        return 2
     return 0
 
 

@@ -69,11 +69,28 @@ class BinarizedNeuralNetwork:
 
     decide = forward
 
+    def forward_batch(self, instances: Sequence[Mapping[int, bool]]):
+        """Forward N instances through the network in one matmul per
+        layer; returns a length-N bool array matching ``forward``
+        exactly (±1 weights and 0/1 activations are float-exact)."""
+        import numpy as np
+        activations = np.array([[inst[v] for v in self.input_vars]
+                                for inst in instances], dtype=float)
+        for layer_weights, layer_thresholds in zip(self.weights,
+                                                   self.thresholds):
+            w = np.array(layer_weights, dtype=float)
+            t = np.array(layer_thresholds, dtype=float)
+            activations = (activations @ w.T >= t).astype(float)
+        return activations[:, 0] >= 0.5
+
+    decide_batch = forward_batch
+
     def accuracy(self, instances: Sequence[Mapping[int, bool]],
                  labels: Sequence[bool]) -> float:
-        hits = sum(1 for x, y in zip(instances, labels)
-                   if self.forward(x) == y)
-        return hits / len(labels)
+        import numpy as np
+        hits = self.forward_batch(instances) == \
+            np.asarray(labels, dtype=bool)
+        return float(hits.sum()) / len(labels)
 
     # -- training ----------------------------------------------------------------
     @classmethod
@@ -98,9 +115,20 @@ class BinarizedNeuralNetwork:
                       for i in range(len(sizes) - 1)]
         network = cls(weights, thresholds, input_vars)
 
+        # every candidate flip rescores the whole dataset — one matmul
+        # per layer over a precomputed instance matrix, same decisions
+        # as the scalar forward (±1 weights are float-exact)
+        import numpy as np
+        x = np.array([[inst[v] for v in input_vars]
+                      for inst in instances], dtype=float)
+        labels_arr = np.asarray(labels, dtype=bool)
+
         def score() -> int:
-            return sum(1 for x, y in zip(instances, labels)
-                       if network.forward(x) == y)
+            a = x
+            for lw, lt in zip(network.weights, network.thresholds):
+                a = (a @ np.array(lw, dtype=float).T >=
+                     np.array(lt, dtype=float)).astype(float)
+            return int(((a[:, 0] >= 0.5) == labels_arr).sum())
 
         best = score()
         for _ in range(passes):

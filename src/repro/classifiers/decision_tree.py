@@ -110,6 +110,37 @@ class DecisionTree:
             node = node.high if instance[node.feature] else node.low
         return node.label
 
+    def decide_batch(self, instances: Sequence[Mapping[int, bool]]):
+        """Decisions for N instances as a length-N bool array.
+
+        The batch is *routed* down the tree: every node partitions the
+        index set of the instances that reach it, so the cost is
+        O(tree nodes + Σ path lengths) with the per-node split done by
+        one vectorized mask instead of N scalar walks.
+        """
+        import numpy as np
+        n = len(instances)
+        out = np.zeros(n, dtype=bool)
+        columns: dict = {}
+        stack = [(self._root, np.arange(n))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.label
+                continue
+            column = columns.get(node.feature)
+            if column is None:
+                column = np.array(
+                    [inst[node.feature] for inst in instances],
+                    dtype=bool)
+                columns[node.feature] = column
+            mask = column[idx]
+            stack.append((node.high, idx[mask]))
+            stack.append((node.low, idx[~mask]))
+        return out
+
     def depth(self) -> int:
         def rec(node: _Node) -> int:
             if node.is_leaf:

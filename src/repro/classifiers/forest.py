@@ -55,11 +55,25 @@ class RandomForest:
         """Strict majority of trees (ties vote negative)."""
         return 2 * self.votes(instance) > len(self.trees)
 
+    def votes_batch(self, instances: Sequence[Mapping[int, bool]]):
+        """Per-instance vote counts as a length-N int array (each tree
+        routes the whole batch once)."""
+        import numpy as np
+        totals = np.zeros(len(instances), dtype=int)
+        for tree in self.trees:
+            totals += tree.decide_batch(instances)
+        return totals
+
+    def decide_batch(self, instances: Sequence[Mapping[int, bool]]):
+        """Strict-majority decisions for N instances as a bool array."""
+        return 2 * self.votes_batch(instances) > len(self.trees)
+
     def accuracy(self, instances: Sequence[Mapping[int, bool]],
                  labels: Sequence[bool]) -> float:
-        hits = sum(1 for x, y in zip(instances, labels)
-                   if self.decide(x) == y)
-        return hits / len(labels)
+        import numpy as np
+        hits = self.decide_batch(instances) == \
+            np.asarray(labels, dtype=bool)
+        return float(hits.sum()) / len(labels)
 
 
 def compile_forest(forest: RandomForest,

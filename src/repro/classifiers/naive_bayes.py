@@ -64,6 +64,39 @@ class NaiveBayesClassifier:
         """The induced Boolean decision function."""
         return self.posterior(instance) >= self.threshold
 
+    def posterior_batch(self, instances: Sequence[Mapping[int, bool]]):
+        """Pr(class = 1 | x) for N instances in one vectorized pass.
+
+        Column ``j`` of the returned length-N float array equals
+        ``posterior(instances[j])``.
+        """
+        import numpy as np
+        features = self.features
+        x = np.array([[inst[var] for var in features]
+                      for inst in instances], dtype=bool)
+        p1 = np.array([self.likelihoods[var][0] for var in features])
+        p0 = np.array([self.likelihoods[var][1] for var in features])
+        joint1 = self.prior * np.where(x, p1, 1.0 - p1).prod(axis=1)
+        joint0 = (1.0 - self.prior) * \
+            np.where(x, p0, 1.0 - p0).prod(axis=1)
+        total = joint1 + joint0
+        if (total == 0.0).any():
+            raise ZeroDivisionError("an instance has probability zero")
+        return joint1 / total
+
+    def decide_batch(self, instances: Sequence[Mapping[int, bool]]):
+        """The decision on N instances as a length-N bool array."""
+        return self.posterior_batch(instances) >= self.threshold
+
+    def accuracy(self, instances: Sequence[Mapping[int, bool]],
+                 labels: Sequence[bool]) -> float:
+        """Fraction of instances whose decision matches the label
+        (scored through one batched posterior pass)."""
+        import numpy as np
+        decisions = self.decide_batch(instances)
+        return float((decisions == np.asarray(labels, dtype=bool))
+                     .mean())
+
     # -- learning ----------------------------------------------------------------
     @classmethod
     def fit(cls, instances: Sequence[Mapping[int, bool]],

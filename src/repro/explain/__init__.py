@@ -8,7 +8,8 @@ from .reason_circuit import (reason_circuit, reason_circuit_ddnnf,
                              reason_implies, reason_prime_implicants)
 from .bias import bias_from_reasons, classifier_is_biased, \
     decision_is_biased
-from .counterfactual import decision_sticks, verify_even_if_because
+from .counterfactual import (decision_sticks, decision_sticks_batch,
+                             verify_even_if_because)
 from .necessary import is_necessary, necessary_characteristics
 
 __all__ = ["all_sufficient_reasons", "decision_and_function",
@@ -18,5 +19,6 @@ __all__ = ["all_sufficient_reasons", "decision_and_function",
            "reason_prime_implicants",
            "bias_from_reasons", "classifier_is_biased",
            "decision_is_biased", "decision_sticks",
+           "decision_sticks_batch",
            "verify_even_if_because", "is_necessary",
            "necessary_characteristics"]

@@ -12,12 +12,13 @@ exam."  Such a statement has two parts:
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from ..obdd.manager import ObddNode
 from .sufficient import decision_and_function, _term_triggers
 
-__all__ = ["decision_sticks", "verify_even_if_because"]
+__all__ = ["decision_sticks", "decision_sticks_batch",
+           "verify_even_if_because"]
 
 
 def decision_sticks(node: ObddNode, instance: Mapping[int, bool],
@@ -27,6 +28,31 @@ def decision_sticks(node: ObddNode, instance: Mapping[int, bool],
     for var in flipped:
         modified[var] = not modified[var]
     return node.evaluate(modified) == node.evaluate(instance)
+
+
+def decision_sticks_batch(node: ObddNode,
+                          instance: Mapping[int, bool],
+                          flip_sets: Sequence[Sequence[int]]
+                          ) -> List[bool]:
+    """:func:`decision_sticks` for N candidate flip sets at once.
+
+    All N counterfactual probes (e.g. the Fig 28 per-pixel sweeps)
+    share one batched circuit evaluation instead of N path walks;
+    entry ``j`` answers whether the decision survives flipping
+    ``flip_sets[j]``.
+    """
+    import numpy as np
+    flip_sets = [set(flips) for flips in flip_sets]
+    n = len(flip_sets)
+    columns = {}
+    for var, value in instance.items():
+        flipped_here = np.array([var in flips for flips in flip_sets],
+                                dtype=bool)
+        columns[var] = flipped_here ^ bool(value)
+    baseline = node.evaluate(instance)
+    results = node.evaluate_batch(columns) if n else \
+        np.zeros(0, dtype=bool)
+    return [bool(r) == baseline for r in results]
 
 
 def verify_even_if_because(node: ObddNode,

@@ -25,6 +25,17 @@ no recursion (deep circuits cannot hit the interpreter recursion
 limit) and no set operations.  Pure results (model count, sat flags,
 marginal derivatives) are memoised on the kernel.
 
+Beyond the scalar passes, the kernel evaluates *batches*: N weight
+vectors (or evidence assignments) at once, with one numpy row of
+length N per node — ``wmc_batch``, ``evaluate_batch``,
+``derivatives_batch`` and the log-space ``wmc_log_batch`` /
+``derivatives_log_batch``.  The Python-level loop stays O(nodes) while
+every gate operation covers the whole batch in C, which is where the
+compile-once / query-many workloads (classifier scoring, per-evidence
+MAR, all-variable marginals) get their speedup.  numpy is imported
+lazily on first batch call, so the scalar kernel works (and this
+module imports) without numpy.
+
 Use :func:`get_kernel` to obtain the kernel for a root; kernels are
 cached on the root's :class:`~repro.nnf.node.NnfManager`, so repeated
 queries through :mod:`repro.nnf.queries` pay the build cost once.
@@ -32,15 +43,46 @@ queries through :mod:`repro.nnf.queries` pay the build cost once.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..perf.instrument import Counter
 from .node import NnfNode
 
-__all__ = ["CircuitKernel", "get_kernel", "KIND_LIT", "KIND_TRUE",
+__all__ = ["CircuitKernel", "get_kernel", "pack_weight_batch",
+           "pack_assignment_batch", "KIND_LIT", "KIND_TRUE",
            "KIND_FALSE", "KIND_AND", "KIND_OR"]
 
 Weights = Mapping[int, float]
+#: a batch of weight (or assignment) vectors: literal/variable → the
+#: value of every batch member, as a length-N numpy array
+WeightBatch = Mapping[int, "object"]
+
+
+def _numpy():
+    """numpy, imported on first use (batch paths only)."""
+    import numpy
+    return numpy
+
+
+def pack_weight_batch(weight_maps: Sequence[Weights],
+                      variables: Sequence[int]) -> Dict[int, "object"]:
+    """Stack per-query weight dicts into literal → length-N arrays."""
+    np = _numpy()
+    batch: Dict[int, object] = {}
+    for var in variables:
+        for lit in (var, -var):
+            batch[lit] = np.array([w[lit] for w in weight_maps],
+                                  dtype=float)
+    return batch
+
+
+def pack_assignment_batch(assignments: Sequence[Mapping[int, bool]],
+                          variables: Sequence[int]
+                          ) -> Dict[int, "object"]:
+    """Stack per-query assignments into variable → length-N bool arrays."""
+    np = _numpy()
+    return {var: np.array([a[var] for a in assignments], dtype=bool)
+            for var in variables}
 
 KIND_LIT = 0
 KIND_TRUE = 1
@@ -387,6 +429,291 @@ class CircuitKernel:
             else:
                 values[i] = kind == KIND_TRUE
         return bool(values[self.n - 1]) if self.n else False
+
+    # -- batched passes ------------------------------------------------------
+    # One numpy row of length N per node: the Python loop stays O(nodes)
+    # while every gate covers the whole batch in C.
+
+    @staticmethod
+    def _batch_size(batch: WeightBatch) -> int:
+        for value in batch.values():
+            return len(value)
+        raise ValueError("cannot infer the batch size from an empty "
+                         "weight/assignment batch")
+
+    def _count_batch_stats(self, stats: Counter | None, batch: int,
+                           passes: int = 1) -> None:
+        if stats is not None:
+            stats.incr("nodes_visited", passes * self.n)
+            stats.incr("batch_columns", batch)
+
+    def wmc_batch(self, weights: WeightBatch,
+                  stats: Counter | None = None):
+        """Weighted model counts of N weight vectors in one pass.
+
+        ``weights`` maps every needed literal to a length-N array (see
+        :func:`pack_weight_batch`).  Returns a length-N float array;
+        column ``j`` equals ``self.wmc(column j of weights)``.
+        """
+        np = _numpy()
+        batch = self._batch_size(weights)
+        self._count_batch_stats(stats, batch)
+        values: List = [None] * self.n
+        kinds = self.kinds
+        children = self.children
+        gap_vars = self.or_gap_vars
+        lits = self.lits
+        ones = np.ones(batch)
+        zeros = np.zeros(batch)
+        for i in range(self.n):
+            kind = kinds[i]
+            if kind == KIND_LIT:
+                values[i] = weights[lits[i]]
+            elif kind == KIND_AND:
+                value = ones
+                for c in children[i]:
+                    value = value * values[c]
+                values[i] = value
+            elif kind == KIND_OR:
+                total = zeros
+                gaps = gap_vars[i]
+                kids = children[i]
+                for k in range(len(kids)):
+                    factor = values[kids[k]]
+                    for var in gaps[k]:
+                        factor = factor * (weights[var] + weights[-var])
+                    total = total + factor
+                values[i] = total
+            else:
+                values[i] = zeros if kind == KIND_FALSE else ones
+        return values[self.n - 1].copy() if self.n else zeros
+
+    def wmc_log_batch(self, log_weights: WeightBatch,
+                      stats: Counter | None = None):
+        """Log-space :meth:`wmc_batch`: inputs and output are log
+        weights (``-inf`` for weight zero), so deep circuits with tiny
+        per-model weights cannot underflow.
+        """
+        np = _numpy()
+        batch = self._batch_size(log_weights)
+        self._count_batch_stats(stats, batch)
+        values: List = [None] * self.n
+        kinds = self.kinds
+        children = self.children
+        gap_vars = self.or_gap_vars
+        lits = self.lits
+        zeros = np.zeros(batch)
+        neg_inf = np.full(batch, -np.inf)
+        for i in range(self.n):
+            kind = kinds[i]
+            if kind == KIND_LIT:
+                values[i] = log_weights[lits[i]]
+            elif kind == KIND_AND:
+                value = zeros
+                for c in children[i]:
+                    value = value + values[c]
+                values[i] = value
+            elif kind == KIND_OR:
+                gaps = gap_vars[i]
+                kids = children[i]
+                if not kids:
+                    values[i] = neg_inf
+                    continue
+                rows = []
+                for k in range(len(kids)):
+                    row = values[kids[k]]
+                    for var in gaps[k]:
+                        row = row + np.logaddexp(log_weights[var],
+                                                 log_weights[-var])
+                    rows.append(row)
+                total = rows[0]
+                for row in rows[1:]:
+                    total = np.logaddexp(total, row)
+                values[i] = total
+            else:
+                values[i] = neg_inf if kind == KIND_FALSE else zeros
+        return values[self.n - 1].copy() if self.n else neg_inf
+
+    def evaluate_batch(self, assignment: WeightBatch,
+                       stats: Counter | None = None):
+        """Evaluate N complete assignments in one pass.
+
+        ``assignment`` maps every circuit variable to a length-N bool
+        array (see :func:`pack_assignment_batch`); returns a length-N
+        bool array.
+        """
+        np = _numpy()
+        batch = self._batch_size(assignment)
+        self._count_batch_stats(stats, batch)
+        values: List = [None] * self.n
+        kinds = self.kinds
+        children = self.children
+        true_row = np.ones(batch, dtype=bool)
+        false_row = np.zeros(batch, dtype=bool)
+        for i in range(self.n):
+            kind = kinds[i]
+            if kind == KIND_LIT:
+                lit = self.lits[i]
+                column = assignment[abs(lit)]
+                values[i] = column if lit > 0 else ~column
+            elif kind == KIND_AND:
+                value = true_row
+                for c in children[i]:
+                    value = value & values[c]
+                values[i] = value
+            elif kind == KIND_OR:
+                value = false_row
+                for c in children[i]:
+                    value = value | values[c]
+                values[i] = value
+            else:
+                values[i] = true_row if kind == KIND_TRUE else false_row
+        return values[self.n - 1].copy() if self.n else false_row
+
+    def derivatives_batch(self, weights: WeightBatch,
+                          stats: Counter | None = None):
+        """Upward values and downward derivatives for N weight vectors.
+
+        Returns ``(values, derivatives)``, two lists of length-N arrays
+        indexed by dense node id: ``derivatives[i][j]`` is
+        ∂(root value)/∂(node i value) under weight vector ``j``.  And
+        gates distribute to their children with linear prefix/suffix
+        products (no sibling re-multiplication); or-gate gap variables
+        contribute their ``W(v) + W(-v)`` factor on the edge.
+        """
+        np = _numpy()
+        batch = self._batch_size(weights)
+        self._count_batch_stats(stats, batch, passes=2)
+        values: List = [None] * self.n
+        kinds = self.kinds
+        children = self.children
+        gap_vars = self.or_gap_vars
+        lits = self.lits
+        ones = np.ones(batch)
+        zeros = np.zeros(batch)
+        for i in range(self.n):
+            kind = kinds[i]
+            if kind == KIND_LIT:
+                values[i] = weights[lits[i]]
+            elif kind == KIND_AND:
+                value = ones
+                for c in children[i]:
+                    value = value * values[c]
+                values[i] = value
+            elif kind == KIND_OR:
+                total = zeros
+                gaps = gap_vars[i]
+                kids = children[i]
+                for k in range(len(kids)):
+                    factor = values[kids[k]]
+                    for var in gaps[k]:
+                        factor = factor * (weights[var] + weights[-var])
+                    total = total + factor
+                values[i] = total
+            else:
+                values[i] = zeros if kind == KIND_FALSE else ones
+        derivative: List = [zeros] * self.n
+        if self.n:
+            derivative[self.n - 1] = ones
+        for i in range(self.n - 1, -1, -1):
+            kind = kinds[i]
+            if kind < KIND_AND:
+                continue
+            d = derivative[i]
+            kids = children[i]
+            if kind == KIND_OR:
+                gaps = gap_vars[i]
+                for k in range(len(kids)):
+                    edge = d
+                    for var in gaps[k]:
+                        edge = edge * (weights[var] + weights[-var])
+                    derivative[kids[k]] = derivative[kids[k]] + edge
+            else:
+                k = len(kids)
+                # prefix[j] = Π values of kids < j; suffix from the right
+                prefix = ones
+                prefixes = [None] * k
+                for j in range(k):
+                    prefixes[j] = prefix
+                    prefix = prefix * values[kids[j]]
+                suffix = ones
+                for j in range(k - 1, -1, -1):
+                    derivative[kids[j]] = derivative[kids[j]] + \
+                        d * prefixes[j] * suffix
+                    suffix = suffix * values[kids[j]]
+        return values, derivative
+
+    def derivatives_log_batch(self, log_weights: WeightBatch,
+                              stats: Counter | None = None):
+        """Log-space :meth:`derivatives_batch` (values and derivatives
+        are logs; ``-inf`` encodes zero)."""
+        np = _numpy()
+        batch = self._batch_size(log_weights)
+        self._count_batch_stats(stats, batch, passes=2)
+        values: List = [None] * self.n
+        kinds = self.kinds
+        children = self.children
+        gap_vars = self.or_gap_vars
+        lits = self.lits
+        zeros = np.zeros(batch)
+        neg_inf = np.full(batch, -np.inf)
+        for i in range(self.n):
+            kind = kinds[i]
+            if kind == KIND_LIT:
+                values[i] = log_weights[lits[i]]
+            elif kind == KIND_AND:
+                value = zeros
+                for c in children[i]:
+                    value = value + values[c]
+                values[i] = value
+            elif kind == KIND_OR:
+                gaps = gap_vars[i]
+                kids = children[i]
+                if not kids:
+                    values[i] = neg_inf
+                    continue
+                total = None
+                for k in range(len(kids)):
+                    row = values[kids[k]]
+                    for var in gaps[k]:
+                        row = row + np.logaddexp(log_weights[var],
+                                                 log_weights[-var])
+                    total = row if total is None else \
+                        np.logaddexp(total, row)
+                values[i] = total
+            else:
+                values[i] = neg_inf if kind == KIND_FALSE else zeros
+        derivative: List = [neg_inf] * self.n
+        if self.n:
+            derivative[self.n - 1] = zeros
+        for i in range(self.n - 1, -1, -1):
+            kind = kinds[i]
+            if kind < KIND_AND:
+                continue
+            d = derivative[i]
+            kids = children[i]
+            if kind == KIND_OR:
+                gaps = gap_vars[i]
+                for k in range(len(kids)):
+                    edge = d
+                    for var in gaps[k]:
+                        edge = edge + np.logaddexp(log_weights[var],
+                                                   log_weights[-var])
+                    derivative[kids[k]] = np.logaddexp(
+                        derivative[kids[k]], edge)
+            else:
+                k = len(kids)
+                prefix = zeros
+                prefixes = [None] * k
+                for j in range(k):
+                    prefixes[j] = prefix
+                    prefix = prefix + values[kids[j]]
+                suffix = zeros
+                for j in range(k - 1, -1, -1):
+                    derivative[kids[j]] = np.logaddexp(
+                        derivative[kids[j]], d + prefixes[j] + suffix)
+                    suffix = suffix + values[kids[j]]
+        return values, derivative
 
 
 def get_kernel(root: NnfNode) -> CircuitKernel:

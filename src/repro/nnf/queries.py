@@ -24,12 +24,14 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..perf.instrument import Counter
-from .kernel import get_kernel
+from .kernel import get_kernel, pack_assignment_batch, pack_weight_batch
 from .node import NnfNode
 
 __all__ = ["is_satisfiable_dnnf", "sat_model_dnnf", "model_count",
-           "weighted_model_count", "enumerate_models", "mpe",
-           "marginal_counts", "condition_evaluate"]
+           "weighted_model_count", "weighted_model_count_batch",
+           "weighted_model_count_log_batch", "evaluate_batch",
+           "enumerate_models", "mpe", "marginal_counts",
+           "condition_evaluate"]
 
 Weights = Mapping[int, float]
 
@@ -79,6 +81,73 @@ def weighted_model_count(root: NnfNode, weights: Weights,
         for var in set(variables) - root.variables():
             result *= weights[var] + weights[-var]
     return result
+
+
+def _as_weight_batch(root: NnfNode, weights, variables):
+    """Accept either literal→array batches or sequences of weight maps."""
+    if isinstance(weights, Mapping):
+        return weights
+    pack_vars = set(root.variables())
+    if variables is not None:
+        pack_vars |= set(variables)
+    return pack_weight_batch(list(weights), sorted(pack_vars))
+
+
+def weighted_model_count_batch(root: NnfNode, weights,
+                               variables: Sequence[int] | None = None,
+                               stats: Counter | None = None):
+    """N weighted model counts in one numpy pass (§2.1, many queries).
+
+    ``weights`` is either a sequence of N literal→weight maps or an
+    already-packed literal → length-N array mapping
+    (:func:`repro.nnf.kernel.pack_weight_batch`).  Column ``j`` of the
+    returned array equals ``weighted_model_count`` of weight vector
+    ``j``; ``variables`` widens over absent variables exactly like the
+    scalar query.
+    """
+    batch = _as_weight_batch(root, weights, variables)
+    kernel = get_kernel(root)
+    result = kernel.wmc_batch(batch, stats)
+    if variables is not None:
+        for var in set(variables) - root.variables():
+            result = result * (batch[var] + batch[-var])
+    return result
+
+
+def weighted_model_count_log_batch(root: NnfNode, weights,
+                                   variables: Sequence[int] | None = None,
+                                   stats: Counter | None = None):
+    """Log-space :func:`weighted_model_count_batch`: takes the same
+    *linear* weights, accumulates in log space (zero weights become
+    ``-inf``) and returns the length-N array of **log** WMCs — robust
+    on large circuits whose per-model weights underflow a float.
+    """
+    import numpy as np
+    batch = _as_weight_batch(root, weights, variables)
+    with np.errstate(divide="ignore"):
+        log_batch = {lit: np.log(np.asarray(column, dtype=float))
+                     for lit, column in batch.items()}
+    kernel = get_kernel(root)
+    result = kernel.wmc_log_batch(log_batch, stats)
+    if variables is not None:
+        for var in set(variables) - root.variables():
+            result = result + np.logaddexp(log_batch[var],
+                                           log_batch[-var])
+    return result
+
+
+def evaluate_batch(root: NnfNode, assignments,
+                   stats: Counter | None = None):
+    """Evaluate the circuit under N complete assignments at once.
+
+    ``assignments`` is either a sequence of N variable→bool maps or a
+    packed variable → length-N bool array mapping; returns a length-N
+    bool array.
+    """
+    if not isinstance(assignments, Mapping):
+        assignments = pack_assignment_batch(
+            list(assignments), sorted(root.variables()))
+    return get_kernel(root).evaluate_batch(assignments, stats)
 
 
 def enumerate_models(root: NnfNode,

@@ -63,6 +63,36 @@ class ObddNode:
             node = node.high if assignment[node.var] else node.low
         return node.terminal_value
 
+    def evaluate_batch(self, assignments) -> "object":
+        """Evaluate N assignments in one bottom-up numpy sweep.
+
+        ``assignments`` is either a sequence of N variable→bool maps or
+        a mapping variable → length-N bool array; every reachable node
+        gets one length-N row (``np.where`` on its variable's column),
+        so the cost is O(nodes × N) vector ops rather than N scalar
+        path walks.  Returns a length-N bool array.
+        """
+        import numpy as np
+        if isinstance(assignments, Mapping):
+            columns = dict(assignments)
+            batch = len(next(iter(columns.values()))) if columns else 0
+        else:
+            assignments = list(assignments)
+            batch = len(assignments)
+            columns = {var: np.array([a[var] for a in assignments],
+                                     dtype=bool)
+                       for var in self.variables()}
+        values: Dict[int, object] = {}
+        for node in self.topological():
+            if node.is_terminal:
+                values[node.id] = np.full(batch, node.terminal_value,
+                                          dtype=bool)
+            else:
+                values[node.id] = np.where(columns[node.var],
+                                           values[node.high.id],
+                                           values[node.low.id])
+        return values[self.id]
+
     def nodes(self) -> List["ObddNode"]:
         """All distinct nodes reachable from here (including terminals)."""
         seen: Dict[int, ObddNode] = {}

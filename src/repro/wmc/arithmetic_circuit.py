@@ -6,12 +6,18 @@ literal's weight gives, in one extra downward pass, the weighted count
 of models containing each literal [23, 25].  This is how "all marginal
 weighted model counts" come out in linear time (the paper's footnote 5)
 and the core of AC-based Bayesian network inference.
+
+The scalar methods are the reference implementation; ``*_batch``
+variants answer N weight vectors in one numpy pass through the dense
+circuit kernel (:mod:`repro.nnf.kernel`), which is how dataset-sized
+query loads (classifier scoring, per-evidence MAR) are served.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Sequence
 
+from ..nnf.kernel import (KIND_LIT, get_kernel, pack_weight_batch)
 from ..nnf.node import NnfNode
 from ..nnf.transform import smooth as smooth_transform
 
@@ -86,26 +92,41 @@ class ArithmeticCircuit:
                 for child in node.children:
                     derivative[child.id] += d
             else:
-                for i, child in enumerate(node.children):
-                    partial = d
-                    for j, sibling in enumerate(node.children):
-                        if i != j:
-                            partial *= values[sibling.id]
-                    derivative[child.id] += partial
+                # ∂/∂child = d · Π siblings, via linear prefix/suffix
+                # products instead of the O(k²) per-child re-multiply
+                kids = node.children
+                k = len(kids)
+                prefixes = [1.0] * k
+                running = 1.0
+                for i in range(k):
+                    prefixes[i] = running
+                    running *= values[kids[i].id]
+                suffix = 1.0
+                for i in range(k - 1, -1, -1):
+                    derivative[kids[i].id] += d * prefixes[i] * suffix
+                    suffix *= values[kids[i].id]
         result: Dict[int, float] = {}
         for node in self._order:
             if node.is_literal:
                 result[node.literal] = result.get(node.literal, 0.0) + \
                     derivative[node.id]
-        # free variables: every model extends with either literal
+        # free variables: every model extends with either literal; the
+        # partial product over the *other* free variables comes from the
+        # same linear prefix/suffix scheme
         root_value = values[self.root.id]
-        for var in self.free_vars:
-            other = 1.0
-            for v in self.free_vars:
-                if v != var:
-                    other *= weights[v] + weights[-v]
+        k = len(self.free_vars)
+        prefixes = [1.0] * k
+        running = 1.0
+        for i, var in enumerate(self.free_vars):
+            prefixes[i] = running
+            running *= weights[var] + weights[-var]
+        suffix = 1.0
+        for i in range(k - 1, -1, -1):
+            var = self.free_vars[i]
+            other = prefixes[i] * suffix
             result[var] = root_value * other
             result[-var] = root_value * other
+            suffix *= weights[var] + weights[-var]
         # mentioned variables may still miss a polarity (never appears)
         for var in self.variables:
             result.setdefault(var, 0.0)
@@ -118,3 +139,87 @@ class ArithmeticCircuit:
         W(ℓ) · ∂WMC/∂W(ℓ)."""
         derivs = self.derivatives(weights)
         return {lit: weights[lit] * d for lit, d in derivs.items()}
+
+    # -- batched passes ------------------------------------------------------
+    def _weight_batch(self, weights):
+        """literal → length-N array mapping from either representation."""
+        if isinstance(weights, Mapping):
+            return weights
+        return pack_weight_batch(list(weights), self.variables)
+
+    def _free_factor_batch(self, batch):
+        factor = None
+        for var in self.free_vars:
+            term = batch[var] + batch[-var]
+            factor = term if factor is None else factor * term
+        return factor
+
+    def evaluate_batch(self, weights):
+        """Weighted model counts of N weight vectors in one numpy pass.
+
+        ``weights`` is a sequence of N literal→weight maps or a packed
+        literal → length-N array mapping over ``self.variables``;
+        column ``j`` of the result equals ``evaluate`` of vector ``j``.
+        """
+        batch = self._weight_batch(weights)
+        result = get_kernel(self.root).wmc_batch(batch)
+        free = self._free_factor_batch(batch)
+        return result if free is None else result * free
+
+    def evaluate_log_batch(self, weights):
+        """Log-space :meth:`evaluate_batch`: same linear weights in,
+        length-N array of **log** WMCs out (zero weights → ``-inf``)."""
+        import numpy as np
+        batch = self._weight_batch(weights)
+        with np.errstate(divide="ignore"):
+            log_batch = {lit: np.log(np.asarray(col, dtype=float))
+                         for lit, col in batch.items()}
+        result = get_kernel(self.root).wmc_log_batch(log_batch)
+        for var in self.free_vars:
+            result = result + np.logaddexp(log_batch[var],
+                                           log_batch[-var])
+        return result
+
+    def derivatives_batch(self, weights) -> Dict[int, "object"]:
+        """Batched :meth:`derivatives`: literal → length-N array of
+        ∂WMC/∂W(ℓ), from one upward + one downward kernel pass."""
+        import numpy as np
+        batch = self._weight_batch(weights)
+        kernel = get_kernel(self.root)
+        values, node_derivs = kernel.derivatives_batch(batch)
+        free = self._free_factor_batch(batch)
+        if free is not None:
+            # d(root)/d(node) scales by the free-variable factor
+            node_derivs = [d * free for d in node_derivs]
+        n = kernel._batch_size(batch)
+        zeros = np.zeros(n)
+        result: Dict[int, object] = {}
+        for i in range(kernel.n):
+            if kernel.kinds[i] == KIND_LIT:
+                lit = kernel.lits[i]
+                result[lit] = result.get(lit, zeros) + node_derivs[i]
+        root_value = values[kernel.n - 1] if kernel.n else zeros
+        k = len(self.free_vars)
+        prefixes = [None] * k
+        running = np.ones(n)
+        for i, var in enumerate(self.free_vars):
+            prefixes[i] = running
+            running = running * (batch[var] + batch[-var])
+        suffix = np.ones(n)
+        for i in range(k - 1, -1, -1):
+            var = self.free_vars[i]
+            other = root_value * prefixes[i] * suffix
+            result[var] = other
+            result[-var] = other.copy()
+            suffix = suffix * (batch[var] + batch[-var])
+        for var in self.variables:
+            result.setdefault(var, zeros)
+            result.setdefault(-var, zeros)
+        return result
+
+    def literal_marginals_batch(self, weights) -> Dict[int, "object"]:
+        """Batched :meth:`literal_marginals`: literal → length-N array
+        of weighted counts of models containing the literal."""
+        batch = self._weight_batch(weights)
+        derivs = self.derivatives_batch(batch)
+        return {lit: batch[lit] * d for lit, d in derivs.items()}

@@ -7,7 +7,7 @@ plus weighted circuit evaluations (Sections 2–3).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..bayesnet.network import BayesianNetwork
 from ..compile.dnnf_compiler import DnnfCompiler
@@ -89,6 +89,54 @@ class WmcPipeline:
         for (name, state), literal in self.encoding.indicator.items():
             result.setdefault(name, {})[state] = counts[literal] / total
         return result
+
+    # -- batched queries --------------------------------------------------------
+    def _evidence_weight_batch(self, evidence_batch):
+        from ..nnf.kernel import pack_weight_batch
+        maps = [self.encoding.evidence_weights(dict(e or {}))
+                for e in evidence_batch]
+        return pack_weight_batch(maps, self._all_vars)
+
+    def probability_of_evidence_batch(
+            self, evidence_batch: Sequence[Mapping[str, int]],
+            log_space: bool = False):
+        """Pr(e) for N evidence instantiations in one numpy pass.
+
+        Column ``j`` of the returned length-N array equals
+        ``probability_of_evidence(evidence_batch[j])`` (its log with
+        ``log_space=True``, which survives networks whose evidence
+        probabilities underflow a float).
+        """
+        batch = self._evidence_weight_batch(evidence_batch)
+        ac = self.arithmetic_circuit
+        if log_space:
+            return ac.evaluate_log_batch(batch)
+        return ac.evaluate_batch(batch)
+
+    def marginals_batch(self,
+                        evidence_batch: Sequence[Mapping[str, int]]
+                        ) -> List[Dict[str, Dict[int, float]]]:
+        """Posterior marginals of all variables for N evidence
+        instantiations — one batched upward + downward differential
+        pass instead of N scalar :meth:`marginals` calls.
+        """
+        batch = self._evidence_weight_batch(evidence_batch)
+        ac = self.arithmetic_circuit
+        counts = ac.literal_marginals_batch(batch)
+        totals = ac.evaluate_batch(batch)
+        results: List[Dict[str, Dict[int, float]]] = []
+        items = list(self.encoding.indicator.items())
+        for j in range(len(totals)):
+            total = totals[j]
+            if total == 0:
+                raise ZeroDivisionError(
+                    f"evidence {j} has probability zero")
+            per_query: Dict[str, Dict[int, float]] = {}
+            for (name, state), literal in items:
+                per_query.setdefault(name, {})[state] = \
+                    float(counts[literal][j]) / total
+            results.append(per_query)
+        return results
 
     def mpe(self, evidence: Mapping[str, int] | None = None
             ) -> Tuple[Dict[str, int], float]:

@@ -110,9 +110,42 @@ def test_run_all_quick_smoke(tmp_path):
     report = json.loads(written[0].read_text())
     assert report["schema"] == "repro-bench/1"
     assert report["quick"] is True
-    assert set(report["scenarios"]) == {"sharp_sat", "dnnf_compile",
-                                        "repeated_wmc"}
-    for scenario in report["scenarios"].values():
-        assert scenario["agree"] is True
-        assert scenario["optimized_s"] > 0
-        assert scenario["counters"]["optimized"]
+    assert set(report["scenarios"]) == {
+        "sharp_sat", "dnnf_compile", "repeated_wmc", "batched_wmc",
+        "batched_marginals", "psdd_marginals", "classifier_scoring"}
+    for name, scenario in report["scenarios"].items():
+        assert scenario["agree"] is True, name
+        # sub-0.1ms batched passes legitimately round to 0.0
+        assert scenario["optimized_s"] >= 0
+    for name in ("sharp_sat", "dnnf_compile", "repeated_wmc",
+                 "batched_wmc"):
+        assert report["scenarios"][name]["counters"]["optimized"]
+
+
+@pytest.mark.tier2_bench
+def test_run_all_regression_gate(tmp_path):
+    """A baseline with impossibly-fast timings must trip the regression
+    gate (exit 2) — and `--advisory` must downgrade it to a warning."""
+    fake_baseline = {
+        "schema": "repro-bench/1", "quick": True, "figures": [],
+        "scenarios": {"sharp_sat": {"optimized_s": 1e-9},
+                      "repeated_wmc": {"optimized_s": 1e-9}},
+    }
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    for advisory, expected in ((False, 2), (True, 0)):
+        out_dir = tmp_path / ("advisory" if advisory else "strict")
+        out_dir.mkdir()
+        (out_dir / "BENCH_00000101-000000.json").write_text(
+            json.dumps(fake_baseline))
+        argv = [sys.executable,
+                os.path.join(REPO_ROOT, "benchmarks", "run_all.py"),
+                "--quick", "--skip-figures", "--output-dir",
+                str(out_dir)]
+        if advisory:
+            argv.append("--advisory")
+        proc = subprocess.run(argv, env=env, capture_output=True,
+                              text=True, timeout=600)
+        assert proc.returncode == expected, \
+            (advisory, proc.stdout, proc.stderr)
+        assert "regression(s) vs" in proc.stdout
