@@ -22,7 +22,12 @@ its legacy configuration:
   upward+downward pass vs the legacy per-variable evaluation loop;
 * ``classifier_scoring`` — scoring a dataset through the batched
   classifier paths (binarized net + random forest) vs the per-instance
-  Python loops.
+  Python loops;
+* ``warm_compile`` — the content-addressed compilation cache
+  (:mod:`repro.ir.store`): compiling a CNF served from a warm artifact
+  store vs running the search cold.  ``--cache-dir DIR`` persists the
+  store across runs (default: a throwaway temp directory); the
+  scenario records the store's ``cache_hit_rate``.
 
 Each scenario records wall times, the speedup, the operation counters
 of the optimised engine, and an agreement check between both engines'
@@ -37,6 +42,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py [--quick]
         [--skip-figures] [--output-dir DIR] [--advisory]
+        [--cache-dir DIR]
 
 ``--quick`` shrinks the scenario instances (and is what the
 ``tier2_bench``-marked smoke test runs); the committed baseline should
@@ -335,6 +341,57 @@ def scenario_classifier_scoring(quick: bool):
     }
 
 
+#: directory of the warm_compile scenario's artifact store; set from
+#: --cache-dir in main(), None means a throwaway temp directory
+_CACHE_DIR = None
+
+
+def scenario_warm_compile(quick: bool):
+    """Compilation served from the content-addressed artifact store:
+    a warm-cache compile (disk read + .nnf parse + lift) vs running
+    the Decision-DNNF search cold."""
+    import shutil
+    import tempfile
+    from repro.ir.store import ArtifactStore
+    # near the 3-SAT phase transition (m/n ≈ 4): the search is hard
+    # but the compiled circuit stays compact, which is exactly the
+    # regime a compilation cache is for
+    n, m, seed = (80, 320, 11) if quick else (90, 360, 11)
+    cnf = random_3cnf(n, m, seed)
+    cache_dir = _CACHE_DIR
+    temp = cache_dir is None
+    if temp:
+        cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        store = ArtifactStore(cache_dir)
+        full = range(1, n + 1)
+        start = time.perf_counter()
+        cold_root = DnnfCompiler(store=None).compile(cnf)
+        mid = time.perf_counter()
+        # populate the store (a no-op when --cache-dir is already warm)
+        DnnfCompiler(store=store).compile(cnf)
+        warm_compiler = DnnfCompiler(store=store)
+        warm_start = time.perf_counter()
+        warm_root = warm_compiler.compile(cnf)
+        end = time.perf_counter()
+        return {
+            "instance": {"n": n, "m": m, "seed": seed,
+                         "persistent_cache": not temp},
+            "optimized_s": round(end - warm_start, 4),
+            "legacy_s": round(mid - start, 4),
+            "speedup": round((mid - start) / (end - warm_start), 3),
+            "agree": queries.model_count(warm_root, full)
+            == queries.model_count(cold_root, full),
+            "cache_hit_rate": round(store.hit_rate(), 3),
+            "counters": {"optimized": {
+                **warm_compiler.stats.as_dict(),
+                **store.stats.as_dict()}},
+        }
+    finally:
+        if temp:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+
 SCENARIOS = {
     "sharp_sat": scenario_sharp_sat,
     "dnnf_compile": scenario_dnnf_compile,
@@ -343,6 +400,7 @@ SCENARIOS = {
     "batched_marginals": scenario_batched_marginals,
     "psdd_marginals": scenario_psdd_marginals,
     "classifier_scoring": scenario_classifier_scoring,
+    "warm_compile": scenario_warm_compile,
 }
 
 
@@ -396,7 +454,14 @@ def main(argv=None) -> int:
     parser.add_argument("--advisory", action="store_true",
                         help="warn on regressions instead of exiting "
                              "non-zero (for noisy machines)")
+    parser.add_argument("--cache-dir",
+                        help="persistent artifact-store directory for "
+                             "the warm_compile scenario (default: a "
+                             "throwaway temp directory)")
     args = parser.parse_args(argv)
+    if args.cache_dir:
+        global _CACHE_DIR
+        _CACHE_DIR = args.cache_dir
 
     report = {
         "schema": SCHEMA,
@@ -413,10 +478,13 @@ def main(argv=None) -> int:
     for name, scenario in SCENARIOS.items():
         result = scenario(args.quick)
         report["scenarios"][name] = result
-        print(f"  {name:15s} optimized {result['optimized_s']:8.3f}s"
-              f"  legacy {result['legacy_s']:8.3f}s"
-              f"  speedup {result['speedup']:5.2f}x"
-              f"  agree={result['agree']}")
+        line = (f"  {name:15s} optimized {result['optimized_s']:8.3f}s"
+                f"  legacy {result['legacy_s']:8.3f}s"
+                f"  speedup {result['speedup']:5.2f}x"
+                f"  agree={result['agree']}")
+        if "cache_hit_rate" in result:
+            line += f"  hit-rate={result['cache_hit_rate']:.2f}"
+        print(line)
 
     stamp = time.strftime("%Y%m%d-%H%M%S")
     os.makedirs(args.output_dir, exist_ok=True)

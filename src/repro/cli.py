@@ -4,7 +4,12 @@ Mirrors the classic knowledge-compiler workflow (C2D/DSHARP-style):
 
 * ``count FILE.cnf`` — exact model count (d-DNNF based);
 * ``sat FILE.cnf`` — satisfiability;
-* ``compile FILE.cnf [-o out.nnf]`` — Decision-DNNF in c2d format;
+* ``compile FILE.cnf [-o out.nnf] [--format nnf|sdd]`` — compile to
+  canonical circuit files (c2d ``.nnf``, or libsdd ``.sdd`` +
+  ``.vtree``), optionally through the content-addressed artifact
+  store (``--cache-dir``, or ``$REPRO_CACHE_DIR``);
+* ``query FILE.cnf --query count|sat|wmc|mpe|marginals`` — compile
+  (store-backed) and answer a query in one call;
 * ``sdd FILE.cnf [--vtree balanced|right-linear|left-linear]`` —
   compile to an SDD and report size statistics;
 * ``enumerate FILE.cnf [--limit N]`` — print models.
@@ -14,7 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from .compile.dnnf_compiler import DnnfCompiler
 from .logic.cnf import Cnf
@@ -32,6 +37,20 @@ __all__ = ["main"]
 def _load(path: str) -> Cnf:
     with open(path) as handle:
         return Cnf.from_dimacs(handle.read())
+
+
+def _store(args: argparse.Namespace):
+    """The artifact store selected by --cache-dir / $REPRO_CACHE_DIR."""
+    from .ir.store import ArtifactStore, default_store
+    if getattr(args, "cache_dir", None):
+        return ArtifactStore(args.cache_dir)
+    return default_store()
+
+
+def _print_store_stats(store) -> None:
+    if store is not None:
+        print(format_stats(store.stats))
+        print(f"c artifact-hit-rate {store.hit_rate():.2f}")
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
@@ -59,7 +78,10 @@ def _cmd_sat(args: argparse.Namespace) -> int:
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     cnf = _load(args.file)
-    compiler = DnnfCompiler()
+    store = _store(args)
+    if args.format == "sdd":
+        return _compile_sdd_files(args, cnf, store)
+    compiler = DnnfCompiler(store=store)
     circuit = compiler.compile(cnf)
     text = to_nnf_format(circuit)
     if args.output:
@@ -72,6 +94,82 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         sys.stdout.write(text)
     if args.stats:
         print(format_stats(compiler.stats))
+        _print_store_stats(store)
+    return 0
+
+
+def _compile_sdd_files(args: argparse.Namespace, cnf: Cnf, store) -> int:
+    from .ir.serialize import write_sdd_file, write_vtree_text
+    if cnf.num_vars == 0:
+        print("c empty formula")
+        return 0
+    vtree = vtree_from_order(range(1, cnf.num_vars + 1), args.vtree)
+    root, manager = compile_cnf_sdd(cnf, vtree=vtree, store=store)
+    sdd_text = write_sdd_file(root)
+    vtree_text = write_vtree_text(manager.vtree)
+    if args.output:
+        base = args.output
+        if base.endswith(".sdd"):
+            base = base[:-4]
+        with open(base + ".sdd", "w") as handle:
+            handle.write(sdd_text)
+        with open(base + ".vtree", "w") as handle:
+            handle.write(vtree_text)
+        print(f"c wrote {base}.sdd + {base}.vtree "
+              f"(size {root.size()}, {root.node_count()} nodes)")
+    else:
+        sys.stdout.write(sdd_text)
+    if args.stats:
+        print(format_stats(manager.stats))
+        _print_store_stats(store)
+    return 0
+
+
+def _parse_weights(specs, num_vars: int) -> Dict[int, float]:
+    """Literal weights from repeated ``LIT=W`` options; unspecified
+    literals weigh 1.0."""
+    weights: Dict[int, float] = {}
+    for var in range(1, num_vars + 1):
+        weights[var] = weights[-var] = 1.0
+    for spec in specs or ():
+        lit_text, _, value_text = spec.partition("=")
+        try:
+            weights[int(lit_text)] = float(value_text)
+        except ValueError:
+            raise ValueError(f"bad weight spec {spec!r} (want LIT=W)")
+    return weights
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .nnf import queries
+    cnf = _load(args.file)
+    store = _store(args)
+    compiler = DnnfCompiler(store=store)
+    circuit = compiler.compile(cnf)
+    variables = range(1, cnf.num_vars + 1)
+    weights = _parse_weights(args.weight, cnf.num_vars)
+    if args.query == "count":
+        print(f"s mc {queries.model_count(circuit, variables)}")
+    elif args.query == "sat":
+        satisfiable = queries.is_satisfiable_dnnf(circuit)
+        print("s SATISFIABLE" if satisfiable else "s UNSATISFIABLE")
+    elif args.query == "wmc":
+        print(f"s wmc {queries.weighted_model_count(circuit, weights, variables)}")
+    elif args.query == "mpe":
+        value, model = queries.mpe(circuit, weights, variables)
+        literals = " ".join(str(v if model[v] else -v)
+                            for v in sorted(model))
+        print(f"v {literals} 0")
+        print(f"s mpe {value}")
+    else:  # marginals
+        from .nnf.transform import smooth
+        counts = queries.marginal_counts(smooth(circuit), variables)
+        for var in variables:
+            print(f"c marginal {var} {counts[var]} {counts[-var]}")
+        print(f"s mc {queries.model_count(circuit, variables)}")
+    if args.stats:
+        print(format_stats(compiler.stats))
+        _print_store_stats(store)
     return 0
 
 
@@ -129,12 +227,41 @@ def build_parser() -> argparse.ArgumentParser:
     sat.set_defaults(func=_cmd_sat)
 
     compile_cmd = commands.add_parser(
-        "compile", help="compile to Decision-DNNF (c2d .nnf format)")
+        "compile", help="compile to circuit files (c2d .nnf, or "
+                        "libsdd .sdd/.vtree with --format sdd)")
     compile_cmd.add_argument("file")
     compile_cmd.add_argument("-o", "--output")
+    compile_cmd.add_argument("--format", default="nnf",
+                             choices=["nnf", "sdd"],
+                             help="artifact format (default nnf)")
+    compile_cmd.add_argument("--vtree", default="balanced",
+                             choices=["balanced", "right-linear",
+                                      "left-linear"],
+                             help="vtree shape for --format sdd")
+    compile_cmd.add_argument("--cache-dir",
+                             help="content-addressed compilation cache "
+                                  "directory (default $REPRO_CACHE_DIR)")
     compile_cmd.add_argument("--stats", action="store_true",
-                             help="print compiler perf counters")
+                             help="print compiler + artifact-store "
+                                  "perf counters")
     compile_cmd.set_defaults(func=_cmd_compile)
+
+    query = commands.add_parser(
+        "query", help="compile (store-backed) and answer a query")
+    query.add_argument("file")
+    query.add_argument("--query", default="count",
+                       choices=["count", "sat", "wmc", "mpe",
+                                "marginals"])
+    query.add_argument("--weight", action="append", metavar="LIT=W",
+                       help="literal weight for wmc/mpe (repeatable; "
+                            "unset literals weigh 1.0; use "
+                            "--weight=-2=0.4 for negative literals)")
+    query.add_argument("--cache-dir",
+                       help="content-addressed compilation cache "
+                            "directory (default $REPRO_CACHE_DIR)")
+    query.add_argument("--stats", action="store_true",
+                       help="print compiler + artifact-store counters")
+    query.set_defaults(func=_cmd_query)
 
     sdd = commands.add_parser("sdd", help="compile to an SDD")
     sdd.add_argument("file")

@@ -1,0 +1,93 @@
+"""One home — and one switch — for the seed's legacy code paths.
+
+The repo keeps the seed's original traversals and solvers alive as
+``*_legacy`` functions: they are the references the cross-check suites
+compare the IR kernel against and the baselines the benchmarks
+measure speedups over.  Their implementations stay in the modules
+where they grew; this module consolidates access to them:
+
+* :func:`legacy_enabled` reads the ``REPRO_LEGACY`` environment
+  variable — set ``REPRO_LEGACY=1`` to route the front-door query
+  functions (``nnf.queries``, ``obdd.ops``, ``sdd.queries``,
+  ``psdd.queries``) and the search defaults (``sat``, DNNF
+  compilation) back through the seed implementations, e.g. to bisect
+  a suspected kernel regression;
+* every legacy entry point is importable from here
+  (``from repro.compat import model_count_legacy``), so callers never
+  need to know which module a seed path lives in.
+
+Re-exports resolve lazily (module ``__getattr__``), so importing this
+module from inside a family package is cycle-free.
+
+The legacy paths are **deprecated as front doors**: they stay for
+cross-checking and benchmarking, not for new call sites.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["legacy_enabled", "default_propagator", "LEGACY_ENV",
+           # lazily re-exported legacy entry points
+           "solve_legacy", "unit_propagate_legacy",
+           "is_satisfiable_dnnf_legacy", "sat_model_dnnf_legacy",
+           "model_count_legacy", "weighted_model_count_legacy",
+           "mpe_legacy", "marginal_counts_legacy",
+           "condition_evaluate_legacy",
+           "obdd_model_count_legacy", "obdd_weighted_model_count_legacy",
+           "sdd_model_count_legacy", "sdd_weighted_model_count_legacy",
+           "marginal_legacy", "variable_marginals_legacy"]
+
+#: environment variable holding the opt-in switch
+LEGACY_ENV = "REPRO_LEGACY"
+
+_FALSY = ("", "0", "false", "no", "off")
+
+
+def legacy_enabled() -> bool:
+    """True when ``REPRO_LEGACY`` opts the process into the seed's
+    legacy implementations for all front-door queries and defaults."""
+    return os.environ.get(LEGACY_ENV, "").strip().lower() not in _FALSY
+
+
+def default_propagator() -> str:
+    """The propagator the SAT/compilation layers default to:
+    ``"legacy"`` (seed clause rescans) under ``REPRO_LEGACY=1``,
+    ``"watched"`` (two-watched-literal) otherwise."""
+    return "legacy" if legacy_enabled() else "watched"
+
+
+#: lazy re-export table: public name -> (module, attribute there)
+_EXPORTS = {
+    "solve_legacy": ("repro.sat.dpll", "solve_legacy"),
+    "unit_propagate_legacy": ("repro.sat.dpll", "unit_propagate_legacy"),
+    "is_satisfiable_dnnf_legacy":
+        ("repro.nnf.queries_legacy", "is_satisfiable_dnnf"),
+    "sat_model_dnnf_legacy":
+        ("repro.nnf.queries_legacy", "sat_model_dnnf"),
+    "model_count_legacy": ("repro.nnf.queries_legacy", "model_count"),
+    "weighted_model_count_legacy":
+        ("repro.nnf.queries_legacy", "weighted_model_count"),
+    "mpe_legacy": ("repro.nnf.queries_legacy", "mpe"),
+    "marginal_counts_legacy":
+        ("repro.nnf.queries_legacy", "marginal_counts"),
+    "condition_evaluate_legacy":
+        ("repro.nnf.queries_legacy", "condition_evaluate"),
+    "obdd_model_count_legacy": ("repro.obdd.ops", "model_count_legacy"),
+    "obdd_weighted_model_count_legacy":
+        ("repro.obdd.ops", "weighted_model_count_legacy"),
+    "sdd_model_count_legacy": ("repro.sdd.queries", "model_count_legacy"),
+    "sdd_weighted_model_count_legacy":
+        ("repro.sdd.queries", "weighted_model_count_legacy"),
+    "marginal_legacy": ("repro.psdd.queries", "marginal_legacy"),
+    "variable_marginals_legacy":
+        ("repro.psdd.queries", "variable_marginals_legacy"),
+}
+
+
+def __getattr__(name: str):
+    spec = _EXPORTS.get(name)
+    if spec is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    return getattr(importlib.import_module(spec[0]), spec[1])

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from ..compat import default_propagator
 from ..logic.cnf import Cnf
 from ..nnf.node import NnfManager, NnfNode
 from ..perf.instrument import Counter
@@ -67,22 +68,37 @@ class DnnfCompiler:
         ``"watched"`` (default) runs the trail-based search on the
         two-watched-literal engine; ``"legacy"`` the seed's clause-list
         recursion with rescan propagation, kept as a measurable
-        baseline.
+        baseline.  ``None`` defers to
+        :func:`repro.compat.default_propagator` (``REPRO_LEGACY``).
+    store:
+        An optional :class:`repro.ir.store.ArtifactStore`: compilations
+        are looked up by the SHA-256 of (compiler name, config, DIMACS
+        text) and served from disk on a hit — the circuit is read back
+        from canonical ``.nnf`` text and lifted into ``manager``.
+        Defaults to :func:`repro.ir.store.default_store`
+        (``$REPRO_CACHE_DIR``, unset → no caching).
     """
 
     def __init__(self, manager: NnfManager | None = None,
                  use_components: bool = True, use_cache: bool = True,
                  priority: Sequence[int] | None = None,
-                 cache_mode: str = "hash", propagator: str = "watched"):
+                 cache_mode: str = "hash",
+                 propagator: str | None = None, store=None):
+        if propagator is None:
+            propagator = default_propagator()
         if cache_mode not in ("hash", "exact"):
             raise ValueError(f"unknown cache_mode {cache_mode!r}")
         if propagator not in ("watched", "legacy"):
             raise ValueError(f"unknown propagator {propagator!r}")
+        if store is None:
+            from ..ir.store import default_store
+            store = default_store()
         self.manager = manager or NnfManager()
         self.use_components = use_components
         self.use_cache = use_cache
         self.cache_mode = cache_mode
         self.propagator = propagator
+        self.store = store
         self.priority = {v: i for i, v in enumerate(priority or ())}
         self.cache: Dict[Hashable, NnfNode] = {}
         self.stats = Counter()
@@ -102,9 +118,35 @@ class DnnfCompiler:
         self.decisions = 0
         if any(len(c) == 0 for c in cnf.clauses):
             return self.manager.false()
+        key = None
+        if self.store is not None:
+            key = self._artifact_key(cnf)
+            from ..ir.core import FLAG_DECOMPOSABLE, FLAG_DETERMINISTIC
+            cached = self.store.load_nnf(
+                key, flags=FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC)
+            if cached is not None:
+                from ..ir.lower import ir_to_nnf
+                self.stats.incr("artifact_cache_hits")
+                return ir_to_nnf(cached, self.manager)
         if self.propagator == "watched":
-            return self._compile_trail(list(cnf.clauses))
-        return self._compile(list(cnf.clauses))
+            root = self._compile_trail(list(cnf.clauses))
+        else:
+            root = self._compile(list(cnf.clauses))
+        if key is not None:
+            from ..ir.lower import nnf_to_ir
+            self.store.save_nnf(key, nnf_to_ir(root))
+        return root
+
+    def _artifact_key(self, cnf: Cnf) -> str:
+        from ..ir.store import artifact_key
+        config = {
+            "use_components": self.use_components,
+            "use_cache": self.use_cache,
+            "cache_mode": self.cache_mode,
+            "propagator": self.propagator,
+            "priority": sorted(self.priority, key=self.priority.get),
+        }
+        return artifact_key(cnf.to_dimacs(), "dnnf", config)
 
     # -- trail-based search (the default, sharpSAT-style) ---------------------
     # The same architecture as ModelCounter's trail path: one persistent

@@ -1,0 +1,319 @@
+"""Canonical circuit serialization: c2d ``.nnf`` and libsdd-style
+``.sdd``/``.vtree`` texts.
+
+The ``.nnf`` side is IR-native: :func:`ir_to_nnf_text` emits exactly
+the c2d format the seed's :mod:`repro.nnf.io` wrote (so files are
+interchangeable), and :func:`ir_from_nnf_text` parses straight into a
+:class:`~repro.ir.core.CircuitIR` without building node objects.
+Writing then re-reading is the identity on the text (byte-stable):
+the reader preserves node order and raw gate structure.
+
+The ``.sdd``/``.vtree`` side follows the libsdd text formats::
+
+    c ...                      c ...
+    vtree <count>              sdd <count>
+    L <id> <var>               F <id> / T <id>
+    I <id> <left> <right>      L <id> <vtree-id> <literal>
+                               D <id> <vtree-id> <n> <p1> <s1> ...
+
+Vtree ids are in-order positions (libsdd's convention); SDD ids are
+assigned by a post-order walk that follows element order, and the
+reader rebuilds nodes *preserving the file's element order* while
+registering them under the manager's canonical unique-table keys — so
+``write(read(text)) == text`` and freshly read SDDs keep full apply
+compatibility.  SDD texts lower to the IR via
+:func:`repro.ir.lower.sdd_to_ir` for execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..vtree.vtree import Vtree
+from .core import (CircuitIR, IrBuilder, KIND_AND, KIND_FALSE, KIND_LIT,
+                   KIND_OR, KIND_PARAM, KIND_TRUE)
+from .lower import structural_flags
+
+__all__ = ["ir_to_nnf_text", "ir_from_nnf_text", "write_vtree_text",
+           "read_vtree_text", "write_sdd_file", "read_sdd_file"]
+
+
+# -- c2d .nnf ----------------------------------------------------------------
+
+def ir_to_nnf_text(ir: CircuitIR) -> str:
+    """Serialise an IR in c2d ``.nnf`` format (byte-identical to the
+    seed's node-object writer on the same circuit)."""
+    lines: List[str] = []
+    max_var = 0
+    for i in range(ir.n):
+        kind = ir.kinds[i]
+        if kind == KIND_LIT:
+            lit = ir.lits[i]
+            max_var = max(max_var, abs(lit))
+            lines.append(f"L {lit}")
+        elif kind == KIND_TRUE:
+            lines.append("A 0")
+        elif kind == KIND_FALSE:
+            lines.append("O 0 0")
+        elif kind == KIND_AND:
+            kids = ir.children(i)
+            body = " ".join(map(str, kids))
+            lines.append(f"A {len(kids)} {body}".rstrip())
+        elif kind == KIND_OR:
+            kids = ir.children(i)
+            body = " ".join(map(str, kids))
+            lines.append(f"O 0 {len(kids)} {body}".rstrip())
+        else:
+            raise ValueError(
+                "parameterised circuits have no .nnf serialization")
+    header = f"nnf {ir.n} {ir.edge_count()} {max_var}"
+    return "\n".join([header] + lines) + "\n"
+
+
+def ir_from_nnf_text(text: str, flags: Optional[int] = None,
+                     intern: bool = True) -> CircuitIR:
+    """Parse a c2d ``.nnf`` text straight into a CircuitIR.
+
+    The format's node ids *are* line positions with children first and
+    the root last — exactly the IR's layout — so the CSR arrays are
+    filled directly, with no builder, renumbering or node objects.
+    Node order and raw gate structure are preserved, so writing the
+    result back yields the input text byte-for-byte (this is the hot
+    half of a warm artifact-store hit; see :mod:`repro.ir.store`).
+
+    ``flags`` skips the structural property scan when the caller knows
+    the circuit's properties (e.g. compiler output).
+    """
+    lines: List[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line and not line.startswith("c"):
+            lines.append(line)
+    if not lines or not lines[0].startswith("nnf"):
+        raise ValueError("missing nnf header")
+    header = lines[0].split()
+    if len(header) != 4:
+        raise ValueError(f"bad header: {lines[0]!r}")
+    declared_nodes = int(header[1])
+    if len(lines) - 1 != declared_nodes:
+        raise ValueError(f"header declares {declared_nodes} nodes, "
+                         f"found {len(lines) - 1}")
+    if declared_nodes == 0:
+        raise ValueError("empty nnf text")
+    kinds: List[int] = []
+    lits: List[int] = []
+    offsets: List[int] = [0]
+    child_ids: List[int] = []
+    index = 0
+    for line in lines[1:]:
+        parts = line.split()
+        kind = parts[0]
+        if kind == "L":
+            kinds.append(KIND_LIT)
+            lits.append(int(parts[1]))
+        elif kind == "A":
+            if parts[1] == "0":
+                kinds.append(KIND_TRUE)
+            else:
+                kinds.append(KIND_AND)
+                kids = [int(token) for token in parts[2:]]
+                if len(kids) != int(parts[1]) or max(kids) >= index:
+                    raise ValueError(f"bad A line: {line!r}")
+                child_ids.extend(kids)
+            lits.append(0)
+        elif kind == "O":
+            if parts[2] == "0":
+                kinds.append(KIND_FALSE)
+            else:
+                kinds.append(KIND_OR)
+                kids = [int(token) for token in parts[3:]]
+                if len(kids) != int(parts[2]) or max(kids) >= index:
+                    raise ValueError(f"bad O line: {line!r}")
+                child_ids.extend(kids)
+            lits.append(0)
+        else:
+            raise ValueError(f"unknown node kind {kind!r}")
+        offsets.append(len(child_ids))
+        index += 1
+    ir = CircuitIR(kinds, lits, offsets, child_ids,
+                   flags=0 if flags is None else flags)
+    if flags is None:
+        ir.flags = structural_flags(ir)
+    return ir.intern() if intern else ir
+
+
+# -- libsdd .vtree -----------------------------------------------------------
+
+def _post_order(vtree: Vtree) -> List[Vtree]:
+    order: List[Vtree] = []
+    stack: List[Tuple[Vtree, bool]] = [(vtree, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        stack.append((node, True))
+        if not node.is_leaf():
+            stack.append((node.right, False))
+            stack.append((node.left, False))
+    return order
+
+
+def write_vtree_text(vtree: Vtree) -> str:
+    """Serialise a vtree in the libsdd text format (ids are in-order
+    positions, nodes listed children-first, root last)."""
+    lines = [f"vtree {vtree.node_count()}"]
+    for node in _post_order(vtree):
+        if node.is_leaf():
+            lines.append(f"L {node.position} {node.var}")
+        else:
+            lines.append(f"I {node.position} {node.left.position} "
+                         f"{node.right.position}")
+    return "\n".join(lines) + "\n"
+
+
+def read_vtree_text(text: str) -> Vtree:
+    """Parse a libsdd vtree text (any id scheme, children-first)."""
+    lines = [line.strip() for line in text.splitlines()
+             if line.strip() and not line.startswith("c")]
+    if not lines or not lines[0].startswith("vtree"):
+        raise ValueError("missing vtree header")
+    declared = int(lines[0].split()[1])
+    specs: Dict[int, Tuple] = {}
+    referenced: set = set()
+    for line in lines[1:]:
+        parts = line.split()
+        if parts[0] == "L":
+            specs[int(parts[1])] = ("L", int(parts[2]))
+        elif parts[0] == "I":
+            left, right = int(parts[2]), int(parts[3])
+            specs[int(parts[1])] = ("I", left, right)
+            referenced.update((left, right))
+        else:
+            raise ValueError(f"unknown vtree line {line!r}")
+    if len(specs) != declared:
+        raise ValueError(
+            f"header declares {declared} vtree nodes, found {len(specs)}")
+    roots = [i for i in specs if i not in referenced]
+    if len(roots) != 1:
+        raise ValueError("vtree text must have exactly one root")
+    built: Dict[int, Vtree] = {}
+    stack = [roots[0]]
+    while stack:
+        node_id = stack[-1]
+        spec = specs[node_id]
+        if spec[0] == "L":
+            built[node_id] = Vtree.leaf(spec[1])
+            stack.pop()
+            continue
+        pending = [c for c in spec[1:] if c not in built]
+        if pending:
+            stack.extend(pending)
+            continue
+        built[node_id] = Vtree.internal(built[spec[1]], built[spec[2]])
+        stack.pop()
+    return built[roots[0]]
+
+
+# -- libsdd .sdd -------------------------------------------------------------
+
+def write_sdd_file(node) -> str:
+    """Serialise an SDD in the libsdd text format.
+
+    Ids come from a post-order walk following element order (prime
+    before sub), which makes the output deterministic and the
+    write∘read composition byte-stable.  Save the manager's vtree
+    alongside with :func:`write_vtree_text`.
+    """
+    order = []
+    seen: set = set()
+    stack = [(node, False)]
+    while stack:
+        n, expanded = stack.pop()
+        if expanded:
+            order.append(n)
+            continue
+        if n.id in seen:
+            continue
+        seen.add(n.id)
+        stack.append((n, True))
+        for prime, sub in reversed(n.elements):
+            if sub.id not in seen:
+                stack.append((sub, False))
+            if prime.id not in seen:
+                stack.append((prime, False))
+    ids = {n.id: i for i, n in enumerate(order)}
+    lines = [f"sdd {len(order)}"]
+    for n in order:
+        if n.is_true:
+            lines.append(f"T {ids[n.id]}")
+        elif n.is_false:
+            lines.append(f"F {ids[n.id]}")
+        elif n.is_literal:
+            lines.append(f"L {ids[n.id]} {n.vtree.position} {n.literal}")
+        else:
+            body = " ".join(f"{ids[p.id]} {ids[s.id]}"
+                            for p, s in n.elements)
+            lines.append(f"D {ids[n.id]} {n.vtree.position} "
+                         f"{len(n.elements)} {body}")
+    return "\n".join(lines) + "\n"
+
+
+def read_sdd_file(text: str, vtree, manager=None):
+    """Parse a libsdd ``.sdd`` text into (root, manager).
+
+    ``vtree`` is the matching vtree (object or ``.vtree`` text).  Nodes
+    are rebuilt preserving the file's element order and registered in
+    the manager's unique table, so the result supports apply
+    operations and re-serialises byte-identically.
+    """
+    from ..sdd.manager import SddManager
+    from ..sdd.node import SddNode
+    if isinstance(vtree, str):
+        vtree = read_vtree_text(vtree)
+    if manager is None:
+        manager = SddManager(vtree)
+    elif manager.vtree is not vtree:
+        raise ValueError("manager must own the provided vtree")
+    by_position = {v.position: v for v in vtree.nodes()}
+    lines = [line.strip() for line in text.splitlines()
+             if line.strip() and not line.startswith("c")]
+    if not lines or not lines[0].startswith("sdd"):
+        raise ValueError("missing sdd header")
+    declared = int(lines[0].split()[1])
+    nodes: Dict[int, SddNode] = {}
+    last = None
+    for line in lines[1:]:
+        parts = line.split()
+        kind = parts[0]
+        node_id = int(parts[1])
+        if kind == "T":
+            node = manager.true
+        elif kind == "F":
+            node = manager.false
+        elif kind == "L":
+            node = manager.literal(int(parts[3]))
+        elif kind == "D":
+            v = by_position[int(parts[2])]
+            count = int(parts[3])
+            refs = [int(token) for token in parts[4:]]
+            if len(refs) != 2 * count:
+                raise ValueError(f"bad D line: {line!r}")
+            elements = tuple((nodes[refs[2 * k]], nodes[refs[2 * k + 1]])
+                             for k in range(count))
+            key = (v.position,
+                   tuple(sorted((p.id, s.id) for p, s in elements)))
+            node = manager._unique.get(key)
+            if node is None:
+                node = manager._fresh(SddNode.DECISION, v, 0, elements)
+                manager._unique[key] = node
+        else:
+            raise ValueError(f"unknown sdd line {line!r}")
+        nodes[node_id] = node
+        last = node
+    if len(nodes) != declared:
+        raise ValueError(
+            f"header declares {declared} sdd nodes, found {len(nodes)}")
+    if last is None:
+        raise ValueError("empty sdd text")
+    return last, manager

@@ -1,0 +1,140 @@
+"""The content-addressed compilation cache (artifact store).
+
+Compilation is the expensive phase of every knowledge-compilation
+pipeline; queries on the compiled circuit are linear.  The store makes
+compilation *cacheable across processes*: an artifact is addressed by
+the SHA-256 of everything that determines the compiler's output —
+
+    key = sha256(compiler name ‖ canonical config JSON ‖ DIMACS text)
+
+— and persisted to disk as canonical text (``.nnf`` for d-DNNF
+compilers, ``.sdd`` + ``.vtree`` for SDD compilation).  A warm lookup
+is a file read plus a parse, which is O(circuit) instead of
+O(search); the benchmark harness records the resulting hit rates and
+the warm/cold compile ratio.
+
+Layout: ``<root>/<key[:2]>/<key>.<ext>`` — two-level fan-out keeps
+directories small.  Writes go through a same-directory temp file +
+rename, so concurrent writers of the same key are safe (last rename
+wins, both contents are identical by construction).
+
+:func:`default_store` reads the ``REPRO_CACHE_DIR`` environment
+variable, so the CLI and benchmarks can opt in without plumbing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Mapping, Optional, Tuple
+
+from ..perf.instrument import Counter
+from .core import CircuitIR
+from .serialize import (ir_from_nnf_text, ir_to_nnf_text, read_sdd_file,
+                        write_sdd_file, write_vtree_text)
+
+__all__ = ["ArtifactStore", "artifact_key", "default_store"]
+
+#: environment variable naming the default artifact-store directory
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def artifact_key(dimacs: str, compiler: str,
+                 config: Optional[Mapping] = None) -> str:
+    """The content address of a compilation: SHA-256 over the compiler
+    name, its canonicalised config and the DIMACS input text."""
+    blob = "\n".join([
+        compiler,
+        json.dumps(dict(config or {}), sort_keys=True,
+                   separators=(",", ":"), default=str),
+        dimacs,
+    ])
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ArtifactStore:
+    """A directory of compiled circuits addressed by content key.
+
+    ``stats`` counts ``artifact_hits`` / ``artifact_misses`` /
+    ``artifact_writes`` over the store's lifetime.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = Counter()
+
+    def path_for(self, key: str, ext: str) -> Path:
+        return self.root / key[:2] / f"{key}.{ext}"
+
+    def _write(self, path: Path, text: str) -> Path:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.stats.incr("artifact_writes")
+        return path
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when unused)."""
+        hits = self.stats["artifact_hits"]
+        total = hits + self.stats["artifact_misses"]
+        return hits / total if total else 0.0
+
+    # -- d-DNNF artifacts (.nnf) --------------------------------------------
+    def load_nnf(self, key: str,
+                 flags: Optional[int] = None) -> Optional[CircuitIR]:
+        """The cached IR for ``key``, or None on a miss.
+
+        ``flags`` is forwarded to :func:`ir_from_nnf_text`: a caller
+        that knows the stored circuit's properties (a compiler loading
+        its own output) passes them to skip the structural scan, which
+        keeps the warm path at file-read + parse cost.
+        """
+        path = self.path_for(key, "nnf")
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.incr("artifact_misses")
+            return None
+        self.stats.incr("artifact_hits")
+        return ir_from_nnf_text(text, flags=flags)
+
+    def save_nnf(self, key: str, ir: CircuitIR) -> Path:
+        return self._write(self.path_for(key, "nnf"), ir_to_nnf_text(ir))
+
+    # -- SDD artifacts (.sdd + .vtree) --------------------------------------
+    def load_sdd(self, key: str) -> Optional[Tuple[object, object]]:
+        """The cached (root, manager) for ``key``, or None on a miss.
+        The SDD is rebuilt into a fresh manager over the stored vtree."""
+        sdd_path = self.path_for(key, "sdd")
+        vtree_path = self.path_for(key, "vtree")
+        try:
+            sdd_text = sdd_path.read_text()
+            vtree_text = vtree_path.read_text()
+        except OSError:
+            self.stats.incr("artifact_misses")
+            return None
+        self.stats.incr("artifact_hits")
+        return read_sdd_file(sdd_text, vtree_text)
+
+    def save_sdd(self, key: str, node) -> Path:
+        self._write(self.path_for(key, "vtree"),
+                    write_vtree_text(node.manager.vtree))
+        return self._write(self.path_for(key, "sdd"),
+                           write_sdd_file(node))
+
+
+def default_store() -> Optional[ArtifactStore]:
+    """The store named by ``$REPRO_CACHE_DIR``, or None when unset."""
+    root = os.environ.get(CACHE_DIR_ENV)
+    return ArtifactStore(root) if root else None

@@ -10,11 +10,13 @@ The format used by C2D / DSHARP / D4 (the compilers of footnote 3)::
 Node ids are implicit line numbers (0-based, after the header); children
 must precede parents.  Constants are encoded as ``A 0`` (true) and
 ``O 0 0`` (false).
+
+Both directions round-trip through the flattened IR
+(:mod:`repro.ir.serialize`), which owns the canonical text format;
+this module keeps the node-object entry points.
 """
 
 from __future__ import annotations
-
-from typing import Dict, List
 
 from .node import NnfManager, NnfNode
 
@@ -23,71 +25,44 @@ __all__ = ["to_nnf_format", "from_nnf_format"]
 
 def to_nnf_format(root: NnfNode) -> str:
     """Serialise a circuit in c2d .nnf format."""
-    order = root.topological()
-    index: Dict[int, int] = {node.id: i for i, node in enumerate(order)}
-    lines: List[str] = []
-    edges = 0
-    for node in order:
-        if node.is_literal:
-            lines.append(f"L {node.literal}")
-        elif node.is_true:
-            lines.append("A 0")
-        elif node.is_false:
-            lines.append("O 0 0")
-        elif node.is_and:
-            children = " ".join(str(index[c.id]) for c in node.children)
-            lines.append(f"A {len(node.children)} {children}".rstrip())
-            edges += len(node.children)
-        else:
-            children = " ".join(str(index[c.id]) for c in node.children)
-            lines.append(f"O 0 {len(node.children)} {children}".rstrip())
-            edges += len(node.children)
-    variables = max((v for v in root.variables()), default=0)
-    header = f"nnf {len(order)} {edges} {variables}"
-    return "\n".join([header] + lines) + "\n"
+    from ..ir.lower import nnf_to_ir
+    from ..ir.serialize import ir_to_nnf_text
+    return ir_to_nnf_text(nnf_to_ir(root))
 
 
 def from_nnf_format(text: str, manager: NnfManager | None = None
                     ) -> NnfNode:
     """Parse a c2d .nnf file into a circuit (returns the root — the
-    node on the last line, per the format's convention)."""
+    node on the last line, per the format's convention).
+
+    Gate simplification happens at lift time (the manager's
+    ``conjoin``/``disjoin`` rules), so constants introduced by the text
+    fold away exactly as the seed reader did.
+    """
+    from ..ir.serialize import ir_from_nnf_text
     if manager is None:
         manager = NnfManager()
-    lines = [line.strip() for line in text.splitlines()
-             if line.strip() and not line.startswith("c")]
-    if not lines or not lines[0].startswith("nnf"):
-        raise ValueError("missing nnf header")
-    header = lines[0].split()
-    if len(header) != 4:
-        raise ValueError(f"bad header: {lines[0]!r}")
-    declared_nodes = int(header[1])
-    nodes: List[NnfNode] = []
-    for line in lines[1:]:
-        parts = line.split()
-        kind = parts[0]
-        if kind == "L":
-            nodes.append(manager.literal(int(parts[1])))
-        elif kind == "A":
-            count = int(parts[1])
-            if count == 0:
-                nodes.append(manager.true())
-            else:
-                children = [nodes[int(token)] for token in parts[2:]]
-                if len(children) != count:
-                    raise ValueError(f"bad A line: {line!r}")
-                nodes.append(manager.conjoin(*children))
-        elif kind == "O":
-            count = int(parts[2])
-            if count == 0:
-                nodes.append(manager.false())
-            else:
-                children = [nodes[int(token)] for token in parts[3:]]
-                if len(children) != count:
-                    raise ValueError(f"bad O line: {line!r}")
-                nodes.append(manager.disjoin(*children))
+    ir = ir_from_nnf_text(text)
+    return _lift_simplifying(ir, manager)
+
+
+def _lift_simplifying(ir, manager: NnfManager) -> NnfNode:
+    """Lift an IR into ``manager`` using the simplifying constructors
+    (the seed reader's behavior), unlike the structure-preserving
+    :func:`repro.ir.lower.ir_to_nnf`."""
+    from ..ir.core import KIND_AND, KIND_LIT, KIND_OR, KIND_TRUE
+    nodes = []
+    for i in range(ir.n):
+        kind = ir.kinds[i]
+        if kind == KIND_LIT:
+            nodes.append(manager.literal(ir.lits[i]))
+        elif kind == KIND_AND:
+            nodes.append(manager.conjoin(
+                *(nodes[c] for c in ir.children(i))))
+        elif kind == KIND_OR:
+            nodes.append(manager.disjoin(
+                *(nodes[c] for c in ir.children(i))))
         else:
-            raise ValueError(f"unknown node kind {kind!r}")
-    if len(nodes) != declared_nodes:
-        raise ValueError(
-            f"header declares {declared_nodes} nodes, found {len(nodes)}")
+            nodes.append(manager.true() if kind == KIND_TRUE
+                         else manager.false())
     return nodes[-1]

@@ -129,6 +129,13 @@ class NnfNode:
         """Circuit size |Δ| as the paper uses it: the edge count."""
         return self._measure()[1]
 
+    def to_ir(self, flags: "int | None" = None):
+        """Lower this circuit onto the flattened execution IR
+        (:func:`repro.ir.lower.nnf_to_ir`): structurally 1:1, interned
+        for structural sharing."""
+        from ..ir.lower import nnf_to_ir
+        return nnf_to_ir(self, flags=flags)
+
     # -- semantics ----------------------------------------------------------
     def evaluate(self, assignment: Dict[int, bool]) -> bool:
         """Circuit output under a complete assignment (iterative)."""

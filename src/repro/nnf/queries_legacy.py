@@ -9,6 +9,12 @@ These are the seed's dict-per-call traversals, kept verbatim as
 
 Use :mod:`repro.nnf.queries` for the fast kernel-backed versions; the
 two modules share the same signatures and semantics.
+
+.. deprecated::
+   Do not call these from new code — they exist for cross-checking and
+   benchmarking only.  All legacy paths are consolidated behind
+   :mod:`repro.compat`; set ``REPRO_LEGACY=1`` to route the front-door
+   queries through them process-wide.
 """
 
 from __future__ import annotations

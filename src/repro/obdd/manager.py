@@ -140,6 +140,12 @@ class ObddNode:
         """Variables actually tested somewhere in the diagram."""
         return frozenset(n.var for n in self.nodes() if not n.is_terminal)
 
+    def to_ir(self):
+        """Lower this diagram onto the flattened execution IR
+        (:func:`repro.ir.lower.obdd_to_ir`); cached on the manager."""
+        from ..ir.lower import obdd_to_ir
+        return obdd_to_ir(self)
+
     def __repr__(self) -> str:
         if self.is_terminal:
             return f"ObddNode({'1' if self.terminal_value else '0'})"

@@ -11,7 +11,8 @@ from ..logic.formula import (And as FAnd, Constant, Formula, Lit,
 from .manager import ObddManager, ObddNode
 
 __all__ = ["restrict", "exists", "forall", "compose", "flip_variable",
-           "model_count", "weighted_model_count", "enumerate_models",
+           "model_count", "model_count_legacy", "weighted_model_count",
+           "weighted_model_count_legacy", "enumerate_models",
            "compile_formula", "compile_cnf_obdd", "compile_nnf_obdd",
            "minimum_cardinality"]
 
@@ -85,7 +86,36 @@ def flip_variable(node: ObddNode, var: int) -> ObddNode:
 def model_count(node: ObddNode,
                 variables: Sequence[int] | None = None) -> int:
     """Exact model count over ``variables`` (default: the manager's
-    full variable order)."""
+    full variable order).
+
+    Runs on the shared IR kernel (:mod:`repro.ir`): the OBDD lowers
+    once (cached on its manager) and the kernel's gap-aware counting
+    pass replaces the level-gap scheme of the seed — which survives as
+    :func:`model_count_legacy` (``REPRO_LEGACY=1`` routes back to it).
+    """
+    from ..compat import legacy_enabled
+    if legacy_enabled():
+        return model_count_legacy(node, variables)
+    manager = node.manager
+    if variables is None:
+        variables = manager.var_order
+    mentioned = node.variables()
+    missing = mentioned - set(variables)
+    if missing:
+        raise ValueError(f"count variables missing {sorted(missing)}")
+    from ..ir import ir_kernel, obdd_to_ir
+    count = ir_kernel(obdd_to_ir(node)).model_count()
+    return count << (len(set(variables)) - len(mentioned))
+
+
+def model_count_legacy(node: ObddNode,
+                       variables: Sequence[int] | None = None) -> int:
+    """The seed counting pass: one value per node, normalized to the
+    variable-order tail, scaled across level gaps by shifting.
+
+    .. deprecated:: access via :mod:`repro.compat`; kept as the
+       cross-check reference and benchmark baseline.
+    """
     manager = node.manager
     if variables is None:
         variables = manager.var_order
@@ -120,7 +150,33 @@ def model_count(node: ObddNode,
 def weighted_model_count(node: ObddNode, weights: Mapping[int, float],
                          variables: Sequence[int] | None = None) -> float:
     """WMC with literal weights (±v keys), skipped variables contribute
-    W(v) + W(-v)."""
+    W(v) + W(-v).
+
+    IR-kernel backed like :func:`model_count`; the seed's span-weight
+    pass survives as :func:`weighted_model_count_legacy`.
+    """
+    from ..compat import legacy_enabled
+    if legacy_enabled():
+        return weighted_model_count_legacy(node, weights, variables)
+    manager = node.manager
+    if variables is None:
+        variables = manager.var_order
+    from ..ir import ir_kernel, obdd_to_ir
+    result = ir_kernel(obdd_to_ir(node)).wmc(weights)
+    for var in set(variables) - node.variables():
+        result *= weights[var] + weights[-var]
+    return result
+
+
+def weighted_model_count_legacy(node: ObddNode,
+                                weights: Mapping[int, float],
+                                variables: Sequence[int] | None = None
+                                ) -> float:
+    """The seed WMC pass (span-weight level-gap scheme).
+
+    .. deprecated:: access via :mod:`repro.compat`; kept as the
+       cross-check reference and benchmark baseline.
+    """
     manager = node.manager
     if variables is None:
         variables = manager.var_order

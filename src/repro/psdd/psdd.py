@@ -107,6 +107,14 @@ class PsddNode:
         """Total number of elements (the paper's PSDD size measure)."""
         return sum(len(node.elements) for node in self.descendants())
 
+    def to_ir(self):
+        """Lower this PSDD onto the flattened execution IR: returns
+        ``(ir, params)`` where the IR holds ``KIND_PARAM`` leaves and
+        ``params`` is the current θ vector, re-read from the live nodes
+        on every call (:func:`repro.ir.lower.psdd_to_ir`)."""
+        from ..ir.lower import psdd_to_ir
+        return psdd_to_ir(self)
+
     def parameter_count(self) -> int:
         """Free parameters: (elements - 1) per decision + 1 per Bernoulli."""
         total = 0

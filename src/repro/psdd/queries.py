@@ -19,13 +19,43 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 
 from .psdd import PsddNode
 
-__all__ = ["marginal", "marginal_batch", "mpe", "entropy",
-           "kl_divergence", "support_size", "variable_marginals",
-           "variable_marginals_legacy"]
+__all__ = ["marginal", "marginal_legacy", "marginal_batch", "mpe",
+           "entropy", "kl_divergence", "support_size",
+           "variable_marginals", "variable_marginals_legacy"]
 
 
 def marginal(root: PsddNode, evidence: Mapping[int, bool]) -> float:
-    """Pr(evidence) for a partial assignment (MAR)."""
+    """Pr(evidence) for a partial assignment (MAR).
+
+    Runs on the shared IR kernel (:mod:`repro.ir`): the PSDD structure
+    lowers once (cached) with ``KIND_PARAM`` leaves for the θs, and the
+    parameter vector is re-read from the live nodes per call — in-place
+    θ updates are always reflected.  Evidence becomes literal weights
+    (set variable → 1/0, unset → 1/1).  The seed's recursive traversal
+    survives as :func:`marginal_legacy` (``REPRO_LEGACY=1`` routes back
+    to it).
+    """
+    from ..compat import legacy_enabled
+    if legacy_enabled():
+        return marginal_legacy(root, evidence)
+    from ..ir import ir_kernel, psdd_to_ir
+    ir, params = psdd_to_ir(root)
+    weights: Dict[int, float] = {}
+    for var in ir.variables():
+        if var in evidence:
+            weights[var] = 1.0 if evidence[var] else 0.0
+            weights[-var] = 0.0 if evidence[var] else 1.0
+        else:
+            weights[var] = weights[-var] = 1.0
+    return ir_kernel(ir).wmc(weights, params=params)
+
+
+def marginal_legacy(root: PsddNode, evidence: Mapping[int, bool]) -> float:
+    """The seed MAR traversal (dict-per-call recursion).
+
+    .. deprecated:: access via :mod:`repro.compat`; kept as the
+       cross-check reference and benchmark baseline.
+    """
     cache: Dict[int, float] = {}
 
     def value(node: PsddNode) -> float:
@@ -108,6 +138,9 @@ def variable_marginals(root: PsddNode) -> Dict[int, float]:
     sum of the leaf distributions over X — |vars| evaluations collapse
     into a single traversal.
     """
+    from ..compat import legacy_enabled
+    if legacy_enabled():
+        return variable_marginals_legacy(root)
     order = root.descendants()
     derivative: Dict[int, float] = {node.id: 0.0 for node in order}
     derivative[root.id] = 1.0
@@ -138,8 +171,12 @@ def variable_marginals(root: PsddNode) -> Dict[int, float]:
 def variable_marginals_legacy(root: PsddNode) -> Dict[int, float]:
     """Pr(X = 1) for every variable, by |vars| evidence evaluations —
     the reference implementation :func:`variable_marginals` is
-    cross-checked against."""
-    return {var: marginal(root, {var: True})
+    cross-checked against.
+
+    .. deprecated:: access via :mod:`repro.compat`; kept as the
+       cross-check reference and benchmark baseline.
+    """
+    return {var: marginal_legacy(root, {var: True})
             for var in sorted(root.variables())}
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
+from ..compat import default_propagator
 from ..logic.cnf import Cnf
 from ..perf.instrument import Counter
 from .components import split_components, trail_components
@@ -107,11 +108,16 @@ class ModelCounter:
         collision-free correctness fallback.
     propagator:
         ``"watched"`` (default) or ``"legacy"`` (seed clause-rescan
-        propagation, kept as a measurable baseline).
+        propagation, kept as a measurable baseline).  ``None`` defers
+        to :func:`repro.compat.default_propagator`, i.e. the
+        ``REPRO_LEGACY`` switch.
     """
 
     def __init__(self, use_components: bool = True, use_cache: bool = True,
-                 cache_mode: str = "hash", propagator: str = "watched"):
+                 cache_mode: str = "hash",
+                 propagator: str | None = None):
+        if propagator is None:
+            propagator = default_propagator()
         if cache_mode not in ("hash", "exact"):
             raise ValueError(f"unknown cache_mode {cache_mode!r}")
         if propagator not in ("watched", "legacy"):
@@ -346,7 +352,7 @@ class ModelCounter:
 
 def count_models(cnf: Cnf, use_components: bool = True,
                  use_cache: bool = True, cache_mode: str = "hash",
-                 propagator: str = "watched") -> int:
+                 propagator: str | None = None) -> int:
     """Convenience wrapper around :class:`ModelCounter`."""
     counter = ModelCounter(use_components=use_components,
                            use_cache=use_cache, cache_mode=cache_mode,

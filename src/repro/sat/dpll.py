@@ -47,6 +47,9 @@ def unit_propagate_legacy(clauses: List[Clause], assignment: Assignment,
 
     Kept as the reference implementation for the cross-check suite and
     as the benchmark baseline.  Same contract as ``unit_propagate``.
+
+    .. deprecated:: access via :mod:`repro.compat`; not for new call
+       sites — ``REPRO_LEGACY=1`` selects it process-wide.
     """
     changed = True
     while changed:
@@ -152,7 +155,10 @@ def solve_legacy(cnf: Cnf, assumptions: Iterable[int] = ()
                  ) -> Optional[Assignment]:
     """The seed solver: recursive DPLL with copy-on-condition clause
     lists and pure-literal elimination.  Reference implementation for
-    the cross-check suite and the benchmark baseline."""
+    the cross-check suite and the benchmark baseline.
+
+    .. deprecated:: access via :mod:`repro.compat`; not for new call
+       sites."""
     assignment: Assignment = {}
     for lit in assumptions:
         var = abs(lit)

@@ -22,22 +22,49 @@ __all__ = ["compile_cnf_sdd", "compile_formula_sdd", "compile_terms_sdd"]
 
 
 def compile_cnf_sdd(cnf: Cnf, manager: SddManager | None = None,
-                    vtree: Vtree | None = None
+                    vtree: Vtree | None = None, store=None
                     ) -> Tuple[SddNode, SddManager]:
     """Compile a CNF into an SDD.  Returns (root, manager).
 
     When no manager/vtree is given, a balanced vtree over
     ``1..num_vars`` is used.
+
+    ``store`` is an optional :class:`repro.ir.store.ArtifactStore`
+    (default: :func:`repro.ir.store.default_store`, i.e.
+    ``$REPRO_CACHE_DIR``): compilations are keyed by the SHA-256 of
+    (compiler, vtree text, DIMACS) and served from canonical
+    ``.sdd``/``.vtree`` files on a hit.  Only used when no ``manager``
+    is passed — a cached SDD is rebuilt into a fresh manager over the
+    stored vtree, which cannot be merged into a caller-owned one.
     """
     if manager is None:
         if vtree is None:
             if cnf.num_vars == 0:
                 raise ValueError("cannot build a vtree with no variables")
             vtree = balanced_vtree(range(1, cnf.num_vars + 1))
+        if store is None:
+            from ..ir.store import default_store
+            store = default_store()
+        if store is not None:
+            from ..ir.serialize import write_vtree_text
+            from ..ir.store import artifact_key
+            key = artifact_key(cnf.to_dimacs(), "sdd",
+                               {"vtree": write_vtree_text(vtree)})
+            cached = store.load_sdd(key)
+            if cached is not None:
+                return cached
+            manager = SddManager(vtree)
+            root = _compile_clauses(cnf, manager)
+            store.save_sdd(key, root)
+            return root, manager
         manager = SddManager(vtree)
+    return _compile_clauses(cnf, manager), manager
+
+
+def _compile_clauses(cnf: Cnf, manager: SddManager) -> SddNode:
     clause_nodes = [manager.clause(clause) for clause in cnf.clauses]
     clause_nodes.sort(key=lambda node: node.size())
-    return manager.conjoin_all(clause_nodes), manager
+    return manager.conjoin_all(clause_nodes)
 
 
 def compile_formula_sdd(formula: Formula, manager: SddManager) -> SddNode:

@@ -107,6 +107,12 @@ class SddNode:
     def node_count(self) -> int:
         return len(self.descendants())
 
+    def to_ir(self):
+        """Lower this SDD onto the flattened execution IR
+        (:func:`repro.ir.lower.sdd_to_ir`); cached on the manager."""
+        from ..ir.lower import sdd_to_ir
+        return sdd_to_ir(self)
+
     # -- semantics ----------------------------------------------------------
     def evaluate(self, assignment: Mapping[int, bool]) -> bool:
         """Circuit output under a complete assignment."""

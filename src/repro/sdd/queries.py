@@ -23,7 +23,8 @@ from ..vtree.vtree import Vtree
 from .manager import SddManager
 from .node import SddNode
 
-__all__ = ["model_count", "weighted_model_count", "enumerate_models",
+__all__ = ["model_count", "model_count_legacy", "weighted_model_count",
+           "weighted_model_count_legacy", "enumerate_models",
            "sdd_to_nnf", "to_dot"]
 
 # plan entry: (node id, kind code, payload).  Kinds: 0 false, 1 true,
@@ -66,7 +67,35 @@ def _plan(node: SddNode) -> List[_PlanEntry]:
 
 
 def model_count(node: SddNode, scope: Vtree | None = None) -> int:
-    """#SAT over the variables of ``scope`` (default: the whole vtree)."""
+    """#SAT over the variables of ``scope`` (default: the whole vtree).
+
+    Runs on the shared IR kernel (:mod:`repro.ir`): the SDD lowers once
+    (cached on its manager) and the kernel's gap-aware counting pass
+    replaces the plan-based scheme of the seed — which survives as
+    :func:`model_count_legacy` (``REPRO_LEGACY=1`` routes back to it).
+    """
+    from ..compat import legacy_enabled
+    if legacy_enabled():
+        return model_count_legacy(node, scope)
+    manager: SddManager = node.manager
+    if scope is None:
+        scope = manager.vtree
+    if not node.is_constant and not scope.is_ancestor_of(node.vtree):
+        raise ValueError("scope does not cover the node's vtree")
+    if node.is_false:
+        return 0
+    from ..ir import ir_kernel, sdd_to_ir
+    ir = sdd_to_ir(node)
+    count = ir_kernel(ir).model_count()
+    return count << (len(scope.variables) - len(ir.variables()))
+
+
+def model_count_legacy(node: SddNode, scope: Vtree | None = None) -> int:
+    """The seed plan-based counting pass (vtree-normalized values).
+
+    .. deprecated:: access via :mod:`repro.compat`; kept as the
+       cross-check reference and benchmark baseline.
+    """
     manager: SddManager = node.manager
     if scope is None:
         scope = manager.vtree
@@ -101,7 +130,37 @@ def model_count(node: SddNode, scope: Vtree | None = None) -> int:
 def weighted_model_count(node: SddNode, weights: Mapping[int, float],
                          scope: Vtree | None = None) -> float:
     """WMC with literal weights; a variable absent from the node's
-    support contributes W(v) + W(-v)."""
+    support contributes W(v) + W(-v).
+
+    IR-kernel backed like :func:`model_count`; the seed's plan-based
+    pass survives as :func:`weighted_model_count_legacy`.
+    """
+    from ..compat import legacy_enabled
+    if legacy_enabled():
+        return weighted_model_count_legacy(node, weights, scope)
+    manager: SddManager = node.manager
+    if scope is None:
+        scope = manager.vtree
+    if not node.is_constant and not scope.is_ancestor_of(node.vtree):
+        raise ValueError("scope does not cover the node's vtree")
+    if node.is_false:
+        return 0.0
+    from ..ir import ir_kernel, sdd_to_ir
+    ir = sdd_to_ir(node)
+    result = ir_kernel(ir).wmc(weights)
+    for var in scope.variables - ir.variables():
+        result *= weights[var] + weights[-var]
+    return result
+
+
+def weighted_model_count_legacy(node: SddNode,
+                                weights: Mapping[int, float],
+                                scope: Vtree | None = None) -> float:
+    """The seed plan-based WMC pass.
+
+    .. deprecated:: access via :mod:`repro.compat`; kept as the
+       cross-check reference and benchmark baseline.
+    """
     manager: SddManager = node.manager
     if scope is None:
         scope = manager.vtree

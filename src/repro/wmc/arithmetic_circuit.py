@@ -43,6 +43,13 @@ class ArithmeticCircuit:
         self.free_vars = [v for v in self.variables if v not in mentioned]
         self._order = self.root.topological()
 
+    def to_ir(self):
+        """Lower the smoothed circuit onto the flattened execution IR
+        (:func:`repro.ir.lower.ac_to_ir`); ``free_vars`` stay the AC's
+        own bookkeeping."""
+        from ..ir.lower import ac_to_ir
+        return ac_to_ir(self)
+
     def evaluate(self, weights: Mapping[int, float]) -> float:
         """The weighted model count under ``weights``."""
         values = self._upward(weights)

@@ -29,11 +29,17 @@ class WmcPipeline:
     encoding:
         "binary" (the Section 2.2 encoding; binary networks only) or
         "multistate" (indicator encoding, any cardinalities).
+    cache_dir:
+        Directory of a content-addressed compilation cache
+        (:class:`repro.ir.store.ArtifactStore`): the CNF → d-DNNF
+        compilation is served from disk when the same network/encoding
+        was compiled before.  Defaults to ``$REPRO_CACHE_DIR``.
     """
 
     def __init__(self, network: BayesianNetwork,
                  encoding: str = "multistate",
-                 exploit_determinism: bool = False):
+                 exploit_determinism: bool = False,
+                 cache_dir=None):
         self.network = network
         if encoding == "binary":
             self.encoding: BnEncoding = encode_binary(
@@ -43,7 +49,11 @@ class WmcPipeline:
                 network, exploit_determinism=exploit_determinism)
         else:
             raise ValueError(f"unknown encoding {encoding!r}")
-        self._compiler = DnnfCompiler()
+        store = None
+        if cache_dir is not None:
+            from ..ir.store import ArtifactStore
+            store = ArtifactStore(cache_dir)
+        self._compiler = DnnfCompiler(store=store)
         self.circuit: NnfNode = self._compiler.compile(self.encoding.cnf)
         self._all_vars = list(range(1, self.encoding.cnf.num_vars + 1))
         self._ac: Optional[ArithmeticCircuit] = None

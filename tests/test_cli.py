@@ -55,6 +55,64 @@ def test_compile_to_stdout(cnf_file, capsys):
     assert out.startswith("nnf ")
 
 
+def test_compile_sdd_format(cnf_file, tmp_path, capsys):
+    from repro.ir.serialize import read_sdd_file
+    from repro.sdd.queries import model_count as sdd_model_count
+    base = str(tmp_path / "out")
+    assert main(["compile", cnf_file, "--format", "sdd",
+                 "-o", base]) == 0
+    root, _ = read_sdd_file(open(base + ".sdd").read(),
+                            open(base + ".vtree").read())
+    assert sdd_model_count(root) == 7
+
+
+def test_compile_with_cache_dir(cnf_file, tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(["compile", cnf_file, "--cache-dir", cache,
+                 "--stats"]) == 0
+    first = capsys.readouterr().out
+    assert "c artifact_misses 1" in first
+    assert main(["compile", cnf_file, "--cache-dir", cache,
+                 "--stats"]) == 0
+    second = capsys.readouterr().out
+    assert "c artifact_hits 1" in second
+    assert "c artifact-hit-rate 1.00" in second
+    # the compiled circuit text is identical warm and cold
+    assert first.split("\nc ")[0] == second.split("\nc ")[0]
+
+
+def test_query_command(cnf_file, tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(["query", cnf_file, "--query", "count",
+                 "--cache-dir", cache]) == 0
+    assert "s mc 7" in capsys.readouterr().out
+
+    assert main(["query", cnf_file, "--query", "sat"]) == 0
+    assert "s SATISFIABLE" in capsys.readouterr().out
+
+    assert main(["query", cnf_file, "--query", "wmc",
+                 "--weight", "1=0.3", "--weight=-1=0.7",
+                 "--cache-dir", cache, "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "s wmc" in out
+    assert "c artifact_hits 1" in out
+
+    assert main(["query", cnf_file, "--query", "mpe",
+                 "--weight", "4=2.0"]) == 0
+    out = capsys.readouterr().out
+    assert "s mpe" in out and "\nv " in "\n" + out
+
+    assert main(["query", cnf_file, "--query", "marginals"]) == 0
+    out = capsys.readouterr().out
+    assert "c marginal 1 " in out and "s mc 7" in out
+
+
+def test_query_bad_weight(cnf_file, capsys):
+    assert main(["query", cnf_file, "--query", "wmc",
+                 "--weight", "nope"]) == 2
+    assert "bad weight spec" in capsys.readouterr().err
+
+
 def test_sdd_command(cnf_file, capsys):
     for vtree in ("balanced", "right-linear", "left-linear"):
         assert main(["sdd", cnf_file, "--vtree", vtree]) == 0

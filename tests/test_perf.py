@@ -112,7 +112,8 @@ def test_run_all_quick_smoke(tmp_path):
     assert report["quick"] is True
     assert set(report["scenarios"]) == {
         "sharp_sat", "dnnf_compile", "repeated_wmc", "batched_wmc",
-        "batched_marginals", "psdd_marginals", "classifier_scoring"}
+        "batched_marginals", "psdd_marginals", "classifier_scoring",
+        "warm_compile"}
     for name, scenario in report["scenarios"].items():
         assert scenario["agree"] is True, name
         # sub-0.1ms batched passes legitimately round to 0.0
@@ -120,6 +121,12 @@ def test_run_all_quick_smoke(tmp_path):
     for name in ("sharp_sat", "dnnf_compile", "repeated_wmc",
                  "batched_wmc"):
         assert report["scenarios"][name]["counters"]["optimized"]
+    warm = report["scenarios"]["warm_compile"]
+    # a warm artifact-store compile is a file read + parse + lift —
+    # it must beat the cold search by a wide margin
+    assert warm["speedup"] >= 5, warm
+    assert warm["cache_hit_rate"] > 0
+    assert warm["counters"]["optimized"]["artifact_cache_hits"] == 1
 
 
 @pytest.mark.tier2_bench
