@@ -27,7 +27,21 @@ its legacy configuration:
   (:mod:`repro.ir.store`): compiling a CNF served from a warm artifact
   store vs running the search cold.  ``--cache-dir DIR`` persists the
   store across runs (default: a throwaway temp directory); the
-  scenario records the store's ``cache_hit_rate``.
+  scenario records the store's ``cache_hit_rate``;
+* ``anytime_bounds`` — the anytime counter (:mod:`repro.limits`):
+  certified lower/upper bounds under growing node budgets, recording
+  the bounds-quality-vs-budget curve and checking every interval
+  brackets the exact count;
+* ``restart_compile`` — the budgeted restart driver vs a single-shot
+  compile: the first attempt's budget is sized to fail, and the driver
+  must recover by diversifying variable orders with exponential
+  backoff.
+
+Every scenario runs under a per-scenario wall-clock budget
+(``--scenario-timeout``, ambient :class:`repro.limits.Budget` scope):
+a hung scenario fails with ``BudgetExceeded`` and is recorded as a
+failure instead of stalling the driver; figure subprocesses get the
+same bound via ``subprocess`` timeouts.
 
 Each scenario records wall times, the speedup, the operation counters
 of the optimised engine, and an agreement check between both engines'
@@ -66,6 +80,7 @@ BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.compile.dnnf_compiler import DnnfCompiler  # noqa: E402
+from repro.limits import Budget, BudgetExceeded  # noqa: E402
 from repro.logic.cnf import Cnf  # noqa: E402
 from repro.nnf import queries, queries_legacy  # noqa: E402
 from repro.sat.counter import ModelCounter  # noqa: E402
@@ -85,8 +100,12 @@ def random_3cnf(n: int, m: int, seed: int) -> Cnf:
 
 
 # -- figure benchmarks ---------------------------------------------------------
-def run_figures(quick: bool):
-    """Run every bench_*.py as its own pytest process, timed."""
+def run_figures(quick: bool, timeout: float | None = None):
+    """Run every bench_*.py as its own pytest process, timed.
+
+    ``timeout`` bounds each subprocess; a figure that exceeds it is
+    killed and recorded as failed (not hung).
+    """
     results = []
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
@@ -94,18 +113,26 @@ def run_figures(quick: bool):
     for path in files:
         name = os.path.basename(path)
         start = time.perf_counter()
-        proc = subprocess.run(
-            [sys.executable, "-m", "pytest", path, "-q", "--no-header"],
-            cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+        timed_out = False
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-m", "pytest", path, "-q",
+                 "--no-header"],
+                cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+                timeout=timeout)
+            passed = proc.returncode == 0
+        except subprocess.TimeoutExpired:
+            proc, passed, timed_out = None, False, True
         elapsed = time.perf_counter() - start
         results.append({
             "file": name,
             "seconds": round(elapsed, 3),
-            "passed": proc.returncode == 0,
+            "passed": passed,
+            "timed_out": timed_out,
         })
-        status = "ok" if proc.returncode == 0 else "FAIL"
+        status = "ok" if passed else ("TIMEOUT" if timed_out else "FAIL")
         print(f"  figure {name:45s} {elapsed:7.2f}s  {status}")
-        if proc.returncode != 0:
+        if proc is not None and proc.returncode != 0:
             print(proc.stdout[-2000:])
     return results
 
@@ -392,6 +419,82 @@ def scenario_warm_compile(quick: bool):
             shutil.rmtree(cache_dir, ignore_errors=True)
 
 
+def scenario_anytime_bounds(quick: bool):
+    """Bounds-quality-vs-budget curve of the anytime counter: certified
+    (lower, upper) intervals under growing node budgets, every one
+    checked against the exact count; the unbudgeted anytime run must
+    come back exact and is timed against ModelCounter."""
+    from repro.limits import anytime_count
+    n, m, seed = (30, 78, 21) if quick else (40, 104, 21)
+    cnf = random_3cnf(n, m, seed)
+    counter = ModelCounter()
+    start = time.perf_counter()
+    exact = counter.count(cnf)
+    mid = time.perf_counter()
+    full = anytime_count(cnf)
+    sound = full.exact and full.lower == exact
+    curve = []
+    for cap in (1, 4, 16, 64, 256, 1024):
+        result = anytime_count(cnf, Budget(max_nodes=cap))
+        sound = sound and result.lower <= exact <= result.upper
+        curve.append({
+            "max_nodes": cap,
+            "lower": result.lower,
+            "upper": result.upper,
+            "exact": result.exact,
+            # interval width as a fraction of the trivial 2^n interval:
+            # 1.0 means the budget bought nothing, 0.0 a point answer
+            "width_fraction": round(
+                float(result.upper - result.lower) / float(1 << n), 6),
+            "elapsed_s": round(result.elapsed_s, 5),
+        })
+    return {
+        "instance": {"n": n, "m": m, "seed": seed, "count": exact},
+        "optimized_s": round(full.elapsed_s, 4),
+        "legacy_s": round(mid - start, 4),
+        "speedup": round((mid - start) / max(full.elapsed_s, 1e-9), 3),
+        "agree": sound,
+        "curve": curve,
+        "counters": {"optimized": {"decisions": full.decisions}},
+    }
+
+
+def scenario_restart_compile(quick: bool):
+    """Restart driver vs single-shot compilation: the first attempt's
+    node budget is deliberately sized below the single-shot decision
+    count, so the driver must recover through diversified variable
+    orders and exponential backoff."""
+    from repro.limits import compile_with_restarts
+    n, m, seed = (35, 88, 13) if quick else (45, 112, 13)
+    cnf = random_3cnf(n, m, seed)
+    single = DnnfCompiler(store=None)
+    start = time.perf_counter()
+    root = single.compile(cnf)
+    mid = time.perf_counter()
+    cap = max(2, single.decisions // 2)
+    result = compile_with_restarts(cnf, max_nodes=cap, attempts=10,
+                                   seed=3)
+    end = time.perf_counter()
+    full = range(1, n + 1)
+    return {
+        "instance": {"n": n, "m": m, "seed": seed,
+                     "initial_max_nodes": cap,
+                     "single_shot_decisions": single.decisions},
+        "optimized_s": round(end - mid, 4),
+        "legacy_s": round(mid - start, 4),
+        "speedup": round((mid - start) / max(end - mid, 1e-9), 3),
+        "agree": queries.model_count(result.root, full)
+        == queries.model_count(root, full),
+        "attempts": [{key: record.get(key) for key in
+                      ("attempt", "strategy", "outcome")}
+                     for record in result.attempts],
+        "winner": result.winner,
+        "circuit_nodes": {"single_shot": root.node_count(),
+                          "restart": result.size},
+        "counters": {"optimized": single.stats.as_dict()},
+    }
+
+
 SCENARIOS = {
     "sharp_sat": scenario_sharp_sat,
     "dnnf_compile": scenario_dnnf_compile,
@@ -401,6 +504,8 @@ SCENARIOS = {
     "psdd_marginals": scenario_psdd_marginals,
     "classifier_scoring": scenario_classifier_scoring,
     "warm_compile": scenario_warm_compile,
+    "anytime_bounds": scenario_anytime_bounds,
+    "restart_compile": scenario_restart_compile,
 }
 
 
@@ -458,6 +563,10 @@ def main(argv=None) -> int:
                         help="persistent artifact-store directory for "
                              "the warm_compile scenario (default: a "
                              "throwaway temp directory)")
+    parser.add_argument("--scenario-timeout", type=float, default=300.0,
+                        help="per-scenario wall-clock budget in seconds "
+                             "(ambient Budget scope; also bounds each "
+                             "figure subprocess)")
     args = parser.parse_args(argv)
     if args.cache_dir:
         global _CACHE_DIR
@@ -473,10 +582,19 @@ def main(argv=None) -> int:
     }
     if not args.skip_figures:
         print("== figure benchmarks ==")
-        report["figures"] = run_figures(args.quick)
+        report["figures"] = run_figures(args.quick,
+                                        timeout=args.scenario_timeout)
     print("== engine speed scenarios ==")
     for name, scenario in SCENARIOS.items():
-        result = scenario(args.quick)
+        try:
+            # ambient scope: every budget-aware engine the scenario
+            # touches shares this one wall-clock allowance
+            with Budget(deadline_s=args.scenario_timeout).scope():
+                result = scenario(args.quick)
+        except BudgetExceeded as error:
+            result = {"agree": False, "optimized_s": 0, "legacy_s": 0,
+                      "speedup": 0, "budget_exceeded": str(error),
+                      "counters": {}}
         report["scenarios"][name] = result
         line = (f"  {name:15s} optimized {result['optimized_s']:8.3f}s"
                 f"  legacy {result['legacy_s']:8.3f}s"

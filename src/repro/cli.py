@@ -13,6 +13,14 @@ Mirrors the classic knowledge-compiler workflow (C2D/DSHARP-style):
 * ``sdd FILE.cnf [--vtree balanced|right-linear|left-linear]`` —
   compile to an SDD and report size statistics;
 * ``enumerate FILE.cnf [--limit N]`` — print models.
+
+``compile`` and ``query`` take resource budgets: ``--timeout SECONDS``
+and ``--max-nodes N`` bound the run (exit code 3 with the partial
+state as ``c partial`` comments on stderr when exceeded),
+``query --anytime`` degrades count/wmc to certified lower/upper bounds
+instead of failing, and ``compile --restarts N`` retries over
+diversified variable orders/vtrees with exponentially growing budgets
+(see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ import sys
 from typing import Dict, Optional, Sequence
 
 from .compile.dnnf_compiler import DnnfCompiler
+from .limits.budget import Budget, BudgetExceeded
 from .logic.cnf import Cnf
 from .nnf.io import to_nnf_format
 from .nnf.queries import model_count
@@ -33,10 +42,22 @@ from .vtree.construct import vtree_from_order
 
 __all__ = ["main"]
 
+#: exit code for a budget-bounded run that ran out of budget
+EXIT_BUDGET = 3
+
 
 def _load(path: str) -> Cnf:
     with open(path) as handle:
         return Cnf.from_dimacs(handle.read())
+
+
+def _budget(args: argparse.Namespace) -> Optional[Budget]:
+    """The Budget described by --timeout / --max-nodes (None if unset)."""
+    timeout = getattr(args, "timeout", None)
+    max_nodes = getattr(args, "max_nodes", None)
+    if timeout is None and max_nodes is None:
+        return None
+    return Budget(deadline_s=timeout, max_nodes=max_nodes)
 
 
 def _store(args: argparse.Namespace):
@@ -79,9 +100,11 @@ def _cmd_sat(args: argparse.Namespace) -> int:
 def _cmd_compile(args: argparse.Namespace) -> int:
     cnf = _load(args.file)
     store = _store(args)
+    if args.restarts:
+        return _compile_restarts(args, cnf, store)
     if args.format == "sdd":
         return _compile_sdd_files(args, cnf, store)
-    compiler = DnnfCompiler(store=store)
+    compiler = DnnfCompiler(store=store, budget=_budget(args))
     circuit = compiler.compile(cnf)
     text = to_nnf_format(circuit)
     if args.output:
@@ -98,13 +121,48 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _compile_restarts(args: argparse.Namespace, cnf: Cnf, store) -> int:
+    """--restarts N: the budgeted retry driver instead of a single shot."""
+    from .limits.restarts import compile_with_restarts
+    result = compile_with_restarts(
+        cnf, format=args.format, attempts=args.restarts,
+        deadline_s=args.timeout, max_nodes=args.max_nodes, store=store)
+    for record in result.attempts:
+        print(f"c attempt {record['attempt']} {record['strategy']} "
+              f"{record['outcome']}")
+    print(f"c winner attempt {result.winner} (size {result.size})")
+    if args.format == "sdd":
+        from .ir.serialize import write_sdd_file, write_vtree_text
+        text = write_sdd_file(result.root)
+    else:
+        text = to_nnf_format(result.root)
+    if args.output:
+        base = args.output
+        if args.format == "sdd":
+            if base.endswith(".sdd"):
+                base = base[:-4]
+            with open(base + ".sdd", "w") as handle:
+                handle.write(text)
+            with open(base + ".vtree", "w") as handle:
+                handle.write(write_vtree_text(result.manager.vtree))
+            print(f"c wrote {base}.sdd + {base}.vtree")
+        else:
+            with open(base, "w") as handle:
+                handle.write(text)
+            print(f"c wrote {base} ({result.size} nodes)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def _compile_sdd_files(args: argparse.Namespace, cnf: Cnf, store) -> int:
     from .ir.serialize import write_sdd_file, write_vtree_text
     if cnf.num_vars == 0:
         print("c empty formula")
         return 0
     vtree = vtree_from_order(range(1, cnf.num_vars + 1), args.vtree)
-    root, manager = compile_cnf_sdd(cnf, vtree=vtree, store=store)
+    root, manager = compile_cnf_sdd(cnf, vtree=vtree, store=store,
+                                    budget=_budget(args))
     sdd_text = write_sdd_file(root)
     vtree_text = write_vtree_text(manager.vtree)
     if args.output:
@@ -127,16 +185,27 @@ def _compile_sdd_files(args: argparse.Namespace, cnf: Cnf, store) -> int:
 
 def _parse_weights(specs, num_vars: int) -> Dict[int, float]:
     """Literal weights from repeated ``LIT=W`` options; unspecified
-    literals weigh 1.0."""
+    literals weigh 1.0.
+
+    Rejects malformed specs and literals outside ``±1..num_vars`` with
+    a one-line error naming the offending spec (a silently accepted
+    out-of-range weight would simply never be read by the query).
+    """
     weights: Dict[int, float] = {}
     for var in range(1, num_vars + 1):
         weights[var] = weights[-var] = 1.0
     for spec in specs or ():
         lit_text, _, value_text = spec.partition("=")
         try:
-            weights[int(lit_text)] = float(value_text)
+            literal = int(lit_text)
+            value = float(value_text)
         except ValueError:
             raise ValueError(f"bad weight spec {spec!r} (want LIT=W)")
+        if literal == 0 or abs(literal) > num_vars:
+            raise ValueError(
+                f"bad weight spec {spec!r}: literal {literal} outside "
+                f"1..{num_vars} (or its negation)")
+        weights[literal] = value
     return weights
 
 
@@ -144,10 +213,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from .nnf import queries
     cnf = _load(args.file)
     store = _store(args)
-    compiler = DnnfCompiler(store=store)
+    weights = _parse_weights(args.weight, cnf.num_vars)
+    if args.anytime:
+        return _query_anytime(args, cnf, weights)
+    compiler = DnnfCompiler(store=store, budget=_budget(args))
     circuit = compiler.compile(cnf)
     variables = range(1, cnf.num_vars + 1)
-    weights = _parse_weights(args.weight, cnf.num_vars)
     if args.query == "count":
         print(f"s mc {queries.model_count(circuit, variables)}")
     elif args.query == "sat":
@@ -170,6 +241,32 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.stats:
         print(format_stats(compiler.stats))
         _print_store_stats(store)
+    return 0
+
+
+def _query_anytime(args: argparse.Namespace, cnf: Cnf,
+                   weights: Dict[int, float]) -> int:
+    """--anytime: certified bounds under the budget instead of an
+    exception; exact (and indistinguishable from the normal path) when
+    the budget survives."""
+    from .limits.anytime import anytime_count, anytime_wmc
+    if args.query not in ("count", "wmc"):
+        raise ValueError(
+            f"--anytime supports count and wmc, not {args.query!r}")
+    budget = _budget(args)
+    if args.query == "count":
+        result = anytime_count(cnf, budget)
+    else:
+        result = anytime_wmc(cnf, weights, budget)
+    print(f"c anytime lower {result.lower}")
+    print(f"c anytime upper {result.upper}")
+    print(f"c anytime reason {result.reason or 'complete'}")
+    print(f"c anytime decisions {result.decisions}")
+    if result.exact:
+        label = "mc" if args.query == "count" else "wmc"
+        print(f"s {label} {result.lower}")
+    else:
+        print(f"s bounds {result.lower} {result.upper}")
     return 0
 
 
@@ -202,6 +299,17 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             break
     print(f"c {printed} models printed")
     return 0
+
+
+def _add_budget_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="wall-clock budget; exceeding it exits with code 3 "
+             "(or degrades to bounds under --anytime)")
+    subparser.add_argument(
+        "--max-nodes", type=int, metavar="N",
+        help="search-node budget (decisions / apply calls); exceeding "
+             "it exits with code 3 (or degrades under --anytime)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -244,6 +352,12 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--stats", action="store_true",
                              help="print compiler + artifact-store "
                                   "perf counters")
+    _add_budget_flags(compile_cmd)
+    compile_cmd.add_argument(
+        "--restarts", type=int, default=0, metavar="N",
+        help="budgeted retry driver: up to N attempts over diversified "
+             "variable orders/vtrees, doubling --timeout/--max-nodes "
+             "each attempt")
     compile_cmd.set_defaults(func=_cmd_compile)
 
     query = commands.add_parser(
@@ -261,6 +375,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "directory (default $REPRO_CACHE_DIR)")
     query.add_argument("--stats", action="store_true",
                        help="print compiler + artifact-store counters")
+    _add_budget_flags(query)
+    query.add_argument(
+        "--anytime", action="store_true",
+        help="for count/wmc: return certified lower/upper bounds when "
+             "the budget expires instead of failing")
     query.set_defaults(func=_cmd_query)
 
     sdd = commands.add_parser("sdd", help="compile to an SDD")
@@ -290,3 +409,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BudgetExceeded as error:
+        print(f"error: {error}", file=sys.stderr)
+        for key in sorted(error.partial):
+            print(f"c partial {key} {error.partial[key]}",
+                  file=sys.stderr)
+        return EXIT_BUDGET

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..compat import default_propagator
+from ..limits.budget import Budget, BudgetExceeded, resolve_budget
 from ..logic.cnf import Cnf
 from ..nnf.node import NnfManager, NnfNode
 from ..perf.instrument import Counter
@@ -77,13 +78,23 @@ class DnnfCompiler:
         from canonical ``.nnf`` text and lifted into ``manager``.
         Defaults to :func:`repro.ir.store.default_store`
         (``$REPRO_CACHE_DIR``, unset → no caching).
+    budget:
+        Optional :class:`~repro.limits.budget.Budget`: one node charged
+        per decision, one cache entry per memoised component.
+        Exhaustion raises
+        :class:`~repro.limits.budget.BudgetExceeded` with the
+        decision/cache/circuit counters so far in ``partial``.  With no
+        explicit budget the ambient one (:meth:`Budget.scope`) governs;
+        :func:`repro.limits.restarts.compile_with_restarts` builds the
+        budgeted retry loop on top.
     """
 
     def __init__(self, manager: NnfManager | None = None,
                  use_components: bool = True, use_cache: bool = True,
                  priority: Sequence[int] | None = None,
                  cache_mode: str = "hash",
-                 propagator: str | None = None, store=None):
+                 propagator: str | None = None, store=None,
+                 budget: Optional[Budget] = None):
         if propagator is None:
             propagator = default_propagator()
         if cache_mode not in ("hash", "exact"):
@@ -99,6 +110,8 @@ class DnnfCompiler:
         self.cache_mode = cache_mode
         self.propagator = propagator
         self.store = store
+        self.budget = budget
+        self._active_budget: Optional[Budget] = None
         self.priority = {v: i for i, v in enumerate(priority or ())}
         self.cache: Dict[Hashable, NnfNode] = {}
         self.stats = Counter()
@@ -116,6 +129,7 @@ class DnnfCompiler:
         self.stats.clear()
         self.cache_hits = 0
         self.decisions = 0
+        self._active_budget = resolve_budget(self.budget)
         if any(len(c) == 0 for c in cnf.clauses):
             return self.manager.false()
         key = None
@@ -128,10 +142,16 @@ class DnnfCompiler:
                 from ..ir.lower import ir_to_nnf
                 self.stats.incr("artifact_cache_hits")
                 return ir_to_nnf(cached, self.manager)
-        if self.propagator == "watched":
-            root = self._compile_trail(list(cnf.clauses))
-        else:
-            root = self._compile(list(cnf.clauses))
+        try:
+            if self.propagator == "watched":
+                root = self._compile_trail(list(cnf.clauses))
+            else:
+                root = self._compile(list(cnf.clauses))
+        except BudgetExceeded as error:
+            error.partial.setdefault("operation", "compile")
+            error.partial.setdefault("decisions", self.decisions)
+            error.partial.setdefault("cache_entries", len(self.cache))
+            raise
         if key is not None:
             from ..ir.lower import nnf_to_ir
             self.store.save_nnf(key, nnf_to_ir(root))
@@ -194,6 +214,8 @@ class DnnfCompiler:
                 self.cache_hits += 1
                 self.stats.incr("cache_hits")
                 return hit
+        if self._active_budget is not None:
+            self._active_budget.tick()
         var = self._pick_trail(comp_vars, occ)
         self.decisions += 1
         self.stats.incr("decisions")
@@ -215,6 +237,8 @@ class DnnfCompiler:
             engine.undo_to(mark)
         node = self.manager.disjoin(*branches)
         if key is not None:
+            if self._active_budget is not None:
+                self._active_budget.charge_cache()
             self.cache[key] = node
         return node
 
@@ -252,6 +276,8 @@ class DnnfCompiler:
                 self.cache_hits += 1
                 self.stats.incr("cache_hits")
                 return hit
+        if self._active_budget is not None:
+            self._active_budget.tick()
         var = self._pick_variable(clauses)
         self.decisions += 1
         self.stats.incr("decisions")
@@ -352,7 +378,9 @@ class DnnfCompiler:
 
 
 def compile_cnf(cnf: Cnf, manager: NnfManager | None = None,
-                priority: Sequence[int] | None = None) -> NnfNode:
+                priority: Sequence[int] | None = None,
+                budget: Optional[Budget] = None) -> NnfNode:
     """One-shot CNF → Decision-DNNF compilation."""
-    compiler = DnnfCompiler(manager=manager, priority=priority)
+    compiler = DnnfCompiler(manager=manager, priority=priority,
+                            budget=budget)
     return compiler.compile(cnf)

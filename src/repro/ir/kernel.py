@@ -81,11 +81,18 @@ class IrKernel:
     """Dense-array evaluation engine for one flattened circuit."""
 
     __slots__ = ("ir", "n", "kinds", "lits", "children", "varsets",
-                 "or_gap_bits", "or_gap_vars", "_scratch",
+                 "or_gap_bits", "or_gap_vars", "budget", "_scratch",
                  "_model_count", "_sat", "_derivatives")
 
     def __init__(self, ir: CircuitIR):
         self.ir = ir
+        #: optional Budget; every query pass charges it the circuit
+        #: size up front (queries are linear, so one coarse charge per
+        #: pass is the whole cost).  With no explicit budget the
+        #: ambient one (Budget.scope()) governs.  Kernels are shared
+        #: via ir._kernel — prefer the ambient scope unless the IR is
+        #: private to the caller.
+        self.budget = None
         self.n = n = ir.n
         self.kinds: Tuple[int, ...] = ir.kinds
         self.lits: Tuple[int, ...] = ir.lits
@@ -124,6 +131,16 @@ class IrKernel:
         self._sat = None
         self._derivatives = None
 
+    def _charge(self, passes: int = 1) -> None:
+        """Charge the (explicit or ambient) budget for ``passes`` full
+        sweeps of the circuit; raises BudgetExceeded on exhaustion."""
+        from ..limits.budget import resolve_budget
+        budget = resolve_budget(self.budget)
+        if budget is not None:
+            budget.tick(passes * self.n,
+                        partial={"operation": "kernel-pass",
+                                 "circuit_nodes": self.n})
+
     def _params(self, params: Params, i: int) -> float:
         if params is None:
             raise ValueError(
@@ -135,6 +152,7 @@ class IrKernel:
     def sat_flags(self, stats: Counter | None = None) -> List[bool]:
         """Per-node satisfiability of a DNNF (memoised)."""
         if self._sat is None:
+            self._charge()
             if stats is not None:
                 stats.incr("nodes_visited", self.n)
             flags: List[bool] = [False] * self.n
@@ -190,6 +208,7 @@ class IrKernel:
         return self._model_count
 
     def _count_pass(self, stats: Counter | None = None) -> int:
+        self._charge()
         if stats is not None:
             stats.incr("nodes_visited", self.n)
         counts = self._scratch
@@ -222,6 +241,7 @@ class IrKernel:
         widens to extra variables the same way.  Parameter leaves read
         ``params`` (PSDD θs) at call time.
         """
+        self._charge()
         if stats is not None:
             stats.incr("nodes_visited", self.n)
         values = self._scratch
@@ -258,6 +278,7 @@ class IrKernel:
     def mpe(self, weights: Weights, stats: Counter | None = None,
             params: Params = None) -> Tuple[float, Dict[int, bool]]:
         """Max-product upward pass plus traceback on a d-DNNF."""
+        self._charge()
         if stats is not None:
             stats.incr("nodes_visited", self.n)
 
@@ -344,6 +365,7 @@ class IrKernel:
             if stats is not None:
                 stats.incr("kernel_memo_hits")
             return self._derivatives
+        self._charge(2)
         if stats is not None:
             stats.incr("nodes_visited", 2 * self.n)
         counts: List[int] = [0] * self.n
@@ -400,6 +422,7 @@ class IrKernel:
     # -- evaluation ----------------------------------------------------------
     def evaluate(self, assignment: Mapping[int, bool],
                  stats: Counter | None = None) -> bool:
+        self._charge()
         if stats is not None:
             stats.incr("nodes_visited", self.n)
         values = self._scratch
@@ -432,6 +455,7 @@ class IrKernel:
 
     def _count_batch_stats(self, stats: Counter | None, batch: int,
                            passes: int = 1) -> None:
+        self._charge(passes)
         if stats is not None:
             stats.incr("nodes_visited", passes * self.n)
             stats.incr("batch_columns", batch)

@@ -59,7 +59,14 @@ class ArtifactStore:
     """A directory of compiled circuits addressed by content key.
 
     ``stats`` counts ``artifact_hits`` / ``artifact_misses`` /
-    ``artifact_writes`` over the store's lifetime.
+    ``artifact_writes`` / ``artifact_corrupt`` over the store's
+    lifetime.
+
+    A cached artifact that fails to parse (truncated write, bit rot,
+    foreign file) is treated as a miss, not an error: the bad file is
+    quarantined by renaming it to ``<name>.corrupt`` (so the next
+    lookup recompiles and rewrites cleanly, and the evidence survives
+    for inspection) and counted in ``artifact_corrupt``.
     """
 
     def __init__(self, root):
@@ -84,6 +91,17 @@ class ArtifactStore:
         self.stats.incr("artifact_writes")
         return path
 
+    def _quarantine(self, *paths: Path) -> None:
+        """Move unparseable artifacts aside and account the corruption
+        as a miss, so the caller recompiles instead of crashing."""
+        for path in paths:
+            try:
+                os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+            except OSError:
+                pass  # already gone or unmovable: the miss still stands
+        self.stats.incr("artifact_corrupt")
+        self.stats.incr("artifact_misses")
+
     def hit_rate(self) -> float:
         """Fraction of lookups served from disk (0.0 when unused)."""
         hits = self.stats["artifact_hits"]
@@ -106,8 +124,13 @@ class ArtifactStore:
         except OSError:
             self.stats.incr("artifact_misses")
             return None
+        try:
+            ir = ir_from_nnf_text(text, flags=flags)
+        except Exception:
+            self._quarantine(path)
+            return None
         self.stats.incr("artifact_hits")
-        return ir_from_nnf_text(text, flags=flags)
+        return ir
 
     def save_nnf(self, key: str, ir: CircuitIR) -> Path:
         return self._write(self.path_for(key, "nnf"), ir_to_nnf_text(ir))
@@ -124,8 +147,15 @@ class ArtifactStore:
         except OSError:
             self.stats.incr("artifact_misses")
             return None
+        try:
+            loaded = read_sdd_file(sdd_text, vtree_text)
+        except Exception:
+            # either file may be the bad one; quarantine the pair so
+            # the recompile rewrites a consistent sdd/vtree couple
+            self._quarantine(sdd_path, vtree_path)
+            return None
         self.stats.incr("artifact_hits")
-        return read_sdd_file(sdd_text, vtree_text)
+        return loaded
 
     def save_sdd(self, key: str, node) -> Path:
         self._write(self.path_for(key, "vtree"),

@@ -1,0 +1,29 @@
+"""Resource governance: budgets, anytime bounds, restarts, faults.
+
+The robustness layer for the compile-then-query pipelines (ROADMAP:
+graceful under every scenario).  :class:`Budget` bounds any compile or
+count with deadlines and node/recursion/cache caps, enforced
+cooperatively by the engines and surfaced as structured
+:class:`BudgetExceeded`.  On top of it:
+
+* :func:`anytime_count` / :func:`anytime_wmc` — certified lower/upper
+  bounds from the partial decomposition when the budget expires
+  (Darwiche 2000);
+* :func:`compile_with_restarts` — budgeted attempts over diversified
+  variable orders / vtrees with exponential backoff;
+* :mod:`repro.limits.faults` — deterministic fault injection (clock
+  skew, cache corruption, allocation failure) for the tests.
+"""
+
+from .anytime import AnytimeResult, anytime_count, anytime_wmc
+from .budget import Budget, BudgetExceeded, resolve_budget
+from .faults import (FakeClock, SkewedClock, corrupt_artifact,
+                     failing_budget)
+from .restarts import RestartResult, compile_with_restarts
+
+__all__ = [
+    "AnytimeResult", "Budget", "BudgetExceeded", "FakeClock",
+    "RestartResult", "SkewedClock", "anytime_count", "anytime_wmc",
+    "compile_with_restarts", "corrupt_artifact", "failing_budget",
+    "resolve_budget",
+]

@@ -1,0 +1,227 @@
+"""Anytime #SAT / WMC: certified bounds from a partial decomposition.
+
+Darwiche, *On the Tractable Counting of Theory Models* (2000): a
+partial decomposition of a CNF still yields sound model-count bounds.
+This module is that idea as a graceful-degradation mode — the same
+trail-based component search the exact engines run, except every
+recursive result is an *interval* ``(lower, upper)``:
+
+* a conflict contributes ``(0, 0)``; a fully satisfied scope ``(1, 1)``
+  (times the free-variable factor);
+* independent components multiply intervals, disjoint decision
+  branches add them, free variables scale both ends by ``2`` (or
+  ``W(v) + W(-v)`` in the weighted case);
+* when the budget expires, every not-yet-expanded component resolves
+  *immediately* to the trivial interval ``(0, full(vars))`` — the
+  search unwinds without further decisions and the partial
+  decomposition explored so far becomes the result.
+
+Interval arithmetic preserves bracketing at every rule, so for any
+budget the returned interval contains the exact count; with no budget
+(or one that never expires) the interval is a point and equals the
+exact count.  The weighted variant requires non-negative literal
+weights (the usual WMC setting) — soundness of the trivial upper bound
+``Π (W(v) + W(-v))`` depends on it.
+
+Exhaustion is detected with the non-raising :meth:`Budget.charge`, so
+injected faults (deadline skew, allocation failure at the Nth node —
+see :mod:`repro.limits.faults`) degrade into wider bounds instead of
+crashing the query.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..logic.cnf import Cnf
+from ..sat.components import trail_components
+from ..sat.propagation import TrailPropagator
+from .budget import Budget, resolve_budget
+
+__all__ = ["AnytimeResult", "anytime_count", "anytime_wmc"]
+
+Clause = Tuple[int, ...]
+
+
+@dataclass
+class AnytimeResult:
+    """Outcome of an anytime count: ``lower <= exact <= upper``.
+
+    ``reason`` is None when the search completed (the interval is then
+    a point equal to the exact count) and the budget-exhaustion reason
+    otherwise.  Counts are ints for :func:`anytime_count`, floats for
+    :func:`anytime_wmc`.
+    """
+
+    lower: float
+    upper: float
+    reason: Optional[str]
+    decisions: int
+    nodes: int
+    elapsed_s: float
+
+    @property
+    def exact(self) -> bool:
+        return self.lower == self.upper
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def as_dict(self) -> Dict:
+        return {"lower": str(self.lower), "upper": str(self.upper),
+                "exact": self.exact, "reason": self.reason,
+                "decisions": self.decisions, "nodes": self.nodes,
+                "elapsed_s": round(self.elapsed_s, 6)}
+
+
+class _IntervalSearch:
+    """One anytime run: trail-based component search over intervals."""
+
+    def __init__(self, clauses: List[Clause], num_vars: int,
+                 weights: Optional[Mapping[int, float]],
+                 budget: Optional[Budget]):
+        self.clauses = clauses
+        self.num_vars = num_vars
+        self.weights = weights
+        self.budget = budget
+        self.reason: Optional[str] = None
+        self.decisions = 0
+        self.nodes = 0
+        # cache only point intervals: they are exact component counts
+        # (a bailed subtree never produces one unless its upper bound
+        # is 0, which is exact too)
+        self.cache: Dict[Tuple, object] = {}
+        self.one = 1 if weights is None else 1.0
+        self.zero = 0 if weights is None else 0.0
+        self.engine = TrailPropagator(
+            clauses, max((abs(lit) for c in clauses for lit in c),
+                         default=0))
+
+    # -- weight strategy -----------------------------------------------------
+    def _full(self, variables):
+        """Total mass of an unconstrained scope: 2 (or W(v)+W(-v)) per
+        variable — the trivial upper bound of an unexplored component
+        and the exact factor of a free one."""
+        if self.weights is None:
+            return 1 << len(variables)
+        total = 1.0
+        weights = self.weights
+        for var in variables:
+            total *= weights[var] + weights[-var]
+        return total
+
+    def _term(self, literals: Iterable[int]):
+        """Weight of a conjunction of assigned literals (1 unweighted)."""
+        if self.weights is None:
+            return 1
+        value = 1.0
+        weights = self.weights
+        for lit in literals:
+            value *= weights[lit]
+        return value
+
+    # -- search --------------------------------------------------------------
+    def run(self) -> Tuple[object, object]:
+        if any(len(c) == 0 for c in self.clauses):
+            return self.zero, self.zero
+        mentioned = {abs(lit) for c in self.clauses for lit in c}
+        unmentioned = [v for v in range(1, self.num_vars + 1)
+                       if v not in mentioned]
+        engine = self.engine
+        if not engine.assert_root():
+            return self.zero, self.zero
+        prefix = self._term(engine.trail) * self._full(unmentioned)
+        scope = mentioned - {abs(lit) for lit in engine.trail}
+        lo, hi = self._parts(range(len(self.clauses)), scope)
+        return prefix * lo, prefix * hi
+
+    def _parts(self, indices, scope: Set[int]) -> Tuple[object, object]:
+        components, occ = trail_components(self.clauses, indices,
+                                           self.engine.values, True)
+        lo = hi = self.one
+        counted: Set[int] = set()
+        for comp_indices, comp_vars in components:
+            counted.update(comp_vars)
+            clo, chi = self._component(comp_indices, comp_vars, occ)
+            lo *= clo
+            hi *= chi
+            if hi == 0:  # upper bound 0 is exact: no models here
+                return self.zero, self.zero
+        factor = self._full(scope - counted)
+        return lo * factor, hi * factor
+
+    def _component(self, comp_indices: List[int], comp_vars: List[int],
+                   occ) -> Tuple[object, object]:
+        budget = self.budget
+        if budget is not None:
+            reason = budget.charge(1)
+            if reason is not None:
+                # out of budget: this component stays unexplored and
+                # contributes the trivial (still sound) interval
+                self.reason = reason
+                return self.zero, self._full(comp_vars)
+        self.nodes += 1
+        key = (tuple(comp_indices), tuple(sorted(comp_vars)))
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        var = max(comp_vars, key=lambda v: (len(occ[v]), -v))
+        self.decisions += 1
+        comp_set = set(comp_vars)
+        engine = self.engine
+        lo = hi = self.zero
+        for value in (False, True):
+            literal = var if value else -var
+            mark = len(engine.trail)
+            if engine.condition(literal):
+                # propagation stays inside the component, so the trail
+                # delta is exactly the component variables decided here
+                assigned = engine.trail[mark:]
+                term = self._term(assigned)
+                sub_scope = comp_set - {abs(lit) for lit in assigned}
+                slo, shi = self._parts(comp_indices, sub_scope)
+                lo += term * slo
+                hi += term * shi
+            engine.undo_to(mark)
+        if lo == hi:
+            self.cache[key] = (lo, hi)
+        return lo, hi
+
+
+def _run(cnf: Cnf, weights: Optional[Mapping[int, float]],
+         budget: Optional[Budget]) -> AnytimeResult:
+    budget = resolve_budget(budget)
+    if weights is not None:
+        for var in range(1, cnf.num_vars + 1):
+            if weights[var] < 0 or weights[-var] < 0:
+                raise ValueError(
+                    f"anytime WMC needs non-negative weights; "
+                    f"variable {var} has a negative one")
+    start = time.perf_counter()
+    search = _IntervalSearch(list(cnf.clauses), cnf.num_vars, weights,
+                             budget)
+    lower, upper = search.run()
+    return AnytimeResult(lower=lower, upper=upper, reason=search.reason,
+                         decisions=search.decisions, nodes=search.nodes,
+                         elapsed_s=time.perf_counter() - start)
+
+
+def anytime_count(cnf: Cnf,
+                  budget: Optional[Budget] = None) -> AnytimeResult:
+    """Model count of ``cnf`` over variables 1..num_vars as a certified
+    interval: exact when the budget (explicit, else ambient, else
+    unlimited) survives the search, sound bounds otherwise."""
+    return _run(cnf, None, budget)
+
+
+def anytime_wmc(cnf: Cnf, weights: Mapping[int, float],
+                budget: Optional[Budget] = None) -> AnytimeResult:
+    """Weighted model count as a certified interval.
+
+    ``weights`` maps every literal ±v (v in 1..num_vars) to a
+    non-negative weight.
+    """
+    return _run(cnf, weights, budget)

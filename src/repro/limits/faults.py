@@ -1,0 +1,115 @@
+"""Fault injection for the resource-governance layer.
+
+The robustness claims (queries degrade, never crash) are only worth as
+much as the faults they were tested against, so the harness makes the
+failure modes injectable and deterministic:
+
+* **clock faults** — :class:`FakeClock` (time moves only when the test
+  says so) and :class:`SkewedClock` (a real clock with a constant
+  offset and/or rate skew, plus one-shot jumps).  Plugged into
+  ``Budget(clock=...)``, they let tests hit deadline expiry at an exact
+  point in the search, or simulate NTP-style time jumps mid-operation.
+* **cache corruption** — :func:`corrupt_artifact` truncates, garbles or
+  empties a stored artifact in place, exercising the store's
+  quarantine path (``*.corrupt`` rename + ``artifact_corrupt`` stat).
+* **allocation failure** — ``Budget(alloc_fail_at=N)`` makes the Nth
+  charged node fail with reason ``"allocation"``, simulating an
+  allocator giving out at an arbitrary point; :func:`failing_budget` is
+  the one-line spelling.
+
+Everything here is deterministic: no randomness, no real waiting.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional
+
+from .budget import Budget
+
+__all__ = ["FakeClock", "SkewedClock", "corrupt_artifact",
+           "failing_budget"]
+
+#: corruption modes understood by :func:`corrupt_artifact`
+CORRUPT_MODES = ("truncate", "garbage", "empty")
+
+
+class FakeClock:
+    """A manually advanced clock: ``clock()`` returns the set time.
+
+    >>> clock = FakeClock()
+    >>> budget = Budget(deadline_s=5.0, clock=clock)
+    >>> budget.charge()          # arms the deadline at t=0
+    >>> clock.advance(6.0)       # six "seconds" pass instantly
+    >>> budget.charge()
+    'deadline'
+    """
+
+    def __init__(self, now: float = 0.0):
+        self.now = float(now)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> "FakeClock":
+        if seconds < 0:
+            raise ValueError("time only moves forward; "
+                             "use jump() on SkewedClock for steps")
+        self.now += seconds
+        return self
+
+
+class SkewedClock:
+    """A real clock with injected skew: ``offset + rate * real``.
+
+    ``rate > 1`` makes deadlines fire early (the governed code believes
+    more time has passed than really has); ``jump()`` adds a one-shot
+    step, simulating an NTP correction landing mid-operation.
+    """
+
+    def __init__(self, offset: float = 0.0, rate: float = 1.0,
+                 base: Optional[object] = None):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.offset = float(offset)
+        self.rate = float(rate)
+        self.base = base or time.perf_counter
+
+    def __call__(self) -> float:
+        return self.offset + self.rate * self.base()
+
+    def jump(self, seconds: float) -> "SkewedClock":
+        """Step the reported time by ``seconds`` (may be negative)."""
+        self.offset += seconds
+        return self
+
+
+def corrupt_artifact(store, key: str, ext: str,
+                     mode: str = "truncate") -> Path:
+    """Corrupt the stored artifact ``<key>.<ext>`` in place.
+
+    Modes: ``"truncate"`` keeps roughly the first half of the file
+    (a partial write / killed process), ``"garbage"`` replaces the
+    content with non-format bytes (bit rot, wrong file), ``"empty"``
+    zeroes it.  Returns the corrupted path; raises ``FileNotFoundError``
+    if the artifact does not exist.
+    """
+    if mode not in CORRUPT_MODES:
+        raise ValueError(f"unknown corruption mode {mode!r}; "
+                         f"expected one of {CORRUPT_MODES}")
+    path = store.path_for(key, ext)
+    text = path.read_text()
+    if mode == "truncate":
+        path.write_text(text[:max(1, len(text) // 2)])
+    elif mode == "garbage":
+        path.write_text("!! this is not a circuit !!\n%\x00garbage\n")
+    else:  # empty
+        path.write_text("")
+    return path
+
+
+def failing_budget(fail_at: int, **caps) -> Budget:
+    """A budget whose ``fail_at``-th charged node raises with reason
+    ``"allocation"`` — simulated allocation failure at the Nth node."""
+    return Budget(alloc_fail_at=fail_at, **caps)

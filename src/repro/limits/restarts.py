@@ -1,0 +1,188 @@
+"""Retry-with-restarts compilation driver.
+
+Compiled circuit size is notoriously sensitive to the variable order
+(Decision-DNNF) or vtree (SDD): the same CNF can be trivial under one
+order and exponential under another.  The driver turns that variance
+into robustness — run the compiler under a per-attempt
+:class:`~repro.limits.budget.Budget`, and on
+:class:`~repro.limits.budget.BudgetExceeded` restart with a *different*
+variable order / vtree and an exponentially larger budget::
+
+    result = compile_with_restarts(cnf, max_nodes=2_000, attempts=5)
+    result.root          # the compiled circuit
+    result.attempts      # one record per attempt (strategy, outcome)
+
+Attempt 0 uses the compiler's default strategy (dynamic occurrence
+heuristic for Decision-DNNF, balanced vtree for SDD); later attempts
+draw seeded random orders / vtrees.  With ``keep_smallest=True`` every
+attempt runs and the smallest successful circuit wins — the classic
+portfolio mode; by default the first success returns.
+
+If every attempt exhausts its budget the last ``BudgetExceeded`` is
+re-raised with the attempt records in ``partial["attempts"]``, so the
+caller still sees the full story (the CLI prints it; the anytime
+counter is the degradation path when even that is unacceptable).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..logic.cnf import Cnf
+from .budget import Budget, BudgetExceeded
+
+__all__ = ["RestartResult", "compile_with_restarts"]
+
+
+@dataclass
+class RestartResult:
+    """Outcome of a restart-driven compilation.
+
+    ``root`` is an :class:`~repro.nnf.node.NnfNode` for
+    ``format="nnf"`` and an :class:`~repro.sdd.node.SddNode` for
+    ``format="sdd"`` (with ``manager`` set).  ``attempts`` holds one
+    record per attempt run; ``winner`` indexes the attempt that
+    produced ``root``.
+    """
+
+    root: object
+    format: str
+    winner: int
+    size: int
+    manager: object = None
+    attempts: List[Dict] = field(default_factory=list)
+
+
+def _scaled(base: Optional[float], backoff: float, attempt: int,
+            integer: bool = False) -> Optional[float]:
+    if base is None:
+        return None
+    value = base * backoff ** attempt
+    return max(1, int(value)) if integer else value
+
+
+def compile_with_restarts(cnf: Cnf, *, format: str = "nnf",
+                          attempts: int = 4,
+                          deadline_s: Optional[float] = None,
+                          max_nodes: Optional[int] = None,
+                          backoff: float = 2.0, seed: int = 0,
+                          store=None, keep_smallest: bool = False,
+                          clock=None) -> RestartResult:
+    """Compile ``cnf`` with budgeted restarts over diversified strategies.
+
+    Parameters
+    ----------
+    format:
+        ``"nnf"`` (Decision-DNNF via :class:`DnnfCompiler`, varying the
+        priority variable order) or ``"sdd"`` (via
+        :func:`compile_cnf_sdd`, varying the vtree).
+    attempts:
+        Maximum number of attempts.
+    deadline_s / max_nodes:
+        Attempt-0 budget; attempt ``i`` gets ``backoff ** i`` times as
+        much.  Both None means unbudgeted attempts (the driver then
+        only adds strategy diversity).
+    seed:
+        Seeds the per-attempt random orders/vtrees (deterministic).
+    store:
+        Optional :class:`~repro.ir.store.ArtifactStore`; strategies
+        key their artifacts independently, so a re-run is served warm.
+    keep_smallest:
+        Run every attempt and keep the smallest successful circuit
+        instead of returning on the first success.
+    clock:
+        Forwarded to each attempt's :class:`Budget` (fault injection).
+    """
+    if format not in ("nnf", "sdd"):
+        raise ValueError(f"unknown format {format!r}")
+    if attempts < 1:
+        raise ValueError("need at least one attempt")
+    records: List[Dict] = []
+    best = None  # (size, attempt index, root, manager)
+    last_error: Optional[BudgetExceeded] = None
+    for attempt in range(attempts):
+        budget = Budget(
+            deadline_s=_scaled(deadline_s, backoff, attempt),
+            max_nodes=_scaled(max_nodes, backoff, attempt, integer=True),
+            clock=clock)
+        rng = random.Random((seed, attempt).__hash__())
+        record: Dict = {"attempt": attempt,
+                        "budget": {"deadline_s": budget.deadline_s,
+                                   "max_nodes": budget.max_nodes}}
+        start = time.perf_counter()
+        try:
+            if format == "nnf":
+                root, manager, strategy = _attempt_nnf(
+                    cnf, attempt, rng, budget, store)
+                size = root.node_count()
+            else:
+                root, manager, strategy = _attempt_sdd(
+                    cnf, attempt, rng, budget, store)
+                size = root.size()
+        except BudgetExceeded as error:
+            record.update(strategy=error.partial.get("strategy"),
+                          outcome=f"budget:{error.reason}",
+                          elapsed_s=round(time.perf_counter() - start, 4))
+            records.append(record)
+            last_error = error
+            continue
+        record.update(strategy=strategy, outcome="ok", size=size,
+                      elapsed_s=round(time.perf_counter() - start, 4))
+        records.append(record)
+        if best is None or size < best[0]:
+            best = (size, attempt, root, manager)
+        if not keep_smallest:
+            break
+    if best is None:
+        assert last_error is not None
+        last_error.partial["attempts"] = records
+        raise last_error
+    size, winner, root, manager = best
+    return RestartResult(root=root, format=format, winner=winner,
+                         size=size, manager=manager, attempts=records)
+
+
+def _attempt_nnf(cnf: Cnf, attempt: int, rng: random.Random,
+                 budget: Budget, store):
+    from ..compile.dnnf_compiler import DnnfCompiler
+    if attempt == 0:
+        priority, strategy = None, "default-heuristic"
+    else:
+        priority = list(range(1, cnf.num_vars + 1))
+        rng.shuffle(priority)
+        strategy = f"random-order-{attempt}"
+    compiler = DnnfCompiler(priority=priority, store=store,
+                            budget=budget)
+    try:
+        return compiler.compile(cnf), None, strategy
+    except BudgetExceeded as error:
+        error.partial.setdefault("strategy", strategy)
+        raise
+
+
+def _attempt_sdd(cnf: Cnf, attempt: int, rng: random.Random,
+                 budget: Budget, store):
+    from ..sdd.compiler import compile_cnf_sdd
+    from ..vtree.construct import (balanced_vtree, random_vtree,
+                                   right_linear_vtree)
+    if cnf.num_vars == 0:
+        raise ValueError("cannot build a vtree with no variables")
+    variables = range(1, cnf.num_vars + 1)
+    if attempt == 0:
+        vtree, strategy = balanced_vtree(variables), "balanced-vtree"
+    elif attempt == 1:
+        vtree, strategy = (right_linear_vtree(variables),
+                           "right-linear-vtree")
+    else:
+        vtree, strategy = (random_vtree(variables, rng),
+                           f"random-vtree-{attempt}")
+    try:
+        root, manager = compile_cnf_sdd(cnf, vtree=vtree, store=store,
+                                        budget=budget)
+        return root, manager, strategy
+    except BudgetExceeded as error:
+        error.partial.setdefault("strategy", strategy)
+        raise

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from ..compat import default_propagator
+from ..limits.budget import Budget, BudgetExceeded, resolve_budget
 from ..logic.cnf import Cnf
 from ..perf.instrument import Counter
 from .components import split_components, trail_components
@@ -84,11 +85,12 @@ class CountContext:
     shared ``ModelCounter`` never see each other's cache or statistics.
     """
 
-    __slots__ = ("cache", "stats")
+    __slots__ = ("cache", "stats", "budget")
 
-    def __init__(self):
+    def __init__(self, budget: Optional[Budget] = None):
         self.cache: Dict[Hashable, int] = {}
         self.stats = Counter()
+        self.budget = budget
 
 
 class ModelCounter:
@@ -111,11 +113,22 @@ class ModelCounter:
         propagation, kept as a measurable baseline).  ``None`` defers
         to :func:`repro.compat.default_propagator`, i.e. the
         ``REPRO_LEGACY`` switch.
+    budget:
+        Optional :class:`~repro.limits.budget.Budget`; the counter
+        charges it one node per decision point and one cache entry per
+        memoised component, raising
+        :class:`~repro.limits.budget.BudgetExceeded` (with the
+        decisions/cache counters so far in ``partial``) on exhaustion.
+        ``count(budget=...)`` overrides per call; with neither, the
+        ambient budget (:meth:`Budget.scope`) governs if installed.
+        For certified bounds instead of an exception, see
+        :func:`repro.limits.anytime.anytime_count`.
     """
 
     def __init__(self, use_components: bool = True, use_cache: bool = True,
                  cache_mode: str = "hash",
-                 propagator: str | None = None):
+                 propagator: str | None = None,
+                 budget: Optional[Budget] = None):
         if propagator is None:
             propagator = default_propagator()
         if cache_mode not in ("hash", "exact"):
@@ -126,6 +139,7 @@ class ModelCounter:
         self.use_cache = use_cache
         self.cache_mode = cache_mode
         self.propagator = propagator
+        self.budget = budget
         self._last: CountContext = CountContext()
 
     # -- statistics of the most recently completed call --------------------
@@ -145,9 +159,15 @@ class ModelCounter:
     def decisions(self) -> int:
         return self._last.stats["decisions"]
 
-    def count(self, cnf: Cnf) -> int:
-        """Number of models of ``cnf`` over variables 1..num_vars."""
-        ctx = CountContext()
+    def count(self, cnf: Cnf, budget: Optional[Budget] = None) -> int:
+        """Number of models of ``cnf`` over variables 1..num_vars.
+
+        ``budget`` overrides the instance/ambient budget for this call;
+        on exhaustion the raised :class:`BudgetExceeded` carries the
+        partial search state (decisions, cache entries) in ``partial``.
+        """
+        ctx = CountContext(resolve_budget(
+            budget if budget is not None else self.budget))
         clauses = list(cnf.clauses)
         try:
             if any(len(c) == 0 for c in clauses):
@@ -159,6 +179,11 @@ class ModelCounter:
                 inner = self._count(clauses, ctx)
             free = cnf.num_vars - len(mentioned)
             return inner << free if inner else 0
+        except BudgetExceeded as error:
+            error.partial.setdefault("operation", "count")
+            error.partial.setdefault("decisions", ctx.stats["decisions"])
+            error.partial.setdefault("cache_entries", len(ctx.cache))
+            raise
         finally:
             self._last = ctx
 
@@ -224,6 +249,8 @@ class ModelCounter:
                 return cached
         # every occurrence of a component variable lies inside the
         # component, so the shared occurrence lists double as scores
+        if ctx.budget is not None:
+            ctx.budget.tick()
         var = max(comp_vars, key=lambda v: (len(occ[v]), -v))
         ctx.stats.incr("decisions")
         num_vars = len(comp_vars)
@@ -239,6 +266,8 @@ class ModelCounter:
                                         engine, clauses, ctx)
             engine.undo_to(mark)
         if key is not None:
+            if ctx.budget is not None:
+                ctx.budget.charge_cache()
             ctx.cache[key] = total
         return total
 
@@ -300,6 +329,8 @@ class ModelCounter:
             if cached is not None:
                 ctx.stats.incr("cache_hits")
                 return cached
+        if ctx.budget is not None:
+            ctx.budget.tick()
         var = self._pick_variable(clauses)
         ctx.stats.incr("decisions")
         component_vars = {abs(lit) for c in clauses for lit in c}
@@ -352,9 +383,10 @@ class ModelCounter:
 
 def count_models(cnf: Cnf, use_components: bool = True,
                  use_cache: bool = True, cache_mode: str = "hash",
-                 propagator: str | None = None) -> int:
+                 propagator: str | None = None,
+                 budget: Optional[Budget] = None) -> int:
     """Convenience wrapper around :class:`ModelCounter`."""
     counter = ModelCounter(use_components=use_components,
                            use_cache=use_cache, cache_mode=cache_mode,
-                           propagator=propagator)
+                           propagator=propagator, budget=budget)
     return counter.count(cnf)

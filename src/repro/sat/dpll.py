@@ -129,20 +129,24 @@ def _dpll(clauses: List[Clause], assignment: Assignment
 
 
 def solve(cnf: Cnf, assumptions: Iterable[int] = (),
-          stats: Counter | None = None) -> Optional[Assignment]:
+          stats: Counter | None = None,
+          budget=None) -> Optional[Assignment]:
     """Find a satisfying assignment, or None.
 
     The returned assignment is *complete* over variables 1..num_vars
     (unconstrained variables default to False).  ``assumptions`` is an
     iterable of literals to assert.  Runs on the iterative
     two-watched-literal solver; see :func:`solve_legacy` for the seed
-    recursive implementation.
+    recursive implementation.  ``budget`` (explicit, else ambient)
+    bounds the search — one charge per decision — and exhaustion raises
+    :class:`~repro.limits.budget.BudgetExceeded`.
     """
     assumption_list = list(assumptions)
     for lit in assumption_list:
         if -lit in assumption_list:
             return None
-    solver = WatchedSolver(cnf.clauses, cnf.num_vars, stats=stats)
+    solver = WatchedSolver(cnf.clauses, cnf.num_vars, stats=stats,
+                           budget=budget)
     result = solver.solve(assumption_list)
     if result is None:
         return None

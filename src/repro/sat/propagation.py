@@ -360,11 +360,18 @@ class WatchedSolver(TrailPropagator):
     legacy recursive solver's heuristic closely enough that the two
     agree on satisfiability everywhere (asserted by the cross-check
     suite) while never copying a clause list.
+
+    ``budget`` (explicit, else ambient) is charged one node per
+    decision; exhaustion raises
+    :class:`~repro.limits.budget.BudgetExceeded` with the decision
+    count in ``partial``.
     """
 
     def __init__(self, clauses: Iterable[Iterable[int]], num_vars: int,
-                 stats: Counter | None = None):
+                 stats: Counter | None = None, budget=None):
         super().__init__(clauses, num_vars, stats)
+        from ..limits.budget import resolve_budget
+        self.budget = resolve_budget(budget)
         counts: Dict[int, int] = {}
         for clause in self.clauses:
             for lit in clause:
@@ -394,6 +401,9 @@ class WatchedSolver(TrailPropagator):
                 cursor += 1
             if var is None:
                 return {abs(lit): lit > 0 for lit in self.trail}
+            if self.budget is not None:
+                self.budget.tick(partial={"operation": "solve",
+                                          "trail_depth": len(self.trail)})
             if self.stats is not None:
                 self.stats.incr("decisions")
             stack.append((len(self.trail), var, False))

@@ -22,8 +22,8 @@ __all__ = ["compile_cnf_sdd", "compile_formula_sdd", "compile_terms_sdd"]
 
 
 def compile_cnf_sdd(cnf: Cnf, manager: SddManager | None = None,
-                    vtree: Vtree | None = None, store=None
-                    ) -> Tuple[SddNode, SddManager]:
+                    vtree: Vtree | None = None, store=None,
+                    budget=None) -> Tuple[SddNode, SddManager]:
     """Compile a CNF into an SDD.  Returns (root, manager).
 
     When no manager/vtree is given, a balanced vtree over
@@ -36,7 +36,13 @@ def compile_cnf_sdd(cnf: Cnf, manager: SddManager | None = None,
     ``.sdd``/``.vtree`` files on a hit.  Only used when no ``manager``
     is passed — a cached SDD is rebuilt into a fresh manager over the
     stored vtree, which cannot be merged into a caller-owned one.
+
+    ``budget`` (explicit, else ambient) bounds the compilation — one
+    charge per apply call.  It is installed on the fresh manager this
+    function creates; a caller-owned ``manager`` keeps its own budget.
     """
+    from ..limits.budget import resolve_budget
+    budget = resolve_budget(budget)
     if manager is None:
         if vtree is None:
             if cnf.num_vars == 0:
@@ -53,11 +59,11 @@ def compile_cnf_sdd(cnf: Cnf, manager: SddManager | None = None,
             cached = store.load_sdd(key)
             if cached is not None:
                 return cached
-            manager = SddManager(vtree)
+            manager = SddManager(vtree, budget=budget)
             root = _compile_clauses(cnf, manager)
             store.save_sdd(key, root)
             return root, manager
-        manager = SddManager(vtree)
+        manager = SddManager(vtree, budget=budget)
     return _compile_clauses(cnf, manager), manager
 
 

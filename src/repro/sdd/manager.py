@@ -24,10 +24,18 @@ Element = Tuple[SddNode, SddNode]
 
 
 class SddManager:
-    """Factory for canonical SDDs over a fixed vtree."""
+    """Factory for canonical SDDs over a fixed vtree.
 
-    def __init__(self, vtree: Vtree):
+    ``budget`` (optional :class:`~repro.limits.budget.Budget`) is
+    charged one node per non-trivial apply call — the unit of bottom-up
+    compilation work — and raises
+    :class:`~repro.limits.budget.BudgetExceeded` on exhaustion with the
+    manager's node/apply counters in ``partial``.
+    """
+
+    def __init__(self, vtree: Vtree, budget=None):
         self.vtree = vtree
+        self.budget = budget
         #: perf counters: apply_calls / apply_cache_hits accumulate
         #: over the manager's lifetime (see ``repro.perf``)
         self.stats = Counter()
@@ -146,6 +154,11 @@ class SddManager:
         else:
             raise ValueError(f"unknown op {op!r}")
         key = (op, *sorted((a.id, b.id)))
+        if self.budget is not None:
+            self.budget.tick(partial={
+                "operation": "sdd-apply",
+                "apply_calls": self.stats["apply_calls"],
+                "live_nodes": self._next_id})
         self.stats.incr("apply_calls")
         cached = self._apply_cache.get(key)
         if cached is not None:

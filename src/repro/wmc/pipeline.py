@@ -34,12 +34,18 @@ class WmcPipeline:
         (:class:`repro.ir.store.ArtifactStore`): the CNF → d-DNNF
         compilation is served from disk when the same network/encoding
         was compiled before.  Defaults to ``$REPRO_CACHE_DIR``.
+    budget:
+        Optional :class:`~repro.limits.budget.Budget` bounding the
+        compilation that runs in this constructor; exhaustion raises
+        :class:`~repro.limits.budget.BudgetExceeded` (see
+        :mod:`repro.limits`).  An ambient budget governs when none is
+        passed.
     """
 
     def __init__(self, network: BayesianNetwork,
                  encoding: str = "multistate",
                  exploit_determinism: bool = False,
-                 cache_dir=None):
+                 cache_dir=None, budget=None):
         self.network = network
         if encoding == "binary":
             self.encoding: BnEncoding = encode_binary(
@@ -53,7 +59,7 @@ class WmcPipeline:
         if cache_dir is not None:
             from ..ir.store import ArtifactStore
             store = ArtifactStore(cache_dir)
-        self._compiler = DnnfCompiler(store=store)
+        self._compiler = DnnfCompiler(store=store, budget=budget)
         self.circuit: NnfNode = self._compiler.compile(self.encoding.cnf)
         self._all_vars = list(range(1, self.encoding.cnf.num_vars + 1))
         self._ac: Optional[ArithmeticCircuit] = None

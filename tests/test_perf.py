@@ -102,7 +102,8 @@ def test_run_all_quick_smoke(tmp_path):
     proc = subprocess.run(
         [sys.executable, os.path.join(REPO_ROOT, "benchmarks",
                                       "run_all.py"),
-         "--quick", "--skip-figures", "--output-dir", str(tmp_path)],
+         "--quick", "--skip-figures", "--output-dir", str(tmp_path),
+         "--scenario-timeout", "240"],
         env=env, capture_output=True, text=True, timeout=600)
     assert proc.returncode == 0, proc.stdout + proc.stderr
     written = list(tmp_path.glob("BENCH_*.json"))
@@ -113,9 +114,11 @@ def test_run_all_quick_smoke(tmp_path):
     assert set(report["scenarios"]) == {
         "sharp_sat", "dnnf_compile", "repeated_wmc", "batched_wmc",
         "batched_marginals", "psdd_marginals", "classifier_scoring",
-        "warm_compile"}
+        "warm_compile", "anytime_bounds", "restart_compile"}
     for name, scenario in report["scenarios"].items():
         assert scenario["agree"] is True, name
+        # the per-scenario deadline guard must not have tripped
+        assert "budget_exceeded" not in scenario, name
         # sub-0.1ms batched passes legitimately round to 0.0
         assert scenario["optimized_s"] >= 0
     for name in ("sharp_sat", "dnnf_compile", "repeated_wmc",
@@ -127,6 +130,16 @@ def test_run_all_quick_smoke(tmp_path):
     assert warm["speedup"] >= 5, warm
     assert warm["cache_hit_rate"] > 0
     assert warm["counters"]["optimized"]["artifact_cache_hits"] == 1
+    anytime = report["scenarios"]["anytime_bounds"]
+    # intervals must tighten monotonically as the node budget grows,
+    # ending exact at the largest budget of the quick instance
+    widths = [point["width_fraction"] for point in anytime["curve"]]
+    assert widths == sorted(widths, reverse=True), widths
+    assert anytime["curve"][-1]["exact"] is True, anytime["curve"]
+    restart = report["scenarios"]["restart_compile"]
+    # the first attempt is budgeted to fail; a later one must win
+    assert restart["attempts"][0]["outcome"].startswith("budget:")
+    assert restart["winner"] is not None, restart["attempts"]
 
 
 @pytest.mark.tier2_bench
