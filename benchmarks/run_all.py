@@ -35,7 +35,11 @@ its legacy configuration:
 * ``restart_compile`` — the budgeted restart driver vs a single-shot
   compile: the first attempt's budget is sized to fail, and the driver
   must recover by diversifying variable orders with exponential
-  backoff.
+  backoff;
+* ``verify_overhead`` — serve-time certification
+  (:mod:`repro.analyze` via the artifact store): warm loads served
+  against the memoized ``.cert`` sidecar vs loads forced to re-run
+  the property verifiers, plus the one-off certification cost.
 
 Every scenario runs under a per-scenario wall-clock budget
 (``--scenario-timeout``, ambient :class:`repro.limits.Budget` scope):
@@ -495,6 +499,67 @@ def scenario_restart_compile(quick: bool):
     }
 
 
+def scenario_verify_overhead(quick: bool):
+    """Serve-time certification cost (:mod:`repro.analyze`): warm
+    artifact loads answered against the memoized ``.cert`` sidecar
+    (digest check + parse) vs the same loads forced to re-run the
+    property verifiers, plus the one-off cost of certifying the
+    compiled circuit from scratch."""
+    import shutil
+    import tempfile
+    from repro.analyze import certify
+    from repro.ir import (FLAG_DECOMPOSABLE, FLAG_DETERMINISTIC,
+                          ir_kernel, nnf_to_ir)
+    from repro.ir.store import ArtifactStore
+    n, m, seed = (60, 240, 13) if quick else (80, 320, 13)
+    reps = 20
+    cnf = random_3cnf(n, m, seed)
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cert-")
+    try:
+        root = DnnfCompiler(store=None).compile(cnf)
+        claimed = FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC
+        ir = nnf_to_ir(root, flags=claimed)
+        cert_start = time.perf_counter()
+        cert = certify(ir, flags=claimed)
+        certify_s = time.perf_counter() - cert_start
+        covered = cert.verified_mask & claimed == claimed
+        key = "verify-overhead"
+        store = ArtifactStore(cache_dir)
+        store.save_nnf(key, ir)
+        # cert-hit loads: digest check + parse, no verification
+        warm = ArtifactStore(cache_dir)
+        start = time.perf_counter()
+        for _ in range(reps):
+            hit = warm.load_nnf(key, flags=claimed)
+        mid = time.perf_counter()
+        # re-verify loads: drop the sidecar so every load re-certifies
+        cold = ArtifactStore(cache_dir)
+        cold_s = 0.0
+        for _ in range(reps):
+            cold.path_for(key, "cert").unlink()
+            tick = time.perf_counter()
+            reverified = cold.load_nnf(key, flags=claimed)
+            cold_s += time.perf_counter() - tick
+        warm_s = mid - start
+        return {
+            "instance": {"n": n, "m": m, "seed": seed, "reps": reps,
+                         "circuit_nodes": ir.n},
+            "optimized_s": round(warm_s, 4),
+            "legacy_s": round(cold_s, 4),
+            "speedup": round(cold_s / max(warm_s, 1e-9), 3),
+            "agree": covered and hit is not None
+            and reverified is not None
+            and ir_kernel(hit).model_count()
+            == ir_kernel(ir).model_count(),
+            "certify_s": round(certify_s, 4),
+            "certificate": cert.summary(),
+            "counters": {"optimized": warm.stats.as_dict(),
+                         "legacy": cold.stats.as_dict()},
+        }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
 SCENARIOS = {
     "sharp_sat": scenario_sharp_sat,
     "dnnf_compile": scenario_dnnf_compile,
@@ -506,6 +571,7 @@ SCENARIOS = {
     "warm_compile": scenario_warm_compile,
     "anytime_bounds": scenario_anytime_bounds,
     "restart_compile": scenario_restart_compile,
+    "verify_overhead": scenario_verify_overhead,
 }
 
 

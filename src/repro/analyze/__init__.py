@@ -1,0 +1,40 @@
+"""Static analysis over :class:`~repro.ir.core.CircuitIR`: property
+verifiers with counterexample witnesses, memoized certificates, and
+the query gate that checks certified — not declared — properties.
+
+* :mod:`repro.analyze.verify` — per-property verifiers returning
+  :class:`~.verify.PropertyReport` (VERIFIED / FALSIFIED / UNKNOWN)
+  with a minimal :class:`~.verify.Witness` on failure;
+* :mod:`repro.analyze.certify` — :class:`~.certify.Certificate`
+  memoization (per kernel, and as ``.cert`` files in the artifact
+  store);
+* :mod:`repro.analyze.gate` — query requirements, ``trust`` /
+  ``strict`` / ``repair`` modes, :class:`~.gate.PropertyViolation`;
+* :mod:`repro.analyze.repair` — the smoothing auto-fix;
+* :mod:`repro.analyze.obdd_check` — OBDD discipline on live node DAGs.
+"""
+
+from .certify import (CERT_SCHEMA, Certificate, certificate_for, certify,
+                      certify_nnf)
+from .gate import (GATE_ENV, GATE_MODES, REQUIREMENTS, PropertyViolation,
+                   check_kernel, gate_mode, gate_scope, set_gate_mode)
+from .obdd_check import verify_obdd
+from .repair import smooth_ir
+from .verify import (DEFAULT_MAX_VARS, FALSIFIED, PROPERTY_FLAGS, UNKNOWN,
+                     VERIFIED, PropertyReport, Witness, evaluate_node,
+                     implied_literals, verify_decomposable,
+                     verify_deterministic, verify_obdd_ir, verify_smooth,
+                     verify_structured, verify_wellformed)
+
+__all__ = [
+    "CERT_SCHEMA", "Certificate", "certificate_for", "certify",
+    "certify_nnf",
+    "GATE_ENV", "GATE_MODES", "REQUIREMENTS", "PropertyViolation",
+    "check_kernel", "gate_mode", "gate_scope", "set_gate_mode",
+    "verify_obdd", "smooth_ir",
+    "DEFAULT_MAX_VARS", "FALSIFIED", "PROPERTY_FLAGS", "UNKNOWN",
+    "VERIFIED", "PropertyReport", "Witness", "evaluate_node",
+    "implied_literals", "verify_decomposable", "verify_deterministic",
+    "verify_obdd_ir", "verify_smooth", "verify_structured",
+    "verify_wellformed",
+]

@@ -1,0 +1,77 @@
+"""OBDD discipline checks on the pointer-based ObddNode DAG.
+
+:func:`repro.analyze.verify.verify_obdd_ir` checks the *serialized*
+(IR) form; this module checks live manager-built diagrams, where the
+manager's variable order is authoritative.  A healthy
+:class:`~repro.obdd.manager.ObddManager` cannot produce violations
+(``make`` enforces order, reduction and uniqueness), so this is the
+verifier the fault-injection tests point at hand-assembled nodes —
+and a guard against future manager bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from .verify import FALSIFIED, VERIFIED, PropertyReport, Witness
+
+__all__ = ["verify_obdd"]
+
+
+def _falsified(node: int, message: str,
+               detail: Tuple[Tuple[str, object], ...]) -> PropertyReport:
+    return PropertyReport("obdd", FALSIFIED, "structural",
+                          Witness("obdd", node, message, detail))
+
+
+def verify_obdd(root: Any) -> PropertyReport:
+    """Order, reducedness and uniqueness of the DAG under ``root``.
+
+    * order: every edge goes to a terminal or a strictly later
+      variable in the manager's order;
+    * reducedness: no node with ``low is high``;
+    * uniqueness: no two nodes share ``(var, low, high)``.
+
+    Witnesses name the offending node by its manager id.
+    """
+    manager = root.manager
+    level = manager._level
+    seen: set = set()
+    stack = [root]
+    nodes: List[object] = []
+    while stack:
+        node = stack.pop()
+        if node.id in seen:
+            continue
+        seen.add(node.id)
+        nodes.append(node)
+        if not node.is_terminal:
+            stack.extend((node.low, node.high))
+
+    triples: Dict[Tuple[int, int, int], int] = {}
+    for node in sorted(nodes, key=lambda n: n.id):
+        if node.is_terminal:
+            continue
+        if node.var not in level:
+            return _falsified(
+                node.id, "decision variable unknown to the manager",
+                (("var", node.var),))
+        for child in (node.low, node.high):
+            if not child.is_terminal and \
+                    level[node.var] >= level[child.var]:
+                return _falsified(
+                    node.id, "edge violates the variable order",
+                    (("var", node.var), ("child", child.id),
+                     ("child_var", child.var)))
+        if node.low is node.high:
+            return _falsified(
+                node.id, "redundant node: low and high are identical "
+                         "(unreduced OBDD)",
+                (("var", node.var), ("child", node.low.id)))
+        triple = (level[node.var], node.low.id, node.high.id)
+        if triple in triples:
+            return _falsified(
+                node.id, "duplicate node (unique-table violation)",
+                (("var", node.var), ("twin", triples[triple])))
+        triples[triple] = node.id
+    return PropertyReport("obdd", VERIFIED, "structural")

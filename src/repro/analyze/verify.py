@@ -1,0 +1,575 @@
+"""Independent verifiers for the tractability properties.
+
+Every query the paper makes tractable (Figs 9-13, 25-28) is only
+*correct* when the circuit actually holds the properties the query
+requires: decomposability and smoothness for model counting,
+determinism for MPE, vtree respect for structured operations.  The
+lowering code computes those flags once and the kernels trust them
+forever — so a buggy transform, a hand-built circuit or a foreign
+``.nnf`` file can silently yield wrong counts.
+
+The verifiers here re-derive each property from the flattened
+:class:`~repro.ir.core.CircuitIR` arrays, independently of the flag
+header, and return a :class:`PropertyReport` instead of a bare
+boolean: on failure it carries a minimal counterexample
+:class:`Witness` — the first offending node in topological order plus
+the conflicting variable sets, or a pair of children with a concrete
+overlapping model.
+
+Determinism is the one property that is co-NP-hard in general, so
+:func:`verify_deterministic` is a tri-state check: a linear-time
+*mutual-exclusivity certificate* pass (per-node implied-literal sets;
+two children are provably exclusive when one implies ``v`` and the
+other ``-v``) settles most gates, a bounded brute-force search over
+the children's joint variables settles the rest, and gates beyond the
+``max_vars`` budget come back ``UNKNOWN`` rather than guessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..ir.core import (
+    FLAG_DECOMPOSABLE,
+    FLAG_DETERMINISTIC,
+    FLAG_SMOOTH,
+    FLAG_STRUCTURED,
+    KIND_AND,
+    KIND_FALSE,
+    KIND_LIT,
+    KIND_OR,
+    KIND_PARAM,
+    KIND_TRUE,
+    CircuitIR,
+)
+
+__all__ = [
+    "VERIFIED", "FALSIFIED", "UNKNOWN", "DEFAULT_MAX_VARS",
+    "Witness", "PropertyReport", "implied_literals", "evaluate_node",
+    "verify_wellformed", "verify_decomposable", "verify_smooth",
+    "verify_deterministic", "verify_structured", "verify_obdd_ir",
+]
+
+#: verification statuses — ``UNKNOWN`` means "could not certify within
+#: budget", which the gate treats as a violation in strict mode
+VERIFIED = "verified"
+FALSIFIED = "falsified"
+UNKNOWN = "unknown"
+
+#: default per-gate brute-force budget for determinism: a child pair
+#: whose joint variable set exceeds this is reported UNKNOWN unless
+#: the certificate pass already settled it
+DEFAULT_MAX_VARS = 16
+
+_VALID_KINDS = frozenset(
+    (KIND_LIT, KIND_TRUE, KIND_FALSE, KIND_AND, KIND_OR, KIND_PARAM))
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A minimal counterexample for a falsified (or undecided) property.
+
+    ``node`` is the first offending node in topological order;
+    ``detail`` holds property-specific evidence (conflicting variable
+    sets, the overlapping child pair and model, the order-violating
+    edge).  :meth:`format` renders the one-line ``c witness`` form the
+    CLI prints.
+    """
+
+    prop: str
+    node: int
+    message: str
+    detail: Tuple[Tuple[str, object], ...] = ()
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"prop": self.prop, "node": self.node,
+                                  "message": self.message}
+        out.update(dict(self.detail))
+        return out
+
+    def format(self) -> str:
+        parts = [self.prop, f"node={self.node}"]
+        for name, value in self.detail:
+            if isinstance(value, (tuple, list, frozenset, set)):
+                rendered = ",".join(str(v) for v in sorted(value)) or "-"
+            else:
+                rendered = str(value)
+            parts.append(f"{name}={rendered}")
+        parts.append(self.message)
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """The outcome of one verifier run: a status, the method that
+    settled it, and (unless verified) a witness."""
+
+    prop: str
+    status: str
+    method: str
+    witness: Optional[Witness] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == VERIFIED
+
+
+def _verified(prop: str, method: str) -> PropertyReport:
+    return PropertyReport(prop, VERIFIED, method)
+
+
+def _falsified(prop: str, method: str, witness: Witness) -> PropertyReport:
+    return PropertyReport(prop, FALSIFIED, method, witness)
+
+
+# -- semantic helpers --------------------------------------------------------
+
+def implied_literals(ir: CircuitIR) -> List[Optional[FrozenSet[int]]]:
+    """Per-node implied-literal sets: literals true in *every* model.
+
+    ``None`` marks a node certified unsatisfiable.  Literal nodes
+    imply themselves; an and-gate implies the union of its children's
+    sets (a ``v``/``-v`` clash proves it unsatisfiable); an or-gate
+    implies what all its satisfiable children agree on.  This is the
+    linear-time certificate behind the determinism check: children
+    ``a, b`` of an or-gate are provably mutually exclusive when some
+    ``v`` is implied by ``a`` and ``-v`` by ``b`` (or either is
+    unsatisfiable).
+    """
+    out: List[Optional[FrozenSet[int]]] = [frozenset()] * ir.n
+    for i in range(ir.n):
+        kind = ir.kinds[i]
+        if kind == KIND_LIT:
+            out[i] = frozenset((ir.lits[i],))
+        elif kind == KIND_FALSE:
+            out[i] = None
+        elif kind == KIND_AND:
+            merged: set = set()
+            dead = False
+            for c in ir.children(i):
+                child = out[c]
+                if child is None:
+                    dead = True
+                    break
+                merged |= child
+            if dead or any(-lit in merged for lit in merged):
+                out[i] = None
+            else:
+                out[i] = frozenset(merged)
+        elif kind == KIND_OR:
+            live = [out[c] for c in ir.children(i) if out[c] is not None]
+            if not live:
+                out[i] = None
+            else:
+                common = frozenset.intersection(*live)
+                out[i] = common
+        # TRUE / PARAM imply nothing: frozenset()
+    return out
+
+
+def _sub_nodes(ir: CircuitIR, root: int) -> List[int]:
+    """Node indices reachable from ``root``, ascending (evaluation
+    order for the sub-circuit)."""
+    seen = {root}
+    stack = [root]
+    while stack:
+        i = stack.pop()
+        for c in ir.children(i):
+            if c not in seen:
+                seen.add(c)
+                stack.append(c)
+    return sorted(seen)
+
+
+def evaluate_node(ir: CircuitIR, node: int,
+                  assignment: Dict[int, bool]) -> bool:
+    """Evaluate the sub-circuit under ``node`` on a total assignment
+    of its variables.  Parameter leaves count as true (they scale
+    weights, they do not constrain models)."""
+    values: Dict[int, bool] = {}
+    for i in _sub_nodes(ir, node):
+        kind = ir.kinds[i]
+        if kind == KIND_LIT:
+            lit = ir.lits[i]
+            values[i] = assignment[abs(lit)] == (lit > 0)
+        elif kind == KIND_FALSE:
+            values[i] = False
+        elif kind == KIND_AND:
+            values[i] = all(values[c] for c in ir.children(i))
+        elif kind == KIND_OR:
+            values[i] = any(values[c] for c in ir.children(i))
+        else:  # TRUE, PARAM
+            values[i] = True
+    return values[node]
+
+
+def _overlapping_model(ir: CircuitIR, a: int, b: int,
+                       variables: Sequence[int]) -> Optional[Tuple[int, ...]]:
+    """A joint model of sub-circuits ``a`` and ``b`` as a sorted
+    literal tuple, or None when they are mutually exclusive."""
+    ordered = sorted(variables)
+    for bits in product((False, True), repeat=len(ordered)):
+        assignment = dict(zip(ordered, bits))
+        if evaluate_node(ir, a, assignment) and \
+                evaluate_node(ir, b, assignment):
+            return tuple(v if assignment[v] else -v for v in ordered)
+    return None
+
+
+# -- structural verifiers ----------------------------------------------------
+
+def verify_wellformed(ir: CircuitIR) -> PropertyReport:
+    """CSR / topological-order / kind well-formedness.
+
+    Checks the invariants every other verifier (and the kernels)
+    assume: monotone offsets covering ``child_ids`` exactly, children
+    strictly before parents, known kind codes, non-zero literals,
+    in-range parameter indices, childless leaves and non-empty gates.
+    """
+    prop = "wellformed"
+
+    def bad(node: int, message: str, **detail: object) -> PropertyReport:
+        return _falsified(prop, "structural",
+                          Witness(prop, node, message,
+                                  tuple(sorted(detail.items()))))
+
+    if ir.n == 0:
+        return bad(-1, "empty circuit (no root node)")
+    if ir.offsets[0] != 0 or ir.offsets[-1] != len(ir.child_ids):
+        return bad(-1, "CSR offsets do not cover child_ids",
+                   first=ir.offsets[0], last=ir.offsets[-1],
+                   edges=len(ir.child_ids))
+    for i in range(ir.n):
+        kind = ir.kinds[i]
+        if kind not in _VALID_KINDS:
+            return bad(i, f"unknown kind code {kind}")
+        if ir.offsets[i] > ir.offsets[i + 1]:
+            return bad(i, "CSR offsets decrease")
+        kids = ir.children(i)
+        if kind in (KIND_AND, KIND_OR):
+            if not kids:
+                return bad(i, "gate with no children")
+            for c in kids:
+                if not 0 <= c < i:
+                    return bad(i, "child does not precede parent "
+                                  "(topological-order violation)",
+                               child=c)
+        else:
+            if kids:
+                return bad(i, "leaf node with children")
+            if kind == KIND_LIT and ir.lits[i] == 0:
+                return bad(i, "literal node with literal 0")
+            if kind == KIND_PARAM and \
+                    not 0 <= ir.lits[i] < max(ir.num_params, 1):
+                return bad(i, "parameter index out of range",
+                           index=ir.lits[i], num_params=ir.num_params)
+    return _verified(prop, "structural")
+
+
+def verify_decomposable(ir: CircuitIR) -> PropertyReport:
+    """Decomposability: children of every and-gate mention disjoint
+    variables.  Witness: the first offending and-gate, a conflicting
+    child pair and the variables they share."""
+    prop = "decomposable"
+    varsets = ir.varsets()
+    for i in range(ir.n):
+        if ir.kinds[i] != KIND_AND:
+            continue
+        kids = ir.children(i)
+        seen: set = set()
+        for c in kids:
+            overlap = seen & varsets[c]
+            if overlap:
+                first = next(k for k in kids
+                             if varsets[k] & varsets[c] and k != c)
+                witness = Witness(
+                    prop, i,
+                    "and-gate children share variables",
+                    (("children", (first, c)),
+                     ("shared_vars", frozenset(overlap))))
+                return _falsified(prop, "structural", witness)
+            seen |= varsets[c]
+    return _verified(prop, "structural")
+
+
+def verify_smooth(ir: CircuitIR) -> PropertyReport:
+    """Smoothness: children of every or-gate mention the same
+    variables.  Witness: the first offending or-gate, the deficient
+    child and the variables it misses."""
+    prop = "smooth"
+    varsets = ir.varsets()
+    for i in range(ir.n):
+        if ir.kinds[i] != KIND_OR:
+            continue
+        kids = ir.children(i)
+        gate_vars = varsets[i]
+        for c in kids:
+            missing = gate_vars - varsets[c]
+            if missing:
+                witness = Witness(
+                    prop, i,
+                    "or-gate child misses variables of a sibling",
+                    (("child", c),
+                     ("missing_vars", frozenset(missing))))
+                return _falsified(prop, "structural", witness)
+    return _verified(prop, "structural")
+
+
+def verify_deterministic(ir: CircuitIR,
+                         max_vars: int = DEFAULT_MAX_VARS) -> PropertyReport:
+    """Determinism: children of every or-gate are pairwise mutually
+    exclusive.  Certificate pass first, bounded brute force second;
+    witness on failure: the or-gate, the overlapping child pair and a
+    concrete joint model (as a literal tuple)."""
+    prop = "deterministic"
+    varsets = ir.varsets()
+    implied = implied_literals(ir)
+    brute_used = False
+    unknown: Optional[Witness] = None
+    for i in range(ir.n):
+        if ir.kinds[i] != KIND_OR:
+            continue
+        kids = ir.children(i)
+        for j in range(len(kids)):
+            a = kids[j]
+            ia = implied[a]
+            if ia is None:
+                continue  # unsatisfiable child: exclusive with anything
+            for k in range(j + 1, len(kids)):
+                b = kids[k]
+                ib = implied[b]
+                if ib is None:
+                    continue
+                if any(-lit in ib for lit in ia):
+                    continue  # certified exclusive
+                joint = varsets[a] | varsets[b]
+                if len(joint) > max_vars:
+                    if unknown is None:
+                        unknown = Witness(
+                            prop, i,
+                            f"could not certify exclusivity within "
+                            f"max_vars={max_vars}",
+                            (("children", (a, b)),
+                             ("joint_vars", len(joint))))
+                    continue
+                brute_used = True
+                model = _overlapping_model(ir, a, b, sorted(joint))
+                if model is not None:
+                    witness = Witness(
+                        prop, i,
+                        "or-gate children share a model",
+                        (("children", (a, b)),
+                         ("model", model)))
+                    return _falsified(prop, "exhaustive", witness)
+    if unknown is not None:
+        return PropertyReport(prop, UNKNOWN, "certificate", unknown)
+    return _verified(prop, "exhaustive" if brute_used else "certificate")
+
+
+def verify_structured(ir: CircuitIR, vtree: Any) -> PropertyReport:
+    """Structured decomposability: every and-gate is (at most) binary
+    over its non-parameter children and splits its variables the way
+    some vtree node does (primes left, subs right, in either order).
+    Witness: the gate and the child variable sets no vtree node
+    explains."""
+    prop = "structured"
+    varsets = ir.varsets()
+    internal = [v for v in vtree.nodes() if not v.is_leaf()]
+    for i in range(ir.n):
+        if ir.kinds[i] != KIND_AND:
+            continue
+        kids = [c for c in ir.children(i)
+                if ir.kinds[c] != KIND_PARAM]
+        material = [c for c in kids if varsets[c]]
+        if len(material) <= 1:
+            continue
+        if len(material) > 2:
+            witness = Witness(
+                prop, i,
+                "and-gate is not binary over variable-bearing children",
+                (("children", tuple(material)),))
+            return _falsified(prop, "structural", witness)
+        left_vars, right_vars = (varsets[c] for c in material)
+        if not any(
+                (left_vars <= v.left.variables and
+                 right_vars <= v.right.variables) or
+                (left_vars <= v.right.variables and
+                 right_vars <= v.left.variables)
+                for v in internal):
+            witness = Witness(
+                prop, i,
+                "no vtree node splits this and-gate's variables",
+                (("children", tuple(material)),
+                 ("left_vars", left_vars),
+                 ("right_vars", right_vars)))
+            return _falsified(prop, "structural", witness)
+    return _verified(prop, "structural")
+
+
+# -- OBDD shape, order and reducedness (over the IR form) -------------------
+
+def _decision_split(ir: CircuitIR, gate: int
+                    ) -> Optional[Dict[int, Tuple[int, ...]]]:
+    """Parse a binary or-gate as a decision on some variable ``v``:
+    one child entailing ``-v`` (low) and one entailing ``v`` (high).
+    Returns ``{v: arm_nodes}`` keyed by the *signed* guard literal, or
+    None when the gate is not decision-shaped."""
+    kids = ir.children(gate)
+    if len(kids) != 2:
+        return None
+
+    def guards(node: int) -> Dict[int, Tuple[int, ...]]:
+        """Candidate guard literal -> remaining arm nodes."""
+        if ir.kinds[node] == KIND_LIT:
+            return {ir.lits[node]: ()}
+        if ir.kinds[node] != KIND_AND:
+            return {}
+        out: Dict[int, Tuple[int, ...]] = {}
+        kids_n = ir.children(node)
+        for c in kids_n:
+            if ir.kinds[c] == KIND_LIT:
+                rest = tuple(k for k in kids_n if k != c)
+                out[ir.lits[c]] = rest
+        return out
+
+    left, right = (guards(c) for c in kids)
+    for lit, arm in left.items():
+        if -lit in right:
+            low_lit = min(lit, -lit)
+            return {low_lit: arm if lit == low_lit else right[-lit],
+                    -low_lit: right[-lit] if lit == low_lit else arm}
+    return None
+
+
+def verify_obdd_ir(ir: CircuitIR,
+                   order: Optional[Sequence[int]] = None) -> PropertyReport:
+    """OBDD discipline over an IR: every or-gate is a decision gate,
+    decision variables strictly increase along every root-to-leaf
+    path (against ``order`` when given, else against a consistent
+    total order inferred from the circuit itself), no decision is
+    redundant (identical arms) and no two decisions on the same
+    variable share identical arms (unique-table duplicate)."""
+    prop = "obdd"
+    decisions: Dict[int, Tuple[int, Tuple[Tuple[int, ...],
+                                          Tuple[int, ...]]]] = {}
+    for i in range(ir.n):
+        if ir.kinds[i] != KIND_OR:
+            continue
+        split = _decision_split(ir, i)
+        if split is None:
+            witness = Witness(prop, i,
+                              "or-gate is not a decision gate "
+                              "((-v and low) or (v and high))")
+            return _falsified(prop, "structural", witness)
+        low_lit = min(split)
+        var = -low_lit
+        low_arm, high_arm = split[low_lit], split[-low_lit]
+        if low_arm == high_arm:
+            witness = Witness(
+                prop, i,
+                "redundant decision: both arms are identical "
+                "(unreduced OBDD)",
+                (("var", var), ("arm", low_arm)))
+            return _falsified(prop, "structural", witness)
+        decisions[i] = (var, (low_arm, high_arm))
+
+    seen: Dict[Tuple[int, Tuple[Tuple[int, ...], Tuple[int, ...]]],
+               int] = {}
+    for i, entry in decisions.items():
+        if entry in seen:
+            witness = Witness(
+                prop, i,
+                "duplicate decision node (unique-table violation)",
+                (("var", entry[0]), ("twin", seen[entry])))
+            return _falsified(prop, "structural", witness)
+        seen[entry] = i
+
+    # order discipline: each decision's variable must come strictly
+    # before every decision variable reachable below it
+    position: Optional[Dict[int, int]] = None
+    if order is not None:
+        position = {v: p for p, v in enumerate(order)}
+        for i, (var, _) in decisions.items():
+            if var not in position:
+                witness = Witness(
+                    prop, i, "decision variable not in the given order",
+                    (("var", var),))
+                return _falsified(prop, "structural", witness)
+
+    # below[i] = decision vars strictly below node i
+    below: List[FrozenSet[int]] = [frozenset()] * ir.n
+    constraints: List[Tuple[int, int, int]] = []  # (gate, var, deeper var)
+    for i in range(ir.n):
+        kids = ir.children(i)
+        acc: set = set()
+        for c in kids:
+            acc |= below[c]
+            if c in decisions:
+                acc.add(decisions[c][0])
+        below[i] = frozenset(acc)
+        if i in decisions:
+            var = decisions[i][0]
+            for deeper in acc:
+                if position is not None:
+                    if position[var] >= position[deeper]:
+                        witness = Witness(
+                            prop, i,
+                            "decision order violated on a path",
+                            (("var", var), ("deeper_var", deeper),
+                             ("order", tuple(order or ()))))
+                        return _falsified(prop, "structural", witness)
+                else:
+                    if deeper == var:
+                        witness = Witness(
+                            prop, i,
+                            "variable decided twice on one path",
+                            (("var", var),))
+                        return _falsified(prop, "structural", witness)
+                    constraints.append((i, var, deeper))
+
+    if position is None and constraints:
+        # no explicit order: the above/below relation must be acyclic
+        above: Dict[int, set] = {}
+        gate_of: Dict[Tuple[int, int], int] = {}
+        for gate, var, deeper in constraints:
+            above.setdefault(var, set()).add(deeper)
+            gate_of.setdefault((var, deeper), gate)
+        state: Dict[int, int] = {}  # 1 = on stack, 2 = done
+
+        def cycle_from(v: int) -> Optional[Tuple[int, int]]:
+            state[v] = 1
+            for w in above.get(v, ()):
+                mark = state.get(w)
+                if mark == 1:
+                    return (v, w)
+                if mark is None:
+                    found = cycle_from(w)
+                    if found is not None:
+                        return found
+            state[v] = 2
+            return None
+
+        for v in list(above):
+            if state.get(v) is None:
+                edge = cycle_from(v)
+                if edge is not None:
+                    gate = gate_of[edge]
+                    witness = Witness(
+                        prop, gate,
+                        "no total order is consistent with the "
+                        "decision structure",
+                        (("var", edge[0]), ("deeper_var", edge[1])))
+                    return _falsified(prop, "structural", witness)
+
+    return _verified(prop, "structural")
+
+
+#: property name -> flag bit, in canonical report order
+PROPERTY_FLAGS: Dict[str, int] = {
+    "decomposable": FLAG_DECOMPOSABLE,
+    "deterministic": FLAG_DETERMINISTIC,
+    "smooth": FLAG_SMOOTH,
+    "structured": FLAG_STRUCTURED,
+}

@@ -12,7 +12,16 @@ Mirrors the classic knowledge-compiler workflow (C2D/DSHARP-style):
   (store-backed) and answer a query in one call;
 * ``sdd FILE.cnf [--vtree balanced|right-linear|left-linear]`` —
   compile to an SDD and report size statistics;
-* ``enumerate FILE.cnf [--limit N]`` — print models.
+* ``enumerate FILE.cnf [--limit N]`` — print models;
+* ``check FILE.nnf|FILE.sdd [--expect PROPS]`` — statically verify the
+  tractability properties of a circuit file (exit code 4 plus
+  ``c witness`` diagnostics naming the offending node on violation).
+
+``query --gate strict|repair|trust`` selects the property gate mode
+(default ``$REPRO_GATE`` or ``trust``): ``strict`` refuses queries
+whose required properties are not certified (exit code 4 with the
+witness), ``repair`` auto-smooths when smoothness is the only
+shortfall (see ``docs/static-analysis.md``).
 
 ``compile`` and ``query`` take resource budgets: ``--timeout SECONDS``
 and ``--max-nodes N`` bound the run (exit code 3 with the partial
@@ -29,6 +38,7 @@ import argparse
 import sys
 from typing import Dict, Optional, Sequence
 
+from .analyze.gate import PropertyViolation
 from .compile.dnnf_compiler import DnnfCompiler
 from .limits.budget import Budget, BudgetExceeded
 from .logic.cnf import Cnf
@@ -44,6 +54,10 @@ __all__ = ["main"]
 
 #: exit code for a budget-bounded run that ran out of budget
 EXIT_BUDGET = 3
+
+#: exit code for a property violation (``check`` failure, or a gated
+#: query refused in strict/repair mode)
+EXIT_VIOLATION = 4
 
 
 def _load(path: str) -> Cnf:
@@ -210,6 +224,14 @@ def _parse_weights(specs, num_vars: int) -> Dict[int, float]:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if getattr(args, "gate", None):
+        from .analyze.gate import gate_scope
+        with gate_scope(args.gate):
+            return _run_query(args)
+    return _run_query(args)
+
+
+def _run_query(args: argparse.Namespace) -> int:
     from .nnf import queries
     cnf = _load(args.file)
     store = _store(args)
@@ -301,6 +323,77 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: default --expect per circuit format
+_CHECK_DEFAULTS = {"nnf": "decomposable,deterministic,smooth",
+                   "sdd": "decomposable,deterministic,structured",
+                   "obdd": "obdd"}
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Statically verify a circuit file's tractability properties."""
+    from .analyze import (PROPERTY_FLAGS, VERIFIED, certify,
+                          verify_obdd_ir)
+    fmt = args.format
+    if fmt == "auto":
+        fmt = "sdd" if args.file.endswith(".sdd") else "nnf"
+    vtree = None
+    if fmt == "sdd":
+        from .ir.lower import sdd_to_ir
+        from .ir.serialize import read_sdd_file
+        vtree_path = args.vtree_file
+        if vtree_path is None:
+            base = args.file[:-4] if args.file.endswith(".sdd") \
+                else args.file
+            vtree_path = base + ".vtree"
+        with open(args.file) as handle:
+            sdd_text = handle.read()
+        with open(vtree_path) as handle:
+            vtree_text = handle.read()
+        root, manager = read_sdd_file(sdd_text, vtree_text)
+        ir = sdd_to_ir(root)
+        vtree = manager.vtree
+    else:
+        from .ir.serialize import ir_from_nnf_text
+        with open(args.file) as handle:
+            ir = ir_from_nnf_text(handle.read(), flags=0)
+    expected = [name.strip() for name in
+                (args.expect or _CHECK_DEFAULTS[fmt]).split(",")
+                if name.strip()]
+    known = set(PROPERTY_FLAGS) | {"obdd", "wellformed"}
+    for name in expected:
+        if name not in known:
+            raise ValueError(f"unknown property {name!r}; expected "
+                             f"one of {sorted(known)}")
+    order = None
+    if args.var_order:
+        order = [int(v) for v in args.var_order.split(",")]
+
+    flag_mask = 0
+    for name in expected:
+        flag_mask |= PROPERTY_FLAGS.get(name, 0)
+    cert = certify(ir, flags=flag_mask, vtree=vtree,
+                   max_vars=args.max_vars)
+    reports = dict(cert.reports)
+    if "obdd" in expected:
+        reports["obdd"] = verify_obdd_ir(ir, order=order)
+
+    failed = []
+    for name in dict.fromkeys(["wellformed"] + expected):
+        report = reports.get(name)
+        if report is None:
+            continue
+        print(f"c check {name} {report.status} {report.method}")
+        if report.witness is not None:
+            print(f"c witness {report.witness.format()}")
+        if report.status != VERIFIED:
+            failed.append(name)
+    if failed:
+        print(f"s VIOLATION {' '.join(failed)}")
+        return EXIT_VIOLATION
+    print("s CERTIFIED " + " ".join(expected))
+    return 0
+
+
 def _add_budget_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--timeout", type=float, metavar="SECONDS",
@@ -380,6 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--anytime", action="store_true",
         help="for count/wmc: return certified lower/upper bounds when "
              "the budget expires instead of failing")
+    query.add_argument(
+        "--gate", choices=["trust", "strict", "repair"],
+        help="property-gate mode (default $REPRO_GATE or trust): "
+             "strict refuses uncertified circuits with exit code 4, "
+             "repair auto-smooths when possible")
     query.set_defaults(func=_cmd_query)
 
     sdd = commands.add_parser("sdd", help="compile to an SDD")
@@ -395,6 +493,28 @@ def build_parser() -> argparse.ArgumentParser:
     enumerate_cmd.add_argument("file")
     enumerate_cmd.add_argument("--limit", type=int, default=0)
     enumerate_cmd.set_defaults(func=_cmd_enumerate)
+
+    check = commands.add_parser(
+        "check", help="statically verify a circuit file's properties "
+                      "(exit 4 + c witness lines on violation)")
+    check.add_argument("file", help="circuit file (.nnf, or .sdd with "
+                                    "a sibling/--vtree-file .vtree)")
+    check.add_argument("--format", default="auto",
+                       choices=["auto", "nnf", "sdd", "obdd"],
+                       help="circuit format (auto: by extension; obdd "
+                            "checks OBDD discipline on a .nnf file)")
+    check.add_argument("--expect", metavar="PROPS",
+                       help="comma-separated properties to require "
+                            f"(defaults per format: {_CHECK_DEFAULTS})")
+    check.add_argument("--vtree-file", metavar="FILE",
+                       help="vtree file for --format sdd (default: "
+                            "the .sdd path with extension .vtree)")
+    check.add_argument("--var-order", metavar="V1,V2,...",
+                       help="explicit variable order for --format obdd")
+    check.add_argument("--max-vars", type=int, default=16, metavar="N",
+                       help="per-gate brute-force budget for the "
+                            "determinism check (default 16)")
+    check.set_defaults(func=_cmd_check)
     return parser
 
 
@@ -415,3 +535,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"c partial {key} {error.partial[key]}",
                   file=sys.stderr)
         return EXIT_BUDGET
+    except PropertyViolation as error:
+        print(f"error: {error}", file=sys.stderr)
+        for witness in error.witnesses:
+            print(f"c witness {witness.format()}", file=sys.stderr)
+        return EXIT_VIOLATION

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-from ..compat import default_propagator
 from ..limits.budget import Budget, BudgetExceeded, resolve_budget
 from ..logic.cnf import Cnf
 from ..nnf.node import NnfManager, NnfNode
@@ -96,6 +95,7 @@ class DnnfCompiler:
                  propagator: str | None = None, store=None,
                  budget: Optional[Budget] = None):
         if propagator is None:
+            from ..compat import default_propagator
             propagator = default_propagator()
         if cache_mode not in ("hash", "exact"):
             raise ValueError(f"unknown cache_mode {cache_mode!r}")
@@ -153,8 +153,13 @@ class DnnfCompiler:
             error.partial.setdefault("cache_entries", len(self.cache))
             raise
         if key is not None:
+            from ..ir.core import FLAG_DECOMPOSABLE, FLAG_DETERMINISTIC
             from ..ir.lower import nnf_to_ir
-            self.store.save_nnf(key, nnf_to_ir(root))
+            # Decision-DNNF is decomposable and deterministic by
+            # construction; assert it so the artifact certificate
+            # covers exactly the flags the warm-load path claims
+            self.store.save_nnf(key, nnf_to_ir(
+                root, flags=FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC))
         return root
 
     def _artifact_key(self, cnf: Cnf) -> str:

@@ -16,7 +16,6 @@ from typing import Dict, List, Mapping, Sequence, \
 
 from ..psdd.psdd import PsddNode
 from ..psdd.learn import learn_parameters
-from ..psdd.queries import marginal as psdd_marginal
 from ..psdd.sample import sample as psdd_sample
 from .conditional import ConditionalPsdd
 

@@ -27,7 +27,6 @@ import random
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, \
     Tuple
 
-import networkx as nx
 
 from ..psdd.psdd import psdd_from_sdd
 from ..sdd.compiler import compile_terms_sdd

@@ -71,7 +71,7 @@ class CircuitIR:
 
     def __init__(self, kinds: Sequence[int], lits: Sequence[int],
                  offsets: Sequence[int], child_ids: Sequence[int],
-                 flags: int = 0, num_params: int = 0):
+                 flags: int = 0, num_params: int = 0) -> None:
         self.n = len(kinds)
         self.kinds: Tuple[int, ...] = tuple(kinds)
         self.lits: Tuple[int, ...] = tuple(lits)
@@ -184,7 +184,7 @@ class CircuitIR:
         _INTERN_POOL[key] = self
         return self
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, CircuitIR) and \
             self._content_key() == other._content_key()
 
@@ -204,7 +204,7 @@ class IrBuilder:
     family lowerings produce the IR their NNF export would.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._kinds: List[int] = []
         self._lits: List[int] = []
         self._children: List[Tuple[int, ...]] = []

@@ -34,11 +34,11 @@ works (and this module imports) without numpy.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..perf.instrument import Counter
 from .core import (CircuitIR, KIND_AND, KIND_FALSE, KIND_LIT, KIND_OR,
-                   KIND_PARAM, KIND_TRUE)
+                   KIND_PARAM)
 
 __all__ = ["IrKernel", "ir_kernel", "pack_weight_batch",
            "pack_assignment_batch"]
@@ -50,7 +50,7 @@ WeightBatch = Mapping[int, "object"]
 Params = Optional[Sequence[float]]
 
 
-def _numpy():
+def _numpy() -> Any:
     """numpy, imported on first use (batch paths only)."""
     import numpy
     return numpy
@@ -82,9 +82,9 @@ class IrKernel:
 
     __slots__ = ("ir", "n", "kinds", "lits", "children", "varsets",
                  "or_gap_bits", "or_gap_vars", "budget", "_scratch",
-                 "_model_count", "_sat", "_derivatives")
+                 "_model_count", "_sat", "_derivatives", "_certificate")
 
-    def __init__(self, ir: CircuitIR):
+    def __init__(self, ir: CircuitIR) -> None:
         self.ir = ir
         #: optional Budget; every query pass charges it the circuit
         #: size up front (queries are linear, so one coarse charge per
@@ -119,6 +119,8 @@ class IrKernel:
         self._model_count: Optional[int] = None
         self._sat: Optional[List[bool]] = None
         self._derivatives: Optional[List[int]] = None
+        #: memoized analyze.Certificate (populated by the query gate)
+        self._certificate = None
 
     def invalidate(self) -> None:
         """Drop the memoised pure results (model count, sat flags,
@@ -140,6 +142,15 @@ class IrKernel:
             budget.tick(passes * self.n,
                         partial={"operation": "kernel-pass",
                                  "circuit_nodes": self.n})
+
+    def _gated(self, query: str) -> "IrKernel":
+        """The query gate (:mod:`repro.analyze.gate`): the kernel the
+        query should run on.  ``trust`` mode returns ``self``
+        untouched; ``strict`` raises PropertyViolation when the
+        query's required properties are not certified; ``repair``
+        may return the kernel of a smoothed twin circuit instead."""
+        from ..analyze.gate import check_kernel
+        return check_kernel(self, query)
 
     def _params(self, params: Params, i: int) -> float:
         if params is None:
@@ -170,11 +181,17 @@ class IrKernel:
         return self._sat
 
     def sat(self, stats: Counter | None = None) -> bool:
+        kernel = self._gated("sat")
+        if kernel is not self:
+            return kernel.sat(stats)
         return self.sat_flags(stats)[self.n - 1] if self.n else False
 
     def sat_model(self, stats: Counter | None = None
                   ) -> Optional[Dict[int, bool]]:
         """A partial satisfying assignment of a DNNF, or None."""
+        kernel = self._gated("sat_model")
+        if kernel is not self:
+            return kernel.sat_model(stats)
         flags = self.sat_flags(stats)
         if not self.n or not flags[self.n - 1]:
             return None
@@ -201,6 +218,9 @@ class IrKernel:
         """#SAT of a d-DNNF over the circuit's own variables (memoised).
         Parameter leaves count as 1 (the support of a weighted circuit).
         """
+        kernel = self._gated("count")
+        if kernel is not self:
+            return kernel.model_count(stats)
         if self._model_count is None:
             self._model_count = self._count_pass(stats)
         elif stats is not None:
@@ -241,6 +261,9 @@ class IrKernel:
         widens to extra variables the same way.  Parameter leaves read
         ``params`` (PSDD θs) at call time.
         """
+        kernel = self._gated("wmc")
+        if kernel is not self:
+            return kernel.wmc(weights, stats, params)
         self._charge()
         if stats is not None:
             stats.incr("nodes_visited", self.n)
@@ -278,6 +301,9 @@ class IrKernel:
     def mpe(self, weights: Weights, stats: Counter | None = None,
             params: Params = None) -> Tuple[float, Dict[int, bool]]:
         """Max-product upward pass plus traceback on a d-DNNF."""
+        kernel = self._gated("mpe")
+        if kernel is not self:
+            return kernel.mpe(weights, stats, params)
         self._charge()
         if stats is not None:
             stats.incr("nodes_visited", self.n)
@@ -361,6 +387,9 @@ class IrKernel:
         """d(root count)/d(node) for every node of a smooth d-DNNF
         (memoised): the downward differential pass of the marginals
         algorithm."""
+        # gate only (never delegated: the result is indexed by this
+        # kernel's node ids — repair mode callers use marginals())
+        self._gated("derivatives")
         if self._derivatives is not None:
             if stats is not None:
                 stats.incr("kernel_memo_hits")
@@ -411,6 +440,9 @@ class IrKernel:
     def marginals(self, stats: Counter | None = None) -> Dict[int, int]:
         """Literal → number of root models containing it (smooth
         d-DNNF); unmentioned variables are the caller's concern."""
+        kernel = self._gated("marginals")
+        if kernel is not self:
+            return kernel.marginals(stats)
         derivative = self.derivatives(stats)
         result: Dict[int, int] = {}
         for i in range(self.n):
@@ -461,13 +493,17 @@ class IrKernel:
             stats.incr("batch_columns", batch)
 
     def wmc_batch(self, weights: WeightBatch,
-                  stats: Counter | None = None, params: Params = None):
+                  stats: Counter | None = None,
+                  params: Params = None) -> Any:
         """Weighted model counts of N weight vectors in one pass.
 
         ``weights`` maps every needed literal to a length-N array (see
         :func:`pack_weight_batch`).  Returns a length-N float array;
         column ``j`` equals ``self.wmc(column j of weights)``.
         """
+        kernel = self._gated("wmc")
+        if kernel is not self:
+            return kernel.wmc_batch(weights, stats, params)
         np = _numpy()
         batch = self._batch_size(weights)
         self._count_batch_stats(stats, batch)
@@ -505,12 +541,15 @@ class IrKernel:
 
     def wmc_log_batch(self, log_weights: WeightBatch,
                       stats: Counter | None = None,
-                      params: Params = None):
+                      params: Params = None) -> Any:
         """Log-space :meth:`wmc_batch`: inputs and output are log
         weights (``-inf`` for weight zero), so deep circuits with tiny
         per-model weights cannot underflow.  ``params`` stays linear
         and is logged here.
         """
+        kernel = self._gated("wmc")
+        if kernel is not self:
+            return kernel.wmc_log_batch(log_weights, stats, params)
         np = _numpy()
         batch = self._batch_size(log_weights)
         self._count_batch_stats(stats, batch)
@@ -556,7 +595,7 @@ class IrKernel:
         return values[self.n - 1].copy() if self.n else neg_inf
 
     def evaluate_batch(self, assignment: WeightBatch,
-                       stats: Counter | None = None):
+                       stats: Counter | None = None) -> Any:
         """Evaluate N complete assignments in one pass.
 
         ``assignment`` maps every circuit variable to a length-N bool
@@ -593,7 +632,7 @@ class IrKernel:
 
     def derivatives_batch(self, weights: WeightBatch,
                           stats: Counter | None = None,
-                          params: Params = None):
+                          params: Params = None) -> Tuple[Any, Any]:
         """Upward values and downward derivatives for N weight vectors.
 
         Returns ``(values, derivatives)``, two lists of length-N arrays
@@ -603,6 +642,7 @@ class IrKernel:
         products (no sibling re-multiplication); or-gate gap variables
         contribute their ``W(v) + W(-v)`` factor on the edge.
         """
+        self._gated("derivatives")  # gate only: node-indexed result
         np = _numpy()
         batch = self._batch_size(weights)
         self._count_batch_stats(stats, batch, passes=2)
@@ -669,9 +709,10 @@ class IrKernel:
 
     def derivatives_log_batch(self, log_weights: WeightBatch,
                               stats: Counter | None = None,
-                              params: Params = None):
+                              params: Params = None) -> Tuple[Any, Any]:
         """Log-space :meth:`derivatives_batch` (values and derivatives
         are logs; ``-inf`` encodes zero)."""
+        self._gated("derivatives")  # gate only: node-indexed result
         np = _numpy()
         batch = self._batch_size(log_weights)
         self._count_batch_stats(stats, batch, passes=2)

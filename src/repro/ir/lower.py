@@ -30,7 +30,7 @@ keyed by the globally-unique node id.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .core import (CircuitIR, IrBuilder, FLAG_DECOMPOSABLE,
                    FLAG_DETERMINISTIC, FLAG_SMOOTH, FLAG_STRUCTURED,
@@ -70,7 +70,7 @@ def structural_flags(ir: CircuitIR) -> int:
 
 # -- NNF ---------------------------------------------------------------------
 
-def nnf_to_ir(root, flags: Optional[int] = None,
+def nnf_to_ir(root: Any, flags: Optional[int] = None,
               intern: bool = True) -> CircuitIR:
     """Lower an :class:`~repro.nnf.node.NnfNode` DAG, structurally 1:1.
 
@@ -106,7 +106,7 @@ def nnf_to_ir(root, flags: Optional[int] = None,
     return ir.intern() if intern else ir
 
 
-def ir_to_nnf(ir: CircuitIR, manager=None):
+def ir_to_nnf(ir: CircuitIR, manager: Any = None) -> Any:
     """Lift an IR back into an NNF DAG (structure-preserving).
 
     Parameterised circuits (``KIND_PARAM`` leaves) have no Boolean
@@ -137,7 +137,7 @@ def ir_to_nnf(ir: CircuitIR, manager=None):
 
 # -- OBDD --------------------------------------------------------------------
 
-def obdd_to_ir(node, intern: bool = True) -> CircuitIR:
+def obdd_to_ir(node: Any, intern: bool = True) -> CircuitIR:
     """Lower a reduced OBDD: decision nodes become the deterministic
     or-of-ands ``(¬v ∧ low) ∨ (v ∧ high)``.  Cached on the manager."""
     manager = node.manager
@@ -169,7 +169,7 @@ def obdd_to_ir(node, intern: bool = True) -> CircuitIR:
 
 # -- SDD ---------------------------------------------------------------------
 
-def sdd_to_ir(node, intern: bool = True) -> CircuitIR:
+def sdd_to_ir(node: Any, intern: bool = True) -> CircuitIR:
     """Lower a canonical SDD: each decision node is the or-of-ands of
     its elements (Fig 9); elements with a false sub vanish.  Mutually
     exclusive primes make the or-gates deterministic.  Cached on the
@@ -217,7 +217,7 @@ def _psdd_param(slot: Tuple) -> float:
     return node.elements[extra][2]
 
 
-def psdd_to_ir(root) -> Tuple[CircuitIR, List[float]]:
+def psdd_to_ir(root: Any) -> Tuple[CircuitIR, List[float]]:
     """Lower a PSDD to (structure, current parameter vector).
 
     The structure carries ``KIND_PARAM`` leaves indexing the returned
@@ -265,7 +265,7 @@ def psdd_to_ir(root) -> Tuple[CircuitIR, List[float]]:
 
 # -- arithmetic circuits -----------------------------------------------------
 
-def ac_to_ir(ac, intern: bool = True) -> CircuitIR:
+def ac_to_ir(ac: Any, intern: bool = True) -> CircuitIR:
     """Lower an :class:`~repro.wmc.arithmetic_circuit.ArithmeticCircuit`:
     its root is a smoothed d-DNNF (compiler output), so the full flag
     set applies.  Free variables stay the AC's own bookkeeping."""

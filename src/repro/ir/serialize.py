@@ -27,11 +27,11 @@ compatibility.  SDD texts lower to the IR via
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..vtree.vtree import Vtree
-from .core import (CircuitIR, IrBuilder, KIND_AND, KIND_FALSE, KIND_LIT,
-                   KIND_OR, KIND_PARAM, KIND_TRUE)
+from .core import (CircuitIR, KIND_AND, KIND_FALSE, KIND_LIT, KIND_OR,
+                   KIND_TRUE)
 from .lower import structural_flags
 
 __all__ = ["ir_to_nnf_text", "ir_from_nnf_text", "write_vtree_text",
@@ -217,7 +217,7 @@ def read_vtree_text(text: str) -> Vtree:
 
 # -- libsdd .sdd -------------------------------------------------------------
 
-def write_sdd_file(node) -> str:
+def write_sdd_file(node: Any) -> str:
     """Serialise an SDD in the libsdd text format.
 
     Ids come from a post-order walk following element order (prime
@@ -259,7 +259,8 @@ def write_sdd_file(node) -> str:
     return "\n".join(lines) + "\n"
 
 
-def read_sdd_file(text: str, vtree, manager=None):
+def read_sdd_file(text: str, vtree: Any,
+                  manager: Any = None) -> Tuple[Any, Any]:
     """Parse a libsdd ``.sdd`` text into (root, manager).
 
     ``vtree`` is the matching vtree (object or ``.vtree`` text).  Nodes

@@ -29,7 +29,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Mapping, Optional, Tuple
+from typing import Any, Mapping, Optional, Tuple
 
 from ..perf.instrument import Counter
 from .core import CircuitIR
@@ -67,12 +67,22 @@ class ArtifactStore:
     quarantined by renaming it to ``<name>.corrupt`` (so the next
     lookup recompiles and rewrites cleanly, and the evidence survives
     for inspection) and counted in ``artifact_corrupt``.
+
+    With ``verify=True`` (the default) the store also refuses to serve
+    *parseable-but-wrong* artifacts: every load re-checks the claimed
+    tractability properties through :mod:`repro.analyze` and
+    quarantines on certificate failure (``artifact_cert_fail``).  The
+    verification result is memoised in a ``.cert`` sidecar keyed by
+    the artifact's content hash, so re-certification happens once —
+    warm loads are back to file-read + parse cost
+    (``artifact_cert_hits``).
     """
 
-    def __init__(self, root):
+    def __init__(self, root: "str | Path", verify: bool = True) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = Counter()
+        self.verify = verify
 
     def path_for(self, key: str, ext: str) -> Path:
         return self.root / key[:2] / f"{key}.{ext}"
@@ -102,6 +112,71 @@ class ArtifactStore:
         self.stats.incr("artifact_corrupt")
         self.stats.incr("artifact_misses")
 
+    # -- property certificates (.cert sidecars) ------------------------------
+    @staticmethod
+    def _content_hash(*texts: str) -> str:
+        """Content hash of an artifact's raw text(s) — certificate
+        binding.  Independent of parse flags, so mutated bytes always
+        invalidate the certificate."""
+        return hashlib.sha256("\x00".join(texts).encode()).hexdigest()
+
+    def _read_cert(self, key: str) -> Optional[dict]:
+        try:
+            raw = json.loads(self.path_for(key, "cert").read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(raw, dict) or \
+                raw.get("schema") != "repro-cert/1":
+            return None
+        return raw
+
+    def _write_cert(self, key: str, digest: str, flags: int,
+                    status: Mapping[str, str], method: str) -> None:
+        cert = {"schema": "repro-cert/1", "digest": digest,
+                "flags": flags, "status": dict(status),
+                "method": method}
+        # certificates are bookkeeping, not artifact traffic: bypass
+        # the artifact_writes stat but keep the atomic rename
+        path = self.path_for(key, "cert")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(cert, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _certify_load(self, key: str, ir: CircuitIR, claimed: int,
+                      digest: str, vtree: Any = None,
+                      *paths: Path) -> bool:
+        """Serve-time certification: trust a digest-matching ``.cert``
+        covering the claimed flags, otherwise re-verify; falsified
+        claims quarantine the artifact (and certificate).  Returns
+        True when the artifact may be served."""
+        cert = self._read_cert(key)
+        if cert is not None and cert.get("digest") == digest and \
+                (claimed & int(cert.get("flags", 0))) == claimed:
+            self.stats.incr("artifact_cert_hits")
+            return True
+        from ..analyze.certify import certify
+        result = certify(ir, flags=claimed, vtree=vtree)
+        if claimed & result.falsified_mask:
+            self._quarantine(*paths)
+            cert_path = self.path_for(key, "cert")
+            try:
+                os.unlink(cert_path)
+            except OSError:
+                pass
+            self.stats.incr("artifact_cert_fail")
+            return False
+        self._write_cert(key, digest, claimed, result.summary(),
+                         "verified")
+        self.stats.incr("artifact_verified")
+        return True
+
     def hit_rate(self) -> float:
         """Fraction of lookups served from disk (0.0 when unused)."""
         hits = self.stats["artifact_hits"]
@@ -129,11 +204,25 @@ class ArtifactStore:
         except Exception:
             self._quarantine(path)
             return None
+        if self.verify:
+            claimed = ir.flags if flags is None else flags
+            if not self._certify_load(key, ir, claimed,
+                                      self._content_hash(text), None,
+                                      path):
+                return None
         self.stats.incr("artifact_hits")
         return ir
 
     def save_nnf(self, key: str, ir: CircuitIR) -> Path:
-        return self._write(self.path_for(key, "nnf"), ir_to_nnf_text(ir))
+        text = ir_to_nnf_text(ir)
+        path = self._write(self.path_for(key, "nnf"), text)
+        if self.verify:
+            # the writer's flags are asserted by construction; loads
+            # claiming more will re-verify and widen the certificate
+            status = {name: "construction" for name in ir.flag_names()}
+            self._write_cert(key, self._content_hash(text), ir.flags,
+                             status, "construction")
+        return path
 
     # -- SDD artifacts (.sdd + .vtree) --------------------------------------
     def load_sdd(self, key: str) -> Optional[Tuple[object, object]]:
@@ -154,14 +243,38 @@ class ArtifactStore:
             # the recompile rewrites a consistent sdd/vtree couple
             self._quarantine(sdd_path, vtree_path)
             return None
+        if self.verify:
+            from .core import (FLAG_DECOMPOSABLE, FLAG_DETERMINISTIC,
+                               FLAG_STRUCTURED)
+            from .lower import sdd_to_ir
+            root, manager = loaded
+            claimed = (FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC |
+                       FLAG_STRUCTURED)
+            digest = self._content_hash(sdd_text, vtree_text)
+            if not self._certify_load(key, sdd_to_ir(root), claimed,
+                                      digest, manager.vtree,
+                                      sdd_path, vtree_path):
+                return None
         self.stats.incr("artifact_hits")
         return loaded
 
-    def save_sdd(self, key: str, node) -> Path:
-        self._write(self.path_for(key, "vtree"),
-                    write_vtree_text(node.manager.vtree))
-        return self._write(self.path_for(key, "sdd"),
-                           write_sdd_file(node))
+    def save_sdd(self, key: str, node: Any) -> Path:
+        vtree_text = write_vtree_text(node.manager.vtree)
+        sdd_text = write_sdd_file(node)
+        self._write(self.path_for(key, "vtree"), vtree_text)
+        path = self._write(self.path_for(key, "sdd"), sdd_text)
+        if self.verify:
+            from .core import (FLAG_DECOMPOSABLE, FLAG_DETERMINISTIC,
+                               FLAG_STRUCTURED)
+            flags = (FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC |
+                     FLAG_STRUCTURED)
+            status = {"decomposable": "construction",
+                      "deterministic": "construction",
+                      "structured": "construction"}
+            self._write_cert(key, self._content_hash(sdd_text,
+                                                     vtree_text),
+                             flags, status, "construction")
+        return path
 
 
 def default_store() -> Optional[ArtifactStore]:

@@ -18,12 +18,12 @@ cooperatively by the engines and surfaced as structured
 from .anytime import AnytimeResult, anytime_count, anytime_wmc
 from .budget import Budget, BudgetExceeded, resolve_budget
 from .faults import (FakeClock, SkewedClock, corrupt_artifact,
-                     failing_budget)
+                     failing_budget, mutate_artifact)
 from .restarts import RestartResult, compile_with_restarts
 
 __all__ = [
     "AnytimeResult", "Budget", "BudgetExceeded", "FakeClock",
     "RestartResult", "SkewedClock", "anytime_count", "anytime_wmc",
     "compile_with_restarts", "corrupt_artifact", "failing_budget",
-    "resolve_budget",
+    "mutate_artifact", "resolve_budget",
 ]

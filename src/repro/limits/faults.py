@@ -11,7 +11,11 @@ failure modes injectable and deterministic:
   point in the search, or simulate NTP-style time jumps mid-operation.
 * **cache corruption** — :func:`corrupt_artifact` truncates, garbles or
   empties a stored artifact in place, exercising the store's
-  quarantine path (``*.corrupt`` rename + ``artifact_corrupt`` stat).
+  quarantine path (``*.corrupt`` rename + ``artifact_corrupt`` stat);
+  :func:`mutate_artifact` is the nastier cousin: it keeps the file
+  *parseable* but semantically wrong (a flipped literal, a dropped
+  smoothing gate), exercising the serve-time certification path
+  (``artifact_cert_fail`` + quarantine on a falsified property).
 * **allocation failure** — ``Budget(alloc_fail_at=N)`` makes the Nth
   charged node fail with reason ``"allocation"``, simulating an
   allocator giving out at an arbitrary point; :func:`failing_budget` is
@@ -29,10 +33,13 @@ from typing import Optional
 from .budget import Budget
 
 __all__ = ["FakeClock", "SkewedClock", "corrupt_artifact",
-           "failing_budget"]
+           "mutate_artifact", "failing_budget"]
 
 #: corruption modes understood by :func:`corrupt_artifact`
 CORRUPT_MODES = ("truncate", "garbage", "empty")
+
+#: mutation modes understood by :func:`mutate_artifact`
+MUTATE_MODES = ("flip-literal", "drop-smooth")
 
 
 class FakeClock:
@@ -106,6 +113,74 @@ def corrupt_artifact(store, key: str, ext: str,
         path.write_text("!! this is not a circuit !!\n%\x00garbage\n")
     else:  # empty
         path.write_text("")
+    return path
+
+
+def mutate_artifact(store, key: str, ext: str = "nnf",
+                    mode: str = "flip-literal", index: int = 0) -> Path:
+    """Mutate a stored artifact so it stays *parseable* but wrong.
+
+    ``corrupt_artifact`` produces files the parser rejects; this
+    produces files the parser happily accepts whose semantics no
+    longer match the claimed properties — the class of fault only
+    serve-time certification can catch.  Modes:
+
+    * ``"flip-literal"`` — negate the ``index``-th literal line
+      (``L l`` in ``.nnf``, ``L id vtree lit`` in ``.sdd``): the
+      circuit computes a different function, typically breaking
+      determinism or the SDD's (X,Y)-partition discipline;
+    * ``"drop-smooth"`` — replace the first ``(v or -v)`` smoothing
+      gate of an ``.nnf`` with ⊤ (``A 0``): logically equivalent, but
+      the or-gate arm no longer mentions ``v``, so a claimed SMOOTH
+      flag is falsified.
+
+    Raises ``ValueError`` when the file has no line matching the
+    mode's pattern.  The ``.cert`` sidecar is deliberately left in
+    place: its content hash no longer matches, which is exactly the
+    re-certification path under test.
+    """
+    if mode not in MUTATE_MODES:
+        raise ValueError(f"unknown mutation mode {mode!r}; "
+                         f"expected one of {MUTATE_MODES}")
+    path = store.path_for(key, ext)
+    lines = path.read_text().splitlines()
+    if mode == "flip-literal":
+        seen = 0
+        for i, line in enumerate(lines):
+            parts = line.split()
+            if not parts or parts[0] != "L":
+                continue
+            if seen == index:
+                parts[-1] = str(-int(parts[-1]))
+                lines[i] = " ".join(parts)
+                break
+            seen += 1
+        else:
+            raise ValueError(f"no literal line of index {index} "
+                             f"in {path.name}")
+    else:  # drop-smooth
+        literals = {}
+        node = -1
+        target = None
+        for i, line in enumerate(lines):
+            parts = line.split()
+            if not parts or parts[0] == "c" or parts[0] == "nnf":
+                continue
+            node += 1
+            if parts[0] == "L":
+                literals[node] = int(parts[1])
+            elif parts[0] == "O" and len(parts) == 5 and \
+                    parts[2] == "2":
+                a, b = int(parts[3]), int(parts[4])
+                if literals.get(a) is not None and \
+                        literals.get(a) == -literals.get(b, 0):
+                    target = i
+                    break
+        if target is None:
+            raise ValueError(f"no (v or -v) smoothing gate "
+                             f"in {path.name}")
+        lines[target] = "A 0"
+    path.write_text("\n".join(lines) + "\n")
     return path
 
 

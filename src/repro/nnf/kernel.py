@@ -16,7 +16,7 @@ module keeps the NNF-specific surface:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from ..ir.core import (KIND_AND, KIND_FALSE, KIND_LIT, KIND_OR,
                        KIND_TRUE)

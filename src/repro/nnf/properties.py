@@ -166,18 +166,30 @@ def is_flat(root: NnfNode) -> bool:
 def check_properties(root: NnfNode,
                      vtree: Vtree | None = None,
                      determinism_max_vars: int = 22) -> Dict[str, bool]:
-    """All property flags at once (used by the Fig 12 taxonomy)."""
+    """All property flags at once (used by the Fig 12 taxonomy).
+
+    Routed through the certified IR verifiers
+    (:mod:`repro.analyze`); the ``is_*`` checkers above are kept as
+    the seed reference implementations, cross-checked against the
+    verifiers in ``tests/test_analyze.py``.  The verifier-based
+    determinism check is strictly more complete than the seed's: the
+    seed enumerated all assignments globally and *refused* circuits
+    over ``determinism_max_vars`` variables (classifying them
+    non-deterministic), while the mutual-exclusivity certificate pass
+    settles most large gates in linear time and only brute-forces
+    per-gate variable gaps — so e.g. wide OBDD-derived circuits are
+    now classified correctly.
+    """
+    from ..analyze import VERIFIED, certify_nnf
+    cert = certify_nnf(root, vtree=vtree,
+                       max_vars=determinism_max_vars)
     result = {
-        "decomposable": is_decomposable(root),
-        "smooth": is_smooth(root),
+        "decomposable": cert.status("decomposable") == VERIFIED,
+        "smooth": cert.status("smooth") == VERIFIED,
         "flat": is_flat(root),
+        "deterministic": cert.status("deterministic") == VERIFIED,
+        "decision": is_decision_dnnf(root),
     }
-    try:
-        result["deterministic"] = is_deterministic(
-            root, max_vars=determinism_max_vars)
-    except ValueError:
-        result["deterministic"] = False
-    result["decision"] = is_decision_dnnf(root)
     if vtree is not None:
-        result["structured"] = is_structured(root, vtree)
+        result["structured"] = cert.status("structured") == VERIFIED
     return result

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from ..compat import legacy_enabled
 from ..perf.instrument import Counter
 from .kernel import get_kernel, pack_assignment_batch, pack_weight_batch
 from .node import NnfNode
@@ -34,6 +33,7 @@ from .node import NnfNode
 def _legacy():
     """The seed implementations, when ``REPRO_LEGACY`` routes to them
     (see :mod:`repro.compat`)."""
+    from ..compat import legacy_enabled
     if legacy_enabled():
         from . import queries_legacy
         return queries_legacy

@@ -3,8 +3,7 @@
 from .psdd import PsddNode, psdd_from_sdd
 from .learn import WeightedData, learn_parameters, log_likelihood
 from .queries import (entropy, kl_divergence, marginal, marginal_batch,
-                      mpe, support_size, variable_marginals,
-                      variable_marginals_legacy)
+                      mpe, support_size, variable_marginals)
 from .sample import sample, sample_dataset
 from .multiply import multiply
 from .em import em_learn, incomplete_log_likelihood
@@ -12,6 +11,6 @@ from .em import em_learn, incomplete_log_likelihood
 __all__ = ["PsddNode", "psdd_from_sdd", "WeightedData",
            "learn_parameters", "log_likelihood", "entropy",
            "kl_divergence", "marginal", "marginal_batch", "mpe",
-           "support_size", "variable_marginals",
-           "variable_marginals_legacy", "sample", "sample_dataset",
-           "multiply", "em_learn", "incomplete_log_likelihood"]
+           "support_size", "variable_marginals", "sample",
+           "sample_dataset", "multiply", "em_learn",
+           "incomplete_log_likelihood"]

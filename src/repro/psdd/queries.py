@@ -15,7 +15,7 @@ cross-checking).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
 from .psdd import PsddNode
 

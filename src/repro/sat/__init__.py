@@ -1,14 +1,20 @@
-"""SAT solving and exact model counting."""
+"""SAT solving and exact model counting.
 
-from .dpll import (enumerate_models, is_satisfiable, solve, solve_legacy,
-                   unit_propagate, unit_propagate_legacy)
+The seed baselines (``solve_legacy``, ``unit_propagate_legacy``) are
+deliberately *not* re-exported here: production code reaches them only
+through :mod:`repro.compat` (enforced by ``tools/lint_invariants.py``);
+benchmarks and tests import :mod:`repro.sat.dpll` or the compat shim
+directly.
+"""
+
+from .dpll import enumerate_models, is_satisfiable, solve, unit_propagate
 from .propagation import WatchedSolver, propagate_implied, propagate_watched
 from .components import occurrence_index, split_components
 from .counter import (CountContext, ModelCounter, component_key,
                       count_models)
 
-__all__ = ["enumerate_models", "is_satisfiable", "solve", "solve_legacy",
-           "unit_propagate", "unit_propagate_legacy", "WatchedSolver",
+__all__ = ["enumerate_models", "is_satisfiable", "solve",
+           "unit_propagate", "WatchedSolver",
            "propagate_implied", "propagate_watched", "occurrence_index",
            "split_components", "CountContext", "ModelCounter",
            "component_key", "count_models"]

@@ -26,14 +26,12 @@ variables that never occur in a clause contribute a factor of two each.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
-from ..compat import default_propagator
 from ..limits.budget import Budget, BudgetExceeded, resolve_budget
 from ..logic.cnf import Cnf
 from ..perf.instrument import Counter
 from .components import split_components, trail_components
-from .dpll import unit_propagate_legacy
 from .propagation import TrailPropagator
 
 __all__ = ["ModelCounter", "CountContext", "count_models",
@@ -130,6 +128,7 @@ class ModelCounter:
                  propagator: str | None = None,
                  budget: Optional[Budget] = None):
         if propagator is None:
+            from ..compat import default_propagator
             propagator = default_propagator()
         if cache_mode not in ("hash", "exact"):
             raise ValueError(f"unknown cache_mode {cache_mode!r}")
@@ -274,6 +273,7 @@ class ModelCounter:
     # -- clause-list counting (the measurable legacy baseline) --------------
     def _propagate(self, clauses: List[Clause], assignment: Dict[int, bool],
                    ctx: CountContext) -> Optional[List[Clause]]:
+        from .dpll import unit_propagate_legacy
         return unit_propagate_legacy(clauses, assignment, ctx.stats)
 
     # The recursive count is over exactly the variables mentioned by the

@@ -16,7 +16,7 @@ node's count scope-independent, which buys two things over the seed's
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Tuple
 
 from ..nnf.node import NnfManager, NnfNode
 from ..vtree.vtree import Vtree

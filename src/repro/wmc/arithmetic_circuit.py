@@ -15,7 +15,7 @@ query loads (classifier scoring, per-evidence MAR) are served.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping
 
 from ..nnf.kernel import (KIND_LIT, get_kernel, pack_weight_batch)
 from ..nnf.node import NnfNode

@@ -29,7 +29,8 @@ from repro.nnf import queries
 from repro.nnf.kernel import pack_weight_batch
 from repro.psdd import (learn_parameters, marginal, marginal_batch,
                         psdd_from_sdd, sample_dataset,
-                        variable_marginals, variable_marginals_legacy)
+                        variable_marginals)
+from repro.psdd.queries import variable_marginals_legacy
 from repro.sdd import compile_cnf_sdd
 from repro.wmc.arithmetic_circuit import ArithmeticCircuit
 from repro.wmc.pipeline import WmcPipeline

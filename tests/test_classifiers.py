@@ -15,7 +15,7 @@ from repro.classifiers import (BinarizedNeuralNetwork, BnClassifier,
                                image_variables, render_image,
                                threshold_obdd, threshold_of_functions)
 from repro.logic import iter_assignments
-from repro.obdd import ObddManager, model_count
+from repro.obdd import ObddManager
 
 
 # -- threshold compilation ------------------------------------------------------

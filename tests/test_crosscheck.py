@@ -25,8 +25,8 @@ from repro.compile.dnnf_compiler import DnnfCompiler
 from repro.logic.cnf import Cnf
 from repro.nnf import queries, queries_legacy
 from repro.perf import Counter
-from repro.sat import (ModelCounter, solve, solve_legacy, unit_propagate,
-                       unit_propagate_legacy)
+from repro.sat import ModelCounter, solve, unit_propagate
+from repro.sat.dpll import solve_legacy, unit_propagate_legacy
 
 
 def cnfs(max_var=14, max_clauses=24):

@@ -6,7 +6,7 @@ import itertools
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.logic import Cnf, iter_assignments
+from repro.logic import Cnf
 from repro.obdd import ObddManager, compile_cnf_obdd
 from repro.explain import (all_sufficient_reasons, bias_from_reasons,
                            classifier_is_biased, decision_and_function,

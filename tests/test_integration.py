@@ -8,7 +8,7 @@ import pytest
 from repro.bayesnet import (map_query, mar, medical_network, mpe,
                             random_network)
 from repro.classifiers import (BnClassifier, compile_naive_bayes,
-                               NaiveBayesClassifier, pregnancy_classifier)
+                               pregnancy_classifier)
 from repro.compile import compile_cnf
 from repro.explain import (all_sufficient_reasons, decision_is_biased,
                            minimal_sufficient_reason, reason_circuit,
@@ -16,15 +16,13 @@ from repro.explain import (all_sufficient_reasons, decision_is_biased,
 from repro.logic import Cnf, VarMap, iter_assignments, parse, to_cnf
 from repro.nnf import (classify, model_count as nnf_count,
                        sample_model, weighted_model_count)
-from repro.obdd import (ObddManager, compile_cnf_obdd, model_count,
-                        obdd_to_nnf)
+from repro.obdd import compile_cnf_obdd, model_count, obdd_to_nnf
 from repro.psdd import (learn_parameters, marginal, mpe as psdd_mpe,
                         psdd_from_sdd, sample_dataset)
 from repro.robust import decision_robustness, monotone_report
 from repro.sdd import compile_cnf_sdd, sdd_to_nnf
 from repro.solvers import solve_count
 from repro.spaces import RouteModel, grid_map
-from repro.vtree import balanced_vtree
 from repro.wmc import WmcPipeline
 
 

@@ -8,7 +8,7 @@ import random
 import pytest
 
 from repro.compile.dnnf_compiler import DnnfCompiler
-from repro.limits import (AnytimeResult, Budget, BudgetExceeded,
+from repro.limits import (Budget, BudgetExceeded,
                           FakeClock, SkewedClock, anytime_count,
                           anytime_wmc, compile_with_restarts,
                           corrupt_artifact, failing_budget,

@@ -1,9 +1,8 @@
 """Tests for CNF conversion, Tseitin, prime implicants (incl. hypothesis)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.logic import (Cnf, FALSE, Lit, TRUE, VarMap, functions_equal,
+from repro.logic import (FALSE, Lit, TRUE, VarMap, functions_equal,
                          is_implicant, parse, prime_implicants_of_formula,
                          prime_implicates_of_formula, term_subsumes,
                          to_cnf, tseitin, iter_assignments)

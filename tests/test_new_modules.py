@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from repro.logic import (Cnf, iter_assignments, pair_biconditionals,
+from repro.logic import (iter_assignments, pair_biconditionals,
                          parity_chain, pigeonhole, random_kcnf)
 from repro.psdd import (em_learn, incomplete_log_likelihood,
                         learn_parameters, log_likelihood, marginal,

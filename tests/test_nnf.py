@@ -3,8 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.logic import (Cnf, Lit, VarMap, iter_assignments, parse, to_cnf)
-from repro.logic.formula import And, FALSE, Not, Or, TRUE
+from repro.logic import Cnf, VarMap, iter_assignments, parse
 from repro.compile import compile_cnf
 from repro.nnf import (NnfManager, check_properties, classify,
                        condition, condition_evaluate, enumerate_models,

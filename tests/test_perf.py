@@ -114,7 +114,8 @@ def test_run_all_quick_smoke(tmp_path):
     assert set(report["scenarios"]) == {
         "sharp_sat", "dnnf_compile", "repeated_wmc", "batched_wmc",
         "batched_marginals", "psdd_marginals", "classifier_scoring",
-        "warm_compile", "anytime_bounds", "restart_compile"}
+        "warm_compile", "anytime_bounds", "restart_compile",
+        "verify_overhead"}
     for name, scenario in report["scenarios"].items():
         assert scenario["agree"] is True, name
         # the per-scenario deadline guard must not have tripped

@@ -1,7 +1,6 @@
 """Tests for the Decision-DNNF reason-circuit construction and the
 NNF → OBDD bridge."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.logic import Cnf, iter_assignments
-from repro.obdd import ObddManager, compile_cnf_obdd, model_count
+from repro.obdd import ObddManager, compile_cnf_obdd
 from repro.robust import (decision_robustness, depends_on,
                           is_monotone_in, model_robustness,
                           monotone_report, robustness_histogram,

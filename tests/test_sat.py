@@ -1,6 +1,5 @@
 """Tests for the DPLL solver and the component-caching model counter."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.logic import Cnf, exactly_one

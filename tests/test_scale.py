@@ -4,7 +4,6 @@ beyond toy size (still seconds, not minutes)."""
 import math
 import random
 
-import pytest
 
 from repro.compile import DnnfCompiler
 from repro.logic import (pair_biconditionals, parity_chain, pigeonhole,

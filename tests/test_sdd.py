@@ -7,7 +7,7 @@ from repro.logic import Cnf, VarMap, iter_assignments, parse, to_cnf
 from repro.nnf import (is_decomposable, is_deterministic,
                        model_count as nnf_model_count)
 from repro.nnf.properties import is_structured
-from repro.sdd import (SddManager, compile_cnf_sdd, compile_formula_sdd,
+from repro.sdd import (SddManager, compile_cnf_sdd,
                        compile_terms_sdd, enumerate_models, model_count,
                        sdd_to_nnf, weighted_model_count)
 from repro.vtree import (balanced_vtree, random_vtree, right_linear_vtree)

@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.logic import Cnf, iter_assignments
 from repro.sdd import (SddManager, compile_cnf_sdd, condition, exists,
-                       forall, model_count, rename_literals)
+                       forall, rename_literals)
 from repro.vtree import (balanced_vtree, minimize_vtree,
                          right_linear_vtree, sdd_size_for_vtree)
 

@@ -5,7 +5,6 @@ import random
 
 import pytest
 
-from repro.logic import iter_assignments
 from repro.psdd import marginal, support_size
 from repro.sat import count_models
 from repro.sdd import enumerate_models, model_count

@@ -12,7 +12,7 @@ from repro.bayesnet import (forward_sample, likelihood_weighting, mar,
                             sample_dataset)
 from repro.explain import (all_sufficient_reasons, is_necessary,
                            necessary_characteristics)
-from repro.logic import Cnf, iter_assignments, pair_biconditionals
+from repro.logic import Cnf, pair_biconditionals
 from repro.obdd import (ObddManager, compile_cnf_obdd, minimize_order,
                         model_count, obdd_size_for_order)
 from repro.robust import robust_region, robustness_histogram

@@ -27,7 +27,6 @@ def test_multistate_encoding_model_count():
 
 
 def test_binary_encoding_rejects_multistate():
-    import numpy as np
     from repro.bayesnet import BayesianNetwork
     net = BayesianNetwork()
     net.add_variable("X", (), [0.2, 0.3, 0.5])

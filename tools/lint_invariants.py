@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Project-invariant lint: AST checks ruff/mypy cannot express.
+
+Three rules, each guarding a deliberate architectural boundary:
+
+1. **legacy-isolation** — production modules must not import
+   ``repro.compat`` or any ``*_legacy`` name/module at module level.
+   The sanctioned pattern is a function-local import (the lazy
+   dispatch in ``repro.nnf.queries._legacy``), so the legacy baseline
+   stays reachable for benchmarks without ever being on a production
+   import path.  ``src/repro/compat.py`` itself and ``*_legacy``
+   modules are exempt; tests and benchmarks are not linted.
+
+2. **clock-injection** — budget-governed modules (``repro.limits``,
+   ``repro.sat``, ``repro.compile``, ``repro.ir``) must not call
+   ``time.time()`` or import ``time.time``: wall-clock reads go
+   through the injectable clock (``Budget(clock=...)``), so the
+   fault harness (:mod:`repro.limits.faults`) can steer time in
+   tests.  ``time.perf_counter`` is fine (pure measurement).
+
+3. **flag-trust** — query-layer modules must not read the IR's
+   self-declared property ``flags`` (``FLAG_*`` constants,
+   ``.has_flag``, ``.flags``): property requirements are checked by
+   the gate (:mod:`repro.analyze.gate`) against *certified* flags.
+   Lowering/serialization code legitimately writes flags and is not
+   in the query layer.
+
+Exit status 1 with ``file:line: rule message`` diagnostics on any
+violation; 0 on a clean tree.  Stdlib only — runs anywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: budget-governed packages (rule 2), relative to src/repro
+CLOCK_GOVERNED = ("limits", "sat", "compile", "ir")
+
+#: query-layer modules (rule 3), relative to src/repro
+QUERY_LAYER = (
+    "ir/kernel.py",
+    "nnf/queries.py",
+    "nnf/kernel.py",
+    "sdd/queries.py",
+    "obdd/ops.py",
+    "psdd/queries.py",
+    "wmc/pipeline.py",
+    "wmc/arithmetic_circuit.py",
+    "wmc/encoding.py",
+    "wmc/sdp.py",
+)
+
+Violation = Tuple[Path, int, str, str]  # file, line, rule, message
+
+
+def _module_level_imports(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Imports outside any function body (class bodies and
+    module-level ``if``/``try`` blocks still count: they execute at
+    import time)."""
+    stack: List[ast.AST] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.Lambda)):
+            continue
+        else:
+            for child in ast.iter_child_nodes(node):
+                stack.append(child)
+
+
+def _is_legacy_name(name: str) -> bool:
+    return "_legacy" in name
+
+
+def check_legacy_isolation(path: Path, rel: str,
+                           tree: ast.Module) -> Iterator[Violation]:
+    if rel == "compat.py" or _is_legacy_name(Path(rel).stem):
+        return
+    for node in _module_level_imports(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "compat" or module.endswith(".compat") or \
+                    module == "repro.compat":
+                yield (path, node.lineno, "legacy-isolation",
+                       "module-level import of repro.compat (use a "
+                       "function-local import for lazy dispatch)")
+                continue
+            if _is_legacy_name(module):
+                yield (path, node.lineno, "legacy-isolation",
+                       f"module-level import of legacy module "
+                       f"{module!r}")
+                continue
+            for alias in node.names:
+                if _is_legacy_name(alias.name):
+                    yield (path, node.lineno, "legacy-isolation",
+                           f"module-level import of legacy name "
+                           f"{alias.name!r}")
+        else:
+            for alias in node.names:
+                if alias.name == "repro.compat" or \
+                        _is_legacy_name(alias.name):
+                    yield (path, node.lineno, "legacy-isolation",
+                           f"module-level import of {alias.name!r}")
+
+
+def check_clock_injection(path: Path, rel: str,
+                          tree: ast.Module) -> Iterator[Violation]:
+    if not rel.startswith(tuple(p + "/" for p in CLOCK_GOVERNED)):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and \
+                    func.attr == "time" and \
+                    isinstance(func.value, ast.Name) and \
+                    func.value.id == "time":
+                yield (path, node.lineno, "clock-injection",
+                       "time.time() in a budget-governed module "
+                       "(inject a clock via Budget(clock=...))")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    yield (path, node.lineno, "clock-injection",
+                           "importing time.time in a budget-governed "
+                           "module (inject a clock instead)")
+
+
+def check_flag_trust(path: Path, rel: str,
+                     tree: ast.Module) -> Iterator[Violation]:
+    if rel not in QUERY_LAYER:
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id.startswith("FLAG_"):
+            yield (path, node.lineno, "flag-trust",
+                   f"query-layer reference to {node.id} (property "
+                   f"requirements go through repro.analyze.gate)")
+        elif isinstance(node, ast.Attribute) and \
+                node.attr in ("has_flag", "flags"):
+            yield (path, node.lineno, "flag-trust",
+                   f"query-layer read of .{node.attr} (trusting "
+                   f"declared flags; go through repro.analyze.gate)")
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name.startswith("FLAG_"):
+                    yield (path, node.lineno, "flag-trust",
+                           f"query-layer import of {alias.name}")
+
+
+def collect_violations(src_root: Path) -> List[Violation]:
+    violations: List[Violation] = []
+    for path in sorted(src_root.rglob("*.py")):
+        rel = path.relative_to(src_root).as_posix()
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError as error:
+            violations.append((path, error.lineno or 0, "parse",
+                               f"syntax error: {error.msg}"))
+            continue
+        violations.extend(check_legacy_isolation(path, rel, tree))
+        violations.extend(check_clock_injection(path, rel, tree))
+        violations.extend(check_flag_trust(path, rel, tree))
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else \
+        Path(__file__).resolve().parent.parent / "src" / "repro"
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    violations = collect_violations(root)
+    for path, line, rule, message in violations:
+        print(f"{path}:{line}: [{rule}] {message}")
+    if violations:
+        print(f"{len(violations)} invariant violation(s)")
+        return 1
+    print(f"invariant lint clean: {root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
