@@ -240,6 +240,11 @@ def _run_query(args: argparse.Namespace) -> int:
         return _query_anytime(args, cnf, weights)
     compiler = DnnfCompiler(store=store, budget=_budget(args))
     circuit = compiler.compile(cnf)
+    from .nnf.kernel import get_kernel
+    kernel = get_kernel(circuit)
+    kernel.codegen_store = store
+    if getattr(args, "backend", None):
+        kernel.set_backend(args.backend)
     variables = range(1, cnf.num_vars + 1)
     if args.query == "count":
         print(f"s mc {queries.model_count(circuit, variables)}")
@@ -263,7 +268,19 @@ def _run_query(args: argparse.Namespace) -> int:
     if args.stats:
         print(format_stats(compiler.stats))
         _print_store_stats(store)
+        _print_backend_stats(kernel)
     return 0
+
+
+def _print_backend_stats(kernel) -> None:
+    """Evaluator-backend counters for ``repro query --stats``: which
+    backend answered, codegen source-cache traffic, and the
+    compile-vs-eval time split (see docs/performance.md)."""
+    print(f"c backend {kernel.backend_name()}")
+    compiled = getattr(kernel, "_codegen", None)
+    stats = getattr(compiled, "stats", None)
+    if stats is not None and stats:
+        print(format_stats(stats))
 
 
 def _query_anytime(args: argparse.Namespace, cnf: Cnf,
@@ -467,7 +484,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="content-addressed compilation cache "
                             "directory (default $REPRO_CACHE_DIR)")
     query.add_argument("--stats", action="store_true",
-                       help="print compiler + artifact-store counters")
+                       help="print compiler + artifact-store + "
+                            "evaluator-backend counters")
+    query.add_argument("--backend", choices=["codegen", "interp"],
+                       help="circuit evaluator: per-circuit compiled "
+                            "numpy code (codegen, the default) or the "
+                            "reference interpreter (overrides "
+                            "$REPRO_BACKEND)")
     _add_budget_flags(query)
     query.add_argument(
         "--anytime", action="store_true",

@@ -12,6 +12,11 @@ its properties.  This package makes that concrete:
 * :mod:`repro.ir.kernel` — :class:`IrKernel`, the single execution
   engine (sat / count / WMC / MPE / marginals, scalar and batched)
   every family's queries dispatch through;
+* :mod:`repro.ir.codegen` — the native-speed backend: per-circuit
+  generated numpy evaluators (levelized segment reductions), cached as
+  sealed source next to the circuit's ``.cert`` sidecar, selected by
+  ``$REPRO_BACKEND`` / :meth:`IrKernel.set_backend` with automatic
+  interpreter fallback (:class:`CodegenUnsupported`);
 * :mod:`repro.ir.lower` — lowerings ``*_to_ir`` from each family and
   the ``ir_to_nnf`` lifting;
 * :mod:`repro.ir.serialize` — canonical c2d ``.nnf`` and libsdd-style
@@ -20,6 +25,8 @@ its properties.  This package makes that concrete:
   keyed by SHA-256 of (DIMACS CNF, compiler name, config).
 """
 
+from .codegen import (CodegenUnsupported, CompiledCircuit,
+                      compile_circuit, resolve_backend)
 from .core import (CircuitIR, IrBuilder, FLAG_DECOMPOSABLE,
                    FLAG_DETERMINISTIC, FLAG_SMOOTH, FLAG_STRUCTURED,
                    KIND_AND, KIND_FALSE, KIND_LIT, KIND_OR, KIND_PARAM,
@@ -27,7 +34,8 @@ from .core import (CircuitIR, IrBuilder, FLAG_DECOMPOSABLE,
 from .kernel import IrKernel, ir_kernel
 from .lower import (ac_to_ir, ir_to_nnf, nnf_to_ir, obdd_to_ir,
                     psdd_to_ir, sdd_to_ir)
-from .serialize import (ir_from_nnf_text, ir_to_nnf_text, read_sdd_file,
+from .serialize import (ir_from_csr_buffer, ir_from_nnf_text,
+                        ir_to_csr_bytes, ir_to_nnf_text, read_sdd_file,
                         read_vtree_text, write_sdd_file,
                         write_vtree_text)
 from .store import ArtifactStore, artifact_key, default_store
@@ -42,5 +50,8 @@ __all__ = [
     "ac_to_ir",
     "ir_to_nnf_text", "ir_from_nnf_text", "write_vtree_text",
     "read_vtree_text", "write_sdd_file", "read_sdd_file",
+    "ir_to_csr_bytes", "ir_from_csr_buffer",
     "ArtifactStore", "artifact_key", "default_store",
+    "CodegenUnsupported", "CompiledCircuit", "compile_circuit",
+    "resolve_backend",
 ]

@@ -1,0 +1,664 @@
+"""Per-circuit compiled evaluators: the codegen backend of the kernel.
+
+The paper's bargain is *compile once, query fast many times* — but an
+interpreted Python loop over the CSR arrays pays per-node dispatch on
+every query.  This module walks the arrays **once per circuit digest**
+and emits a specialized straight-line numpy program: nodes are
+levelized and permuted so every run of same-kind gates at one depth
+becomes a single sliced segment reduction
+(``np.multiply.reduceat`` / ``np.add.reduceat`` /
+``np.maximum.reduceat`` / ``np.logaddexp.reduceat``) writing directly
+into a contiguous slice of the value vector.  One generated source
+serves scalar *and* batched calls (a value row per node), in linear
+and log space.
+
+The generated text is deterministic for a given circuit, sealed with a
+self-hash header, cached in the :class:`~repro.ir.store.ArtifactStore`
+next to the ``.cert`` sidecar under the same sha256 digest, and only
+ever turned into code through :func:`audited_compile` — the single
+``compile()`` entry point the invariant lint
+(``tools/lint_invariants.py``, rule ``audited-compile``) pins down.
+
+Supported queries: sat, model count, WMC (scalar / batch / log-batch),
+MPE (vectorized upward pass + exact interpreter-style traceback) and
+evaluation (scalar / batch).  Anything else — parameterised circuits
+(``KIND_PARAM`` leaves mid-EM), counts past float64's exact-integer
+range, empty circuits — raises :class:`CodegenUnsupported` and the
+kernel falls back to the interpreter (see
+``docs/architecture.md`` for the full fallback table).
+
+Budget charging does not bypass the governor: every generated function
+charges one kernel pass through the injected hook
+(:func:`repro.limits.budget.pass_charge_hook`) before touching the
+arrays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from typing import (TYPE_CHECKING, Any, Dict, List, Mapping, Optional,
+                    Sequence, Tuple)
+
+from ..perf.instrument import Counter
+from .core import (KIND_AND, KIND_FALSE, KIND_LIT, KIND_OR, KIND_PARAM,
+                   KIND_TRUE)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernel import IrKernel
+    from .store import ArtifactStore
+
+__all__ = ["BACKEND_ENV", "BACKENDS", "CodegenUnsupported",
+           "resolve_backend", "generate_source", "audited_compile",
+           "check_source", "CompiledCircuit", "compile_circuit"]
+
+#: environment variable selecting the default kernel backend
+BACKEND_ENV = "REPRO_BACKEND"
+
+BACKENDS = ("codegen", "interp")
+
+#: first-line schema tag of a sealed generated source; the version
+#: names the emission contract — bumped when the generated text's shape
+#: changes, so stale cached sources regenerate instead of being reused
+SOURCE_SCHEMA = "repro-codegen/2"
+_SOURCE_SCHEMA_FAMILY = "repro-codegen/"
+
+#: model counts are run through the float64 pipeline only while every
+#: intermediate is an exact integer: counts are bounded by 2**|vars|,
+#: so this is safe up to 52 circuit variables (< 2**53)
+_EXACT_COUNT_VARS = 52
+
+#: an arity class is split into its own uniform-arity step (fast
+#: elementwise path) only when it spans at least this many edges —
+#: below that, the saved reduceat time does not pay for the extra
+#: per-step dispatch the split adds to every scalar pass
+_MIN_UNIFORM_EDGES = 512
+
+
+class CodegenUnsupported(Exception):
+    """The circuit or query is outside the compiled evaluator's domain;
+    the caller falls back to the interpreter."""
+
+
+def _numpy() -> Any:
+    """numpy, imported on first use (keeps the scalar interpreter
+    importable without numpy)."""
+    import numpy
+    return numpy
+
+
+def resolve_backend(explicit: Optional[str] = None) -> str:
+    """The active backend: an explicit kernel override wins, then
+    ``$REPRO_BACKEND``, then the default (``codegen``)."""
+    value = explicit if explicit is not None else \
+        os.environ.get(BACKEND_ENV, "codegen").strip().lower()
+    if value not in BACKENDS:
+        raise ValueError(f"unknown backend {value!r}; "
+                         f"expected one of {BACKENDS}")
+    return value
+
+
+# -- plan construction --------------------------------------------------------
+
+class _Plan:
+    """The levelized layout of one circuit: a node permutation that
+    makes every (level, kind) run contiguous, plus the index arrays the
+    generated segment reductions gather through."""
+
+    __slots__ = ("n", "root", "pos", "lit_list", "lit_pos", "lit_idx",
+                 "one_pos", "zero_pos", "gv_pos", "gv_neg", "steps",
+                 "arrays", "edges")
+
+    def __init__(self, kernel: "IrKernel") -> None:
+        np = _numpy()
+        ir = kernel.ir
+        n = ir.n
+        if n == 0:
+            raise CodegenUnsupported("empty circuit")
+        kinds = kernel.kinds
+        if KIND_PARAM in kinds:
+            raise CodegenUnsupported(
+                "parameterised circuit (KIND_PARAM leaves are read "
+                "per call; the interpreter serves them)")
+        children = kernel.children
+        level = [0] * n
+        for i in range(n):
+            kids = children[i]
+            if kids:
+                level[i] = max(level[c] for c in kids) + 1
+        # arity classes big enough to pay for their own step (in saved
+        # reduceat time) are split out of their (level, kind) run so
+        # the emitter can use the uniform-arity fast paths; stragglers
+        # stay merged in one segmented-reduction step per run, keeping
+        # the step count (= fixed per-pass overhead) bounded
+        class_count: Dict[Tuple[int, int, int], int] = {}
+        for i in range(n):
+            if children[i] and (kinds[i] == KIND_AND or
+                                kinds[i] == KIND_OR):
+                ckey = (level[i], kinds[i], len(children[i]))
+                class_count[ckey] = class_count.get(ckey, 0) + 1
+
+        def sort_key(i: int) -> Tuple[int, int, int, int]:
+            kids = children[i]
+            if kids and (kinds[i] == KIND_AND or kinds[i] == KIND_OR):
+                arity = len(kids)
+                if class_count[(level[i], kinds[i], arity)] * arity \
+                        >= _MIN_UNIFORM_EDGES:
+                    return (level[i], kinds[i], 0, arity)
+                return (level[i], kinds[i], 1, arity)
+            return (level[i], kinds[i], 0, 0)
+
+        order = sorted(range(n), key=sort_key)
+        pos = [0] * n
+        for new, old in enumerate(order):
+            pos[old] = new
+        self.n = n
+        self.root = pos[n - 1]
+        self.pos = pos
+
+        # literal codes: every literal the circuit mentions plus both
+        # phases of every or-gate gap variable (the W(v)+W(-v) factor)
+        lit_list: List[int] = sorted(
+            {ir.lits[i] for i in range(n) if kinds[i] == KIND_LIT})
+        lit_index = {lit: j for j, lit in enumerate(lit_list)}
+        gap_vars = sorted({var for i in range(n) if kinds[i] == KIND_OR
+                           for gv in kernel.or_gap_vars[i] or ()
+                           for var in gv})
+        for var in gap_vars:
+            for lit in (var, -var):
+                if lit not in lit_index:
+                    lit_index[lit] = len(lit_list)
+                    lit_list.append(lit)
+        self.lit_list = lit_list
+        self.lit_pos = np.array(
+            [pos[i] for i in range(n) if kinds[i] == KIND_LIT],
+            dtype=np.int64)
+        self.lit_idx = np.array(
+            [lit_index[ir.lits[i]] for i in range(n)
+             if kinds[i] == KIND_LIT], dtype=np.int64)
+        gap_index = {var: j for j, var in enumerate(gap_vars)}
+        self.gv_pos = np.array([lit_index[v] for v in gap_vars],
+                               dtype=np.int64)
+        self.gv_neg = np.array([lit_index[-v] for v in gap_vars],
+                               dtype=np.int64)
+
+        # constant positions: TRUE and childless AND are the semiring
+        # one; FALSE and childless OR the semiring zero
+        ones: List[int] = []
+        zeros: List[int] = []
+        for i in range(n):
+            kind = kinds[i]
+            if kind == KIND_TRUE or \
+                    (kind == KIND_AND and not children[i]):
+                ones.append(pos[i])
+            elif kind == KIND_FALSE or \
+                    (kind == KIND_OR and not children[i]):
+                zeros.append(pos[i])
+        self.one_pos = np.array(ones, dtype=np.int64)
+        self.zero_pos = np.array(zeros, dtype=np.int64)
+
+        # one step per contiguous (level, kind) run of internal gates
+        steps: List[Tuple[bool, int, int, bool, int]] = []
+        arrays: Dict[str, Any] = {}
+        edges = 0
+        by_group: Dict[Tuple[int, int, int, int], List[int]] = {}
+        for i in order:
+            if children[i] and (kinds[i] == KIND_AND or
+                                kinds[i] == KIND_OR):
+                gkey = sort_key(i)
+                if gkey[2] == 1:  # stragglers: one mixed run, any arity
+                    gkey = (gkey[0], gkey[1], 1, 0)
+                by_group.setdefault(gkey, []).append(i)
+        for index, (group, ids) in enumerate(sorted(by_group.items())):
+            is_or = group[1] == KIND_OR
+            lo, hi = pos[ids[0]], pos[ids[-1]] + 1
+            child_ids: List[int] = []
+            offs = [0]
+            egaps: List[Tuple[int, ...]] = []
+            for i in ids:
+                child_ids.extend(pos[c] for c in children[i])
+                offs.append(len(child_ids))
+                if is_or:
+                    egaps.extend(kernel.or_gap_vars[i] or ())
+            edges += len(child_ids)
+            arities = {len(children[i]) for i in ids}
+            arity = arities.pop() if len(arities) == 1 else 0
+            arrays[f"_CH{index}"] = np.array(child_ids, dtype=np.int64)
+            arrays[f"_OF{index}"] = np.array(offs[:-1], dtype=np.int64)
+            if arity == 2:
+                # binary runs (the d-DNNF common case) skip reduceat
+                # for one elementwise ufunc over two strided gathers
+                arrays[f"_CA{index}"] = np.array(child_ids[0::2],
+                                                 dtype=np.int64)
+                arrays[f"_CB{index}"] = np.array(child_ids[1::2],
+                                                 dtype=np.int64)
+            gap_edges = [e for e, gv in enumerate(egaps) if gv]
+            has_gaps = bool(gap_edges)
+            if has_gaps:
+                gidx: List[int] = []
+                goffs = [0]
+                for e in gap_edges:
+                    gidx.extend(gap_index[v] for v in egaps[e])
+                    goffs.append(len(gidx))
+                arrays[f"_GE{index}"] = np.array(gap_edges,
+                                                 dtype=np.int64)
+                arrays[f"_GI{index}"] = np.array(gidx, dtype=np.int64)
+                arrays[f"_GO{index}"] = np.array(goffs[:-1],
+                                                 dtype=np.int64)
+            steps.append((is_or, lo, hi, has_gaps, arity))
+        self.steps = steps
+        self.arrays = arrays
+        self.edges = edges
+
+
+# -- source generation --------------------------------------------------------
+
+def _emit_forward(name: str, plan: _Plan, and_fam: str, or_fam: str,
+                  gap_line: Optional[str]) -> List[str]:
+    """One straight-line forward pass: a charge, then one gather +
+    segment reduction per (level, kind) run, writing into the run's
+    contiguous slice.  ``gap_line`` folds the per-edge or-gap factor
+    in (None for passes that ignore gaps, e.g. evaluation).
+
+    Uniform-arity runs specialize away ``reduceat``: arity 1 is a
+    sliced copy, arity 2 one elementwise ufunc call (over two strided
+    gathers when no gap factor intervenes), arity ``a`` a
+    ``reshape(-1, a, ...)`` + axis-1 ``ufunc.reduce`` — an order of
+    magnitude faster than the segmented reduction on the binary runs
+    that dominate d-DNNFs.  Mixed-arity runs keep ``reduceat``."""
+    lines = [f"def {name}(values, gapvals):", "    _charge(1)"]
+    for index, (is_or, lo, hi, has_gaps, arity) in \
+            enumerate(plan.steps):
+        fam = or_fam if is_or else and_fam
+        out = f"values[{lo}:{hi}]"
+        gapped = is_or and has_gaps and gap_line is not None
+        if arity == 2 and not gapped:
+            lines.append(
+                f"    _{fam}b(_take(values, _CA{index}, 0), "
+                f"_take(values, _CB{index}, 0), out={out})")
+            continue
+        lines.append(f"    cv = _take(values, _CH{index}, 0)")
+        if gapped:
+            assert gap_line is not None
+            lines.append("    " + gap_line.format(i=index))
+        if arity == 1:
+            lines.append(f"    {out} = cv")
+        elif arity == 2:
+            lines.append(f"    _{fam}b(cv[0::2], cv[1::2], out={out})")
+        elif arity > 2:
+            # explicit gate count (not -1): a zero-width batch axis
+            # makes -1 ambiguous on a size-0 gather
+            lines.append(
+                f"    _{fam}r(cv.reshape(({hi - lo}, {arity}) + "
+                f"cv.shape[1:]), axis=1, out={out})")
+        else:
+            lines.append(f"    _{fam}(cv, _OF{index}, out={out})")
+    lines.append(f"    return values[{plan.root}]")
+    lines.append("")
+    return lines
+
+
+def generate_source(plan: _Plan, digest: str) -> str:
+    """The sealed evaluator source for one circuit: four specialized
+    forward passes over the levelized layout, deterministic for a
+    given circuit digest (cache it under that digest)."""
+    body: List[str] = [
+        f"# circuit {digest} n={plan.n} edges={plan.edges} "
+        f"steps={len(plan.steps)}",
+        "",
+    ]
+    # linear semiring: WMC, model count, sat (all weights 1)
+    body += _emit_forward(
+        "forward_wmc", plan, and_fam="mul", or_fam="add",
+        gap_line="cv[_GE{i}] *= _mul(gapvals[_GI{i}], _GO{i})")
+    # log semiring: log-space WMC (gapvals pre-combined per variable)
+    body += _emit_forward(
+        "forward_log", plan, and_fam="add", or_fam="lse",
+        gap_line="cv[_GE{i}] += _add(gapvals[_GI{i}], _GO{i})")
+    # max-product semiring: the MPE upward pass
+    body += _emit_forward(
+        "forward_max", plan, and_fam="mul", or_fam="max",
+        gap_line="cv[_GE{i}] *= _mul(gapvals[_GI{i}], _GO{i})")
+    # boolean evaluation on 0/1 floats (gaps are irrelevant)
+    body += _emit_forward(
+        "forward_eval", plan, and_fam="mul", or_fam="max",
+        gap_line=None)
+    text = "\n".join(body)
+    return seal_source(text)
+
+
+def seal_source(body: str) -> str:
+    """Prefix ``body`` with the schema + self-hash header line."""
+    tag = hashlib.sha256(body.encode()).hexdigest()
+    return f"# {SOURCE_SCHEMA} sha256:{tag}\n{body}"
+
+
+def check_source(text: str) -> bool:
+    """True when ``text`` is a sealed source whose self-hash matches —
+    the integrity gate for store-loaded generated code.  Integrity is
+    version-agnostic (any ``repro-codegen/N`` seal counts): an older
+    emission is *stale*, not corrupt — version currency is the
+    caller's call (:class:`CompiledCircuit` regenerates)."""
+    head, sep, body = text.partition("\n")
+    parts = head.split()
+    if not sep or len(parts) != 3 or parts[0] != "#" or \
+            not parts[1].startswith(_SOURCE_SCHEMA_FAMILY) or \
+            not parts[2].startswith("sha256:"):
+        return False
+    return parts[2][7:] == hashlib.sha256(body.encode()).hexdigest()
+
+
+def source_digest(text: str) -> Optional[str]:
+    """The circuit digest recorded in a sealed source's second line."""
+    lines = text.splitlines()
+    if len(lines) < 2:
+        return None
+    parts = lines[1].split()
+    if len(parts) >= 3 and parts[0] == "#" and parts[1] == "circuit":
+        return parts[2]
+    return None
+
+
+def audited_compile(text: str, namespace: Dict[str, Any]) -> None:
+    """THE one entry point that turns generated text into code.
+
+    Refuses anything that is not a sealed, self-hash-intact source
+    (:func:`check_source`), then compiles and executes it into
+    ``namespace``.  The invariant lint's ``audited-compile`` rule
+    forbids ``eval`` / ``exec`` / ``compile`` on artifact-derived
+    strings anywhere else in the tree, so every byte of generated code
+    is integrity-checked right here before it can run.
+    """
+    if not check_source(text):
+        raise CodegenUnsupported(
+            "generated source failed its integrity check")
+    code = compile(text, "<repro-codegen>", "exec")
+    exec(code, namespace)  # noqa: S102 - the audited entry point
+
+
+# -- the compiled circuit -----------------------------------------------------
+
+class CompiledCircuit:
+    """The specialized evaluators of one circuit.
+
+    Construction builds the levelized plan, fetches (or generates and
+    caches) the sealed source, and compiles it once; each query method
+    packs the per-call weights into the plan's literal layout, runs the
+    matching generated forward pass, and unpacks the root value.
+
+    ``stats`` counts ``codegen_compiles`` / ``codegen_source_hits`` /
+    ``codegen_fallbacks`` and the compile-vs-eval time split
+    (``codegen_compile_us`` / ``codegen_eval_us``).
+    """
+
+    __slots__ = ("kernel", "n", "plan", "stats", "_fns", "_sat_root",
+                 "_count")
+
+    def __init__(self, kernel: "IrKernel",
+                 store: "Optional[ArtifactStore]" = None) -> None:
+        np = _numpy()
+        t0 = time.perf_counter()
+        self.kernel = kernel
+        self.n = kernel.n
+        self.stats = Counter()
+        self._sat_root: Optional[bool] = None
+        self._count: Optional[int] = None
+        plan = _Plan(kernel)
+        self.plan = plan
+        digest = kernel.ir.digest()
+        if store is None:
+            from .store import default_store
+            store = default_store()
+        source: Optional[str] = None
+        if store is not None:
+            source = store.load_codegen(digest)
+            if source is not None and (
+                    source_digest(source) != digest or
+                    not source.startswith(f"# {SOURCE_SCHEMA} ")):
+                source = None  # foreign / older emission: regenerate
+            if source is not None:
+                self.stats.incr("codegen_source_hits")
+        if source is None:
+            source = generate_source(plan, digest)
+            if store is not None:
+                store.save_codegen(digest, source)
+        from ..limits.budget import pass_charge_hook
+        namespace: Dict[str, Any] = dict(plan.arrays)
+        namespace.update({
+            "_take": np.take,
+            "_mul": np.multiply.reduceat,
+            "_add": np.add.reduceat,
+            "_max": np.maximum.reduceat,
+            "_lse": np.logaddexp.reduceat,
+            "_mulb": np.multiply,
+            "_addb": np.add,
+            "_maxb": np.maximum,
+            "_lseb": np.logaddexp,
+            "_mulr": np.multiply.reduce,
+            "_addr": np.add.reduce,
+            "_maxr": np.maximum.reduce,
+            "_lser": np.logaddexp.reduce,
+            "_charge": pass_charge_hook(kernel, self.n),
+            "__builtins__": {},
+        })
+        audited_compile(source, namespace)
+        self._fns = {name: namespace[name]
+                     for name in ("forward_wmc", "forward_log",
+                                  "forward_max", "forward_eval")}
+        self.stats.incr("codegen_compiles")
+        self.stats.incr("codegen_compile_us",
+                        int((time.perf_counter() - t0) * 1e6))
+
+    # -- packing helpers -----------------------------------------------------
+    def _weight_vec(self, weights: Mapping[int, Any]) -> Any:
+        """Literal-code layout of one weight map (scalar calls)."""
+        np = _numpy()
+        lit_list = self.plan.lit_list
+        return np.fromiter((weights[lit] for lit in lit_list),
+                           dtype=float, count=len(lit_list))
+
+    def _weight_rows(self, weights: Mapping[int, Any]) -> Any:
+        """Literal-code layout of a weight batch: (lits, N) rows."""
+        np = _numpy()
+        self.kernel._batch_size(weights)  # empty-batch ValueError parity
+        if not self.plan.lit_list:
+            # no literal rows to carry the batch axis through: the
+            # interpreter's broadcast handling serves this edge case
+            raise CodegenUnsupported("literal-free circuit batch")
+        return np.array([weights[lit] for lit in self.plan.lit_list],
+                        dtype=float)
+
+    def _values(self, wvec: Any, zero: float, one: float) -> Any:
+        """A fresh value buffer with constants and literals filled; the
+        trailing batch axes of ``wvec`` carry through."""
+        np = _numpy()
+        plan = self.plan
+        shape = (self.n,) + wvec.shape[1:]
+        values = np.empty(shape)
+        if len(plan.one_pos):
+            values[plan.one_pos] = one
+        if len(plan.zero_pos):
+            values[plan.zero_pos] = zero
+        values[plan.lit_pos] = wvec[plan.lit_idx]
+        return values
+
+    def _pass_stats(self, stats: Optional[Counter],
+                    batch: Optional[int] = None) -> None:
+        if stats is not None:
+            stats.incr("nodes_visited", self.n)
+            if batch is not None:
+                stats.incr("batch_columns", batch)
+
+    def _timed(self, fn: str, values: Any, gapvals: Any) -> Any:
+        t0 = time.perf_counter()
+        self._fns[fn](values, gapvals)
+        self.stats.incr("codegen_eval_us",
+                        int((time.perf_counter() - t0) * 1e6))
+        return values
+
+    # -- queries -------------------------------------------------------------
+    def wmc(self, weights: Mapping[int, float],
+            stats: Optional[Counter] = None) -> float:
+        plan = self.plan
+        wvec = self._weight_vec(weights)
+        gapvals = wvec[plan.gv_pos] + wvec[plan.gv_neg]
+        values = self._values(wvec, zero=0.0, one=1.0)
+        self._pass_stats(stats)
+        self._timed("forward_wmc", values, gapvals)
+        return float(values[plan.root])
+
+    def wmc_batch(self, weights: Mapping[int, Any],
+                  stats: Optional[Counter] = None) -> Any:
+        plan = self.plan
+        wvec = self._weight_rows(weights)
+        gapvals = wvec[plan.gv_pos] + wvec[plan.gv_neg]
+        values = self._values(wvec, zero=0.0, one=1.0)
+        self._pass_stats(stats, batch=wvec.shape[1])
+        self._timed("forward_wmc", values, gapvals)
+        return values[plan.root].copy()
+
+    def wmc_log_batch(self, log_weights: Mapping[int, Any],
+                      stats: Optional[Counter] = None) -> Any:
+        np = _numpy()
+        plan = self.plan
+        wvec = self._weight_rows(log_weights)
+        gapvals = np.logaddexp(wvec[plan.gv_pos], wvec[plan.gv_neg])
+        values = self._values(wvec, zero=-np.inf, one=0.0)
+        self._pass_stats(stats, batch=wvec.shape[1])
+        self._timed("forward_log", values, gapvals)
+        return values[plan.root].copy()
+
+    def model_count(self, stats: Optional[Counter] = None) -> int:
+        """#SAT through the float64 pipeline: exact while every
+        intermediate stays an integer below 2**53 (counts are bounded
+        by 2**|vars|), unsupported beyond that."""
+        if self._count is not None:
+            return self._count
+        kernel = self.kernel
+        num_vars = len(kernel.varsets[self.n - 1]) if self.n else 0
+        if num_vars > _EXACT_COUNT_VARS:
+            raise CodegenUnsupported(
+                f"model count over {num_vars} variables exceeds "
+                f"float64's exact-integer range")
+        np = _numpy()
+        plan = self.plan
+        wvec = np.ones(len(plan.lit_list))
+        gapvals = wvec[plan.gv_pos] + wvec[plan.gv_neg]
+        values = self._values(wvec, zero=0.0, one=1.0)
+        self._pass_stats(stats)
+        self._timed("forward_wmc", values, gapvals)
+        self._count = int(round(float(values[plan.root])))
+        return self._count
+
+    def sat(self, stats: Optional[Counter] = None) -> bool:
+        """Root satisfiability: the all-ones forward pass is positive
+        iff some model survives (sums and products of non-negatives;
+        float overflow saturates to +inf and stays positive)."""
+        if self._sat_root is not None:
+            return self._sat_root
+        np = _numpy()
+        plan = self.plan
+        wvec = np.ones(len(plan.lit_list))
+        gapvals = wvec[plan.gv_pos] + wvec[plan.gv_neg]
+        values = self._values(wvec, zero=0.0, one=1.0)
+        self._pass_stats(stats)
+        self._timed("forward_wmc", values, gapvals)
+        self._sat_root = bool(values[plan.root] > 0.0)
+        return self._sat_root
+
+    def mpe(self, weights: Mapping[int, float],
+            stats: Optional[Counter] = None
+            ) -> Tuple[float, Dict[int, bool]]:
+        """Vectorized max-product upward pass; the traceback re-reads
+        edge scores exactly as the interpreter does, so the returned
+        assignment is bit-identical to the interpreted one."""
+        np = _numpy()
+        plan = self.plan
+        kernel = self.kernel
+        wvec = self._weight_vec(weights)
+        gapvals = np.maximum(wvec[plan.gv_pos], wvec[plan.gv_neg])
+        values = self._values(wvec, zero=-np.inf, one=1.0)
+        self._pass_stats(stats)
+        self._timed("forward_max", values, gapvals)
+        pos = plan.pos
+
+        def best_literal(var: int) -> int:
+            return var if weights[var] >= weights[-var] else -var
+
+        assignment: Dict[int, bool] = {}
+        kinds = kernel.kinds
+        children = kernel.children
+        gap_vars = kernel.or_gap_vars
+        neg_inf = float("-inf")
+        stack = [self.n - 1]
+        while stack:
+            i = stack.pop()
+            kind = kinds[i]
+            if kind == KIND_LIT:
+                lit = kernel.lits[i]
+                assignment[abs(lit)] = lit > 0
+            elif kind == KIND_AND:
+                stack.extend(children[i])
+            elif kind == KIND_OR:
+                gaps = gap_vars[i]
+                kids = children[i]
+                best_k, best_value = -1, neg_inf
+                for k in range(len(kids)):
+                    value = float(values[pos[kids[k]]])
+                    for var in gaps[k]:  # type: ignore[index]
+                        value *= weights[best_literal(var)]
+                    if value > best_value:
+                        best_k, best_value = k, value
+                if best_k >= 0:
+                    for var in gaps[best_k]:  # type: ignore[index]
+                        lit = best_literal(var)
+                        assignment[abs(lit)] = lit > 0
+                    stack.append(kids[best_k])
+        return float(values[plan.root]), assignment
+
+    def evaluate(self, assignment: Mapping[int, bool],
+                 stats: Optional[Counter] = None) -> bool:
+        np = _numpy()
+        plan = self.plan
+        wvec = np.fromiter(
+            (float(bool(assignment[abs(lit)]) == (lit > 0))
+             for lit in plan.lit_list),
+            dtype=float, count=len(plan.lit_list))
+        values = self._values(wvec, zero=0.0, one=1.0)
+        self._pass_stats(stats)
+        self._timed("forward_eval", values, None)
+        return bool(values[plan.root] > 0.5)
+
+    def evaluate_batch(self, assignment: Mapping[int, Any],
+                       stats: Optional[Counter] = None) -> Any:
+        np = _numpy()
+        plan = self.plan
+        self.kernel._batch_size(assignment)
+        if not plan.lit_list:
+            raise CodegenUnsupported("literal-free circuit batch")
+        rows = []
+        for lit in plan.lit_list:
+            column = np.asarray(assignment[abs(lit)], dtype=bool)
+            rows.append(column if lit > 0 else ~column)
+        wvec = np.array(rows, dtype=float)
+        values = self._values(wvec, zero=0.0, one=1.0)
+        self._pass_stats(stats, batch=wvec.shape[1])
+        self._timed("forward_eval", values, None)
+        return values[plan.root] > 0.5
+
+
+def compile_circuit(kernel: "IrKernel",
+                    store: "Optional[ArtifactStore]" = None
+                    ) -> CompiledCircuit:
+    """Compile ``kernel``'s circuit, or raise :class:`CodegenUnsupported`
+    (no numpy, parameterised or empty circuit)."""
+    try:
+        # probe the attributes the generated code gathers through, so a
+        # missing *or broken* numpy (e.g. a stub module) falls back to
+        # the interpreter instead of failing mid-query
+        np = _numpy()
+        np.take, np.multiply.reduceat, np.logaddexp.reduceat
+    except Exception as error:
+        raise CodegenUnsupported("numpy unavailable") from error
+    return CompiledCircuit(kernel, store=store)

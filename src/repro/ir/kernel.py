@@ -28,6 +28,15 @@ drops those memos explicitly.  Conditioning-style queries are pure
 functions of the per-call weights and never write to the memos — see
 ``tests/test_ir_roundtrip.py`` for the staleness regression tests.
 
+Every query first consults the codegen backend
+(:mod:`repro.ir.codegen`): unless ``$REPRO_BACKEND=interp`` (or
+:meth:`IrKernel.set_backend`) pins the interpreter, supported circuits
+run through a per-circuit compiled straight-line evaluator and only
+fall back to the interpreted loops below on
+:class:`~repro.ir.codegen.CodegenUnsupported` (parameterised circuits,
+counts beyond float64's exact range, literal-free batches, no numpy).
+Both backends charge the same budget and pass the same gate.
+
 numpy is imported lazily on the first batch call, so the scalar kernel
 works (and this module imports) without numpy.
 """
@@ -37,11 +46,16 @@ from __future__ import annotations
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..perf.instrument import Counter
+from .codegen import CodegenUnsupported, resolve_backend
 from .core import (CircuitIR, KIND_AND, KIND_FALSE, KIND_LIT, KIND_OR,
                    KIND_PARAM)
 
 __all__ = ["IrKernel", "ir_kernel", "pack_weight_batch",
            "pack_assignment_batch"]
+
+#: sentinel cached on kernels whose circuit the codegen backend
+#: declined (parameterised, empty, numpy-less) — skip retrying
+_CODEGEN_UNSUPPORTED = object()
 
 Weights = Mapping[int, float]
 #: a batch of weight (or assignment) vectors: literal/variable → the
@@ -81,7 +95,8 @@ class IrKernel:
     """Dense-array evaluation engine for one flattened circuit."""
 
     __slots__ = ("ir", "n", "kinds", "lits", "children", "varsets",
-                 "or_gap_bits", "or_gap_vars", "budget", "_scratch",
+                 "or_gap_bits", "or_gap_vars", "budget", "backend",
+                 "codegen_store", "_codegen", "_scratch",
                  "_model_count", "_sat", "_derivatives", "_certificate")
 
     def __init__(self, ir: CircuitIR) -> None:
@@ -116,6 +131,15 @@ class IrKernel:
             self.or_gap_bits[i] = tuple(gaps)
             self.or_gap_vars[i] = tuple(gap_vars)
         self._scratch: List = [None] * n
+        #: backend override: None defers to ``$REPRO_BACKEND``
+        #: (default ``codegen``); see :meth:`set_backend`
+        self.backend: Optional[str] = None
+        #: ArtifactStore for cached generated sources: None defers to
+        #: ``$REPRO_CACHE_DIR`` (callers with an explicit store — e.g.
+        #: ``repro query --cache-dir`` — set this so the ``.gen.py``
+        #: source lands next to the circuit's ``.nnf``/``.cert``)
+        self.codegen_store: Any = None
+        self._codegen: Any = None
         self._model_count: Optional[int] = None
         self._sat: Optional[List[bool]] = None
         self._derivatives: Optional[List[int]] = None
@@ -124,7 +148,9 @@ class IrKernel:
 
     def invalidate(self) -> None:
         """Drop the memoised pure results (model count, sat flags,
-        integer derivatives).  Weighted passes take their weights and
+        integer derivatives) *and* any codegen-compiled evaluators, so
+        a structurally regenerated circuit can never be served by a
+        stale compiled program.  Weighted passes take their weights and
         parameters per call and are never memoised, so this is only
         needed when the *structure* behind a non-interned IR is
         regenerated in place — interned IRs are immutable and never go
@@ -132,6 +158,39 @@ class IrKernel:
         self._model_count = None
         self._sat = None
         self._derivatives = None
+        self._codegen = None
+
+    # -- backend selection ---------------------------------------------------
+    def set_backend(self, backend: Optional[str]) -> None:
+        """Pin this kernel to ``"codegen"`` or ``"interp"``; ``None``
+        defers back to ``$REPRO_BACKEND`` (default ``codegen``).  Any
+        compiled evaluator is dropped so the choice takes effect
+        immediately."""
+        if backend is not None:
+            resolve_backend(backend)  # validate
+        self.backend = backend
+        self._codegen = None
+
+    def backend_name(self) -> str:
+        """The backend this kernel resolves to right now."""
+        return resolve_backend(self.backend)
+
+    def _compiled(self) -> Any:
+        """The circuit's CompiledCircuit, or None when the interpreter
+        should run (interp backend, unsupported circuit, no numpy).
+        The compiled program is cached until :meth:`invalidate` or
+        :meth:`set_backend`."""
+        if resolve_backend(self.backend) != "codegen":
+            return None
+        cg = self._codegen
+        if cg is None:
+            from .codegen import compile_circuit
+            try:
+                cg = compile_circuit(self, store=self.codegen_store)
+            except CodegenUnsupported:
+                cg = _CODEGEN_UNSUPPORTED
+            self._codegen = cg
+        return None if cg is _CODEGEN_UNSUPPORTED else cg
 
     def _charge(self, passes: int = 1) -> None:
         """Charge the (explicit or ambient) budget for ``passes`` full
@@ -184,6 +243,13 @@ class IrKernel:
         kernel = self._gated("sat")
         if kernel is not self:
             return kernel.sat(stats)
+        if self._sat is None:
+            cg = self._compiled()
+            if cg is not None:
+                try:
+                    return cg.sat(stats)
+                except CodegenUnsupported:
+                    cg.stats.incr("codegen_fallbacks")
         return self.sat_flags(stats)[self.n - 1] if self.n else False
 
     def sat_model(self, stats: Counter | None = None
@@ -222,6 +288,13 @@ class IrKernel:
         if kernel is not self:
             return kernel.model_count(stats)
         if self._model_count is None:
+            cg = self._compiled()
+            if cg is not None:
+                try:
+                    self._model_count = cg.model_count(stats)
+                    return self._model_count
+                except CodegenUnsupported:
+                    cg.stats.incr("codegen_fallbacks")
             self._model_count = self._count_pass(stats)
         elif stats is not None:
             stats.incr("kernel_memo_hits")
@@ -264,6 +337,12 @@ class IrKernel:
         kernel = self._gated("wmc")
         if kernel is not self:
             return kernel.wmc(weights, stats, params)
+        cg = self._compiled()
+        if cg is not None:
+            try:
+                return cg.wmc(weights, stats)
+            except CodegenUnsupported:
+                cg.stats.incr("codegen_fallbacks")
         self._charge()
         if stats is not None:
             stats.incr("nodes_visited", self.n)
@@ -304,6 +383,12 @@ class IrKernel:
         kernel = self._gated("mpe")
         if kernel is not self:
             return kernel.mpe(weights, stats, params)
+        cg = self._compiled()
+        if cg is not None:
+            try:
+                return cg.mpe(weights, stats)
+            except CodegenUnsupported:
+                cg.stats.incr("codegen_fallbacks")
         self._charge()
         if stats is not None:
             stats.incr("nodes_visited", self.n)
@@ -454,6 +539,12 @@ class IrKernel:
     # -- evaluation ----------------------------------------------------------
     def evaluate(self, assignment: Mapping[int, bool],
                  stats: Counter | None = None) -> bool:
+        cg = self._compiled()
+        if cg is not None:
+            try:
+                return cg.evaluate(assignment, stats)
+            except CodegenUnsupported:
+                cg.stats.incr("codegen_fallbacks")
         self._charge()
         if stats is not None:
             stats.incr("nodes_visited", self.n)
@@ -504,6 +595,12 @@ class IrKernel:
         kernel = self._gated("wmc")
         if kernel is not self:
             return kernel.wmc_batch(weights, stats, params)
+        cg = self._compiled()
+        if cg is not None:
+            try:
+                return cg.wmc_batch(weights, stats)
+            except CodegenUnsupported:
+                cg.stats.incr("codegen_fallbacks")
         np = _numpy()
         batch = self._batch_size(weights)
         self._count_batch_stats(stats, batch)
@@ -550,6 +647,12 @@ class IrKernel:
         kernel = self._gated("wmc")
         if kernel is not self:
             return kernel.wmc_log_batch(log_weights, stats, params)
+        cg = self._compiled()
+        if cg is not None:
+            try:
+                return cg.wmc_log_batch(log_weights, stats)
+            except CodegenUnsupported:
+                cg.stats.incr("codegen_fallbacks")
         np = _numpy()
         batch = self._batch_size(log_weights)
         self._count_batch_stats(stats, batch)
@@ -602,6 +705,12 @@ class IrKernel:
         array (see :func:`pack_assignment_batch`); returns a length-N
         bool array.
         """
+        cg = self._compiled()
+        if cg is not None:
+            try:
+                return cg.evaluate_batch(assignment, stats)
+            except CodegenUnsupported:
+                cg.stats.incr("codegen_fallbacks")
         np = _numpy()
         batch = self._batch_size(assignment)
         self._count_batch_stats(stats, batch)

@@ -27,6 +27,8 @@ compatibility.  SDD texts lower to the IR via
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..vtree.vtree import Vtree
@@ -34,8 +36,9 @@ from .core import (CircuitIR, KIND_AND, KIND_FALSE, KIND_LIT, KIND_OR,
                    KIND_TRUE)
 from .lower import structural_flags
 
-__all__ = ["ir_to_nnf_text", "ir_from_nnf_text", "write_vtree_text",
-           "read_vtree_text", "write_sdd_file", "read_sdd_file"]
+__all__ = ["ir_to_nnf_text", "ir_from_nnf_text", "ir_to_csr_bytes",
+           "ir_from_csr_buffer", "write_vtree_text", "read_vtree_text",
+           "write_sdd_file", "read_sdd_file"]
 
 
 # -- c2d .nnf ----------------------------------------------------------------
@@ -140,6 +143,100 @@ def ir_from_nnf_text(text: str, flags: Optional[int] = None,
     if flags is None:
         ir.flags = structural_flags(ir)
     return ir.intern() if intern else ir
+
+
+# -- binary CSR sidecar (.csr) -----------------------------------------------
+# The IR's four parallel arrays, verbatim, in a fixed little-endian
+# layout — the zero-parse twin of the ``.nnf`` text that warm
+# artifact-store loads memory-map instead of re-parsing:
+#
+#   magic(8) | n,edges,flags,num_params (4 × u64 LE)
+#   | text_hash (32 raw bytes: sha256 of the .nnf text, .cert binding)
+#   | kinds  i8 × n | lits i32 × n | offsets i64 × (n+1)
+#   | child_ids i32 × edges | trailer (sha256 of everything above)
+#
+# The trailer makes truncation and bit rot self-evident; the embedded
+# text hash lets the store certify a mapped load against the same
+# ``.cert`` sidecar the text write produced, without touching the text.
+
+CSR_MAGIC = b"RCSR1\x00\x00\x00"
+_CSR_HEADER = struct.Struct("<QQQQ")
+
+
+def ir_to_csr_bytes(ir: CircuitIR, text_hash: str) -> bytes:
+    """Serialise an IR as the binary CSR sidecar (deterministic:
+    write∘read∘write is byte-stable).  ``text_hash`` is the content
+    hash of the artifact's canonical text, carried for certificate
+    binding on memory-mapped loads."""
+    n = ir.n
+    edges = ir.edge_count()
+    parts = [
+        CSR_MAGIC,
+        _CSR_HEADER.pack(n, edges, ir.flags, ir.num_params),
+        bytes.fromhex(text_hash),
+        struct.pack(f"<{n}b", *ir.kinds),
+        struct.pack(f"<{n}i", *ir.lits),
+        struct.pack(f"<{n + 1}q", *ir.offsets),
+        struct.pack(f"<{edges}i", *ir.child_ids),
+    ]
+    body = b"".join(parts)
+    return body + hashlib.sha256(body).digest()
+
+
+def ir_from_csr_buffer(buf: "bytes | memoryview"
+                       ) -> Tuple[CircuitIR, str]:
+    """Parse a binary CSR sidecar into ``(ir, text_hash)``.
+
+    Accepts any buffer (typically a memory-mapped file): the arrays are
+    decoded through zero-copy numpy views when numpy is available, and
+    the trailing hash is verified first so truncated or rotted sidecars
+    raise ``ValueError`` instead of yielding a wrong circuit.  Flags
+    come from the header (written by the store, certified at load
+    time); no structural re-scan happens here.
+    """
+    view = memoryview(buf)
+    head = len(CSR_MAGIC) + _CSR_HEADER.size + 32
+    if len(view) < head + 32:
+        raise ValueError("truncated csr sidecar")
+    if bytes(view[:len(CSR_MAGIC)]) != CSR_MAGIC:
+        raise ValueError("bad csr magic")
+    n, edges, flags, num_params = _CSR_HEADER.unpack(
+        view[len(CSR_MAGIC):len(CSR_MAGIC) + _CSR_HEADER.size])
+    body_len = head + n + 4 * n + 8 * (n + 1) + 4 * edges
+    if len(view) != body_len + 32:
+        raise ValueError("csr sidecar length mismatch")
+    if hashlib.sha256(view[:body_len]).digest() != \
+            bytes(view[body_len:]):
+        raise ValueError("csr sidecar integrity hash mismatch")
+    text_hash = bytes(view[len(CSR_MAGIC) + _CSR_HEADER.size:
+                           head]).hex()
+    kinds: Any
+    try:
+        import numpy as np
+        offset = head
+        kinds = np.frombuffer(view, dtype="<i1", count=n,
+                              offset=offset).tolist()
+        offset += n
+        lits = np.frombuffer(view, dtype="<i4", count=n,
+                             offset=offset).tolist()
+        offset += 4 * n
+        offsets = np.frombuffer(view, dtype="<i8", count=n + 1,
+                                offset=offset).tolist()
+        offset += 8 * (n + 1)
+        child_ids = np.frombuffer(view, dtype="<i4", count=edges,
+                                  offset=offset).tolist()
+    except ImportError:
+        offset = head
+        kinds = list(struct.unpack_from(f"<{n}b", view, offset))
+        offset += n
+        lits = list(struct.unpack_from(f"<{n}i", view, offset))
+        offset += 4 * n
+        offsets = list(struct.unpack_from(f"<{n + 1}q", view, offset))
+        offset += 8 * (n + 1)
+        child_ids = list(struct.unpack_from(f"<{edges}i", view, offset))
+    ir = CircuitIR(kinds, lits, offsets, child_ids, flags=int(flags),
+                   num_params=int(num_params))
+    return ir, text_hash
 
 
 # -- libsdd .vtree -----------------------------------------------------------

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import mmap
 import os
 import tempfile
 from pathlib import Path
@@ -33,7 +34,8 @@ from typing import Any, Mapping, Optional, Tuple
 
 from ..perf.instrument import Counter
 from .core import CircuitIR
-from .serialize import (ir_from_nnf_text, ir_to_nnf_text, read_sdd_file,
+from .serialize import (ir_from_csr_buffer, ir_from_nnf_text,
+                        ir_to_csr_bytes, ir_to_nnf_text, read_sdd_file,
                         write_sdd_file, write_vtree_text)
 
 __all__ = ["ArtifactStore", "artifact_key", "default_store"]
@@ -101,14 +103,35 @@ class ArtifactStore:
         self.stats.incr("artifact_writes")
         return path
 
-    def _quarantine(self, *paths: Path) -> None:
-        """Move unparseable artifacts aside and account the corruption
-        as a miss, so the caller recompiles instead of crashing."""
+    def _write_bytes(self, path: Path, blob: bytes) -> Path:
+        """:meth:`_write` for binary sidecars (same atomic rename).
+        Sidecars are bookkeeping, not artifact traffic: counted under
+        ``artifact_sidecar_writes``, like ``.cert`` files."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.stats.incr("artifact_sidecar_writes")
+        return path
+
+    @staticmethod
+    def _move_aside(*paths: Path) -> None:
         for path in paths:
             try:
                 os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
             except OSError:
                 pass  # already gone or unmovable: the miss still stands
+
+    def _quarantine(self, *paths: Path) -> None:
+        """Move unparseable artifacts aside and account the corruption
+        as a miss, so the caller recompiles instead of crashing."""
+        self._move_aside(*paths)
         self.stats.incr("artifact_corrupt")
         self.stats.incr("artifact_misses")
 
@@ -183,16 +206,69 @@ class ArtifactStore:
         total = hits + self.stats["artifact_misses"]
         return hits / total if total else 0.0
 
-    # -- d-DNNF artifacts (.nnf) --------------------------------------------
+    # -- d-DNNF artifacts (.nnf + .csr) -------------------------------------
+    def _load_csr(self, key: str,
+                  flags: Optional[int]) -> Optional[CircuitIR]:
+        """The memory-mapped warm path: decode the binary ``.csr``
+        sidecar (written at store time) instead of parsing text.  A
+        missing sidecar returns None silently (the text path decides
+        hit or miss); a corrupt one is quarantined — ``.csr.corrupt``
+        alongside, ``artifact_corrupt`` counted — and the load falls
+        back to the text artifact, which re-parses from scratch.
+
+        The ``.nnf`` text stays authoritative: the sidecar embeds the
+        hash of the text it was decoded from, and a mismatch (the text
+        was rewritten or mutated underneath the sidecar) silently
+        defers to the text path, whose parse + serve-time
+        certification sees the *current* bytes.
+        """
+        path = self.path_for(key, "csr")
+        try:
+            with open(path, "rb") as handle:
+                mapped = mmap.mmap(handle.fileno(), 0,
+                                   access=mmap.ACCESS_READ)
+                try:
+                    ir, text_hash = ir_from_csr_buffer(mapped)
+                finally:
+                    mapped.close()
+        except OSError:
+            return None
+        except Exception:
+            self._move_aside(path)
+            self.stats.incr("artifact_corrupt")
+            return None
+        try:
+            raw = self.path_for(key, "nnf").read_bytes()
+        except OSError:
+            return None  # orphan sidecar: the text path rules it a miss
+        if hashlib.sha256(raw).hexdigest() != text_hash:
+            return None  # stale sidecar: text changed underneath it
+        if self.verify:
+            claimed = ir.flags if flags is None else flags
+            if not self._certify_load(key, ir, claimed, text_hash,
+                                      None, path):
+                return None
+        self.stats.incr("artifact_mmap_hits")
+        return ir.intern()
+
     def load_nnf(self, key: str,
                  flags: Optional[int] = None) -> Optional[CircuitIR]:
         """The cached IR for ``key``, or None on a miss.
+
+        Warm loads prefer the binary ``.csr`` sidecar — a memory-mapped
+        decode of the CSR arrays that skips text parsing entirely
+        (``artifact_mmap_hits``) — and fall back to reading and parsing
+        the ``.nnf`` text when the sidecar is missing or quarantined.
 
         ``flags`` is forwarded to :func:`ir_from_nnf_text`: a caller
         that knows the stored circuit's properties (a compiler loading
         its own output) passes them to skip the structural scan, which
         keeps the warm path at file-read + parse cost.
         """
+        ir = self._load_csr(key, flags)
+        if ir is not None:
+            self.stats.incr("artifact_hits")
+            return ir
         path = self.path_for(key, "nnf")
         try:
             text = path.read_text()
@@ -216,6 +292,10 @@ class ArtifactStore:
     def save_nnf(self, key: str, ir: CircuitIR) -> Path:
         text = ir_to_nnf_text(ir)
         path = self._write(self.path_for(key, "nnf"), text)
+        # the binary CSR twin serves memory-mapped warm loads; its
+        # embedded text hash binds it to the same .cert sidecar
+        self._write_bytes(self.path_for(key, "csr"),
+                          ir_to_csr_bytes(ir, self._content_hash(text)))
         if self.verify:
             # the writer's flags are asserted by construction; loads
             # claiming more will re-verify and widen the certificate
@@ -223,6 +303,32 @@ class ArtifactStore:
             self._write_cert(key, self._content_hash(text), ir.flags,
                              status, "construction")
         return path
+
+    # -- generated evaluator sources (.gen.py) -------------------------------
+    def load_codegen(self, key: str) -> Optional[str]:
+        """The sealed generated-evaluator source for circuit digest
+        ``key``, or None.  A source whose self-hash no longer matches
+        is quarantined (``*.corrupt``) and reported as a miss — it is
+        regenerated, never compiled."""
+        path = self.path_for(key, "gen.py")
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.incr("codegen_source_misses")
+            return None
+        from .codegen import check_source
+        if not check_source(text):
+            self._move_aside(path)
+            self.stats.incr("artifact_corrupt")
+            self.stats.incr("codegen_source_misses")
+            return None
+        self.stats.incr("codegen_source_hits")
+        return text
+
+    def save_codegen(self, key: str, source: str) -> Path:
+        """Cache a sealed generated source next to the circuit's
+        ``.cert`` sidecar, under the same digest."""
+        return self._write(self.path_for(key, "gen.py"), source)
 
     # -- SDD artifacts (.sdd + .vtree) --------------------------------------
     def load_sdd(self, key: str) -> Optional[Tuple[object, object]]:

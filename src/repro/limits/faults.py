@@ -99,20 +99,22 @@ def corrupt_artifact(store, key: str, ext: str,
     Modes: ``"truncate"`` keeps roughly the first half of the file
     (a partial write / killed process), ``"garbage"`` replaces the
     content with non-format bytes (bit rot, wrong file), ``"empty"``
-    zeroes it.  Returns the corrupted path; raises ``FileNotFoundError``
-    if the artifact does not exist.
+    zeroes it.  Operates on raw bytes, so binary sidecars (the
+    store's ``.csr`` CSR twin) corrupt exactly like text artifacts.
+    Returns the corrupted path; raises ``FileNotFoundError`` if the
+    artifact does not exist.
     """
     if mode not in CORRUPT_MODES:
         raise ValueError(f"unknown corruption mode {mode!r}; "
                          f"expected one of {CORRUPT_MODES}")
     path = store.path_for(key, ext)
-    text = path.read_text()
+    blob = path.read_bytes()
     if mode == "truncate":
-        path.write_text(text[:max(1, len(text) // 2)])
+        path.write_bytes(blob[:max(1, len(blob) // 2)])
     elif mode == "garbage":
-        path.write_text("!! this is not a circuit !!\n%\x00garbage\n")
+        path.write_bytes(b"!! this is not a circuit !!\n%\x00garbage\n")
     else:  # empty
-        path.write_text("")
+        path.write_bytes(b"")
     return path
 
 

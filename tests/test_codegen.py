@@ -1,0 +1,447 @@
+"""Tests for the codegen backend (:mod:`repro.ir.codegen`): generated
+evaluators agree with the interpreted kernel on every query, fall back
+where unsupported, stay fresh across invalidation and EM updates, and
+round-trip through the artifact store's sealed-source and binary CSR
+sidecars."""
+
+import math
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.compile.dnnf_compiler import DnnfCompiler
+from repro.ir import (CodegenUnsupported, ir_kernel, nnf_to_ir,
+                      psdd_to_ir)
+from repro.ir.codegen import (audited_compile, check_source,
+                              compile_circuit, resolve_backend,
+                              seal_source, source_digest)
+from repro.ir.core import IrBuilder
+from repro.ir.serialize import (ir_from_csr_buffer, ir_from_nnf_text,
+                                ir_to_csr_bytes)
+from repro.ir.store import ArtifactStore
+from repro.limits import Budget, BudgetExceeded
+from repro.limits.faults import corrupt_artifact
+from repro.logic.cnf import Cnf
+
+np = pytest.importorskip("numpy")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def random_cnf(rng, max_vars=7):
+    n = rng.randint(3, max_vars)
+    m = rng.randint(n, 3 * n)
+    clauses = []
+    for _ in range(m):
+        width = rng.randint(1, 3)
+        vs = rng.sample(range(1, n + 1), width)
+        clauses.append(tuple(v if rng.random() < 0.5 else -v
+                             for v in vs))
+    return Cnf(clauses, num_vars=n)
+
+
+def random_weights(rng, variables):
+    weights = {}
+    for v in variables:
+        weights[v] = rng.uniform(0.1, 1.0)
+        weights[-v] = rng.uniform(0.1, 1.0)
+    return weights
+
+
+def fresh_kernel(cnf):
+    """A kernel over the compiled cnf with no backend override."""
+    ir = nnf_to_ir(DnnfCompiler().compile(cnf))
+    kernel = ir_kernel(ir)
+    kernel.set_backend(None)
+    kernel.invalidate()
+    return kernel
+
+
+# -- agreement corpus: codegen vs interpreter --------------------------------
+
+def test_codegen_matches_interpreter_on_random_circuits():
+    """100 random d-DNNFs: every query the codegen backend serves
+    (scalar, batch, log-space) equals the interpreted kernel."""
+    rng = random.Random(2026)
+    for _ in range(100):
+        cnf = random_cnf(rng)
+        kernel = fresh_kernel(cnf)
+        variables = range(1, cnf.num_vars + 1)
+        weights = random_weights(rng, variables)
+        batch = 3
+        weight_rows = {
+            lit: np.array([rng.uniform(0.1, 1.0) for _ in range(batch)])
+            for v in variables for lit in (v, -v)}
+        log_rows = {lit: np.log(row)
+                    for lit, row in weight_rows.items()}
+        assign = {v: rng.random() < 0.5 for v in variables}
+        assign_rows = {v: np.array([rng.random() < 0.5
+                                    for _ in range(batch)])
+                       for v in variables}
+
+        kernel.set_backend("interp")
+        expected = {
+            "count": kernel.model_count(),
+            "sat": kernel.sat(),
+            "wmc": kernel.wmc(weights),
+            "mpe": kernel.mpe(weights),
+            "evaluate": kernel.evaluate(assign),
+            "wmc_batch": kernel.wmc_batch(weight_rows),
+            "wmc_log_batch": kernel.wmc_log_batch(log_rows),
+            "evaluate_batch": kernel.evaluate_batch(assign_rows),
+        }
+        kernel.invalidate()
+        kernel.set_backend("codegen")
+        assert kernel.model_count() == expected["count"]
+        assert kernel.sat() == expected["sat"]
+        assert kernel.wmc(weights) == pytest.approx(expected["wmc"],
+                                                    rel=1e-9)
+        value, model = kernel.mpe(weights)
+        assert value == pytest.approx(expected["mpe"][0], rel=1e-9)
+        assert model == expected["mpe"][1]
+        assert kernel.evaluate(assign) == expected["evaluate"]
+        assert np.allclose(kernel.wmc_batch(weight_rows),
+                           expected["wmc_batch"], rtol=1e-9)
+        assert np.allclose(kernel.wmc_log_batch(log_rows),
+                           expected["wmc_log_batch"], rtol=1e-9,
+                           atol=1e-9)
+        assert list(kernel.evaluate_batch(assign_rows)) == \
+            list(expected["evaluate_batch"])
+        kernel.set_backend(None)
+
+
+def test_codegen_derivatives_still_interpreted():
+    """Marginal/derivative queries stay on the exact interpreted path
+    regardless of backend (memoised bigints; see the fallback table in
+    docs/architecture.md)."""
+    from repro.nnf.transform import smooth
+    root = smooth(DnnfCompiler().compile(Cnf([(1, 2), (-1, 3)],
+                                             num_vars=3)))
+    kernel = ir_kernel(nnf_to_ir(root))
+    kernel.set_backend("codegen")
+    derivs = kernel.derivatives()
+    kernel.set_backend("interp")
+    kernel.invalidate()
+    assert kernel.derivatives() == derivs
+
+
+# -- backend selection -------------------------------------------------------
+
+def test_resolve_backend_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert resolve_backend() == "codegen"
+    monkeypatch.setenv("REPRO_BACKEND", "interp")
+    assert resolve_backend() == "interp"
+    assert resolve_backend("codegen") == "codegen"  # explicit wins
+    with pytest.raises(ValueError):
+        resolve_backend("turbo")
+    monkeypatch.setenv("REPRO_BACKEND", "turbo")
+    with pytest.raises(ValueError):
+        resolve_backend()
+
+
+def test_set_backend_validates_and_resets(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    kernel = fresh_kernel(Cnf([(1, 2)], num_vars=2))
+    with pytest.raises(ValueError):
+        kernel.set_backend("turbo")
+    kernel.set_backend("codegen")
+    kernel.wmc({1: 0.5, -1: 0.5, 2: 0.5, -2: 0.5})
+    assert kernel._codegen is not None
+    kernel.set_backend("interp")
+    assert kernel._codegen is None  # switching drops the compilate
+    assert kernel.backend_name() == "interp"
+    kernel.set_backend(None)
+    assert kernel.backend_name() == "codegen"
+
+
+def test_interp_backend_never_compiles(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "interp")
+    kernel = fresh_kernel(Cnf([(1, 2), (-2, 3)], num_vars=3))
+    assert kernel.model_count() == 4
+    assert kernel._codegen is None
+
+
+# -- fallback domain ---------------------------------------------------------
+
+def test_param_circuits_fall_back_to_interpreter():
+    builder = IrBuilder()
+    root = builder.conjoin([builder.literal(1), builder.param()])
+    kernel = ir_kernel(builder.finish(root))
+    kernel.set_backend("codegen")
+    assert kernel.wmc({1: 0.5, -1: 0.5}, params=[2.0]) == \
+        pytest.approx(1.0)
+    # the unsupported verdict is memoised: no per-query retry
+    assert kernel._codegen is not None
+    assert not hasattr(kernel._codegen, "wmc")
+
+
+def test_wide_count_falls_back_exactly():
+    """#SAT beyond 52 variables leaves float64's exact integer range,
+    so the generated count refuses and the interpreter's bigint pass
+    answers."""
+    n = 60
+    builder = IrBuilder()
+    root = builder.conjoin([
+        builder.disjoin([builder.literal(v), builder.literal(-v)])
+        for v in range(1, n + 1)])
+    kernel = ir_kernel(builder.finish(root))
+    kernel.set_backend("codegen")
+    assert kernel.model_count() == 2 ** n
+    compiled = kernel._codegen
+    assert hasattr(compiled, "model_count")  # compiled, then declined
+    with pytest.raises(CodegenUnsupported):
+        compiled.model_count()
+
+
+def test_literal_free_batch_falls_back():
+    builder = IrBuilder()
+    kernel = ir_kernel(builder.finish(builder.true()))
+    kernel.set_backend("codegen")
+    rows = kernel.evaluate_batch({1: np.array([True, False])})
+    assert list(rows) == [True, True]
+
+
+def test_empty_batch_raises_either_backend():
+    kernel = fresh_kernel(Cnf([(1, 2)], num_vars=2))
+    for backend in ("codegen", "interp"):
+        kernel.set_backend(backend)
+        with pytest.raises(ValueError):
+            kernel.wmc_batch({})
+
+
+# -- freshness: invalidation and EM updates ----------------------------------
+
+def test_invalidate_drops_compiled_evaluator():
+    kernel = fresh_kernel(Cnf([(1, 2), (-1, 3)], num_vars=3))
+    kernel.set_backend("codegen")
+    count = kernel.model_count()
+    assert kernel._codegen is not None
+    kernel.invalidate()
+    assert kernel._codegen is None
+    assert kernel._model_count is None
+    assert kernel.model_count() == count
+
+
+def test_psdd_em_updates_never_served_stale():
+    """EM parameter updates on PSDDs must reach every query: the
+    parameterised circuit is codegen-unsupported, and the fallback
+    re-reads θ per query instead of baking it into a compilate
+    (extends the PR 3 memo-staleness suite)."""
+    from repro.logic import VarMap, parse, to_cnf
+    from repro.psdd import learn_parameters, psdd_from_sdd
+    from repro.psdd.queries import marginal, marginal_legacy
+    from repro.sdd.compiler import compile_cnf_sdd
+    vm = VarMap()
+    f = parse("(P | L) & (A -> P) & (K -> (A | L))", vm)
+    root, _ = compile_cnf_sdd(to_cnf(f))
+    psdd = psdd_from_sdd(root)
+    ir, _params = psdd_to_ir(psdd)
+    kernel = ir_kernel(ir)
+    kernel.set_backend("codegen")
+    try:
+        before = marginal(psdd, {1: True})
+        data = [({1: True, 2: True, 3: True, 4: True}, 5),
+                ({1: True, 2: False, 3: True, 4: False}, 3),
+                ({1: False, 2: True, 3: False, 4: False}, 2)]
+        learn_parameters(psdd, data)
+        after = marginal(psdd, {1: True})
+        assert after != pytest.approx(before)
+        assert after == pytest.approx(marginal_legacy(psdd, {1: True}))
+    finally:
+        kernel.set_backend(None)
+
+
+# -- sealed sources and the audited compile gate -----------------------------
+
+def test_audited_compile_refuses_unsealed_source():
+    with pytest.raises(CodegenUnsupported):
+        audited_compile("x = 1\n", {})
+    sealed = seal_source("x = 1\n")
+    assert check_source(sealed)
+    namespace = {}
+    audited_compile(sealed, namespace)
+    assert namespace["x"] == 1
+    tampered = sealed.replace("x = 1", "x = 2")
+    assert not check_source(tampered)
+    with pytest.raises(CodegenUnsupported):
+        audited_compile(tampered, {})
+
+
+def test_codegen_source_cache_roundtrip(tmp_path):
+    kernel = fresh_kernel(Cnf([(1, 2), (-1, 3), (2, -3)], num_vars=3))
+    store = ArtifactStore(tmp_path / "cache")
+    weights = random_weights(random.Random(4), range(1, 4))
+    first = compile_circuit(kernel, store)
+    assert store.stats["codegen_source_misses"] == 1
+    key = kernel.ir.digest()
+    path = store.path_for(key, "gen.py")
+    assert path.exists()
+    assert source_digest(path.read_text()) == key
+    second = compile_circuit(kernel, store)
+    assert store.stats["codegen_source_hits"] == 1
+    assert first.wmc(weights) == pytest.approx(second.wmc(weights))
+
+
+def test_corrupt_codegen_source_quarantined_and_regenerated(tmp_path):
+    kernel = fresh_kernel(Cnf([(1, 2), (-2, 3)], num_vars=3))
+    store = ArtifactStore(tmp_path / "cache")
+    compile_circuit(kernel, store)
+    key = kernel.ir.digest()
+    corrupt_artifact(store, key, "gen.py", "truncate")
+    compiled = compile_circuit(kernel, store)
+    assert store.stats["artifact_corrupt"] == 1
+    assert store.path_for(key, "gen.py").with_suffix(
+        ".py.corrupt").exists()
+    assert compiled.model_count() == kernel.model_count()
+    # the regeneration rewrote a clean source
+    assert check_source(store.path_for(key, "gen.py").read_text())
+
+
+def test_foreign_source_under_right_key_rejected(tmp_path):
+    """A sealed source whose embedded circuit digest differs from the
+    store key (wrong file copied into place) is regenerated, not
+    trusted."""
+    kernel_a = fresh_kernel(Cnf([(1, 2)], num_vars=2))
+    kernel_b = fresh_kernel(Cnf([(1, 2), (-1, 3), (2, 3)], num_vars=3))
+    store = ArtifactStore(tmp_path / "cache")
+    compile_circuit(kernel_a, store)
+    foreign = store.path_for(kernel_a.ir.digest(), "gen.py").read_text()
+    key_b = kernel_b.ir.digest()
+    store.save_codegen(key_b, foreign)
+    compiled = compile_circuit(kernel_b, store)
+    assert compiled.model_count() == kernel_b.model_count()
+
+
+# -- binary CSR sidecar ------------------------------------------------------
+
+def test_csr_bytes_roundtrip_is_byte_stable():
+    rng = random.Random(99)
+    for _ in range(25):
+        ir = nnf_to_ir(DnnfCompiler().compile(random_cnf(rng)))
+        text_hash = "ab" * 32
+        blob = ir_to_csr_bytes(ir, text_hash)
+        decoded, decoded_hash = ir_from_csr_buffer(blob)
+        assert decoded_hash == text_hash
+        assert decoded.digest() == ir.digest()
+        assert ir_to_csr_bytes(decoded, decoded_hash) == blob
+
+
+def test_csr_decode_rejects_corruption():
+    ir = nnf_to_ir(DnnfCompiler().compile(Cnf([(1, 2)], num_vars=2)))
+    blob = ir_to_csr_bytes(ir, "cd" * 32)
+    for bad in (blob[:10], b"", b"XXXX" + blob[4:],
+                blob[:-1] + bytes([blob[-1] ^ 1])):
+        with pytest.raises(ValueError):
+            ir_from_csr_buffer(bad)
+
+
+def test_mmap_load_equals_text_load(tmp_path):
+    ir = nnf_to_ir(DnnfCompiler().compile(
+        Cnf([(1, 2, 3), (-1, 2), (-2, 3), (1, -3)], num_vars=3)))
+    key = ir.digest()
+    ArtifactStore(tmp_path / "cache").save_nnf(key, ir)
+    mmap_store = ArtifactStore(tmp_path / "cache")
+    via_mmap = mmap_store.load_nnf(key)
+    assert mmap_store.stats["artifact_mmap_hits"] == 1
+    os.unlink(mmap_store.path_for(key, "csr"))
+    text_store = ArtifactStore(tmp_path / "cache")
+    via_text = text_store.load_nnf(key)
+    assert text_store.stats["artifact_mmap_hits"] == 0
+    assert via_mmap is not None and via_text is not None
+    assert via_mmap.digest() == via_text.digest() == key
+    assert ir_kernel(via_mmap).model_count() == \
+        ir_kernel(via_text).model_count()
+
+
+def test_corrupt_csr_quarantined_text_still_serves(tmp_path):
+    ir = nnf_to_ir(DnnfCompiler().compile(
+        Cnf([(1, 2), (-1, 3)], num_vars=3)))
+    key = ir.digest()
+    store = ArtifactStore(tmp_path / "cache")
+    store.save_nnf(key, ir)
+    for mode in ("garbage", "truncate", "empty"):
+        corrupt_artifact(store, key, "csr", mode)
+        served = store.load_nnf(key)
+        assert served is not None
+        assert ir_kernel(served).model_count() == \
+            ir_kernel(ir).model_count()
+        quarantined = store.path_for(key, "csr").with_suffix(
+            ".csr.corrupt")
+        assert quarantined.exists()
+        quarantined.unlink()
+        store.save_nnf(key, ir)  # rewrite the sidecar for the next mode
+    assert store.stats["artifact_corrupt"] == 3
+
+
+def test_stale_csr_defers_to_rewritten_text(tmp_path):
+    """The .nnf stays authoritative: rewriting it underneath the
+    sidecar makes the mmap path step aside silently."""
+    ir_a = nnf_to_ir(DnnfCompiler().compile(Cnf([(1, 2)], num_vars=2)))
+    ir_b = nnf_to_ir(DnnfCompiler().compile(
+        Cnf([(1, 2), (-1, 3), (2, 3)], num_vars=3)))
+    store = ArtifactStore(tmp_path / "cache")
+    store.save_nnf("k", ir_a)
+    # rewrite the text (fresh cert) but resurrect the stale sidecar
+    stale = store.path_for("k", "csr").read_bytes()
+    store.save_nnf("k", ir_b)
+    store.path_for("k", "csr").write_bytes(stale)
+    warm = ArtifactStore(tmp_path / "cache")
+    served = warm.load_nnf("k")
+    assert served is not None
+    assert served.digest() == ir_b.digest()
+    assert warm.stats["artifact_mmap_hits"] == 0
+
+
+# -- resource governance through generated code ------------------------------
+
+def test_generated_code_charges_budget():
+    kernel = fresh_kernel(Cnf([(1, 2), (-1, 3), (2, -3)], num_vars=3))
+    kernel.set_backend("codegen")
+    weights = {lit: 0.5 for v in (1, 2, 3) for lit in (v, -v)}
+    kernel.wmc(weights)  # compile outside the budget
+    kernel.budget = Budget(max_nodes=kernel.n - 1)
+    try:
+        with pytest.raises(BudgetExceeded) as info:
+            kernel.wmc(weights)
+        assert info.value.partial.get("operation") == "kernel-pass"
+    finally:
+        kernel.budget = None
+
+
+def test_codegen_respects_ambient_budget_scope():
+    kernel = fresh_kernel(Cnf([(1, 2), (-2, 3)], num_vars=3))
+    kernel.set_backend("codegen")
+    kernel.sat()  # compile untimed
+    kernel.invalidate()
+    with Budget(max_nodes=1).scope():
+        with pytest.raises(BudgetExceeded):
+            kernel.model_count()
+
+
+# -- cli / subprocess surfaces ------------------------------------------------
+
+def test_cli_backend_flag_and_stats(tmp_path):
+    cnf_path = tmp_path / "t.cnf"
+    cnf_path.write_text("p cnf 3 2\n1 2 0\n-1 3 0\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env.pop("REPRO_BACKEND", None)
+    outputs = {}
+    for backend in ("codegen", "interp"):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "query", str(cnf_path),
+             "--query", "count", "--stats", "--backend", backend],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert f"c backend {backend}" in proc.stdout
+        outputs[backend] = [line for line in proc.stdout.splitlines()
+                            if line.startswith("s ")]
+    assert outputs["codegen"] == outputs["interp"] == ["s mc 4"]
+    assert "codegen_compiles" in subprocess.run(
+        [sys.executable, "-m", "repro", "query", str(cnf_path),
+         "--query", "wmc", "--stats"],
+        env=env, capture_output=True, text=True, timeout=120).stdout

@@ -115,7 +115,7 @@ def test_run_all_quick_smoke(tmp_path):
         "sharp_sat", "dnnf_compile", "repeated_wmc", "batched_wmc",
         "batched_marginals", "psdd_marginals", "classifier_scoring",
         "warm_compile", "anytime_bounds", "restart_compile",
-        "verify_overhead"}
+        "verify_overhead", "codegen_kernel", "warm_mmap"}
     for name, scenario in report["scenarios"].items():
         assert scenario["agree"] is True, name
         # the per-scenario deadline guard must not have tripped
@@ -141,6 +141,17 @@ def test_run_all_quick_smoke(tmp_path):
     # the first attempt is budgeted to fail; a later one must win
     assert restart["attempts"][0]["outcome"].startswith("budget:")
     assert restart["winner"] is not None, restart["attempts"]
+    codegen = report["scenarios"]["codegen_kernel"]
+    # the generated evaluator must beat the interpreted loops by an
+    # order of magnitude on scalar WMC/#SAT (the PR's acceptance bar)
+    assert codegen["speedup"] >= 10, codegen
+    assert codegen["counters"]["optimized"]["codegen_compiles"] == 1
+    assert codegen["counters"]["optimized"].get(
+        "codegen_fallbacks", 0) == 0, codegen
+    mmap_warm = report["scenarios"]["warm_mmap"]
+    # decoding the binary CSR sidecar must beat re-parsing the text
+    assert mmap_warm["speedup"] > 1, mmap_warm
+    assert mmap_warm["counters"]["optimized"]["artifact_mmap_hits"] > 0
 
 
 @pytest.mark.tier2_bench

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-invariant lint: AST checks ruff/mypy cannot express.
 
-Three rules, each guarding a deliberate architectural boundary:
+Four rules, each guarding a deliberate architectural boundary:
 
 1. **legacy-isolation** — production modules must not import
    ``repro.compat`` or any ``*_legacy`` name/module at module level.
@@ -24,6 +24,15 @@ Three rules, each guarding a deliberate architectural boundary:
    the gate (:mod:`repro.analyze.gate`) against *certified* flags.
    Lowering/serialization code legitimately writes flags and is not
    in the query layer.
+
+4. **audited-compile** — generated-evaluator sources are artifact
+   bytes and must never reach the interpreter except through the one
+   sealed entry point: no production module may call the builtin
+   ``eval``/``exec``/``compile`` outside ``audited_compile`` in
+   ``ir/codegen.py``, which verifies the source's embedded
+   self-hash before compiling it with empty builtins.  Method calls
+   like ``cnf.compile(...)`` are fine — only the bare builtins are
+   flagged.
 
 Exit status 1 with ``file:line: rule message`` diagnostics on any
 violation; 0 on a clean tree.  Stdlib only — runs anywhere.
@@ -151,6 +160,35 @@ def check_flag_trust(path: Path, rel: str,
                            f"query-layer import of {alias.name}")
 
 
+#: the one function allowed to call compile()/exec() (rule 4)
+AUDITED_COMPILE = ("ir/codegen.py", "audited_compile")
+
+
+def check_audited_compile(path: Path, rel: str,
+                          tree: ast.Module) -> Iterator[Violation]:
+    allowed_file, allowed_func = AUDITED_COMPILE
+
+    def scan(node: ast.AST, inside_audited: bool) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            here = inside_audited
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef)):
+                here = rel == allowed_file and \
+                    child.name == allowed_func
+            if isinstance(child, ast.Call) and \
+                    isinstance(child.func, ast.Name) and \
+                    child.func.id in ("eval", "exec", "compile") and \
+                    not here:
+                yield (path, child.lineno, "audited-compile",
+                       f"bare {child.func.id}() outside "
+                       f"{allowed_file}:{allowed_func} — generated "
+                       f"sources compile only through the audited, "
+                       f"integrity-checked entry point")
+            yield from scan(child, here)
+
+    yield from scan(tree, False)
+
+
 def collect_violations(src_root: Path) -> List[Violation]:
     violations: List[Violation] = []
     for path in sorted(src_root.rglob("*.py")):
@@ -164,6 +202,7 @@ def collect_violations(src_root: Path) -> List[Violation]:
         violations.extend(check_legacy_isolation(path, rel, tree))
         violations.extend(check_clock_injection(path, rel, tree))
         violations.extend(check_flag_trust(path, rel, tree))
+        violations.extend(check_audited_compile(path, rel, tree))
     return violations
 
 
