@@ -669,6 +669,112 @@ def scenario_warm_mmap(quick: bool):
         shutil.rmtree(cache_dir, ignore_errors=True)
 
 
+def scenario_serve_throughput(quick: bool):
+    """The compilation service under a duplicate-heavy mixed burst.
+
+    An in-process :class:`repro.serve.app.Server` (multiprocess
+    workers, shared ArtifactStore) takes ``distinct × duplicates``
+    concurrent compile requests plus a warm query storm; the load
+    generator reports p50/p99 latency, requests/sec, the in-flight +
+    store dedup rate, and the workers' warm-cache hit rate.  The
+    legacy side performs the same logical work sequentially through
+    the facade in this process — what a client doing its own
+    compilation would pay.  ``direct_warm_query_ms`` prices one
+    single-process warm query (store load + kernel query) for the
+    served-latency comparison in the acceptance gate.
+    """
+    import tempfile
+    import shutil
+    from repro.ir import facade
+    from repro.ir.store import ArtifactStore
+    from repro.serve.app import Server, ServerConfig
+    from repro.serve.loadgen import random_3cnf_text, run_load
+    # client-thread counts sized for small hosts: past ~4 concurrent
+    # clients per core, the latency percentiles measure queueing, not
+    # the serving path
+    if quick:
+        distinct, duplicates, queries, threads = 3, 8, 60, 4
+        n, m = 20, 50
+    else:
+        distinct, duplicates, queries, threads = 5, 30, 300, 6
+        n, m = 24, 60
+    seed = 17
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    try:
+        server = Server(ServerConfig(
+            port=0, workers=2, cache_dir=cache_dir,
+            max_pending=max(64, distinct * duplicates + queries)))
+        host, port = server.start()
+        try:
+            load = run_load(host, port, distinct=distinct,
+                            duplicates=duplicates, queries=queries,
+                            threads=threads, num_vars=n,
+                            num_clauses=m, seed=seed)
+        finally:
+            server.stop()
+
+        # the same logical work, sequentially, no server: every
+        # duplicate pays at least a ticket + store hit, every query a
+        # fresh warm load — the "no service" client-side cost
+        direct_store = ArtifactStore(cache_dir)
+        tickets = [facade.compile_ticket(
+            random_3cnf_text(n, m, seed + i)) for i in range(distinct)]
+        start = time.perf_counter()
+        counts = {}
+        for i, ticket in enumerate(tickets):
+            for _ in range(duplicates):
+                facade.compile_to_store(ticket, direct_store)
+        q0 = time.perf_counter()
+        for q in range(queries):
+            ticket = tickets[q % distinct]
+            reply = facade.query_artifact(
+                direct_store, ticket.key, "count",
+                num_vars=ticket.num_vars)
+            counts[ticket.key] = reply["result"]
+        legacy_elapsed = time.perf_counter() - start
+        direct_warm_query_ms = (time.perf_counter() - q0) / max(
+            1, queries) * 1000.0
+
+        # agreement: the served counts match direct evaluation
+        agree = load["server_5xx"] == 0 and bool(load["keys"])
+        for ticket in tickets:
+            if ticket.key in counts and ticket.key in \
+                    set(load["keys"].values()):
+                served = facade.query_artifact(
+                    direct_store, ticket.key, "count",
+                    num_vars=ticket.num_vars)
+                agree = agree and served["result"] == counts[ticket.key]
+        return {
+            "instance": {"n": n, "m": m, "seed": seed,
+                         "distinct": distinct,
+                         "duplicates": duplicates,
+                         "queries": queries, "threads": threads},
+            "optimized_s": load["wall_s"],
+            "legacy_s": round(legacy_elapsed, 4),
+            "speedup": round(legacy_elapsed / load["wall_s"], 3)
+            if load["wall_s"] else 0.0,
+            "agree": agree,
+            "p50_ms": load["query_p50_ms"],
+            "p99_ms": load["query_p99_ms"],
+            "compile_p50_ms": load["compile_p50_ms"],
+            "compile_p99_ms": load["compile_p99_ms"],
+            "rps": load["rps"],
+            "dedup_hit_rate": load["dedup_hit_rate"],
+            "warm_hit_rate": load["warm_hit_rate"],
+            "direct_warm_query_ms": round(direct_warm_query_ms, 3),
+            "counters": {
+                "statuses": load["statuses"],
+                "server": load.get("server_stats", {}).get(
+                    "frontend", {}),
+                "dedup": load.get("server_stats", {}).get("dedup", {}),
+                "workers": load.get("server_stats", {}).get(
+                    "workers", {}),
+            },
+        }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
 SCENARIOS = {
     "sharp_sat": scenario_sharp_sat,
     "dnnf_compile": scenario_dnnf_compile,
@@ -683,6 +789,7 @@ SCENARIOS = {
     "verify_overhead": scenario_verify_overhead,
     "codegen_kernel": scenario_codegen_kernel,
     "warm_mmap": scenario_warm_mmap,
+    "serve_throughput": scenario_serve_throughput,
 }
 
 
@@ -701,30 +808,70 @@ def previous_baseline(output_dir: str, current: str):
         return None, None
 
 
+#: drift estimation needs at least this many signalful samples — below
+#: that a median is dominated by individual scenarios and a genuinely
+#: regressed run could normalize its own regression away
+MIN_DRIFT_SAMPLES = 4
+
+#: drift correction is clamped to this factor either way; a "drift"
+#: beyond it is not host noise, it is something real
+MAX_DRIFT = 2.0
+
+
+def host_drift(report, baseline):
+    """Median wall-clock ratio over timing-signalful scenarios.
+
+    A different machine (or a loaded one) shifts *every* scenario by
+    roughly the same factor; a real regression shifts one or a few.
+    The median over all signalful scenarios estimates the uniform
+    host-drift component, which the gate then divides out — so a
+    uniform 1.3× slower host does not trip 13 scenarios, and a real
+    2× regression on one path is still 2×/median visible.
+    Returns 1.0 when fewer than ``MIN_DRIFT_SAMPLES`` samples exist.
+    """
+    ratios = []
+    for name, result in report["scenarios"].items():
+        old = baseline.get("scenarios", {}).get(name)
+        if old and old.get("optimized_s", 0) > 0 and (
+                result["optimized_s"] >= MIN_GATE_SECONDS or
+                old["optimized_s"] >= MIN_GATE_SECONDS):
+            ratios.append(result["optimized_s"] / old["optimized_s"])
+    if len(ratios) < MIN_DRIFT_SAMPLES:
+        return 1.0
+    ratios.sort()
+    mid = len(ratios) // 2
+    median = ratios[mid] if len(ratios) % 2 else \
+        (ratios[mid - 1] + ratios[mid]) / 2.0
+    return min(MAX_DRIFT, max(1.0 / MAX_DRIFT, median))
+
+
 def compare(report, baseline):
-    """Flag wall-time regressions vs the previous BENCH_*.json."""
+    """Flag wall-time regressions vs the previous BENCH_*.json,
+    normalized by the estimated uniform host drift."""
     regressions = []
     if baseline.get("quick") != report["quick"]:
         return {"baseline_quick": baseline.get("quick"),
                 "comparable": False, "regressions": []}
+    drift = host_drift(report, baseline)
     old_figures = {f["file"]: f for f in baseline.get("figures", [])}
     for fig in report["figures"]:
         old = old_figures.get(fig["file"])
         if old and old["seconds"] > 0:
-            ratio = fig["seconds"] / old["seconds"]
+            ratio = fig["seconds"] / old["seconds"] / drift
             if ratio > NOISE_THRESHOLD:
                 regressions.append({"what": fig["file"],
                                     "ratio": round(ratio, 2)})
     for name, result in report["scenarios"].items():
         old = baseline.get("scenarios", {}).get(name)
         if old and old.get("optimized_s", 0) > 0:
-            ratio = result["optimized_s"] / old["optimized_s"]
+            ratio = result["optimized_s"] / old["optimized_s"] / drift
             if ratio > NOISE_THRESHOLD and (
                     result["optimized_s"] >= MIN_GATE_SECONDS or
                     old["optimized_s"] >= MIN_GATE_SECONDS):
                 regressions.append({"what": f"scenario:{name}",
                                     "ratio": round(ratio, 2)})
-    return {"comparable": True, "regressions": regressions}
+    return {"comparable": True, "drift": round(drift, 4),
+            "regressions": regressions}
 
 
 def main(argv=None) -> int:
@@ -792,6 +939,10 @@ def main(argv=None) -> int:
         report["comparison"] = {"against": base_name,
                                 **compare(report, baseline)}
         flagged = report["comparison"]["regressions"]
+        drift = report["comparison"].get("drift")
+        if drift is not None and abs(drift - 1.0) > 0.01:
+            print(f"host drift estimate {drift}x "
+                  "(ratios normalized by it)")
         if flagged:
             print(f"!! {len(flagged)} regression(s) vs {base_name}:")
             for item in flagged:

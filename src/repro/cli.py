@@ -15,7 +15,11 @@ Mirrors the classic knowledge-compiler workflow (C2D/DSHARP-style):
 * ``enumerate FILE.cnf [--limit N]`` — print models;
 * ``check FILE.nnf|FILE.sdd [--expect PROPS]`` — statically verify the
   tractability properties of a circuit file (exit code 4 plus
-  ``c witness`` diagnostics naming the offending node on violation).
+  ``c witness`` diagnostics naming the offending node on violation);
+* ``serve [--port N --workers N --cache-dir DIR]`` — run the
+  compile/query HTTP service (``docs/serving.md``);
+* ``bench-load --port N`` — drive a duplicate-heavy load burst at a
+  running ``serve`` and print the latency/hit-rate report.
 
 ``query --gate strict|repair|trust`` selects the property gate mode
 (default ``$REPRO_GATE`` or ``trust``): ``strict`` refuses queries
@@ -119,7 +123,15 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     if args.format == "sdd":
         return _compile_sdd_files(args, cnf, store)
     compiler = DnnfCompiler(store=store, budget=_budget(args))
-    circuit = compiler.compile(cnf)
+    try:
+        circuit = compiler.compile(cnf)
+    except BudgetExceeded:
+        # the exit-3 path still reports where the budget went —
+        # load tests attribute cost from these counters
+        if args.stats:
+            print(format_stats(compiler.stats))
+            _print_store_stats(store)
+        raise
     text = to_nnf_format(circuit)
     if args.output:
         with open(args.output, "w") as handle:
@@ -239,7 +251,16 @@ def _run_query(args: argparse.Namespace) -> int:
     if args.anytime:
         return _query_anytime(args, cnf, weights)
     compiler = DnnfCompiler(store=store, budget=_budget(args))
-    circuit = compiler.compile(cnf)
+    try:
+        circuit = compiler.compile(cnf)
+    except BudgetExceeded:
+        # counters must reach the exit-3 timeout path too, so load
+        # tests can attribute where the budget went (there is no
+        # kernel yet — only compiler + store counters exist)
+        if args.stats:
+            print(format_stats(compiler.stats))
+            _print_store_stats(store)
+        raise
     from .nnf.kernel import get_kernel
     kernel = get_kernel(circuit)
     kernel.codegen_store = store
@@ -411,6 +432,33 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the compilation service until SIGINT/SIGTERM."""
+    from .serve.app import ServerConfig, run_server
+    config = ServerConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        cache_dir=args.cache_dir, max_pending=args.max_pending,
+        default_deadline_s=args.default_deadline,
+        verify=not args.no_verify)
+    return run_server(config)
+
+
+def _cmd_bench_load(args: argparse.Namespace) -> int:
+    """Fire one duplicate-heavy burst at a running server and print
+    the latency/hit-rate report as JSON."""
+    import json as _json
+    from .serve.loadgen import run_load
+    report = run_load(
+        args.host, args.port, distinct=args.distinct,
+        duplicates=args.duplicates, queries=args.queries,
+        threads=args.threads, num_vars=args.num_vars,
+        num_clauses=args.num_clauses, seed=args.seed,
+        deadline_s=args.timeout)
+    report.pop("server_stats", None)
+    print(_json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report["server_5xx"] == 0 else 1
+
+
 def _add_budget_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--timeout", type=float, metavar="SECONDS",
@@ -538,6 +586,55 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-gate brute-force budget for the "
                             "determinism check (default 16)")
     check.set_defaults(func=_cmd_check)
+
+    serve = commands.add_parser(
+        "serve", help="run the compile/query HTTP service "
+                      "(POST /compile, POST /query, GET /stats)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 = ephemeral; the bound "
+                            "port is printed as 'c serve listening')")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="compile/query worker processes "
+                            "(0 = in-process threads)")
+    serve.add_argument("--cache-dir",
+                       help="shared artifact-store directory "
+                            "(default: a private temp dir)")
+    serve.add_argument("--max-pending", type=int, default=32,
+                       help="admission control: queued+running worker "
+                            "jobs before answering 429")
+    serve.add_argument("--default-deadline", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="per-request budget when the client sends "
+                            "none; expiring compiles degrade to "
+                            "certified bounds")
+    serve.add_argument("--no-verify", action="store_true",
+                       help="skip artifact verification on warm loads")
+    serve.set_defaults(func=_cmd_serve)
+
+    bench_load = commands.add_parser(
+        "bench-load", help="drive a duplicate-heavy load burst at a "
+                           "running repro serve and report p50/p99 "
+                           "latency, rps, and hit rates as JSON")
+    bench_load.add_argument("--host", default="127.0.0.1")
+    bench_load.add_argument("--port", type=int, required=True)
+    bench_load.add_argument("--distinct", type=int, default=4,
+                            help="distinct CNF instances")
+    bench_load.add_argument("--duplicates", type=int, default=8,
+                            help="concurrent compile copies per "
+                                 "instance (the dedup pressure)")
+    bench_load.add_argument("--queries", type=int, default=64,
+                            help="warm queries after the compile burst")
+    bench_load.add_argument("--threads", type=int, default=8,
+                            help="concurrent client threads")
+    bench_load.add_argument("--num-vars", type=int, default=24)
+    bench_load.add_argument("--num-clauses", type=int, default=60)
+    bench_load.add_argument("--seed", type=int, default=0)
+    bench_load.add_argument("--timeout", type=float,
+                            metavar="SECONDS",
+                            help="per-request deadline sent with each "
+                                 "request")
+    bench_load.set_defaults(func=_cmd_bench_load)
     return parser
 
 

@@ -173,6 +173,11 @@ class DnnfCompiler:
         }
         return artifact_key(cnf.to_dimacs(), "dnnf", config)
 
+    def artifact_key_for(self, cnf: Cnf) -> str:
+        """The store content key this compiler would file ``cnf``
+        under — the dedup key of the serving layer."""
+        return self._artifact_key(cnf)
+
     # -- trail-based search (the default, sharpSAT-style) ---------------------
     # The same architecture as ModelCounter's trail path: one persistent
     # watched-literal engine per compile, conditioning by trail

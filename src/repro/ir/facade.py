@@ -1,0 +1,397 @@
+"""The service facade: compile-to-store and query-by-key.
+
+This module is the *only* surface the serving layer
+(:mod:`repro.serve`) is allowed to drive circuit work through (the
+``serve-isolation`` rule in ``tools/lint_invariants.py`` enforces it):
+DIMACS text goes in, content-addressed artifacts land in an
+:class:`~repro.ir.store.ArtifactStore`, and queries run on the store's
+circuits through :class:`~repro.ir.kernel.IrKernel` — never through
+engine internals.
+
+The pay-once/query-many economics of the paper (Darwiche, PODS 2020)
+become three calls:
+
+* :func:`compile_ticket` — canonicalise a request: parse the DIMACS,
+  normalise the compiler config, and derive the SHA-256 content key
+  that both the in-flight dedup registry and the artifact store use;
+* :func:`compile_or_bounds` — run the (budgeted) compilation; when the
+  request's deadline or node budget expires mid-search, degrade to the
+  certified anytime interval (Darwiche 2000) instead of failing, so a
+  server can answer ``s bounds L U`` rather than 500;
+* :func:`query_artifact` / :func:`query_ir` — answer
+  count/sat/wmc/mpe/marginals (scalar and batched WMC) on a stored
+  circuit, widening counts to ``num_vars`` exactly like the CLI does,
+  with marginals routed through the repair gate so a non-smooth
+  artifact is auto-smoothed rather than answered wrongly.
+
+Budgets are request-scoped: the compile share of the request budget is
+carved with :meth:`repro.limits.budget.Budget.slice` and the remainder
+is reserved for the anytime fallback, so an expiring compile still has
+budget left to produce non-trivial bounds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..limits.anytime import anytime_count
+from ..limits.budget import Budget, BudgetExceeded
+from ..logic.cnf import Cnf
+from .core import CircuitIR
+from .kernel import IrKernel, ir_kernel, pack_weight_batch
+from .store import ArtifactStore, artifact_key
+
+__all__ = ["CompileTicket", "CompileOutcome", "BoundsOutcome",
+           "compile_ticket", "compile_to_store", "compile_or_bounds",
+           "load_artifact", "query_artifact", "query_ir",
+           "QUERY_KINDS"]
+
+#: compiler-config keys a service request may override
+ALLOWED_CONFIG = ("use_components", "use_cache", "cache_mode",
+                  "priority")
+
+#: query kinds :func:`query_ir` answers
+QUERY_KINDS = ("count", "sat", "wmc", "mpe", "marginals")
+
+#: fraction of an expiring request budget reserved for the anytime
+#: bounds fallback (the compile gets the rest)
+DEFAULT_ANYTIME_RESERVE = 0.35
+
+#: floor on the anytime fallback's own deadline: even a request whose
+#: compile burnt the whole allowance gets a short, bounded interval
+#: search instead of the trivial (0, 2^n) answer
+MIN_BOUNDS_DEADLINE_S = 0.02
+
+
+@dataclass(frozen=True)
+class CompileTicket:
+    """A canonicalised compile request.
+
+    ``key`` is the artifact content address — SHA-256 over the
+    compiler name, the normalised config and the *canonical* DIMACS
+    re-serialisation (so formatting differences in client payloads
+    dedup to one compilation).
+    """
+
+    key: str
+    num_vars: int
+    dimacs: str
+    config: Dict[str, Any]
+
+    def as_wire(self) -> Dict[str, Any]:
+        return {"key": self.key, "num_vars": self.num_vars,
+                "dimacs": self.dimacs, "config": dict(self.config)}
+
+
+@dataclass(frozen=True)
+class CompileOutcome:
+    """A completed compilation: the artifact is in the store."""
+
+    key: str
+    num_vars: int
+    circuit_nodes: int
+    cached: bool
+    elapsed_s: float
+
+    def as_wire(self) -> Dict[str, Any]:
+        return {"status": "ok", "key": self.key,
+                "num_vars": self.num_vars,
+                "circuit_nodes": self.circuit_nodes,
+                "cached": self.cached,
+                "elapsed_s": round(self.elapsed_s, 6)}
+
+
+@dataclass(frozen=True)
+class BoundsOutcome:
+    """A budget-expired compilation degraded to certified bounds:
+    ``lower <= exact model count <= upper`` (Darwiche 2000)."""
+
+    key: str
+    num_vars: int
+    lower: int
+    upper: int
+    reason: str
+    decisions: int
+    elapsed_s: float
+
+    def as_wire(self) -> Dict[str, Any]:
+        return {"status": "bounds", "key": self.key,
+                "num_vars": self.num_vars,
+                "lower": int(self.lower), "upper": int(self.upper),
+                "reason": self.reason, "decisions": self.decisions,
+                "elapsed_s": round(self.elapsed_s, 6)}
+
+
+def _normalise_config(config: Optional[Mapping[str, Any]]
+                      ) -> Dict[str, Any]:
+    """The full compiler config a request resolves to; unknown keys
+    are rejected (a typo must not silently fork the content key)."""
+    out: Dict[str, Any] = {"use_components": True, "use_cache": True,
+                           "cache_mode": "hash",
+                           "propagator": "watched", "priority": []}
+    for name, value in dict(config or {}).items():
+        if name not in ALLOWED_CONFIG:
+            raise ValueError(
+                f"unknown compiler config key {name!r}; allowed: "
+                f"{sorted(ALLOWED_CONFIG)}")
+        if name in ("use_components", "use_cache"):
+            if not isinstance(value, bool):
+                raise ValueError(f"config {name} must be a bool")
+        elif name == "cache_mode":
+            if value not in ("hash", "exact"):
+                raise ValueError("config cache_mode must be "
+                                 "'hash' or 'exact'")
+        else:  # priority
+            if not isinstance(value, (list, tuple)) or \
+                    not all(isinstance(v, int) and v > 0 for v in value):
+                raise ValueError(
+                    "config priority must be a list of positive ints")
+            value = list(value)
+        out[name] = value
+    return out
+
+
+def compile_ticket(dimacs: str,
+                   config: Optional[Mapping[str, Any]] = None
+                   ) -> CompileTicket:
+    """Parse + canonicalise a compile request into its content key.
+
+    Raises ``ValueError`` on unparseable DIMACS or a bad config — the
+    server maps that to a 400, never to a worker crash.
+    """
+    cnf = Cnf.from_dimacs(dimacs)
+    full = _normalise_config(config)
+    canonical = cnf.to_dimacs()
+    key = artifact_key(canonical, "dnnf",
+                       {"use_components": full["use_components"],
+                        "use_cache": full["use_cache"],
+                        "cache_mode": full["cache_mode"],
+                        "propagator": full["propagator"],
+                        "priority": list(full["priority"])})
+    return CompileTicket(key=key, num_vars=cnf.num_vars,
+                         dimacs=canonical, config=full)
+
+
+def _compiler(ticket: CompileTicket, store: ArtifactStore,
+              budget: Optional[Budget]) -> Any:
+    from ..compile.dnnf_compiler import DnnfCompiler
+    cfg = ticket.config
+    return DnnfCompiler(use_components=bool(cfg["use_components"]),
+                        use_cache=bool(cfg["use_cache"]),
+                        cache_mode=str(cfg["cache_mode"]),
+                        propagator=str(cfg["propagator"]),
+                        priority=list(cfg["priority"]),
+                        store=store, budget=budget)
+
+
+def compile_to_store(ticket: CompileTicket, store: ArtifactStore,
+                     budget: Optional[Budget] = None) -> CompileOutcome:
+    """Compile the ticket's CNF into the store (warm hits included).
+
+    Raises :class:`~repro.limits.budget.BudgetExceeded` when the
+    budget expires — :func:`compile_or_bounds` is the non-raising
+    service entry point.
+    """
+    start = time.perf_counter()
+    cnf = Cnf.from_dimacs(ticket.dimacs)
+    compiler = _compiler(ticket, store, budget)
+    if compiler.artifact_key_for(cnf) != ticket.key:
+        raise ValueError("ticket key does not match compiler config")
+    root = compiler.compile(cnf)
+    return CompileOutcome(
+        key=ticket.key, num_vars=ticket.num_vars,
+        circuit_nodes=int(root.node_count()),
+        cached=compiler.stats["artifact_cache_hits"] > 0,
+        elapsed_s=time.perf_counter() - start)
+
+
+def compile_or_bounds(
+        ticket: CompileTicket, store: ArtifactStore,
+        deadline_s: Optional[float] = None,
+        max_nodes: Optional[int] = None,
+        anytime_reserve: float = DEFAULT_ANYTIME_RESERVE
+) -> Union[CompileOutcome, BoundsOutcome]:
+    """Budgeted compile that degrades to certified anytime bounds.
+
+    With no caps this is exactly :func:`compile_to_store`.  With caps,
+    the compile runs on ``1 - anytime_reserve`` of the request budget
+    (:meth:`Budget.slice`); if it expires, the reserved remainder
+    funds a partial-decomposition interval search whose bounds are
+    certified to bracket the exact model count for *any* budget.
+    """
+    start = time.perf_counter()
+    if deadline_s is None and max_nodes is None:
+        return compile_to_store(ticket, store)
+    request = Budget(deadline_s=deadline_s, max_nodes=max_nodes)
+    try:
+        return compile_to_store(ticket, store,
+                                request.slice(1.0 - anytime_reserve))
+    except BudgetExceeded as error:
+        reserve_deadline: Optional[float] = None
+        if deadline_s is not None:
+            reserve_deadline = max(MIN_BOUNDS_DEADLINE_S,
+                                   deadline_s -
+                                   (time.perf_counter() - start))
+        reserve_nodes: Optional[int] = None
+        if max_nodes is not None:
+            reserve_nodes = max(32, int(max_nodes * anytime_reserve))
+        bounds = anytime_count(
+            Cnf.from_dimacs(ticket.dimacs),
+            Budget(deadline_s=reserve_deadline,
+                   max_nodes=reserve_nodes))
+        return BoundsOutcome(
+            key=ticket.key, num_vars=ticket.num_vars,
+            lower=int(bounds.lower), upper=int(bounds.upper),
+            reason=error.reason, decisions=bounds.decisions,
+            elapsed_s=time.perf_counter() - start)
+
+
+# -- query side ---------------------------------------------------------------
+def load_artifact(store: ArtifactStore, key: str) -> Optional[CircuitIR]:
+    """The stored circuit for ``key``, or None on a miss."""
+    return store.load_nnf(key)
+
+
+def _mentioned(kernel: IrKernel) -> List[int]:
+    if kernel.n == 0:
+        return []
+    return sorted(kernel.varsets[kernel.n - 1])
+
+
+def _widen_vars(kernel: IrKernel,
+                num_vars: Optional[int]) -> List[int]:
+    """The variables absent from the circuit but inside ``num_vars``
+    — unconstrained, each doubling the count (weight W(v)+W(-v))."""
+    mentioned = _mentioned(kernel)
+    if num_vars is None:
+        return []
+    if mentioned and num_vars < mentioned[-1]:
+        raise ValueError(
+            f"num_vars={num_vars} below the circuit's largest "
+            f"variable {mentioned[-1]}")
+    present = set(mentioned)
+    return [v for v in range(1, num_vars + 1) if v not in present]
+
+
+def _full_weights(kernel: IrKernel, num_vars: Optional[int],
+                  wire: Optional[Mapping[int, float]]
+                  ) -> Dict[int, float]:
+    """Every literal's weight (default 1.0), wire entries overlaid."""
+    top = num_vars if num_vars is not None else \
+        (max(_mentioned(kernel) or [0]))
+    weights: Dict[int, float] = {}
+    for var in range(1, top + 1):
+        weights[var] = weights[-var] = 1.0
+    for lit, value in dict(wire or {}).items():
+        if lit == 0 or abs(lit) > top:
+            raise ValueError(
+                f"weight literal {lit} outside 1..{top} "
+                f"(or its negation)")
+        weights[int(lit)] = float(value)
+    return weights
+
+
+def query_ir(ir: CircuitIR, query: str, *,
+             num_vars: Optional[int] = None,
+             weights: Optional[Mapping[int, float]] = None,
+             weight_batch: Optional[Sequence[Mapping[int, float]]] = None,
+             budget: Optional[Budget] = None,
+             codegen_store: Optional[ArtifactStore] = None
+             ) -> Dict[str, Any]:
+    """Answer one query on a compiled circuit; JSON-ready result.
+
+    ``num_vars`` widens counting queries to variables absent from the
+    circuit (each contributes a factor 2, or ``W(v) + W(-v)``).
+    Raises ``ValueError`` on a malformed request and
+    :class:`~repro.limits.budget.BudgetExceeded` when the budget
+    expires mid-pass.
+    """
+    if query not in QUERY_KINDS:
+        raise ValueError(f"unknown query {query!r}; expected one of "
+                         f"{list(QUERY_KINDS)}")
+    kernel = ir_kernel(ir)
+    if codegen_store is not None:
+        kernel.codegen_store = codegen_store
+    if budget is not None:
+        with budget.scope():
+            return _run_query(kernel, query, num_vars, weights,
+                              weight_batch)
+    return _run_query(kernel, query, num_vars, weights, weight_batch)
+
+
+def _run_query(kernel: IrKernel, query: str, num_vars: Optional[int],
+               weights: Optional[Mapping[int, float]],
+               weight_batch: Optional[Sequence[Mapping[int, float]]]
+               ) -> Dict[str, Any]:
+    extra = _widen_vars(kernel, num_vars)
+    out: Dict[str, Any] = {"query": query}
+    if query == "count":
+        out["result"] = kernel.model_count() << len(extra)
+    elif query == "sat":
+        out["result"] = bool(kernel.sat())
+    elif query == "wmc":
+        if weight_batch is not None:
+            out["result"] = _wmc_batch(kernel, num_vars, weight_batch,
+                                       extra)
+            out["batch"] = len(out["result"])
+        else:
+            full = _full_weights(kernel, num_vars, weights)
+            value = kernel.wmc(full)
+            for var in extra:
+                value *= full[var] + full[-var]
+            out["result"] = float(value)
+    elif query == "mpe":
+        full = _full_weights(kernel, num_vars, weights)
+        value, model = kernel.mpe(full)
+        out["result"] = float(value)
+        out["model"] = {str(var): bool(state)
+                        for var, state in sorted(model.items())}
+    else:  # marginals
+        # repair mode: a non-smooth artifact is auto-smoothed (and
+        # re-certified) rather than served a silently-wrong marginal
+        from ..analyze.gate import gate_scope
+        with gate_scope("repair"):
+            counts = kernel.marginals()
+            total = kernel.model_count() << len(extra)
+        shift = len(extra)
+        out["result"] = {
+            str(var): [int(counts.get(-var, 0)) << shift,
+                       int(counts.get(var, 0)) << shift]
+            for var in _mentioned(kernel)}
+        out["count"] = total
+    return out
+
+
+def _wmc_batch(kernel: IrKernel, num_vars: Optional[int],
+               weight_batch: Sequence[Mapping[int, float]],
+               extra: List[int]) -> List[float]:
+    maps = [_full_weights(kernel, num_vars, w) for w in weight_batch]
+    if not maps:
+        return []
+    top = num_vars if num_vars is not None else \
+        (max(_mentioned(kernel) or [0]))
+    packed: Dict[int, Any] = dict(
+        pack_weight_batch(maps, list(range(1, top + 1))))
+    values = kernel.wmc_batch(packed)
+    for var in extra:
+        values = values * (packed[var] + packed[-var])
+    return [float(v) for v in values]
+
+
+def query_artifact(store: ArtifactStore, key: str, query: str, *,
+                   num_vars: Optional[int] = None,
+                   weights: Optional[Mapping[int, float]] = None,
+                   weight_batch: Optional[
+                       Sequence[Mapping[int, float]]] = None,
+                   budget: Optional[Budget] = None
+                   ) -> Optional[Dict[str, Any]]:
+    """Load ``key`` from the store and answer ``query`` on it; None
+    when the artifact is missing (the server's 404)."""
+    ir = load_artifact(store, key)
+    if ir is None:
+        return None
+    return query_ir(ir, query, num_vars=num_vars, weights=weights,
+                    weight_batch=weight_batch, budget=budget,
+                    codegen_store=store)

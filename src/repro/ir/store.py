@@ -89,17 +89,36 @@ class ArtifactStore:
     def path_for(self, key: str, ext: str) -> Path:
         return self.root / key[:2] / f"{key}.{ext}"
 
-    def _write(self, path: Path, text: str) -> Path:
+    @staticmethod
+    def _atomic_replace(path: Path, data: "str | bytes") -> Path:
+        """Publish ``data`` at ``path`` atomically: write a private
+        ``*.tmp`` in the same directory, fsync, then ``os.replace``.
+
+        THE single write primitive for every artifact extension
+        (``.nnf``/``.sdd``/``.vtree``/``.cert``/``.csr``/``.gen.py``)
+        — a reader concurrent with any writer sees either the old
+        complete file or the new complete file, never a torn prefix
+        (which would land a perfectly good artifact in quarantine).
+        Concurrent writers of the same content-addressed key both win:
+        last rename shows, and the bytes are identical by construction.
+        """
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
+            mode = "wb" if isinstance(data, bytes) else "w"
+            with os.fdopen(fd, mode) as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        return path
+
+    def _write(self, path: Path, text: str) -> Path:
+        self._atomic_replace(path, text)
         self.stats.incr("artifact_writes")
         return path
 
@@ -107,16 +126,7 @@ class ArtifactStore:
         """:meth:`_write` for binary sidecars (same atomic rename).
         Sidecars are bookkeeping, not artifact traffic: counted under
         ``artifact_sidecar_writes``, like ``.cert`` files."""
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        self._atomic_replace(path, blob)
         self.stats.incr("artifact_sidecar_writes")
         return path
 
@@ -160,17 +170,8 @@ class ArtifactStore:
                 "method": method}
         # certificates are bookkeeping, not artifact traffic: bypass
         # the artifact_writes stat but keep the atomic rename
-        path = self.path_for(key, "cert")
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(json.dumps(cert, sort_keys=True) + "\n")
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        self._atomic_replace(self.path_for(key, "cert"),
+                             json.dumps(cert, sort_keys=True) + "\n")
 
     def _certify_load(self, key: str, ir: CircuitIR, claimed: int,
                       digest: str, vtree: Any = None,

@@ -176,6 +176,25 @@ class Budget:
     def started(self) -> bool:
         return self._t0 is not None
 
+    def slice(self, fraction: float) -> "Budget":
+        """A fresh budget holding ``fraction`` of this one's caps.
+
+        Deadline and node caps scale; the clock is shared so injected
+        fault clocks govern the slice too.  Used to carve a request
+        budget into a compile share and an anytime-fallback reserve.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(
+                f"fraction must be in (0, 1], got {fraction}")
+        deadline = None if self.deadline_s is None else \
+            max(self.deadline_s * fraction, 1e-9)
+        nodes = None if self.max_nodes is None else \
+            max(int(self.max_nodes * fraction), 1)
+        return Budget(deadline_s=deadline, max_nodes=nodes,
+                      max_depth=self.max_depth,
+                      max_cache_entries=self.max_cache_entries,
+                      clock=self.clock)
+
     def elapsed(self) -> float:
         """Seconds since :meth:`start` (0.0 before the first charge)."""
         return 0.0 if self._t0 is None else self.clock() - self._t0

@@ -1,0 +1,113 @@
+"""A small blocking client for the serve API (stdlib http.client).
+
+One :class:`ServeClient` holds one keep-alive connection — the shape
+both the load generator and the CI smoke script use.  Thread-unsafe by
+design; give each worker thread its own client.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Blocking JSON-over-HTTP client for one server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None
+                ) -> Tuple[int, Dict[str, Any]]:
+        """One round trip; returns (http_status, decoded body)."""
+        payload = None if body is None else \
+            json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload \
+            else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload,
+                             headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError,
+                    OSError):
+                # a keep-alive connection the server closed between
+                # requests: reconnect once, then give up
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"status": "error", "error": raw.decode(
+                "utf-8", "replace")}
+        return response.status, decoded
+
+    # -- API calls -----------------------------------------------------------
+    def compile(self, dimacs: str,
+                config: Optional[Mapping[str, Any]] = None,
+                deadline_s: Optional[float] = None,
+                max_nodes: Optional[int] = None
+                ) -> Tuple[int, Dict[str, Any]]:
+        body: Dict[str, Any] = {"dimacs": dimacs}
+        if config:
+            body["config"] = dict(config)
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        if max_nodes is not None:
+            body["max_nodes"] = max_nodes
+        return self.request("POST", "/compile", body)
+
+    def query(self, key: str, query: str = "count",
+              num_vars: Optional[int] = None,
+              weights: Optional[Mapping[int, float]] = None,
+              weight_batch: Optional[
+                  List[Mapping[int, float]]] = None,
+              deadline_s: Optional[float] = None
+              ) -> Tuple[int, Dict[str, Any]]:
+        body: Dict[str, Any] = {"key": key, "query": query}
+        if num_vars is not None:
+            body["num_vars"] = num_vars
+        if weights is not None:
+            body["weights"] = {str(k): v for k, v in weights.items()}
+        if weight_batch is not None:
+            body["weight_batch"] = [
+                {str(k): v for k, v in row.items()}
+                for row in weight_batch]
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        return self.request("POST", "/query", body)
+
+    def stats(self) -> Dict[str, Any]:
+        status, body = self.request("GET", "/stats")
+        if status != 200:
+            raise RuntimeError(f"/stats returned {status}: {body}")
+        return body
+
+    def health(self) -> bool:
+        try:
+            status, _ = self.request("GET", "/healthz")
+        except (ConnectionError, OSError):
+            return False
+        return status == 200

@@ -1,0 +1,65 @@
+"""In-flight compile deduplication.
+
+N concurrent requests for the same CNF (same sha256 content key) must
+trigger ONE compilation: the first arrival becomes the *leader* and
+runs the compile; everyone else becomes a *waiter* attached to the
+leader's future.  Keys resolve to the same artifact across process
+restarts because they are the ArtifactStore's content addresses — the
+registry only needs to cover the window while a compile is actually
+running.
+
+Single-threaded discipline: all registry calls happen on the server's
+event loop, so no locks are needed; the asyncio future is the
+synchronisation primitive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Tuple
+
+from ..perf.instrument import Counter
+
+__all__ = ["InflightRegistry"]
+
+
+class InflightRegistry:
+    """Content-key → in-flight future map with leader election."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self.stats = Counter()
+
+    def lease(self, key: str,
+              loop: asyncio.AbstractEventLoop
+              ) -> Tuple["asyncio.Future", bool]:
+        """The future for ``key`` plus whether the caller leads.
+
+        The leader (first arrival) must eventually call
+        :meth:`settle`; waiters just await the future.
+        """
+        future = self._inflight.get(key)
+        if future is not None and not future.done():
+            self.stats.incr("dedup_inflight_hits")
+            return future, False
+        future = loop.create_future()
+        self._inflight[key] = future
+        self.stats.incr("dedup_leases")
+        return future, True
+
+    def settle(self, key: str, result: object) -> None:
+        """Resolve ``key``'s future for every waiter and retire it."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            if isinstance(result, BaseException):
+                future.set_exception(result)
+                # nobody may await a failed compile's future (all
+                # waiters could have timed out) — don't warn on it
+                future.exception()
+            else:
+                future.set_result(result)
+        self.stats.incr("dedup_settled")
+
+    def depth(self) -> int:
+        """How many distinct compiles are currently in flight."""
+        return sum(1 for f in self._inflight.values() if not f.done())

@@ -1,0 +1,194 @@
+"""The worker pool: where compiles and queries actually run.
+
+Heavy work never runs on the event loop.  A
+``concurrent.futures.ProcessPoolExecutor`` (fork context) hosts N
+workers; each worker opens its *own* handle on the shared
+:class:`~repro.ir.store.ArtifactStore` directory, so a circuit
+compiled by any worker is a warm load (cert hit + ``.csr`` mmap +
+cached codegen source) for every other worker and for every later
+process.  Workers additionally keep a small in-process LRU of decoded
+circuits so a hot key skips even the mmap parse.
+
+Worker entry points (:func:`run_compile`, :func:`run_query`) are
+module-level functions taking/returning plain dicts — the pickle
+boundary — and never raise: every failure is encoded as a status so
+the server can map it to an HTTP code.  Each reply carries the delta
+of the worker store's counters for that call, which the app aggregates
+into the served `/stats`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from concurrent.futures import (Executor, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
+from typing import Any, Dict, Optional
+
+import multiprocessing
+
+from ..ir import facade
+from ..ir.store import ArtifactStore
+from ..limits.budget import Budget, BudgetExceeded
+from ..perf.instrument import Counter
+
+__all__ = ["WorkerPool", "run_compile", "run_query", "init_worker"]
+
+#: decoded circuits kept per worker process (keys are content hashes,
+#: so entries never go stale)
+IR_CACHE_SIZE = 128
+
+_store: Optional[ArtifactStore] = None
+_ir_cache: "OrderedDict[str, Any]" = OrderedDict()
+
+
+def init_worker(cache_root: str, verify: bool = True) -> None:
+    """Per-process setup: open this worker's store handle."""
+    global _store
+    _store = ArtifactStore(cache_root, verify=verify)
+    _ir_cache.clear()
+
+
+def _require_store() -> ArtifactStore:
+    if _store is None:
+        raise RuntimeError("worker not initialised; init_worker() "
+                           "must run first")
+    return _store
+
+
+def _stats_delta(before: Dict[str, int], after: Counter
+                 ) -> Dict[str, int]:
+    out = {}
+    for name, value in after.as_dict().items():
+        delta = value - before.get(name, 0)
+        if delta:
+            out[name] = delta
+    return out
+
+
+def _cached_ir(store: ArtifactStore, key: str) -> Optional[Any]:
+    ir = _ir_cache.get(key)
+    if ir is not None:
+        _ir_cache.move_to_end(key)
+        store.stats.incr("ir_cache_hits")
+        return ir
+    ir = facade.load_artifact(store, key)
+    if ir is not None:
+        _ir_cache[key] = ir
+        while len(_ir_cache) > IR_CACHE_SIZE:
+            _ir_cache.popitem(last=False)
+    return ir
+
+
+def run_compile(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Compile a ticket into the shared store (worker side).
+
+    ``payload`` is a :meth:`CompileTicket.as_wire` dict plus optional
+    ``deadline_s`` / ``max_nodes`` caps.  Returns a status dict:
+    ``ok`` (artifact stored, possibly warm), ``bounds`` (budget
+    expired → certified interval), ``invalid`` or ``error``.
+    """
+    store = _require_store()
+    before = dict(store.stats.as_dict())
+    try:
+        ticket = facade.CompileTicket(
+            key=payload["key"], num_vars=payload["num_vars"],
+            dimacs=payload["dimacs"], config=payload["config"])
+        outcome = facade.compile_or_bounds(
+            ticket, store,
+            deadline_s=payload.get("deadline_s"),
+            max_nodes=payload.get("max_nodes"))
+        reply = outcome.as_wire()
+    except ValueError as error:
+        reply = {"status": "invalid", "error": str(error)}
+    except Exception as error:  # never poison the pool
+        reply = {"status": "error",
+                 "error": f"{type(error).__name__}: {error}"}
+    reply["pid"] = os.getpid()
+    reply["store_stats"] = _stats_delta(before, store.stats)
+    return reply
+
+
+def run_query(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Answer one query on a stored artifact (worker side)."""
+    store = _require_store()
+    before = dict(store.stats.as_dict())
+    try:
+        ir = _cached_ir(store, payload["key"])
+        if ir is None:
+            reply: Dict[str, Any] = {"status": "not_found",
+                                     "error": "unknown artifact key "
+                                              + payload["key"]}
+        else:
+            deadline = payload.get("deadline_s")
+            budget = Budget(deadline_s=deadline) if deadline else None
+            weights = payload.get("weights")
+            if weights is not None:
+                weights = {int(k): float(v) for k, v in weights.items()}
+            batch = payload.get("weight_batch")
+            if batch is not None:
+                batch = [{int(k): float(v) for k, v in row.items()}
+                         for row in batch]
+            reply = facade.query_ir(
+                ir, payload["query"], num_vars=payload.get("num_vars"),
+                weights=weights, weight_batch=batch, budget=budget,
+                codegen_store=store)
+            reply["status"] = "ok"
+            result = reply.get("result")
+            if isinstance(result, int) and not isinstance(result, bool):
+                # counts can exceed JSON number precision; send text
+                reply["result"] = str(result)
+            if "count" in reply:
+                reply["count"] = str(reply["count"])
+    except BudgetExceeded as error:
+        reply = {"status": "budget_exceeded", "error": str(error),
+                 "reason": error.reason}
+    except ValueError as error:
+        reply = {"status": "invalid", "error": str(error)}
+    except Exception as error:
+        reply = {"status": "error",
+                 "error": f"{type(error).__name__}: {error}"}
+    reply["pid"] = os.getpid()
+    reply["store_stats"] = _stats_delta(before, store.stats)
+    return reply
+
+
+def _warm(_: int) -> int:
+    """No-op task used to force worker spawn at startup."""
+    return os.getpid()
+
+
+class WorkerPool:
+    """N forked workers over one shared artifact directory.
+
+    With ``workers=0`` the same entry points run on an in-process
+    thread pool instead (tests, single-core deployments) — one store
+    handle, no pickling, and the event loop stays responsive.
+    """
+
+    def __init__(self, cache_root: str, workers: int = 2,
+                 verify: bool = True):
+        self.cache_root = cache_root
+        self.workers = max(0, int(workers))
+        self.verify = verify
+        self._executor: Executor
+        if self.workers == 0:
+            init_worker(cache_root, verify)
+            self._executor = ThreadPoolExecutor(max_workers=2)
+        else:
+            context = multiprocessing.get_context("fork")
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context,
+                initializer=init_worker,
+                initargs=(cache_root, verify))
+            # spawn workers NOW: forking after the asyncio loop (and
+            # its helper threads) start is unsafe, and a lazy first
+            # fork would bill one request for the whole pool startup
+            list(self._executor.map(_warm, range(self.workers)))
+
+    def submit(self, fn: Any, payload: Dict[str, Any]) -> Any:
+        """A concurrent.futures.Future for ``fn(payload)``."""
+        return self._executor.submit(fn, payload)
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True, cancel_futures=True)

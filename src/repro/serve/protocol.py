@@ -1,0 +1,151 @@
+"""Wire protocol: request parsing and validation.
+
+Everything a client can get wrong is caught here and raised as
+:class:`ProtocolError`, which the app maps to a 400 — malformed JSON,
+bad weights, oversized bodies, unknown queries.  Workers only ever see
+validated, canonical payloads.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = ["ProtocolError", "CompileRequest", "QueryRequest",
+           "parse_compile_request", "parse_query_request",
+           "DEFAULT_MAX_BODY"]
+
+#: request bodies above this many bytes are rejected with 413
+DEFAULT_MAX_BODY = 8 * 1024 * 1024
+
+QUERY_KINDS = ("count", "sat", "wmc", "mpe", "marginals")
+
+
+class ProtocolError(ValueError):
+    """A malformed request; ``status`` is the HTTP code to answer."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class CompileRequest:
+    """A validated ``POST /compile`` body."""
+
+    dimacs: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    deadline_s: Optional[float] = None
+    max_nodes: Optional[int] = None
+
+
+@dataclass
+class QueryRequest:
+    """A validated ``POST /query`` body."""
+
+    key: str
+    query: str
+    num_vars: Optional[int] = None
+    weights: Optional[Dict[int, float]] = None
+    weight_batch: Optional[List[Dict[int, float]]] = None
+    deadline_s: Optional[float] = None
+
+
+def _load_json(body: bytes) -> Dict[str, Any]:
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"invalid JSON body: {error}") from error
+    if not isinstance(data, dict):
+        raise ProtocolError("request body must be a JSON object")
+    return data
+
+
+def _positive_float(data: Mapping[str, Any], name: str
+                    ) -> Optional[float]:
+    value = data.get(name)
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or not value > 0:
+        raise ProtocolError(f"{name} must be a positive number")
+    return float(value)
+
+
+def _positive_int(data: Mapping[str, Any], name: str) -> Optional[int]:
+    value = data.get(name)
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or value <= 0:
+        raise ProtocolError(f"{name} must be a positive integer")
+    return value
+
+
+def _decode_weights(raw: Any, what: str = "weights"
+                    ) -> Dict[int, float]:
+    """JSON weight maps arrive with string literal keys ("−3": 0.2)."""
+    if not isinstance(raw, dict):
+        raise ProtocolError(f"{what} must be an object of "
+                            "literal -> weight")
+    out: Dict[int, float] = {}
+    for key, value in raw.items():
+        try:
+            lit = int(key)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                f"{what} key {key!r} is not an integer literal"
+            ) from None
+        if lit == 0:
+            raise ProtocolError(f"{what} literal must be non-zero")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ProtocolError(
+                f"{what}[{key}] must be a number, got {value!r}")
+        out[lit] = float(value)
+    return out
+
+
+def parse_compile_request(body: bytes) -> CompileRequest:
+    data = _load_json(body)
+    dimacs = data.get("dimacs")
+    if not isinstance(dimacs, str) or not dimacs.strip():
+        raise ProtocolError("compile request needs a non-empty "
+                            "'dimacs' string")
+    config = data.get("config", {})
+    if not isinstance(config, dict):
+        raise ProtocolError("'config' must be an object")
+    return CompileRequest(
+        dimacs=dimacs, config=dict(config),
+        deadline_s=_positive_float(data, "deadline_s"),
+        max_nodes=_positive_int(data, "max_nodes"))
+
+
+def parse_query_request(body: bytes) -> QueryRequest:
+    data = _load_json(body)
+    key = data.get("key")
+    if not isinstance(key, str) or not key:
+        raise ProtocolError("query request needs an artifact 'key'")
+    query = data.get("query", "count")
+    if query not in QUERY_KINDS:
+        raise ProtocolError(f"unknown query {query!r}; expected one "
+                            f"of {list(QUERY_KINDS)}")
+    weights = None
+    if data.get("weights") is not None:
+        weights = _decode_weights(data["weights"])
+    weight_batch = None
+    if data.get("weight_batch") is not None:
+        raw_batch = data["weight_batch"]
+        if not isinstance(raw_batch, list):
+            raise ProtocolError("weight_batch must be a list of "
+                                "weight objects")
+        weight_batch = [_decode_weights(row, f"weight_batch[{i}]")
+                        for i, row in enumerate(raw_batch)]
+    if weights is not None and weight_batch is not None:
+        raise ProtocolError("pass either weights or weight_batch, "
+                            "not both")
+    return QueryRequest(
+        key=key, query=str(query),
+        num_vars=_positive_int(data, "num_vars"),
+        weights=weights, weight_batch=weight_batch,
+        deadline_s=_positive_float(data, "deadline_s"))

@@ -539,3 +539,179 @@ class TestCli:
         assert code == 0
         assert "c attempt 0 default-heuristic budget:nodes" in out
         assert "c winner attempt" in out
+
+
+# -- multi-process store races -------------------------------------------------
+def _race_compile_worker(cache_root, dimacs, barrier, results):
+    """One racing writer: cold-compile the shared CNF into the shared
+    store directory, then report (model count, store counters)."""
+    from repro.compile.dnnf_compiler import DnnfCompiler
+    from repro.ir.store import ArtifactStore
+    from repro.logic.cnf import Cnf
+    cnf = Cnf.from_dimacs(dimacs)
+    store = ArtifactStore(cache_root)
+    barrier.wait(timeout=60)  # maximize write overlap
+    root = DnnfCompiler(store=store).compile(cnf)
+    results.put((queries.model_count(root, range(1, cnf.num_vars + 1)),
+                 store.stats.as_dict()))
+
+
+def _race_killed_worker(cache_root, dimacs, barrier, results):
+    """A racing writer whose budget kills it mid-compile."""
+    from repro.compile.dnnf_compiler import DnnfCompiler
+    from repro.ir.store import ArtifactStore
+    from repro.logic.cnf import Cnf
+    cnf = Cnf.from_dimacs(dimacs)
+    store = ArtifactStore(cache_root)
+    barrier.wait(timeout=60)
+    try:
+        DnnfCompiler(store=store, budget=Budget(max_nodes=4)).compile(cnf)
+        results.put(("completed", store.stats.as_dict()))
+    except BudgetExceeded:
+        results.put(("killed", store.stats.as_dict()))
+
+
+class TestMultiProcessStoreRaces:
+    """N processes cold-compiling the same content key concurrently:
+    one artifact, identical bytes, no quarantines — the extension of
+    the kill-then-rerun pattern to parallel writers."""
+
+    N_PROCS = 4
+
+    @staticmethod
+    def _spawn(target, cache_root, dimacs, count):
+        import multiprocessing
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(count)
+        results = context.Queue()
+        procs = [context.Process(target=target,
+                                 args=(cache_root, dimacs, barrier,
+                                       results))
+                 for _ in range(count)]
+        for proc in procs:
+            proc.start()
+        collected = [results.get(timeout=120) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        return collected
+
+    def test_parallel_cold_compiles_one_artifact(self, tmp_path):
+        cnf = random_3cnf(20, 50, 21)
+        dimacs = cnf.to_dimacs()
+        exact = queries.model_count(
+            DnnfCompiler(store=None).compile(cnf), range(1, 21))
+        collected = self._spawn(_race_compile_worker, str(tmp_path),
+                                dimacs, self.N_PROCS)
+        # every racer computed the same count
+        assert [c for c, _ in collected] == [exact] * self.N_PROCS
+        # one artifact file per extension, no quarantines, no temp
+        # droppings — atomic os.replace publication
+        assert len(_stored_keys(tmp_path, "nnf")) == 1
+        assert len(_stored_keys(tmp_path, "csr")) == 1
+        assert glob.glob(f"{tmp_path}/*/*.corrupt") == []
+        assert glob.glob(f"{tmp_path}/*/*.tmp") == []
+        for _, stats in collected:
+            assert stats.get("artifact_corrupt", 0) == 0
+
+    def test_racing_writers_store_identical_bytes(self, tmp_path):
+        """The surviving artifact is byte-identical to a solo compile
+        of the same key (content addressing makes every racer's write
+        interchangeable)."""
+        from repro.ir.store import ArtifactStore
+        cnf = random_3cnf(18, 42, 5)
+        dimacs = cnf.to_dimacs()
+        self._spawn(_race_compile_worker, str(tmp_path), dimacs, 3)
+        (raced_path,) = glob.glob(f"{tmp_path}/*/*.nnf")
+        solo_dir = tmp_path / "solo"
+        DnnfCompiler(store=ArtifactStore(solo_dir)).compile(cnf)
+        (solo_path,) = glob.glob(f"{solo_dir}/*/*.nnf")
+        with open(raced_path, "rb") as raced, \
+                open(solo_path, "rb") as solo:
+            assert raced.read() == solo.read()
+
+    def test_warm_load_after_race_counts_hits(self, tmp_path):
+        """A fresh process after the race gets the full warm path:
+        cache hit, certificate hit, and the mmap'd CSR sidecar."""
+        from repro.ir.store import ArtifactStore
+        cnf = random_3cnf(20, 50, 22)
+        exact = queries.model_count(
+            DnnfCompiler(store=None).compile(cnf), range(1, 21))
+        self._spawn(_race_compile_worker, str(tmp_path),
+                    cnf.to_dimacs(), self.N_PROCS)
+        warm = DnnfCompiler(store=ArtifactStore(tmp_path))
+        assert queries.model_count(warm.compile(cnf),
+                                   range(1, 21)) == exact
+        assert warm.stats["artifact_cache_hits"] == 1
+        assert warm.store.stats["artifact_hits"] == 1
+        assert warm.store.stats["artifact_mmap_hits"] == 1
+        assert warm.store.stats["artifact_corrupt"] == 0
+
+    def test_killed_writer_among_racers(self, tmp_path):
+        """Racers mixed with a budget-killed writer: the killed one
+        publishes nothing (atomicity) and the survivors' artifact
+        still loads clean."""
+        import multiprocessing
+        from repro.ir.store import ArtifactStore
+        cnf = random_3cnf(20, 50, 23)
+        dimacs = cnf.to_dimacs()
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(3)
+        results = context.Queue()
+        procs = [
+            context.Process(target=_race_compile_worker,
+                            args=(str(tmp_path), dimacs, barrier,
+                                  results)),
+            context.Process(target=_race_compile_worker,
+                            args=(str(tmp_path), dimacs, barrier,
+                                  results)),
+            context.Process(target=_race_killed_worker,
+                            args=(str(tmp_path), dimacs, barrier,
+                                  results)),
+        ]
+        for proc in procs:
+            proc.start()
+        collected = [results.get(timeout=120) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        outcomes = [c for c, _ in collected]
+        assert "killed" in outcomes
+        assert len(_stored_keys(tmp_path, "nnf")) == 1
+        assert glob.glob(f"{tmp_path}/*/*.corrupt") == []
+        store = ArtifactStore(tmp_path)
+        (key,) = _stored_keys(tmp_path, "nnf")
+        assert store.load_nnf(key) is not None
+        assert store.stats["artifact_corrupt"] == 0
+
+    def test_reader_racing_writer_never_quarantines(self, tmp_path):
+        """A loop of readers concurrent with repeated re-publications
+        of the same artifact never sees a torn file (the satellite's
+        original failure mode: a reader racing a writer landed a good
+        artifact in quarantine)."""
+        import threading
+        from repro.ir import nnf_to_ir
+        from repro.ir.store import ArtifactStore
+        cnf = random_3cnf(16, 36, 8)
+        root = DnnfCompiler(store=None).compile(cnf)
+        ir = nnf_to_ir(root)
+        writer_store = ArtifactStore(tmp_path)
+        key = "racing-key"
+        writer_store.save_nnf(key, ir)
+        stop = threading.Event()
+
+        def rewrite():
+            while not stop.is_set():
+                writer_store.save_nnf(key, ir)
+
+        writer = threading.Thread(target=rewrite, daemon=True)
+        writer.start()
+        try:
+            reader_store = ArtifactStore(tmp_path)
+            for _ in range(50):
+                assert reader_store.load_nnf(key) is not None
+        finally:
+            stop.set()
+            writer.join(timeout=30)
+        assert reader_store.stats["artifact_corrupt"] == 0
+        assert glob.glob(f"{tmp_path}/*/*.corrupt") == []

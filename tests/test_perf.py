@@ -115,7 +115,8 @@ def test_run_all_quick_smoke(tmp_path):
         "sharp_sat", "dnnf_compile", "repeated_wmc", "batched_wmc",
         "batched_marginals", "psdd_marginals", "classifier_scoring",
         "warm_compile", "anytime_bounds", "restart_compile",
-        "verify_overhead", "codegen_kernel", "warm_mmap"}
+        "verify_overhead", "codegen_kernel", "warm_mmap",
+        "serve_throughput"}
     for name, scenario in report["scenarios"].items():
         assert scenario["agree"] is True, name
         # the per-scenario deadline guard must not have tripped
@@ -152,6 +153,78 @@ def test_run_all_quick_smoke(tmp_path):
     # decoding the binary CSR sidecar must beat re-parsing the text
     assert mmap_warm["speedup"] > 1, mmap_warm
     assert mmap_warm["counters"]["optimized"]["artifact_mmap_hits"] > 0
+    serve = report["scenarios"]["serve_throughput"]
+    # concurrent duplicate compiles must collapse onto one compilation
+    # (the acceptance bar for the duplicate-heavy mix)
+    assert serve["dedup_hit_rate"] > 0.8, serve
+    # served warm queries must stay within 10x of the single-process
+    # warm query cost — the service overhead bound
+    assert serve["p50_ms"] < 10 * max(serve["direct_warm_query_ms"],
+                                      0.05), serve
+    assert serve["rps"] > 0 and serve["p99_ms"] >= serve["p50_ms"]
+    assert serve["counters"]["statuses"].keys() == {"200"}, serve
+
+
+class TestDriftNormalizedGate:
+    """compare() divides ratios by the median host drift so a uniform
+    machine slowdown doesn't read as a dozen regressions — while a
+    baseline too small to estimate drift (< 4 signalful scenarios)
+    keeps the raw, un-normalized gate."""
+
+    @staticmethod
+    def _run_all():
+        sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+        try:
+            import run_all
+        finally:
+            sys.path.pop(0)
+        return run_all
+
+    @staticmethod
+    def _report(timings):
+        return {"quick": True, "figures": [],
+                "scenarios": {name: {"optimized_s": seconds}
+                              for name, seconds in timings.items()}}
+
+    def test_uniform_drift_not_flagged(self):
+        run_all = self._run_all()
+        baseline = self._report(
+            {f"s{i}": 1.0 for i in range(6)})
+        # every scenario uniformly 1.4x slower: pure host drift
+        current = self._report({f"s{i}": 1.4 for i in range(6)})
+        outcome = run_all.compare(current, baseline)
+        assert outcome["comparable"]
+        assert outcome["drift"] == pytest.approx(1.4)
+        assert outcome["regressions"] == []
+
+    def test_real_regression_survives_drift(self):
+        run_all = self._run_all()
+        baseline = self._report(
+            {f"s{i}": 1.0 for i in range(6)})
+        timings = {f"s{i}": 1.4 for i in range(6)}
+        timings["s3"] = 4.0   # 4x raw, ~2.9x after drift: real
+        outcome = run_all.compare(self._report(timings), baseline)
+        assert [r["what"] for r in outcome["regressions"]] == \
+            ["scenario:s3"]
+
+    def test_small_baselines_stay_raw(self):
+        run_all = self._run_all()
+        baseline = self._report({"a": 1.0, "b": 1.0})
+        outcome = run_all.compare(
+            self._report({"a": 1.4, "b": 1.4}), baseline)
+        # two samples cannot estimate drift; the raw gate still fires
+        assert outcome["drift"] == 1.0
+        assert len(outcome["regressions"]) == 2
+
+    def test_drift_clamped(self):
+        run_all = self._run_all()
+        baseline = self._report({f"s{i}": 1.0 for i in range(6)})
+        # a uniform 5x "drift" is not host noise — the clamp keeps
+        # enough of the ratio visible to flag every scenario
+        outcome = run_all.compare(
+            self._report({f"s{i}": 5.0 for i in range(6)}), baseline)
+        assert outcome["drift"] == 2.0
+        assert len(outcome["regressions"]) == 6
 
 
 @pytest.mark.tier2_bench

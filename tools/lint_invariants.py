@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-invariant lint: AST checks ruff/mypy cannot express.
 
-Four rules, each guarding a deliberate architectural boundary:
+Five rules, each guarding a deliberate architectural boundary:
 
 1. **legacy-isolation** — production modules must not import
    ``repro.compat`` or any ``*_legacy`` name/module at module level.
@@ -33,6 +33,15 @@ Four rules, each guarding a deliberate architectural boundary:
    self-hash before compiling it with empty builtins.  Method calls
    like ``cnf.compile(...)`` are fine — only the bare builtins are
    flagged.
+
+5. **serve-isolation** — the serving layer (``repro/serve/``) must
+   never call engine internals directly: the only sanctioned repro
+   imports (module-level *or* lazy) are the service facade
+   (``repro.ir.facade``), the store (``repro.ir.store``), the kernel
+   (``repro.ir.kernel``), budgets (``repro.limits``), perf counters
+   (``repro.perf``), and serve-internal modules.  Compilers, SAT
+   engines, circuit walkers etc. change shape freely behind the
+   facade; a server reaching around it would freeze them.
 
 Exit status 1 with ``file:line: rule message`` diagnostics on any
 violation; 0 on a clean tree.  Stdlib only — runs anywhere.
@@ -189,7 +198,67 @@ def check_audited_compile(path: Path, rel: str,
     yield from scan(tree, False)
 
 
+#: repro packages/modules the serving layer may import (rule 5) —
+#: the facade, the store/kernel behind it, budgets, and perf
+#: counters.  A prefix matches itself and any submodule.
+SERVE_ALLOWED_PREFIXES = (
+    "repro.serve",
+    "repro.ir.facade",
+    "repro.ir.store",
+    "repro.ir.kernel",
+    "repro.limits",
+    "repro.perf",
+)
+
+
+def _serve_allowed(module: str) -> bool:
+    if not (module == "repro" or module.startswith("repro.")):
+        return True  # stdlib / third-party: not this rule's concern
+    return any(module == prefix or module.startswith(prefix + ".")
+               for prefix in SERVE_ALLOWED_PREFIXES)
+
+
+def check_serve_isolation(path: Path, rel: str,
+                          tree: ast.Module) -> Iterator[Violation]:
+    parts = Path(rel).parts
+    if "serve" not in parts[:-1]:
+        return
+    # dotted package of this file, rooted at repro (rel is relative
+    # to src/repro): serve/app.py lives in package repro.serve
+    package = ["repro", *parts[:-1]]
+    for node in ast.walk(tree):  # lazy imports count too
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if not _serve_allowed(alias.name):
+                    yield (path, node.lineno, "serve-isolation",
+                           f"serving layer imports engine internal "
+                           f"{alias.name!r} (go through repro.ir."
+                           f"facade / ArtifactStore / Budget)")
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = package[:len(package) - (node.level - 1)]
+                module = ".".join(base + ([node.module]
+                                          if node.module else []))
+            else:
+                module = node.module or ""
+            if not (module == "repro" or module.startswith("repro.")):
+                continue
+            for alias in node.names:
+                # `from ..ir import facade` binds repro.ir.facade:
+                # judge the bound name, not just the source module,
+                # so allowed submodules pass and `from repro.ir
+                # import compiler_guts` cannot smuggle one through
+                candidate = f"{module}.{alias.name}"
+                if not (_serve_allowed(module) or
+                        _serve_allowed(candidate)):
+                    yield (path, node.lineno, "serve-isolation",
+                           f"serving layer imports engine internal "
+                           f"{candidate!r} (go through repro.ir."
+                           f"facade / ArtifactStore / Budget)")
+
+
 def collect_violations(src_root: Path) -> List[Violation]:
+    src_root = Path(src_root)
     violations: List[Violation] = []
     for path in sorted(src_root.rglob("*.py")):
         rel = path.relative_to(src_root).as_posix()
@@ -203,6 +272,7 @@ def collect_violations(src_root: Path) -> List[Violation]:
         violations.extend(check_clock_injection(path, rel, tree))
         violations.extend(check_flag_trust(path, rel, tree))
         violations.extend(check_audited_compile(path, rel, tree))
+        violations.extend(check_serve_isolation(path, rel, tree))
     return violations
 
 

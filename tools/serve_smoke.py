@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the compilation service.
+
+Starts a real ``repro serve`` subprocess on an OS-assigned port,
+fires a 50-request mixed burst (duplicate-heavy compiles followed by
+count/WMC queries) through :func:`repro.serve.loadgen.run_load`, and
+asserts the two service-level invariants CI cares about:
+
+* in-flight dedup actually collapsed duplicate compiles
+  (``dedup_hit_rate`` > 0), and
+* the server answered every request without a 5xx.
+
+Then SIGTERMs the server and requires a clean exit.  Stdlib + the
+installed ``repro`` package only — no test framework, so it can run
+as a bare CI step.
+
+Usage::
+
+    python tools/serve_smoke.py [--requests 50] [--workers 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def start_server(workers: int, cache_dir: str) -> "tuple[subprocess.Popen, str, int]":
+    """Launch ``repro serve`` and wait for its listening banner."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", str(workers), "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    deadline = time.monotonic() + 60.0
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"server exited before listening (rc={proc.wait()})")
+        sys.stdout.write(line)
+        if line.startswith("c serve listening"):
+            _, _, _, host, port = line.split()
+            return proc, host, int(port)
+    proc.kill()
+    raise SystemExit("server never printed its listening banner")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=50,
+                        help="total burst size (compiles + queries)")
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    from repro.serve.loadgen import run_load
+
+    # duplicate-heavy mix: 3 distinct CNFs x 8 submissions = 24
+    # compiles, remainder queries — 50 requests at the defaults
+    distinct, duplicates = 3, 8
+    queries = max(args.requests - distinct * duplicates, 1)
+
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as cache:
+        proc, host, port = start_server(args.workers, cache)
+        try:
+            report = run_load(host, port, distinct=distinct,
+                              duplicates=duplicates, queries=queries,
+                              threads=4, num_vars=20, num_clauses=50,
+                              seed=11, deadline_s=30.0)
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                rc = proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                rc = -9
+
+    report.pop("server_stats", None)
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    failures = []
+    if report["server_5xx"] != 0:
+        failures.append(f"server answered {report['server_5xx']} 5xx")
+    if not report["dedup_hit_rate"] > 0:
+        failures.append("duplicate compiles were not deduplicated")
+    if report["failures"]:
+        failures.append(f"client-side failures: {report['failures']}")
+    if rc != 0:
+        failures.append(f"server exited {rc} on SIGTERM, expected 0")
+    for failure in failures:
+        print(f"SMOKE FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"serve smoke ok: {report['requests']} requests, "
+          f"dedup {report['dedup_hit_rate']:.2f}, zero 5xx, "
+          f"clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
