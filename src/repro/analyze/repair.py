@@ -2,33 +2,22 @@
 
 Smoothness is the one tractability property with a cheap semantics-
 preserving repair (Darwiche & Marquis 2002): pad each or-gate child
-with ``(v or -v)`` gates for the sibling variables it misses.  The
-padding multiplies model counts correctly only because ``v or -v`` is
-valid, so the repaired circuit has exactly the models of the original
-over the gate's variable set.  Decomposability and determinism have
-no such local fix — a violation there means the circuit (or its
-compiler) is wrong, and the gate refuses rather than repairs.
+with ``(v or -v)`` gates for the sibling variables it misses.
+Decomposability and determinism have no such local fix — a violation
+there means the circuit (or its compiler) is wrong, and the gate
+refuses rather than repairs.
 
-This mirrors :func:`repro.nnf.transform.smooth` at the IR level; the
-rebuilt IR drops the STRUCTURED flag (padding gates need not respect
-the vtree) and keeps parameters intact.
+The rewrite itself now lives with every other circuit rewrite in
+:mod:`repro.ir.passes` (the sanctioned home for IR-to-IR
+transformations under the rewrite-isolation lint rule); this module
+remains as a migration shim so the gate's ``repair`` mode and existing
+importers keep working unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
-
-from ..ir.core import (
-    FLAG_SMOOTH,
-    FLAG_STRUCTURED,
-    KIND_AND,
-    KIND_LIT,
-    KIND_OR,
-    KIND_PARAM,
-    KIND_TRUE,
-    CircuitIR,
-    IrBuilder,
-)
+from ..ir.core import CircuitIR
+from ..ir.passes import smooth_ir as _smooth_ir
 
 __all__ = ["smooth_ir"]
 
@@ -36,50 +25,6 @@ __all__ = ["smooth_ir"]
 def smooth_ir(ir: CircuitIR) -> CircuitIR:
     """A smooth IR with the same models (and parameters) as ``ir``.
 
-    Each or-gate child missing sibling variables is conjoined with a
-    ``(v or -v)`` gate per missing variable.  The result carries the
-    original flags plus SMOOTH, minus STRUCTURED.
+    Delegates to :func:`repro.ir.passes.smooth_ir`.
     """
-    if ir.has_flag(FLAG_SMOOTH):
-        return ir
-    varsets = ir.varsets()
-    builder = IrBuilder()
-    mapped: List[int] = [0] * ir.n
-    tautologies: Dict[int, int] = {}
-
-    def tautology(var: int) -> int:
-        gate = tautologies.get(var)
-        if gate is None:
-            gate = builder.raw_or(
-                (builder.literal(var), builder.literal(-var)))
-            tautologies[var] = gate
-        return gate
-
-    for i in range(ir.n):
-        kind = ir.kinds[i]
-        if kind == KIND_LIT:
-            mapped[i] = builder.literal(ir.lits[i])
-        elif kind == KIND_PARAM:
-            mapped[i] = builder.param(ir.lits[i])
-        elif kind == KIND_TRUE:
-            mapped[i] = builder.true()
-        elif kind == KIND_AND:
-            mapped[i] = builder.raw_and(
-                tuple(mapped[c] for c in ir.children(i)))
-        elif kind == KIND_OR:
-            gate_vars = varsets[i]
-            padded: List[int] = []
-            for c in ir.children(i):
-                missing = gate_vars - varsets[c]
-                if missing:
-                    padded.append(builder.raw_and(
-                        (mapped[c],) + tuple(
-                            tautology(v) for v in sorted(missing))))
-                else:
-                    padded.append(mapped[c])
-            mapped[i] = builder.raw_or(tuple(padded))
-        else:  # KIND_FALSE
-            mapped[i] = builder.false()
-
-    flags = (ir.flags | FLAG_SMOOTH) & ~FLAG_STRUCTURED
-    return builder.finish(mapped[ir.root], flags=flags)
+    return _smooth_ir(ir)

@@ -16,6 +16,12 @@ Mirrors the classic knowledge-compiler workflow (C2D/DSHARP-style):
 * ``check FILE.nnf|FILE.sdd [--expect PROPS]`` — statically verify the
   tractability properties of a circuit file (exit code 4 plus
   ``c witness`` diagnostics naming the offending node on violation);
+* ``optimize FILE.nnf|FILE.cnf [--passes P1,P2]`` — shrink a circuit
+  through the certified optimization pass pipeline
+  (``docs/optimization.md``); ``compile --optimize`` and
+  ``query --optimize`` run the same pipeline inline;
+* ``cache gc [--max-age-days N] [--dry-run]`` — sweep the artifact
+  store for orphaned sidecars and stale quarantines;
 * ``serve [--port N --workers N --cache-dir DIR]`` — run the
   compile/query HTTP service (``docs/serving.md``);
 * ``bench-load --port N`` — drive a duplicate-heavy load burst at a
@@ -122,7 +128,10 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         return _compile_restarts(args, cnf, store)
     if args.format == "sdd":
         return _compile_sdd_files(args, cnf, store)
-    compiler = DnnfCompiler(store=store, budget=_budget(args))
+    optimize = ((args.passes or True) if getattr(args, "optimize",
+                                                 False) else None)
+    compiler = DnnfCompiler(store=store, budget=_budget(args),
+                            optimize=optimize)
     try:
         circuit = compiler.compile(cnf)
     except BudgetExceeded:
@@ -132,6 +141,14 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             print(format_stats(compiler.stats))
             _print_store_stats(store)
         raise
+    if compiler.optimize_report is not None:
+        report = compiler.optimize_report
+        print(f"c optimize passes {','.join(report['passes'])}")
+        print(f"c optimize nodes {report['before_nodes']} -> "
+              f"{report['after_nodes']}")
+        if compiler.forgotten_vars:
+            print("c optimize forgotten " + " ".join(
+                str(v) for v in sorted(compiler.forgotten_vars)))
     text = to_nnf_format(circuit)
     if args.output:
         with open(args.output, "w") as handle:
@@ -152,11 +169,19 @@ def _compile_restarts(args: argparse.Namespace, cnf: Cnf, store) -> int:
     from .limits.restarts import compile_with_restarts
     result = compile_with_restarts(
         cnf, format=args.format, attempts=args.restarts,
-        deadline_s=args.timeout, max_nodes=args.max_nodes, store=store)
+        deadline_s=args.timeout, max_nodes=args.max_nodes, store=store,
+        minimize=getattr(args, "optimize", False),
+        passes=getattr(args, "passes", None) or None)
     for record in result.attempts:
         print(f"c attempt {record['attempt']} {record['strategy']} "
               f"{record['outcome']}")
     print(f"c winner attempt {result.winner} (size {result.size})")
+    if result.optimize is not None:
+        print(f"c optimize passes "
+              f"{','.join(result.optimize['passes'])}")
+        if result.forgotten_vars:
+            print("c optimize forgotten " + " ".join(
+                str(v) for v in sorted(result.forgotten_vars)))
     if args.format == "sdd":
         from .ir.serialize import write_sdd_file, write_vtree_text
         text = write_sdd_file(result.root)
@@ -235,6 +260,81 @@ def _parse_weights(specs, num_vars: int) -> Dict[int, float]:
     return weights
 
 
+def _parse_pass_list(args: argparse.Namespace):
+    """The --passes option as a tuple (None = default pipeline)."""
+    from .ir.passes import parse_passes
+    raw = getattr(args, "passes", None)
+    return parse_passes(raw) if raw else None
+
+
+def _optimize_circuit_ir(args: argparse.Namespace, ir, aux_vars):
+    """Run the pass pipeline for an --optimize CLI flag, print the
+    ``c optimize`` audit lines and return the PipelineResult."""
+    from .ir.passes import optimize_ir
+    result = optimize_ir(ir, _parse_pass_list(args), aux_vars=aux_vars,
+                         budget=_budget(args))
+    print(f"c optimize passes {','.join(result.passes)}")
+    print(f"c optimize nodes {result.before_nodes} -> "
+          f"{result.after_nodes} "
+          f"(reduction {result.reduction:.2%})")
+    if result.forgotten:
+        print("c optimize forgotten "
+              + " ".join(str(v) for v in sorted(result.forgotten)))
+    if result.budget_hit:
+        print("c optimize budget-hit (partial pipeline kept)")
+    return result
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    """``repro optimize FILE``: shrink a circuit (or compile-then-
+    shrink a CNF) through the certified pass pipeline."""
+    from .ir.serialize import ir_from_nnf_text, ir_to_nnf_text
+    if args.file.endswith(".nnf"):
+        with open(args.file) as handle:
+            ir = ir_from_nnf_text(handle.read())
+        aux_vars: Sequence[int] = ()
+    else:
+        from .ir.core import FLAG_DECOMPOSABLE, FLAG_DETERMINISTIC
+        from .ir.lower import nnf_to_ir
+        cnf = _load(args.file)
+        store = _store(args)
+        compiler = DnnfCompiler(store=store, budget=_budget(args))
+        circuit = compiler.compile(cnf)
+        ir = nnf_to_ir(circuit,
+                       flags=FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC)
+        aux_vars = sorted(cnf.aux_vars)
+    result = _optimize_circuit_ir(args, ir, aux_vars)
+    text = ir_to_nnf_text(result.ir)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"c wrote {args.output} ({result.after_nodes} nodes)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    """``repro cache gc``: sweep the artifact store for orphaned and
+    stale sidecar files and report the bytes reclaimed."""
+    import time
+    store = _store(args)
+    if store is None:
+        print("c no cache directory (--cache-dir or $REPRO_CACHE_DIR)")
+        return 2
+    report = store.gc(now=time.time(),
+                      max_corrupt_age_days=args.max_age_days,
+                      dry_run=args.dry_run)
+    mode = " (dry-run)" if report["dry_run"] else ""
+    print(f"c gc scanned {report['scanned']}")
+    print(f"c gc removed {report['removed']}{mode}")
+    print(f"c gc reclaimed-bytes {report['reclaimed_bytes']}{mode}")
+    for name, entry in sorted(report["by_class"].items()):
+        print(f"c gc class {name} {entry['files']} files "
+              f"{entry['bytes']} bytes")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     if getattr(args, "gate", None):
         from .analyze.gate import gate_scope
@@ -261,6 +361,9 @@ def _run_query(args: argparse.Namespace) -> int:
             print(format_stats(compiler.stats))
             _print_store_stats(store)
         raise
+    if getattr(args, "optimize", False):
+        return _query_optimized(args, cnf, circuit, weights, compiler,
+                                store)
     from .nnf.kernel import get_kernel
     kernel = get_kernel(circuit)
     kernel.codegen_store = store
@@ -290,6 +393,50 @@ def _run_query(args: argparse.Namespace) -> int:
         print(format_stats(compiler.stats))
         _print_store_stats(store)
         _print_backend_stats(kernel)
+    return 0
+
+
+def _query_optimized(args: argparse.Namespace, cnf: Cnf, circuit,
+                     weights: Dict[int, float], compiler,
+                     store) -> int:
+    """--optimize: answer the query on the pass-minimized circuit.
+
+    Forgotten Tseitin auxiliaries are excluded from count widening
+    (the 2^k correction), so every answer matches the unoptimized
+    path exactly — just over fewer nodes.
+    """
+    from .ir import facade
+    from .ir.core import FLAG_DECOMPOSABLE, FLAG_DETERMINISTIC
+    from .ir.lower import nnf_to_ir
+    ir = nnf_to_ir(circuit,
+                   flags=FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC)
+    result = _optimize_circuit_ir(args, ir, sorted(cnf.aux_vars))
+    out = facade.query_ir(
+        result.ir, args.query, num_vars=cnf.num_vars,
+        weights=weights if args.query in ("wmc", "mpe") else None,
+        forgotten=result.forgotten, codegen_store=store)
+    if args.query == "count":
+        print(f"s mc {out['result']}")
+    elif args.query == "sat":
+        print("s SATISFIABLE" if out["result"]
+              else "s UNSATISFIABLE")
+    elif args.query == "wmc":
+        print(f"s wmc {out['result']}")
+    elif args.query == "mpe":
+        literals = " ".join(
+            str(int(var) if state else -int(var))
+            for var, state in sorted(out["model"].items(),
+                                     key=lambda kv: int(kv[0])))
+        print(f"v {literals} 0")
+        print(f"s mpe {out['result']}")
+    else:  # marginals
+        for var_text, (neg, pos) in sorted(
+                out["result"].items(), key=lambda kv: int(kv[0])):
+            print(f"c marginal {var_text} {pos} {neg}")
+        print(f"s mc {out['count']}")
+    if args.stats:
+        print(format_stats(compiler.stats))
+        _print_store_stats(store)
     return 0
 
 
@@ -516,7 +663,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="budgeted retry driver: up to N attempts over diversified "
              "variable orders/vtrees, doubling --timeout/--max-nodes "
              "each attempt")
+    compile_cmd.add_argument(
+        "--optimize", action="store_true",
+        help="run the certified circuit-optimization pass pipeline "
+             "after the compile (with --restarts: attempts compete on "
+             "optimized sizes)")
+    compile_cmd.add_argument(
+        "--passes", metavar="P1,P2,...",
+        help="pass pipeline for --optimize (default "
+             "const-fold,cse,tseitin-prune)")
     compile_cmd.set_defaults(func=_cmd_compile)
+
+    optimize_cmd = commands.add_parser(
+        "optimize", help="shrink a circuit (.nnf) or compile-then-"
+                         "shrink a CNF through the certified pass "
+                         "pipeline")
+    optimize_cmd.add_argument("file", help=".nnf circuit or DIMACS CNF")
+    optimize_cmd.add_argument("-o", "--output")
+    optimize_cmd.add_argument(
+        "--passes", metavar="P1,P2,...",
+        help="comma-separated pass pipeline (default "
+             "const-fold,cse,tseitin-prune)")
+    optimize_cmd.add_argument("--cache-dir",
+                              help="artifact store for the CNF "
+                                   "compile step (default "
+                                   "$REPRO_CACHE_DIR)")
+    _add_budget_flags(optimize_cmd)
+    optimize_cmd.set_defaults(func=_cmd_optimize)
+
+    cache = commands.add_parser(
+        "cache", help="artifact-store maintenance")
+    cache_sub = cache.add_subparsers(dest="cache_command",
+                                     required=True)
+    cache_gc = cache_sub.add_parser(
+        "gc", help="sweep the store for orphaned sidecars "
+                   "(.csr/.gen.py/.cert without a live artifact, "
+                   "stale .corrupt quarantines, tmp files)")
+    cache_gc.add_argument("--cache-dir",
+                          help="store directory (default "
+                               "$REPRO_CACHE_DIR)")
+    cache_gc.add_argument("--max-age-days", type=float, default=7.0,
+                          metavar="N",
+                          help="reap .corrupt quarantines older than "
+                               "N days (default 7)")
+    cache_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be removed without "
+                               "deleting anything")
+    cache_gc.set_defaults(func=_cmd_cache_gc)
 
     query = commands.add_parser(
         "query", help="compile (store-backed) and answer a query")
@@ -549,6 +742,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="property-gate mode (default $REPRO_GATE or trust): "
              "strict refuses uncertified circuits with exit code 4, "
              "repair auto-smooths when possible")
+    query.add_argument(
+        "--optimize", action="store_true",
+        help="answer on the pass-minimized circuit (forgotten "
+             "Tseitin auxiliaries excluded from count widening, so "
+             "results match the unoptimized path exactly)")
+    query.add_argument(
+        "--passes", metavar="P1,P2,...",
+        help="pass pipeline for --optimize (default "
+             "const-fold,cse,tseitin-prune)")
     query.set_defaults(func=_cmd_query)
 
     sdd = commands.add_parser("sdd", help="compile to an SDD")

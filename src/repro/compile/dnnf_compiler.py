@@ -86,6 +86,20 @@ class DnnfCompiler:
         explicit budget the ambient one (:meth:`Budget.scope`) governs;
         :func:`repro.limits.restarts.compile_with_restarts` builds the
         budgeted retry loop on top.
+    optimize:
+        Post-compile optimization hook.  ``None`` (default) leaves the
+        compiled circuit untouched; ``True`` runs the default
+        :mod:`repro.ir.passes` pipeline, a pass-name sequence or
+        comma-string runs that pipeline.  Every rewrite is
+        certification-gated; the Tseitin auxiliaries recorded in the
+        input CNF's ``aux_vars`` metadata drive the pruning pass, and
+        any variables actually forgotten land in
+        :attr:`forgotten_vars` (the caller must exclude them when
+        widening model counts — the 2^k correction).  With a store,
+        the optimized twin is saved as a variant artifact keyed by the
+        pipeline signature; warm loads reuse it via
+        :meth:`~repro.ir.store.ArtifactStore.load_variant`.
+        :attr:`optimize_report` carries the per-pass audit trail.
     """
 
     def __init__(self, manager: NnfManager | None = None,
@@ -93,7 +107,8 @@ class DnnfCompiler:
                  priority: Sequence[int] | None = None,
                  cache_mode: str = "hash",
                  propagator: str | None = None, store=None,
-                 budget: Optional[Budget] = None):
+                 budget: Optional[Budget] = None,
+                 optimize: "bool | str | Sequence[str] | None" = None):
         if propagator is None:
             from ..compat import default_propagator
             propagator = default_propagator()
@@ -113,6 +128,16 @@ class DnnfCompiler:
         self.budget = budget
         self._active_budget: Optional[Budget] = None
         self.priority = {v: i for i, v in enumerate(priority or ())}
+        if optimize is True:
+            optimize = ()  # the default pipeline
+        elif optimize is False:
+            optimize = None
+        if optimize is not None:
+            from ..ir.passes import parse_passes
+            optimize = parse_passes(optimize or None)
+        self.optimize = optimize
+        self.optimize_report: Optional[dict] = None
+        self.forgotten_vars: frozenset[int] = frozenset()
         self.cache: Dict[Hashable, NnfNode] = {}
         self.stats = Counter()
         self.cache_hits = 0
@@ -129,6 +154,8 @@ class DnnfCompiler:
         self.stats.clear()
         self.cache_hits = 0
         self.decisions = 0
+        self.optimize_report = None
+        self.forgotten_vars = frozenset()
         self._active_budget = resolve_budget(self.budget)
         if any(len(c) == 0 for c in cnf.clauses):
             return self.manager.false()
@@ -141,6 +168,8 @@ class DnnfCompiler:
             if cached is not None:
                 from ..ir.lower import ir_to_nnf
                 self.stats.incr("artifact_cache_hits")
+                if self.optimize is not None:
+                    return self._post_optimize(cnf, key, cached)
                 return ir_to_nnf(cached, self.manager)
         try:
             if self.propagator == "watched":
@@ -152,15 +181,57 @@ class DnnfCompiler:
             error.partial.setdefault("decisions", self.decisions)
             error.partial.setdefault("cache_entries", len(self.cache))
             raise
+        base_ir = None
         if key is not None:
             from ..ir.core import FLAG_DECOMPOSABLE, FLAG_DETERMINISTIC
             from ..ir.lower import nnf_to_ir
             # Decision-DNNF is decomposable and deterministic by
             # construction; assert it so the artifact certificate
             # covers exactly the flags the warm-load path claims
-            self.store.save_nnf(key, nnf_to_ir(
-                root, flags=FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC))
+            base_ir = nnf_to_ir(
+                root, flags=FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC)
+            self.store.save_nnf(key, base_ir)
+        if self.optimize is not None:
+            if base_ir is None:
+                from ..ir.core import (FLAG_DECOMPOSABLE,
+                                       FLAG_DETERMINISTIC)
+                from ..ir.lower import nnf_to_ir
+                base_ir = nnf_to_ir(
+                    root, flags=FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC)
+            return self._post_optimize(cnf, key, base_ir)
         return root
+
+    def _post_optimize(self, cnf: Cnf, key: Optional[str],
+                       ir) -> NnfNode:
+        """Run the certification-gated pass pipeline on the compiled
+        circuit; reuse / record a store variant when a store is wired.
+        Degrades to the unoptimized circuit, never errors."""
+        from ..ir.lower import ir_to_nnf
+        from ..ir.passes import PassManager, pipeline_signature
+        passes = self.optimize or ()
+        if key is not None and self.store is not None:
+            signature = pipeline_signature(passes)
+            cached = self.store.load_variant(key, signature)
+            if cached is not None:
+                variant, info = cached
+                self.forgotten_vars = frozenset(
+                    int(v) for v in info.get("forgotten", ()))
+                self.optimize_report = {
+                    "passes": list(passes), "signature": signature,
+                    "before_nodes": ir.n, "after_nodes": variant.n,
+                    "forgotten_vars": sorted(self.forgotten_vars),
+                    "cached": True}
+                self.stats.incr("optimize_variant_hits")
+                return ir_to_nnf(variant, self.manager)
+        pass_manager = PassManager(
+            passes, aux_vars=getattr(cnf, "aux_vars", frozenset()))
+        result = pass_manager.run(ir, budget=self._active_budget)
+        self.optimize_report = result.as_wire()
+        self.forgotten_vars = result.forgotten
+        if result.changed and key is not None and self.store is not None:
+            self.store.save_variant(key, result.ir, result.signature,
+                                    result.passes, result.forgotten)
+        return ir_to_nnf(result.ir, self.manager)
 
     def _artifact_key(self, cnf: Cnf) -> str:
         from ..ir.store import artifact_key

@@ -22,7 +22,12 @@ its properties.  This package makes that concrete:
 * :mod:`repro.ir.serialize` — canonical c2d ``.nnf`` and libsdd-style
   ``.sdd``/``.vtree`` readers and writers round-tripping through the IR;
 * :mod:`repro.ir.store` — the content-addressed compilation cache
-  keyed by SHA-256 of (DIMACS CNF, compiler name, config).
+  keyed by SHA-256 of (DIMACS CNF, compiler name, config);
+* :mod:`repro.ir.passes` — the certified circuit-optimization pass
+  manager: verification-gated rewrites (constant folding, CSE,
+  Tseitin-auxiliary pruning, de-/re-smoothing) that only ever replace
+  a circuit with a provably equivalent smaller one
+  (``docs/optimization.md``).
 """
 
 from .codegen import (CodegenUnsupported, CompiledCircuit,
@@ -38,6 +43,9 @@ from .serialize import (ir_from_csr_buffer, ir_from_nnf_text,
                         ir_to_csr_bytes, ir_to_nnf_text, read_sdd_file,
                         read_vtree_text, write_sdd_file,
                         write_vtree_text)
+from .passes import (DEFAULT_PASSES, PASS_NAMES, PassManager,
+                     PipelineResult, certified_equivalent, optimize_ir,
+                     parse_passes, pipeline_signature)
 from .store import ArtifactStore, artifact_key, default_store
 
 __all__ = [
@@ -54,4 +62,7 @@ __all__ = [
     "ArtifactStore", "artifact_key", "default_store",
     "CodegenUnsupported", "CompiledCircuit", "compile_circuit",
     "resolve_backend",
+    "PassManager", "PipelineResult", "optimize_ir", "parse_passes",
+    "pipeline_signature", "certified_equivalent", "PASS_NAMES",
+    "DEFAULT_PASSES",
 ]

@@ -33,8 +33,9 @@ budget left to produce non-trivial bounds.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass, replace
+from typing import (Any, Dict, FrozenSet, Iterable, List, Mapping,
+                    Optional, Sequence, Union)
 
 from ..limits.anytime import anytime_count
 from ..limits.budget import Budget, BudgetExceeded
@@ -45,8 +46,8 @@ from .store import ArtifactStore, artifact_key
 
 __all__ = ["CompileTicket", "CompileOutcome", "BoundsOutcome",
            "compile_ticket", "compile_to_store", "compile_or_bounds",
-           "load_artifact", "query_artifact", "query_ir",
-           "QUERY_KINDS"]
+           "load_artifact", "optimize_artifact", "query_artifact",
+           "query_ir", "QUERY_KINDS"]
 
 #: compiler-config keys a service request may override
 ALLOWED_CONFIG = ("use_components", "use_cache", "cache_mode",
@@ -87,20 +88,34 @@ class CompileTicket:
 
 @dataclass(frozen=True)
 class CompileOutcome:
-    """A completed compilation: the artifact is in the store."""
+    """A completed compilation: the artifact is in the store.
+
+    When the request asked for post-compile optimization,
+    ``optimized_nodes``/``pass_signature`` describe the certified
+    smaller variant that landed next to the base artifact (both None
+    when the pipeline made no certified improvement — the request
+    still succeeds on the base circuit, never errors).
+    """
 
     key: str
     num_vars: int
     circuit_nodes: int
     cached: bool
     elapsed_s: float
+    optimized_nodes: Optional[int] = None
+    pass_signature: Optional[str] = None
 
     def as_wire(self) -> Dict[str, Any]:
-        return {"status": "ok", "key": self.key,
-                "num_vars": self.num_vars,
-                "circuit_nodes": self.circuit_nodes,
-                "cached": self.cached,
-                "elapsed_s": round(self.elapsed_s, 6)}
+        out: Dict[str, Any] = {
+            "status": "ok", "key": self.key,
+            "num_vars": self.num_vars,
+            "circuit_nodes": self.circuit_nodes,
+            "cached": self.cached,
+            "elapsed_s": round(self.elapsed_s, 6)}
+        if self.optimized_nodes is not None:
+            out["optimized_nodes"] = self.optimized_nodes
+            out["pass_signature"] = self.pass_signature
+        return out
 
 
 @dataclass(frozen=True)
@@ -211,7 +226,8 @@ def compile_or_bounds(
         ticket: CompileTicket, store: ArtifactStore,
         deadline_s: Optional[float] = None,
         max_nodes: Optional[int] = None,
-        anytime_reserve: float = DEFAULT_ANYTIME_RESERVE
+        anytime_reserve: float = DEFAULT_ANYTIME_RESERVE,
+        optimize: Union[bool, str, Sequence[str], None] = None
 ) -> Union[CompileOutcome, BoundsOutcome]:
     """Budgeted compile that degrades to certified anytime bounds.
 
@@ -220,14 +236,23 @@ def compile_or_bounds(
     (:meth:`Budget.slice`); if it expires, the reserved remainder
     funds a partial-decomposition interval search whose bounds are
     certified to bracket the exact model count for *any* budget.
+
+    ``optimize`` (True for the default pipeline, or an explicit pass
+    list) runs :func:`optimize_artifact` after a successful compile on
+    whatever slack the request budget has left; an expiring or
+    non-improving pipeline silently leaves the base artifact as the
+    answer — optimization can shrink the response, never fail it.
     """
     start = time.perf_counter()
     if deadline_s is None and max_nodes is None:
-        return compile_to_store(ticket, store)
+        outcome = compile_to_store(ticket, store)
+        return _maybe_optimize(outcome, ticket, store, optimize, None)
     request = Budget(deadline_s=deadline_s, max_nodes=max_nodes)
     try:
-        return compile_to_store(ticket, store,
-                                request.slice(1.0 - anytime_reserve))
+        outcome = compile_to_store(
+            ticket, store, request.slice(1.0 - anytime_reserve))
+        return _maybe_optimize(outcome, ticket, store, optimize,
+                               request)
     except BudgetExceeded as error:
         reserve_deadline: Optional[float] = None
         if deadline_s is not None:
@@ -246,6 +271,95 @@ def compile_or_bounds(
             lower=int(bounds.lower), upper=int(bounds.upper),
             reason=error.reason, decisions=bounds.decisions,
             elapsed_s=time.perf_counter() - start)
+
+
+def _maybe_optimize(outcome: CompileOutcome, ticket: CompileTicket,
+                    store: ArtifactStore,
+                    optimize: Union[bool, str, Sequence[str], None],
+                    request: Optional[Budget]) -> CompileOutcome:
+    """Post-compile optimization on the request budget's slack.
+
+    Any failure mode — budget expiry, a rejected pipeline, a store
+    race — degrades to the unoptimized outcome; the compile already
+    succeeded and stays succeeded.
+    """
+    if optimize is None or optimize is False:
+        return outcome
+    passes: Optional[Sequence[str]]
+    if optimize is True:
+        passes = None
+    elif isinstance(optimize, str):
+        passes = [p for p in optimize.split(",") if p]
+    else:
+        passes = list(optimize)
+    try:
+        report = optimize_artifact(
+            store, ticket.key, passes=passes, budget=request,
+            aux_vars=Cnf.from_dimacs(ticket.dimacs).aux_vars)
+    except BudgetExceeded:
+        return outcome
+    if not report or report.get("after_nodes") is None or \
+            report["after_nodes"] >= report.get("before_nodes", 0):
+        return outcome
+    return replace(outcome,
+                   optimized_nodes=int(report["after_nodes"]),
+                   pass_signature=str(report["signature"]))
+
+
+# -- optimization side --------------------------------------------------------
+def optimize_artifact(store: ArtifactStore, key: str,
+                      passes: Optional[Sequence[str]] = None,
+                      budget: Optional[Budget] = None,
+                      aux_vars: Sequence[int] = ()
+                      ) -> Optional[Dict[str, Any]]:
+    """Run the certified pass pipeline on a stored artifact.
+
+    Loads ``key``, runs :class:`repro.ir.passes.PassManager` (default
+    pipeline when ``passes`` is None), and — when the pipeline
+    produced a certified strictly-smaller circuit — lands it as an
+    optimized variant next to the base artifact (keyed by the
+    pass-pipeline signature in the ``.cert`` sidecar) and pre-warms
+    its codegen module.  A variant already in the store is reused
+    without re-running the pipeline.  Returns a wire-ready audit dict,
+    or None when the artifact is missing.  Budget exhaustion degrades
+    to whatever the pipeline certified so far — never an error.
+    """
+    from .passes import PassManager, parse_passes, pipeline_signature
+    parsed = parse_passes(passes)
+    signature = pipeline_signature(parsed)
+    ir = store.load_nnf(key)
+    if ir is None:
+        return None
+    cached = store.load_variant(key, signature)
+    if cached is not None:
+        opt, info = cached
+        return {"key": key, "passes": list(info.get("passes", parsed)),
+                "signature": signature, "before_nodes": ir.n,
+                "after_nodes": opt.n,
+                "forgotten_vars": sorted(info.get("forgotten", ())),
+                "cached": True, "budget_hit": False}
+    manager = PassManager(parsed, aux_vars=aux_vars)
+    result = manager.run(ir, budget=budget)
+    if result.changed:
+        store.save_variant(key, result.ir, result.signature,
+                           passes=result.passes,
+                           forgotten=result.forgotten)
+        _warm_codegen(store, result.ir)
+    wire = result.as_wire()
+    wire["key"] = key
+    wire["cached"] = False
+    return wire
+
+
+def _warm_codegen(store: ArtifactStore, ir: CircuitIR) -> None:
+    """Regenerate the ``.gen.py`` module for an optimized variant so
+    the first real query is served compiled (best-effort)."""
+    try:
+        kernel = ir_kernel(ir)
+        kernel.codegen_store = store
+        kernel.sat()
+    except Exception:
+        pass
 
 
 # -- query side ---------------------------------------------------------------
@@ -298,12 +412,17 @@ def query_ir(ir: CircuitIR, query: str, *,
              weights: Optional[Mapping[int, float]] = None,
              weight_batch: Optional[Sequence[Mapping[int, float]]] = None,
              budget: Optional[Budget] = None,
-             codegen_store: Optional[ArtifactStore] = None
+             codegen_store: Optional[ArtifactStore] = None,
+             forgotten: Iterable[int] = ()
              ) -> Dict[str, Any]:
     """Answer one query on a compiled circuit; JSON-ready result.
 
     ``num_vars`` widens counting queries to variables absent from the
     circuit (each contributes a factor 2, or ``W(v) + W(-v)``).
+    ``forgotten`` names variables the optimizer existentially
+    quantified out (Tseitin auxiliaries): they are excluded from the
+    widening set, which is exactly the 2^k correction — a pruned
+    circuit answers the same counts as the original.
     Raises ``ValueError`` on a malformed request and
     :class:`~repro.limits.budget.BudgetExceeded` when the budget
     expires mid-pass.
@@ -314,18 +433,22 @@ def query_ir(ir: CircuitIR, query: str, *,
     kernel = ir_kernel(ir)
     if codegen_store is not None:
         kernel.codegen_store = codegen_store
+    skip = frozenset(int(v) for v in forgotten)
     if budget is not None:
         with budget.scope():
             return _run_query(kernel, query, num_vars, weights,
-                              weight_batch)
-    return _run_query(kernel, query, num_vars, weights, weight_batch)
+                              weight_batch, skip)
+    return _run_query(kernel, query, num_vars, weights, weight_batch,
+                      skip)
 
 
 def _run_query(kernel: IrKernel, query: str, num_vars: Optional[int],
                weights: Optional[Mapping[int, float]],
-               weight_batch: Optional[Sequence[Mapping[int, float]]]
+               weight_batch: Optional[Sequence[Mapping[int, float]]],
+               forgotten: FrozenSet[int] = frozenset()
                ) -> Dict[str, Any]:
-    extra = _widen_vars(kernel, num_vars)
+    extra = [v for v in _widen_vars(kernel, num_vars)
+             if v not in forgotten]
     out: Dict[str, Any] = {"query": query}
     if query == "count":
         out["result"] = kernel.model_count() << len(extra)
@@ -385,13 +508,30 @@ def query_artifact(store: ArtifactStore, key: str, query: str, *,
                    weights: Optional[Mapping[int, float]] = None,
                    weight_batch: Optional[
                        Sequence[Mapping[int, float]]] = None,
-                   budget: Optional[Budget] = None
+                   budget: Optional[Budget] = None,
+                   optimize: bool = False
                    ) -> Optional[Dict[str, Any]]:
     """Load ``key`` from the store and answer ``query`` on it; None
-    when the artifact is missing (the server's 404)."""
-    ir = load_artifact(store, key)
-    if ir is None:
-        return None
+    when the artifact is missing (the server's 404).
+
+    ``optimize=True`` serves the smallest *certified* stored variant
+    (:meth:`ArtifactStore.load_smallest`) instead of the base
+    artifact — queries run over fewer nodes, with the variant's
+    forgotten auxiliaries excluded from count widening so every
+    answer matches the base circuit's exactly.
+    """
+    forgotten: FrozenSet[int] = frozenset()
+    if optimize:
+        smallest = store.load_smallest(key)
+        if smallest is None:
+            return None
+        ir, info = smallest
+        forgotten = frozenset(info.get("forgotten", ()))
+    else:
+        base = load_artifact(store, key)
+        if base is None:
+            return None
+        ir = base
     return query_ir(ir, query, num_vars=num_vars, weights=weights,
                     weight_batch=weight_batch, budget=budget,
-                    codegen_store=store)
+                    codegen_store=store, forgotten=forgotten)

@@ -164,10 +164,27 @@ class ArtifactStore:
         return raw
 
     def _write_cert(self, key: str, digest: str, flags: int,
-                    status: Mapping[str, str], method: str) -> None:
+                    status: Mapping[str, str], method: str,
+                    ir_digest: Optional[str] = None,
+                    variants: Optional[Mapping[str, Any]] = None) -> None:
         cert = {"schema": "repro-cert/1", "digest": digest,
                 "flags": flags, "status": dict(status),
                 "method": method}
+        if ir_digest is not None:
+            cert["ir_digest"] = ir_digest
+        if variants is None:
+            # preserve recorded optimized variants across certificate
+            # rewrites — but only while they describe the same base
+            # artifact (digest unchanged)
+            old = self._read_cert(key)
+            if old is not None and old.get("digest") == digest:
+                variants = old.get("variants")
+                if ir_digest is None:
+                    cert_ir = old.get("ir_digest")
+                    if cert_ir is not None:
+                        cert["ir_digest"] = cert_ir
+        if variants:
+            cert["variants"] = dict(variants)
         # certificates are bookkeeping, not artifact traffic: bypass
         # the artifact_writes stat but keep the atomic rename
         self._atomic_replace(self.path_for(key, "cert"),
@@ -197,7 +214,7 @@ class ArtifactStore:
             self.stats.incr("artifact_cert_fail")
             return False
         self._write_cert(key, digest, claimed, result.summary(),
-                         "verified")
+                         "verified", ir_digest=ir.digest())
         self.stats.incr("artifact_verified")
         return True
 
@@ -302,8 +319,137 @@ class ArtifactStore:
             # claiming more will re-verify and widen the certificate
             status = {name: "construction" for name in ir.flag_names()}
             self._write_cert(key, self._content_hash(text), ir.flags,
-                             status, "construction")
+                             status, "construction",
+                             ir_digest=ir.digest())
         return path
+
+    # -- optimized variants (.opt-<sig>.nnf, keyed in the .cert) -------------
+    def save_variant(self, key: str, ir: CircuitIR, signature: str,
+                     passes: "list[str] | Tuple[str, ...]" = (),
+                     forgotten: "Any" = ()) -> Path:
+        """Record a certified optimized twin of artifact ``key``.
+
+        The circuit is written to ``<key>.opt-<signature>.nnf`` (plus a
+        ``.csr`` mmap twin) and indexed in the base artifact's ``.cert``
+        sidecar under ``variants[signature]`` with its node count,
+        content digest, pass list and forgotten-variable set — enough
+        for :meth:`load_smallest` to pick the best certified variant
+        without parsing every file.
+        """
+        text = ir_to_nnf_text(ir)
+        ext = f"opt-{signature}.nnf"
+        path = self._write(self.path_for(key, ext), text)
+        self._write_bytes(
+            self.path_for(key, f"opt-{signature}.csr"),
+            ir_to_csr_bytes(ir, self._content_hash(text)))
+        cert = self._read_cert(key)
+        if cert is None:
+            # no certificate yet (verify=False store): anchor the
+            # variants map to the current base artifact's content
+            try:
+                base_digest = self._content_hash(
+                    self.path_for(key, "nnf").read_text())
+            except OSError:
+                base_digest = ""
+            cert = {"digest": base_digest, "flags": 0, "status": {},
+                    "method": "construction"}
+        variants = dict(cert.get("variants") or {})
+        variants[signature] = {
+            "nodes": ir.n, "flags": ir.flags,
+            "digest": self._content_hash(text),
+            "ir_digest": ir.digest(),
+            "passes": list(passes),
+            "forgotten": sorted(int(v) for v in forgotten),
+            "verified": "construction",
+        }
+        self._write_cert(key, cert.get("digest", ""),
+                         int(cert.get("flags", 0)), cert.get("status", {}),
+                         str(cert.get("method", "construction")),
+                         ir_digest=cert.get("ir_digest"),
+                         variants=variants)
+        self.stats.incr("artifact_variant_writes")
+        return path
+
+    def _drop_variant(self, key: str, signature: str) -> None:
+        cert = self._read_cert(key)
+        if cert is None:
+            return
+        variants = dict(cert.get("variants") or {})
+        variants.pop(signature, None)
+        self._write_cert(key, cert.get("digest", ""),
+                         int(cert.get("flags", 0)), cert.get("status", {}),
+                         str(cert.get("method", "construction")),
+                         ir_digest=cert.get("ir_digest"),
+                         variants=variants)
+
+    def load_variant(self, key: str, signature: str
+                     ) -> Optional[Tuple[CircuitIR, dict]]:
+        """One recorded optimized variant: ``(ir, info)`` or None.
+
+        The variant's content hash must match the ``.cert`` record;
+        with ``verify=True`` the claimed flags are re-certified on
+        first load (falsification quarantines the variant and drops it
+        from the index — the base artifact is untouched).
+        """
+        cert = self._read_cert(key)
+        info = dict(((cert or {}).get("variants") or {})
+                    .get(signature) or {})
+        if not info:
+            return None
+        path = self.path_for(key, f"opt-{signature}.nnf")
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        if self._content_hash(text) != info.get("digest"):
+            self._quarantine(path)
+            self._drop_variant(key, signature)
+            return None
+        try:
+            ir = ir_from_nnf_text(text, flags=int(info.get("flags", 0)))
+        except Exception:
+            self._quarantine(path)
+            self._drop_variant(key, signature)
+            return None
+        if self.verify:
+            from ..analyze.certify import certify
+            claimed = int(info.get("flags", 0))
+            result = certify(ir, flags=claimed)
+            if claimed & result.falsified_mask:
+                self._quarantine(path)
+                self._drop_variant(key, signature)
+                self.stats.incr("artifact_cert_fail")
+                return None
+        self.stats.incr("artifact_variant_hits")
+        return ir.intern(), info
+
+    def load_smallest(self, key: str, flags: Optional[int] = None
+                      ) -> Optional[Tuple[CircuitIR, dict]]:
+        """The smallest certified circuit for ``key``: the best
+        optimized variant when one beats the base artifact, else the
+        base itself.  ``info`` carries ``signature`` (None for the
+        base) and ``forgotten`` (variables the query layer must exclude
+        from count widening — the Tseitin 2^k correction)."""
+        base = self.load_nnf(key, flags=flags)
+        if base is None:
+            return None
+        cert = self._read_cert(key)
+        variants = (cert or {}).get("variants") or {}
+        ranked = sorted(
+            (info.get("nodes", base.n), sig)
+            for sig, info in variants.items()
+            if isinstance(info, dict))
+        for nodes, sig in ranked:
+            if nodes >= base.n:
+                break
+            got = self.load_variant(key, sig)
+            if got is not None:
+                ir, info = got
+                return ir, {"signature": sig,
+                            "forgotten": [int(v) for v in
+                                          info.get("forgotten", [])],
+                            "passes": list(info.get("passes", []))}
+        return base, {"signature": None, "forgotten": [], "passes": []}
 
     # -- generated evaluator sources (.gen.py) -------------------------------
     def load_codegen(self, key: str) -> Optional[str]:
@@ -382,6 +528,123 @@ class ArtifactStore:
                                                      vtree_text),
                              flags, status, "construction")
         return path
+
+    # -- garbage collection --------------------------------------------------
+    def gc(self, *, now: float, max_corrupt_age_days: float = 7.0,
+           dry_run: bool = False) -> dict:
+        """Sweep the store for orphaned/stale sidecars and report
+        reclaimed bytes.
+
+        Removed classes (the primary ``.nnf``/``.sdd`` artifacts are
+        never touched):
+
+        * leftover ``*.tmp`` files from interrupted atomic writes;
+        * quarantined ``*.corrupt`` evidence older than
+          ``max_corrupt_age_days`` (mtime against the caller-supplied
+          ``now`` — the store itself never reads the clock);
+        * ``.csr`` sidecars whose ``.nnf`` text is gone;
+        * ``.vtree`` files whose ``.sdd`` is gone;
+        * ``.cert`` sidecars with neither a ``.nnf`` nor an ``.sdd``;
+        * ``.opt-*.nnf``/``.csr`` variants whose base artifact is gone
+          or that no ``.cert`` references any more;
+        * ``.gen.py`` sources whose circuit digest no certificate
+          (base or variant) references — legacy certificates written
+          before digests were recorded cannot vouch for their sources,
+          so those are reaped too and simply regenerate on next use.
+
+        With ``dry_run=True`` nothing is deleted; the report is
+        identical.  Returns ``{"scanned", "removed", "reclaimed_bytes",
+        "by_class", "dry_run"}``.
+        """
+        cutoff = now - max_corrupt_age_days * 86400.0
+        files = [p for p in self.root.glob("*/*") if p.is_file()]
+        nnf_keys = set()
+        sdd_keys = set()
+        cert_keys = set()
+        live_ir_digests = set()
+        variant_sigs: dict = {}
+        for path in files:
+            name = path.name
+            if name.endswith(".tmp") or ".corrupt" in name:
+                continue
+            key, _, ext = name.partition(".")
+            if ext == "nnf":
+                nnf_keys.add(key)
+            elif ext == "sdd":
+                sdd_keys.add(key)
+            elif ext == "cert":
+                cert_keys.add(key)
+                cert = self._read_cert(key)
+                if cert is None:
+                    continue
+                digest = cert.get("ir_digest")
+                if digest:
+                    live_ir_digests.add(digest)
+                variants = cert.get("variants") or {}
+                sigs = variant_sigs.setdefault(key, set())
+                for sig, info in variants.items():
+                    sigs.add(sig)
+                    if isinstance(info, dict) and info.get("ir_digest"):
+                        live_ir_digests.add(info["ir_digest"])
+
+        def classify(path: Path) -> Optional[str]:
+            name = path.name
+            if name.endswith(".tmp"):
+                return "tmp"
+            if ".corrupt" in name:
+                if path.stat().st_mtime < cutoff:
+                    return "corrupt"
+                return None
+            key, _, ext = name.partition(".")
+            if ext.startswith("opt-"):
+                sig = ext[4:].split(".", 1)[0]
+                if key not in nnf_keys:
+                    return "orphan_variant"
+                if sig not in variant_sigs.get(key, set()):
+                    return "orphan_variant"
+                if ext.endswith(".csr") and not self.path_for(
+                        key, f"opt-{sig}.nnf").exists():
+                    return "orphan_variant"
+                return None
+            if ext == "csr":
+                return None if key in nnf_keys else "orphan_csr"
+            if ext == "vtree":
+                return None if key in sdd_keys else "orphan_vtree"
+            if ext == "cert":
+                if key in nnf_keys or key in sdd_keys:
+                    return None
+                return "orphan_cert"
+            if ext == "gen.py":
+                return None if key in live_ir_digests else "orphan_gen"
+            return None
+
+        report = {"scanned": len(files), "removed": 0,
+                  "reclaimed_bytes": 0, "by_class": {},
+                  "dry_run": bool(dry_run)}
+        for path in files:
+            reason = classify(path)
+            if reason is None:
+                continue
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            if not dry_run:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+            report["removed"] += 1
+            report["reclaimed_bytes"] += size
+            bucket = report["by_class"].setdefault(
+                reason, {"files": 0, "bytes": 0})
+            bucket["files"] += 1
+            bucket["bytes"] += size
+        if not dry_run:
+            self.stats.incr("gc_removed", report["removed"])
+            self.stats.incr("gc_reclaimed_bytes",
+                            report["reclaimed_bytes"])
+        return report
 
 
 def default_store() -> Optional[ArtifactStore]:

@@ -54,6 +54,11 @@ class RestartResult:
     size: int
     manager: object = None
     attempts: List[Dict] = field(default_factory=list)
+    #: pass-pipeline audit trail of the winning attempt (minimize mode)
+    optimize: Optional[Dict] = None
+    #: Tseitin auxiliaries forgotten by the winning pipeline — exclude
+    #: from count widening (the 2^k correction)
+    forgotten_vars: frozenset = frozenset()
 
 
 def _scaled(base: Optional[float], backoff: float, attempt: int,
@@ -70,7 +75,8 @@ def compile_with_restarts(cnf: Cnf, *, format: str = "nnf",
                           max_nodes: Optional[int] = None,
                           backoff: float = 2.0, seed: int = 0,
                           store=None, keep_smallest: bool = False,
-                          clock=None) -> RestartResult:
+                          clock=None, minimize: bool = False,
+                          passes=None) -> RestartResult:
     """Compile ``cnf`` with budgeted restarts over diversified strategies.
 
     Parameters
@@ -95,13 +101,25 @@ def compile_with_restarts(cnf: Cnf, *, format: str = "nnf",
         instead of returning on the first success.
     clock:
         Forwarded to each attempt's :class:`Budget` (fault injection).
+    minimize:
+        Order/vtree-diversified keep-smallest minimization: forces
+        ``keep_smallest`` (every attempt runs) and, for ``"nnf"``,
+        additionally runs the certification-gated
+        :mod:`repro.ir.passes` pipeline (``passes``, default pipeline
+        when None) on each successful attempt — attempts compete on
+        their *optimized* node counts and the winner's optimized
+        circuit is returned, with the pipeline audit in
+        ``result.optimize`` and forgotten Tseitin auxiliaries in
+        ``result.forgotten_vars``.  For ``"sdd"`` the vtree
+        diversification itself is the minimization.
     """
     if format not in ("nnf", "sdd"):
         raise ValueError(f"unknown format {format!r}")
     if attempts < 1:
         raise ValueError("need at least one attempt")
+    keep_smallest = keep_smallest or minimize
     records: List[Dict] = []
-    best = None  # (size, attempt index, root, manager)
+    best = None  # (size, attempt index, root, manager, optimize info)
     last_error: Optional[BudgetExceeded] = None
     for attempt in range(attempts):
         budget = Budget(
@@ -129,20 +147,43 @@ def compile_with_restarts(cnf: Cnf, *, format: str = "nnf",
             records.append(record)
             last_error = error
             continue
+        optimize_info = None
+        if minimize and format == "nnf":
+            root, size, optimize_info = _minimize_nnf(
+                cnf, root, passes, seed)
+            record["optimized_size"] = size
         record.update(strategy=strategy, outcome="ok", size=size,
                       elapsed_s=round(time.perf_counter() - start, 4))
         records.append(record)
         if best is None or size < best[0]:
-            best = (size, attempt, root, manager)
+            best = (size, attempt, root, manager, optimize_info)
         if not keep_smallest:
             break
     if best is None:
         assert last_error is not None
         last_error.partial["attempts"] = records
         raise last_error
-    size, winner, root, manager = best
+    size, winner, root, manager, optimize_info = best
+    forgotten = frozenset(
+        (optimize_info or {}).get("forgotten_vars", ()))
     return RestartResult(root=root, format=format, winner=winner,
-                         size=size, manager=manager, attempts=records)
+                         size=size, manager=manager, attempts=records,
+                         optimize=optimize_info,
+                         forgotten_vars=forgotten)
+
+
+def _minimize_nnf(cnf: Cnf, root, passes, seed: int):
+    """Run the pass pipeline on one successful attempt's circuit.
+    Returns (possibly optimized root, node count, audit dict)."""
+    from ..ir.core import FLAG_DECOMPOSABLE, FLAG_DETERMINISTIC
+    from ..ir.lower import ir_to_nnf, nnf_to_ir
+    from ..ir.passes import PassManager
+    ir = nnf_to_ir(root, flags=FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC)
+    manager = PassManager(passes, aux_vars=cnf.aux_vars, seed=seed)
+    result = manager.run(ir)
+    if not result.changed:
+        return root, ir.n, result.as_wire()
+    return ir_to_nnf(result.ir), result.ir.n, result.as_wire()
 
 
 def _attempt_nnf(cnf: Cnf, attempt: int, rng: random.Random,

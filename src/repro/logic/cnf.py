@@ -31,12 +31,18 @@ class Cnf:
         Highest variable index.  Defaults to the largest variable that
         occurs in the clauses; pass explicitly when trailing variables
         do not occur (they then act as unconstrained don't-cares).
+    aux_vars:
+        Variables introduced by an encoding (e.g. the Tseitin
+        transform) rather than present in the source problem.  They
+        are functionally determined by the original variables, which
+        is what licenses Tseitin-aware circuit pruning downstream.
     """
 
-    __slots__ = ("clauses", "num_vars")
+    __slots__ = ("clauses", "num_vars", "aux_vars")
 
     def __init__(self, clauses: Iterable[Iterable[int]],
-                 num_vars: int | None = None):
+                 num_vars: int | None = None,
+                 aux_vars: Iterable[int] = ()):
         normalized: List[Clause] = []
         max_var = 0
         for clause in clauses:
@@ -50,8 +56,12 @@ class Cnf:
             num_vars = max_var
         elif num_vars < max_var:
             raise ValueError("num_vars smaller than largest variable used")
+        aux = frozenset(int(v) for v in aux_vars)
+        if any(v < 1 or v > num_vars for v in aux):
+            raise ValueError("aux_vars outside 1..num_vars")
         object.__setattr__(self, "clauses", tuple(normalized))
         object.__setattr__(self, "num_vars", num_vars)
+        object.__setattr__(self, "aux_vars", aux)
 
     def __setattr__(self, *args):
         raise AttributeError("Cnf objects are immutable")
@@ -65,10 +75,11 @@ class Cnf:
 
     def __eq__(self, other) -> bool:
         return (isinstance(other, Cnf) and self.clauses == other.clauses
-                and self.num_vars == other.num_vars)
+                and self.num_vars == other.num_vars
+                and self.aux_vars == other.aux_vars)
 
     def __hash__(self) -> int:
-        return hash((self.clauses, self.num_vars))
+        return hash((self.clauses, self.num_vars, self.aux_vars))
 
     def __repr__(self) -> str:
         return f"Cnf({len(self.clauses)} clauses, {self.num_vars} vars)"
@@ -77,6 +88,10 @@ class Cnf:
         """Variables that actually occur in some clause."""
         return frozenset(abs(lit) for clause in self.clauses
                          for lit in clause)
+
+    def original_vars(self) -> frozenset[int]:
+        """Problem (non-auxiliary) variables in 1..num_vars."""
+        return frozenset(range(1, self.num_vars + 1)) - self.aux_vars
 
     # -- semantics -----------------------------------------------------------
     def evaluate(self, assignment: Dict[int, bool]) -> bool:
@@ -122,7 +137,8 @@ class Cnf:
                     kept.append(lit)
             if not satisfied:
                 new_clauses.append(tuple(kept))
-        return Cnf(new_clauses, num_vars=self.num_vars)
+        return Cnf(new_clauses, num_vars=self.num_vars,
+                   aux_vars=self.aux_vars)
 
     def extend(self, clauses: Iterable[Iterable[int]],
                num_vars: int | None = None) -> "Cnf":
@@ -133,7 +149,8 @@ class Cnf:
         if num_vars is None:
             num_vars = self.num_vars
         return Cnf(itertools.chain(self.clauses, extra),
-                   num_vars=max(num_vars, self.num_vars, max_var))
+                   num_vars=max(num_vars, self.num_vars, max_var),
+                   aux_vars=self.aux_vars)
 
     def to_formula(self) -> Formula:
         """Convert to a :class:`Formula` AST."""
@@ -143,9 +160,18 @@ class Cnf:
 
     # -- DIMACS i/o ------------------------------------------------------------
     def to_dimacs(self) -> str:
-        """Serialise in DIMACS cnf format."""
+        """Serialise in DIMACS cnf format.
+
+        Auxiliary-variable metadata survives the round trip via the
+        standard projected-counting header ``c p show V1 ... 0``
+        listing the *original* variables (everything unlisted is
+        auxiliary).
+        """
         out = io.StringIO()
         out.write(f"p cnf {self.num_vars} {len(self.clauses)}\n")
+        if self.aux_vars:
+            shown = " ".join(map(str, sorted(self.original_vars())))
+            out.write(f"c p show {shown} 0\n".replace("  ", " "))
         for clause in self.clauses:
             out.write(" ".join(map(str, clause)) + " 0\n")
         return out.getvalue()
@@ -154,11 +180,15 @@ class Cnf:
     def from_dimacs(cls, text: str) -> "Cnf":
         """Parse DIMACS cnf format (comments and blank lines allowed)."""
         num_vars = None
+        shown: List[int] | None = None
         clauses: List[Clause] = []
         current: List[int] = []
         for line in text.splitlines():
             line = line.strip()
             if not line or line.startswith("c"):
+                parts = line.split()
+                if parts[:3] == ["c", "p", "show"]:
+                    shown = [int(tok) for tok in parts[3:] if tok != "0"]
                 continue
             if line.startswith("p"):
                 parts = line.split()
@@ -177,7 +207,10 @@ class Cnf:
             clauses.append(tuple(current))
         if num_vars is None:
             raise ValueError("missing DIMACS problem line")
-        return cls(clauses, num_vars=num_vars)
+        aux: Iterable[int] = ()
+        if shown is not None:
+            aux = set(range(1, num_vars + 1)) - set(shown)
+        return cls(clauses, num_vars=num_vars, aux_vars=aux)
 
 
 # -- cardinality helpers (pairwise encodings; fine at library scale) ----------

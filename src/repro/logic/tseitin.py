@@ -95,14 +95,18 @@ def tseitin(formula: Formula, num_vars: int | None = None
     full CNF equal model counts of ``formula`` over its variables.
 
     ``num_vars`` (default: the largest variable in ``formula``) reserves
-    the range of original variables; auxiliaries are numbered above it.
+    the range of original variables; auxiliaries are numbered above it
+    and recorded in the returned CNF's :attr:`Cnf.aux_vars` metadata so
+    downstream consumers (circuit pruning, per-variable stats) can tell
+    them apart from problem variables.
     """
     if num_vars is None:
         num_vars = max(formula.variables(), default=0)
     state = _TseitinState(num_vars)
     root = state.encode(formula.to_nnf())
     clauses = state.clauses + [(root,)]
-    return Cnf(clauses, num_vars=state.next_var - 1), root
+    return Cnf(clauses, num_vars=state.next_var - 1,
+               aux_vars=range(num_vars + 1, state.next_var)), root
 
 
 class _TseitinState:

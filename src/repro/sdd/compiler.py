@@ -23,7 +23,9 @@ __all__ = ["compile_cnf_sdd", "compile_formula_sdd", "compile_terms_sdd"]
 
 def compile_cnf_sdd(cnf: Cnf, manager: SddManager | None = None,
                     vtree: Vtree | None = None, store=None,
-                    budget=None) -> Tuple[SddNode, SddManager]:
+                    budget=None, minimize: bool = False,
+                    minimize_attempts: int = 3,
+                    seed: int = 0) -> Tuple[SddNode, SddManager]:
     """Compile a CNF into an SDD.  Returns (root, manager).
 
     When no manager/vtree is given, a balanced vtree over
@@ -40,10 +42,21 @@ def compile_cnf_sdd(cnf: Cnf, manager: SddManager | None = None,
     ``budget`` (explicit, else ambient) bounds the compilation — one
     charge per apply call.  It is installed on the fresh manager this
     function creates; a caller-owned ``manager`` keeps its own budget.
+
+    ``minimize=True`` is the post-compile minimization hook: after the
+    primary compile, up to ``minimize_attempts`` additional vtrees
+    (balanced / right-linear / seeded random — the keep-smallest
+    diversification of :func:`repro.limits.restarts.
+    compile_with_restarts`) are tried and the smallest result kept —
+    but only when its exact model count (via the lowered IR kernel)
+    agrees with the primary compile's; a disagreement keeps the
+    primary.  Only applies when no caller ``manager``/``vtree`` pins
+    the structure.
     """
     from ..limits.budget import resolve_budget
     budget = resolve_budget(budget)
     if manager is None:
+        pinned = vtree is not None
         if vtree is None:
             if cnf.num_vars == 0:
                 raise ValueError("cannot build a vtree with no variables")
@@ -61,10 +74,61 @@ def compile_cnf_sdd(cnf: Cnf, manager: SddManager | None = None,
                 return cached
             manager = SddManager(vtree, budget=budget)
             root = _compile_clauses(cnf, manager)
+            if minimize and not pinned:
+                root, manager = _minimize_vtree(
+                    cnf, root, manager, budget,
+                    minimize_attempts, seed)
             store.save_sdd(key, root)
             return root, manager
         manager = SddManager(vtree, budget=budget)
+        root = _compile_clauses(cnf, manager)
+        if minimize and not pinned:
+            root, manager = _minimize_vtree(
+                cnf, root, manager, budget, minimize_attempts, seed)
+        return root, manager
     return _compile_clauses(cnf, manager), manager
+
+
+def _minimize_vtree(cnf: Cnf, root: SddNode, manager: SddManager,
+                    budget, attempts: int, seed: int
+                    ) -> Tuple[SddNode, SddManager]:
+    """Keep-smallest vtree diversification with a count cross-check.
+
+    Each candidate vtree recompiles the CNF from scratch; a candidate
+    replaces the incumbent only when it is strictly smaller *and* its
+    exact model count (on the lowered IR) matches the incumbent's.
+    Budget exhaustion mid-search keeps the best-so-far — degrade,
+    never error.
+    """
+    import random as _random
+
+    from ..ir.kernel import ir_kernel
+    from ..ir.lower import sdd_to_ir
+    from ..limits.budget import BudgetExceeded
+    from ..vtree.construct import random_vtree, right_linear_vtree
+
+    variables = list(range(1, cnf.num_vars + 1))
+    rng = _random.Random(seed)
+    candidates = [right_linear_vtree(variables)]
+    while len(candidates) < max(0, attempts):
+        candidates.append(random_vtree(variables, rng=rng))
+    best_root, best_manager = root, manager
+    best_size = sdd_to_ir(root).n
+    best_count = ir_kernel(sdd_to_ir(root)).model_count()
+    for candidate in candidates[:max(0, attempts)]:
+        try:
+            alt_manager = SddManager(candidate, budget=budget)
+            alt_root = _compile_clauses(cnf, alt_manager)
+        except BudgetExceeded:
+            break
+        alt_ir = sdd_to_ir(alt_root)
+        if alt_ir.n >= best_size:
+            continue
+        if ir_kernel(alt_ir).model_count() != best_count:
+            continue  # cross-check failed: keep the certified incumbent
+        best_root, best_manager, best_size = (alt_root, alt_manager,
+                                              alt_ir.n)
+    return best_root, best_manager
 
 
 def _compile_clauses(cnf: Cnf, manager: SddManager) -> SddNode:

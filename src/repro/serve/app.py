@@ -157,6 +157,7 @@ class Server:
         payload = ticket.as_wire()
         payload["deadline_s"] = self._budget_caps(request.deadline_s)
         payload["max_nodes"] = request.max_nodes
+        payload["optimize"] = request.optimize
         try:
             reply = await self._dispatch(run_compile, payload)
         except BaseException as error:
@@ -181,7 +182,8 @@ class Server:
             "num_vars": request.num_vars,
             "weights": request.weights,
             "weight_batch": request.weight_batch,
-            "deadline_s": self._budget_caps(request.deadline_s)}
+            "deadline_s": self._budget_caps(request.deadline_s),
+            "optimize": request.optimize}
         reply = await self._dispatch(run_query, payload)
         return STATUS_HTTP.get(reply.get("status", "error"), 500), reply
 

@@ -80,6 +80,27 @@ def _cached_ir(store: ArtifactStore, key: str) -> Optional[Any]:
     return ir
 
 
+def _cached_smallest(store: ArtifactStore, key: str) -> Optional[Any]:
+    """The smallest certified variant for ``key`` as ``(ir,
+    forgotten)``, cached under ``key@opt`` so the ranking and variant
+    parse are paid once per worker."""
+    slot = f"{key}@opt"
+    entry = _ir_cache.get(slot)
+    if entry is not None:
+        _ir_cache.move_to_end(slot)
+        store.stats.incr("ir_cache_hits")
+        return entry
+    smallest = store.load_smallest(key)
+    if smallest is None:
+        return None
+    ir, info = smallest
+    entry = (ir, frozenset(info.get("forgotten", ())))
+    _ir_cache[slot] = entry
+    while len(_ir_cache) > IR_CACHE_SIZE:
+        _ir_cache.popitem(last=False)
+    return entry
+
+
 def run_compile(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Compile a ticket into the shared store (worker side).
 
@@ -97,7 +118,8 @@ def run_compile(payload: Dict[str, Any]) -> Dict[str, Any]:
         outcome = facade.compile_or_bounds(
             ticket, store,
             deadline_s=payload.get("deadline_s"),
-            max_nodes=payload.get("max_nodes"))
+            max_nodes=payload.get("max_nodes"),
+            optimize=bool(payload.get("optimize", False)))
         reply = outcome.as_wire()
     except ValueError as error:
         reply = {"status": "invalid", "error": str(error)}
@@ -114,7 +136,14 @@ def run_query(payload: Dict[str, Any]) -> Dict[str, Any]:
     store = _require_store()
     before = dict(store.stats.as_dict())
     try:
-        ir = _cached_ir(store, payload["key"])
+        forgotten: Any = frozenset()
+        if payload.get("optimize"):
+            entry = _cached_smallest(store, payload["key"])
+            ir = entry[0] if entry is not None else None
+            if entry is not None:
+                forgotten = entry[1]
+        else:
+            ir = _cached_ir(store, payload["key"])
         if ir is None:
             reply: Dict[str, Any] = {"status": "not_found",
                                      "error": "unknown artifact key "
@@ -132,7 +161,7 @@ def run_query(payload: Dict[str, Any]) -> Dict[str, Any]:
             reply = facade.query_ir(
                 ir, payload["query"], num_vars=payload.get("num_vars"),
                 weights=weights, weight_batch=batch, budget=budget,
-                codegen_store=store)
+                codegen_store=store, forgotten=forgotten)
             reply["status"] = "ok"
             result = reply.get("result")
             if isinstance(result, int) and not isinstance(result, bool):

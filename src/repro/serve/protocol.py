@@ -32,17 +32,27 @@ class ProtocolError(ValueError):
 
 @dataclass
 class CompileRequest:
-    """A validated ``POST /compile`` body."""
+    """A validated ``POST /compile`` body.
+
+    ``optimize=True`` asks for the certified pass pipeline after the
+    compile (on the request budget's slack); a non-improving or
+    expiring pipeline degrades to the base artifact, never a 500.
+    """
 
     dimacs: str
     config: Dict[str, Any] = field(default_factory=dict)
     deadline_s: Optional[float] = None
     max_nodes: Optional[int] = None
+    optimize: bool = False
 
 
 @dataclass
 class QueryRequest:
-    """A validated ``POST /query`` body."""
+    """A validated ``POST /query`` body.
+
+    ``optimize=True`` answers on the smallest certified stored
+    variant instead of the base artifact (same results, fewer nodes).
+    """
 
     key: str
     query: str
@@ -50,6 +60,14 @@ class QueryRequest:
     weights: Optional[Dict[int, float]] = None
     weight_batch: Optional[List[Dict[int, float]]] = None
     deadline_s: Optional[float] = None
+    optimize: bool = False
+
+
+def _bool_flag(data: Mapping[str, Any], name: str) -> bool:
+    value = data.get(name, False)
+    if not isinstance(value, bool):
+        raise ProtocolError(f"{name} must be a boolean")
+    return value
 
 
 def _load_json(body: bytes) -> Dict[str, Any]:
@@ -118,7 +136,8 @@ def parse_compile_request(body: bytes) -> CompileRequest:
     return CompileRequest(
         dimacs=dimacs, config=dict(config),
         deadline_s=_positive_float(data, "deadline_s"),
-        max_nodes=_positive_int(data, "max_nodes"))
+        max_nodes=_positive_int(data, "max_nodes"),
+        optimize=_bool_flag(data, "optimize"))
 
 
 def parse_query_request(body: bytes) -> QueryRequest:
@@ -148,4 +167,5 @@ def parse_query_request(body: bytes) -> QueryRequest:
         key=key, query=str(query),
         num_vars=_positive_int(data, "num_vars"),
         weights=weights, weight_batch=weight_batch,
-        deadline_s=_positive_float(data, "deadline_s"))
+        deadline_s=_positive_float(data, "deadline_s"),
+        optimize=_bool_flag(data, "optimize"))

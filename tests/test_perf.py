@@ -116,7 +116,7 @@ def test_run_all_quick_smoke(tmp_path):
         "batched_marginals", "psdd_marginals", "classifier_scoring",
         "warm_compile", "anytime_bounds", "restart_compile",
         "verify_overhead", "codegen_kernel", "warm_mmap",
-        "serve_throughput"}
+        "serve_throughput", "minimize"}
     for name, scenario in report["scenarios"].items():
         assert scenario["agree"] is True, name
         # the per-scenario deadline guard must not have tripped
@@ -162,6 +162,12 @@ def test_run_all_quick_smoke(tmp_path):
     assert serve["p50_ms"] < 10 * max(serve["direct_warm_query_ms"],
                                       0.05), serve
     assert serve["rps"] > 0 and serve["p99_ms"] >= serve["p50_ms"]
+    minimize = report["scenarios"]["minimize"]
+    # certified pruning must shrink Tseitin-heavy circuits by at least
+    # 30% total (the pass-manager PR's acceptance bar)
+    assert minimize["node_reduction"] >= 0.3, minimize
+    assert minimize["nodes_after"] < minimize["nodes_before"]
+    assert minimize["counters"]["forgotten"] > 0, minimize
     assert serve["counters"]["statuses"].keys() == {"200"}, serve
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-invariant lint: AST checks ruff/mypy cannot express.
 
-Five rules, each guarding a deliberate architectural boundary:
+Six rules, each guarding a deliberate architectural boundary:
 
 1. **legacy-isolation** — production modules must not import
    ``repro.compat`` or any ``*_legacy`` name/module at module level.
@@ -42,6 +42,16 @@ Five rules, each guarding a deliberate architectural boundary:
    (``repro.perf``), and serve-internal modules.  Compilers, SAT
    engines, circuit walkers etc. change shape freely behind the
    facade; a server reaching around it would freeze them.
+
+6. **rewrite-isolation** — only the sanctioned modules may construct
+   a :class:`CircuitIR` (directly or via ``IrBuilder``): the IR core
+   itself, the lowerings, the serializers, and the certified pass
+   manager (``repro/ir/passes.py``), where every rewrite is
+   verification-gated before it can replace a circuit.
+   ``analyze/repair.py`` stays on the allowlist as the migration shim
+   for the gate's auto-smoothing.  An ad-hoc ``IrBuilder`` elsewhere
+   would be an unaudited circuit rewrite — exactly the class of bug
+   the certification gate exists to catch.
 
 Exit status 1 with ``file:line: rule message`` diagnostics on any
 violation; 0 on a clean tree.  Stdlib only — runs anywhere.
@@ -257,6 +267,32 @@ def check_serve_isolation(path: Path, rel: str,
                            f"facade / ArtifactStore / Budget)")
 
 
+#: modules allowed to construct CircuitIR/IrBuilder (rule 6),
+#: relative to src/repro
+REWRITE_ALLOWED = (
+    "ir/core.py",
+    "ir/lower.py",
+    "ir/serialize.py",
+    "ir/passes.py",
+    "analyze/repair.py",  # migration shim; delegates to ir/passes
+)
+
+
+def check_rewrite_isolation(path: Path, rel: str,
+                            tree: ast.Module) -> Iterator[Violation]:
+    if rel in REWRITE_ALLOWED:
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Name) and \
+                node.func.id in ("IrBuilder", "CircuitIR"):
+            yield (path, node.lineno, "rewrite-isolation",
+                   f"{node.func.id}() outside the sanctioned rewrite "
+                   f"modules ({', '.join(REWRITE_ALLOWED)}) — circuit "
+                   f"rewrites belong in repro.ir.passes, behind the "
+                   f"certification gate")
+
+
 def collect_violations(src_root: Path) -> List[Violation]:
     src_root = Path(src_root)
     violations: List[Violation] = []
@@ -273,6 +309,7 @@ def collect_violations(src_root: Path) -> List[Violation]:
         violations.extend(check_flag_trust(path, rel, tree))
         violations.extend(check_audited_compile(path, rel, tree))
         violations.extend(check_serve_isolation(path, rel, tree))
+        violations.extend(check_rewrite_isolation(path, rel, tree))
     return violations
 
 
