@@ -45,7 +45,12 @@ its legacy configuration:
   interpreted kernel loops on one large compiled circuit;
 * ``warm_mmap`` — warm artifact loads through the memory-mapped
   binary CSR sidecar vs the same loads forced onto the ``.nnf`` text
-  parser.
+  parser;
+* ``explain_throughput`` — sufficient-reason enumeration on compiled
+  Decision-DNNF (:mod:`repro.explain.implicants`: reasons/sec and
+  median inter-reason delay) plus dataset-scale sufficiency
+  verification: the two-pass batched kernel check vs one scalar
+  ``wmc`` per term.
 
 Every scenario runs under a per-scenario wall-clock budget
 (``--scenario-timeout``, ambient :class:`repro.limits.Budget` scope):
@@ -905,6 +910,143 @@ def scenario_minimize(quick: bool):
     }
 
 
+def scenario_explain_throughput(quick: bool):
+    """Sufficient-reason enumeration plus dataset-scale verification.
+
+    Random 3-CNFs compile to Decision-DNNF; satisfying instances are
+    discovered with one ``evaluate_batch`` sweep per circuit; the
+    prime-implicant enumerator (:mod:`repro.explain.implicants`)
+    lists every sufficient reason of every decision, timing the
+    inter-reason delay.  The enumerated reasons — plus their
+    one-literal-short strict subsets, which minimality says must all
+    be refuted — are then verified as one dataset: optimized is the
+    two-pass batched sufficiency check (``evaluate_batch`` +
+    0/1-weight ``wmc_batch``), legacy is the same check one scalar
+    ``kernel.wmc`` at a time.  Extra columns: ``reasons_per_s``
+    (enumeration throughput) and ``p50_delay_ms`` (median delay
+    between consecutive reasons).  ``agree`` wants batch == scalar,
+    every reason confirmed sufficient, every strict subset refuted.
+    """
+    import numpy as np
+
+    from repro.analyze.gate import gate_scope
+    from repro.explain.implicants import (check_sufficient_batch,
+                                          iter_sufficient_reasons)
+    from repro.ir.core import FLAG_DECOMPOSABLE, FLAG_DETERMINISTIC
+    from repro.ir.kernel import ir_kernel
+    from repro.ir.lower import nnf_to_ir
+    from repro.perf.instrument import Counter
+
+    # few circuits, many decisions each: the verification batch is
+    # per circuit, so width (rows per batch) is what the numpy route
+    # gets paid for
+    circuits = 3 if quick else 5
+    n, clause_ratio = (10, 2.4) if quick else (13, 2.3)
+    per_circuit = 16 if quick else 56
+    samples = 512 if quick else 2048
+    rng = random.Random(61)
+    stats = Counter()
+
+    jobs = []  # (ir, kernel, mentioned, instance)
+    for i in range(circuits):
+        cnf = random_3cnf(n, int(n * clause_ratio), seed=1000 + i)
+        root = DnnfCompiler(store=None).compile(cnf)
+        ir = nnf_to_ir(root,
+                       flags=FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC)
+        kernel = ir_kernel(ir)
+        mentioned = sorted(kernel.varsets[kernel.n - 1]) \
+            if kernel.n else []
+        if not mentioned:
+            continue
+        assignment = {
+            v: np.array([rng.random() < 0.5 for _ in range(samples)])
+            for v in mentioned}
+        sat = kernel.evaluate_batch(assignment)
+        picked = 0
+        for j in range(samples):
+            if picked >= per_circuit:
+                break
+            if bool(sat[j]):
+                jobs.append((ir, kernel, mentioned,
+                             {v: bool(assignment[v][j])
+                              for v in mentioned}))
+                picked += 1
+
+    # enumeration: every reason of every decision, delays recorded
+    delays = []
+    dataset = {}  # id(ir) -> (ir, kernel, mentioned, rows)
+    total_reasons = 0
+    enum_start = time.perf_counter()
+    for ir, kernel, mentioned, inst in jobs:
+        rows = dataset.setdefault(
+            id(ir), (ir, kernel, mentioned, []))[3]
+        last = time.perf_counter()
+        for reason in iter_sufficient_reasons(ir, inst, stats=stats):
+            now = time.perf_counter()
+            delays.append(now - last)
+            last = now
+            total_reasons += 1
+            term = sorted(reason, key=abs)
+            rows.append((inst, term, True))
+            if term:
+                # a strict subset of a subset-minimal implicant can
+                # never be an implicant
+                rows.append((inst, term[1:], False))
+    enum_elapsed = time.perf_counter() - enum_start
+
+    def scalar_check(kernel, mentioned, inst, term):
+        term_set = set(term)
+        decision = kernel.evaluate({v: inst[v] for v in mentioned})
+        weights = {}
+        for v in mentioned:
+            weights[v] = 0.0 if -v in term_set else 1.0
+            weights[-v] = 0.0 if v in term_set else 1.0
+        with gate_scope("repair"):
+            count = kernel.wmc(weights)
+        free = sum(1 for v in mentioned
+                   if v not in term_set and -v not in term_set)
+        return count == (float(2 ** free) if decision else 0.0)
+
+    start = time.perf_counter()
+    batch_verdicts = []
+    for ir, _kernel, _mentioned, rows in dataset.values():
+        batch_verdicts.extend(check_sufficient_batch(
+            ir, [inst for inst, _t, _e in rows],
+            [term for _i, term, _e in rows], stats=stats))
+    mid = time.perf_counter()
+    scalar_verdicts = []
+    for _ir, kernel, mentioned, rows in dataset.values():
+        for inst, term, _expected in rows:
+            scalar_verdicts.append(
+                scalar_check(kernel, mentioned, inst, term))
+    end = time.perf_counter()
+
+    expected = [e for _i, _t, e in
+                (row for _, _, _, rows in dataset.values()
+                 for row in rows)]
+    agree = batch_verdicts == scalar_verdicts == expected
+    delays_ms = sorted(d * 1000.0 for d in delays)
+    p50_delay_ms = delays_ms[len(delays_ms) // 2] if delays_ms else 0.0
+    return {
+        "instance": {"circuits": circuits, "num_vars": n,
+                     "decisions": len(jobs),
+                     "checks": len(batch_verdicts)},
+        "reasons": total_reasons,
+        "reasons_per_s": round(total_reasons /
+                               max(enum_elapsed, 1e-9), 2),
+        "p50_delay_ms": round(p50_delay_ms, 4),
+        "optimized_s": round(mid - start, 4),
+        "legacy_s": round(end - mid, 4),
+        "speedup": round((end - mid) / (mid - start), 3)
+        if (mid - start) else 0.0,
+        "agree": agree,
+        "counters": {
+            "explain_probes": int(stats["explain_probes"]),
+            "explain_evals": int(stats["explain_evals"]),
+        },
+    }
+
+
 SCENARIOS = {
     "sharp_sat": scenario_sharp_sat,
     "dnnf_compile": scenario_dnnf_compile,
@@ -921,6 +1063,7 @@ SCENARIOS = {
     "warm_mmap": scenario_warm_mmap,
     "serve_throughput": scenario_serve_throughput,
     "minimize": scenario_minimize,
+    "explain_throughput": scenario_explain_throughput,
 }
 
 

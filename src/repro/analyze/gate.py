@@ -60,6 +60,10 @@ REQUIREMENTS: Dict[str, int] = {
     "marginals": FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC | FLAG_SMOOTH,
     "derivatives": FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC | FLAG_SMOOTH,
     "evaluate": 0,
+    # sufficient-reason enumeration needs the Decision-DNNF discipline:
+    # decomposability for the reason construction, determinism because
+    # every or-gate must be a decision gate (smoothness is irrelevant)
+    "explain": FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC,
 }
 
 #: queries whose results are node-independent, so re-dispatching to a

@@ -13,6 +13,11 @@ Mirrors the classic knowledge-compiler workflow (C2D/DSHARP-style):
 * ``sdd FILE.cnf [--vtree balanced|right-linear|left-linear]`` —
   compile to an SDD and report size statistics;
 * ``enumerate FILE.cnf [--limit N]`` — print models;
+* ``explain FILE.cnf --instance "1,-2,3" [--all|--smallest|--limit
+  N]`` — compile and enumerate the sufficient reasons (prime
+  implicants) of the decision on the instance; under ``--timeout`` /
+  ``--max-nodes`` the enumeration degrades to the reasons found so
+  far (``c partial`` + exit code 3) instead of failing;
 * ``check FILE.nnf|FILE.sdd [--expect PROPS]`` — statically verify the
   tractability properties of a circuit file (exit code 4 plus
   ``c witness`` diagnostics naming the offending node on violation);
@@ -508,6 +513,66 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_instance(spec: str) -> Dict[int, bool]:
+    """``"1,-2,3"`` (commas or spaces) -> {1: True, 2: False, 3: True}."""
+    instance: Dict[int, bool] = {}
+    for part in spec.replace(",", " ").split():
+        lit = int(part)
+        if lit == 0:
+            raise ValueError("instance literals must be non-zero")
+        var = abs(lit)
+        if var in instance and instance[var] != (lit > 0):
+            raise ValueError(
+                f"contradictory instance literals for variable {var}")
+        instance[var] = lit > 0
+    if not instance:
+        raise ValueError("empty instance; pass literals like "
+                         '--instance "1,-2,3"')
+    return instance
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Compile and enumerate sufficient reasons of the decision.
+
+    One budget covers compile + enumeration: a budget that dies in
+    the compiler exits 3 via the usual path, while one that dies in
+    the (natively anytime) enumeration prints the reasons found so
+    far, a ``c partial`` marker, and still exits 3.
+    """
+    from .ir import facade
+    from .ir.core import FLAG_DECOMPOSABLE, FLAG_DETERMINISTIC
+    from .ir.lower import nnf_to_ir
+    cnf = _load(args.file)
+    instance = _parse_instance(args.instance)
+    store = _store(args)
+    budget = _budget(args)
+    compiler = DnnfCompiler(store=store, budget=budget)
+    circuit = compiler.compile(cnf)
+    ir = nnf_to_ir(circuit,
+                   flags=FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC)
+    out = facade.explain_ir(ir, instance, limit=args.limit,
+                            smallest=args.smallest, budget=budget)
+    print("s decision 1")
+    if args.smallest:
+        reasons = [out["smallest"]] if out["smallest"] is not None \
+            else []
+    else:
+        reasons = out["reasons"]
+    for reason in reasons:
+        literals = " ".join(str(lit) for lit in reason)
+        print(f"v {literals} 0" if literals else "v 0")
+    print(f"s reasons {len(reasons)} "
+          + ("complete" if out["complete"] else "partial"))
+    if args.stats:
+        print(f"c probes {out['probes']}")
+        print(format_stats(compiler.stats))
+    partial = out.get("partial")
+    if partial is not None:
+        print(f"c partial reason {partial['reason']}", file=sys.stderr)
+        return EXIT_BUDGET
+    return 0
+
+
 #: default --expect per circuit format
 _CHECK_DEFAULTS = {"nnf": "decomposable,deterministic,smooth",
                    "sdd": "decomposable,deterministic,structured",
@@ -766,6 +831,30 @@ def build_parser() -> argparse.ArgumentParser:
     enumerate_cmd.add_argument("file")
     enumerate_cmd.add_argument("--limit", type=int, default=0)
     enumerate_cmd.set_defaults(func=_cmd_enumerate)
+
+    explain = commands.add_parser(
+        "explain", help="sufficient reasons (prime implicants) of "
+                        "the decision on an instance")
+    explain.add_argument("file")
+    explain.add_argument("--instance", required=True, metavar="LITS",
+                         help="the instance as comma/space-separated "
+                              'literals, e.g. "1,-2,3" (spell it '
+                              "--instance=-1,2 when the first literal "
+                              "is negative)")
+    scope = explain.add_mutually_exclusive_group()
+    scope.add_argument("--all", action="store_true",
+                       help="every sufficient reason (default)")
+    scope.add_argument("--smallest", action="store_true",
+                       help="one minimum-cardinality reason")
+    scope.add_argument("--limit", type=int, metavar="N",
+                       help="stop after N reasons")
+    explain.add_argument("--cache-dir",
+                         help="artifact store directory "
+                              "(default $REPRO_CACHE_DIR)")
+    explain.add_argument("--stats", action="store_true",
+                         help="print probe and compiler counters")
+    _add_budget_flags(explain)
+    explain.set_defaults(func=_cmd_explain)
 
     check = commands.add_parser(
         "check", help="statically verify a circuit file's properties "

@@ -11,6 +11,11 @@ from .bias import bias_from_reasons, classifier_is_biased, \
 from .counterfactual import (decision_sticks, decision_sticks_batch,
                              verify_even_if_because)
 from .necessary import is_necessary, necessary_characteristics
+from .implicants import (CountOracle, ReasonGraph,
+                         check_necessary_batch, check_sufficient_batch,
+                         count_oracle, iter_sufficient_reasons,
+                         necessary_literals, reason_graph,
+                         sufficient_reasons)
 
 __all__ = ["all_sufficient_reasons", "decision_and_function",
            "is_sufficient_reason", "minimal_sufficient_reason",
@@ -21,4 +26,8 @@ __all__ = ["all_sufficient_reasons", "decision_and_function",
            "decision_is_biased", "decision_sticks",
            "decision_sticks_batch",
            "verify_even_if_because", "is_necessary",
-           "necessary_characteristics"]
+           "necessary_characteristics",
+           "ReasonGraph", "CountOracle", "reason_graph",
+           "count_oracle", "iter_sufficient_reasons",
+           "sufficient_reasons", "necessary_literals",
+           "check_sufficient_batch", "check_necessary_batch"]

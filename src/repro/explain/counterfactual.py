@@ -15,7 +15,8 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Sequence
 
 from ..obdd.manager import ObddNode
-from .sufficient import decision_and_function, _term_triggers
+from .sufficient import decision_and_function, _matches_instance, \
+    _term_triggers
 
 __all__ = ["decision_sticks", "decision_sticks_batch",
            "verify_even_if_because"]
@@ -68,7 +69,7 @@ def verify_even_if_because(node: ObddNode,
     just the single flip).
     """
     flipped_set = set(flipped)
-    term_ok = all(instance[abs(lit)] == (lit > 0) for lit in because)
+    term_ok = all(_matches_instance(instance, lit) for lit in because)
     disjoint = all(abs(lit) not in flipped_set for lit in because)
     _decision, trigger = decision_and_function(node, instance)
     sufficient = _term_triggers(trigger, list(because))

@@ -14,7 +14,8 @@ from typing import List, Mapping
 
 from ..obdd.manager import ObddNode
 from .reason_circuit import reason_circuit, reason_implies
-from .sufficient import decision_and_function, _instance_term
+from .sufficient import decision_and_function, _instance_term, \
+    _matches_instance
 
 __all__ = ["necessary_characteristics", "is_necessary"]
 
@@ -27,8 +28,9 @@ def is_necessary(node: ObddNode, instance: Mapping[int, bool],
     instance term with the literal removed must fail to trigger the
     decision (monotonicity makes the full term the easiest trigger).
     """
-    if instance[abs(literal)] != (literal > 0):
-        raise ValueError("literal is not part of the instance")
+    if not _matches_instance(instance, literal):
+        raise ValueError(
+            f"literal {literal} is not part of the instance")
     circuit = reason_circuit(node, instance)
     _decision, trigger = decision_and_function(node, instance)
     term = [lit for lit in _instance_term(instance,

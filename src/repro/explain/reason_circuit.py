@@ -109,10 +109,19 @@ def reason_circuit_ddnnf(trigger: NnfNode, instance: Mapping[int, bool],
             literal = manager.literal(var if value else -var)
             consistent_child, other_child = None, None
             for child in node.children:
-                guard = child.literal if child.is_literal else \
-                    child.children[0].literal
-                rest = manager.true() if child.is_literal else \
-                    manager.conjoin(*child.children[1:])
+                if child.is_literal:
+                    guard, rest = child.literal, manager.true()
+                else:
+                    # the guard ±var may sit anywhere among the
+                    # conjuncts; the rest is everything else
+                    guard = next(g.literal for g in child.children
+                                 if g.is_literal
+                                 and abs(g.literal) == var)
+                    others = [g for g in child.children
+                              if not (g.is_literal
+                                      and abs(g.literal) == var)]
+                    rest = manager.conjoin(*others) if others \
+                        else manager.true()
                 if (guard > 0) == value:
                     consistent_child = rest
                 else:

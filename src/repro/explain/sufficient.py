@@ -42,6 +42,17 @@ def _instance_term(instance: Mapping[int, bool],
     return [v if instance[v] else -v for v in variables]
 
 
+def _matches_instance(instance: Mapping[int, bool], lit: int) -> bool:
+    """Is ``lit`` one of the instance's literals?
+
+    False both for a flipped polarity and for a variable that the
+    instance does not mention at all (the latter used to leak a raw
+    ``KeyError`` out of every explain-layer term check).
+    """
+    value = instance.get(abs(lit))
+    return value is not None and bool(value) == (lit > 0)
+
+
 def is_sufficient_reason(node: ObddNode, instance: Mapping[int, bool],
                          term: Sequence[int],
                          check_minimal: bool = True) -> bool:
@@ -50,7 +61,7 @@ def is_sufficient_reason(node: ObddNode, instance: Mapping[int, bool],
     _decision, trigger = decision_and_function(node, instance)
     term = list(term)
     for lit in term:
-        if instance[abs(lit)] != (lit > 0):
+        if not _matches_instance(instance, lit):
             return False  # not an instance literal
     if not _term_triggers(trigger, term):
         return False

@@ -47,7 +47,8 @@ from .store import ArtifactStore, artifact_key
 __all__ = ["CompileTicket", "CompileOutcome", "BoundsOutcome",
            "compile_ticket", "compile_to_store", "compile_or_bounds",
            "load_artifact", "optimize_artifact", "query_artifact",
-           "query_ir", "QUERY_KINDS"]
+           "query_ir", "explain_ir", "explain_artifact",
+           "QUERY_KINDS"]
 
 #: compiler-config keys a service request may override
 ALLOWED_CONFIG = ("use_components", "use_cache", "cache_mode",
@@ -501,6 +502,64 @@ def _wmc_batch(kernel: IrKernel, num_vars: Optional[int],
     for var in extra:
         values = values * (packed[var] + packed[-var])
     return [float(v) for v in values]
+
+
+def explain_ir(ir: CircuitIR, instance: Mapping[int, bool], *,
+               limit: Optional[int] = None, smallest: bool = False,
+               budget: Optional[Budget] = None,
+               forgotten: Iterable[int] = ()) -> Dict[str, Any]:
+    """Sufficient reasons of the decision on ``instance``; JSON-ready.
+
+    Runs the Decision-DNNF prime-implicant enumerator
+    (:func:`repro.explain.implicants.sufficient_reasons`) behind the
+    ``"explain"`` gate.  No anytime reserve is carved here — unlike
+    compilation, the enumeration is natively anytime: when the request
+    budget expires mid-search the result degrades to the reasons found
+    so far (``complete: false`` plus a ``partial`` marker), never an
+    error and never a term that is not a true sufficient reason.
+    ``forgotten`` auxiliaries are excluded from every emitted reason.
+
+    Raises ``ValueError`` on a malformed request (non-Decision-DNNF
+    circuit, an instance missing circuit variables, or a negative
+    decision — the server's 400).
+    """
+    from ..explain.implicants import sufficient_reasons
+    result = sufficient_reasons(
+        ir, {int(v): bool(s) for v, s in instance.items()},
+        forgotten=frozenset(int(v) for v in forgotten),
+        budget=budget, limit=limit, smallest=smallest)
+    result["query"] = "explain"
+    return result
+
+
+def explain_artifact(store: ArtifactStore, key: str,
+                     instance: Mapping[int, bool], *,
+                     limit: Optional[int] = None,
+                     smallest: bool = False,
+                     budget: Optional[Budget] = None,
+                     optimize: bool = False
+                     ) -> Optional[Dict[str, Any]]:
+    """Load ``key`` from the store and explain the decision on
+    ``instance``; None when the artifact is missing (the 404).
+
+    ``optimize=True`` explains on the smallest certified variant with
+    its forgotten auxiliaries excluded, exactly like
+    :func:`query_artifact` — the reasons match the base circuit's.
+    """
+    forgotten: FrozenSet[int] = frozenset()
+    if optimize:
+        smallest_variant = store.load_smallest(key)
+        if smallest_variant is None:
+            return None
+        ir, info = smallest_variant
+        forgotten = frozenset(info.get("forgotten", ()))
+    else:
+        base = load_artifact(store, key)
+        if base is None:
+            return None
+        ir = base
+    return explain_ir(ir, instance, limit=limit, smallest=smallest,
+                      budget=budget, forgotten=forgotten)
 
 
 def query_artifact(store: ArtifactStore, key: str, query: str, *,

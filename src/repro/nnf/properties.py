@@ -125,19 +125,26 @@ def is_decision_node(node: NnfNode) -> Optional[int]:
     """
     if not node.is_or or len(node.children) != 2:
         return None
-    variables = []
-    for child in node.children:
-        if child.is_literal:
-            variables.append((child.literal, None))
-        elif child.is_and and child.children and \
-                child.children[0].is_literal:
-            variables.append((child.children[0].literal, child))
-        else:
-            return None
-    (lit_a, _), (lit_b, _) = variables
-    if lit_a == -lit_b:
-        return abs(lit_a)
-    return None
+    first, second = node.children
+    candidates = _guard_literals(first)
+    opposing = _guard_literals(second)
+    matches = sorted(abs(lit) for lit in candidates if -lit in opposing)
+    return matches[0] if matches else None
+
+
+def _guard_literals(branch: NnfNode) -> set[int]:
+    """Literals that could serve as the branch's decision guard.
+
+    A branch of a decision gate is either the guard literal itself or
+    an and-gate containing it — in *any* child position, not just the
+    first (compilers and hand-built figures order conjuncts freely).
+    """
+    if branch.is_literal:
+        return {branch.literal}
+    if branch.is_and:
+        return {child.literal for child in branch.children
+                if child.is_literal}
+    return set()
 
 
 def is_decision_dnnf(root: NnfNode) -> bool:

@@ -184,6 +184,12 @@ class Server:
             "weight_batch": request.weight_batch,
             "deadline_s": self._budget_caps(request.deadline_s),
             "optimize": request.optimize}
+        if request.query == "explain":
+            payload["instance"] = {str(v): bool(s) for v, s
+                                   in request.instance.items()} \
+                if request.instance else {}
+            payload["limit"] = request.limit
+            payload["smallest"] = request.smallest
         reply = await self._dispatch(run_query, payload)
         return STATUS_HTTP.get(reply.get("status", "error"), 500), reply
 

@@ -68,7 +68,8 @@ class ServeClient:
     def compile(self, dimacs: str,
                 config: Optional[Mapping[str, Any]] = None,
                 deadline_s: Optional[float] = None,
-                max_nodes: Optional[int] = None
+                max_nodes: Optional[int] = None,
+                optimize: bool = False
                 ) -> Tuple[int, Dict[str, Any]]:
         body: Dict[str, Any] = {"dimacs": dimacs}
         if config:
@@ -77,6 +78,8 @@ class ServeClient:
             body["deadline_s"] = deadline_s
         if max_nodes is not None:
             body["max_nodes"] = max_nodes
+        if optimize:
+            body["optimize"] = True
         return self.request("POST", "/compile", body)
 
     def query(self, key: str, query: str = "count",
@@ -84,7 +87,11 @@ class ServeClient:
               weights: Optional[Mapping[int, float]] = None,
               weight_batch: Optional[
                   List[Mapping[int, float]]] = None,
-              deadline_s: Optional[float] = None
+              deadline_s: Optional[float] = None,
+              optimize: bool = False,
+              instance: Optional[Mapping[int, bool]] = None,
+              limit: Optional[int] = None,
+              smallest: bool = False
               ) -> Tuple[int, Dict[str, Any]]:
         body: Dict[str, Any] = {"key": key, "query": query}
         if num_vars is not None:
@@ -97,6 +104,15 @@ class ServeClient:
                 for row in weight_batch]
         if deadline_s is not None:
             body["deadline_s"] = deadline_s
+        if optimize:
+            body["optimize"] = True
+        if instance is not None:
+            body["instance"] = {str(v): bool(s)
+                                for v, s in instance.items()}
+        if limit is not None:
+            body["limit"] = limit
+        if smallest:
+            body["smallest"] = True
         return self.request("POST", "/query", body)
 
     def stats(self) -> Dict[str, Any]:

@@ -148,6 +148,18 @@ def run_query(payload: Dict[str, Any]) -> Dict[str, Any]:
             reply: Dict[str, Any] = {"status": "not_found",
                                      "error": "unknown artifact key "
                                               + payload["key"]}
+        elif payload["query"] == "explain":
+            deadline = payload.get("deadline_s")
+            budget = Budget(deadline_s=deadline) if deadline else None
+            instance = {int(k): bool(v)
+                        for k, v in payload["instance"].items()}
+            reply = facade.explain_ir(
+                ir, instance, limit=payload.get("limit"),
+                smallest=bool(payload.get("smallest", False)),
+                budget=budget, forgotten=forgotten)
+            # anytime degradation: an expired budget is still a 200
+            # with complete=false + partial, never a 408
+            reply["status"] = "ok"
         else:
             deadline = payload.get("deadline_s")
             budget = Budget(deadline_s=deadline) if deadline else None

@@ -19,7 +19,7 @@ __all__ = ["ProtocolError", "CompileRequest", "QueryRequest",
 #: request bodies above this many bytes are rejected with 413
 DEFAULT_MAX_BODY = 8 * 1024 * 1024
 
-QUERY_KINDS = ("count", "sat", "wmc", "mpe", "marginals")
+QUERY_KINDS = ("count", "sat", "wmc", "mpe", "marginals", "explain")
 
 
 class ProtocolError(ValueError):
@@ -61,6 +61,9 @@ class QueryRequest:
     weight_batch: Optional[List[Dict[int, float]]] = None
     deadline_s: Optional[float] = None
     optimize: bool = False
+    instance: Optional[Dict[int, bool]] = None
+    limit: Optional[int] = None
+    smallest: bool = False
 
 
 def _bool_flag(data: Mapping[str, Any], name: str) -> bool:
@@ -124,6 +127,28 @@ def _decode_weights(raw: Any, what: str = "weights"
     return out
 
 
+def _decode_instance(raw: Any) -> Dict[int, bool]:
+    """JSON instances arrive with string variable keys ("3": true)."""
+    if not isinstance(raw, dict) or not raw:
+        raise ProtocolError("instance must be a non-empty object of "
+                            "variable -> boolean")
+    out: Dict[int, bool] = {}
+    for key, value in raw.items():
+        try:
+            var = int(key)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                f"instance key {key!r} is not an integer variable"
+            ) from None
+        if var <= 0:
+            raise ProtocolError("instance variables must be positive")
+        if not isinstance(value, bool):
+            raise ProtocolError(
+                f"instance[{key}] must be a boolean, got {value!r}")
+        out[var] = value
+    return out
+
+
 def parse_compile_request(body: bytes) -> CompileRequest:
     data = _load_json(body)
     dimacs = data.get("dimacs")
@@ -163,9 +188,23 @@ def parse_query_request(body: bytes) -> QueryRequest:
     if weights is not None and weight_batch is not None:
         raise ProtocolError("pass either weights or weight_batch, "
                             "not both")
+    instance = None
+    limit = _positive_int(data, "limit")
+    smallest = _bool_flag(data, "smallest")
+    if query == "explain":
+        if weights is not None or weight_batch is not None:
+            raise ProtocolError("explain takes an instance, "
+                                "not weights")
+        instance = _decode_instance(data.get("instance"))
+    else:
+        for name in ("instance", "limit", "smallest"):
+            if data.get(name):
+                raise ProtocolError(
+                    f"'{name}' is only valid for query 'explain'")
     return QueryRequest(
         key=key, query=str(query),
         num_vars=_positive_int(data, "num_vars"),
         weights=weights, weight_batch=weight_batch,
         deadline_s=_positive_float(data, "deadline_s"),
-        optimize=_bool_flag(data, "optimize"))
+        optimize=_bool_flag(data, "optimize"),
+        instance=instance, limit=limit, smallest=smallest)

@@ -252,3 +252,40 @@ def test_even_if_because_invalid_reason():
     result = verify_even_if_because(f, april, flipped=[4], because=[1])
     assert not result["because_is_sufficient"]
     assert not result["valid"]
+
+
+# -- regression: term literals over variables absent from the instance --------
+
+def test_term_check_handles_unknown_variable():
+    """A term mentioning a variable the instance does not assign used
+    to leak a raw KeyError out of is_sufficient_reason; it is simply
+    not an instance literal (regression)."""
+    manager, f = fig26_function()
+    instance = {1: True, 2: True, 3: False}  # no variable 9
+    assert not is_sufficient_reason(f, instance, [1, 9])
+    assert not is_sufficient_reason(f, instance, [9])
+    # the flipped-polarity rejection still works alongside it
+    assert not is_sufficient_reason(f, instance, [-1, 2])
+
+
+def test_is_necessary_rejects_unknown_variable():
+    """is_necessary raises a structured ValueError naming the literal
+    instead of a KeyError (regression)."""
+    from repro.explain import is_necessary
+    manager, f = fig26_function()
+    instance = {1: True, 2: True, 3: False}
+    with pytest.raises(ValueError, match="literal 9"):
+        is_necessary(f, instance, 9)
+    with pytest.raises(ValueError, match="literal -1"):
+        is_necessary(f, instance, -1)  # flipped polarity, same path
+
+
+def test_even_if_because_handles_unknown_variable():
+    """verify_even_if_because marks a 'because' term over unassigned
+    variables invalid instead of crashing (regression)."""
+    _m, f = admissions_classifier()
+    april = {1: True, 2: False, 3: True, 4: True, 5: False}
+    result = verify_even_if_because(f, april, flipped=[4],
+                                    because=[1, 9])
+    assert not result["because_is_instance_term"]
+    assert not result["valid"]

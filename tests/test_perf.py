@@ -116,7 +116,7 @@ def test_run_all_quick_smoke(tmp_path):
         "batched_marginals", "psdd_marginals", "classifier_scoring",
         "warm_compile", "anytime_bounds", "restart_compile",
         "verify_overhead", "codegen_kernel", "warm_mmap",
-        "serve_throughput", "minimize"}
+        "serve_throughput", "minimize", "explain_throughput"}
     for name, scenario in report["scenarios"].items():
         assert scenario["agree"] is True, name
         # the per-scenario deadline guard must not have tripped
@@ -169,6 +169,13 @@ def test_run_all_quick_smoke(tmp_path):
     assert minimize["nodes_after"] < minimize["nodes_before"]
     assert minimize["counters"]["forgotten"] > 0, minimize
     assert serve["counters"]["statuses"].keys() == {"200"}, serve
+    explain = report["scenarios"]["explain_throughput"]
+    # the enumerator must actually produce reasons, and the probe
+    # accounting must be live
+    assert explain["reasons"] > 0, explain
+    assert explain["reasons_per_s"] > 0, explain
+    assert explain["p50_delay_ms"] >= 0, explain
+    assert explain["counters"]["explain_probes"] > 0, explain
 
 
 class TestDriftNormalizedGate:

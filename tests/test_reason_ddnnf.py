@@ -64,3 +64,39 @@ def test_nnf_to_obdd_bridge(cnf):
     for a in iter_assignments(range(1, cnf.num_vars + 1)):
         assert node.evaluate(a) == cnf.evaluate(a)
     assert model_count(node) == cnf.model_count()
+
+
+# -- regression: decision-gate guards in arbitrary conjunct positions ---------
+
+def permuted_decision_gate():
+    """(1 ∧ 3) ∨ (2 ∧ ¬3): the guard ±3 is the *second* conjunct of
+    each branch — compilers and hand-built figures order freely."""
+    from repro.nnf.node import NnfManager
+    manager = NnfManager()
+    first = manager.conjoin(manager.literal(1), manager.literal(3))
+    second = manager.conjoin(manager.literal(2), manager.literal(-3))
+    return manager, manager.disjoin(first, second)
+
+
+def test_is_decision_node_guard_not_first():
+    """is_decision_node used to require the guard literal in child
+    position 0 (regression)."""
+    from repro.nnf.properties import is_decision_dnnf, is_decision_node
+    _manager, gate = permuted_decision_gate()
+    assert [c.literal for c in gate.children[0].children] == [1, 3]
+    assert is_decision_node(gate) == 3
+    assert is_decision_dnnf(gate)
+
+
+def test_reason_ddnnf_guard_not_first():
+    """reason_circuit_ddnnf extracts guard/rest wherever the guard
+    sits, matching the OBDD route (regression)."""
+    _manager, gate = permuted_decision_gate()
+    instance = {1: True, 2: True, 3: True}
+    circuit = reason_circuit_ddnnf(gate, instance)
+    manager = ObddManager([1, 2, 3])
+    obdd = (manager.literal(1) & manager.literal(3)) | \
+        (manager.literal(2) & manager.literal(-3))
+    assert set(reason_prime_implicants(circuit)) == \
+        set(all_sufficient_reasons(obdd, instance)) == \
+        {frozenset({1, 2}), frozenset({1, 3})}
