@@ -46,6 +46,12 @@ its legacy configuration:
 * ``warm_mmap`` — warm artifact loads through the memory-mapped
   binary CSR sidecar vs the same loads forced onto the ``.nnf`` text
   parser;
+* ``proof_overhead`` — proof-logged compilation
+  (``DnnfCompiler(proof=True)``): the same CNFs compiled with and
+  without equivalence-trace emission (the acceptance gate wants the
+  overhead within 2×), plus the independent checker's replay
+  throughput; every trace must come back ``PROVED`` with the exact
+  model count;
 * ``explain_throughput`` — sufficient-reason enumeration on compiled
   Decision-DNNF (:mod:`repro.explain.implicants`: reasons/sec and
   median inter-reason delay) plus dataset-scale sufficiency
@@ -97,7 +103,7 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 from repro.compile.dnnf_compiler import DnnfCompiler  # noqa: E402
 from repro.limits import Budget, BudgetExceeded  # noqa: E402
 from repro.logic.cnf import Cnf  # noqa: E402
-from repro.nnf import queries, queries_legacy  # noqa: E402
+from repro.nnf import queries  # noqa: E402
 from repro.sat.counter import ModelCounter  # noqa: E402
 
 SCHEMA = "repro-bench/1"
@@ -230,6 +236,9 @@ def scenario_repeated_wmc(quick: bool):
     new_values = [queries.weighted_model_count(root, w, stats=stats)
                   for w in weight_vectors]
     mid = time.perf_counter()
+    # lazy: the legacy baseline stays off the module import path
+    # (the legacy-isolation lint rule covers benchmarks too)
+    from repro.nnf import queries_legacy
     old_values = [queries_legacy.weighted_model_count(root, w)
                   for w in weight_vectors]
     end = time.perf_counter()
@@ -910,6 +919,65 @@ def scenario_minimize(quick: bool):
     }
 
 
+def scenario_proof_overhead(quick: bool):
+    """Proof-logged compilation vs plain compilation, plus checker
+    replay.  Three instances are summed to keep single-run jitter out
+    of the overhead ratio; ``optimized_s`` is the proof-logged side
+    (the new feature under measurement), ``legacy_s`` the plain
+    compile, so ``speedup`` < 1 *is* the emission overhead.  ``agree``
+    demands every trace replays to ``PROVED`` with the exact model
+    count and the summed overhead stays within the 2× acceptance
+    bound."""
+    from repro.proof import check_proof
+    n, m = (35, 84) if quick else (45, 110)
+    seeds = (11, 12, 13)
+    instances = [random_3cnf(n, m, seed) for seed in seeds]
+    full = range(1, n + 1)
+
+    plain = DnnfCompiler(store=None)
+    start = time.perf_counter()
+    plain_counts = [queries.model_count(plain.compile(cnf), full)
+                    for cnf in instances]
+    mid = time.perf_counter()
+
+    logged = DnnfCompiler(store=None, proof=True)
+    traces = []
+    proof_s = 0.0
+    logged_counts = []
+    for cnf in instances:
+        tick = time.perf_counter()
+        root = logged.compile(cnf)
+        proof_s += time.perf_counter() - tick
+        logged_counts.append(queries.model_count(root, full))
+        traces.append(logged.last_proof)
+
+    check_start = time.perf_counter()
+    results = [check_proof(cnf.to_dimacs(), trace)
+               for cnf, trace in zip(instances, traces)]
+    check_s = time.perf_counter() - check_start
+
+    plain_s = mid - start
+    overhead = proof_s / max(plain_s, 1e-9)
+    steps = sum(result.steps for result in results)
+    agree = (all(result.verdict == "PROVED" for result in results)
+             and [result.model_count for result in results]
+             == plain_counts == logged_counts
+             and overhead <= 2.0)
+    return {
+        "instance": {"n": n, "m": m, "seeds": list(seeds),
+                     "trace_lines": sum(t.count("\n") for t in traces)},
+        "optimized_s": round(proof_s, 4),
+        "legacy_s": round(plain_s, 4),
+        "speedup": round(plain_s / max(proof_s, 1e-9), 3),
+        "overhead_ratio": round(overhead, 3),
+        "check_s": round(check_s, 4),
+        "checker_steps_per_s": round(steps / max(check_s, 1e-9), 1),
+        "agree": agree,
+        "counters": {"optimized": logged.stats.as_dict(),
+                     "legacy": plain.stats.as_dict()},
+    }
+
+
 def scenario_explain_throughput(quick: bool):
     """Sufficient-reason enumeration plus dataset-scale verification.
 
@@ -1063,6 +1131,7 @@ SCENARIOS = {
     "warm_mmap": scenario_warm_mmap,
     "serve_throughput": scenario_serve_throughput,
     "minimize": scenario_minimize,
+    "proof_overhead": scenario_proof_overhead,
     "explain_throughput": scenario_explain_throughput,
 }
 

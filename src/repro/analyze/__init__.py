@@ -11,13 +11,19 @@ the query gate that checks certified — not declared — properties.
 * :mod:`repro.analyze.gate` — query requirements, ``trust`` /
   ``strict`` / ``repair`` modes, :class:`~.gate.PropertyViolation`;
 * :mod:`repro.analyze.repair` — the smoothing auto-fix;
-* :mod:`repro.analyze.obdd_check` — OBDD discipline on live node DAGs.
+* :mod:`repro.analyze.obdd_check` — OBDD discipline on live node DAGs;
+* :mod:`repro.analyze.proofs` — the bridge to :mod:`repro.proof`:
+  IR-side semantic digests, stored-proof verification, and the
+  proved registry behind ``REPRO_GATE=proved``.
 """
 
 from .certify import (CERT_SCHEMA, Certificate, certificate_for, certify,
                       certify_nnf)
-from .gate import (GATE_ENV, GATE_MODES, REQUIREMENTS, PropertyViolation,
-                   check_kernel, gate_mode, gate_scope, set_gate_mode)
+from .gate import (GATE_ENV, GATE_MODES, REQUIREMENTS, ProofViolation,
+                   PropertyViolation, check_kernel, gate_mode, gate_scope,
+                   set_gate_mode)
+from .proofs import (clear_proved, ir_semantic_digest, is_proved,
+                     mark_proved, verify_stored_proof)
 from .obdd_check import verify_obdd
 from .repair import smooth_ir
 from .verify import (DEFAULT_MAX_VARS, FALSIFIED, PROPERTY_FLAGS, UNKNOWN,
@@ -30,7 +36,10 @@ __all__ = [
     "CERT_SCHEMA", "Certificate", "certificate_for", "certify",
     "certify_nnf",
     "GATE_ENV", "GATE_MODES", "REQUIREMENTS", "PropertyViolation",
-    "check_kernel", "gate_mode", "gate_scope", "set_gate_mode",
+    "ProofViolation", "check_kernel", "gate_mode", "gate_scope",
+    "set_gate_mode",
+    "clear_proved", "ir_semantic_digest", "is_proved", "mark_proved",
+    "verify_stored_proof",
     "verify_obdd", "smooth_ir",
     "DEFAULT_MAX_VARS", "FALSIFIED", "PROPERTY_FLAGS", "UNKNOWN",
     "VERIFIED", "PropertyReport", "Witness", "evaluate_node",

@@ -19,7 +19,16 @@ Three modes (``REPRO_GATE`` env var or :func:`set_gate_mode` /
 * ``repair`` — like strict, but a circuit whose only failure is
   smoothness is transparently smoothed
   (:func:`~.repair.smooth_ir`) and the query re-dispatched to the
-  repaired kernel, which is re-certified rather than assumed fixed.
+  repaired kernel, which is re-certified rather than assumed fixed;
+* ``proved`` — the top of the trust ladder: everything ``repair``
+  does, *plus* a verified equivalence proof (:mod:`repro.proof`)
+  tying the circuit to the CNF it was compiled from.  A kernel whose
+  circuit digest is not in the proved registry
+  (:mod:`repro.analyze.proofs`) raises :class:`ProofViolation` —
+  certified properties say the circuit is well-behaved; only a proof
+  says it is the *right* circuit.  (Smoothing repair is allowed
+  because :func:`~.repair.smooth_ir` is itself certified on the
+  repaired twin — the proof carries over by construction.)
 
 The gate lives under :meth:`IrKernel._gated`, so every front door
 that dispatches through the unified kernel — ``nnf.queries``, the
@@ -41,11 +50,11 @@ from ..ir.core import (
 from .certify import Certificate, certificate_for
 from .verify import Witness
 
-__all__ = ["GATE_MODES", "GATE_ENV", "PropertyViolation", "gate_mode",
-           "set_gate_mode", "gate_scope", "check_kernel",
-           "REQUIREMENTS"]
+__all__ = ["GATE_MODES", "GATE_ENV", "PropertyViolation",
+           "ProofViolation", "gate_mode", "set_gate_mode",
+           "gate_scope", "check_kernel", "REQUIREMENTS"]
 
-GATE_MODES = ("trust", "strict", "repair")
+GATE_MODES = ("trust", "strict", "repair", "proved")
 
 #: environment variable providing the default gate mode
 GATE_ENV = "REPRO_GATE"
@@ -100,6 +109,29 @@ class PropertyViolation(Exception):
         super().__init__(message)
 
 
+class ProofViolation(PropertyViolation):
+    """``proved`` mode was asked to answer a query on a circuit with
+    no verified equivalence proof.
+
+    Subclasses :class:`PropertyViolation` so existing strict-mode
+    handlers (CLI exit 4, serve error frames) degrade gracefully, but
+    carries the circuit digest instead of a certificate: the failure
+    is about provenance, not properties.
+    """
+
+    def __init__(self, query: str, ir_digest: str) -> None:
+        self.query = query
+        self.required = 0
+        self.certificate = None  # type: ignore[assignment]
+        self.witnesses = []
+        self.ir_digest = ir_digest
+        Exception.__init__(
+            self,
+            f"query {query!r} under REPRO_GATE=proved: circuit "
+            f"{ir_digest[:12]} has no verified equivalence proof "
+            f"(compile with proof=True and verify, or lower the gate)")
+
+
 def _env_mode() -> str:
     raw = os.environ.get(GATE_ENV, "trust").strip().lower()
     return raw if raw in GATE_MODES else "trust"
@@ -144,6 +176,12 @@ def check_kernel(kernel: Any, query: str) -> Any:
     mode = gate_mode()
     if mode == "trust":
         return kernel
+    if mode == "proved":
+        # equivalence first: certified properties on the wrong circuit
+        # are worthless.  Lazy import — proofs pulls in the store.
+        from .proofs import is_proved
+        if not is_proved(kernel.ir):
+            raise ProofViolation(query, kernel.ir.digest())
     required = REQUIREMENTS.get(query, 0)
     if not required:
         return kernel
@@ -152,7 +190,7 @@ def check_kernel(kernel: Any, query: str) -> Any:
     missing = required & ~cert.verified_mask
     if not missing:
         return kernel
-    if mode == "repair" and missing == FLAG_SMOOTH and \
+    if mode in ("repair", "proved") and missing == FLAG_SMOOTH and \
             query in REPAIRABLE:
         from ..ir.kernel import ir_kernel
         repaired = cert.repaired_smooth()
@@ -166,6 +204,12 @@ def check_kernel(kernel: Any, query: str) -> Any:
         twin_cert = certificate_for(repaired)
         twin_cert.ensure(required)
         if not required & ~twin_cert.verified_mask:
+            if mode == "proved":
+                # certified smoothing preserves equivalence, so the
+                # twin inherits the original's proof (the twin
+                # re-enters this gate when it answers)
+                from .proofs import mark_proved
+                mark_proved(repaired.digest())
             return twin
         cert = twin_cert  # repair did not converge: report its witnesses
     raise PropertyViolation(query, required, cert)

@@ -1,0 +1,135 @@
+"""Glue between the independent proof checker and the engine.
+
+:mod:`repro.proof` deliberately cannot import the IR or the store
+(the ``proof-isolation`` lint rule); this module is the sanctioned
+bridge on the *trusting* side of that boundary:
+
+* :func:`ir_semantic_digest` computes, over a stored
+  :class:`~repro.ir.core.CircuitIR`, the same structural digest the
+  checker derives from a verified trace — equal digests tie the
+  proof to the exact artifact being served, so a mutated ``.nnf``
+  (flip-literal, drop-smooth, bit rot) refutes instead of sliding
+  through;
+* :func:`verify_stored_proof` runs the full chain on a store entry:
+  load the ``.proof`` sidecar, replay it against the DIMACS with
+  :func:`repro.proof.check_proof`, compare digests, then memoise a
+  ``PROVED`` verdict in the ``.cert`` sidecar (and the in-process
+  registry) or quarantine the artifact on ``REFUTED``;
+* :func:`mark_proved` / :func:`is_proved` — the process-level
+  registry of IR digests with a verified equivalence proof, which
+  ``REPRO_GATE=proved`` consults before answering gated queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..ir.core import (CircuitIR, KIND_AND, KIND_FALSE, KIND_LIT,
+                       KIND_OR, KIND_TRUE)
+from ..ir.store import ArtifactStore
+from ..limits.budget import Budget
+from ..proof.checker import (INCOMPLETE, PROVED, REFUTED, CheckResult,
+                             check_proof)
+from ..proof.trace import (conjoin_digest, disjoin_digest,
+                           false_digest, literal_digest, true_digest)
+
+__all__ = ["ir_semantic_digest", "verify_stored_proof", "mark_proved",
+           "is_proved", "clear_proved"]
+
+#: IR digests whose equivalence proof was verified in this process
+_PROVED_IRS: Set[str] = set()
+
+
+def ir_semantic_digest(ir: CircuitIR) -> str:
+    """The trace-format semantic digest of a flattened circuit —
+    byte-for-byte the digest :func:`repro.proof.check_proof` derives
+    for the equivalent circuit from a verified trace.  Stored
+    artifacts are already constant-folded (the manager never emits a
+    foldable gate), so the folding in the combinators is a no-op here
+    and the digest is purely structural."""
+    digests: Dict[int, str] = {}
+    for i in range(ir.n):
+        kind = ir.kinds[i]
+        if kind == KIND_LIT:
+            digests[i] = literal_digest(ir.lits[i])
+        elif kind == KIND_TRUE:
+            digests[i] = true_digest()
+        elif kind == KIND_FALSE:
+            digests[i] = false_digest()
+        elif kind == KIND_AND:
+            digests[i] = conjoin_digest(
+                digests[c] for c in ir.children(i))
+        elif kind == KIND_OR:
+            digests[i] = disjoin_digest(
+                digests[c] for c in ir.children(i))
+        else:
+            raise ValueError(
+                f"cannot digest IR node kind {kind} (parameterised "
+                f"circuits carry no equivalence proofs)")
+    return digests[ir.root] if ir.n else true_digest()
+
+
+def mark_proved(ir_digest: str) -> None:
+    """Record (process-wide) that the circuit with this
+    :meth:`CircuitIR.digest` has a verified equivalence proof."""
+    _PROVED_IRS.add(ir_digest)
+
+
+def is_proved(ir: CircuitIR) -> bool:
+    """Whether this circuit's equivalence proof was verified (in this
+    process)."""
+    return ir.digest() in _PROVED_IRS
+
+
+def clear_proved() -> None:
+    """Drop the registry (test isolation)."""
+    _PROVED_IRS.clear()
+
+
+def verify_stored_proof(store: ArtifactStore, key: str, dimacs: str,
+                        budget: Optional[Budget] = None
+                        ) -> CheckResult:
+    """Check the stored artifact + trace pair for ``key`` end-to-end.
+
+    The verdict covers the *serving* chain, not just the trace: a
+    missing or unreadable artifact, a trace/artifact digest mismatch
+    and a failed replay are all ``REFUTED``.  ``PROVED`` is memoised
+    in the ``.cert`` sidecar (:meth:`ArtifactStore.proof_status`
+    serves it warm) and in the in-process registry for
+    ``REPRO_GATE=proved``; ``REFUTED`` quarantines the artifact trio
+    (:meth:`ArtifactStore.quarantine_refuted`).  ``INCOMPLETE``
+    (budget expiry) leaves everything in place for a later, richer
+    re-check.
+    """
+    status = store.proof_status(key)
+    if status == PROVED:
+        ir = store.load_nnf(key)
+        if ir is not None:
+            mark_proved(ir.digest())
+            return CheckResult(PROVED, reason="memoised .cert verdict")
+    trace = store.load_proof(key)
+    if trace is None:
+        return CheckResult(REFUTED,
+                           reason="no .proof sidecar for this key")
+    result = check_proof(dimacs, trace, budget=budget)
+    if result.verdict == INCOMPLETE:
+        return result
+    if result.verdict == PROVED:
+        ir = store.load_nnf(key)
+        if ir is None:
+            result = CheckResult(
+                REFUTED, steps=result.steps,
+                reason="trace verifies but the artifact is missing "
+                       "or unreadable")
+        elif ir_semantic_digest(ir) != result.circuit_digest:
+            result = CheckResult(
+                REFUTED, steps=result.steps,
+                reason="trace verifies but the stored artifact is a "
+                       "different circuit (artifact mutated after "
+                       "compilation)")
+        else:
+            store.record_proof_verdict(key, PROVED, result.steps)
+            mark_proved(ir.digest())
+            return result
+    store.quarantine_refuted(key)
+    return result

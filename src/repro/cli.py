@@ -21,6 +21,9 @@ Mirrors the classic knowledge-compiler workflow (C2D/DSHARP-style):
 * ``check FILE.nnf|FILE.sdd [--expect PROPS]`` — statically verify the
   tractability properties of a circuit file (exit code 4 plus
   ``c witness`` diagnostics naming the offending node on violation);
+  with ``--proof``, FILE is a DIMACS CNF and the independent checker
+  replays its stored (or ``--trace``) equivalence trace instead —
+  ``s PROVED`` on success, exit code 5 on ``s REFUTED``;
 * ``optimize FILE.nnf|FILE.cnf [--passes P1,P2]`` — shrink a circuit
   through the certified optimization pass pipeline
   (``docs/optimization.md``); ``compile --optimize`` and
@@ -32,11 +35,20 @@ Mirrors the classic knowledge-compiler workflow (C2D/DSHARP-style):
 * ``bench-load --port N`` — drive a duplicate-heavy load burst at a
   running ``serve`` and print the latency/hit-rate report.
 
-``query --gate strict|repair|trust`` selects the property gate mode
-(default ``$REPRO_GATE`` or ``trust``): ``strict`` refuses queries
-whose required properties are not certified (exit code 4 with the
-witness), ``repair`` auto-smooths when smoothness is the only
-shortfall (see ``docs/static-analysis.md``).
+``query --gate strict|repair|trust|proved`` selects the property gate
+mode (default ``$REPRO_GATE`` or ``trust``): ``strict`` refuses
+queries whose required properties are not certified (exit code 4 with
+the witness), ``repair`` auto-smooths when smoothness is the only
+shortfall, and ``proved`` additionally demands a verified equivalence
+proof for the circuit (see ``docs/static-analysis.md`` and
+``docs/proofs.md``).
+
+Exit codes: 0 success; 1 unsatisfiable (``sat``) or load-test
+failure; 2 usage/input error; 3 budget exceeded; 4 property
+violation — a circuit *property* (smoothness, determinism, ...) is
+falsified or uncertified; 5 refuted proof — the independent checker
+rejected an *equivalence* trace, meaning the compiled circuit cannot
+be trusted to match its CNF at all.
 
 ``compile`` and ``query`` take resource budgets: ``--timeout SECONDS``
 and ``--max-nodes N`` bound the run (exit code 3 with the partial
@@ -71,8 +83,14 @@ __all__ = ["main"]
 EXIT_BUDGET = 3
 
 #: exit code for a property violation (``check`` failure, or a gated
-#: query refused in strict/repair mode)
+#: query refused in strict/repair/proved mode)
 EXIT_VIOLATION = 4
+
+#: exit code for a refuted equivalence proof: the independent checker
+#: rejected the compiler's trace, so the circuit itself is suspect —
+#: a strictly worse condition than a falsified property (exit 4),
+#: which at least concerns the circuit the compiler really built
+EXIT_REFUTED = 5
 
 
 def _load(path: str) -> Cnf:
@@ -129,6 +147,10 @@ def _cmd_sat(args: argparse.Namespace) -> int:
 def _cmd_compile(args: argparse.Namespace) -> int:
     cnf = _load(args.file)
     store = _store(args)
+    proof = bool(getattr(args, "proof", False))
+    if proof and (args.restarts or args.format == "sdd"):
+        raise ValueError("--proof needs a single-shot --format nnf "
+                         "compile (no --restarts, no sdd)")
     if args.restarts:
         return _compile_restarts(args, cnf, store)
     if args.format == "sdd":
@@ -136,7 +158,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     optimize = ((args.passes or True) if getattr(args, "optimize",
                                                  False) else None)
     compiler = DnnfCompiler(store=store, budget=_budget(args),
-                            optimize=optimize)
+                            optimize=optimize, proof=proof)
     try:
         circuit = compiler.compile(cnf)
     except BudgetExceeded:
@@ -163,10 +185,35 @@ def _cmd_compile(args: argparse.Namespace) -> int:
               f"{circuit.edge_count()} edges)")
     else:
         sys.stdout.write(text)
+    exit_code = _report_proof(compiler, cnf, store) if proof else 0
     if args.stats:
         print(format_stats(compiler.stats))
         _print_store_stats(store)
-    return 0
+    return exit_code
+
+
+def _report_proof(compiler: DnnfCompiler, cnf: Cnf, store) -> int:
+    """Verify a ``--proof`` compile's equivalence trace with the
+    independent checker and print the verdict lines."""
+    from .proof import check_proof
+    if store is not None:
+        from .analyze.proofs import verify_stored_proof
+        key = compiler.artifact_key_for(cnf)
+        result = verify_stored_proof(store, key, cnf.to_dimacs())
+    else:
+        result = check_proof(cnf.to_dimacs(), compiler.last_proof or "")
+    print(f"c proof steps {result.steps}")
+    if result.verdict == "PROVED":
+        suffix = f" mc {result.model_count}" \
+            if result.model_count is not None else ""
+        print("s PROVED" + suffix)
+        return 0
+    print(f"c proof reason {result.reason}", file=sys.stderr)
+    if result.verdict == "INCOMPLETE":
+        print("s INCOMPLETE")
+        return EXIT_BUDGET
+    print("s REFUTED")
+    return EXIT_REFUTED
 
 
 def _compile_restarts(args: argparse.Namespace, cnf: Cnf, store) -> int:
@@ -579,8 +626,52 @@ _CHECK_DEFAULTS = {"nnf": "decomposable,deterministic,smooth",
                    "obdd": "obdd"}
 
 
+def _check_proof_file(args: argparse.Namespace) -> int:
+    """``repro check FILE.cnf --proof``: replay an equivalence trace
+    against the DIMACS with the independent checker.
+
+    The trace comes from ``--trace PATH`` or, by default, from the
+    artifact store's ``.proof`` sidecar for the CNF's content key
+    (which also memoises the verdict and quarantines on refutation).
+    """
+    cnf = _load(args.file)
+    if args.trace:
+        from .proof import check_proof
+        with open(args.trace) as handle:
+            trace = handle.read()
+        result = check_proof(cnf.to_dimacs(), trace,
+                             budget=_budget(args))
+    else:
+        from .analyze.proofs import verify_stored_proof
+        from .ir import facade
+        store = _store(args)
+        if store is None:
+            raise ValueError(
+                "no trace source: pass --trace PATH or a store via "
+                "--cache-dir / $REPRO_CACHE_DIR")
+        ticket = facade.compile_ticket(cnf.to_dimacs())
+        result = verify_stored_proof(store, ticket.key, ticket.dimacs,
+                                     budget=_budget(args))
+    print(f"c proof steps {result.steps}")
+    if result.verdict == "PROVED":
+        suffix = f" mc {result.model_count}" \
+            if result.model_count is not None else ""
+        print("s PROVED" + suffix)
+        return 0
+    print(f"c proof reason {result.reason}", file=sys.stderr)
+    if result.line is not None:
+        print(f"c proof witness-line {result.line}", file=sys.stderr)
+    if result.verdict == "INCOMPLETE":
+        print("s INCOMPLETE")
+        return EXIT_BUDGET
+    print("s REFUTED")
+    return EXIT_REFUTED
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     """Statically verify a circuit file's tractability properties."""
+    if getattr(args, "proof", False):
+        return _check_proof_file(args)
     from .analyze import (PROPERTY_FLAGS, VERIFIED, certify,
                           verify_obdd_ir)
     fmt = args.format
@@ -685,7 +776,13 @@ def _add_budget_flags(subparser: argparse.ArgumentParser) -> None:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Tractable-circuit toolkit (SAT, #SAT, compilation)")
+        description="Tractable-circuit toolkit (SAT, #SAT, compilation)",
+        epilog="exit codes: 0 ok; 1 unsat; 2 usage/input error; "
+               "3 budget exceeded; 4 property violation (a circuit "
+               "property such as smoothness or determinism is "
+               "falsified or uncertified); 5 refuted proof (the "
+               "compiler-independent checker rejected an equivalence "
+               "trace — the circuit itself is suspect)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     count = commands.add_parser("count", help="exact model count")
@@ -737,6 +834,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--passes", metavar="P1,P2,...",
         help="pass pipeline for --optimize (default "
              "const-fold,cse,tseitin-prune)")
+    compile_cmd.add_argument(
+        "--proof", action="store_true",
+        help="emit an equivalence trace during the compile and verify "
+             "it with the independent checker: prints s PROVED (with "
+             "the proved model count) or s REFUTED (exit code 5; the "
+             "stored artifact is quarantined)")
     compile_cmd.set_defaults(func=_cmd_compile)
 
     optimize_cmd = commands.add_parser(
@@ -803,10 +906,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="for count/wmc: return certified lower/upper bounds when "
              "the budget expires instead of failing")
     query.add_argument(
-        "--gate", choices=["trust", "strict", "repair"],
+        "--gate", choices=["trust", "strict", "repair", "proved"],
         help="property-gate mode (default $REPRO_GATE or trust): "
              "strict refuses uncertified circuits with exit code 4, "
-             "repair auto-smooths when possible")
+             "repair auto-smooths when possible, proved additionally "
+             "requires a verified equivalence proof")
     query.add_argument(
         "--optimize", action="store_true",
         help="answer on the pass-minimized circuit (forgotten "
@@ -858,9 +962,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = commands.add_parser(
         "check", help="statically verify a circuit file's properties "
-                      "(exit 4 + c witness lines on violation)")
+                      "(exit 4 + c witness lines on violation), or "
+                      "with --proof replay a compilation's "
+                      "equivalence trace (exit 5 on refutation)")
     check.add_argument("file", help="circuit file (.nnf, or .sdd with "
-                                    "a sibling/--vtree-file .vtree)")
+                                    "a sibling/--vtree-file .vtree); "
+                                    "a DIMACS CNF with --proof")
+    check.add_argument("--proof", action="store_true",
+                       help="treat FILE as a DIMACS CNF and verify "
+                            "its equivalence trace with the "
+                            "compiler-independent checker: exit 0 + "
+                            "s PROVED, or exit 5 + s REFUTED with "
+                            "the first bad trace line")
+    check.add_argument("--trace", metavar="PATH",
+                       help="explicit .proof trace file for --proof "
+                            "(default: the store's sidecar for the "
+                            "CNF's content key)")
+    check.add_argument("--cache-dir",
+                       help="artifact store holding the .proof "
+                            "sidecar for --proof (default "
+                            "$REPRO_CACHE_DIR)")
     check.add_argument("--format", default="auto",
                        choices=["auto", "nnf", "sdd", "obdd"],
                        help="circuit format (auto: by extension; obdd "

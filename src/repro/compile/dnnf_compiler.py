@@ -100,6 +100,19 @@ class DnnfCompiler:
         pipeline signature; warm loads reuse it via
         :meth:`~repro.ir.store.ArtifactStore.load_variant`.
         :attr:`optimize_report` carries the per-pass audit trail.
+    proof:
+        Emit a ``repro-proof/1`` equivalence trace while searching
+        (:mod:`repro.proof`): every decision split, component
+        partition, unit implication, conflict leaf and cache
+        back-reference is logged so the independent checker
+        (:func:`repro.proof.check_proof`) can replay the compilation
+        against the original DIMACS and certify circuit ≡ CNF.  The
+        sealed trace lands on :attr:`last_proof` (and as a ``.proof``
+        sidecar in the store, when one is wired).  Proof mode always
+        re-runs the search — a warm artifact has no trace — and
+        requires the watched propagator.  A budget-interrupted
+        compile leaves :attr:`last_proof` as None: partial traces
+        prove nothing.
     """
 
     def __init__(self, manager: NnfManager | None = None,
@@ -108,7 +121,8 @@ class DnnfCompiler:
                  cache_mode: str = "hash",
                  propagator: str | None = None, store=None,
                  budget: Optional[Budget] = None,
-                 optimize: "bool | str | Sequence[str] | None" = None):
+                 optimize: "bool | str | Sequence[str] | None" = None,
+                 proof: bool = False):
         if propagator is None:
             from ..compat import default_propagator
             propagator = default_propagator()
@@ -116,6 +130,10 @@ class DnnfCompiler:
             raise ValueError(f"unknown cache_mode {cache_mode!r}")
         if propagator not in ("watched", "legacy"):
             raise ValueError(f"unknown propagator {propagator!r}")
+        if proof and propagator != "watched":
+            raise ValueError(
+                "proof logging requires the watched (trail) "
+                "propagator; the legacy baseline emits no trace")
         if store is None:
             from ..ir.store import default_store
             store = default_store()
@@ -138,6 +156,11 @@ class DnnfCompiler:
         self.optimize = optimize
         self.optimize_report: Optional[dict] = None
         self.forgotten_vars: frozenset[int] = frozenset()
+        self.proof = proof
+        #: the ``repro-proof/1`` trace of the last proof-mode compile
+        self.last_proof: Optional[str] = None
+        self._trace = None
+        self._proof_ids: Dict[Hashable, int] = {}
         self.cache: Dict[Hashable, NnfNode] = {}
         self.stats = Counter()
         self.cache_hits = 0
@@ -156,12 +179,35 @@ class DnnfCompiler:
         self.decisions = 0
         self.optimize_report = None
         self.forgotten_vars = frozenset()
+        self.last_proof = None
+        self._trace = None
+        self._proof_ids = {}
         self._active_budget = resolve_budget(self.budget)
-        if any(len(c) == 0 for c in cnf.clauses):
-            return self.manager.false()
         key = None
         if self.store is not None:
             key = self._artifact_key(cnf)
+        if self.proof:
+            # proof mode always re-runs the search — a warm artifact
+            # has no trace to vouch for it (the facade short-circuits
+            # already-PROVED keys before ever reaching the compiler)
+            from ..proof.trace import TraceBuilder, dimacs_digest
+            self._trace = TraceBuilder(cnf.num_vars, len(cnf.clauses),
+                                       dimacs_digest(cnf.to_dimacs()))
+        if any(len(c) == 0 for c in cnf.clauses):
+            root = self.manager.false()
+            if key is not None:
+                # the trivial artifact still has to land in the store:
+                # a .proof sidecar with no .nnf to bind to would refute
+                from ..ir.core import (FLAG_DECOMPOSABLE,
+                                       FLAG_DETERMINISTIC)
+                from ..ir.lower import nnf_to_ir
+                self.store.save_nnf(key, nnf_to_ir(
+                    root, flags=FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC))
+            if self._trace is not None:
+                self._trace.root_conflict()
+                self._finish_proof(key, root)
+            return root
+        if self.store is not None and self._trace is None:
             from ..ir.core import FLAG_DECOMPOSABLE, FLAG_DETERMINISTIC
             cached = self.store.load_nnf(
                 key, flags=FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC)
@@ -177,10 +223,13 @@ class DnnfCompiler:
             else:
                 root = self._compile(list(cnf.clauses))
         except BudgetExceeded as error:
+            self._trace = None  # a partial trace proves nothing
             error.partial.setdefault("operation", "compile")
             error.partial.setdefault("decisions", self.decisions)
             error.partial.setdefault("cache_entries", len(self.cache))
             raise
+        if self._trace is not None:
+            self._finish_proof(key, root)
         base_ir = None
         if key is not None:
             from ..ir.core import FLAG_DECOMPOSABLE, FLAG_DETERMINISTIC
@@ -200,6 +249,23 @@ class DnnfCompiler:
                     root, flags=FLAG_DECOMPOSABLE | FLAG_DETERMINISTIC)
             return self._post_optimize(cnf, key, base_ir)
         return root
+
+    def _finish_proof(self, key: Optional[str], root: NnfNode) -> None:
+        """Seal the emitted trace: bind it to the built circuit's
+        semantic digest, expose it on :attr:`last_proof`, and file it
+        as a ``.proof`` sidecar next to the artifact when a store is
+        wired."""
+        from ..proof.trace import circuit_digest
+        trace = self._trace
+        self._trace = None
+        if trace is None:
+            return
+        trace.set_circuit_digest(circuit_digest(root))
+        text = trace.text()
+        self.last_proof = text
+        self.stats.incr("proof_steps", trace.steps())
+        if self.store is not None and key is not None:
+            self.store.save_proof(key, text)
 
     def _post_optimize(self, cnf: Cnf, key: Optional[str],
                        ir) -> NnfNode:
@@ -261,10 +327,15 @@ class DnnfCompiler:
     def _compile_trail(self, clauses: List[Clause]) -> NnfNode:
         engine = TrailPropagator(clauses, max(
             (abs(lit) for c in clauses for lit in c), default=0), self.stats)
+        trace = self._trace
         if not engine.assert_root():
+            if trace is not None:
+                trace.root_conflict()
             return self.manager.false()
-        guards = [self.manager.literal(lit)
-                  for lit in sorted(engine.trail, key=abs)]
+        root_lits = sorted(engine.trail, key=abs)
+        if trace is not None:
+            trace.root(root_lits)
+        guards = [self.manager.literal(lit) for lit in root_lits]
         parts = self._ct_parts(range(len(clauses)), engine, clauses)
         return self.manager.conjoin(*(guards + parts))
 
@@ -275,6 +346,8 @@ class DnnfCompiler:
         if self.use_components and components:
             self.stats.incr("component_splits")
             self.stats.incr("components_found", len(components))
+        if self._trace is not None:
+            self._trace.begin_partition(len(components))
         return [self._ct_component(comp_indices, comp_vars, occ,
                                    engine, clauses)
                 for comp_indices, comp_vars in components]
@@ -282,6 +355,7 @@ class DnnfCompiler:
     def _ct_component(self, comp_indices: List[int], comp_vars: List[int],
                       occ, engine: TrailPropagator,
                       clauses: List[Clause]) -> NnfNode:
+        trace = self._trace
         key: Optional[Hashable] = None
         if self.use_cache:
             # (clause ids, free vars) fully determines the residual: all
@@ -294,12 +368,20 @@ class DnnfCompiler:
             if hit is not None:
                 self.cache_hits += 1
                 self.stats.incr("cache_hits")
+                if trace is not None:
+                    # back-reference to the hit's proved subtrace; the
+                    # checker re-derives both residuals, so a key
+                    # collision serving the wrong node is refuted
+                    trace.cache_hit(self._proof_ids[key], comp_indices)
                 return hit
         if self._active_budget is not None:
             self._active_budget.tick()
         var = self._pick_trail(comp_vars, occ)
         self.decisions += 1
         self.stats.incr("decisions")
+        if trace is not None:
+            trace.begin_component(comp_indices)
+            trace.decision(var)
         branches = []
         for value in (True, False):
             literal = var if value else -var
@@ -308,15 +390,23 @@ class DnnfCompiler:
                 # the decision literal (trail[mark]) must stay the first
                 # conjunct: or-gates are decision gates (X∧α)∨(¬X∧β)
                 implied = sorted(engine.trail[mark + 1:], key=abs)
+                if trace is not None:
+                    trace.branch(literal, implied)
                 guards = [self.manager.literal(lit)
                           for lit in [literal] + implied]
                 parts = self._ct_parts(comp_indices, engine, clauses)
                 branches.append(self.manager.conjoin(*(guards + parts)))
             else:
+                if trace is not None:
+                    trace.branch_conflict(literal)
                 branches.append(self.manager.conjoin(
                     self.manager.literal(literal), self.manager.false()))
             engine.undo_to(mark)
         node = self.manager.disjoin(*branches)
+        if trace is not None:
+            pid = trace.end_component()
+            if key is not None:
+                self._proof_ids[key] = pid
         if key is not None:
             if self._active_budget is not None:
                 self._active_budget.charge_cache()

@@ -105,6 +105,10 @@ class CompileOutcome:
     elapsed_s: float
     optimized_nodes: Optional[int] = None
     pass_signature: Optional[str] = None
+    #: proof-mode verdict: True = equivalence PROVED by the
+    #: independent checker, False = REFUTED (artifact quarantined),
+    #: None = no proof requested or check INCOMPLETE under budget
+    proved: Optional[bool] = None
 
     def as_wire(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -116,6 +120,8 @@ class CompileOutcome:
         if self.optimized_nodes is not None:
             out["optimized_nodes"] = self.optimized_nodes
             out["pass_signature"] = self.pass_signature
+        if self.proved is not None:
+            out["proved"] = self.proved
         return out
 
 
@@ -191,7 +197,8 @@ def compile_ticket(dimacs: str,
 
 
 def _compiler(ticket: CompileTicket, store: ArtifactStore,
-              budget: Optional[Budget]) -> Any:
+              budget: Optional[Budget],
+              proof: bool = False) -> Any:
     from ..compile.dnnf_compiler import DnnfCompiler
     cfg = ticket.config
     return DnnfCompiler(use_components=bool(cfg["use_components"]),
@@ -199,28 +206,55 @@ def _compiler(ticket: CompileTicket, store: ArtifactStore,
                         cache_mode=str(cfg["cache_mode"]),
                         propagator=str(cfg["propagator"]),
                         priority=list(cfg["priority"]),
-                        store=store, budget=budget)
+                        store=store, budget=budget, proof=proof)
 
 
 def compile_to_store(ticket: CompileTicket, store: ArtifactStore,
-                     budget: Optional[Budget] = None) -> CompileOutcome:
+                     budget: Optional[Budget] = None,
+                     proof: bool = False) -> CompileOutcome:
     """Compile the ticket's CNF into the store (warm hits included).
+
+    With ``proof=True`` the compiler emits an equivalence trace
+    (``.proof`` sidecar) and the independent checker verifies it
+    before the outcome is reported: ``outcome.proved`` is True on
+    ``PROVED`` (memoised in the ``.cert``, so a warm key skips both
+    the search and the re-check), False on ``REFUTED`` (the artifact
+    is quarantined — the caller decides whether that is fatal) and
+    None when the check ran out of budget.
 
     Raises :class:`~repro.limits.budget.BudgetExceeded` when the
     budget expires — :func:`compile_or_bounds` is the non-raising
     service entry point.
     """
     start = time.perf_counter()
+    if proof:
+        from ..analyze.proofs import mark_proved, verify_stored_proof
+        if store.proof_status(ticket.key) == "PROVED":
+            ir = store.load_nnf(ticket.key)
+            if ir is not None:
+                mark_proved(ir.digest())
+                return CompileOutcome(
+                    key=ticket.key, num_vars=ticket.num_vars,
+                    circuit_nodes=int(ir.n), cached=True,
+                    elapsed_s=time.perf_counter() - start,
+                    proved=True)
     cnf = Cnf.from_dimacs(ticket.dimacs)
-    compiler = _compiler(ticket, store, budget)
+    compiler = _compiler(ticket, store, budget, proof=proof)
     if compiler.artifact_key_for(cnf) != ticket.key:
         raise ValueError("ticket key does not match compiler config")
     root = compiler.compile(cnf)
+    proved: Optional[bool] = None
+    if proof:
+        # the checker runs unbudgeted: it is linear in the trace and
+        # must not inherit a compile budget already near expiry
+        result = verify_stored_proof(store, ticket.key, ticket.dimacs)
+        proved = {"PROVED": True, "REFUTED": False}.get(result.verdict)
     return CompileOutcome(
         key=ticket.key, num_vars=ticket.num_vars,
         circuit_nodes=int(root.node_count()),
         cached=compiler.stats["artifact_cache_hits"] > 0,
-        elapsed_s=time.perf_counter() - start)
+        elapsed_s=time.perf_counter() - start,
+        proved=proved)
 
 
 def compile_or_bounds(
@@ -228,7 +262,8 @@ def compile_or_bounds(
         deadline_s: Optional[float] = None,
         max_nodes: Optional[int] = None,
         anytime_reserve: float = DEFAULT_ANYTIME_RESERVE,
-        optimize: Union[bool, str, Sequence[str], None] = None
+        optimize: Union[bool, str, Sequence[str], None] = None,
+        proof: bool = False
 ) -> Union[CompileOutcome, BoundsOutcome]:
     """Budgeted compile that degrades to certified anytime bounds.
 
@@ -243,15 +278,21 @@ def compile_or_bounds(
     whatever slack the request budget has left; an expiring or
     non-improving pipeline silently leaves the base artifact as the
     answer — optimization can shrink the response, never fail it.
+
+    ``proof=True`` is forwarded to :func:`compile_to_store`; a
+    compile that degrades to bounds carries no proof (a partial
+    search trace proves nothing — the ``BoundsOutcome`` certificate
+    is the anytime interval itself).
     """
     start = time.perf_counter()
     if deadline_s is None and max_nodes is None:
-        outcome = compile_to_store(ticket, store)
+        outcome = compile_to_store(ticket, store, proof=proof)
         return _maybe_optimize(outcome, ticket, store, optimize, None)
     request = Budget(deadline_s=deadline_s, max_nodes=max_nodes)
     try:
         outcome = compile_to_store(
-            ticket, store, request.slice(1.0 - anytime_reserve))
+            ticket, store, request.slice(1.0 - anytime_reserve),
+            proof=proof)
         return _maybe_optimize(outcome, ticket, store, optimize,
                                request)
     except BudgetExceeded as error:

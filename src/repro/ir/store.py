@@ -172,12 +172,14 @@ class ArtifactStore:
                 "method": method}
         if ir_digest is not None:
             cert["ir_digest"] = ir_digest
-        if variants is None:
-            # preserve recorded optimized variants across certificate
-            # rewrites — but only while they describe the same base
-            # artifact (digest unchanged)
-            old = self._read_cert(key)
-            if old is not None and old.get("digest") == digest:
+        # preserve recorded optimized variants and the proof verdict
+        # across certificate rewrites — but only while they describe
+        # the same base artifact (digest unchanged)
+        old = self._read_cert(key)
+        if old is not None and old.get("digest") == digest:
+            if old.get("proof") is not None:
+                cert["proof"] = old["proof"]
+            if variants is None:
                 variants = old.get("variants")
                 if ir_digest is None:
                     cert_ir = old.get("ir_digest")
@@ -217,6 +219,84 @@ class ArtifactStore:
                          "verified", ir_digest=ir.digest())
         self.stats.incr("artifact_verified")
         return True
+
+    # -- equivalence proofs (.proof sidecars) --------------------------------
+    def save_proof(self, key: str, trace: str) -> Path:
+        """File a ``repro-proof/1`` equivalence trace next to the
+        artifact (``artifact_proof_writes``).  The trace is opaque to
+        the store — verification is the checker's job
+        (:func:`repro.analyze.proofs.verify_stored_proof`)."""
+        path = self._atomic_replace(self.path_for(key, "proof"), trace)
+        self.stats.incr("artifact_proof_writes")
+        return path
+
+    def load_proof(self, key: str) -> Optional[str]:
+        """The stored equivalence trace for ``key``, or None
+        (``artifact_proof_hits`` / ``artifact_proof_misses``)."""
+        try:
+            text = self.path_for(key, "proof").read_text()
+        except OSError:
+            self.stats.incr("artifact_proof_misses")
+            return None
+        self.stats.incr("artifact_proof_hits")
+        return text
+
+    def proof_status(self, key: str) -> Optional[str]:
+        """The recorded checker verdict for ``key``'s trace, with its
+        bindings re-checked: the ``.cert`` must describe the current
+        ``.nnf`` bytes and the recorded trace hash must match the
+        current ``.proof`` bytes.  Returns ``"PROVED"`` (or another
+        recorded verdict) only when both bindings hold, else None —
+        so a mutated artifact or trace silently demotes to
+        'unproved', never to a stale 'proved'."""
+        cert = self._read_cert(key)
+        proof = (cert or {}).get("proof")
+        if not isinstance(proof, dict):
+            return None
+        try:
+            nnf_text = self.path_for(key, "nnf").read_text()
+            trace = self.path_for(key, "proof").read_text()
+        except OSError:
+            return None
+        if cert.get("digest") != self._content_hash(nnf_text):
+            return None
+        if proof.get("trace_sha") != self._content_hash(trace):
+            return None
+        verdict = proof.get("verdict")
+        return str(verdict) if verdict else None
+
+    def record_proof_verdict(self, key: str, verdict: str,
+                             steps: int = 0) -> None:
+        """Memoise a checker verdict in the ``.cert`` sidecar, bound
+        to the current trace bytes (so a later trace mutation voids
+        it)."""
+        cert = self._read_cert(key)
+        if cert is None:
+            return
+        try:
+            trace = self.path_for(key, "proof").read_text()
+        except OSError:
+            return
+        cert["proof"] = {"verdict": str(verdict),
+                         "trace_sha": self._content_hash(trace),
+                         "steps": int(steps)}
+        self._atomic_replace(self.path_for(key, "cert"),
+                             json.dumps(cert, sort_keys=True) + "\n")
+
+    def quarantine_refuted(self, key: str) -> None:
+        """A refuted proof means the *artifact* cannot be trusted:
+        move the ``.nnf``/``.csr``/``.proof`` trio aside as
+        ``*.corrupt`` evidence, drop the certificate, and count
+        ``artifact_proof_refuted``."""
+        self._move_aside(self.path_for(key, "nnf"),
+                         self.path_for(key, "csr"),
+                         self.path_for(key, "proof"))
+        try:
+            os.unlink(self.path_for(key, "cert"))
+        except OSError:
+            pass
+        self.stats.incr("artifact_proof_refuted")
+        self.stats.incr("artifact_corrupt")
 
     def hit_rate(self) -> float:
         """Fraction of lookups served from disk (0.0 when unused)."""
@@ -543,6 +623,7 @@ class ArtifactStore:
           ``max_corrupt_age_days`` (mtime against the caller-supplied
           ``now`` — the store itself never reads the clock);
         * ``.csr`` sidecars whose ``.nnf`` text is gone;
+        * ``.proof`` equivalence traces whose ``.nnf`` is gone;
         * ``.vtree`` files whose ``.sdd`` is gone;
         * ``.cert`` sidecars with neither a ``.nnf`` nor an ``.sdd``;
         * ``.opt-*.nnf``/``.csr`` variants whose base artifact is gone
@@ -608,6 +689,8 @@ class ArtifactStore:
                 return None
             if ext == "csr":
                 return None if key in nnf_keys else "orphan_csr"
+            if ext == "proof":
+                return None if key in nnf_keys else "orphan_proof"
             if ext == "vtree":
                 return None if key in sdd_keys else "orphan_vtree"
             if ext == "cert":

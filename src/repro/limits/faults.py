@@ -16,6 +16,13 @@ failure modes injectable and deterministic:
   *parseable* but semantically wrong (a flipped literal, a dropped
   smoothing gate), exercising the serve-time certification path
   (``artifact_cert_fail`` + quarantine on a falsified property).
+* **trace forgery** — :func:`mutate_trace` tampers with a ``.proof``
+  equivalence trace while keeping it superficially well-formed (a
+  dropped search step, a forged cache back-reference, swapped
+  component clause sets): every mode must be caught by the
+  independent checker (:func:`repro.proof.check_proof`) as a
+  ``REFUTED`` verdict — the adversarial half of the proof-logging
+  design.
 * **allocation failure** — ``Budget(alloc_fail_at=N)`` makes the Nth
   charged node fail with reason ``"allocation"``, simulating an
   allocator giving out at an arbitrary point; :func:`failing_budget` is
@@ -33,13 +40,16 @@ from typing import Optional
 from .budget import Budget
 
 __all__ = ["FakeClock", "SkewedClock", "corrupt_artifact",
-           "mutate_artifact", "failing_budget"]
+           "mutate_artifact", "mutate_trace", "failing_budget"]
 
 #: corruption modes understood by :func:`corrupt_artifact`
 CORRUPT_MODES = ("truncate", "garbage", "empty")
 
 #: mutation modes understood by :func:`mutate_artifact`
 MUTATE_MODES = ("flip-literal", "drop-smooth")
+
+#: trace-forgery modes understood by :func:`mutate_trace`
+TRACE_MODES = ("drop-step", "forge-cache-ref", "swap-component")
 
 
 class FakeClock:
@@ -184,6 +194,77 @@ def mutate_artifact(store, key: str, ext: str = "nnf",
         lines[target] = "A 0"
     path.write_text("\n".join(lines) + "\n")
     return path
+
+
+def mutate_trace(trace: str, mode: str = "drop-step",
+                 index: int = 0) -> str:
+    """Forge a ``repro-proof/1`` equivalence trace (text in → text
+    out; callers rewrite the ``.proof`` sidecar themselves when
+    testing the store path).
+
+    Every mode keeps the trace line-oriented and superficially
+    plausible — the point is that the *checker's replay*, not a
+    surface syntax check, must reject it:
+
+    * ``"drop-step"`` — delete the ``index``-th body line, simulating
+      a compiler that skipped logging a search step (the fixed-arity
+      grammar makes any deletion break the parse or a downstream
+      semantic check);
+    * ``"forge-cache-ref"`` — point a cache back-reference (``h``) at
+      a component that was never proved (ref pushed out of range), or
+      forge the first fresh component (``k``) into such a reference
+      when the trace has no ``h`` line;
+    * ``"swap-component"`` — exchange the clause-id payloads of the
+      first two fresh-component (``k``) lines, or drop a clause id
+      from the first one when there is only one: the partition no
+      longer covers/disjoints the way the checker re-derives it.
+
+    Raises ``ValueError`` on an unknown mode or a trace too small to
+    carry the forgery (no body lines, say).
+    """
+    if mode not in TRACE_MODES:
+        raise ValueError(f"unknown trace mutation {mode!r}; "
+                         f"expected one of {TRACE_MODES}")
+    lines = trace.splitlines()
+    body = [i for i, line in enumerate(lines[5:], start=5)
+            if line.strip()]
+    if not body:
+        raise ValueError("trace has no body lines to mutate")
+    if mode == "drop-step":
+        if index >= len(body):
+            raise ValueError(f"trace has only {len(body)} body lines")
+        del lines[body[index]]
+    elif mode == "forge-cache-ref":
+        for i in body:
+            parts = lines[i].split()
+            if parts[0] == "h":
+                parts[1] = str(10 ** 9 + int(parts[1]))
+                lines[i] = " ".join(parts)
+                break
+        else:
+            for i in body:
+                parts = lines[i].split()
+                if parts[0] == "k":
+                    lines[i] = " ".join(["h", "0"] + parts[1:])
+                    break
+            else:
+                raise ValueError("trace has no component lines "
+                                 "to forge")
+    else:  # swap-component
+        comps = [i for i in body if lines[i].split()[0] == "k"]
+        if len(comps) >= 2:
+            a, b = comps[0], comps[1]
+            pa, pb = lines[a].split(), lines[b].split()
+            lines[a] = " ".join([pa[0]] + pb[1:])
+            lines[b] = " ".join([pb[0]] + pa[1:])
+        elif comps:
+            parts = lines[comps[0]].split()
+            if len(parts) <= 3:  # "k id 0" — nothing left to drop
+                raise ValueError("component too small to mutate")
+            lines[comps[0]] = " ".join(parts[:-2] + [parts[-1]])
+        else:
+            raise ValueError("trace has no component lines to swap")
+    return "\n".join(lines) + "\n"
 
 
 def failing_budget(fail_at: int, **caps) -> Budget:

@@ -1,0 +1,36 @@
+"""Equivalence proofs for Decision-DNNF compilation.
+
+A compilation run is an exhaustive DPLL search; its trace *is* a proof
+that the produced circuit is equivalent to the input CNF.  With
+``DnnfCompiler(proof=True)`` the compiler emits that trace — root unit
+implications, component partitions, decision splits, per-branch
+implications, conflict leaves and cache back-references — as a
+``repro-proof/1`` text document, and :func:`check_proof` replays it
+against the original DIMACS with its own minimal unit-propagation
+engine, concluding ``PROVED`` (circuit ≡ CNF, model count as a
+corollary), ``REFUTED`` (first bad step as a minimal witness) or
+``INCOMPLETE`` (budget expired mid-check).
+
+The checker is deliberately *independent* of the compiler: nothing in
+this package may import :mod:`repro.sat`, :mod:`repro.compile` or any
+other engine internals — only the stdlib, the CNF representation
+(:mod:`repro.logic`) and budgets (:mod:`repro.limits`).  The
+``proof-isolation`` rule in ``tools/lint_invariants.py`` enforces
+this, so a compiler bug can never silently leak into the checker that
+is supposed to catch it.  See ``docs/proofs.md`` for the trace format
+specification and the trust ladder.
+"""
+
+from .checker import (INCOMPLETE, PROVED, REFUTED, CheckResult,
+                      check_proof)
+from .trace import (PROOF_SCHEMA, TraceBuilder, TraceError,
+                    circuit_digest, conjoin_digest, dimacs_digest,
+                    disjoin_digest, false_digest, literal_digest,
+                    parse_header, true_digest)
+
+__all__ = [
+    "PROOF_SCHEMA", "TraceBuilder", "TraceError", "circuit_digest",
+    "conjoin_digest", "dimacs_digest", "disjoin_digest",
+    "false_digest", "literal_digest", "parse_header", "true_digest",
+    "PROVED", "REFUTED", "INCOMPLETE", "CheckResult", "check_proof",
+]

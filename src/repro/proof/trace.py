@@ -1,0 +1,278 @@
+"""The ``repro-proof/1`` trace format and its semantic digests.
+
+A trace is a line-oriented text document: a fixed header followed by a
+pre-order serialization of the compiler's DPLL search tree.  The
+grammar is *self-delimiting* — every construct has fixed arity, so no
+end markers are needed and any dropped or duplicated line breaks the
+parse or a semantic check downstream:
+
+.. code-block:: text
+
+    repro-proof/1
+    vars <N>                  header: variable count of the CNF
+    clauses <M>               header: clause count of the CNF
+    dimacs <sha256>           header: hash of the canonical DIMACS
+    circuit <digest>          header: semantic digest of the circuit
+    <root>
+
+    root      := "rx"                         (CNF unsat at level 0)
+               | "r" lit* "0" partition       (root implications)
+    partition := "p" k  component^k           (component split)
+    component := "h" ref id* "0"              (cache back-reference)
+               | "k" id* "0" decision         (fresh component proof)
+    decision  := "d" var branch(+var) branch(-var)
+    branch    := "x" lit                      (conflict leaf)
+               | "b" lit lit* "0" partition   (implications, then split)
+
+Components are numbered in *completion* (post-) order, starting at 0;
+a ``h`` line's ``ref`` must name an already-completed component whose
+residual clause set is identical to the referenced one — the checker
+re-derives both residuals itself, so a forged back-reference (or a
+hash-collision miscompile in the compiler's component cache) is caught
+as a refutation.
+
+Semantic digests
+----------------
+
+``circuit_digest`` computes a content hash of a circuit DAG by
+structural induction, applying exactly the constant-folding rules of
+:class:`repro.nnf.node.NnfManager` (``conjoin`` drops ⊤ children,
+collapses to ⊥ on any ⊥ child and to the child on a singleton;
+``disjoin`` dually).  The emitter hashes the circuit the compiler
+*actually built* (via duck-typed ``.kind``/``.literal``/``.children``
+attributes — no engine import needed); the checker re-derives the same
+digest from the verified trace.  Equal digests + a verified trace
+establish circuit ≡ CNF; a compiler whose emitted trace diverges from
+its built circuit is refuted by the mismatch.
+
+Everything here is stdlib-only: the ``proof-isolation`` lint rule
+keeps this module importable by the independent checker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["PROOF_SCHEMA", "TraceError", "TraceBuilder",
+           "parse_header", "literal_digest", "true_digest",
+           "false_digest", "conjoin_digest", "disjoin_digest",
+           "circuit_digest", "dimacs_digest"]
+
+#: schema tag on the first line of every trace
+PROOF_SCHEMA = "repro-proof/1"
+
+#: digest length in hex characters (128 bits of SHA-256)
+_DIGEST_HEX = 32
+
+
+class TraceError(ValueError):
+    """A structurally malformed trace (bad header, bad token, wrong
+    arity).  Carries the 1-based line number when known."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(message)
+        self.line = line
+
+
+def _hash(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()[:_DIGEST_HEX]
+
+
+_TRUE = _hash("T")
+_FALSE = _hash("F")
+
+
+def true_digest() -> str:
+    """Digest of the constant-⊤ circuit."""
+    return _TRUE
+
+
+def false_digest() -> str:
+    """Digest of the constant-⊥ circuit."""
+    return _FALSE
+
+
+def literal_digest(literal: int) -> str:
+    """Digest of a literal leaf."""
+    return _hash(f"L{int(literal)}")
+
+
+def conjoin_digest(children: Iterable[str]) -> str:
+    """Digest of a conjunction, with the manager's folding rules:
+    any ⊥ child folds to ⊥, ⊤ children are dropped, an empty
+    conjunction is ⊤ and a singleton is its child.  Child order is
+    significant (the compiler's gates are ordered)."""
+    kept: List[str] = []
+    for digest in children:
+        if digest == _FALSE:
+            return _FALSE
+        if digest == _TRUE:
+            continue
+        kept.append(digest)
+    if not kept:
+        return _TRUE
+    if len(kept) == 1:
+        return kept[0]
+    return _hash("A:" + ":".join(kept))
+
+
+def disjoin_digest(children: Iterable[str]) -> str:
+    """Digest of a disjunction (dual folding rules)."""
+    kept: List[str] = []
+    for digest in children:
+        if digest == _TRUE:
+            return _TRUE
+        if digest == _FALSE:
+            continue
+        kept.append(digest)
+    if not kept:
+        return _FALSE
+    if len(kept) == 1:
+        return kept[0]
+    return _hash("O:" + ":".join(kept))
+
+
+def circuit_digest(root: Any) -> str:
+    """Semantic digest of a live NNF circuit DAG.
+
+    Duck-typed: ``root`` needs ``.kind`` (``"lit"``/``"true"``/
+    ``"false"``/``"and"``/``"or"``), ``.literal``, ``.children`` and
+    ``.id`` — the shape of :class:`repro.nnf.node.NnfNode`, without
+    importing it.  Iterative post-order, so deep circuits are fine.
+    """
+    digests: Dict[int, str] = {}
+    stack: List[Tuple[Any, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node.id in digests:
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for child in node.children:
+                if child.id not in digests:
+                    stack.append((child, False))
+            continue
+        kind = node.kind
+        if kind == "lit":
+            digests[node.id] = literal_digest(node.literal)
+        elif kind == "true":
+            digests[node.id] = _TRUE
+        elif kind == "false":
+            digests[node.id] = _FALSE
+        elif kind == "and":
+            digests[node.id] = conjoin_digest(
+                digests[c.id] for c in node.children)
+        elif kind == "or":
+            digests[node.id] = disjoin_digest(
+                digests[c.id] for c in node.children)
+        else:
+            raise TraceError(f"cannot digest node kind {kind!r}")
+    return digests[root.id]
+
+
+def dimacs_digest(dimacs: str) -> str:
+    """Full SHA-256 of a (canonical) DIMACS text — the input binding
+    in the trace header."""
+    return hashlib.sha256(dimacs.encode()).hexdigest()
+
+
+class TraceBuilder:
+    """Streaming emitter for the compiler side.
+
+    The compiler appends one line per search step in pre-order; the
+    circuit digest is supplied at the end (it is only known once the
+    root gate exists) and the header is assembled by :meth:`text`.
+    Component ids are assigned by :meth:`end_component` in completion
+    order — exactly the numbering the checker re-derives.
+    """
+
+    def __init__(self, num_vars: int, num_clauses: int,
+                 dimacs_sha: str) -> None:
+        self.num_vars = int(num_vars)
+        self.num_clauses = int(num_clauses)
+        self.dimacs_sha = dimacs_sha
+        self._lines: List[str] = []
+        self._next_id = 0
+        self._circuit: str = ""
+
+    # -- step emission -------------------------------------------------------
+    def root_conflict(self) -> None:
+        self._lines.append("rx")
+
+    def root(self, implied: Sequence[int]) -> None:
+        self._lines.append(
+            "r " + " ".join(str(lit) for lit in implied) + " 0"
+            if implied else "r 0")
+
+    def begin_partition(self, count: int) -> None:
+        self._lines.append(f"p {count}")
+
+    def cache_hit(self, ref: int, clause_ids: Sequence[int]) -> None:
+        self._lines.append(
+            f"h {ref} " + " ".join(str(i) for i in clause_ids) + " 0")
+
+    def begin_component(self, clause_ids: Sequence[int]) -> None:
+        self._lines.append(
+            "k " + " ".join(str(i) for i in clause_ids) + " 0")
+
+    def end_component(self) -> int:
+        """Assign this component's completion-order id (no line is
+        emitted — the grammar is self-delimiting)."""
+        pid = self._next_id
+        self._next_id += 1
+        return pid
+
+    def decision(self, var: int) -> None:
+        self._lines.append(f"d {var}")
+
+    def branch(self, literal: int, implied: Sequence[int]) -> None:
+        self._lines.append(
+            f"b {literal} " +
+            " ".join(str(lit) for lit in implied) +
+            (" 0" if implied else "0"))
+
+    def branch_conflict(self, literal: int) -> None:
+        self._lines.append(f"x {literal}")
+
+    # -- finalisation --------------------------------------------------------
+    def set_circuit_digest(self, digest: str) -> None:
+        self._circuit = digest
+
+    def steps(self) -> int:
+        return len(self._lines)
+
+    def text(self) -> str:
+        if not self._circuit:
+            raise TraceError("circuit digest not set before text()")
+        header = [PROOF_SCHEMA,
+                  f"vars {self.num_vars}",
+                  f"clauses {self.num_clauses}",
+                  f"dimacs {self.dimacs_sha}",
+                  f"circuit {self._circuit}"]
+        return "\n".join(header + self._lines) + "\n"
+
+
+def parse_header(text: str) -> Tuple[Dict[str, str], List[str], int]:
+    """Split a trace into ``(header fields, step lines, body line
+    offset)``.  Raises :class:`TraceError` on a malformed header."""
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != PROOF_SCHEMA:
+        raise TraceError(
+            f"missing {PROOF_SCHEMA!r} schema line", line=1)
+    fields: Dict[str, str] = {}
+    index = 1
+    required = ("vars", "clauses", "dimacs", "circuit")
+    for name in required:
+        if index >= len(lines):
+            raise TraceError(f"truncated header (missing {name!r})",
+                             line=index + 1)
+        parts = lines[index].split()
+        if len(parts) != 2 or parts[0] != name:
+            raise TraceError(
+                f"expected header line {name!r}, got "
+                f"{lines[index]!r}", line=index + 1)
+        fields[name] = parts[1]
+        index += 1
+    steps = [line for line in lines[index:] if line.strip()]
+    return fields, steps, index

@@ -70,7 +70,7 @@ class ServerConfig:
 class Server:
     """The compile/query service over one shared ArtifactStore."""
 
-    def __init__(self, config: Optional[ServerConfig] = None):
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
         self.config = config or ServerConfig()
         self._tempdir: Optional[Any] = None
         cache_dir = self.config.cache_dir
@@ -158,6 +158,7 @@ class Server:
         payload["deadline_s"] = self._budget_caps(request.deadline_s)
         payload["max_nodes"] = request.max_nodes
         payload["optimize"] = request.optimize
+        payload["proof"] = request.proof
         try:
             reply = await self._dispatch(run_compile, payload)
         except BaseException as error:

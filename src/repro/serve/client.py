@@ -17,7 +17,7 @@ __all__ = ["ServeClient"]
 class ServeClient:
     """Blocking JSON-over-HTTP client for one server."""
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0):
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -69,7 +69,8 @@ class ServeClient:
                 config: Optional[Mapping[str, Any]] = None,
                 deadline_s: Optional[float] = None,
                 max_nodes: Optional[int] = None,
-                optimize: bool = False
+                optimize: bool = False,
+                proof: bool = False
                 ) -> Tuple[int, Dict[str, Any]]:
         body: Dict[str, Any] = {"dimacs": dimacs}
         if config:
@@ -80,6 +81,8 @@ class ServeClient:
             body["max_nodes"] = max_nodes
         if optimize:
             body["optimize"] = True
+        if proof:
+            body["proof"] = True
         return self.request("POST", "/compile", body)
 
     def query(self, key: str, query: str = "count",

@@ -119,7 +119,8 @@ def run_compile(payload: Dict[str, Any]) -> Dict[str, Any]:
             ticket, store,
             deadline_s=payload.get("deadline_s"),
             max_nodes=payload.get("max_nodes"),
-            optimize=bool(payload.get("optimize", False)))
+            optimize=bool(payload.get("optimize", False)),
+            proof=bool(payload.get("proof", False)))
         reply = outcome.as_wire()
     except ValueError as error:
         reply = {"status": "invalid", "error": str(error)}
@@ -208,7 +209,7 @@ class WorkerPool:
     """
 
     def __init__(self, cache_root: str, workers: int = 2,
-                 verify: bool = True):
+                 verify: bool = True) -> None:
         self.cache_root = cache_root
         self.workers = max(0, int(workers))
         self.verify = verify

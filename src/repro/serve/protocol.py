@@ -25,7 +25,7 @@ QUERY_KINDS = ("count", "sat", "wmc", "mpe", "marginals", "explain")
 class ProtocolError(ValueError):
     """A malformed request; ``status`` is the HTTP code to answer."""
 
-    def __init__(self, message: str, status: int = 400):
+    def __init__(self, message: str, status: int = 400) -> None:
         super().__init__(message)
         self.status = status
 
@@ -37,6 +37,11 @@ class CompileRequest:
     ``optimize=True`` asks for the certified pass pipeline after the
     compile (on the request budget's slack); a non-improving or
     expiring pipeline degrades to the base artifact, never a 500.
+
+    ``proof=True`` asks for an equivalence trace plus independent
+    verification; the reply carries ``proved`` (true/false, absent
+    when the check ran out of budget or a deduped leader compiled
+    without proof).
     """
 
     dimacs: str
@@ -44,6 +49,7 @@ class CompileRequest:
     deadline_s: Optional[float] = None
     max_nodes: Optional[int] = None
     optimize: bool = False
+    proof: bool = False
 
 
 @dataclass
@@ -162,7 +168,8 @@ def parse_compile_request(body: bytes) -> CompileRequest:
         dimacs=dimacs, config=dict(config),
         deadline_s=_positive_float(data, "deadline_s"),
         max_nodes=_positive_int(data, "max_nodes"),
-        optimize=_bool_flag(data, "optimize"))
+        optimize=_bool_flag(data, "optimize"),
+        proof=_bool_flag(data, "proof"))
 
 
 def parse_query_request(body: bytes) -> QueryRequest:

@@ -116,7 +116,8 @@ def test_run_all_quick_smoke(tmp_path):
         "batched_marginals", "psdd_marginals", "classifier_scoring",
         "warm_compile", "anytime_bounds", "restart_compile",
         "verify_overhead", "codegen_kernel", "warm_mmap",
-        "serve_throughput", "minimize", "explain_throughput"}
+        "serve_throughput", "minimize", "proof_overhead",
+        "explain_throughput"}
     for name, scenario in report["scenarios"].items():
         assert scenario["agree"] is True, name
         # the per-scenario deadline guard must not have tripped
@@ -169,6 +170,12 @@ def test_run_all_quick_smoke(tmp_path):
     assert minimize["nodes_after"] < minimize["nodes_before"]
     assert minimize["counters"]["forgotten"] > 0, minimize
     assert serve["counters"]["statuses"].keys() == {"200"}, serve
+    proof = report["scenarios"]["proof_overhead"]
+    # trace emission must stay within 2x of a plain compile (the
+    # proof-logging PR's acceptance bar), and the replay must be live
+    assert proof["overhead_ratio"] <= 2.0, proof
+    assert proof["counters"]["optimized"]["proof_steps"] > 0, proof
+    assert proof["checker_steps_per_s"] > 0, proof
     explain = report["scenarios"]["explain_throughput"]
     # the enumerator must actually produce reasons, and the probe
     # accounting must be live

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-invariant lint: AST checks ruff/mypy cannot express.
 
-Six rules, each guarding a deliberate architectural boundary:
+Seven rules, each guarding a deliberate architectural boundary:
 
 1. **legacy-isolation** — production modules must not import
    ``repro.compat`` or any ``*_legacy`` name/module at module level.
@@ -9,7 +9,8 @@ Six rules, each guarding a deliberate architectural boundary:
    dispatch in ``repro.nnf.queries._legacy``), so the legacy baseline
    stays reachable for benchmarks without ever being on a production
    import path.  ``src/repro/compat.py`` itself and ``*_legacy``
-   modules are exempt; tests and benchmarks are not linted.
+   modules are exempt; tests are not linted (``tools/`` and
+   ``benchmarks/`` are — see below).
 
 2. **clock-injection** — budget-governed modules (``repro.limits``,
    ``repro.sat``, ``repro.compile``, ``repro.ir``) must not call
@@ -52,6 +53,21 @@ Six rules, each guarding a deliberate architectural boundary:
    for the gate's auto-smoothing.  An ad-hoc ``IrBuilder`` elsewhere
    would be an unaudited circuit rewrite — exactly the class of bug
    the certification gate exists to catch.
+
+7. **proof-isolation** — the equivalence-proof checker
+   (``repro/proof/``) must stay independent of the engine it audits:
+   the only sanctioned repro imports (module-level *or* lazy) are the
+   proof package itself, the CNF representation (``repro.logic``) and
+   budgets (``repro.limits``).  A checker that imported
+   ``repro.sat`` or ``repro.compile`` could inherit the very bug
+   whose absence it is supposed to certify; this rule is what makes a
+   ``PROVED`` verdict worth more than the compiler's own say-so.
+
+Scanned roots: ``src/repro`` (relative paths like ``ir/store.py``),
+plus ``tools/`` and ``benchmarks/`` under those prefixes — so the
+src-keyed rules (clock-injection, flag-trust, ...) cannot misfire on
+them, while the everywhere-rules (audited-compile, legacy-isolation,
+rewrite-isolation) do apply.  Tests are not linted.
 
 Exit status 1 with ``file:line: rule message`` diagnostics on any
 violation; 0 on a clean tree.  Stdlib only — runs anywhere.
@@ -267,6 +283,58 @@ def check_serve_isolation(path: Path, rel: str,
                            f"facade / ArtifactStore / Budget)")
 
 
+#: repro packages/modules the proof checker may import (rule 7) — the
+#: proof package itself, the CNF representation, and budgets.  No
+#: engine internals: independence is the checker's whole value.
+PROOF_ALLOWED_PREFIXES = (
+    "repro.proof",
+    "repro.logic",
+    "repro.limits",
+)
+
+
+def _proof_allowed(module: str) -> bool:
+    if not (module == "repro" or module.startswith("repro.")):
+        return True  # stdlib: not this rule's concern
+    return any(module == prefix or module.startswith(prefix + ".")
+               for prefix in PROOF_ALLOWED_PREFIXES)
+
+
+def check_proof_isolation(path: Path, rel: str,
+                          tree: ast.Module) -> Iterator[Violation]:
+    parts = Path(rel).parts
+    if not parts or parts[0] != "proof" or len(parts) < 2:
+        return
+    package = ["repro", *parts[:-1]]
+    for node in ast.walk(tree):  # lazy imports count too
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if not _proof_allowed(alias.name):
+                    yield (path, node.lineno, "proof-isolation",
+                           f"proof checker imports engine module "
+                           f"{alias.name!r} (only repro.logic / "
+                           f"repro.limits keep the checker "
+                           f"independent of what it audits)")
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = package[:len(package) - (node.level - 1)]
+                module = ".".join(base + ([node.module]
+                                          if node.module else []))
+            else:
+                module = node.module or ""
+            if not (module == "repro" or module.startswith("repro.")):
+                continue
+            for alias in node.names:
+                candidate = f"{module}.{alias.name}"
+                if not (_proof_allowed(module) or
+                        _proof_allowed(candidate)):
+                    yield (path, node.lineno, "proof-isolation",
+                           f"proof checker imports engine module "
+                           f"{candidate!r} (only repro.logic / "
+                           f"repro.limits keep the checker "
+                           f"independent of what it audits)")
+
+
 #: modules allowed to construct CircuitIR/IrBuilder (rule 6),
 #: relative to src/repro
 REWRITE_ALLOWED = (
@@ -293,11 +361,21 @@ def check_rewrite_isolation(path: Path, rel: str,
                    f"certification gate")
 
 
-def collect_violations(src_root: Path) -> List[Violation]:
-    src_root = Path(src_root)
+def collect_violations(src_root: Path,
+                       extra_roots: "List[Tuple[Path, str]]" = []
+                       ) -> List[Violation]:
+    """Lint ``src_root`` (rel paths rooted at it) plus any ``(root,
+    prefix)`` extras, whose rel paths are namespaced under
+    ``prefix/`` so src-keyed rules cannot match them by accident."""
+    sources: List[Tuple[Path, str]] = []
+    for path in sorted(Path(src_root).rglob("*.py")):
+        sources.append((path, path.relative_to(src_root).as_posix()))
+    for root, prefix in extra_roots:
+        for path in sorted(Path(root).rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            sources.append((path, f"{prefix}/{rel}"))
     violations: List[Violation] = []
-    for path in sorted(src_root.rglob("*.py")):
-        rel = path.relative_to(src_root).as_posix()
+    for path, rel in sources:
         try:
             tree = ast.parse(path.read_text(), filename=str(path))
         except SyntaxError as error:
@@ -310,22 +388,29 @@ def collect_violations(src_root: Path) -> List[Violation]:
         violations.extend(check_audited_compile(path, rel, tree))
         violations.extend(check_serve_isolation(path, rel, tree))
         violations.extend(check_rewrite_isolation(path, rel, tree))
+        violations.extend(check_proof_isolation(path, rel, tree))
     return violations
 
 
 def main(argv: List[str]) -> int:
-    root = Path(argv[1]) if len(argv) > 1 else \
-        Path(__file__).resolve().parent.parent / "src" / "repro"
+    repo = Path(__file__).resolve().parent.parent
+    root = Path(argv[1]) if len(argv) > 1 else repo / "src" / "repro"
     if not root.is_dir():
         print(f"error: {root} is not a directory", file=sys.stderr)
         return 2
-    violations = collect_violations(root)
+    extras = []
+    if len(argv) <= 1:  # default layout: lint tools + benchmarks too
+        for name in ("tools", "benchmarks"):
+            if (repo / name).is_dir():
+                extras.append((repo / name, name))
+    violations = collect_violations(root, extras)
     for path, line, rule, message in violations:
         print(f"{path}:{line}: [{rule}] {message}")
     if violations:
         print(f"{len(violations)} invariant violation(s)")
         return 1
-    print(f"invariant lint clean: {root}")
+    scanned = ", ".join([str(root)] + [str(r) for r, _ in extras])
+    print(f"invariant lint clean: {scanned}")
     return 0
 
 
